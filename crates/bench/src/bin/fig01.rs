@@ -1,0 +1,7 @@
+//! Regenerates Figure 1: execution-time breakdown w.r.t. layer type.
+use tango::figures;
+fn main() {
+    let ch = tango_bench::characterizer();
+    let runs = figures::run_default_suite(&ch).expect("suite runs");
+    tango_bench::emit("fig01", &figures::fig1_time_breakdown(&runs).to_string());
+}

@@ -1,0 +1,6 @@
+//! Regenerates Figure 2: normalized execution time vs L1D size.
+use tango::figures;
+fn main() {
+    let ch = tango_bench::characterizer();
+    tango_bench::emit("fig02", &figures::fig2_l1d_sensitivity(&ch).expect("runs").to_string());
+}

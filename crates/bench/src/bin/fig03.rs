@@ -1,0 +1,7 @@
+//! Regenerates Figure 3: peak power consumption across layers.
+use tango::figures;
+fn main() {
+    let ch = tango_bench::characterizer();
+    let runs = figures::run_default_suite(&ch).expect("suite runs");
+    tango_bench::emit("fig03", &figures::fig3_peak_power(&runs).to_string());
+}

@@ -1,0 +1,7 @@
+//! Regenerates Figure 4: average power per layer type.
+use tango::figures;
+fn main() {
+    let ch = tango_bench::characterizer();
+    let runs = figures::run_default_suite(&ch).expect("suite runs");
+    tango_bench::emit("fig04", &figures::fig4_power_per_layer_type(&runs).to_string());
+}

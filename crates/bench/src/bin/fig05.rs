@@ -1,0 +1,7 @@
+//! Regenerates Figure 5: power breakdown by hardware component.
+use tango::figures;
+fn main() {
+    let ch = tango_bench::characterizer();
+    let runs = figures::run_default_suite(&ch).expect("suite runs");
+    tango_bench::emit("fig05", &figures::fig5_power_components(&runs).to_string());
+}

@@ -1,0 +1,6 @@
+//! Regenerates Figure 7: stall-cycle breakdown per layer type (GK210).
+use tango::figures;
+fn main() {
+    let ch = tango_bench::characterizer();
+    tango_bench::emit("fig07", &figures::fig7_stall_breakdown(&ch).expect("runs").to_string());
+}

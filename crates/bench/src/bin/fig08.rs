@@ -1,0 +1,7 @@
+//! Regenerates Figure 8: operation-type breakdown per network.
+use tango::figures;
+fn main() {
+    let ch = tango_bench::characterizer();
+    let runs = figures::run_default_suite(&ch).expect("suite runs");
+    tango_bench::emit("fig08", &figures::fig8_op_breakdown(&runs).to_string());
+}

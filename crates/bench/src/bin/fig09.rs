@@ -1,0 +1,7 @@
+//! Regenerates Figure 9: total operation mix across all networks.
+use tango::figures;
+fn main() {
+    let ch = tango_bench::characterizer();
+    let runs = figures::run_default_suite(&ch).expect("suite runs");
+    tango_bench::emit("fig09", &figures::fig9_top_ops(&runs).to_string());
+}

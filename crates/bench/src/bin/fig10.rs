@@ -1,0 +1,7 @@
+//! Regenerates Figure 10: data-type breakdown across ResNet layers.
+use tango::figures;
+fn main() {
+    let ch = tango_bench::characterizer();
+    let runs = figures::run_default_suite(&ch).expect("suite runs");
+    tango_bench::emit("fig10", &figures::fig10_dtype_over_layers(&runs).to_string());
+}

@@ -1,0 +1,5 @@
+//! Regenerates Figure 11: memory footprint of the full-size models.
+use tango::figures;
+fn main() {
+    tango_bench::emit("fig11", &figures::fig11_memory_footprint(tango_bench::SEED).expect("builds").to_string());
+}

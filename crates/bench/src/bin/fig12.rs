@@ -1,0 +1,5 @@
+//! Regenerates Figure 12: per-SM register-file usage (full-size models).
+use tango::figures;
+fn main() {
+    tango_bench::emit("fig12", &figures::fig12_register_usage(tango_bench::SEED).expect("builds").to_string());
+}

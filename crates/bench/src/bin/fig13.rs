@@ -1,0 +1,7 @@
+//! Regenerates Figure 13: total L2 misses per layer type without L1D.
+use tango::figures;
+fn main() {
+    let ch = tango_bench::characterizer();
+    let runs = figures::run_cnns_no_l1(&ch).expect("runs");
+    tango_bench::emit("fig13", &figures::fig13_l2_misses(&runs).to_string());
+}

@@ -1,0 +1,7 @@
+//! Regenerates Figure 14: L2 miss ratio per layer type without L1D.
+use tango::figures;
+fn main() {
+    let ch = tango_bench::characterizer();
+    let runs = figures::run_cnns_no_l1(&ch).expect("runs");
+    tango_bench::emit("fig14", &figures::fig14_l2_miss_ratio(&runs).to_string());
+}

@@ -1,0 +1,6 @@
+//! Regenerates Figure 15: warp-scheduler sensitivity.
+use tango::figures;
+fn main() {
+    let ch = tango_bench::characterizer();
+    tango_bench::emit("fig15", &figures::fig15_scheduler_sensitivity(&ch).expect("runs").to_string());
+}

@@ -1,0 +1,6 @@
+//! Regenerates Figure 16: per-layer scheduler sensitivity of AlexNet.
+use tango::figures;
+fn main() {
+    let ch = tango_bench::characterizer();
+    tango_bench::emit("fig16", &figures::fig16_alexnet_per_layer_scheduler(&ch).expect("runs").to_string());
+}

@@ -1,0 +1,63 @@
+//! Regenerates every table and figure of the paper in one run, writing
+//! each to `results/<id>.txt` and printing a progress line per experiment.
+//!
+//! `TANGO_PRESET=tiny repro_all` gives a fast smoke pass; the default
+//! `bench` preset is what EXPERIMENTS.md records.
+
+use std::time::Instant;
+use tango::figures;
+use tango::tables;
+use tango_bench::{characterizer, emit, preset_from_env, SEED};
+
+fn step<F: FnOnce() -> String>(name: &str, f: F) {
+    let t = Instant::now();
+    let text = f();
+    emit(name, &text);
+    eprintln!("[repro] {name:8} done in {:6.1}s", t.elapsed().as_secs_f64());
+}
+
+fn main() {
+    let ch = characterizer();
+    eprintln!(
+        "[repro] preset={} config={} seed={SEED:#x}",
+        preset_from_env(),
+        ch.config().name
+    );
+
+    step("table1", tables::table1_models);
+    step("table2", tables::table2_gpus);
+    step("table3", || tables::table3_all(SEED).expect("networks build"));
+    step("table4", tables::table4_fpga);
+
+    let runs = {
+        let t = Instant::now();
+        let runs = figures::run_default_suite(&ch).expect("suite runs");
+        eprintln!("[repro] default suite simulated in {:.1}s", t.elapsed().as_secs_f64());
+        runs
+    };
+    step("fig01", || figures::fig1_time_breakdown(&runs).to_string());
+    step("fig03", || figures::fig3_peak_power(&runs).to_string());
+    step("fig04", || figures::fig4_power_per_layer_type(&runs).to_string());
+    step("fig05", || figures::fig5_power_components(&runs).to_string());
+    step("fig08", || figures::fig8_op_breakdown(&runs).to_string());
+    step("fig09", || figures::fig9_top_ops(&runs).to_string());
+    step("fig10", || figures::fig10_dtype_over_layers(&runs).to_string());
+
+    step("fig02", || figures::fig2_l1d_sensitivity(&ch).expect("runs").to_string());
+    step("fig06", || {
+        let r = figures::fig6_tx1_vs_pynq(tango_nets::Preset::Paper, SEED).expect("runs");
+        format!("{}\n{}\n{}", r.normalized_energy, r.time_s, r.peak_power_w)
+    });
+    step("fig07", || figures::fig7_stall_breakdown(&ch).expect("runs").to_string());
+    step("fig11", || figures::fig11_memory_footprint(SEED).expect("builds").to_string());
+    step("fig12", || figures::fig12_register_usage(SEED).expect("builds").to_string());
+
+    let no_l1 = figures::run_cnns_no_l1(&ch).expect("runs");
+    step("fig13", || figures::fig13_l2_misses(&no_l1).to_string());
+    step("fig14", || figures::fig14_l2_miss_ratio(&no_l1).to_string());
+
+    step("fig15", || figures::fig15_scheduler_sensitivity(&ch).expect("runs").to_string());
+    step("fig16", || figures::fig16_alexnet_per_layer_scheduler(&ch).expect("runs").to_string());
+
+    eprintln!("[repro] all experiments written to results/");
+}

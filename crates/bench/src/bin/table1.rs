@@ -1,0 +1,4 @@
+//! Regenerates Table I (input/output and pre-trained models).
+fn main() {
+    tango_bench::emit("table1", &tango::tables::table1_models());
+}

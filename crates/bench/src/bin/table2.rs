@@ -1,0 +1,4 @@
+//! Regenerates Table II (GPU architectures used for evaluation).
+fn main() {
+    tango_bench::emit("table2", &tango::tables::table2_gpus());
+}

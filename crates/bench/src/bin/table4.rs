@@ -1,0 +1,4 @@
+//! Regenerates Table IV (the FPGA platform).
+fn main() {
+    tango_bench::emit("table4", &tango::tables::table4_fpga());
+}

@@ -1,0 +1,63 @@
+//! Shared plumbing for the reproduction binaries (`fig01`..`fig16`,
+//! `table1`..`table4`, `repro_all`) and the Criterion benches.
+//!
+//! Each binary regenerates one table or figure of the paper and prints the
+//! paper-style rows; `repro_all` runs everything and writes the outputs
+//! under `results/`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fs;
+use std::path::PathBuf;
+use tango::Characterizer;
+use tango_nets::Preset;
+use tango_sim::GpuConfig;
+
+/// The deterministic seed every reproduction binary uses.
+pub const SEED: u64 = 0x7A16_0201_9151;
+
+/// Preset selected by `TANGO_PRESET` (`paper`, `bench`, `tiny`);
+/// defaults to `bench`, the scale DESIGN.md documents for the
+/// timing/power experiments.
+pub fn preset_from_env() -> Preset {
+    match std::env::var("TANGO_PRESET").as_deref() {
+        Ok("paper") => Preset::Paper,
+        Ok("tiny") => Preset::Tiny,
+        _ => Preset::Bench,
+    }
+}
+
+/// The characterizer the simulated figures use: GP102 at the environment
+/// preset.
+pub fn characterizer() -> Characterizer {
+    Characterizer::new(GpuConfig::gp102(), preset_from_env(), SEED)
+}
+
+/// Prints `content` and also writes it to `results/<name>.txt` (best
+/// effort — printing is the contract, the file is a convenience).
+pub fn emit(name: &str, content: &str) {
+    println!("{content}");
+    let dir = PathBuf::from("results");
+    if fs::create_dir_all(&dir).is_ok() {
+        let _ = fs::write(dir.join(format!("{name}.txt")), content);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_preset_is_bench() {
+        // The env var is unset in tests unless a caller set it.
+        if std::env::var_os("TANGO_PRESET").is_none() {
+            assert_eq!(preset_from_env(), Preset::Bench);
+        }
+    }
+
+    #[test]
+    fn characterizer_uses_gp102() {
+        assert!(characterizer().config().name.contains("GP102"));
+    }
+}

@@ -1,0 +1,17 @@
+use tango::Characterizer;
+use tango_nets::{NetworkKind, Preset};
+use tango_sim::GpuConfig;
+use std::time::Instant;
+
+fn main() {
+    let ch = Characterizer::new(GpuConfig::tx1(), Preset::Paper, 1);
+    for kind in [NetworkKind::CifarNet, NetworkKind::SqueezeNet] {
+        let t = Instant::now();
+        let run = ch.run_network(kind, &ch.default_options()).unwrap();
+        println!(
+            "{} paper on TX1: wall {:.1}s, sim time {:.4}s, peak {:.1} W",
+            kind.name(), t.elapsed().as_secs_f64(),
+            run.report.total_time_s(), run.report.peak_power_w()
+        );
+    }
+}

@@ -1,0 +1,146 @@
+//! The characterization driver: builds networks, runs simulated
+//! inference, and caches per-network results for the figure producers.
+
+use crate::Result;
+use std::collections::BTreeMap;
+use tango_nets::{build_network, synthetic_input, InferenceReport, NetworkKind, Preset};
+use tango_sim::{Gpu, GpuConfig, SimOptions};
+
+/// Reproducible driver for one (GPU config, preset, seed) combination.
+///
+/// # Example
+///
+/// ```
+/// use tango::Characterizer;
+/// use tango_nets::{NetworkKind, Preset};
+/// use tango_sim::GpuConfig;
+///
+/// # fn main() -> Result<(), tango::TangoError> {
+/// let ch = Characterizer::new(GpuConfig::gp102(), Preset::Tiny, 42);
+/// let run = ch.run_network(NetworkKind::CifarNet, &ch.default_options())?;
+/// assert!(run.report.total_cycles() > 0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Characterizer {
+    config: GpuConfig,
+    preset: Preset,
+    seed: u64,
+}
+
+/// One network's simulated inference plus device-level observations.
+#[derive(Debug, Clone)]
+pub struct NetworkRun {
+    /// Which network ran.
+    pub kind: NetworkKind,
+    /// Per-layer statistics and the output.
+    pub report: InferenceReport,
+    /// Peak device-memory usage (weights + activations), Figure 11's
+    /// metric.
+    pub footprint_bytes: u64,
+}
+
+impl Characterizer {
+    /// Creates a driver.
+    pub fn new(config: GpuConfig, preset: Preset, seed: u64) -> Self {
+        Characterizer { config, preset, seed }
+    }
+
+    /// The configuration the paper's detailed statistics use: the Pascal
+    /// GP102 simulator config at bench scale, with a fixed suite seed.
+    pub fn bench_default() -> Self {
+        Characterizer::new(GpuConfig::gp102(), Preset::Bench, SEED)
+    }
+
+    /// The device configuration.
+    pub fn config(&self) -> &GpuConfig {
+        &self.config
+    }
+
+    /// The network preset.
+    pub fn preset(&self) -> Preset {
+        self.preset
+    }
+
+    /// The weight/input seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Returns a copy with a different GPU configuration.
+    pub fn with_config(&self, config: GpuConfig) -> Self {
+        Characterizer {
+            config,
+            preset: self.preset,
+            seed: self.seed,
+        }
+    }
+
+    /// Default simulation options for this driver.
+    pub fn default_options(&self) -> SimOptions {
+        SimOptions::new()
+    }
+
+    /// Builds and runs one network end to end on a fresh device.
+    ///
+    /// # Errors
+    ///
+    /// Propagates network-construction and input errors.
+    pub fn run_network(&self, kind: NetworkKind, opts: &SimOptions) -> Result<NetworkRun> {
+        let mut gpu = Gpu::new(self.config.clone());
+        let net = build_network(&mut gpu, kind, self.preset, self.seed)?;
+        let input = synthetic_input(net.input_spec(), self.seed ^ 0x1234_5678);
+        let report = net.infer(&mut gpu, &input, opts)?;
+        Ok(NetworkRun {
+            kind,
+            report,
+            footprint_bytes: gpu.memory_footprint_bytes(),
+        })
+    }
+
+    /// Runs every network in `kinds` and returns the results keyed by
+    /// network (ordering follows `NetworkKind::ALL`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first failure.
+    pub fn run_many(&self, kinds: &[NetworkKind], opts: &SimOptions) -> Result<BTreeMap<&'static str, NetworkRun>> {
+        let mut out = BTreeMap::new();
+        for &kind in kinds {
+            out.insert(kind.name(), self.run_network(kind, opts)?);
+        }
+        Ok(out)
+    }
+}
+
+/// Deterministic suite seed, stable across releases.
+const SEED: u64 = 0x7A16_0201_9151;
+
+impl Default for Characterizer {
+    fn default() -> Self {
+        Characterizer::bench_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_characterization_round_trip() {
+        let ch = Characterizer::new(GpuConfig::gp102(), Preset::Tiny, 3);
+        let run = ch.run_network(NetworkKind::Gru, &ch.default_options()).unwrap();
+        assert_eq!(run.kind, NetworkKind::Gru);
+        assert!(run.footprint_bytes > 0);
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let ch = Characterizer::new(GpuConfig::gp102(), Preset::Tiny, 4);
+        let a = ch.run_network(NetworkKind::CifarNet, &ch.default_options()).unwrap();
+        let b = ch.run_network(NetworkKind::CifarNet, &ch.default_options()).unwrap();
+        assert_eq!(a.report.output, b.report.output);
+        assert_eq!(a.report.total_cycles(), b.report.total_cycles());
+    }
+}

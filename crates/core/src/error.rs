@@ -1,0 +1,34 @@
+use std::error::Error;
+use std::fmt;
+use tango_nets::NetError;
+
+/// Error produced by the characterization API.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TangoError {
+    /// Building or running a network failed.
+    Net(NetError),
+}
+
+impl fmt::Display for TangoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TangoError::Net(e) => write!(f, "network error: {e}"),
+        }
+    }
+}
+
+impl Error for TangoError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            TangoError::Net(e) => Some(e),
+        }
+    }
+}
+
+#[doc(hidden)]
+impl From<NetError> for TangoError {
+    fn from(e: NetError) -> Self {
+        TangoError::Net(e)
+    }
+}

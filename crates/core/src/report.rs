@@ -1,0 +1,160 @@
+//! Tabular report types the figure/table producers return.
+//!
+//! Every experiment renders to a [`Matrix`]: named rows, named columns,
+//! one `f64` per cell, plus a unit that controls formatting. The bench
+//! binaries print these; EXPERIMENTS.md records them.
+
+use std::fmt;
+
+/// How cell values should be rendered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Unit {
+    /// Fractions rendered as percentages.
+    Percent,
+    /// Watts.
+    Watts,
+    /// Joules.
+    Joules,
+    /// Seconds.
+    Seconds,
+    /// Raw counts (cycles, misses, ...).
+    Count,
+    /// Kilobytes.
+    Kilobytes,
+    /// Dimensionless ratios (normalized execution time, miss ratios).
+    Ratio,
+}
+
+impl Unit {
+    fn format(self, v: f64) -> String {
+        match self {
+            Unit::Percent => format!("{:6.2}%", v * 100.0),
+            Unit::Watts => format!("{v:9.2} W"),
+            Unit::Joules => format!("{v:10.4} J"),
+            Unit::Seconds => format!("{v:11.6} s"),
+            Unit::Count => {
+                if v >= 1e6 {
+                    format!("{:10.3e}", v)
+                } else {
+                    format!("{v:10.0}")
+                }
+            }
+            Unit::Kilobytes => format!("{v:10.1} KB"),
+            Unit::Ratio => format!("{v:8.4}"),
+        }
+    }
+}
+
+/// A labelled numeric table — the normal form of every reproduced figure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    /// Title (usually the paper's figure caption).
+    pub title: String,
+    /// What the rows are ("Network", "Layer", ...).
+    pub row_label: String,
+    /// Column names (layer types, cache sizes, schedulers, ...).
+    pub columns: Vec<String>,
+    /// Row name plus one value per column.
+    pub rows: Vec<(String, Vec<f64>)>,
+    /// Cell unit.
+    pub unit: Unit,
+}
+
+impl Matrix {
+    /// Creates an empty matrix with the given shape metadata.
+    pub fn new(title: impl Into<String>, row_label: impl Into<String>, columns: Vec<String>, unit: Unit) -> Self {
+        Matrix {
+            title: title.into(),
+            row_label: row_label.into(),
+            columns,
+            rows: Vec::new(),
+            unit,
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value count does not match the column count.
+    pub fn push_row(&mut self, name: impl Into<String>, values: Vec<f64>) {
+        assert_eq!(
+            values.len(),
+            self.columns.len(),
+            "row has {} values for {} columns",
+            values.len(),
+            self.columns.len()
+        );
+        self.rows.push((name.into(), values));
+    }
+
+    /// Looks up a cell by row and column name.
+    pub fn get(&self, row: &str, column: &str) -> Option<f64> {
+        let ci = self.columns.iter().position(|c| c == column)?;
+        let (_, values) = self.rows.iter().find(|(r, _)| r == row)?;
+        values.get(ci).copied()
+    }
+
+    /// All values of a named row.
+    pub fn row(&self, row: &str) -> Option<&[f64]> {
+        self.rows.iter().find(|(r, _)| r == row).map(|(_, v)| v.as_slice())
+    }
+}
+
+impl fmt::Display for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "# {}", self.title)?;
+        let name_w = self
+            .rows
+            .iter()
+            .map(|(n, _)| n.len())
+            .chain([self.row_label.len()])
+            .max()
+            .unwrap_or(8)
+            .max(8);
+        write!(f, "{:name_w$}", self.row_label)?;
+        for c in &self.columns {
+            write!(f, "  {c:>12}")?;
+        }
+        writeln!(f)?;
+        for (name, values) in &self.rows {
+            write!(f, "{name:name_w$}")?;
+            for v in values {
+                write!(f, "  {:>12}", self.unit.format(*v))?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_and_lookup() {
+        let mut m = Matrix::new("Fig X", "Network", vec!["A".into(), "B".into()], Unit::Ratio);
+        m.push_row("CifarNet", vec![1.0, 0.5]);
+        assert_eq!(m.get("CifarNet", "B"), Some(0.5));
+        assert_eq!(m.get("CifarNet", "C"), None);
+        assert_eq!(m.row("CifarNet"), Some(&[1.0, 0.5][..]));
+    }
+
+    #[test]
+    fn display_contains_all_labels() {
+        let mut m = Matrix::new("Fig Y", "Layer", vec!["Conv".into()], Unit::Percent);
+        m.push_row("conv1", vec![0.93]);
+        let text = m.to_string();
+        assert!(text.contains("Fig Y"));
+        assert!(text.contains("conv1"));
+        assert!(text.contains("93.00%"));
+    }
+
+    #[test]
+    #[should_panic(expected = "values for")]
+    fn mismatched_row_panics() {
+        let mut m = Matrix::new("t", "r", vec!["a".into(), "b".into()], Unit::Count);
+        m.push_row("x", vec![1.0]);
+    }
+}

@@ -1,0 +1,216 @@
+//! Analytic model of the Xilinx PynQ-Z1 embedded FPGA (the paper's fourth
+//! platform, Table IV).
+//!
+//! The paper deployed HLS-synthesized OpenCL kernels of CifarNet and
+//! SqueezeNet on a PynQ-Z1 and compared board-level energy against the
+//! Jetson TX1 (Figure 6). This crate substitutes an analytic dataflow
+//! model built from the board's datasheet parameters: a fixed pool of
+//! DSP48 multiply-accumulators clocked at the fabric frequency, a DDR3
+//! channel for streaming weights, and BRAM-capacity-driven layer
+//! partitioning — the paper explicitly attributes the PynQ's longer run
+//! times to "slower code loading time and smaller on-chip memory", which
+//! is exactly the reconfiguration overhead modelled here.
+//!
+//! # Example
+//!
+//! ```
+//! use tango_fpga::PynqZ1;
+//! use tango_nets::{build_network, NetworkKind, Preset};
+//! use tango_sim::{Gpu, GpuConfig};
+//!
+//! # fn main() -> Result<(), tango_nets::NetError> {
+//! let mut gpu = Gpu::new(GpuConfig::tx1());
+//! let net = build_network(&mut gpu, NetworkKind::CifarNet, Preset::Bench, 1)?;
+//! let board = PynqZ1::new();
+//! let run = board.run_network(&net);
+//! assert!(run.time_s > 0.0);
+//! assert!(run.peak_power_w < 5.0, "embedded FPGA stays in single-digit watts");
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use tango_nets::{LayerType, Network};
+
+/// Static description of the PynQ-Z1 board (the paper's Table IV).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PynqConfig {
+    /// Programmable-logic clock in MHz (Vivado HLS default for Z7020
+    /// designs).
+    pub fabric_mhz: f64,
+    /// DSP48 slices usable as fp32 MAC units (a Z7020 has 220; fp32 MACs
+    /// consume several each).
+    pub mac_units: u32,
+    /// Block RAM capacity in bytes (Table IV: 630 KB).
+    pub bram_bytes: u64,
+    /// Effective DDR3 streaming bandwidth in bytes/second.
+    pub ddr_bytes_per_s: f64,
+    /// Overhead per layer partition: reprogramming the accelerator and
+    /// re-staging weights (the paper's "code loading time").
+    pub partition_overhead_s: f64,
+    /// Board power when the fabric is active, in watts.
+    pub active_power_w: f64,
+    /// Board power when idle (ARM cores + DDR refresh), in watts.
+    pub idle_power_w: f64,
+}
+
+impl PynqConfig {
+    /// Datasheet-derived defaults for the PynQ-Z1 (Zynq Z7020).
+    pub fn pynq_z1() -> Self {
+        PynqConfig {
+            fabric_mhz: 100.0,
+            mac_units: 36, // 220 DSP48 at ~5-6 per fp32 MAC, post place-and-route
+            bram_bytes: 630 * 1024,
+            ddr_bytes_per_s: 1.05e9,
+            partition_overhead_s: 0.8e-3,
+            active_power_w: 2.6,
+            idle_power_w: 1.7,
+        }
+    }
+}
+
+/// Outcome of running one network on the modelled board.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FpgaRunReport {
+    /// End-to-end inference time in seconds.
+    pub time_s: f64,
+    /// Peak board power in watts (what a Wattsup meter at the plug reads).
+    pub peak_power_w: f64,
+    /// Energy = peak power x time, computed the way the paper computes it
+    /// ("we calculated the energy consumption by multiplying the peak
+    /// power consumption with the total execution time").
+    pub energy_j: f64,
+    /// Total layer partitions executed (layers whose working set exceeds
+    /// BRAM are split and re-staged).
+    pub partitions: u64,
+}
+
+/// The PynQ-Z1 analytic platform model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PynqZ1 {
+    config: PynqConfig,
+}
+
+impl PynqZ1 {
+    /// A board with datasheet defaults.
+    pub fn new() -> Self {
+        PynqZ1 {
+            config: PynqConfig::pynq_z1(),
+        }
+    }
+
+    /// A board with custom parameters (for sensitivity studies).
+    pub fn with_config(config: PynqConfig) -> Self {
+        PynqZ1 { config }
+    }
+
+    /// The board parameters.
+    pub fn config(&self) -> &PynqConfig {
+        &self.config
+    }
+
+    /// Estimates one layer: compute-bound MAC time vs. DDR-bound weight
+    /// streaming time, plus per-partition reconfiguration overhead when
+    /// the layer working set exceeds BRAM.
+    pub fn layer_time_s(&self, macs: u64, weight_bytes: u64, output_elems: u64) -> (f64, u64) {
+        let c = &self.config;
+        let mac_rate = c.mac_units as f64 * c.fabric_mhz * 1e6;
+        let compute_s = macs as f64 / mac_rate;
+        let stream_s = weight_bytes as f64 / c.ddr_bytes_per_s;
+        // Working set: weights plus double-buffered output tile.
+        let working_set = weight_bytes + output_elems * 4 * 2;
+        let partitions = working_set.div_ceil(c.bram_bytes).max(1);
+        let time = compute_s.max(stream_s) + partitions as f64 * c.partition_overhead_s;
+        (time, partitions)
+    }
+
+    /// Runs a whole network description through the model.
+    ///
+    /// Softmax runs on the ARM cores in the paper's flow and is billed at
+    /// the same elementwise rate.
+    pub fn run_network(&self, net: &Network) -> FpgaRunReport {
+        let mut time_s = 0.0;
+        let mut partitions = 0;
+        for layer in net.layers() {
+            let w = layer.work();
+            // ReLU fuses into the producing layer's output stage on the
+            // fabric; it costs no extra pass.
+            if layer.layer_type() == LayerType::Relu {
+                continue;
+            }
+            let (t, p) = self.layer_time_s(w.macs, w.weight_bytes, w.output_elems);
+            time_s += t;
+            partitions += p;
+        }
+        FpgaRunReport {
+            time_s,
+            peak_power_w: self.config.active_power_w,
+            energy_j: self.config.active_power_w * time_s,
+            partitions,
+        }
+    }
+}
+
+impl Default for PynqZ1 {
+    fn default() -> Self {
+        PynqZ1::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tango_nets::{build_network, NetworkKind, Preset};
+    use tango_sim::{Gpu, GpuConfig};
+
+    #[test]
+    fn compute_bound_layer_scales_with_macs() {
+        let board = PynqZ1::new();
+        let (t1, _) = board.layer_time_s(1_000_000, 100, 100);
+        let (t2, _) = board.layer_time_s(2_000_000, 100, 100);
+        // The difference is pure compute time (same streaming and
+        // partition overhead), so it equals 1M MACs / MAC rate.
+        let per_mac = 1.0 / (board.config().mac_units as f64 * board.config().fabric_mhz * 1e6);
+        assert!(((t2 - t1) - 1_000_000.0 * per_mac).abs() < 1e-9);
+    }
+
+    #[test]
+    fn streaming_bound_layer_scales_with_weights() {
+        let board = PynqZ1::new();
+        // FC-like: few MACs per weight byte -> DDR bound.
+        let (t, _) = board.layer_time_s(1_000_000, 64 * 1024 * 1024, 1000);
+        let ddr_time = (64 * 1024 * 1024) as f64 / board.config().ddr_bytes_per_s;
+        assert!(t >= ddr_time);
+    }
+
+    #[test]
+    fn oversized_layers_partition() {
+        let board = PynqZ1::new();
+        let (_, p_small) = board.layer_time_s(1000, 10 * 1024, 100);
+        let (_, p_big) = board.layer_time_s(1000, 4 * 1024 * 1024, 100);
+        assert_eq!(p_small, 1);
+        assert!(p_big > 1, "4 MB of weights exceeds 630 KB BRAM");
+    }
+
+    #[test]
+    fn cifarnet_runs_in_single_digit_milliseconds_to_seconds() {
+        let mut gpu = Gpu::new(GpuConfig::tx1());
+        let net = build_network(&mut gpu, NetworkKind::CifarNet, Preset::Bench, 1).unwrap();
+        let run = PynqZ1::new().run_network(&net);
+        assert!(run.time_s > 0.0 && run.time_s < 10.0, "{}", run.time_s);
+        assert!((run.energy_j - run.peak_power_w * run.time_s).abs() < 1e-9);
+    }
+
+    #[test]
+    fn squeezenet_partitions_more_than_cifarnet() {
+        let mut gpu = Gpu::new(GpuConfig::tx1());
+        let cifar = build_network(&mut gpu, NetworkKind::CifarNet, Preset::Bench, 1).unwrap();
+        let squeeze = build_network(&mut gpu, NetworkKind::SqueezeNet, Preset::Bench, 1).unwrap();
+        let board = PynqZ1::new();
+        let a = board.run_network(&cifar);
+        let b = board.run_network(&squeeze);
+        assert!(b.partitions > a.partitions, "{} vs {}", b.partitions, a.partitions);
+    }
+}

@@ -1,0 +1,203 @@
+//! Static analyses over kernel programs.
+//!
+//! `max_live_registers` drives the paper's Figure 12 ("Max Live Registers"
+//! vs "Max Allocated Registers"): the allocated count is
+//! [`KernelProgram::register_count`], the live count is the peak number of
+//! simultaneously-live values found by classic backward dataflow.
+
+use crate::{KernelProgram, Opcode, Operand};
+use std::collections::BTreeMap;
+
+/// 256-bit register set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+struct RegSet([u64; 4]);
+
+impl RegSet {
+    fn insert(&mut self, r: u8) {
+        self.0[(r >> 6) as usize] |= 1 << (r & 63);
+    }
+
+    fn remove(&mut self, r: u8) {
+        self.0[(r >> 6) as usize] &= !(1 << (r & 63));
+    }
+
+    fn union_with(&mut self, other: &RegSet) -> bool {
+        let mut changed = false;
+        for i in 0..4 {
+            let merged = self.0[i] | other.0[i];
+            changed |= merged != self.0[i];
+            self.0[i] = merged;
+        }
+        changed
+    }
+
+    fn count(&self) -> u32 {
+        self.0.iter().map(|w| w.count_ones()).sum()
+    }
+}
+
+/// Computes the maximum number of simultaneously-live general-purpose
+/// registers at any program point.
+///
+/// Uses iterative backward liveness over the control-flow graph implied by
+/// `bra` targets. Guarded (predicated) branches are treated as
+/// may-fall-through, unconditional branches as must-jump.
+pub fn max_live_registers(program: &KernelProgram) -> u32 {
+    let insts = program.instructions();
+    let n = insts.len();
+    if n == 0 {
+        return 0;
+    }
+
+    // Successor sets are tiny (<= 2), compute on the fly.
+    let successors = |pc: usize| -> Vec<usize> {
+        let inst = &insts[pc];
+        match inst.op {
+            Opcode::Exit => vec![],
+            Opcode::Bra => {
+                let target = inst.target.unwrap_or(0) as usize;
+                if inst.guard.is_some() {
+                    let mut s = vec![target.min(n.saturating_sub(1))];
+                    if pc + 1 < n {
+                        s.push(pc + 1);
+                    }
+                    s
+                } else {
+                    vec![target.min(n.saturating_sub(1))]
+                }
+            }
+            _ => {
+                if pc + 1 < n {
+                    vec![pc + 1]
+                } else {
+                    vec![]
+                }
+            }
+        }
+    };
+
+    let mut live_in = vec![RegSet::default(); n];
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for pc in (0..n).rev() {
+            let mut out = RegSet::default();
+            for succ in successors(pc) {
+                out.union_with(&live_in[succ]);
+            }
+            // live_in = (out - def) + use
+            let inst = &insts[pc];
+            if let Some(d) = inst.dst {
+                // A guarded write may leave the old value live; be
+                // conservative only for unguarded writes.
+                if inst.guard.is_none() {
+                    out.remove(d.0);
+                }
+            }
+            for src in &inst.srcs {
+                if let Operand::Reg(r) = src {
+                    out.insert(r.0);
+                }
+            }
+            if live_in[pc] != out {
+                live_in[pc] = out;
+                changed = true;
+            }
+        }
+    }
+
+    live_in.iter().map(RegSet::count).max().unwrap_or(0)
+}
+
+/// Static opcode histogram of a program (convenience wrapper over
+/// [`KernelProgram::static_op_counts`] so callers can stay function-styled).
+pub fn static_op_histogram(program: &KernelProgram) -> BTreeMap<Opcode, u64> {
+    program.static_op_counts()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CmpOp, DType, KernelBuilder, Operand};
+
+    #[test]
+    fn straight_line_liveness() {
+        // r0 and r1 are simultaneously live at the add.
+        let mut b = KernelBuilder::new("l");
+        let r0 = b.reg();
+        let r1 = b.reg();
+        let r2 = b.reg();
+        b.mov(DType::U32, r0, Operand::imm_u32(1));
+        b.mov(DType::U32, r1, Operand::imm_u32(2));
+        b.add(DType::U32, r2, r0.into(), r1.into());
+        b.exit();
+        let p = b.build().unwrap();
+        assert_eq!(max_live_registers(&p), 2);
+        assert_eq!(p.register_count(), 3);
+    }
+
+    #[test]
+    fn loop_carried_values_stay_live() {
+        let mut b = KernelBuilder::new("loop");
+        let i = b.reg();
+        let acc = b.reg();
+        let bound = b.reg();
+        let p = b.pred();
+        b.mov(DType::U32, i, Operand::imm_u32(0));
+        b.mov(DType::U32, acc, Operand::imm_u32(0));
+        b.mov(DType::U32, bound, Operand::imm_u32(10));
+        let top = b.place_new_label();
+        b.add(DType::U32, acc, acc.into(), i.into());
+        b.add(DType::U32, i, i.into(), Operand::imm_u32(1));
+        b.set(CmpOp::Lt, DType::U32, p, i.into(), bound.into());
+        b.bra_if(p, true, top);
+        b.exit();
+        let prog = b.build().unwrap();
+        // i, acc, bound all live across the back edge.
+        assert_eq!(max_live_registers(&prog), 3);
+    }
+
+    #[test]
+    fn dead_values_do_not_count() {
+        let mut b = KernelBuilder::new("dead");
+        let r0 = b.reg();
+        let r1 = b.reg();
+        b.mov(DType::U32, r0, Operand::imm_u32(1));
+        b.mov(DType::U32, r1, Operand::imm_u32(2)); // r0 now dead
+        b.add(DType::U32, r1, r1.into(), Operand::imm_u32(3));
+        b.exit();
+        let p = b.build().unwrap();
+        assert_eq!(max_live_registers(&p), 1);
+    }
+
+    #[test]
+    fn live_never_exceeds_allocated() {
+        let mut b = KernelBuilder::new("cmp");
+        let regs: Vec<_> = (0..8).map(|_| b.reg()).collect();
+        for (k, r) in regs.iter().enumerate() {
+            b.mov(DType::U32, *r, Operand::imm_u32(k as u32));
+        }
+        let sum = b.reg();
+        b.mov(DType::U32, sum, Operand::imm_u32(0));
+        for r in &regs {
+            b.add(DType::U32, sum, sum.into(), (*r).into());
+        }
+        b.exit();
+        let p = b.build().unwrap();
+        assert!(max_live_registers(&p) <= p.register_count());
+        // All 8 inputs plus the accumulator are live entering the first add.
+        assert_eq!(max_live_registers(&p), 9);
+    }
+
+    #[test]
+    fn histogram_counts_static_ops() {
+        let mut b = KernelBuilder::new("h");
+        b.nop();
+        b.nop();
+        b.exit();
+        let p = b.build().unwrap();
+        let h = static_op_histogram(&p);
+        assert_eq!(h[&Opcode::Nop], 2);
+        assert_eq!(h[&Opcode::Exit], 1);
+    }
+}

@@ -1,0 +1,520 @@
+use crate::{
+    AddrSpace, CmpOp, DType, Instruction, IsaError, KernelProgram, Opcode, Operand, PredReg, Reg,
+    Result, Special,
+};
+
+/// A forward-declarable jump target.
+///
+/// Obtain one with [`KernelBuilder::label`], bind it with
+/// [`KernelBuilder::place`], and reference it from branches and `ssy`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Label(usize);
+
+/// Incrementally builds a [`KernelProgram`].
+///
+/// Layer generators in `tango-kernels` use this the way a compiler backend
+/// would: allocate registers, emit PTX-like instructions, place labels for
+/// loops, and call [`build`](Self::build) to validate and seal the program.
+///
+/// # Example
+///
+/// ```
+/// use tango_isa::{CmpOp, DType, KernelBuilder, Operand};
+///
+/// // for (i = 0; i < 8; i++) acc += i;
+/// let mut b = KernelBuilder::new("loop8");
+/// let i = b.reg();
+/// let acc = b.reg();
+/// let p = b.pred();
+/// b.mov(DType::U32, i, Operand::imm_u32(0));
+/// b.mov(DType::U32, acc, Operand::imm_u32(0));
+/// let top = b.place_new_label();
+/// b.add(DType::U32, acc, acc.into(), i.into());
+/// b.add(DType::U32, i, i.into(), Operand::imm_u32(1));
+/// b.set(CmpOp::Lt, DType::U32, p, i.into(), Operand::imm_u32(8));
+/// b.bra_if(p, true, top);
+/// b.exit();
+/// let program = b.build().expect("valid");
+/// assert!(program.instructions().len() >= 7);
+/// ```
+#[derive(Debug)]
+pub struct KernelBuilder {
+    name: String,
+    instructions: Vec<Instruction>,
+    labels: Vec<Option<u32>>,
+    fixups: Vec<(usize, Label)>,
+    next_reg: u16,
+    next_pred: u16,
+    param_count: u32,
+    smem_bytes: u32,
+}
+
+impl KernelBuilder {
+    /// Starts a new kernel with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        KernelBuilder {
+            name: name.into(),
+            instructions: Vec::new(),
+            labels: Vec::new(),
+            fixups: Vec::new(),
+            next_reg: 0,
+            next_pred: 0,
+            param_count: 0,
+            smem_bytes: 0,
+        }
+    }
+
+    /// Allocates a fresh general-purpose register.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than 255 registers are requested; generated layer
+    /// kernels use well under 40 (Table III tops out at 31).
+    pub fn reg(&mut self) -> Reg {
+        assert!(self.next_reg < 255, "register overflow in kernel {}", self.name);
+        let r = Reg(self.next_reg as u8);
+        self.next_reg += 1;
+        r
+    }
+
+    /// Allocates a fresh predicate register.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than 255 predicates are requested.
+    pub fn pred(&mut self) -> PredReg {
+        assert!(self.next_pred < 255, "predicate overflow in kernel {}", self.name);
+        let p = PredReg(self.next_pred as u8);
+        self.next_pred += 1;
+        p
+    }
+
+    /// Declares the kernel's shared-memory usage in bytes (Table III's
+    /// `smem` column).
+    pub fn set_smem_bytes(&mut self, bytes: u32) -> &mut Self {
+        self.smem_bytes = bytes;
+        self
+    }
+
+    /// Creates an unplaced label for forward branches.
+    pub fn label(&mut self) -> Label {
+        self.labels.push(None);
+        Label(self.labels.len() - 1)
+    }
+
+    /// Binds `label` to the current position.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the label was already placed.
+    pub fn place(&mut self, label: Label) {
+        assert!(self.labels[label.0].is_none(), "label placed twice");
+        self.labels[label.0] = Some(self.instructions.len() as u32);
+    }
+
+    /// Creates a label bound to the current position (loop heads).
+    pub fn place_new_label(&mut self) -> Label {
+        let l = self.label();
+        self.place(l);
+        l
+    }
+
+    fn push(&mut self, inst: Instruction) -> usize {
+        self.instructions.push(inst);
+        self.instructions.len() - 1
+    }
+
+    /// Appends a hand-assembled instruction (escape hatch for forms the
+    /// typed emitters do not cover, e.g. `set` writing a general register).
+    /// The instruction is still validated by [`build`](Self::build).
+    pub fn push_raw(&mut self, inst: Instruction) -> usize {
+        self.push(inst)
+    }
+
+    /// Applies a guard predicate to the most recently emitted instruction
+    /// (PTX `@p` / `@!p`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no instruction has been emitted yet.
+    pub fn guard_last(&mut self, pred: PredReg, sense: bool) -> &mut Self {
+        let last = self
+            .instructions
+            .last_mut()
+            .expect("guard_last requires a prior instruction");
+        last.guard = Some((pred, sense));
+        self
+    }
+
+    // ---- ALU ops ------------------------------------------------------
+
+    fn binop(&mut self, op: Opcode, dtype: DType, dst: Reg, a: Operand, b: Operand) -> usize {
+        let mut i = Instruction::new(op, dtype);
+        i.dst = Some(dst);
+        i.srcs = vec![a, b];
+        self.push(i)
+    }
+
+    fn unop(&mut self, op: Opcode, dtype: DType, dst: Reg, a: Operand) -> usize {
+        let mut i = Instruction::new(op, dtype);
+        i.dst = Some(dst);
+        i.srcs = vec![a];
+        self.push(i)
+    }
+
+    /// `dst = src` (also reads special registers).
+    pub fn mov(&mut self, dtype: DType, dst: Reg, src: Operand) -> usize {
+        self.unop(Opcode::Mov, dtype, dst, src)
+    }
+
+    /// `dst = a + b`.
+    pub fn add(&mut self, dtype: DType, dst: Reg, a: Operand, b: Operand) -> usize {
+        self.binop(Opcode::Add, dtype, dst, a, b)
+    }
+
+    /// `dst = a - b`.
+    pub fn sub(&mut self, dtype: DType, dst: Reg, a: Operand, b: Operand) -> usize {
+        self.binop(Opcode::Sub, dtype, dst, a, b)
+    }
+
+    /// `dst = a * b`.
+    pub fn mul(&mut self, dtype: DType, dst: Reg, a: Operand, b: Operand) -> usize {
+        self.binop(Opcode::Mul, dtype, dst, a, b)
+    }
+
+    /// `dst = a * b + c` (fused multiply-add; the paper's hottest op).
+    pub fn mad(&mut self, dtype: DType, dst: Reg, a: Operand, b: Operand, c: Operand) -> usize {
+        let mut i = Instruction::new(Opcode::Mad, dtype);
+        i.dst = Some(dst);
+        i.srcs = vec![a, b, c];
+        self.push(i)
+    }
+
+    /// Integer `dst = a * b + c` using 24-bit multipliers (PTX `mad24`;
+    /// used for address arithmetic).
+    pub fn mad_lo(&mut self, dtype: DType, dst: Reg, a: Reg, b: Operand, c: Operand) -> usize {
+        let mut i = Instruction::new(Opcode::Mad24, dtype);
+        i.dst = Some(dst);
+        i.srcs = vec![a.into(), b, c];
+        self.push(i)
+    }
+
+    /// `dst = min(a, b)`.
+    pub fn min(&mut self, dtype: DType, dst: Reg, a: Operand, b: Operand) -> usize {
+        self.binop(Opcode::Min, dtype, dst, a, b)
+    }
+
+    /// `dst = max(a, b)` (ReLU is `max(x, 0.0)`).
+    pub fn max(&mut self, dtype: DType, dst: Reg, a: Operand, b: Operand) -> usize {
+        self.binop(Opcode::Max, dtype, dst, a, b)
+    }
+
+    /// `dst = |a|`.
+    pub fn abs(&mut self, dtype: DType, dst: Reg, a: Operand) -> usize {
+        self.unop(Opcode::Abs, dtype, dst, a)
+    }
+
+    /// `dst = a & b`.
+    pub fn and(&mut self, dtype: DType, dst: Reg, a: Operand, b: Operand) -> usize {
+        self.binop(Opcode::And, dtype, dst, a, b)
+    }
+
+    /// `dst = a | b`.
+    pub fn or(&mut self, dtype: DType, dst: Reg, a: Operand, b: Operand) -> usize {
+        self.binop(Opcode::Or, dtype, dst, a, b)
+    }
+
+    /// `dst = a ^ b`.
+    pub fn xor(&mut self, dtype: DType, dst: Reg, a: Operand, b: Operand) -> usize {
+        self.binop(Opcode::Xor, dtype, dst, a, b)
+    }
+
+    /// `dst = a << b`.
+    pub fn shl(&mut self, dtype: DType, dst: Reg, a: Operand, b: Operand) -> usize {
+        self.binop(Opcode::Shl, dtype, dst, a, b)
+    }
+
+    /// `dst = a >> b` (logical for unsigned types, arithmetic for signed).
+    pub fn shr(&mut self, dtype: DType, dst: Reg, a: Operand, b: Operand) -> usize {
+        self.binop(Opcode::Shr, dtype, dst, a, b)
+    }
+
+    /// `dst = 1 / a` (SFU).
+    pub fn rcp(&mut self, dst: Reg, a: Operand) -> usize {
+        self.unop(Opcode::Rcp, DType::F32, dst, a)
+    }
+
+    /// `dst = 1 / sqrt(a)` (SFU; batch normalization).
+    pub fn rsqrt(&mut self, dst: Reg, a: Operand) -> usize {
+        self.unop(Opcode::Rsqrt, DType::F32, dst, a)
+    }
+
+    /// `dst = 2^a` (SFU; exponentials for sigmoid/tanh/softmax).
+    pub fn ex2(&mut self, dst: Reg, a: Operand) -> usize {
+        self.unop(Opcode::Ex2, DType::F32, dst, a)
+    }
+
+    /// Type conversion `dst:dtype = src:src_dtype`.
+    pub fn cvt(&mut self, dtype: DType, src_dtype: DType, dst: Reg, src: Operand) -> usize {
+        let mut i = Instruction::new(Opcode::Cvt, dtype);
+        i.dst = Some(dst);
+        i.src_dtype = Some(src_dtype);
+        i.srcs = vec![src];
+        self.push(i)
+    }
+
+    /// Predicate compare: `pdst = a <cmp> b`.
+    pub fn set(&mut self, cmp: CmpOp, dtype: DType, pdst: PredReg, a: Operand, b: Operand) -> usize {
+        let mut i = Instruction::new(Opcode::Set, dtype);
+        i.pdst = Some(pdst);
+        i.cmp = Some(cmp);
+        i.srcs = vec![a, b];
+        self.push(i)
+    }
+
+    // ---- Memory -------------------------------------------------------
+
+    /// Load from `space` at `[addr + offset]`.
+    pub fn ld(&mut self, space: AddrSpace, dtype: DType, dst: Reg, addr: Reg, offset: i32) -> usize {
+        let mut i = Instruction::new(Opcode::Ld, dtype);
+        i.dst = Some(dst);
+        i.space = Some(space);
+        i.srcs = vec![addr.into()];
+        i.offset = offset;
+        self.push(i)
+    }
+
+    /// Load from global memory at `[addr + offset]`.
+    pub fn ld_global(&mut self, dtype: DType, dst: Reg, addr: Reg, offset: i32) -> usize {
+        self.ld(AddrSpace::Global, dtype, dst, addr, offset)
+    }
+
+    /// Load from shared memory at `[addr + offset]`.
+    pub fn ld_shared(&mut self, dtype: DType, dst: Reg, addr: Reg, offset: i32) -> usize {
+        self.ld(AddrSpace::Shared, dtype, dst, addr, offset)
+    }
+
+    /// Store `value` to `space` at `[addr + offset]`.
+    pub fn st(&mut self, space: AddrSpace, dtype: DType, addr: Reg, offset: i32, value: Operand) -> usize {
+        let mut i = Instruction::new(Opcode::St, dtype);
+        i.space = Some(space);
+        i.srcs = vec![addr.into(), value];
+        i.offset = offset;
+        self.push(i)
+    }
+
+    /// Store to global memory.
+    pub fn st_global(&mut self, dtype: DType, addr: Reg, offset: i32, value: Reg) -> usize {
+        self.st(AddrSpace::Global, dtype, addr, offset, value.into())
+    }
+
+    /// Store to shared memory.
+    pub fn st_shared(&mut self, dtype: DType, addr: Reg, offset: i32, value: Reg) -> usize {
+        self.st(AddrSpace::Shared, dtype, addr, offset, value.into())
+    }
+
+    /// Loads kernel parameter `index` (a 32-bit word in constant memory)
+    /// into a fresh register and returns it. Tracks the kernel's
+    /// constant-memory footprint.
+    pub fn load_param(&mut self, index: u32) -> Reg {
+        self.param_count = self.param_count.max(index + 1);
+        let dst = self.reg();
+        let mut i = Instruction::new(Opcode::Ld, DType::U32);
+        i.dst = Some(dst);
+        i.space = Some(AddrSpace::Const);
+        i.srcs = vec![Operand::imm_u32(index * 4)];
+        self.push(i);
+        dst
+    }
+
+    // ---- Control flow --------------------------------------------------
+
+    /// Unconditional branch to `label`.
+    pub fn bra(&mut self, label: Label) -> usize {
+        let mut i = Instruction::new(Opcode::Bra, DType::U32);
+        i.target = Some(u32::MAX); // patched by build()
+        let pc = self.push(i);
+        self.fixups.push((pc, label));
+        pc
+    }
+
+    /// Branch to `label` when predicate `pred` equals `sense`.
+    pub fn bra_if(&mut self, pred: PredReg, sense: bool, label: Label) -> usize {
+        let pc = self.bra(label);
+        self.instructions[pc].guard = Some((pred, sense));
+        pc
+    }
+
+    /// Pushes the reconvergence point for a potentially-divergent region
+    /// (PTX `ssy`). Divergent `bra` instructions between here and `label`
+    /// reconverge at `label`.
+    pub fn ssy(&mut self, label: Label) -> usize {
+        let mut i = Instruction::new(Opcode::Ssy, DType::U32);
+        i.target = Some(u32::MAX);
+        let pc = self.push(i);
+        self.fixups.push((pc, label));
+        pc
+    }
+
+    /// Block-wide barrier (`bar.sync`).
+    pub fn bar(&mut self) -> usize {
+        self.push(Instruction::new(Opcode::Bar, DType::U32))
+    }
+
+    /// No-op (compilers emit these for alignment; they appear in the
+    /// paper's op histogram).
+    pub fn nop(&mut self) -> usize {
+        self.push(Instruction::new(Opcode::Nop, DType::U32))
+    }
+
+    /// Thread exit.
+    pub fn exit(&mut self) -> usize {
+        self.push(Instruction::new(Opcode::Exit, DType::U32))
+    }
+
+    // ---- Convenience --------------------------------------------------
+
+    /// `dst = threadIdx.x`.
+    pub fn tid_x(&mut self, dst: Reg) -> usize {
+        self.mov(DType::U32, dst, Special::TidX.into())
+    }
+
+    /// `dst = threadIdx.y`.
+    pub fn tid_y(&mut self, dst: Reg) -> usize {
+        self.mov(DType::U32, dst, Special::TidY.into())
+    }
+
+    /// `dst = blockIdx.x`.
+    pub fn ctaid_x(&mut self, dst: Reg) -> usize {
+        self.mov(DType::U32, dst, Special::CtaIdX.into())
+    }
+
+    /// `dst = blockIdx.y`.
+    pub fn ctaid_y(&mut self, dst: Reg) -> usize {
+        self.mov(DType::U32, dst, Special::CtaIdY.into())
+    }
+
+    /// `dst = blockIdx.z`.
+    pub fn ctaid_z(&mut self, dst: Reg) -> usize {
+        self.mov(DType::U32, dst, Special::CtaIdZ.into())
+    }
+
+    /// Emits the flat global thread id
+    /// `blockIdx.x * blockDim.x + threadIdx.x` into a fresh register.
+    pub fn global_tid_x(&mut self) -> Reg {
+        let bid = self.reg();
+        let dst = self.reg();
+        self.ctaid_x(bid);
+        self.mad_lo(DType::U32, dst, bid, Special::NTidX.into(), Special::TidX.into());
+        dst
+    }
+
+    /// Number of instructions emitted so far.
+    pub fn len(&self) -> usize {
+        self.instructions.len()
+    }
+
+    /// Whether no instructions have been emitted.
+    pub fn is_empty(&self) -> bool {
+        self.instructions.is_empty()
+    }
+
+    /// Validates and seals the program.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IsaError`] if a referenced label was never placed or any
+    /// instruction is malformed (see [`KernelProgram::validate`]).
+    pub fn build(mut self) -> Result<KernelProgram> {
+        for (pc, label) in std::mem::take(&mut self.fixups) {
+            match self.labels[label.0] {
+                Some(target) => self.instructions[pc].target = Some(target),
+                None => return Err(IsaError::UnboundLabel { pc }),
+            }
+        }
+        KernelProgram::from_parts(self.name, self.instructions, self.param_count, self.smem_bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_labels_resolve() {
+        let mut b = KernelBuilder::new("fwd");
+        let skip = b.label();
+        let p = b.pred();
+        let r = b.reg();
+        b.set(CmpOp::Eq, DType::U32, p, Operand::imm_u32(1), Operand::imm_u32(1));
+        b.bra_if(p, true, skip);
+        b.mov(DType::U32, r, Operand::imm_u32(99));
+        b.place(skip);
+        b.exit();
+        let prog = b.build().unwrap();
+        let bra = &prog.instructions()[1];
+        assert_eq!(bra.target, Some(3));
+    }
+
+    #[test]
+    fn unplaced_label_is_an_error() {
+        let mut b = KernelBuilder::new("bad");
+        let l = b.label();
+        b.bra(l);
+        b.exit();
+        assert!(matches!(b.build(), Err(IsaError::UnboundLabel { .. })));
+    }
+
+    #[test]
+    fn guard_last_attaches_predicate() {
+        let mut b = KernelBuilder::new("g");
+        let p = b.pred();
+        let r = b.reg();
+        b.mov(DType::U32, r, Operand::imm_u32(1));
+        b.guard_last(p, false);
+        b.exit();
+        let prog = b.build().unwrap();
+        assert_eq!(prog.instructions()[0].guard, Some((PredReg(0), false)));
+    }
+
+    #[test]
+    fn smem_and_params_recorded() {
+        let mut b = KernelBuilder::new("meta");
+        b.set_smem_bytes(60);
+        let _ = b.load_param(2);
+        b.exit();
+        let prog = b.build().unwrap();
+        assert_eq!(prog.smem_bytes(), 60);
+        assert_eq!(prog.param_count(), 3);
+    }
+
+    #[test]
+    fn global_tid_uses_mad() {
+        let mut b = KernelBuilder::new("gtid");
+        let t = b.global_tid_x();
+        b.exit();
+        let prog = b.build().unwrap();
+        assert!(prog
+            .instructions()
+            .iter()
+            .any(|i| i.op == Opcode::Mad24 && i.dst == Some(t)));
+    }
+
+    #[test]
+    #[should_panic(expected = "label placed twice")]
+    fn double_place_panics() {
+        let mut b = KernelBuilder::new("dup");
+        let l = b.label();
+        b.place(l);
+        b.place(l);
+    }
+
+    #[test]
+    fn builder_len_tracks_instructions() {
+        let mut b = KernelBuilder::new("len");
+        assert!(b.is_empty());
+        b.nop();
+        b.exit();
+        assert_eq!(b.len(), 2);
+    }
+}

@@ -1,0 +1,93 @@
+use std::fmt;
+
+/// Data types carried by instructions.
+///
+/// The set matches the categories of the paper's Figure 10 ("Instruction
+/// Type Breakdown"): 32-bit float, signed/unsigned 32-bit integers, and
+/// 16-bit integers used for narrow index arithmetic. `Pred` marks
+/// predicate-producing instructions (`set`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum DType {
+    /// 32-bit IEEE-754 float (`f32` in PTX).
+    F32,
+    /// Signed 32-bit integer (`s32`).
+    S32,
+    /// Unsigned 32-bit integer (`u32`).
+    U32,
+    /// Unsigned 16-bit integer (`u16`).
+    U16,
+    /// Signed 16-bit integer (`s16`).
+    S16,
+    /// One-bit predicate (comparison results).
+    Pred,
+}
+
+impl DType {
+    /// All value-carrying data types, in the order the paper's Figure 10
+    /// stacks them.
+    pub const ALL: [DType; 5] = [DType::F32, DType::U32, DType::U16, DType::S32, DType::S16];
+
+    /// Whether this is a floating-point type.
+    pub fn is_float(self) -> bool {
+        self == DType::F32
+    }
+
+    /// Whether this is an integer type (signed or unsigned, any width).
+    pub fn is_int(self) -> bool {
+        matches!(self, DType::S32 | DType::U32 | DType::U16 | DType::S16)
+    }
+
+    /// Access width in bytes for loads/stores of this type.
+    pub fn byte_width(self) -> u32 {
+        match self {
+            DType::F32 | DType::S32 | DType::U32 => 4,
+            DType::U16 | DType::S16 => 2,
+            DType::Pred => 1,
+        }
+    }
+
+    /// The PTX-style suffix used by the disassembler (`f32`, `u16`, ...).
+    pub fn suffix(self) -> &'static str {
+        match self {
+            DType::F32 => "f32",
+            DType::S32 => "s32",
+            DType::U32 => "u32",
+            DType::U16 => "u16",
+            DType::S16 => "s16",
+            DType::Pred => "pred",
+        }
+    }
+}
+
+impl fmt::Display for DType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.suffix())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn float_and_int_partition() {
+        assert!(DType::F32.is_float());
+        assert!(!DType::F32.is_int());
+        for t in [DType::S32, DType::U32, DType::U16, DType::S16] {
+            assert!(t.is_int());
+            assert!(!t.is_float());
+        }
+    }
+
+    #[test]
+    fn widths() {
+        assert_eq!(DType::F32.byte_width(), 4);
+        assert_eq!(DType::U16.byte_width(), 2);
+    }
+
+    #[test]
+    fn suffixes_match_ptx() {
+        assert_eq!(DType::F32.to_string(), "f32");
+        assert_eq!(DType::S16.to_string(), "s16");
+    }
+}

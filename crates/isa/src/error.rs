@@ -1,0 +1,62 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error produced when building or validating a kernel program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum IsaError {
+    /// A branch or `ssy` referenced a label that was never placed.
+    UnboundLabel {
+        /// Index of the offending instruction.
+        pc: usize,
+    },
+    /// An instruction is malformed (wrong operand count, missing comparison
+    /// on `set`, missing space on a memory op, ...).
+    MalformedInstruction {
+        /// Index of the offending instruction.
+        pc: usize,
+        /// What is wrong with it.
+        message: String,
+    },
+    /// The program ran out of register names (the per-thread file holds 255).
+    RegisterOverflow,
+    /// The program is empty or does not end every path with `exit`.
+    NoExit,
+}
+
+impl fmt::Display for IsaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IsaError::UnboundLabel { pc } => {
+                write!(f, "instruction {pc} references a label that was never placed")
+            }
+            IsaError::MalformedInstruction { pc, message } => {
+                write!(f, "malformed instruction at {pc}: {message}")
+            }
+            IsaError::RegisterOverflow => write!(f, "kernel uses more than 255 registers"),
+            IsaError::NoExit => write!(f, "program must contain at least one exit instruction"),
+        }
+    }
+}
+
+impl Error for IsaError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_descriptive() {
+        let e = IsaError::MalformedInstruction {
+            pc: 3,
+            message: "set requires a comparison".into(),
+        };
+        assert!(e.to_string().contains("instruction at 3"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<IsaError>();
+    }
+}

@@ -1,0 +1,69 @@
+//! A PTX-like virtual instruction set for the Tango benchmark suite.
+//!
+//! The paper's kernels are hand-written CUDA C; when compiled they become
+//! PTX/SASS instruction streams, and every architectural statistic in the
+//! paper (operation mix, data-type mix, stall reasons, register pressure) is
+//! a property of those streams. This crate defines the reproduction's
+//! equivalent: a compact virtual ISA whose opcode vocabulary matches the
+//! paper's Figure 8 legend (`add`, `mad`, `shl`, `mul`, `set`, `mov`, `ld`,
+//! `ssy`, `nop`, `bra`, ...), a [`KernelBuilder`] that layer generators use
+//! to emit programs, and static analyses (register counts, liveness) that
+//! feed the Table III and Figure 12 experiments.
+//!
+//! Programs built here are executed functionally *and* timed by the
+//! `tango-sim` SIMT simulator.
+//!
+//! # Example
+//!
+//! ```
+//! use tango_isa::{DType, KernelBuilder, Operand};
+//!
+//! // A kernel computing out[tid] = a[tid] + b[tid] for one block.
+//! let mut b = KernelBuilder::new("vec_add");
+//! let tid = b.reg();
+//! let addr_a = b.reg();
+//! let addr_b = b.reg();
+//! let addr_o = b.reg();
+//! let va = b.reg();
+//! let vb = b.reg();
+//! b.tid_x(tid);
+//! let base_a = b.load_param(0); // parameter 0: base address of a
+//! let base_b = b.load_param(1);
+//! let base_o = b.load_param(2);
+//! b.mad_lo(DType::U32, addr_a, tid, Operand::imm_u32(4), base_a.into());
+//! b.mad_lo(DType::U32, addr_b, tid, Operand::imm_u32(4), base_b.into());
+//! b.mad_lo(DType::U32, addr_o, tid, Operand::imm_u32(4), base_o.into());
+//! b.ld_global(DType::F32, va, addr_a, 0);
+//! b.ld_global(DType::F32, vb, addr_b, 0);
+//! b.add(DType::F32, va, va.into(), vb.into());
+//! b.st_global(DType::F32, addr_o, 0, va);
+//! b.exit();
+//! let kernel = b.build().expect("valid program");
+//! assert!(kernel.register_count() >= 6);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod analysis;
+mod asm;
+mod builder;
+mod dtype;
+mod error;
+mod instruction;
+mod opcode;
+mod operand;
+mod program;
+
+pub use analysis::{max_live_registers, static_op_histogram};
+pub use asm::parse_program;
+pub use builder::{KernelBuilder, Label};
+pub use dtype::DType;
+pub use error::IsaError;
+pub use instruction::{CmpOp, Instruction};
+pub use opcode::{FuncUnit, Opcode};
+pub use operand::{AddrSpace, Operand, PredReg, Reg, Special};
+pub use program::{Dim3, KernelProgram};
+
+/// Convenience result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, IsaError>;

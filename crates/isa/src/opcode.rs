@@ -1,0 +1,182 @@
+use std::fmt;
+
+/// Instruction opcodes.
+///
+/// The vocabulary is exactly the paper's Figure 8 legend (the operations the
+/// authors observed across all seven networks), which is itself a subset of
+/// PTX. Keeping the names identical lets the Figure 8/9 reproduction print
+/// the same categories the paper plots.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[allow(missing_docs)] // The variants are PTX mnemonics; see the table below.
+pub enum Opcode {
+    Abs,
+    Add,
+    And,
+    Bar,
+    Bra,
+    Callp,
+    Cvt,
+    Ex2,
+    Exit,
+    Ld,
+    Mad,
+    Mad24,
+    Max,
+    Min,
+    Mov,
+    Mul,
+    Nop,
+    Or,
+    Rcp,
+    Retp,
+    Rsqrt,
+    Set,
+    Shl,
+    Shr,
+    Ssy,
+    St,
+    Sub,
+    Xor,
+}
+
+/// The functional unit an opcode issues to, for timing and power accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FuncUnit {
+    /// Simple ALU pipeline (integer and FP add/mul/mad and friends).
+    Sp,
+    /// Special-function unit (reciprocal, rsqrt, exp2).
+    Sfu,
+    /// Load/store unit.
+    LdSt,
+    /// Control (branches, barriers, exit, nop) — handled at issue.
+    Ctrl,
+}
+
+impl Opcode {
+    /// Every opcode, in the alphabetical order the paper's Figure 8 legend
+    /// uses.
+    pub const ALL: [Opcode; 28] = [
+        Opcode::Abs,
+        Opcode::Add,
+        Opcode::And,
+        Opcode::Bar,
+        Opcode::Bra,
+        Opcode::Callp,
+        Opcode::Cvt,
+        Opcode::Ex2,
+        Opcode::Exit,
+        Opcode::Ld,
+        Opcode::Mad,
+        Opcode::Mad24,
+        Opcode::Max,
+        Opcode::Min,
+        Opcode::Mov,
+        Opcode::Mul,
+        Opcode::Nop,
+        Opcode::Or,
+        Opcode::Rcp,
+        Opcode::Retp,
+        Opcode::Rsqrt,
+        Opcode::Set,
+        Opcode::Shl,
+        Opcode::Shr,
+        Opcode::Ssy,
+        Opcode::St,
+        Opcode::Sub,
+        Opcode::Xor,
+    ];
+
+    /// The PTX-style mnemonic.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            Opcode::Abs => "abs",
+            Opcode::Add => "add",
+            Opcode::And => "and",
+            Opcode::Bar => "bar",
+            Opcode::Bra => "bra",
+            Opcode::Callp => "callp",
+            Opcode::Cvt => "cvt",
+            Opcode::Ex2 => "ex2",
+            Opcode::Exit => "exit",
+            Opcode::Ld => "ld",
+            Opcode::Mad => "mad",
+            Opcode::Mad24 => "mad24",
+            Opcode::Max => "max",
+            Opcode::Min => "min",
+            Opcode::Mov => "mov",
+            Opcode::Mul => "mul",
+            Opcode::Nop => "nop",
+            Opcode::Or => "or",
+            Opcode::Rcp => "rcp",
+            Opcode::Retp => "retp",
+            Opcode::Rsqrt => "rsqrt",
+            Opcode::Set => "set",
+            Opcode::Shl => "shl",
+            Opcode::Shr => "shr",
+            Opcode::Ssy => "ssy",
+            Opcode::St => "st",
+            Opcode::Sub => "sub",
+            Opcode::Xor => "xor",
+        }
+    }
+
+    /// Which functional unit executes this opcode.
+    pub fn func_unit(self) -> FuncUnit {
+        match self {
+            Opcode::Ld | Opcode::St => FuncUnit::LdSt,
+            Opcode::Rcp | Opcode::Rsqrt | Opcode::Ex2 => FuncUnit::Sfu,
+            Opcode::Bra
+            | Opcode::Ssy
+            | Opcode::Bar
+            | Opcode::Exit
+            | Opcode::Nop
+            | Opcode::Callp
+            | Opcode::Retp => FuncUnit::Ctrl,
+            _ => FuncUnit::Sp,
+        }
+    }
+
+    /// Whether this opcode touches memory.
+    pub fn is_memory(self) -> bool {
+        matches!(self, Opcode::Ld | Opcode::St)
+    }
+
+    /// Whether this opcode can change control flow.
+    pub fn is_control(self) -> bool {
+        matches!(self, Opcode::Bra | Opcode::Exit | Opcode::Retp)
+    }
+}
+
+impl fmt::Display for Opcode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_is_complete_and_sorted() {
+        assert_eq!(Opcode::ALL.len(), 28);
+        let mut sorted = Opcode::ALL.to_vec();
+        sorted.sort_by_key(|o| o.mnemonic());
+        assert_eq!(sorted, Opcode::ALL.to_vec(), "ALL should be alphabetical");
+    }
+
+    #[test]
+    fn func_units() {
+        assert_eq!(Opcode::Ld.func_unit(), FuncUnit::LdSt);
+        assert_eq!(Opcode::Rsqrt.func_unit(), FuncUnit::Sfu);
+        assert_eq!(Opcode::Bra.func_unit(), FuncUnit::Ctrl);
+        assert_eq!(Opcode::Mad.func_unit(), FuncUnit::Sp);
+    }
+
+    #[test]
+    fn mnemonics_are_lowercase() {
+        for op in Opcode::ALL {
+            assert!(op.mnemonic().chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit()));
+        }
+    }
+}

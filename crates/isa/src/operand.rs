@@ -1,0 +1,169 @@
+use crate::DType;
+use std::fmt;
+
+/// A general-purpose 32-bit register index within a thread's register file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Reg(pub u8);
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "%r{}", self.0)
+    }
+}
+
+/// A one-bit predicate register index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PredReg(pub u8);
+
+impl fmt::Display for PredReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "%p{}", self.0)
+    }
+}
+
+/// Built-in read-only values a thread can query (CUDA's `threadIdx`,
+/// `blockIdx`, `blockDim`, `gridDim`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)] // Names mirror the CUDA built-ins.
+pub enum Special {
+    TidX,
+    TidY,
+    TidZ,
+    CtaIdX,
+    CtaIdY,
+    CtaIdZ,
+    NTidX,
+    NTidY,
+    NTidZ,
+    NCtaIdX,
+    NCtaIdY,
+    NCtaIdZ,
+}
+
+impl fmt::Display for Special {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Special::TidX => "%tid.x",
+            Special::TidY => "%tid.y",
+            Special::TidZ => "%tid.z",
+            Special::CtaIdX => "%ctaid.x",
+            Special::CtaIdY => "%ctaid.y",
+            Special::CtaIdZ => "%ctaid.z",
+            Special::NTidX => "%ntid.x",
+            Special::NTidY => "%ntid.y",
+            Special::NTidZ => "%ntid.z",
+            Special::NCtaIdX => "%nctaid.x",
+            Special::NCtaIdY => "%nctaid.y",
+            Special::NCtaIdZ => "%nctaid.z",
+        };
+        f.write_str(name)
+    }
+}
+
+/// The memory space a load or store addresses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AddrSpace {
+    /// Device (global) memory, cached in L1D/L2.
+    Global,
+    /// Per-block shared memory (on-chip scratchpad).
+    Shared,
+    /// Read-only constant memory (kernel parameters, per-layer scalars).
+    Const,
+}
+
+impl fmt::Display for AddrSpace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            AddrSpace::Global => "global",
+            AddrSpace::Shared => "shared",
+            AddrSpace::Const => "const",
+        })
+    }
+}
+
+/// A source operand.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Operand {
+    /// A general-purpose register.
+    Reg(Reg),
+    /// An immediate 32-bit value (bit pattern; interpreted per the
+    /// instruction's [`DType`]).
+    Imm(u32),
+    /// A hardware special register.
+    Special(Special),
+}
+
+impl Operand {
+    /// Immediate from an unsigned integer.
+    pub fn imm_u32(v: u32) -> Self {
+        Operand::Imm(v)
+    }
+
+    /// Immediate from a signed integer (stored as its bit pattern).
+    pub fn imm_s32(v: i32) -> Self {
+        Operand::Imm(v as u32)
+    }
+
+    /// Immediate from a float (stored as its bit pattern).
+    pub fn imm_f32(v: f32) -> Self {
+        Operand::Imm(v.to_bits())
+    }
+
+    /// Renders the operand given the data type context (so float immediates
+    /// print as floats).
+    pub fn display(&self, dtype: DType) -> String {
+        match self {
+            Operand::Reg(r) => r.to_string(),
+            Operand::Imm(bits) => {
+                if dtype.is_float() {
+                    format!("{:?}", f32::from_bits(*bits))
+                } else {
+                    format!("{bits}")
+                }
+            }
+            Operand::Special(s) => s.to_string(),
+        }
+    }
+}
+
+impl From<Reg> for Operand {
+    fn from(r: Reg) -> Self {
+        Operand::Reg(r)
+    }
+}
+
+impl From<Special> for Operand {
+    fn from(s: Special) -> Self {
+        Operand::Special(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn immediates_round_trip_floats() {
+        let op = Operand::imm_f32(1.5);
+        match op {
+            Operand::Imm(bits) => assert_eq!(f32::from_bits(bits), 1.5),
+            _ => panic!("expected immediate"),
+        }
+    }
+
+    #[test]
+    fn display_uses_dtype_context() {
+        assert_eq!(Operand::imm_f32(2.0).display(DType::F32), "2.0");
+        assert_eq!(Operand::imm_u32(7).display(DType::U32), "7");
+        assert_eq!(Operand::Reg(Reg(3)).display(DType::U32), "%r3");
+        assert_eq!(Operand::from(Special::TidX).display(DType::U32), "%tid.x");
+    }
+
+    #[test]
+    fn negative_immediates_keep_bit_pattern() {
+        match Operand::imm_s32(-1) {
+            Operand::Imm(bits) => assert_eq!(bits, u32::MAX),
+            _ => panic!("expected immediate"),
+        }
+    }
+}

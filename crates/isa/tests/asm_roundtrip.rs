@@ -1,0 +1,102 @@
+//! Property-based round-trip tests for the assembler: random valid
+//! programs produced by the builder must survive
+//! disassemble -> parse -> disassemble unchanged.
+
+use proptest::prelude::*;
+use tango_isa::{parse_program, CmpOp, DType, KernelBuilder, Operand};
+
+#[derive(Debug, Clone)]
+enum Gen {
+    Add(u32),
+    MulF(f32),
+    Shl(u32),
+    Mad(u32, u32),
+    Set(u8),
+    LdGlobal(i32),
+    StShared(i32),
+    Cvt,
+    Sfu(u8),
+    Nop,
+    Loop(u32),
+}
+
+fn gen_strategy() -> impl Strategy<Value = Gen> {
+    prop_oneof![
+        (0u32..1000).prop_map(Gen::Add),
+        (-100.0f32..100.0).prop_map(Gen::MulF),
+        (0u32..31).prop_map(Gen::Shl),
+        ((0u32..100), (0u32..100)).prop_map(|(a, b)| Gen::Mad(a, b)),
+        (0u8..6).prop_map(Gen::Set),
+        (-64i32..64).prop_map(|o| Gen::LdGlobal(o * 4)),
+        (0i32..32).prop_map(|o| Gen::StShared(o * 4)),
+        Just(Gen::Cvt),
+        (0u8..3).prop_map(Gen::Sfu),
+        Just(Gen::Nop),
+        (1u32..5).prop_map(Gen::Loop),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn random_programs_round_trip(ops in prop::collection::vec(gen_strategy(), 1..24)) {
+        let mut b = KernelBuilder::new("fuzzed");
+        b.set_smem_bytes(256);
+        let r0 = b.reg();
+        let r1 = b.reg();
+        let rf = b.reg();
+        let addr = b.reg();
+        let p = b.pred();
+        let base = b.load_param(0);
+        b.tid_x(r0);
+        b.mov(DType::U32, r1, Operand::imm_u32(1));
+        b.mov(DType::F32, rf, Operand::imm_f32(1.0));
+        b.shl(DType::U32, addr, r0.into(), Operand::imm_u32(2));
+        b.add(DType::U32, addr, addr.into(), base.into());
+        for g in &ops {
+            match g {
+                Gen::Add(v) => { b.add(DType::U32, r1, r1.into(), Operand::imm_u32(*v)); }
+                Gen::MulF(v) => { b.mul(DType::F32, rf, rf.into(), Operand::imm_f32(*v)); }
+                Gen::Shl(v) => { b.shl(DType::U32, r1, r1.into(), Operand::imm_u32(*v)); }
+                Gen::Mad(a, c) => { b.mad(DType::U32, r1, r1.into(), Operand::imm_u32(*a), Operand::imm_u32(*c)); }
+                Gen::Set(c) => {
+                    let cmp = [CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge, CmpOp::Eq, CmpOp::Ne][*c as usize];
+                    b.set(cmp, DType::U32, p, r1.into(), Operand::imm_u32(10));
+                }
+                Gen::LdGlobal(off) => { b.ld_global(DType::F32, rf, addr, *off & !3); }
+                Gen::StShared(off) => { b.st_shared(DType::U32, r1, *off & 0xFC, r0); }
+                Gen::Cvt => { b.cvt(DType::F32, DType::U32, rf, r1.into()); }
+                Gen::Sfu(k) => {
+                    match k {
+                        0 => b.rcp(rf, rf.into()),
+                        1 => b.rsqrt(rf, rf.into()),
+                        _ => b.ex2(rf, rf.into()),
+                    };
+                }
+                Gen::Nop => { b.nop(); }
+                Gen::Loop(n) => {
+                    let i = b.reg();
+                    let lp = b.pred();
+                    b.mov(DType::U16, i, Operand::imm_u32(0));
+                    let top = b.place_new_label();
+                    b.add(DType::U16, i, i.into(), Operand::imm_u32(1));
+                    b.set(CmpOp::Lt, DType::U16, lp, i.into(), Operand::imm_u32(*n));
+                    b.bra_if(lp, true, top);
+                }
+            }
+        }
+        b.exit();
+        let Ok(program) = b.build() else {
+            // Register exhaustion from many loops is a valid builder
+            // outcome, not a round-trip failure.
+            return Ok(());
+        };
+        let text = program.disassemble();
+        let reparsed = parse_program(&text)
+            .unwrap_or_else(|e| panic!("parse failed: {e}\n{text}"));
+        prop_assert_eq!(&program, &reparsed, "round trip changed program");
+        // Second round trip is a fixed point.
+        prop_assert_eq!(reparsed.disassemble(), text);
+    }
+}

@@ -1,0 +1,972 @@
+//! Backward-pass (training) kernels — the extension the paper announces
+//! for the suite's next release ("we plan to extend the suite to also
+//! provide back-propagation code for training phase").
+//!
+//! Like the forward kernels, every backward kernel is one thread per
+//! output gradient element, written in the virtual ISA and validated
+//! against the `tango-tensor` reference gradients. The convolution
+//! backward supports stride 1 (the stride used by every trainable layer
+//! of the suite's small nets); gradient tensors carry generous halos so
+//! the "full correlation" input-gradient loop needs no bounds checks.
+
+use crate::emit::{emit_counted_loop, emit_pixel_id, tile_geometry};
+use crate::{DeviceTensor, KernelError, LayerKernel, Result};
+use tango_isa::{CmpOp, DType, Dim3, KernelBuilder, Operand};
+use tango_sim::{Gpu, KernelStats, SimOptions};
+
+/// Backward kernels of a stride-1 2-D convolution: filter, bias, and
+/// input gradients.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Conv2dBackward {
+    c_in: u32,
+    h: u32,
+    w: u32,
+    c_out: u32,
+    k: u32,
+    pad: u32,
+    h_out: u32,
+    w_out: u32,
+    d_filter: LayerKernel,
+    d_bias: LayerKernel,
+    d_input: LayerKernel,
+}
+
+impl Conv2dBackward {
+    /// Builds the three gradient kernels for a stride-1 convolution over a
+    /// `c_in x h x w` input with `c_out` filters of `k x k` and padding
+    /// `pad`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KernelError`] on invalid geometry (including `k > h+2p`).
+    pub fn new(c_in: u32, h: u32, w: u32, c_out: u32, k: u32, pad: u32) -> Result<Self> {
+        if c_in == 0 || h == 0 || w == 0 || c_out == 0 || k == 0 {
+            return Err(KernelError::geometry("conv2d_backward", "all dimensions must be positive"));
+        }
+        if h + 2 * pad < k || w + 2 * pad < k {
+            return Err(KernelError::geometry("conv2d_backward", "filter does not fit padded input"));
+        }
+        let h_out = h + 2 * pad - k + 1;
+        let w_out = w + 2 * pad - k + 1;
+
+        // d_filter: one thread per filter tap (co, ky, kx) x gridDim.y = ci.
+        let d_filter = {
+            let mut b = KernelBuilder::new(format!("conv_bwd_w{k}x{k}_{c_in}to{c_out}"));
+            // grid (c_out, c_in, 1), block (k, k): thread = (co, ci, kx=tid.x, ky=tid.y)
+            let co = b.reg();
+            b.ctaid_x(co);
+            let ci = b.reg();
+            b.ctaid_y(ci);
+            let kx = b.reg();
+            b.mov(DType::U32, kx, tango_isa::Special::TidX.into());
+            let ky = b.reg();
+            b.mov(DType::U32, ky, tango_isa::Special::TidY.into());
+            let x_base = b.load_param(0); // input halo origin
+            let dy_base = b.load_param(1); // d_out interior origin
+            let dw_base = b.load_param(2);
+            let irow = b.load_param(3);
+            let ich = b.load_param(4);
+            let dyrow = b.load_param(5);
+            let dych = b.load_param(6);
+
+            // Input window origin for this tap: x[ci, oy+ky, ox+kx] from
+            // the halo origin.
+            let tap_base = b.reg();
+            b.mad_lo(DType::U32, tap_base, ci, ich.into(), kx.into());
+            b.mad_lo(DType::U32, tap_base, ky, irow.into(), tap_base.into());
+
+            let acc = b.reg();
+            b.mov(DType::F32, acc, Operand::imm_f32(0.0));
+            let xrow = b.reg();
+            let dyrow_r = b.reg();
+            let xa = b.reg();
+            let dya = b.reg();
+            let xv = b.reg();
+            let dyv = b.reg();
+            let dy_ch = b.reg();
+            b.mul(DType::U32, dy_ch, co.into(), dych.into());
+            emit_counted_loop(&mut b, h_out, DType::U16, &mut |b, oy| {
+                b.mad_lo(DType::U32, xrow, oy, irow.into(), tap_base.into());
+                b.mad_lo(DType::U32, dyrow_r, oy, dyrow.into(), dy_ch.into());
+                emit_counted_loop(b, w_out, DType::U16, &mut |b, ox| {
+                    b.add(DType::U32, xa, xrow.into(), ox.into());
+                    b.shl(DType::U32, xa, xa.into(), Operand::imm_u32(2));
+                    b.add(DType::U32, xa, xa.into(), x_base.into());
+                    b.ld_global(DType::F32, xv, xa, 0);
+                    b.add(DType::U32, dya, dyrow_r.into(), ox.into());
+                    b.shl(DType::U32, dya, dya.into(), Operand::imm_u32(2));
+                    b.add(DType::U32, dya, dya.into(), dy_base.into());
+                    b.ld_global(DType::F32, dyv, dya, 0);
+                    b.mad(DType::F32, acc, xv.into(), dyv.into(), acc.into());
+                });
+            });
+            // dW[((co*c_in + ci)*k + ky)*k + kx]
+            let off = b.reg();
+            b.mad_lo(DType::U32, off, co, Operand::imm_u32(c_in), ci.into());
+            b.mad_lo(DType::U32, off, off, Operand::imm_u32(k), ky.into());
+            b.mad_lo(DType::U32, off, off, Operand::imm_u32(k), kx.into());
+            let addr = b.reg();
+            b.shl(DType::U32, addr, off.into(), Operand::imm_u32(2));
+            b.add(DType::U32, addr, addr.into(), dw_base.into());
+            b.st_global(DType::F32, addr, 0, acc);
+            b.exit();
+            LayerKernel::new(b.build()?, Dim3::xy(c_out, c_in), Dim3::xy(k, k))
+        };
+
+        // d_bias: one thread per output channel, reducing its dY plane.
+        let d_bias = {
+            let mut b = KernelBuilder::new(format!("conv_bwd_b_{c_out}"));
+            let co = b.global_tid_x();
+            let p = b.pred();
+            b.set(CmpOp::Ge, DType::U32, p, co.into(), Operand::imm_u32(c_out));
+            b.exit();
+            b.guard_last(p, true);
+            let dy_base = b.load_param(0);
+            let db_base = b.load_param(1);
+            let dyrow = b.load_param(2);
+            let dych = b.load_param(3);
+            let ch = b.reg();
+            b.mul(DType::U32, ch, co.into(), dych.into());
+            let acc = b.reg();
+            b.mov(DType::F32, acc, Operand::imm_f32(0.0));
+            let row = b.reg();
+            let a = b.reg();
+            let v = b.reg();
+            emit_counted_loop(&mut b, h_out, DType::U16, &mut |b, oy| {
+                b.mad_lo(DType::U32, row, oy, dyrow.into(), ch.into());
+                emit_counted_loop(b, w_out, DType::U16, &mut |b, ox| {
+                    b.add(DType::U32, a, row.into(), ox.into());
+                    b.shl(DType::U32, a, a.into(), Operand::imm_u32(2));
+                    b.add(DType::U32, a, a.into(), dy_base.into());
+                    b.ld_global(DType::F32, v, a, 0);
+                    b.add(DType::F32, acc, acc.into(), v.into());
+                });
+            });
+            let addr = b.reg();
+            b.mad_lo(DType::U32, addr, co, Operand::imm_u32(4), db_base.into());
+            b.st_global(DType::F32, addr, 0, acc);
+            b.exit();
+            LayerKernel::new(b.build()?, Dim3::x(c_out.div_ceil(64)), Dim3::x(64.min(c_out)))
+        };
+
+        // d_input: one thread per input pixel (ci, iy, ix); full
+        // correlation with dY read through a halo of k so every index is
+        // in range: dX[ci,iy,ix] = sum_co,ky,kx dY[co, iy+p-ky, ix+p-kx] * W[co,ci,ky,kx].
+        let d_input = {
+            let (grid, block) = tile_geometry(c_in, h, w);
+            let mut b = KernelBuilder::new(format!("conv_bwd_x{k}x{k}_{c_out}to{c_in}"));
+            let px = emit_pixel_id(&mut b, h, w, block);
+            let dy_halo = b.load_param(0); // d_out tensor halo origin (halo = k)
+            let w_base = b.load_param(1);
+            let dx_base = b.load_param(2);
+            let dyrow = b.load_param(3); // padded d_out row pitch
+            let dych = b.load_param(4);
+            let oxrow = b.load_param(5); // d_input row pitch
+            let oxch = b.load_param(6);
+
+            // dY coordinates relative to the halo origin: the interior
+            // point (iy+p-ky) sits at halo + iy + p - ky, always >= 0 when
+            // halo >= k - 1 - p (we allocate halo = k).
+            let base_y = b.reg();
+            b.add(DType::U32, base_y, px.oy.into(), Operand::imm_u32(k + pad)); // iy + halo(k) + p - ky later
+            let base_x = b.reg();
+            b.add(DType::U32, base_x, px.ox.into(), Operand::imm_u32(k + pad));
+
+            let acc = b.reg();
+            b.mov(DType::F32, acc, Operand::imm_f32(0.0));
+            let w_ptr = b.reg();
+            let dyy = b.reg();
+            let dyx = b.reg();
+            let row = b.reg();
+            let a = b.reg();
+            let dyv = b.reg();
+            let wv = b.reg();
+            let dy_ch = b.reg();
+            emit_counted_loop(&mut b, c_out, DType::S32, &mut |b, co| {
+                b.mul(DType::U32, dy_ch, co.into(), dych.into());
+                // W row for (co, ci): streams sequentially over (ky, kx).
+                b.mad_lo(DType::U32, w_ptr, co, Operand::imm_u32(c_in), px.co.into());
+                b.mul(DType::U32, w_ptr, w_ptr.into(), Operand::imm_u32(4 * k * k));
+                b.add(DType::U32, w_ptr, w_ptr.into(), w_base.into());
+                emit_counted_loop(b, k, DType::U16, &mut |b, ky| {
+                    b.sub(DType::U32, dyy, base_y.into(), ky.into());
+                    b.mad_lo(DType::U32, row, dyy, dyrow.into(), dy_ch.into());
+                    emit_counted_loop(b, k, DType::U16, &mut |b, kx| {
+                        b.sub(DType::U32, dyx, base_x.into(), kx.into());
+                        b.add(DType::U32, a, row.into(), dyx.into());
+                        b.shl(DType::U32, a, a.into(), Operand::imm_u32(2));
+                        b.add(DType::U32, a, a.into(), dy_halo.into());
+                        b.ld_global(DType::F32, dyv, a, 0);
+                        b.ld_global(DType::F32, wv, w_ptr, 0);
+                        b.mad(DType::F32, acc, dyv.into(), wv.into(), acc.into());
+                        b.add(DType::U32, w_ptr, w_ptr.into(), Operand::imm_u32(4));
+                    });
+                });
+            });
+            let off = b.reg();
+            b.mad_lo(DType::U32, off, px.co, oxch.into(), px.ox.into());
+            b.mad_lo(DType::U32, off, px.oy, oxrow.into(), off.into());
+            let addr = b.reg();
+            b.shl(DType::U32, addr, off.into(), Operand::imm_u32(2));
+            b.add(DType::U32, addr, addr.into(), dx_base.into());
+            b.st_global(DType::F32, addr, 0, acc);
+            b.exit();
+            LayerKernel::new(b.build()?, grid, block)
+        };
+
+        Ok(Conv2dBackward {
+            c_in,
+            h,
+            w,
+            c_out,
+            k,
+            pad,
+            h_out,
+            w_out,
+            d_filter,
+            d_bias,
+            d_input,
+        })
+    }
+
+    /// Forward output height.
+    pub fn h_out(&self) -> u32 {
+        self.h_out
+    }
+
+    /// Forward output width.
+    pub fn w_out(&self) -> u32 {
+        self.w_out
+    }
+
+    /// The halo the `d_out` gradient tensor must carry for the
+    /// input-gradient kernel (zero-filled out-of-range reads).
+    pub fn d_out_pad(&self) -> u32 {
+        self.k
+    }
+
+    /// The three compiled kernels (filter, bias, input gradients) — for
+    /// Table III-style inspection.
+    pub fn kernels(&self) -> [&LayerKernel; 3] {
+        [&self.d_filter, &self.d_bias, &self.d_input]
+    }
+
+    /// Runs all three gradient kernels. `input` needs a halo covering the
+    /// forward padding; `d_out` needs a halo of [`d_out_pad`](Self::d_out_pad).
+    /// Returns the summed stats of the three launches.
+    ///
+    /// # Panics
+    ///
+    /// Panics if tensor geometry disagrees with the construction.
+    #[allow(clippy::too_many_arguments)]
+    pub fn launch(
+        &self,
+        gpu: &mut Gpu,
+        input: &DeviceTensor,
+        weights: u32,
+        d_out: &DeviceTensor,
+        d_input: &DeviceTensor,
+        d_weights: u32,
+        d_bias: u32,
+        opts: &SimOptions,
+    ) -> Vec<KernelStats> {
+        assert_eq!((input.channels(), input.height(), input.width()), (self.c_in, self.h, self.w));
+        assert!(input.pad() >= self.pad, "input halo must cover forward padding");
+        assert_eq!(
+            (d_out.channels(), d_out.height(), d_out.width()),
+            (self.c_out, self.h_out, self.w_out)
+        );
+        assert!(d_out.pad() >= self.k, "d_out halo must be >= k for the full correlation");
+        assert_eq!(
+            (d_input.channels(), d_input.height(), d_input.width()),
+            (self.c_in, self.h, self.w)
+        );
+
+        let x_halo = input.index_addr(0, 0, 0) - 4 * (self.pad * input.row_pitch() + self.pad);
+        let s1 = self.d_filter.launch(
+            gpu,
+            &[
+                x_halo,
+                d_out.interior_addr(),
+                d_weights,
+                input.row_pitch(),
+                input.ch_stride(),
+                d_out.row_pitch(),
+                d_out.ch_stride(),
+            ],
+            opts,
+        );
+        let s2 = self.d_bias.launch(
+            gpu,
+            &[
+                d_out.interior_addr(),
+                d_bias,
+                d_out.row_pitch(),
+                d_out.ch_stride(),
+            ],
+            opts,
+        );
+        let s3 = self.d_input.launch(
+            gpu,
+            &[
+                d_out.raw_addr(),
+                weights,
+                d_input.interior_addr(),
+                d_out.row_pitch(),
+                d_out.ch_stride(),
+                d_input.row_pitch(),
+                d_input.ch_stride(),
+            ],
+            opts,
+        );
+        vec![s1, s2, s3]
+    }
+}
+
+/// Backward kernels of a fully-connected layer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FcBackward {
+    in_features: u32,
+    out_features: u32,
+    d_weights: LayerKernel,
+    d_input: LayerKernel,
+}
+
+impl FcBackward {
+    /// Builds the gradient kernels for a `in -> out` inner product over a
+    /// flat input vector. The bias gradient is `d_out` itself, so no
+    /// kernel is emitted for it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KernelError`] on zero dimensions.
+    pub fn new(in_features: u32, out_features: u32) -> Result<Self> {
+        if in_features == 0 || out_features == 0 {
+            return Err(KernelError::geometry("fc_backward", "dimensions must be positive"));
+        }
+        // d_weights: one thread per weight element, grid (out, tiles of in).
+        let d_weights = {
+            let (grid, block) = tile_geometry(out_features, 1, in_features);
+            let mut b = KernelBuilder::new(format!("fc_bwd_w_{in_features}x{out_features}"));
+            let px = emit_pixel_id(&mut b, 1, in_features, block);
+            let x_base = b.load_param(0);
+            let dy_base = b.load_param(1);
+            let dw_base = b.load_param(2);
+            let xa = b.reg();
+            b.mad_lo(DType::U32, xa, px.ox, Operand::imm_u32(4), x_base.into());
+            let xv = b.reg();
+            b.ld_global(DType::F32, xv, xa, 0);
+            let dya = b.reg();
+            b.mad_lo(DType::U32, dya, px.co, Operand::imm_u32(4), dy_base.into());
+            let dyv = b.reg();
+            b.ld_global(DType::F32, dyv, dya, 0);
+            let g = b.reg();
+            b.mul(DType::F32, g, xv.into(), dyv.into());
+            let off = b.reg();
+            b.mad_lo(DType::U32, off, px.co, Operand::imm_u32(in_features), px.ox.into());
+            let addr = b.reg();
+            b.shl(DType::U32, addr, off.into(), Operand::imm_u32(2));
+            b.add(DType::U32, addr, addr.into(), dw_base.into());
+            b.st_global(DType::F32, addr, 0, g);
+            b.exit();
+            LayerKernel::new(b.build()?, grid, block)
+        };
+
+        // d_input: one thread per input element, reducing over outputs.
+        let d_input = {
+            let block_x = in_features.min(256);
+            let grid_x = in_features.div_ceil(block_x);
+            let mut b = KernelBuilder::new(format!("fc_bwd_x_{out_features}to{in_features}"));
+            let i = b.global_tid_x();
+            if grid_x * block_x != in_features {
+                let p = b.pred();
+                b.set(CmpOp::Ge, DType::U32, p, i.into(), Operand::imm_u32(in_features));
+                b.exit();
+                b.guard_last(p, true);
+            }
+            let w_base = b.load_param(0);
+            let dy_base = b.load_param(1);
+            let dx_base = b.load_param(2);
+            let acc = b.reg();
+            b.mov(DType::F32, acc, Operand::imm_f32(0.0));
+            // Column i of W: stride in_features, coalesced across lanes.
+            let w_col = b.reg();
+            b.mad_lo(DType::U32, w_col, i, Operand::imm_u32(4), w_base.into());
+            let dya = b.reg();
+            let wv = b.reg();
+            let dyv = b.reg();
+            emit_counted_loop(&mut b, out_features, DType::U16, &mut |b, o| {
+                b.ld_global(DType::F32, wv, w_col, 0);
+                b.mad_lo(DType::U32, dya, o, Operand::imm_u32(4), dy_base.into());
+                b.ld_global(DType::F32, dyv, dya, 0);
+                b.mad(DType::F32, acc, wv.into(), dyv.into(), acc.into());
+                b.add(DType::U32, w_col, w_col.into(), Operand::imm_u32(4 * in_features));
+            });
+            let addr = b.reg();
+            b.mad_lo(DType::U32, addr, i, Operand::imm_u32(4), dx_base.into());
+            b.st_global(DType::F32, addr, 0, acc);
+            b.exit();
+            LayerKernel::new(b.build()?, Dim3::x(grid_x), Dim3::x(block_x))
+        };
+
+        Ok(FcBackward {
+            in_features,
+            out_features,
+            d_weights,
+            d_input,
+        })
+    }
+
+    /// The compiled kernels (weights, input gradients).
+    pub fn kernels(&self) -> [&LayerKernel; 2] {
+        [&self.d_weights, &self.d_input]
+    }
+
+    /// Runs both gradient kernels over flat vectors/buffers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if vector lengths disagree with the construction.
+    #[allow(clippy::too_many_arguments)]
+    pub fn launch(
+        &self,
+        gpu: &mut Gpu,
+        input: &DeviceTensor,
+        weights: u32,
+        d_out: &DeviceTensor,
+        d_input: &DeviceTensor,
+        d_weights: u32,
+        opts: &SimOptions,
+    ) -> Vec<KernelStats> {
+        assert_eq!(input.len(), self.in_features, "fc_backward input mismatch");
+        assert_eq!(d_out.len(), self.out_features, "fc_backward d_out mismatch");
+        assert_eq!(d_input.len(), self.in_features, "fc_backward d_input mismatch");
+        assert_eq!(input.pad(), 0, "fc_backward reads the input as a flat contiguous buffer");
+        assert_eq!(d_input.pad(), 0, "fc_backward writes the input gradient as a flat buffer");
+        let s1 = self.d_weights.launch(
+            gpu,
+            &[input.interior_addr(), d_out.interior_addr(), d_weights],
+            opts,
+        );
+        let s2 = self.d_input.launch(
+            gpu,
+            &[weights, d_out.interior_addr(), d_input.interior_addr()],
+            opts,
+        );
+        vec![s1, s2]
+    }
+}
+
+/// Backward ReLU: `dX = X > 0 ? dY : 0`, one thread per element.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReluBackward {
+    c: u32,
+    h: u32,
+    w: u32,
+    kernel: LayerKernel,
+}
+
+impl ReluBackward {
+    /// Builds the kernel over a `c x h x w` activation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KernelError`] on zero dimensions.
+    pub fn new(c: u32, h: u32, w: u32) -> Result<Self> {
+        if c == 0 || h == 0 || w == 0 {
+            return Err(KernelError::geometry("relu_backward", "dimensions must be positive"));
+        }
+        let (grid, block) = tile_geometry(c, h, w);
+        let mut b = KernelBuilder::new("relu_bwd");
+        let px = emit_pixel_id(&mut b, h, w, block);
+        let x_base = b.load_param(0);
+        let dy_base = b.load_param(1);
+        let dx_base = b.load_param(2);
+        let xrow = b.load_param(3);
+        let xch = b.load_param(4);
+        let grow = b.load_param(5);
+        let gch = b.load_param(6);
+
+        let off_x = b.reg();
+        b.mad_lo(DType::U32, off_x, px.co, xch.into(), px.ox.into());
+        b.mad_lo(DType::U32, off_x, px.oy, xrow.into(), off_x.into());
+        let xa = b.reg();
+        b.shl(DType::U32, xa, off_x.into(), Operand::imm_u32(2));
+        b.add(DType::U32, xa, xa.into(), x_base.into());
+        let xv = b.reg();
+        b.ld_global(DType::F32, xv, xa, 0);
+
+        let off_g = b.reg();
+        b.mad_lo(DType::U32, off_g, px.co, gch.into(), px.ox.into());
+        b.mad_lo(DType::U32, off_g, px.oy, grow.into(), off_g.into());
+        let ga = b.reg();
+        b.shl(DType::U32, ga, off_g.into(), Operand::imm_u32(2));
+        let dya = b.reg();
+        b.add(DType::U32, dya, ga.into(), dy_base.into());
+        let dyv = b.reg();
+        b.ld_global(DType::F32, dyv, dya, 0);
+
+        // p = (x > 0); dx = p ? dy : 0 via a predicated move.
+        let p = b.pred();
+        b.set(CmpOp::Gt, DType::F32, p, xv.into(), Operand::imm_f32(0.0));
+        // Predicated write: dx = 0, then dx = dy when p.
+        let dxv = b.reg();
+        b.mov(DType::F32, dxv, Operand::imm_f32(0.0));
+        b.mov(DType::F32, dxv, dyv.into());
+        b.guard_last(p, true);
+        let dxa = b.reg();
+        b.add(DType::U32, dxa, ga.into(), dx_base.into());
+        b.st_global(DType::F32, dxa, 0, dxv);
+        b.exit();
+        Ok(ReluBackward {
+            c,
+            h,
+            w,
+            kernel: LayerKernel::new(b.build()?, grid, block),
+        })
+    }
+
+    /// The compiled kernel.
+    pub fn kernel(&self) -> &LayerKernel {
+        &self.kernel
+    }
+
+    /// Runs the kernel. `d_out` and `d_input` must share the forward
+    /// activation's interior shape (`d_out`/`d_input` pitches must match
+    /// each other).
+    ///
+    /// # Panics
+    ///
+    /// Panics on geometry mismatches.
+    pub fn launch(
+        &self,
+        gpu: &mut Gpu,
+        input: &DeviceTensor,
+        d_out: &DeviceTensor,
+        d_input: &DeviceTensor,
+        opts: &SimOptions,
+    ) -> KernelStats {
+        assert_eq!((input.channels(), input.height(), input.width()), (self.c, self.h, self.w));
+        assert_eq!((d_out.channels(), d_out.height(), d_out.width()), (self.c, self.h, self.w));
+        assert_eq!(d_out.row_pitch(), d_input.row_pitch(), "gradient tensors must share layout");
+        assert_eq!(d_out.ch_stride(), d_input.ch_stride(), "gradient tensors must share layout");
+        let params = [
+            input.interior_addr(),
+            d_out.interior_addr(),
+            d_input.interior_addr(),
+            input.row_pitch(),
+            input.ch_stride(),
+            d_out.row_pitch(),
+            d_out.ch_stride(),
+        ];
+        self.kernel.launch(gpu, &params, opts)
+    }
+}
+
+/// Backward max pooling: one thread per *input* pixel, scanning the
+/// windows that cover it and accumulating the gradients of windows whose
+/// maximum equals this pixel's value (branch-free equality routing — the
+/// deterministic, atomics-free semantics the reference operator mirrors).
+/// Supports power-of-two strides.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MaxPoolBackward {
+    c: u32,
+    h: u32,
+    w: u32,
+    window: u32,
+    stride: u32,
+    h_out: u32,
+    w_out: u32,
+    kernel: LayerKernel,
+}
+
+impl MaxPoolBackward {
+    /// Builds the kernel for the forward geometry of
+    /// [`MaxPool2d::new(c, h, w, window, stride)`](crate::MaxPool2d::new).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KernelError`] on zero dimensions or a non-power-of-two
+    /// stride.
+    pub fn new(c: u32, h: u32, w: u32, window: u32, stride: u32) -> Result<Self> {
+        if c == 0 || h == 0 || w == 0 || window == 0 {
+            return Err(KernelError::geometry("max_pool_backward", "dimensions must be positive"));
+        }
+        if stride == 0 || !stride.is_power_of_two() {
+            return Err(KernelError::geometry(
+                "max_pool_backward",
+                "stride must be a power of two for the branch-free window scan",
+            ));
+        }
+        let out_extent = |n: u32| if n <= window { 1 } else { (n - window).div_ceil(stride) + 1 };
+        let h_out = out_extent(h);
+        let w_out = out_extent(w);
+        let log_s = stride.trailing_zeros();
+
+        let (grid, block) = tile_geometry(c, h, w);
+        let mut b = KernelBuilder::new(format!("maxpool_bwd{window}s{stride}"));
+        let px = emit_pixel_id(&mut b, h, w, block);
+        let x_base = b.load_param(0); // forward input, interior origin
+        let y_base = b.load_param(1); // forward output, interior origin
+        let dy_base = b.load_param(2);
+        let dx_base = b.load_param(3);
+        let xrow = b.load_param(4);
+        let xch = b.load_param(5);
+        let yrow = b.load_param(6);
+        let ych = b.load_param(7);
+
+        // This pixel's forward value.
+        let off = b.reg();
+        b.mad_lo(DType::U32, off, px.co, xch.into(), px.ox.into());
+        b.mad_lo(DType::U32, off, px.oy, xrow.into(), off.into());
+        let xa = b.reg();
+        b.shl(DType::U32, xa, off.into(), Operand::imm_u32(2));
+        b.add(DType::U32, xa, xa.into(), x_base.into());
+        let xv = b.reg();
+        b.ld_global(DType::F32, xv, xa, 0);
+
+        let y_ch = b.reg();
+        b.mul(DType::U32, y_ch, px.co.into(), ych.into());
+        let acc = b.reg();
+        b.mov(DType::F32, acc, Operand::imm_f32(0.0));
+
+        // Scratch for the window scan. `Set` writes 0/1 into a general
+        // register, so the validity conditions combine with `and`.
+        let ty = b.reg();
+        let oy = b.reg();
+        let oy_ok = b.reg();
+        let tx = b.reg();
+        let ox = b.reg();
+        let ox_ok = b.reg();
+        let cond = b.reg();
+        let tmp = b.reg();
+        let addr = b.reg();
+        let yv = b.reg();
+        let dyv = b.reg();
+        let mf = b.reg();
+
+        emit_counted_loop(&mut b, window, DType::U16, &mut |b, ky| {
+            b.sub(DType::S32, ty, px.oy.into(), ky.into());
+            b.shr(DType::S32, oy, ty.into(), Operand::imm_u32(log_s));
+            // valid_y = (ty >= 0) & (ty % stride == 0) & (oy < h_out)
+            set_to_reg(b, oy_ok, CmpOp::Ge, DType::S32, ty.into(), Operand::imm_s32(0));
+            b.and(DType::U32, tmp, ty.into(), Operand::imm_u32(stride - 1));
+            set_to_reg(b, cond, CmpOp::Eq, DType::U32, tmp.into(), Operand::imm_u32(0));
+            b.and(DType::U32, oy_ok, oy_ok.into(), cond.into());
+            set_to_reg(b, cond, CmpOp::Lt, DType::S32, oy.into(), Operand::imm_s32(h_out as i32));
+            b.and(DType::U32, oy_ok, oy_ok.into(), cond.into());
+            // Clamp oy for a safe load.
+            b.max(DType::S32, oy, oy.into(), Operand::imm_s32(0));
+            b.min(DType::S32, oy, oy.into(), Operand::imm_s32(h_out as i32 - 1));
+            emit_counted_loop(b, window, DType::U16, &mut |b, kx| {
+                b.sub(DType::S32, tx, px.ox.into(), kx.into());
+                b.shr(DType::S32, ox, tx.into(), Operand::imm_u32(log_s));
+                set_to_reg(b, ox_ok, CmpOp::Ge, DType::S32, tx.into(), Operand::imm_s32(0));
+                b.and(DType::U32, tmp, tx.into(), Operand::imm_u32(stride - 1));
+                set_to_reg(b, cond, CmpOp::Eq, DType::U32, tmp.into(), Operand::imm_u32(0));
+                b.and(DType::U32, ox_ok, ox_ok.into(), cond.into());
+                set_to_reg(b, cond, CmpOp::Lt, DType::S32, ox.into(), Operand::imm_s32(w_out as i32));
+                b.and(DType::U32, ox_ok, ox_ok.into(), cond.into());
+                b.max(DType::S32, ox, ox.into(), Operand::imm_s32(0));
+                b.min(DType::S32, ox, ox.into(), Operand::imm_s32(w_out as i32 - 1));
+                // Window max and gradient at (oy, ox).
+                b.mad_lo(DType::U32, addr, oy, yrow.into(), ox.into());
+                b.add(DType::U32, addr, addr.into(), y_ch.into());
+                b.shl(DType::U32, addr, addr.into(), Operand::imm_u32(2));
+                b.add(DType::U32, tmp, addr.into(), y_base.into());
+                b.ld_global(DType::F32, yv, tmp, 0);
+                b.add(DType::U32, tmp, addr.into(), dy_base.into());
+                b.ld_global(DType::F32, dyv, tmp, 0);
+                // m = valid & (x == window max)
+                set_to_reg(b, cond, CmpOp::Eq, DType::F32, xv.into(), yv.into());
+                b.and(DType::U32, cond, cond.into(), oy_ok.into());
+                b.and(DType::U32, cond, cond.into(), ox_ok.into());
+                b.cvt(DType::F32, DType::U32, mf, cond.into());
+                b.mul(DType::F32, mf, mf.into(), dyv.into());
+                b.add(DType::F32, acc, acc.into(), mf.into());
+            });
+        });
+
+        // dX[pixel] — gradient tensor shares the forward input's layout.
+        let dxa = b.reg();
+        b.shl(DType::U32, dxa, off.into(), Operand::imm_u32(2));
+        b.add(DType::U32, dxa, dxa.into(), dx_base.into());
+        b.st_global(DType::F32, dxa, 0, acc);
+        b.exit();
+        Ok(MaxPoolBackward {
+            c,
+            h,
+            w,
+            window,
+            stride,
+            h_out,
+            w_out,
+            kernel: LayerKernel::new(b.build()?, grid, block),
+        })
+    }
+
+    /// The compiled kernel.
+    pub fn kernel(&self) -> &LayerKernel {
+        &self.kernel
+    }
+
+    /// Runs the kernel. `y_fwd`/`d_out` are the forward output and its
+    /// gradient (matching layouts); `d_input` must share `input`'s layout.
+    ///
+    /// # Panics
+    ///
+    /// Panics on geometry mismatches.
+    pub fn launch(
+        &self,
+        gpu: &mut Gpu,
+        input: &DeviceTensor,
+        y_fwd: &DeviceTensor,
+        d_out: &DeviceTensor,
+        d_input: &DeviceTensor,
+        opts: &SimOptions,
+    ) -> KernelStats {
+        assert_eq!((input.channels(), input.height(), input.width()), (self.c, self.h, self.w));
+        assert_eq!((y_fwd.channels(), y_fwd.height(), y_fwd.width()), (self.c, self.h_out, self.w_out));
+        assert_eq!(y_fwd.row_pitch(), d_out.row_pitch(), "forward output and gradient must share layout");
+        assert_eq!(y_fwd.ch_stride(), d_out.ch_stride(), "forward output and gradient must share layout");
+        assert_eq!(input.row_pitch(), d_input.row_pitch(), "input and its gradient must share layout");
+        assert_eq!(input.ch_stride(), d_input.ch_stride(), "input and its gradient must share layout");
+        let params = [
+            input.interior_addr(),
+            y_fwd.interior_addr(),
+            d_out.interior_addr(),
+            d_input.interior_addr(),
+            input.row_pitch(),
+            input.ch_stride(),
+            y_fwd.row_pitch(),
+            y_fwd.ch_stride(),
+        ];
+        self.kernel.launch(gpu, &params, opts)
+    }
+}
+
+/// Emits `dst = (a <cmp> b) ? 1 : 0` into a general register.
+fn set_to_reg(
+    b: &mut KernelBuilder,
+    dst: tango_isa::Reg,
+    cmp: CmpOp,
+    dtype: DType,
+    a: Operand,
+    bb: Operand,
+) {
+    let mut i = tango_isa::Instruction::new(tango_isa::Opcode::Set, dtype);
+    i.dst = Some(dst);
+    i.cmp = Some(cmp);
+    i.srcs = vec![a, bb];
+    b.push_raw(i);
+}
+
+/// SGD update kernel: `param[i] -= lr * grad[i]`, one thread per element.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SgdStep {
+    len: u32,
+    kernel: LayerKernel,
+}
+
+impl SgdStep {
+    /// Builds the update kernel for a flat parameter buffer of `len`
+    /// floats.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KernelError`] when `len` is zero.
+    pub fn new(len: u32) -> Result<Self> {
+        if len == 0 {
+            return Err(KernelError::geometry("sgd_step", "parameter buffer must be non-empty"));
+        }
+        let block_x = len.min(256);
+        let grid_x = len.div_ceil(block_x);
+        let mut b = KernelBuilder::new(format!("sgd_step_{len}"));
+        let i = b.global_tid_x();
+        if grid_x * block_x != len {
+            let p = b.pred();
+            b.set(CmpOp::Ge, DType::U32, p, i.into(), Operand::imm_u32(len));
+            b.exit();
+            b.guard_last(p, true);
+        }
+        let p_base = b.load_param(0);
+        let g_base = b.load_param(1);
+        let lr_bits = b.load_param(2); // learning rate as f32 bits
+        let off = b.reg();
+        b.shl(DType::U32, off, i.into(), Operand::imm_u32(2));
+        let pa = b.reg();
+        b.add(DType::U32, pa, off.into(), p_base.into());
+        let ga = b.reg();
+        b.add(DType::U32, ga, off.into(), g_base.into());
+        let pv = b.reg();
+        b.ld_global(DType::F32, pv, pa, 0);
+        let gv = b.reg();
+        b.ld_global(DType::F32, gv, ga, 0);
+        let neg = b.reg();
+        b.mul(DType::F32, neg, gv.into(), lr_bits.into());
+        b.sub(DType::F32, pv, pv.into(), neg.into());
+        b.st_global(DType::F32, pa, 0, pv);
+        b.exit();
+        Ok(SgdStep {
+            len,
+            kernel: LayerKernel::new(b.build()?, Dim3::x(grid_x), Dim3::x(block_x)),
+        })
+    }
+
+    /// The compiled kernel.
+    pub fn kernel(&self) -> &LayerKernel {
+        &self.kernel
+    }
+
+    /// Applies `params -= lr * grads` in place on device buffers.
+    pub fn launch(&self, gpu: &mut Gpu, params: u32, grads: u32, lr: f32, opts: &SimOptions) -> KernelStats {
+        self.kernel.launch(gpu, &[params, grads, lr.to_bits()], opts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tango_sim::GpuConfig;
+    use tango_tensor::{ops, Shape, SplitMix64, Tensor};
+
+    fn full() -> SimOptions {
+        SimOptions::new().with_cta_sample_limit(None)
+    }
+
+    #[test]
+    fn conv_backward_matches_reference() {
+        let mut rng = SplitMix64::new(900);
+        let (c_in, hw, c_out, k, pad) = (2u32, 6u32, 3u32, 3u32, 1u32);
+        let input = Tensor::uniform(Shape::nchw(1, c_in as usize, hw as usize, hw as usize), -1.0, 1.0, &mut rng);
+        let filter = Tensor::uniform(
+            Shape::new(&[c_out as usize, c_in as usize, k as usize, k as usize]),
+            -0.5,
+            0.5,
+            &mut rng,
+        );
+        let bwd = Conv2dBackward::new(c_in, hw, hw, c_out, k, pad).unwrap();
+        let d_out_host = Tensor::uniform(
+            Shape::nchw(1, c_out as usize, bwd.h_out() as usize, bwd.w_out() as usize),
+            -1.0,
+            1.0,
+            &mut rng,
+        );
+
+        let mut gpu = Gpu::new(GpuConfig::gp102());
+        let d_in = DeviceTensor::upload(&mut gpu, &input, pad).unwrap();
+        let d_w = gpu.upload_f32s(filter.as_slice());
+        let d_dy = DeviceTensor::upload(&mut gpu, &d_out_host, bwd.d_out_pad()).unwrap();
+        let d_dx = DeviceTensor::alloc(&mut gpu, c_in, hw, hw, 0);
+        let d_dw = gpu.alloc_bytes((filter.len() * 4) as u32);
+        let d_db = gpu.alloc_bytes(c_out * 4);
+        bwd.launch(&mut gpu, &d_in, d_w, &d_dy, &d_dx, d_dw, d_db, &full());
+
+        let expect = ops::conv2d_backward(&input, &filter, &d_out_host, &ops::Conv2dParams::new(1, pad as usize)).unwrap();
+        let got_dx = d_dx.download(&gpu);
+        assert!(
+            got_dx.approx_eq(&expect.d_input, 1e-4),
+            "d_input off by {}",
+            got_dx.max_abs_diff(&expect.d_input)
+        );
+        let got_dw = Tensor::from_vec(filter.shape().clone(), gpu.download_f32s(d_dw, filter.len()));
+        assert!(
+            got_dw.approx_eq(&expect.d_filter, 1e-4),
+            "d_filter off by {}",
+            got_dw.max_abs_diff(&expect.d_filter)
+        );
+        let got_db = Tensor::from_vec(Shape::vector(c_out as usize), gpu.download_f32s(d_db, c_out as usize));
+        assert!(got_db.approx_eq(&expect.d_bias, 1e-4));
+    }
+
+    #[test]
+    fn fc_backward_matches_reference() {
+        let mut rng = SplitMix64::new(901);
+        let (n_in, n_out) = (10u32, 7u32);
+        let input = Tensor::uniform(Shape::vector(n_in as usize), -1.0, 1.0, &mut rng);
+        let weights = Tensor::uniform(Shape::matrix(n_out as usize, n_in as usize), -0.5, 0.5, &mut rng);
+        let d_out_host = Tensor::uniform(Shape::vector(n_out as usize), -1.0, 1.0, &mut rng);
+
+        let bwd = FcBackward::new(n_in, n_out).unwrap();
+        let mut gpu = Gpu::new(GpuConfig::gp102());
+        let d_in = DeviceTensor::upload(&mut gpu, &input, 0).unwrap();
+        let d_w = gpu.upload_f32s(weights.as_slice());
+        let d_dy = DeviceTensor::upload(&mut gpu, &d_out_host, 0).unwrap();
+        let d_dx = DeviceTensor::alloc_vector(&mut gpu, n_in);
+        let d_dw = gpu.alloc_bytes(n_in * n_out * 4);
+        bwd.launch(&mut gpu, &d_in, d_w, &d_dy, &d_dx, d_dw, &full());
+
+        let expect = ops::fully_connected_backward(&input, &weights, &d_out_host).unwrap();
+        assert!(d_dx.download(&gpu).approx_eq(&expect.d_input, 1e-4));
+        let got_dw = Tensor::from_vec(weights.shape().clone(), gpu.download_f32s(d_dw, weights.len()));
+        assert!(got_dw.approx_eq(&expect.d_weights, 1e-4));
+    }
+
+    #[test]
+    fn relu_backward_matches_reference() {
+        let mut rng = SplitMix64::new(902);
+        let input = Tensor::uniform(Shape::nchw(1, 3, 4, 4), -1.0, 1.0, &mut rng);
+        let d_out_host = Tensor::uniform(Shape::nchw(1, 3, 4, 4), -1.0, 1.0, &mut rng);
+        let bwd = ReluBackward::new(3, 4, 4).unwrap();
+        let mut gpu = Gpu::new(GpuConfig::gp102());
+        let d_in = DeviceTensor::upload(&mut gpu, &input, 0).unwrap();
+        let d_dy = DeviceTensor::upload(&mut gpu, &d_out_host, 0).unwrap();
+        let d_dx = DeviceTensor::alloc(&mut gpu, 3, 4, 4, 0);
+        bwd.launch(&mut gpu, &d_in, &d_dy, &d_dx, &full());
+        let expect = ops::relu_backward(&input, &d_out_host).unwrap();
+        assert!(d_dx.download(&gpu).approx_eq(&expect, 0.0));
+    }
+
+    #[test]
+    fn max_pool_backward_matches_reference() {
+        let mut rng = SplitMix64::new(903);
+        let (c, hw, window, stride) = (2u32, 9u32, 3u32, 2u32);
+        let input = Tensor::uniform(Shape::nchw(1, c as usize, hw as usize, hw as usize), -1.0, 1.0, &mut rng);
+        let p = ops::Pool2dParams::new(window as usize, stride as usize);
+        let y = ops::max_pool2d(&input, &p).unwrap();
+        let d_out_host = Tensor::uniform(y.shape().clone(), -1.0, 1.0, &mut rng);
+
+        let bwd = MaxPoolBackward::new(c, hw, hw, window, stride).unwrap();
+        let mut gpu = Gpu::new(GpuConfig::gp102());
+        let d_in = DeviceTensor::upload(&mut gpu, &input, 0).unwrap();
+        let d_y = DeviceTensor::upload(&mut gpu, &y, 0).unwrap();
+        let d_dy = DeviceTensor::upload(&mut gpu, &d_out_host, 0).unwrap();
+        let d_dx = DeviceTensor::alloc(&mut gpu, c, hw, hw, 0);
+        bwd.launch(&mut gpu, &d_in, &d_y, &d_dy, &d_dx, &full());
+
+        let expect = ops::max_pool2d_backward(&input, &d_out_host, &p).unwrap();
+        let got = d_dx.download(&gpu);
+        assert!(
+            got.approx_eq(&expect, 1e-5),
+            "pool backward off by {}",
+            got.max_abs_diff(&expect)
+        );
+    }
+
+    #[test]
+    fn max_pool_backward_rejects_non_pow2_stride() {
+        assert!(MaxPoolBackward::new(1, 9, 9, 3, 3).is_err());
+    }
+
+    #[test]
+    fn sgd_step_updates_parameters() {
+        let mut gpu = Gpu::new(GpuConfig::gp102());
+        let params = gpu.upload_f32s(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        let grads = gpu.upload_f32s(&[0.5, -0.5, 1.0, 0.0, 2.0]);
+        let step = SgdStep::new(5).unwrap();
+        step.launch(&mut gpu, params, grads, 0.1, &full());
+        let got = gpu.download_f32s(params, 5);
+        let expect = [0.95, 2.05, 2.9, 4.0, 4.8];
+        for (g, e) in got.iter().zip(expect) {
+            assert!((g - e).abs() < 1e-6, "{got:?}");
+        }
+    }
+
+    #[test]
+    fn geometry_is_validated() {
+        assert!(Conv2dBackward::new(0, 4, 4, 2, 3, 1).is_err());
+        assert!(FcBackward::new(0, 3).is_err());
+        assert!(ReluBackward::new(0, 1, 1).is_err());
+        assert!(SgdStep::new(0).is_err());
+    }
+}

@@ -1,0 +1,435 @@
+use crate::emit::{emit_counted_loop, emit_pixel_id, tile_geometry};
+use crate::{DeviceTensor, KernelError, LayerKernel, Result};
+use tango_isa::{DType, Dim3, KernelBuilder, Operand, Reg};
+use tango_sim::{Gpu, KernelStats, SimOptions};
+
+/// How output neurons map onto threads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum MapStyle {
+    /// One thread per `(channel, y, x)` neuron; channels across
+    /// `gridDim.x` (the AlexNet/ResNet/VGG mapping).
+    PerNeuron,
+    /// One thread per `(y, x)` pixel in a single block, looping over
+    /// output channels inside the kernel — the paper's CifarNet mapping
+    /// (`gridDim (1,1,1)`, `blockDim (32,32,1)`).
+    ChannelLoop,
+}
+
+/// A 2-D convolution layer kernel (optionally with a fused ReLU, the way
+/// the paper's AlexNet/CifarNet convolution kernels apply their
+/// activation in-place).
+///
+/// One thread computes one output neuron `(c_out, y, x)`:
+/// `acc = bias[c_out] + sum over (c_in, ky, kx) of w * x`, walking the
+/// input through its zero halo so the inner loop carries no bounds checks.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Conv2d {
+    c_in: u32,
+    h: u32,
+    w: u32,
+    c_out: u32,
+    kh: u32,
+    kw: u32,
+    stride: u32,
+    pad: u32,
+    relu: bool,
+    h_out: u32,
+    w_out: u32,
+    kernel: LayerKernel,
+}
+
+impl Conv2d {
+    /// Builds the kernel for an input of `c_in x h x w` (interior size)
+    /// convolved with `c_out` filters of `kh x kw`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KernelError`] if any dimension is zero, the stride is
+    /// zero, or the filter does not fit the padded input.
+    #[allow(clippy::too_many_arguments)] // mirrors the CUDA kernel signature
+    pub fn new(
+        c_in: u32,
+        h: u32,
+        w: u32,
+        c_out: u32,
+        kh: u32,
+        kw: u32,
+        stride: u32,
+        pad: u32,
+        relu: bool,
+    ) -> Result<Self> {
+        Self::build(c_in, h, w, c_out, kh, kw, stride, pad, relu, MapStyle::PerNeuron)
+    }
+
+    /// Builds the single-block variant the paper uses for CifarNet: one
+    /// thread per output pixel, looping over output channels in-kernel
+    /// (`gridDim (1,1,1)`, `blockDim (w_out, h_out, 1)`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KernelError`] on invalid dimensions or when the output
+    /// plane exceeds one 1024-thread block.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new_single_block(
+        c_in: u32,
+        h: u32,
+        w: u32,
+        c_out: u32,
+        kh: u32,
+        kw: u32,
+        stride: u32,
+        pad: u32,
+        relu: bool,
+    ) -> Result<Self> {
+        Self::build(c_in, h, w, c_out, kh, kw, stride, pad, relu, MapStyle::ChannelLoop)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn build(
+        c_in: u32,
+        h: u32,
+        w: u32,
+        c_out: u32,
+        kh: u32,
+        kw: u32,
+        stride: u32,
+        pad: u32,
+        relu: bool,
+        style: MapStyle,
+    ) -> Result<Self> {
+        if c_in == 0 || h == 0 || w == 0 || c_out == 0 || kh == 0 || kw == 0 {
+            return Err(KernelError::geometry("conv2d", "all dimensions must be positive"));
+        }
+        if stride == 0 {
+            return Err(KernelError::geometry("conv2d", "stride must be positive"));
+        }
+        if h + 2 * pad < kh || w + 2 * pad < kw {
+            return Err(KernelError::geometry(
+                "conv2d",
+                format!("{kh}x{kw} filter does not fit {h}x{w} input with pad {pad}"),
+            ));
+        }
+        let h_out = (h + 2 * pad - kh) / stride + 1;
+        let w_out = (w + 2 * pad - kw) / stride + 1;
+        let (grid, block, style) = match style {
+            MapStyle::PerNeuron => {
+                let (grid, block) = tile_geometry(c_out, h_out, w_out);
+                (grid, block, MapStyle::PerNeuron)
+            }
+            MapStyle::ChannelLoop => {
+                if (h_out * w_out) as u64 > 1024 {
+                    return Err(KernelError::geometry(
+                        "conv2d",
+                        format!("{h_out}x{w_out} output exceeds a single 1024-thread block"),
+                    ));
+                }
+                (Dim3::x(1), Dim3::xy(w_out, h_out), MapStyle::ChannelLoop)
+            }
+        };
+        let program = Self::emit(c_in, c_out, kh, kw, stride, h_out, w_out, relu, block, style)?;
+        Ok(Conv2d {
+            c_in,
+            h,
+            w,
+            c_out,
+            kh,
+            kw,
+            stride,
+            pad,
+            relu,
+            h_out,
+            w_out,
+            kernel: LayerKernel::new(program, grid, block),
+        })
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn emit(
+        c_in: u32,
+        c_out: u32,
+        kh: u32,
+        kw: u32,
+        stride: u32,
+        h_out: u32,
+        w_out: u32,
+        relu: bool,
+        block: Dim3,
+        style: MapStyle,
+    ) -> Result<tango_isa::KernelProgram> {
+        let mut b = KernelBuilder::new(format!("conv{kh}x{kw}s{stride}_{c_in}to{c_out}"));
+        let px = emit_pixel_id(&mut b, h_out, w_out, block);
+
+        // Parameters: buffer addresses and run-time pitches.
+        let in_base = b.load_param(0); // halo-origin address of the input
+        let w_base = b.load_param(1);
+        let b_base = b.load_param(2);
+        let out_base = b.load_param(3); // interior-origin address of the output
+        let irow = b.load_param(4); // input row pitch in elements
+        let ich = b.load_param(5); // input channel stride in elements
+        let orow = b.load_param(6);
+        let och = b.load_param(7);
+
+        // Input window origin (relative to the halo origin, so never
+        // negative): pixel_base = in_base + 4*(oy*stride*irow + ox*stride).
+        let iy0 = b.reg();
+        b.mul(DType::U32, iy0, px.oy.into(), Operand::imm_u32(stride));
+        let ix0 = b.reg();
+        b.mul(DType::U32, ix0, px.ox.into(), Operand::imm_u32(stride));
+        let px_off = b.reg();
+        b.mad_lo(DType::U32, px_off, iy0, irow.into(), ix0.into());
+        let px_base = b.reg();
+        b.shl(DType::U32, px_base, px_off.into(), Operand::imm_u32(2));
+        b.add(DType::U32, px_base, px_base.into(), in_base.into());
+
+        let ich4 = b.reg();
+        b.shl(DType::U32, ich4, ich.into(), Operand::imm_u32(2));
+        let irow4 = b.reg();
+        b.shl(DType::U32, irow4, irow.into(), Operand::imm_u32(2));
+
+        // Scratch shared by both mappings.
+        let acc = b.reg();
+        let baddr = b.reg();
+        let w_ptr = b.reg();
+        let ci_base = b.reg();
+        let row = b.reg();
+        let a = b.reg();
+        let xv = b.reg();
+        let wv = b.reg();
+        let o_off = b.reg();
+        let o_addr = b.reg();
+
+        // Per-output-channel body: accumulate the window into `acc` and
+        // store `out[co, oy, ox]`.
+        let body = |b: &mut KernelBuilder, co: Reg| {
+            b.mad_lo(DType::U32, baddr, co, Operand::imm_u32(4), b_base.into());
+            b.ld_global(DType::F32, acc, baddr, 0);
+            // Weights stream sequentially from this channel's filter row.
+            b.mad_lo(DType::U32, w_ptr, co, Operand::imm_u32(4 * c_in * kh * kw), w_base.into());
+            // Channel loop counters are C `int`s (s32), spatial filter
+            // counters are narrow (u16) — the mix the paper's Figure 10
+            // observes.
+            emit_counted_loop(b, c_in, DType::S32, &mut |b, ci| {
+                b.mad_lo(DType::U32, ci_base, ci, ich4.into(), px_base.into());
+                emit_counted_loop(b, kh, DType::U16, &mut |b, ky| {
+                    b.mad_lo(DType::U32, row, ky, irow4.into(), ci_base.into());
+                    emit_counted_loop(b, kw, DType::U16, &mut |b, kx| {
+                        b.shl(DType::U32, a, kx.into(), Operand::imm_u32(2));
+                        b.add(DType::U32, a, a.into(), row.into());
+                        b.ld_global(DType::F32, xv, a, 0);
+                        b.ld_global(DType::F32, wv, w_ptr, 0);
+                        b.mad(DType::F32, acc, xv.into(), wv.into(), acc.into());
+                        b.add(DType::U32, w_ptr, w_ptr.into(), Operand::imm_u32(4));
+                    });
+                });
+            });
+            if relu {
+                b.max(DType::F32, acc, acc.into(), Operand::imm_f32(0.0));
+            }
+            b.mad_lo(DType::U32, o_off, co, och.into(), px.ox.into());
+            b.mad_lo(DType::U32, o_off, px.oy, orow.into(), o_off.into());
+            b.shl(DType::U32, o_addr, o_off.into(), Operand::imm_u32(2));
+            b.add(DType::U32, o_addr, o_addr.into(), out_base.into());
+            b.st_global(DType::F32, o_addr, 0, acc);
+        };
+
+        match style {
+            MapStyle::PerNeuron => body(&mut b, px.co),
+            MapStyle::ChannelLoop => {
+                emit_counted_loop(&mut b, c_out, DType::U32, &mut |b, co| body(b, co));
+            }
+        }
+        b.exit();
+        Ok(b.build()?)
+    }
+
+    /// Output height.
+    pub fn h_out(&self) -> u32 {
+        self.h_out
+    }
+
+    /// Output width.
+    pub fn w_out(&self) -> u32 {
+        self.w_out
+    }
+
+    /// Output channel count.
+    pub fn c_out(&self) -> u32 {
+        self.c_out
+    }
+
+    /// Number of weight elements the layer expects
+    /// (`c_out * c_in * kh * kw`).
+    pub fn weight_len(&self) -> usize {
+        (self.c_out * self.c_in * self.kh * self.kw) as usize
+    }
+
+    /// The compiled kernel.
+    pub fn kernel(&self) -> &LayerKernel {
+        &self.kernel
+    }
+
+    /// Runs the layer: reads `input` (whose halo must cover this layer's
+    /// padding), filter weights at `weights`, biases at `bias`, and writes
+    /// the interior of `output`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensors disagree with the constructed geometry —
+    /// layer wiring bugs, not runtime conditions.
+    pub fn launch(
+        &self,
+        gpu: &mut Gpu,
+        input: &DeviceTensor,
+        weights: u32,
+        bias: u32,
+        output: &DeviceTensor,
+        opts: &SimOptions,
+    ) -> KernelStats {
+        assert_eq!(input.channels(), self.c_in, "conv2d input channel mismatch");
+        assert_eq!((input.height(), input.width()), (self.h, self.w), "conv2d input size mismatch");
+        assert!(
+            input.pad() >= self.pad,
+            "conv2d needs a halo of {} but input has {}",
+            self.pad,
+            input.pad()
+        );
+        assert_eq!(output.channels(), self.c_out, "conv2d output channel mismatch");
+        assert_eq!(
+            (output.height(), output.width()),
+            (self.h_out, self.w_out),
+            "conv2d output size mismatch"
+        );
+        // Address of the window origin: `pad` pixels up-left of the interior.
+        let halo_origin = input.index_addr(0, 0, 0) - 4 * (self.pad * input.row_pitch() + self.pad);
+        let params = [
+            halo_origin,
+            weights,
+            bias,
+            output.interior_addr(),
+            input.row_pitch(),
+            input.ch_stride(),
+            output.row_pitch(),
+            output.ch_stride(),
+        ];
+        self.kernel.launch(gpu, &params, opts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tango_sim::GpuConfig;
+    use tango_tensor::{ops, Shape, SplitMix64, Tensor};
+
+    fn check_conv(c_in: u32, h: u32, w: u32, c_out: u32, k: u32, stride: u32, pad: u32, relu: bool, out_pad: u32) {
+        let mut rng = SplitMix64::new((c_in + h + k + stride + pad) as u64);
+        let input = Tensor::uniform(Shape::nchw(1, c_in as usize, h as usize, w as usize), -1.0, 1.0, &mut rng);
+        let filter = Tensor::uniform(
+            Shape::new(&[c_out as usize, c_in as usize, k as usize, k as usize]),
+            -0.5,
+            0.5,
+            &mut rng,
+        );
+        let bias = Tensor::uniform(Shape::vector(c_out as usize), -0.2, 0.2, &mut rng);
+
+        let conv = Conv2d::new(c_in, h, w, c_out, k, k, stride, pad, relu).unwrap();
+        let mut gpu = Gpu::new(GpuConfig::gp102());
+        let d_in = DeviceTensor::upload(&mut gpu, &input, pad).unwrap();
+        let d_w = gpu.upload_f32s(filter.as_slice());
+        let d_b = gpu.upload_f32s(bias.as_slice());
+        let d_out = DeviceTensor::alloc(&mut gpu, c_out, conv.h_out(), conv.w_out(), out_pad);
+        conv.launch(&mut gpu, &d_in, d_w, d_b, &d_out, &SimOptions::new().with_cta_sample_limit(None));
+
+        let mut expect = ops::conv2d(&input, &filter, &bias, &ops::Conv2dParams::new(stride as usize, pad as usize)).unwrap();
+        if relu {
+            expect = ops::relu(&expect);
+        }
+        let got = d_out.download(&gpu);
+        assert!(
+            got.approx_eq(&expect, 1e-4),
+            "conv {c_in}x{h}x{w} -> {c_out} k{k} s{stride} p{pad}: max diff {}",
+            got.max_abs_diff(&expect)
+        );
+    }
+
+    #[test]
+    fn matches_reference_basic() {
+        check_conv(3, 8, 8, 4, 3, 1, 0, false, 0);
+    }
+
+    #[test]
+    fn matches_reference_with_padding() {
+        check_conv(2, 6, 6, 3, 3, 1, 1, false, 0);
+    }
+
+    #[test]
+    fn matches_reference_strided() {
+        check_conv(3, 11, 11, 4, 3, 2, 0, false, 0);
+    }
+
+    #[test]
+    fn matches_reference_1x1() {
+        check_conv(8, 5, 5, 4, 1, 1, 0, false, 0);
+    }
+
+    #[test]
+    fn matches_reference_with_relu_and_out_halo() {
+        check_conv(2, 7, 7, 3, 3, 1, 1, true, 1);
+    }
+
+    #[test]
+    fn matches_reference_edge_tiles() {
+        // 33-wide output forces a partial tile in x.
+        check_conv(1, 35, 35, 2, 3, 1, 0, false, 0);
+    }
+
+    #[test]
+    fn single_block_variant_matches_per_neuron() {
+        use tango_tensor::{ops, Shape, SplitMix64, Tensor};
+        let mut rng = SplitMix64::new(99);
+        let input = Tensor::uniform(Shape::nchw(1, 3, 12, 12), -1.0, 1.0, &mut rng);
+        let filter = Tensor::uniform(Shape::new(&[8, 3, 5, 5]), -0.5, 0.5, &mut rng);
+        let bias = Tensor::uniform(Shape::vector(8), -0.2, 0.2, &mut rng);
+        let conv = Conv2d::new_single_block(3, 12, 12, 8, 5, 5, 1, 2, true).unwrap();
+        // Paper CifarNet geometry: one block covering the output plane.
+        assert_eq!(conv.kernel().grid().count(), 1);
+        assert_eq!(conv.kernel().block().count(), 12 * 12);
+        let mut gpu = Gpu::new(GpuConfig::gp102());
+        let d_in = DeviceTensor::upload(&mut gpu, &input, 2).unwrap();
+        let d_w = gpu.upload_f32s(filter.as_slice());
+        let d_b = gpu.upload_f32s(bias.as_slice());
+        let d_out = DeviceTensor::alloc(&mut gpu, 8, 12, 12, 0);
+        conv.launch(&mut gpu, &d_in, d_w, d_b, &d_out, &SimOptions::new().with_cta_sample_limit(None));
+        let expect = ops::relu(&ops::conv2d(&input, &filter, &bias, &ops::Conv2dParams::new(1, 2)).unwrap());
+        let got = d_out.download(&gpu);
+        assert!(got.approx_eq(&expect, 1e-4), "max diff {}", got.max_abs_diff(&expect));
+    }
+
+    #[test]
+    fn single_block_rejects_oversized_planes() {
+        assert!(Conv2d::new_single_block(3, 64, 64, 8, 3, 3, 1, 1, false).is_err());
+    }
+
+    #[test]
+    fn geometry_is_validated() {
+        assert!(Conv2d::new(0, 8, 8, 4, 3, 3, 1, 0, false).is_err());
+        assert!(Conv2d::new(3, 2, 2, 4, 5, 5, 1, 0, false).is_err());
+        assert!(Conv2d::new(3, 8, 8, 4, 3, 3, 0, 0, false).is_err());
+    }
+
+    #[test]
+    fn register_count_is_table_iii_scale() {
+        let conv = Conv2d::new(64, 32, 32, 64, 3, 3, 1, 1, false).unwrap();
+        let regs = conv.kernel().regs();
+        assert!(
+            (15..=40).contains(&regs),
+            "conv kernels should use a Table III-like register count, got {regs}"
+        );
+    }
+
+    #[test]
+    fn weight_len_matches_filter_tensor() {
+        let conv = Conv2d::new(3, 8, 8, 4, 5, 5, 1, 2, false).unwrap();
+        assert_eq!(conv.weight_len(), 4 * 3 * 5 * 5);
+    }
+}

@@ -1,0 +1,246 @@
+use crate::{KernelError, Result};
+use tango_sim::Gpu;
+use tango_tensor::{Shape, Tensor};
+
+/// A CHW activation tensor in device memory, stored with a zero halo of
+/// `pad` pixels on every spatial edge.
+///
+/// The halo is the device-side realization of convolution padding: a
+/// producer layer writes only the interior, so a consumer convolution can
+/// read `pad` pixels past the edge and find zeros without any bounds
+/// checks in its inner loop. Vectors (FC activations, RNN state) are
+/// `1 x 1 x n` tensors with `pad == 0`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeviceTensor {
+    addr: u32,
+    c: u32,
+    h: u32,
+    w: u32,
+    pad: u32,
+}
+
+impl DeviceTensor {
+    /// Allocates a zeroed device tensor of interior size `c x h x w` with a
+    /// halo of `pad`.
+    pub fn alloc(gpu: &mut Gpu, c: u32, h: u32, w: u32, pad: u32) -> Self {
+        let padded = (c as u64) * ((h + 2 * pad) as u64) * ((w + 2 * pad) as u64) * 4;
+        let addr = gpu.alloc_bytes(padded as u32);
+        DeviceTensor { addr, c, h, w, pad }
+    }
+
+    /// Allocates a flat vector of `n` floats (no halo).
+    pub fn alloc_vector(gpu: &mut Gpu, n: u32) -> Self {
+        DeviceTensor::alloc(gpu, 1, 1, n, 0)
+    }
+
+    /// Uploads a host tensor (rank 4 `1 x c x h x w`, rank 1 `n`) into a
+    /// fresh device tensor with halo `pad`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KernelError`] if the host tensor is not rank 1 or a
+    /// batch-1 rank 4.
+    pub fn upload(gpu: &mut Gpu, host: &Tensor, pad: u32) -> Result<Self> {
+        let dims = host.shape().dims();
+        let (c, h, w) = match dims {
+            [1, c, h, w] => (*c as u32, *h as u32, *w as u32),
+            [n] => (1, 1, *n as u32),
+            _ => {
+                return Err(KernelError::geometry(
+                    "device_tensor",
+                    format!("expected [1,c,h,w] or [n] host tensor, got {}", host.shape()),
+                ))
+            }
+        };
+        let dt = DeviceTensor::alloc(gpu, c, h, w, pad);
+        dt.overwrite(gpu, host)?;
+        Ok(dt)
+    }
+
+    /// Copies a host tensor of the interior shape into this tensor's
+    /// interior, leaving the halo zero.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KernelError`] if the element count differs from the
+    /// interior size.
+    pub fn overwrite(&self, gpu: &mut Gpu, host: &Tensor) -> Result<()> {
+        let interior = (self.c * self.h * self.w) as usize;
+        if host.len() != interior {
+            return Err(KernelError::geometry(
+                "device_tensor",
+                format!("host tensor has {} elements, interior holds {}", host.len(), interior),
+            ));
+        }
+        let data = host.as_slice();
+        let mem = gpu.memory_mut();
+        for ch in 0..self.c {
+            for y in 0..self.h {
+                let row = &data[((ch * self.h + y) * self.w) as usize..((ch * self.h + y) * self.w + self.w) as usize];
+                let addr = self.index_addr(ch, y, 0);
+                mem.write_f32s(addr, row);
+            }
+        }
+        Ok(())
+    }
+
+    /// Downloads the interior as a `1 x c x h x w` host tensor (or `[n]`
+    /// for vectors).
+    pub fn download(&self, gpu: &Gpu) -> Tensor {
+        let mut data = Vec::with_capacity((self.c * self.h * self.w) as usize);
+        for ch in 0..self.c {
+            for y in 0..self.h {
+                let addr = self.index_addr(ch, y, 0);
+                data.extend(gpu.memory().read_f32s(addr, self.w as usize));
+            }
+        }
+        let shape = if self.c == 1 && self.h == 1 {
+            Shape::vector(self.w as usize)
+        } else {
+            Shape::nchw(1, self.c as usize, self.h as usize, self.w as usize)
+        };
+        Tensor::from_vec(shape, data)
+    }
+
+    /// Base address of the allocation (the halo corner).
+    pub fn raw_addr(&self) -> u32 {
+        self.addr
+    }
+
+    /// Address of interior element `(0, 0, 0)` — what kernels receive.
+    pub fn interior_addr(&self) -> u32 {
+        self.addr + 4 * (self.pad * self.row_pitch() + self.pad)
+    }
+
+    /// Byte address of interior element `(ch, y, x)`.
+    pub fn index_addr(&self, ch: u32, y: u32, x: u32) -> u32 {
+        self.interior_addr() + 4 * (ch * self.ch_stride() + y * self.row_pitch() + x)
+    }
+
+    /// Elements per padded row.
+    pub fn row_pitch(&self) -> u32 {
+        self.w + 2 * self.pad
+    }
+
+    /// Elements per padded channel plane.
+    pub fn ch_stride(&self) -> u32 {
+        (self.h + 2 * self.pad) * self.row_pitch()
+    }
+
+    /// Interior channel count.
+    pub fn channels(&self) -> u32 {
+        self.c
+    }
+
+    /// Interior height.
+    pub fn height(&self) -> u32 {
+        self.h
+    }
+
+    /// Interior width.
+    pub fn width(&self) -> u32 {
+        self.w
+    }
+
+    /// Halo width in pixels.
+    pub fn pad(&self) -> u32 {
+        self.pad
+    }
+
+    /// A view of `count` channels starting at `offset`, sharing this
+    /// tensor's storage. Grouped convolutions (AlexNet) and fire-module
+    /// concatenation (SqueezeNet) read/write through such views.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the channel range is out of bounds.
+    pub fn channel_slice(&self, offset: u32, count: u32) -> DeviceTensor {
+        assert!(
+            offset + count <= self.c,
+            "channel slice {offset}..{} exceeds {} channels",
+            offset + count,
+            self.c
+        );
+        DeviceTensor {
+            addr: self.addr + 4 * offset * self.ch_stride(),
+            c: count,
+            h: self.h,
+            w: self.w,
+            pad: self.pad,
+        }
+    }
+
+    /// Interior element count.
+    pub fn len(&self) -> u32 {
+        self.c * self.h * self.w
+    }
+
+    /// Whether the interior is empty (never true: dimensions are positive).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tango_sim::GpuConfig;
+    use tango_tensor::SplitMix64;
+
+    #[test]
+    fn upload_download_roundtrip_padded() {
+        let mut gpu = Gpu::new(GpuConfig::gp102());
+        let mut rng = SplitMix64::new(3);
+        let host = Tensor::uniform(Shape::nchw(1, 2, 3, 4), -1.0, 1.0, &mut rng);
+        let dt = DeviceTensor::upload(&mut gpu, &host, 2).unwrap();
+        assert_eq!(dt.row_pitch(), 8);
+        assert_eq!(dt.ch_stride(), 7 * 8);
+        let back = dt.download(&gpu);
+        assert_eq!(back, host);
+    }
+
+    #[test]
+    fn halo_is_zero() {
+        let mut gpu = Gpu::new(GpuConfig::gp102());
+        let host = Tensor::filled(Shape::nchw(1, 1, 2, 2), 5.0);
+        let dt = DeviceTensor::upload(&mut gpu, &host, 1).unwrap();
+        // Read the full padded plane and check the border.
+        let plane = gpu.memory().read_f32s(dt.raw_addr(), (dt.ch_stride()) as usize);
+        let pitch = dt.row_pitch() as usize;
+        for y in 0..4 {
+            for x in 0..4 {
+                let v = plane[y * pitch + x];
+                let interior = (1..3).contains(&y) && (1..3).contains(&x);
+                if interior {
+                    assert_eq!(v, 5.0);
+                } else {
+                    assert_eq!(v, 0.0, "halo at ({y},{x}) must be zero");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn vectors_have_no_halo() {
+        let mut gpu = Gpu::new(GpuConfig::gp102());
+        let host = Tensor::from_vec(Shape::vector(5), vec![1.0, 2.0, 3.0, 4.0, 5.0]);
+        let dt = DeviceTensor::upload(&mut gpu, &host, 0).unwrap();
+        assert_eq!(dt.interior_addr(), dt.raw_addr());
+        assert_eq!(dt.download(&gpu).as_slice(), host.as_slice());
+    }
+
+    #[test]
+    fn wrong_shape_is_rejected() {
+        let mut gpu = Gpu::new(GpuConfig::gp102());
+        let host = Tensor::zeros(Shape::matrix(2, 2));
+        assert!(DeviceTensor::upload(&mut gpu, &host, 0).is_err());
+    }
+
+    #[test]
+    fn overwrite_validates_size() {
+        let mut gpu = Gpu::new(GpuConfig::gp102());
+        let dt = DeviceTensor::alloc(&mut gpu, 1, 2, 2, 0);
+        let wrong = Tensor::zeros(Shape::vector(5));
+        assert!(dt.overwrite(&mut gpu, &wrong).is_err());
+    }
+}

@@ -1,0 +1,241 @@
+use crate::emit::{emit_counted_loop, emit_pixel_id, tile_geometry};
+use crate::{DeviceTensor, KernelError, LayerKernel, Result};
+use tango_isa::{DType, KernelBuilder, Operand};
+use tango_sim::{Gpu, KernelStats, SimOptions};
+
+/// A depthwise 2-D convolution kernel — the spatial half of MobileNet's
+/// depthwise-separable convolutions (the network the paper names as the
+/// suite's next addition).
+///
+/// One thread computes one output neuron `(c, y, x)` by convolving its
+/// own channel with a single-channel filter; the pointwise half is a
+/// regular 1x1 [`Conv2d`](crate::Conv2d).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DepthwiseConv2d {
+    c: u32,
+    h: u32,
+    w: u32,
+    k: u32,
+    stride: u32,
+    pad: u32,
+    relu: bool,
+    h_out: u32,
+    w_out: u32,
+    kernel: LayerKernel,
+}
+
+impl DepthwiseConv2d {
+    /// Builds the kernel for a `c x h x w` input and `c` filters of
+    /// `k x k`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KernelError`] on zero dimensions or a filter that does
+    /// not fit the padded input.
+    pub fn new(c: u32, h: u32, w: u32, k: u32, stride: u32, pad: u32, relu: bool) -> Result<Self> {
+        if c == 0 || h == 0 || w == 0 || k == 0 {
+            return Err(KernelError::geometry("depthwise_conv2d", "all dimensions must be positive"));
+        }
+        if stride == 0 {
+            return Err(KernelError::geometry("depthwise_conv2d", "stride must be positive"));
+        }
+        if h + 2 * pad < k || w + 2 * pad < k {
+            return Err(KernelError::geometry(
+                "depthwise_conv2d",
+                format!("{k}x{k} filter does not fit {h}x{w} input with pad {pad}"),
+            ));
+        }
+        let h_out = (h + 2 * pad - k) / stride + 1;
+        let w_out = (w + 2 * pad - k) / stride + 1;
+        let (grid, block) = tile_geometry(c, h_out, w_out);
+
+        let mut b = KernelBuilder::new(format!("dwconv{k}x{k}s{stride}_{c}ch"));
+        let px = emit_pixel_id(&mut b, h_out, w_out, block);
+        let in_base = b.load_param(0); // halo origin
+        let w_base = b.load_param(1);
+        let b_base = b.load_param(2);
+        let out_base = b.load_param(3);
+        let irow = b.load_param(4);
+        let ich = b.load_param(5);
+        let orow = b.load_param(6);
+        let och = b.load_param(7);
+
+        let acc = b.reg();
+        let baddr = b.reg();
+        b.mad_lo(DType::U32, baddr, px.co, Operand::imm_u32(4), b_base.into());
+        b.ld_global(DType::F32, acc, baddr, 0);
+
+        // This channel's window origin relative to the halo origin.
+        let iy0 = b.reg();
+        b.mul(DType::U32, iy0, px.oy.into(), Operand::imm_u32(stride));
+        let ix0 = b.reg();
+        b.mul(DType::U32, ix0, px.ox.into(), Operand::imm_u32(stride));
+        let px_off = b.reg();
+        b.mad_lo(DType::U32, px_off, iy0, irow.into(), ix0.into());
+        let ch_base = b.reg();
+        b.mad_lo(DType::U32, ch_base, px.co, ich.into(), px_off.into());
+        let px_base = b.reg();
+        b.shl(DType::U32, px_base, ch_base.into(), Operand::imm_u32(2));
+        b.add(DType::U32, px_base, px_base.into(), in_base.into());
+
+        // Filter row streams sequentially from this channel's k*k taps.
+        let w_ptr = b.reg();
+        b.mad_lo(DType::U32, w_ptr, px.co, Operand::imm_u32(4 * k * k), w_base.into());
+        let irow4 = b.reg();
+        b.shl(DType::U32, irow4, irow.into(), Operand::imm_u32(2));
+
+        let row = b.reg();
+        let a = b.reg();
+        let xv = b.reg();
+        let wv = b.reg();
+        emit_counted_loop(&mut b, k, DType::U16, &mut |b, ky| {
+            b.mad_lo(DType::U32, row, ky, irow4.into(), px_base.into());
+            emit_counted_loop(b, k, DType::U16, &mut |b, kx| {
+                b.shl(DType::U32, a, kx.into(), Operand::imm_u32(2));
+                b.add(DType::U32, a, a.into(), row.into());
+                b.ld_global(DType::F32, xv, a, 0);
+                b.ld_global(DType::F32, wv, w_ptr, 0);
+                b.mad(DType::F32, acc, xv.into(), wv.into(), acc.into());
+                b.add(DType::U32, w_ptr, w_ptr.into(), Operand::imm_u32(4));
+            });
+        });
+        if relu {
+            b.max(DType::F32, acc, acc.into(), Operand::imm_f32(0.0));
+        }
+        let o_off = b.reg();
+        b.mad_lo(DType::U32, o_off, px.co, och.into(), px.ox.into());
+        b.mad_lo(DType::U32, o_off, px.oy, orow.into(), o_off.into());
+        let o_addr = b.reg();
+        b.shl(DType::U32, o_addr, o_off.into(), Operand::imm_u32(2));
+        b.add(DType::U32, o_addr, o_addr.into(), out_base.into());
+        b.st_global(DType::F32, o_addr, 0, acc);
+        b.exit();
+        let program = b.build()?;
+
+        Ok(DepthwiseConv2d {
+            c,
+            h,
+            w,
+            k,
+            stride,
+            pad,
+            relu,
+            h_out,
+            w_out,
+            kernel: LayerKernel::new(program, grid, block),
+        })
+    }
+
+    /// Output height.
+    pub fn h_out(&self) -> u32 {
+        self.h_out
+    }
+
+    /// Output width.
+    pub fn w_out(&self) -> u32 {
+        self.w_out
+    }
+
+    /// Number of weight elements (`c * k * k`).
+    pub fn weight_len(&self) -> usize {
+        (self.c * self.k * self.k) as usize
+    }
+
+    /// The compiled kernel.
+    pub fn kernel(&self) -> &LayerKernel {
+        &self.kernel
+    }
+
+    /// Runs the layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensors disagree with the constructed geometry.
+    pub fn launch(
+        &self,
+        gpu: &mut Gpu,
+        input: &DeviceTensor,
+        weights: u32,
+        bias: u32,
+        output: &DeviceTensor,
+        opts: &SimOptions,
+    ) -> KernelStats {
+        assert_eq!(input.channels(), self.c, "depthwise input channel mismatch");
+        assert_eq!((input.height(), input.width()), (self.h, self.w));
+        assert!(input.pad() >= self.pad, "depthwise needs a halo of {}", self.pad);
+        assert_eq!((output.channels(), output.height(), output.width()), (self.c, self.h_out, self.w_out));
+        let halo_origin = input.index_addr(0, 0, 0) - 4 * (self.pad * input.row_pitch() + self.pad);
+        let params = [
+            halo_origin,
+            weights,
+            bias,
+            output.interior_addr(),
+            input.row_pitch(),
+            input.ch_stride(),
+            output.row_pitch(),
+            output.ch_stride(),
+        ];
+        self.kernel.launch(gpu, &params, opts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tango_sim::GpuConfig;
+    use tango_tensor::{ops, Shape, SplitMix64, Tensor};
+
+    fn check(c: u32, hw: u32, k: u32, stride: u32, pad: u32, relu: bool) {
+        let mut rng = SplitMix64::new((c + hw * 3 + k) as u64);
+        let input = Tensor::uniform(Shape::nchw(1, c as usize, hw as usize, hw as usize), -1.0, 1.0, &mut rng);
+        let filter = Tensor::uniform(Shape::new(&[c as usize, 1, k as usize, k as usize]), -0.5, 0.5, &mut rng);
+        let bias = Tensor::uniform(Shape::vector(c as usize), -0.1, 0.1, &mut rng);
+        let dw = DepthwiseConv2d::new(c, hw, hw, k, stride, pad, relu).unwrap();
+        let mut gpu = Gpu::new(GpuConfig::gp102());
+        let d_in = DeviceTensor::upload(&mut gpu, &input, pad).unwrap();
+        let d_w = gpu.upload_f32s(filter.as_slice());
+        let d_b = gpu.upload_f32s(bias.as_slice());
+        let d_out = DeviceTensor::alloc(&mut gpu, c, dw.h_out(), dw.w_out(), 0);
+        dw.launch(&mut gpu, &d_in, d_w, d_b, &d_out, &SimOptions::new().with_cta_sample_limit(None));
+        let mut expect =
+            ops::depthwise_conv2d(&input, &filter, &bias, &ops::Conv2dParams::new(stride as usize, pad as usize))
+                .unwrap();
+        if relu {
+            expect = ops::relu(&expect);
+        }
+        let got = d_out.download(&gpu);
+        assert!(
+            got.approx_eq(&expect, 1e-4),
+            "dw c{c} {hw}x{hw} k{k} s{stride} p{pad}: max diff {}",
+            got.max_abs_diff(&expect)
+        );
+    }
+
+    #[test]
+    fn matches_reference_unit_stride() {
+        check(4, 8, 3, 1, 1, false);
+    }
+
+    #[test]
+    fn matches_reference_strided_with_relu() {
+        check(6, 9, 3, 2, 1, true);
+    }
+
+    #[test]
+    fn matches_reference_5x5() {
+        check(2, 10, 5, 1, 2, false);
+    }
+
+    #[test]
+    fn geometry_is_validated() {
+        assert!(DepthwiseConv2d::new(0, 8, 8, 3, 1, 1, false).is_err());
+        assert!(DepthwiseConv2d::new(4, 2, 2, 5, 1, 0, false).is_err());
+        assert!(DepthwiseConv2d::new(4, 8, 8, 3, 0, 1, false).is_err());
+    }
+
+    #[test]
+    fn register_count_stays_table_iii_scale() {
+        let dw = DepthwiseConv2d::new(32, 16, 16, 3, 1, 1, true).unwrap();
+        assert!(dw.kernel().regs() < 40, "regs {}", dw.kernel().regs());
+    }
+}

@@ -1,0 +1,175 @@
+//! Shared code-generation helpers used by every layer kernel.
+
+use tango_isa::{CmpOp, DType, Dim3, KernelBuilder, Operand, Reg};
+
+/// log2(e), used to build `exp` out of the hardware `ex2`.
+pub(crate) const LOG2_E: f32 = std::f32::consts::LOG2_E;
+
+/// Picks a `(grid, block)` pair that covers `c x h x w` output neurons with
+/// one thread each: `blockDim = (min(w,32), min(h,32))`, channels across
+/// `gridDim.x`, spatial tiles across `gridDim.y/z`. This is the geometry
+/// family of the paper's Table III (e.g. AlexNet's 96-block 32x32 layers).
+pub(crate) fn tile_geometry(c: u32, h: u32, w: u32) -> (Dim3, Dim3) {
+    let bw = w.clamp(1, 32);
+    let bh = h.clamp(1, 32).min(1024 / bw);
+    let tiles_y = h.div_ceil(bh);
+    let tiles_x = w.div_ceil(bw);
+    (Dim3::xyz(c, tiles_y, tiles_x), Dim3::xy(bw, bh))
+}
+
+/// The per-thread output coordinates emitted by [`emit_pixel_id`].
+pub(crate) struct PixelId {
+    pub co: Reg,
+    pub oy: Reg,
+    pub ox: Reg,
+}
+
+/// Emits the standard prologue for pixel-per-thread kernels laid out by
+/// [`tile_geometry`]: computes `(channel, y, x)` and exits out-of-range
+/// threads of edge tiles.
+pub(crate) fn emit_pixel_id(b: &mut KernelBuilder, h: u32, w: u32, block: Dim3) -> PixelId {
+    use tango_isa::Special;
+    let co = b.reg();
+    let oy = b.reg();
+    let ox = b.reg();
+    b.ctaid_x(co);
+    let ty = b.reg();
+    b.ctaid_y(ty);
+    b.mad_lo(DType::U32, oy, ty, Operand::imm_u32(block.y), Special::TidY.into());
+    let tx = b.reg();
+    b.ctaid_z(tx);
+    b.mad_lo(DType::U32, ox, tx, Operand::imm_u32(block.x), Special::TidX.into());
+    // Edge tiles: retire threads past the output extent.
+    if !h.is_multiple_of(block.y) {
+        let p = b.pred();
+        b.set(CmpOp::Ge, DType::U32, p, oy.into(), Operand::imm_u32(h));
+        b.exit();
+        b.guard_last(p, true);
+    }
+    if !w.is_multiple_of(block.x) {
+        let p = b.pred();
+        b.set(CmpOp::Ge, DType::U32, p, ox.into(), Operand::imm_u32(w));
+        b.exit();
+        b.guard_last(p, true);
+    }
+    PixelId { co, oy, ox }
+}
+
+/// Emits a counted loop `for i in 0..bound` with the counter typed `dtype`
+/// (narrow types for small filter loops, matching the u16 traffic the paper
+/// observes). With `bound == 1` the body is emitted straight-line, like a
+/// compiler unrolling a trivial loop.
+pub(crate) fn emit_counted_loop(
+    b: &mut KernelBuilder,
+    bound: u32,
+    dtype: DType,
+    body: &mut dyn FnMut(&mut KernelBuilder, Reg),
+) {
+    let i = b.reg();
+    b.mov(dtype, i, Operand::imm_u32(0));
+    if bound <= 1 {
+        body(b, i);
+        return;
+    }
+    let p = b.pred();
+    let top = b.place_new_label();
+    body(b, i);
+    b.add(dtype, i, i.into(), Operand::imm_u32(1));
+    b.set(CmpOp::Lt, dtype, p, i.into(), Operand::imm_u32(bound));
+    b.bra_if(p, true, top);
+}
+
+/// Emits the logistic sigmoid `dst = 1 / (1 + 2^(-x * log2 e))` with SFU
+/// ops. `dst` may alias `x`.
+pub(crate) fn emit_sigmoid(b: &mut KernelBuilder, dst: Reg, x: Reg) {
+    let t = b.reg();
+    b.mul(DType::F32, t, x.into(), Operand::imm_f32(-LOG2_E));
+    b.ex2(t, t.into());
+    b.add(DType::F32, t, t.into(), Operand::imm_f32(1.0));
+    b.rcp(dst, t.into());
+}
+
+/// Emits `dst = tanh(x) = 2 / (1 + 2^(-2x * log2 e)) - 1`. `dst` may alias
+/// `x`.
+pub(crate) fn emit_tanh(b: &mut KernelBuilder, dst: Reg, x: Reg) {
+    let t = b.reg();
+    b.mul(DType::F32, t, x.into(), Operand::imm_f32(-2.0 * LOG2_E));
+    b.ex2(t, t.into());
+    b.add(DType::F32, t, t.into(), Operand::imm_f32(1.0));
+    b.rcp(t, t.into());
+    b.mad(DType::F32, dst, t.into(), Operand::imm_f32(2.0), Operand::imm_f32(-1.0));
+}
+
+/// Emits `dst = x^(-3/4)` (the LRN denominator) from `rsqrt`/`mul`:
+/// `sqrt(x) = x * rsqrt(x)`, then `x^(-3/4) = rsqrt(x * sqrt(x))`.
+pub(crate) fn emit_pow_neg_three_quarters(b: &mut KernelBuilder, dst: Reg, x: Reg) {
+    let r = b.reg();
+    b.rsqrt(r, x.into());
+    b.mul(DType::F32, r, x.into(), r.into()); // sqrt(x)
+    b.mul(DType::F32, r, x.into(), r.into()); // x^1.5
+    b.rsqrt(dst, r.into());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tango_isa::Dim3 as D;
+
+    #[test]
+    fn tile_geometry_covers_all_neurons() {
+        for &(c, h, w) in &[(96u32, 55u32, 55u32), (1, 32, 32), (64, 1, 1), (1000, 1, 1)] {
+            let (grid, block) = tile_geometry(c, h, w);
+            assert!(block.count() <= 1024);
+            assert!(grid.x == c);
+            assert!(grid.y as u64 * block.y as u64 >= h as u64);
+            assert!(grid.z as u64 * block.x as u64 >= w as u64);
+        }
+    }
+
+    #[test]
+    fn tile_geometry_exact_for_small_layers() {
+        let (grid, block) = tile_geometry(1, 32, 32);
+        assert_eq!(grid, D::xyz(1, 1, 1));
+        assert_eq!(block, D::xy(32, 32));
+    }
+
+    #[test]
+    fn alexnet_conv1_split_matches_paper_scale() {
+        // 96 channels of 55x55: the paper used 4 kernels of 96 blocks;
+        // we use one kernel with 96 x 2 x 2 tiles — same thread count.
+        let (grid, block) = tile_geometry(96, 55, 55);
+        assert_eq!(grid.x, 96);
+        assert_eq!(grid.y, 2);
+        assert_eq!(grid.z, 2);
+        assert_eq!(block, D::xy(32, 32));
+    }
+
+    #[test]
+    fn sigmoid_and_tanh_emit_sfu_ops() {
+        use tango_isa::{KernelBuilder, Opcode};
+        let mut b = KernelBuilder::new("act");
+        let x = b.reg();
+        b.mov(DType::F32, x, Operand::imm_f32(0.5));
+        let s = b.reg();
+        emit_sigmoid(&mut b, s, x);
+        let t = b.reg();
+        emit_tanh(&mut b, t, x);
+        b.exit();
+        let p = b.build().unwrap();
+        let ops = p.static_op_counts();
+        assert!(ops[&Opcode::Ex2] >= 2);
+        assert!(ops[&Opcode::Rcp] >= 2);
+    }
+
+    #[test]
+    fn counted_loop_unrolls_single_iteration() {
+        use tango_isa::{KernelBuilder, Opcode};
+        let mut b = KernelBuilder::new("l1");
+        emit_counted_loop(&mut b, 1, DType::U16, &mut |b, _i| {
+            b.nop();
+        });
+        b.exit();
+        let p = b.build().unwrap();
+        assert!(!p.static_op_counts().contains_key(&Opcode::Bra));
+    }
+}

@@ -1,0 +1,66 @@
+use std::error::Error;
+use std::fmt;
+use tango_isa::IsaError;
+
+/// Error produced when constructing a layer kernel.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum KernelError {
+    /// A layer dimension is zero or inconsistent (e.g. filter larger than
+    /// the padded input).
+    BadGeometry {
+        /// Layer kind ("conv2d", "max_pool2d", ...).
+        layer: &'static str,
+        /// What is wrong.
+        message: String,
+    },
+    /// The emitted program failed ISA validation — a generator bug.
+    Codegen(IsaError),
+}
+
+impl KernelError {
+    pub(crate) fn geometry(layer: &'static str, message: impl Into<String>) -> Self {
+        KernelError::BadGeometry {
+            layer,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for KernelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KernelError::BadGeometry { layer, message } => {
+                write!(f, "{layer}: invalid geometry, {message}")
+            }
+            KernelError::Codegen(e) => write!(f, "kernel code generation produced an invalid program: {e}"),
+        }
+    }
+}
+
+impl Error for KernelError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            KernelError::Codegen(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+#[doc(hidden)]
+impl From<IsaError> for KernelError {
+    fn from(e: IsaError) -> Self {
+        KernelError::Codegen(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_layer() {
+        let e = KernelError::geometry("conv2d", "stride must be positive");
+        assert!(e.to_string().contains("conv2d"));
+    }
+}

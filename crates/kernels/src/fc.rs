@@ -1,0 +1,230 @@
+use crate::emit::emit_counted_loop;
+use crate::{DeviceTensor, KernelError, LayerKernel, Result};
+use tango_isa::{CmpOp, DType, Dim3, KernelBuilder, Operand};
+use tango_sim::{Gpu, KernelStats, SimOptions};
+
+/// A fully-connected (inner-product) layer kernel.
+///
+/// One thread computes one output neuron, streaming its whole weight row —
+/// the access pattern behind the paper's Observation that FC layers are
+/// the memory-throttled, low-locality layers (Figures 7, 13, 14). The
+/// block width is a parameter because the paper's nets disagree: AlexNet
+/// runs FC layers as 4096 blocks of a single thread, CifarNet as one block
+/// of 64.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FullyConnected {
+    c: u32,
+    h: u32,
+    w: u32,
+    out_features: u32,
+    relu: bool,
+    kernel: LayerKernel,
+}
+
+impl FullyConnected {
+    /// Builds the kernel for an input of interior shape `c x h x w`
+    /// (flattened in CHW order) and `out_features` outputs, launched as
+    /// blocks of `block_x` threads.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KernelError`] if a dimension is zero or `block_x`
+    /// exceeds 1024.
+    pub fn new(c: u32, h: u32, w: u32, out_features: u32, block_x: u32, relu: bool) -> Result<Self> {
+        if c == 0 || h == 0 || w == 0 || out_features == 0 {
+            return Err(KernelError::geometry("fully_connected", "all dimensions must be positive"));
+        }
+        if block_x == 0 || block_x > 1024 {
+            return Err(KernelError::geometry("fully_connected", "block width must be in 1..=1024"));
+        }
+        let grid = Dim3::x(out_features.div_ceil(block_x));
+        let block = Dim3::x(block_x);
+        let in_features = c * h * w;
+
+        let mut b = KernelBuilder::new(format!("fc_{in_features}to{out_features}"));
+        let neuron = b.global_tid_x();
+        if !out_features.is_multiple_of(block_x) {
+            let p = b.pred();
+            b.set(CmpOp::Ge, DType::U32, p, neuron.into(), Operand::imm_u32(out_features));
+            b.exit();
+            b.guard_last(p, true);
+        }
+        let in_base = b.load_param(0); // interior origin
+        let w_base = b.load_param(1);
+        let b_base = b.load_param(2);
+        let out_base = b.load_param(3);
+        let irow = b.load_param(4);
+        let ich = b.load_param(5);
+
+        let acc = b.reg();
+        let baddr = b.reg();
+        b.mad_lo(DType::U32, baddr, neuron, Operand::imm_u32(4), b_base.into());
+        b.ld_global(DType::F32, acc, baddr, 0);
+
+        // Weight row streams sequentially.
+        let w_ptr = b.reg();
+        b.mad_lo(DType::U32, w_ptr, neuron, Operand::imm_u32(4 * in_features), w_base.into());
+
+        let row = b.reg();
+        let addr = b.reg();
+        let xv = b.reg();
+        let wv = b.reg();
+        let ch_base = b.reg();
+        emit_counted_loop(&mut b, c, DType::U32, &mut |b, ci| {
+            b.mul(DType::U32, ch_base, ci.into(), ich.into());
+            emit_counted_loop(b, h, DType::U16, &mut |b, y| {
+                b.mad_lo(DType::U32, row, y, irow.into(), ch_base.into());
+                emit_counted_loop(b, w, DType::U16, &mut |b, x| {
+                    b.add(DType::U32, addr, row.into(), x.into());
+                    b.shl(DType::U32, addr, addr.into(), Operand::imm_u32(2));
+                    b.add(DType::U32, addr, addr.into(), in_base.into());
+                    b.ld_global(DType::F32, xv, addr, 0);
+                    b.ld_global(DType::F32, wv, w_ptr, 0);
+                    b.mad(DType::F32, acc, xv.into(), wv.into(), acc.into());
+                    b.add(DType::U32, w_ptr, w_ptr.into(), Operand::imm_u32(4));
+                });
+            });
+        });
+
+        if relu {
+            b.max(DType::F32, acc, acc.into(), Operand::imm_f32(0.0));
+        }
+        let o_addr = b.reg();
+        b.mad_lo(DType::U32, o_addr, neuron, Operand::imm_u32(4), out_base.into());
+        b.st_global(DType::F32, o_addr, 0, acc);
+        b.exit();
+        let program = b.build()?;
+        Ok(FullyConnected {
+            c,
+            h,
+            w,
+            out_features,
+            relu,
+            kernel: LayerKernel::new(program, grid, block),
+        })
+    }
+
+    /// Number of weight elements (`out_features * c * h * w`).
+    pub fn weight_len(&self) -> usize {
+        (self.out_features * self.c * self.h * self.w) as usize
+    }
+
+    /// Output width.
+    pub fn out_features(&self) -> u32 {
+        self.out_features
+    }
+
+    /// The compiled kernel.
+    pub fn kernel(&self) -> &LayerKernel {
+        &self.kernel
+    }
+
+    /// Runs the layer; `output` is an `out_features` vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor geometry disagrees with the construction.
+    pub fn launch(
+        &self,
+        gpu: &mut Gpu,
+        input: &DeviceTensor,
+        weights: u32,
+        bias: u32,
+        output: &DeviceTensor,
+        opts: &SimOptions,
+    ) -> KernelStats {
+        assert_eq!(
+            (input.channels(), input.height(), input.width()),
+            (self.c, self.h, self.w),
+            "fully_connected input mismatch"
+        );
+        assert_eq!(output.len(), self.out_features, "fully_connected output mismatch");
+        let params = [
+            input.interior_addr(),
+            weights,
+            bias,
+            output.interior_addr(),
+            input.row_pitch(),
+            input.ch_stride(),
+        ];
+        self.kernel.launch(gpu, &params, opts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tango_sim::GpuConfig;
+    use tango_tensor::{ops, Shape, SplitMix64, Tensor};
+
+    fn check_fc(c: u32, h: u32, w: u32, out: u32, block_x: u32, relu: bool) {
+        let mut rng = SplitMix64::new((c * 31 + out) as u64);
+        let in_features = (c * h * w) as usize;
+        let input = Tensor::uniform(Shape::nchw(1, c as usize, h as usize, w as usize), -1.0, 1.0, &mut rng);
+        let weights = Tensor::uniform(Shape::matrix(out as usize, in_features), -0.3, 0.3, &mut rng);
+        let bias = Tensor::uniform(Shape::vector(out as usize), -0.1, 0.1, &mut rng);
+
+        let fc = FullyConnected::new(c, h, w, out, block_x, relu).unwrap();
+        let mut gpu = Gpu::new(GpuConfig::gp102());
+        let d_in = DeviceTensor::upload(&mut gpu, &input, 0).unwrap();
+        let d_w = gpu.upload_f32s(weights.as_slice());
+        let d_b = gpu.upload_f32s(bias.as_slice());
+        let d_out = DeviceTensor::alloc_vector(&mut gpu, out);
+        fc.launch(&mut gpu, &d_in, d_w, d_b, &d_out, &SimOptions::new().with_cta_sample_limit(None));
+
+        let mut expect = ops::fully_connected(&input, &weights, &bias).unwrap();
+        if relu {
+            expect = ops::relu(&expect);
+        }
+        let got = d_out.download(&gpu);
+        assert!(
+            got.approx_eq(&expect, 2e-4),
+            "fc {in_features}->{out}: max diff {}",
+            got.max_abs_diff(&expect)
+        );
+    }
+
+    #[test]
+    fn matches_reference_vector_input() {
+        check_fc(1, 1, 64, 16, 16, false);
+    }
+
+    #[test]
+    fn matches_reference_chw_input() {
+        check_fc(4, 3, 3, 10, 10, false);
+    }
+
+    #[test]
+    fn matches_reference_single_thread_blocks() {
+        // AlexNet-style (N,1,1) grid of (1,1,1) blocks.
+        check_fc(1, 1, 32, 8, 1, false);
+    }
+
+    #[test]
+    fn matches_reference_with_relu_and_ragged_grid() {
+        check_fc(1, 1, 20, 7, 4, true);
+    }
+
+    #[test]
+    fn reads_through_padding() {
+        let mut rng = SplitMix64::new(11);
+        let input = Tensor::uniform(Shape::nchw(1, 2, 3, 3), -1.0, 1.0, &mut rng);
+        let weights = Tensor::uniform(Shape::matrix(5, 18), -0.3, 0.3, &mut rng);
+        let bias = Tensor::zeros(Shape::vector(5));
+        let fc = FullyConnected::new(2, 3, 3, 5, 5, false).unwrap();
+        let mut gpu = Gpu::new(GpuConfig::gp102());
+        let d_in = DeviceTensor::upload(&mut gpu, &input, 1).unwrap(); // halo present
+        let d_w = gpu.upload_f32s(weights.as_slice());
+        let d_b = gpu.upload_f32s(bias.as_slice());
+        let d_out = DeviceTensor::alloc_vector(&mut gpu, 5);
+        fc.launch(&mut gpu, &d_in, d_w, d_b, &d_out, &SimOptions::new().with_cta_sample_limit(None));
+        let expect = ops::fully_connected(&input, &weights, &bias).unwrap();
+        assert!(d_out.download(&gpu).approx_eq(&expect, 1e-4));
+    }
+
+    #[test]
+    fn geometry_is_validated() {
+        assert!(FullyConnected::new(0, 1, 1, 4, 1, false).is_err());
+        assert!(FullyConnected::new(1, 1, 8, 4, 2000, false).is_err());
+    }
+}

@@ -1,0 +1,60 @@
+use tango_isa::{Dim3, KernelProgram};
+use tango_sim::{Gpu, KernelStats, SimOptions};
+
+/// A compiled layer kernel: the program plus its launch geometry.
+///
+/// The `gridDim`/`blockDim` pair, register count, shared-memory and
+/// constant-memory usage of these objects are what the paper's Table III
+/// tabulates per layer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayerKernel {
+    program: KernelProgram,
+    grid: Dim3,
+    block: Dim3,
+}
+
+impl LayerKernel {
+    pub(crate) fn new(program: KernelProgram, grid: Dim3, block: Dim3) -> Self {
+        LayerKernel { program, grid, block }
+    }
+
+    /// The instruction stream.
+    pub fn program(&self) -> &KernelProgram {
+        &self.program
+    }
+
+    /// Grid dimensions (`gridDim`).
+    pub fn grid(&self) -> Dim3 {
+        self.grid
+    }
+
+    /// Block dimensions (`blockDim`).
+    pub fn block(&self) -> Dim3 {
+        self.block
+    }
+
+    /// Per-thread register count (Table III's `regs`).
+    pub fn regs(&self) -> u32 {
+        self.program.register_count()
+    }
+
+    /// Declared shared memory in bytes (Table III's `smem`).
+    pub fn smem_bytes(&self) -> u32 {
+        self.program.smem_bytes()
+    }
+
+    /// Constant-memory footprint in bytes (Table III's `cmem`).
+    pub fn cmem_bytes(&self) -> u32 {
+        self.program.cmem_bytes()
+    }
+
+    /// Total threads launched.
+    pub fn total_threads(&self) -> u64 {
+        self.grid.count() * self.block.count()
+    }
+
+    /// Launches the kernel with the given parameters.
+    pub fn launch(&self, gpu: &mut Gpu, params: &[u32], opts: &SimOptions) -> KernelStats {
+        gpu.launch(&self.program, self.grid, self.block, params, self.program.smem_bytes(), opts)
+    }
+}

@@ -1,0 +1,79 @@
+//! Per-layer GPU kernels for the Tango benchmark suite.
+//!
+//! The paper's contribution is a set of DNN layers hand-written as plain
+//! CUDA/OpenCL kernels (one thread per neuron, no cuDNN). This crate is the
+//! reproduction's equivalent: each layer type has a generator that emits a
+//! [`tango_isa`] program specialized to the layer's dimensions, together
+//! with the launch geometry (Table III's `gridDim`/`blockDim`) and typed
+//! `launch` helpers that run it on a [`tango_sim::Gpu`].
+//!
+//! Conventions shared by all kernels:
+//!
+//! * Activations live in NCHW device buffers with a zero *halo* of the next
+//!   layer's padding ([`DeviceTensor`]), so convolution inner loops never
+//!   need bounds checks — producers write only the interior, padding reads
+//!   find zeros.
+//! * Kernel parameters (constant memory) carry only buffer addresses;
+//!   layer dimensions are baked into the instruction stream like a
+//!   specializing compiler would.
+//! * One thread computes one output neuron, exactly as the paper describes.
+//!
+//! # Example
+//!
+//! ```
+//! use tango_kernels::{Conv2d, DeviceTensor};
+//! use tango_sim::{Gpu, GpuConfig, SimOptions};
+//! use tango_tensor::{ops, Shape, SplitMix64, Tensor};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut rng = SplitMix64::new(7);
+//! let input = Tensor::uniform(Shape::nchw(1, 3, 8, 8), -1.0, 1.0, &mut rng);
+//! let filter = Tensor::uniform(Shape::new(&[4, 3, 3, 3]), -0.5, 0.5, &mut rng);
+//! let bias = Tensor::uniform(Shape::vector(4), -0.1, 0.1, &mut rng);
+//!
+//! let mut gpu = Gpu::new(GpuConfig::gp102());
+//! let conv = Conv2d::new(3, 8, 8, 4, 3, 3, 1, 0, false)?;
+//! let d_in = DeviceTensor::upload(&mut gpu, &input, 0)?;
+//! let d_w = gpu.upload_f32s(filter.as_slice());
+//! let d_b = gpu.upload_f32s(bias.as_slice());
+//! let d_out = DeviceTensor::alloc(&mut gpu, 4, conv.h_out(), conv.w_out(), 0);
+//! conv.launch(&mut gpu, &d_in, d_w, d_b, &d_out, &SimOptions::new());
+//!
+//! let expect = ops::conv2d(&input, &filter, &bias, &ops::Conv2dParams::unit())?;
+//! assert!(d_out.download(&gpu).approx_eq(&expect, 1e-4));
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod backward;
+mod conv;
+mod device;
+mod dwconv;
+mod emit;
+mod error;
+mod fc;
+mod layer;
+mod norm;
+mod pool;
+mod quant;
+mod rnn;
+mod softmax;
+
+pub use backward::{Conv2dBackward, FcBackward, MaxPoolBackward, ReluBackward, SgdStep};
+pub use conv::Conv2d;
+pub use device::DeviceTensor;
+pub use dwconv::DepthwiseConv2d;
+pub use error::KernelError;
+pub use fc::FullyConnected;
+pub use layer::LayerKernel;
+pub use norm::{BatchNorm, EltwiseAdd, Relu, ScaleLayer, Lrn};
+pub use pool::{AvgPool2d, GlobalAvgPool, MaxPool2d};
+pub use quant::{quantize_weights, upload_quantized, QuantizedConv2d};
+pub use rnn::{GruDeviceWeights, GruStep, LstmDeviceWeights, LstmStep};
+pub use softmax::Softmax;
+
+/// Convenience result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, KernelError>;

@@ -1,0 +1,562 @@
+use crate::emit::{emit_pixel_id, emit_pow_neg_three_quarters, tile_geometry};
+use crate::{DeviceTensor, KernelError, LayerKernel, Result};
+use tango_isa::{DType, KernelBuilder, Operand, Reg};
+use tango_sim::{Gpu, KernelStats, SimOptions};
+
+/// Emits the output-address computation shared by the pixel-per-thread
+/// normalization/elementwise kernels and returns the address register.
+fn emit_out_addr(b: &mut KernelBuilder, px: &crate::emit::PixelId, out_base: Reg, orow: Reg, och: Reg) -> Reg {
+    let o_off = b.reg();
+    b.mad_lo(DType::U32, o_off, px.co, och.into(), px.ox.into());
+    b.mad_lo(DType::U32, o_off, px.oy, orow.into(), o_off.into());
+    let o_addr = b.reg();
+    b.shl(DType::U32, o_addr, o_off.into(), Operand::imm_u32(2));
+    b.add(DType::U32, o_addr, o_addr.into(), out_base.into());
+    o_addr
+}
+
+fn emit_in_addr(b: &mut KernelBuilder, px: &crate::emit::PixelId, in_base: Reg, irow: Reg, ich: Reg) -> Reg {
+    let off = b.reg();
+    b.mad_lo(DType::U32, off, px.co, ich.into(), px.ox.into());
+    b.mad_lo(DType::U32, off, px.oy, irow.into(), off.into());
+    let addr = b.reg();
+    b.shl(DType::U32, addr, off.into(), Operand::imm_u32(2));
+    b.add(DType::U32, addr, addr.into(), in_base.into());
+    addr
+}
+
+fn check_same_shape(layer: &'static str, c: u32, h: u32, w: u32) -> Result<()> {
+    if c == 0 || h == 0 || w == 0 {
+        Err(KernelError::geometry(layer, "all dimensions must be positive"))
+    } else {
+        Ok(())
+    }
+}
+
+macro_rules! elementwise_launch_pair {
+    () => {
+        /// The compiled kernel.
+        pub fn kernel(&self) -> &LayerKernel {
+            &self.kernel
+        }
+    };
+}
+
+/// AlexNet-style local response normalization across channels
+/// (the "Norm" layers of Table III).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Lrn {
+    c: u32,
+    h: u32,
+    w: u32,
+    kernel: LayerKernel,
+}
+
+impl Lrn {
+    /// Builds the kernel with AlexNet's constants
+    /// (`n=5, alpha=1e-4, beta=0.75, k=2`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KernelError`] for zero dimensions.
+    pub fn new(c: u32, h: u32, w: u32) -> Result<Self> {
+        check_same_shape("lrn", c, h, w)?;
+        let local_size = 5u32;
+        let half = local_size / 2;
+        let alpha_over_n = 1e-4f32 / local_size as f32;
+        let (grid, block) = tile_geometry(c, h, w);
+
+        let mut b = KernelBuilder::new(format!("lrn{local_size}"));
+        let px = emit_pixel_id(&mut b, h, w, block);
+        let in_base = b.load_param(0);
+        let out_base = b.load_param(1);
+        let irow = b.load_param(2);
+        let ich = b.load_param(3);
+        let orow = b.load_param(4);
+        let och = b.load_param(5);
+
+        // Window bounds: lo = max(co - half, 0), hi = min(co + half, c-1),
+        // computed in s32 because co - half can underflow.
+        let lo = b.reg();
+        b.sub(DType::S32, lo, px.co.into(), Operand::imm_u32(half));
+        b.max(DType::S32, lo, lo.into(), Operand::imm_s32(0));
+        let hi = b.reg();
+        b.add(DType::S32, hi, px.co.into(), Operand::imm_u32(half));
+        b.min(DType::S32, hi, hi.into(), Operand::imm_s32(c as i32 - 1));
+
+        // Pixel offset within a plane.
+        let pix = b.reg();
+        b.mad_lo(DType::U32, pix, px.oy, irow.into(), px.ox.into());
+
+        // Sum of squares over [lo, hi].
+        let sq = b.reg();
+        b.mov(DType::F32, sq, Operand::imm_f32(0.0));
+        let cc = b.reg();
+        b.mov(DType::S32, cc, lo.into());
+        let addr = b.reg();
+        let v = b.reg();
+        let p = b.pred();
+        let top = b.place_new_label();
+        b.mad_lo(DType::U32, addr, cc, ich.into(), pix.into());
+        b.shl(DType::U32, addr, addr.into(), Operand::imm_u32(2));
+        b.add(DType::U32, addr, addr.into(), in_base.into());
+        b.ld_global(DType::F32, v, addr, 0);
+        b.mad(DType::F32, sq, v.into(), v.into(), sq.into());
+        b.add(DType::S32, cc, cc.into(), Operand::imm_s32(1));
+        b.set(tango_isa::CmpOp::Le, DType::S32, p, cc.into(), hi.into());
+        b.bra_if(p, true, top);
+
+        // denom = (k + alpha/n * sq)^0.75; out = x * denom^-1 -> use
+        // x * (k + a*sq)^(-3/4).
+        let base = b.reg();
+        b.mad(DType::F32, base, sq.into(), Operand::imm_f32(alpha_over_n), Operand::imm_f32(2.0));
+        let denom = b.reg();
+        emit_pow_neg_three_quarters(&mut b, denom, base);
+        let x_addr = emit_in_addr(&mut b, &px, in_base, irow, ich);
+        let x = b.reg();
+        b.ld_global(DType::F32, x, x_addr, 0);
+        let y = b.reg();
+        b.mul(DType::F32, y, x.into(), denom.into());
+        let o_addr = emit_out_addr(&mut b, &px, out_base, orow, och);
+        b.st_global(DType::F32, o_addr, 0, y);
+        b.exit();
+
+        let program = b.build()?;
+        Ok(Lrn {
+            c,
+            h,
+            w,
+            kernel: LayerKernel::new(program, grid, block),
+        })
+    }
+
+    elementwise_launch_pair!();
+
+    /// Runs the layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor geometry disagrees with the construction.
+    pub fn launch(&self, gpu: &mut Gpu, input: &DeviceTensor, output: &DeviceTensor, opts: &SimOptions) -> KernelStats {
+        assert_eq!((input.channels(), input.height(), input.width()), (self.c, self.h, self.w));
+        assert_eq!((output.channels(), output.height(), output.width()), (self.c, self.h, self.w));
+        let params = [
+            input.interior_addr(),
+            output.interior_addr(),
+            input.row_pitch(),
+            input.ch_stride(),
+            output.row_pitch(),
+            output.ch_stride(),
+        ];
+        self.kernel.launch(gpu, &params, opts)
+    }
+}
+
+/// Inference-time batch normalization with per-channel running statistics
+/// (ResNet's "BatchNorm" layers).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchNorm {
+    c: u32,
+    h: u32,
+    w: u32,
+    kernel: LayerKernel,
+}
+
+impl BatchNorm {
+    /// Epsilon folded into the variance, Caffe's default.
+    pub const EPS: f32 = 1e-5;
+
+    /// Builds the kernel.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KernelError`] for zero dimensions.
+    pub fn new(c: u32, h: u32, w: u32) -> Result<Self> {
+        check_same_shape("batch_norm", c, h, w)?;
+        let (grid, block) = tile_geometry(c, h, w);
+        let mut b = KernelBuilder::new("batchnorm");
+        let px = emit_pixel_id(&mut b, h, w, block);
+        let in_base = b.load_param(0);
+        let mean_base = b.load_param(1);
+        let var_base = b.load_param(2);
+        let out_base = b.load_param(3);
+        let irow = b.load_param(4);
+        let ich = b.load_param(5);
+        let orow = b.load_param(6);
+        let och = b.load_param(7);
+
+        let saddr = b.reg();
+        b.mad_lo(DType::U32, saddr, px.co, Operand::imm_u32(4), mean_base.into());
+        let mean = b.reg();
+        b.ld_global(DType::F32, mean, saddr, 0);
+        b.mad_lo(DType::U32, saddr, px.co, Operand::imm_u32(4), var_base.into());
+        let var = b.reg();
+        b.ld_global(DType::F32, var, saddr, 0);
+        let inv = b.reg();
+        b.add(DType::F32, inv, var.into(), Operand::imm_f32(Self::EPS));
+        b.rsqrt(inv, inv.into());
+
+        let x_addr = emit_in_addr(&mut b, &px, in_base, irow, ich);
+        let x = b.reg();
+        b.ld_global(DType::F32, x, x_addr, 0);
+        b.sub(DType::F32, x, x.into(), mean.into());
+        b.mul(DType::F32, x, x.into(), inv.into());
+        let o_addr = emit_out_addr(&mut b, &px, out_base, orow, och);
+        b.st_global(DType::F32, o_addr, 0, x);
+        b.exit();
+        let program = b.build()?;
+        Ok(BatchNorm {
+            c,
+            h,
+            w,
+            kernel: LayerKernel::new(program, grid, block),
+        })
+    }
+
+    elementwise_launch_pair!();
+
+    /// Runs the layer with per-channel `mean`/`var` buffers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor geometry disagrees with the construction.
+    pub fn launch(
+        &self,
+        gpu: &mut Gpu,
+        input: &DeviceTensor,
+        mean: u32,
+        var: u32,
+        output: &DeviceTensor,
+        opts: &SimOptions,
+    ) -> KernelStats {
+        assert_eq!((input.channels(), input.height(), input.width()), (self.c, self.h, self.w));
+        assert_eq!((output.channels(), output.height(), output.width()), (self.c, self.h, self.w));
+        let params = [
+            input.interior_addr(),
+            mean,
+            var,
+            output.interior_addr(),
+            input.row_pitch(),
+            input.ch_stride(),
+            output.row_pitch(),
+            output.ch_stride(),
+        ];
+        self.kernel.launch(gpu, &params, opts)
+    }
+}
+
+/// Per-channel affine scaling `y = gamma[c] * x + beta[c]` (the Caffe
+/// "Scale" layers following BatchNorm in ResNet).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScaleLayer {
+    c: u32,
+    h: u32,
+    w: u32,
+    kernel: LayerKernel,
+}
+
+impl ScaleLayer {
+    /// Builds the kernel.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KernelError`] for zero dimensions.
+    pub fn new(c: u32, h: u32, w: u32) -> Result<Self> {
+        check_same_shape("scale", c, h, w)?;
+        let (grid, block) = tile_geometry(c, h, w);
+        let mut b = KernelBuilder::new("scale");
+        let px = emit_pixel_id(&mut b, h, w, block);
+        let in_base = b.load_param(0);
+        let gamma_base = b.load_param(1);
+        let beta_base = b.load_param(2);
+        let out_base = b.load_param(3);
+        let irow = b.load_param(4);
+        let ich = b.load_param(5);
+        let orow = b.load_param(6);
+        let och = b.load_param(7);
+
+        let saddr = b.reg();
+        b.mad_lo(DType::U32, saddr, px.co, Operand::imm_u32(4), gamma_base.into());
+        let gamma = b.reg();
+        b.ld_global(DType::F32, gamma, saddr, 0);
+        b.mad_lo(DType::U32, saddr, px.co, Operand::imm_u32(4), beta_base.into());
+        let beta = b.reg();
+        b.ld_global(DType::F32, beta, saddr, 0);
+
+        let x_addr = emit_in_addr(&mut b, &px, in_base, irow, ich);
+        let x = b.reg();
+        b.ld_global(DType::F32, x, x_addr, 0);
+        b.mad(DType::F32, x, x.into(), gamma.into(), beta.into());
+        let o_addr = emit_out_addr(&mut b, &px, out_base, orow, och);
+        b.st_global(DType::F32, o_addr, 0, x);
+        b.exit();
+        let program = b.build()?;
+        Ok(ScaleLayer {
+            c,
+            h,
+            w,
+            kernel: LayerKernel::new(program, grid, block),
+        })
+    }
+
+    elementwise_launch_pair!();
+
+    /// Runs the layer with per-channel `gamma`/`beta` buffers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor geometry disagrees with the construction.
+    pub fn launch(
+        &self,
+        gpu: &mut Gpu,
+        input: &DeviceTensor,
+        gamma: u32,
+        beta: u32,
+        output: &DeviceTensor,
+        opts: &SimOptions,
+    ) -> KernelStats {
+        assert_eq!((input.channels(), input.height(), input.width()), (self.c, self.h, self.w));
+        let params = [
+            input.interior_addr(),
+            gamma,
+            beta,
+            output.interior_addr(),
+            input.row_pitch(),
+            input.ch_stride(),
+            output.row_pitch(),
+            output.ch_stride(),
+        ];
+        self.kernel.launch(gpu, &params, opts)
+    }
+}
+
+/// Standalone rectified linear unit (ResNet's "Relu" layers; other nets
+/// fuse ReLU into their convolution kernels).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Relu {
+    c: u32,
+    h: u32,
+    w: u32,
+    kernel: LayerKernel,
+}
+
+impl Relu {
+    /// Builds the kernel.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KernelError`] for zero dimensions.
+    pub fn new(c: u32, h: u32, w: u32) -> Result<Self> {
+        check_same_shape("relu", c, h, w)?;
+        let (grid, block) = tile_geometry(c, h, w);
+        let mut b = KernelBuilder::new("relu");
+        let px = emit_pixel_id(&mut b, h, w, block);
+        let in_base = b.load_param(0);
+        let out_base = b.load_param(1);
+        let irow = b.load_param(2);
+        let ich = b.load_param(3);
+        let orow = b.load_param(4);
+        let och = b.load_param(5);
+        let x_addr = emit_in_addr(&mut b, &px, in_base, irow, ich);
+        let x = b.reg();
+        b.ld_global(DType::F32, x, x_addr, 0);
+        b.max(DType::F32, x, x.into(), Operand::imm_f32(0.0));
+        let o_addr = emit_out_addr(&mut b, &px, out_base, orow, och);
+        b.st_global(DType::F32, o_addr, 0, x);
+        b.exit();
+        let program = b.build()?;
+        Ok(Relu {
+            c,
+            h,
+            w,
+            kernel: LayerKernel::new(program, grid, block),
+        })
+    }
+
+    elementwise_launch_pair!();
+
+    /// Runs the layer (input and output may be the same tensor).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor geometry disagrees with the construction.
+    pub fn launch(&self, gpu: &mut Gpu, input: &DeviceTensor, output: &DeviceTensor, opts: &SimOptions) -> KernelStats {
+        assert_eq!((input.channels(), input.height(), input.width()), (self.c, self.h, self.w));
+        let params = [
+            input.interior_addr(),
+            output.interior_addr(),
+            input.row_pitch(),
+            input.ch_stride(),
+            output.row_pitch(),
+            output.ch_stride(),
+        ];
+        self.kernel.launch(gpu, &params, opts)
+    }
+}
+
+/// Elementwise addition of two same-shape tensors (ResNet's shortcut
+/// "Eltwise" layers).
+#[derive(Debug, Clone, PartialEq)]
+pub struct EltwiseAdd {
+    c: u32,
+    h: u32,
+    w: u32,
+    kernel: LayerKernel,
+}
+
+impl EltwiseAdd {
+    /// Builds the kernel.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KernelError`] for zero dimensions.
+    pub fn new(c: u32, h: u32, w: u32) -> Result<Self> {
+        check_same_shape("eltwise_add", c, h, w)?;
+        let (grid, block) = tile_geometry(c, h, w);
+        let mut b = KernelBuilder::new("eltwise_add");
+        let px = emit_pixel_id(&mut b, h, w, block);
+        let a_base = b.load_param(0);
+        let b_base = b.load_param(1);
+        let out_base = b.load_param(2);
+        let arow = b.load_param(3);
+        let ach = b.load_param(4);
+        let brow = b.load_param(5);
+        let bch = b.load_param(6);
+        let orow = b.load_param(7);
+        let och = b.load_param(8);
+
+        let a_addr = emit_in_addr(&mut b, &px, a_base, arow, ach);
+        let av = b.reg();
+        b.ld_global(DType::F32, av, a_addr, 0);
+        let b_addr = emit_in_addr(&mut b, &px, b_base, brow, bch);
+        let bv = b.reg();
+        b.ld_global(DType::F32, bv, b_addr, 0);
+        b.add(DType::F32, av, av.into(), bv.into());
+        let o_addr = emit_out_addr(&mut b, &px, out_base, orow, och);
+        b.st_global(DType::F32, o_addr, 0, av);
+        b.exit();
+        let program = b.build()?;
+        Ok(EltwiseAdd {
+            c,
+            h,
+            w,
+            kernel: LayerKernel::new(program, grid, block),
+        })
+    }
+
+    elementwise_launch_pair!();
+
+    /// Runs the layer over inputs `a` and `b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor geometry disagrees with the construction.
+    pub fn launch(
+        &self,
+        gpu: &mut Gpu,
+        a: &DeviceTensor,
+        bt: &DeviceTensor,
+        output: &DeviceTensor,
+        opts: &SimOptions,
+    ) -> KernelStats {
+        assert_eq!((a.channels(), a.height(), a.width()), (self.c, self.h, self.w));
+        assert_eq!((bt.channels(), bt.height(), bt.width()), (self.c, self.h, self.w));
+        let params = [
+            a.interior_addr(),
+            bt.interior_addr(),
+            output.interior_addr(),
+            a.row_pitch(),
+            a.ch_stride(),
+            bt.row_pitch(),
+            bt.ch_stride(),
+            output.row_pitch(),
+            output.ch_stride(),
+        ];
+        self.kernel.launch(gpu, &params, opts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tango_sim::GpuConfig;
+    use tango_tensor::{ops, Shape, SplitMix64, Tensor};
+
+    fn roundtrip(c: usize, h: usize, w: usize, seed: u64) -> (Gpu, Tensor, DeviceTensor, DeviceTensor) {
+        let mut rng = SplitMix64::new(seed);
+        let input = Tensor::uniform(Shape::nchw(1, c, h, w), -2.0, 2.0, &mut rng);
+        let mut gpu = Gpu::new(GpuConfig::gp102());
+        let d_in = DeviceTensor::upload(&mut gpu, &input, 1).unwrap();
+        let d_out = DeviceTensor::alloc(&mut gpu, c as u32, h as u32, w as u32, 1);
+        (gpu, input, d_in, d_out)
+    }
+
+    #[test]
+    fn lrn_matches_reference() {
+        let (mut gpu, input, d_in, d_out) = roundtrip(8, 5, 5, 21);
+        let lrn = Lrn::new(8, 5, 5).unwrap();
+        lrn.launch(&mut gpu, &d_in, &d_out, &SimOptions::new().with_cta_sample_limit(None));
+        let expect = ops::lrn(&input, &ops::LrnParams::alexnet()).unwrap();
+        let got = d_out.download(&gpu);
+        assert!(got.approx_eq(&expect, 2e-3), "max diff {}", got.max_abs_diff(&expect));
+    }
+
+    #[test]
+    fn batch_norm_matches_reference() {
+        let (mut gpu, input, d_in, d_out) = roundtrip(4, 6, 6, 22);
+        let mut rng = SplitMix64::new(220);
+        let mean = Tensor::uniform(Shape::vector(4), -0.5, 0.5, &mut rng);
+        let var = Tensor::uniform(Shape::vector(4), 0.2, 2.0, &mut rng);
+        let d_mean = gpu.upload_f32s(mean.as_slice());
+        let d_var = gpu.upload_f32s(var.as_slice());
+        let bn = BatchNorm::new(4, 6, 6).unwrap();
+        bn.launch(&mut gpu, &d_in, d_mean, d_var, &d_out, &SimOptions::new().with_cta_sample_limit(None));
+        let expect = ops::batch_norm(&input, &mean, &var, BatchNorm::EPS).unwrap();
+        let got = d_out.download(&gpu);
+        assert!(got.approx_eq(&expect, 2e-3), "max diff {}", got.max_abs_diff(&expect));
+    }
+
+    #[test]
+    fn scale_matches_reference() {
+        let (mut gpu, input, d_in, d_out) = roundtrip(3, 4, 4, 23);
+        let mut rng = SplitMix64::new(230);
+        let gamma = Tensor::uniform(Shape::vector(3), 0.5, 1.5, &mut rng);
+        let beta = Tensor::uniform(Shape::vector(3), -0.5, 0.5, &mut rng);
+        let d_g = gpu.upload_f32s(gamma.as_slice());
+        let d_b = gpu.upload_f32s(beta.as_slice());
+        let layer = ScaleLayer::new(3, 4, 4).unwrap();
+        layer.launch(&mut gpu, &d_in, d_g, d_b, &d_out, &SimOptions::new().with_cta_sample_limit(None));
+        let expect = ops::scale(&input, &gamma, &beta).unwrap();
+        assert!(d_out.download(&gpu).approx_eq(&expect, 1e-5));
+    }
+
+    #[test]
+    fn relu_matches_reference_and_keeps_halo_zero() {
+        let (mut gpu, input, d_in, d_out) = roundtrip(2, 5, 5, 24);
+        let relu = Relu::new(2, 5, 5).unwrap();
+        relu.launch(&mut gpu, &d_in, &d_out, &SimOptions::new().with_cta_sample_limit(None));
+        let expect = ops::relu(&input);
+        assert!(d_out.download(&gpu).approx_eq(&expect, 0.0));
+        // Output halo stays zero so a following padded conv is sound.
+        let plane = gpu.memory().read_f32s(d_out.raw_addr(), d_out.ch_stride() as usize);
+        let pitch = d_out.row_pitch() as usize;
+        for x in 0..pitch {
+            assert_eq!(plane[x], 0.0, "top halo row must remain zero");
+        }
+    }
+
+    #[test]
+    fn eltwise_matches_reference_with_mixed_pitches() {
+        let mut rng = SplitMix64::new(25);
+        let a = Tensor::uniform(Shape::nchw(1, 2, 4, 4), -1.0, 1.0, &mut rng);
+        let c = Tensor::uniform(Shape::nchw(1, 2, 4, 4), -1.0, 1.0, &mut rng);
+        let mut gpu = Gpu::new(GpuConfig::gp102());
+        let d_a = DeviceTensor::upload(&mut gpu, &a, 0).unwrap();
+        let d_b = DeviceTensor::upload(&mut gpu, &c, 2).unwrap(); // different halo
+        let d_out = DeviceTensor::alloc(&mut gpu, 2, 4, 4, 1);
+        let add = EltwiseAdd::new(2, 4, 4).unwrap();
+        add.launch(&mut gpu, &d_a, &d_b, &d_out, &SimOptions::new().with_cta_sample_limit(None));
+        let expect = ops::eltwise_add(&a, &c).unwrap();
+        assert!(d_out.download(&gpu).approx_eq(&expect, 0.0));
+    }
+}

@@ -1,0 +1,523 @@
+use crate::emit::{emit_counted_loop, emit_pixel_id, tile_geometry};
+use crate::{DeviceTensor, KernelError, LayerKernel, Result};
+use tango_isa::{DType, Dim3, KernelBuilder, Operand};
+use tango_sim::{Gpu, KernelStats, SimOptions};
+
+fn out_extent(input: u32, window: u32, stride: u32) -> u32 {
+    if input <= window {
+        1
+    } else {
+        (input - window).div_ceil(stride) + 1
+    }
+}
+
+/// Max pooling over square windows (Caffe "ceil" semantics: partial edge
+/// windows are clamped to the edge, which preserves the exact maximum).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MaxPool2d {
+    c: u32,
+    h: u32,
+    w: u32,
+    window: u32,
+    stride: u32,
+    h_out: u32,
+    w_out: u32,
+    kernel: LayerKernel,
+}
+
+impl MaxPool2d {
+    /// Builds the kernel for a `c x h x w` input.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KernelError`] if a dimension, the window, or the stride is
+    /// zero.
+    pub fn new(c: u32, h: u32, w: u32, window: u32, stride: u32) -> Result<Self> {
+        Self::build(c, h, w, window, stride, false)
+    }
+
+    /// Builds the single-block variant the paper uses for CifarNet: one
+    /// thread per output pixel, looping over channels in-kernel
+    /// (`gridDim (1,1,1)`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KernelError`] on invalid dimensions or when the output
+    /// plane exceeds one 1024-thread block.
+    pub fn new_single_block(c: u32, h: u32, w: u32, window: u32, stride: u32) -> Result<Self> {
+        Self::build(c, h, w, window, stride, true)
+    }
+
+    fn build(c: u32, h: u32, w: u32, window: u32, stride: u32, single_block: bool) -> Result<Self> {
+        if c == 0 || h == 0 || w == 0 {
+            return Err(KernelError::geometry("max_pool2d", "all dimensions must be positive"));
+        }
+        if window == 0 || stride == 0 {
+            return Err(KernelError::geometry("max_pool2d", "window and stride must be positive"));
+        }
+        let h_out = out_extent(h, window, stride);
+        let w_out = out_extent(w, window, stride);
+        let (grid, block, channel_loop) = if single_block {
+            if (h_out * w_out) as u64 > 1024 {
+                return Err(KernelError::geometry(
+                    "max_pool2d",
+                    format!("{h_out}x{w_out} output exceeds a single 1024-thread block"),
+                ));
+            }
+            (Dim3::x(1), Dim3::xy(w_out, h_out), Some(c))
+        } else {
+            let (grid, block) = tile_geometry(c, h_out, w_out);
+            (grid, block, None)
+        };
+        let program = Self::emit(h, w, window, stride, h_out, w_out, block, channel_loop)?;
+        Ok(MaxPool2d {
+            c,
+            h,
+            w,
+            window,
+            stride,
+            h_out,
+            w_out,
+            kernel: LayerKernel::new(program, grid, block),
+        })
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn emit(
+        h: u32,
+        w: u32,
+        window: u32,
+        stride: u32,
+        h_out: u32,
+        w_out: u32,
+        block: Dim3,
+        channel_loop: Option<u32>,
+    ) -> Result<tango_isa::KernelProgram> {
+        let mut b = KernelBuilder::new(format!("maxpool{window}s{stride}"));
+        let px = emit_pixel_id(&mut b, h_out, w_out, block);
+        let in_base = b.load_param(0); // interior origin of the input
+        let out_base = b.load_param(1);
+        let irow = b.load_param(2);
+        let ich = b.load_param(3);
+        let orow = b.load_param(4);
+        let och = b.load_param(5);
+
+        let iy0 = b.reg();
+        b.mul(DType::U32, iy0, px.oy.into(), Operand::imm_u32(stride));
+        let ix0 = b.reg();
+        b.mul(DType::U32, ix0, px.ox.into(), Operand::imm_u32(stride));
+
+        let best = b.reg();
+        let iy = b.reg();
+        let ix = b.reg();
+        let off = b.reg();
+        let addr = b.reg();
+        let v = b.reg();
+        let ch_off = b.reg();
+        let o_off = b.reg();
+        let o_addr = b.reg();
+
+        let body = |b: &mut KernelBuilder, co: tango_isa::Reg| {
+            b.mul(DType::U32, ch_off, co.into(), ich.into());
+            b.mov(DType::F32, best, Operand::imm_f32(f32::NEG_INFINITY));
+            emit_counted_loop(b, window, DType::U16, &mut |b, ky| {
+                // iy = min(iy0 + ky, h - 1): clamp keeps partial windows exact.
+                b.add(DType::U32, iy, iy0.into(), ky.into());
+                b.min(DType::U32, iy, iy.into(), Operand::imm_u32(h - 1));
+                emit_counted_loop(b, window, DType::U16, &mut |b, kx| {
+                    b.add(DType::U32, ix, ix0.into(), kx.into());
+                    b.min(DType::U32, ix, ix.into(), Operand::imm_u32(w - 1));
+                    b.mad_lo(DType::U32, off, iy, irow.into(), ix.into());
+                    b.add(DType::U32, off, off.into(), ch_off.into());
+                    b.shl(DType::U32, addr, off.into(), Operand::imm_u32(2));
+                    b.add(DType::U32, addr, addr.into(), in_base.into());
+                    b.ld_global(DType::F32, v, addr, 0);
+                    b.max(DType::F32, best, best.into(), v.into());
+                });
+            });
+            b.mad_lo(DType::U32, o_off, co, och.into(), px.ox.into());
+            b.mad_lo(DType::U32, o_off, px.oy, orow.into(), o_off.into());
+            b.shl(DType::U32, o_addr, o_off.into(), Operand::imm_u32(2));
+            b.add(DType::U32, o_addr, o_addr.into(), out_base.into());
+            b.st_global(DType::F32, o_addr, 0, best);
+        };
+
+        match channel_loop {
+            None => body(&mut b, px.co),
+            Some(c) => emit_counted_loop(&mut b, c, DType::U32, &mut |b, co| body(b, co)),
+        }
+        b.exit();
+        Ok(b.build()?)
+    }
+
+    /// Output height.
+    pub fn h_out(&self) -> u32 {
+        self.h_out
+    }
+
+    /// Output width.
+    pub fn w_out(&self) -> u32 {
+        self.w_out
+    }
+
+    /// Pooling window extent.
+    pub fn window(&self) -> u32 {
+        self.window
+    }
+
+    /// The compiled kernel.
+    pub fn kernel(&self) -> &LayerKernel {
+        &self.kernel
+    }
+
+    /// Runs the layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor geometry disagrees with the construction.
+    pub fn launch(&self, gpu: &mut Gpu, input: &DeviceTensor, output: &DeviceTensor, opts: &SimOptions) -> KernelStats {
+        assert_eq!(input.channels(), self.c);
+        assert_eq!((input.height(), input.width()), (self.h, self.w));
+        assert_eq!(output.channels(), self.c);
+        assert_eq!((output.height(), output.width()), (self.h_out, self.w_out));
+        let params = [
+            input.interior_addr(),
+            output.interior_addr(),
+            input.row_pitch(),
+            input.ch_stride(),
+            output.row_pitch(),
+            output.ch_stride(),
+        ];
+        self.kernel.launch(gpu, &params, opts)
+    }
+}
+
+/// Average pooling over square windows. Requires the windows to tile the
+/// input exactly (all uses in the suite do); partial-window averaging
+/// would need per-window divisor arithmetic the reference nets never
+/// exercise.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AvgPool2d {
+    c: u32,
+    h: u32,
+    w: u32,
+    window: u32,
+    stride: u32,
+    h_out: u32,
+    w_out: u32,
+    kernel: LayerKernel,
+}
+
+impl AvgPool2d {
+    /// Builds the kernel.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KernelError`] if dimensions are zero or the windows do not
+    /// tile the input exactly.
+    pub fn new(c: u32, h: u32, w: u32, window: u32, stride: u32) -> Result<Self> {
+        if c == 0 || h == 0 || w == 0 || window == 0 || stride == 0 {
+            return Err(KernelError::geometry("avg_pool2d", "all dimensions must be positive"));
+        }
+        if (h < window) || (w < window) || !(h - window).is_multiple_of(stride) || !(w - window).is_multiple_of(stride) {
+            return Err(KernelError::geometry(
+                "avg_pool2d",
+                format!("{window}x{window} windows at stride {stride} must tile the {h}x{w} input exactly"),
+            ));
+        }
+        let h_out = (h - window) / stride + 1;
+        let w_out = (w - window) / stride + 1;
+        let (grid, block) = tile_geometry(c, h_out, w_out);
+        let program = Self::emit(window, stride, h_out, w_out, block)?;
+        Ok(AvgPool2d {
+            c,
+            h,
+            w,
+            window,
+            stride,
+            h_out,
+            w_out,
+            kernel: LayerKernel::new(program, grid, block),
+        })
+    }
+
+    fn emit(window: u32, stride: u32, h_out: u32, w_out: u32, block: Dim3) -> Result<tango_isa::KernelProgram> {
+        let mut b = KernelBuilder::new(format!("avgpool{window}s{stride}"));
+        let px = emit_pixel_id(&mut b, h_out, w_out, block);
+        let in_base = b.load_param(0);
+        let out_base = b.load_param(1);
+        let irow = b.load_param(2);
+        let ich = b.load_param(3);
+        let orow = b.load_param(4);
+        let och = b.load_param(5);
+
+        let iy0 = b.reg();
+        b.mul(DType::U32, iy0, px.oy.into(), Operand::imm_u32(stride));
+        let ix0 = b.reg();
+        b.mul(DType::U32, ix0, px.ox.into(), Operand::imm_u32(stride));
+        let ch_off = b.reg();
+        b.mul(DType::U32, ch_off, px.co.into(), ich.into());
+
+        let acc = b.reg();
+        b.mov(DType::F32, acc, Operand::imm_f32(0.0));
+        let iy = b.reg();
+        let ix = b.reg();
+        let off = b.reg();
+        let addr = b.reg();
+        let v = b.reg();
+        emit_counted_loop(&mut b, window, DType::U16, &mut |b, ky| {
+            b.add(DType::U32, iy, iy0.into(), ky.into());
+            emit_counted_loop(b, window, DType::U16, &mut |b, kx| {
+                b.add(DType::U32, ix, ix0.into(), kx.into());
+                b.mad_lo(DType::U32, off, iy, irow.into(), ix.into());
+                b.add(DType::U32, off, off.into(), ch_off.into());
+                b.shl(DType::U32, addr, off.into(), Operand::imm_u32(2));
+                b.add(DType::U32, addr, addr.into(), in_base.into());
+                b.ld_global(DType::F32, v, addr, 0);
+                b.add(DType::F32, acc, acc.into(), v.into());
+            });
+        });
+        b.mul(
+            DType::F32,
+            acc,
+            acc.into(),
+            Operand::imm_f32(1.0 / (window * window) as f32),
+        );
+
+        let o_off = b.reg();
+        b.mad_lo(DType::U32, o_off, px.co, och.into(), px.ox.into());
+        b.mad_lo(DType::U32, o_off, px.oy, orow.into(), o_off.into());
+        let o_addr = b.reg();
+        b.shl(DType::U32, o_addr, o_off.into(), Operand::imm_u32(2));
+        b.add(DType::U32, o_addr, o_addr.into(), out_base.into());
+        b.st_global(DType::F32, o_addr, 0, acc);
+        b.exit();
+        Ok(b.build()?)
+    }
+
+    /// Output height.
+    pub fn h_out(&self) -> u32 {
+        self.h_out
+    }
+
+    /// Output width.
+    pub fn w_out(&self) -> u32 {
+        self.w_out
+    }
+
+    /// The compiled kernel.
+    pub fn kernel(&self) -> &LayerKernel {
+        &self.kernel
+    }
+
+    /// Runs the layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor geometry disagrees with the construction.
+    pub fn launch(&self, gpu: &mut Gpu, input: &DeviceTensor, output: &DeviceTensor, opts: &SimOptions) -> KernelStats {
+        assert_eq!(input.channels(), self.c);
+        assert_eq!((input.height(), input.width()), (self.h, self.w));
+        assert_eq!((output.height(), output.width()), (self.h_out, self.w_out));
+        let params = [
+            input.interior_addr(),
+            output.interior_addr(),
+            input.row_pitch(),
+            input.ch_stride(),
+            output.row_pitch(),
+            output.ch_stride(),
+        ];
+        self.kernel.launch(gpu, &params, opts)
+    }
+}
+
+/// Global average pooling: one thread per channel reduces its whole plane
+/// (SqueezeNet's classifier head, "Global Avg Pool" in Table III).
+#[derive(Debug, Clone, PartialEq)]
+pub struct GlobalAvgPool {
+    c: u32,
+    h: u32,
+    w: u32,
+    kernel: LayerKernel,
+}
+
+impl GlobalAvgPool {
+    /// Builds the kernel. One thread reduces one channel; channel counts
+    /// beyond the 1024-thread block limit (ResNet-50's 2048-wide head)
+    /// spill into additional blocks.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KernelError`] if a dimension is zero.
+    pub fn new(c: u32, h: u32, w: u32) -> Result<Self> {
+        if c == 0 || h == 0 || w == 0 {
+            return Err(KernelError::geometry("global_avg_pool", "all dimensions must be positive"));
+        }
+        let block_x = c.min(1024);
+        let grid_x = c.div_ceil(block_x);
+        let mut b = KernelBuilder::new("global_avg_pool");
+        let co = b.global_tid_x();
+        if grid_x * block_x != c {
+            let p = b.pred();
+            b.set(tango_isa::CmpOp::Ge, DType::U32, p, co.into(), Operand::imm_u32(c));
+            b.exit();
+            b.guard_last(p, true);
+        }
+        let in_base = b.load_param(0);
+        let out_base = b.load_param(1);
+        let irow = b.load_param(2);
+        let ich = b.load_param(3);
+
+        let ch_base = b.reg();
+        b.mul(DType::U32, ch_base, co.into(), ich.into());
+        let acc = b.reg();
+        b.mov(DType::F32, acc, Operand::imm_f32(0.0));
+        let row = b.reg();
+        let addr = b.reg();
+        let v = b.reg();
+        emit_counted_loop(&mut b, h, DType::U16, &mut |b, y| {
+            b.mad_lo(DType::U32, row, y, irow.into(), ch_base.into());
+            emit_counted_loop(b, w, DType::U16, &mut |b, x| {
+                b.add(DType::U32, addr, row.into(), x.into());
+                b.shl(DType::U32, addr, addr.into(), Operand::imm_u32(2));
+                b.add(DType::U32, addr, addr.into(), in_base.into());
+                b.ld_global(DType::F32, v, addr, 0);
+                b.add(DType::F32, acc, acc.into(), v.into());
+            });
+        });
+        b.mul(DType::F32, acc, acc.into(), Operand::imm_f32(1.0 / (h * w) as f32));
+        let o_addr = b.reg();
+        b.mad_lo(DType::U32, o_addr, co, Operand::imm_u32(4), out_base.into());
+        b.st_global(DType::F32, o_addr, 0, acc);
+        b.exit();
+        let program = b.build()?;
+        Ok(GlobalAvgPool {
+            c,
+            h,
+            w,
+            kernel: LayerKernel::new(program, Dim3::x(grid_x), Dim3::x(block_x)),
+        })
+    }
+
+    /// The compiled kernel.
+    pub fn kernel(&self) -> &LayerKernel {
+        &self.kernel
+    }
+
+    /// Runs the layer; `output` is a `c`-element vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor geometry disagrees with the construction.
+    pub fn launch(&self, gpu: &mut Gpu, input: &DeviceTensor, output: &DeviceTensor, opts: &SimOptions) -> KernelStats {
+        assert_eq!(input.channels(), self.c);
+        assert_eq!((input.height(), input.width()), (self.h, self.w));
+        assert_eq!(output.len(), self.c);
+        let params = [
+            input.interior_addr(),
+            output.interior_addr(),
+            input.row_pitch(),
+            input.ch_stride(),
+        ];
+        self.kernel.launch(gpu, &params, opts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tango_sim::GpuConfig;
+    use tango_tensor::{ops, Shape, SplitMix64, Tensor};
+
+    fn device_pair(gpu: &mut Gpu, input: &Tensor, out_c: u32, out_h: u32, out_w: u32) -> (DeviceTensor, DeviceTensor) {
+        let d_in = DeviceTensor::upload(gpu, input, 0).unwrap();
+        let d_out = DeviceTensor::alloc(gpu, out_c, out_h, out_w, 0);
+        (d_in, d_out)
+    }
+
+    #[test]
+    fn max_pool_matches_reference() {
+        let mut rng = SplitMix64::new(5);
+        let input = Tensor::uniform(Shape::nchw(1, 3, 8, 8), -1.0, 1.0, &mut rng);
+        let pool = MaxPool2d::new(3, 8, 8, 2, 2).unwrap();
+        let mut gpu = Gpu::new(GpuConfig::gp102());
+        let (d_in, d_out) = device_pair(&mut gpu, &input, 3, pool.h_out(), pool.w_out());
+        pool.launch(&mut gpu, &d_in, &d_out, &SimOptions::new().with_cta_sample_limit(None));
+        let expect = ops::max_pool2d(&input, &ops::Pool2dParams::new(2, 2)).unwrap();
+        assert!(d_out.download(&gpu).approx_eq(&expect, 1e-6));
+    }
+
+    #[test]
+    fn overlapping_max_pool_with_partial_windows() {
+        // AlexNet-style 3x3 window stride 2 on an odd extent.
+        let mut rng = SplitMix64::new(6);
+        let input = Tensor::uniform(Shape::nchw(1, 2, 9, 9), -2.0, 2.0, &mut rng);
+        let pool = MaxPool2d::new(2, 9, 9, 3, 2).unwrap();
+        let mut gpu = Gpu::new(GpuConfig::gp102());
+        let (d_in, d_out) = device_pair(&mut gpu, &input, 2, pool.h_out(), pool.w_out());
+        pool.launch(&mut gpu, &d_in, &d_out, &SimOptions::new().with_cta_sample_limit(None));
+        let expect = ops::max_pool2d(&input, &ops::Pool2dParams::new(3, 2)).unwrap();
+        assert!(d_out.download(&gpu).approx_eq(&expect, 1e-6));
+    }
+
+    #[test]
+    fn single_block_max_pool_matches_reference() {
+        let mut rng = SplitMix64::new(77);
+        let input = Tensor::uniform(Shape::nchw(1, 6, 9, 9), -2.0, 2.0, &mut rng);
+        let pool = MaxPool2d::new_single_block(6, 9, 9, 3, 2).unwrap();
+        assert_eq!(pool.kernel().grid().count(), 1);
+        let mut gpu = Gpu::new(GpuConfig::gp102());
+        let (d_in, d_out) = device_pair(&mut gpu, &input, 6, pool.h_out(), pool.w_out());
+        pool.launch(&mut gpu, &d_in, &d_out, &SimOptions::new().with_cta_sample_limit(None));
+        let expect = ops::max_pool2d(&input, &ops::Pool2dParams::new(3, 2)).unwrap();
+        assert!(d_out.download(&gpu).approx_eq(&expect, 1e-6));
+    }
+
+    #[test]
+    fn avg_pool_matches_reference() {
+        let mut rng = SplitMix64::new(7);
+        let input = Tensor::uniform(Shape::nchw(1, 2, 8, 8), -1.0, 1.0, &mut rng);
+        let pool = AvgPool2d::new(2, 8, 8, 2, 2).unwrap();
+        let mut gpu = Gpu::new(GpuConfig::gp102());
+        let (d_in, d_out) = device_pair(&mut gpu, &input, 2, pool.h_out(), pool.w_out());
+        pool.launch(&mut gpu, &d_in, &d_out, &SimOptions::new().with_cta_sample_limit(None));
+        let expect = ops::avg_pool2d(&input, &ops::Pool2dParams::new(2, 2)).unwrap();
+        assert!(d_out.download(&gpu).approx_eq(&expect, 1e-5));
+    }
+
+    #[test]
+    fn avg_pool_rejects_partial_windows() {
+        assert!(AvgPool2d::new(1, 9, 9, 2, 2).is_err());
+    }
+
+    #[test]
+    fn global_avg_pool_matches_reference() {
+        let mut rng = SplitMix64::new(8);
+        let input = Tensor::uniform(Shape::nchw(1, 5, 4, 4), -1.0, 1.0, &mut rng);
+        let gap = GlobalAvgPool::new(5, 4, 4).unwrap();
+        let mut gpu = Gpu::new(GpuConfig::gp102());
+        let d_in = DeviceTensor::upload(&mut gpu, &input, 0).unwrap();
+        let d_out = DeviceTensor::alloc_vector(&mut gpu, 5);
+        gap.launch(&mut gpu, &d_in, &d_out, &SimOptions::new().with_cta_sample_limit(None));
+        let expect = ops::global_avg_pool(&input).unwrap();
+        let got = d_out.download(&gpu);
+        for ch in 0..5 {
+            assert!((got.get(&[ch]) - expect.get(&[0, ch, 0, 0])).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn pool_reads_padded_input_correctly() {
+        // Input tensor carries a halo (as if produced for a later conv);
+        // pooling must honor the pitch.
+        let mut rng = SplitMix64::new(9);
+        let input = Tensor::uniform(Shape::nchw(1, 2, 6, 6), -1.0, 1.0, &mut rng);
+        let pool = MaxPool2d::new(2, 6, 6, 2, 2).unwrap();
+        let mut gpu = Gpu::new(GpuConfig::gp102());
+        let d_in = DeviceTensor::upload(&mut gpu, &input, 2).unwrap();
+        let d_out = DeviceTensor::alloc(&mut gpu, 2, 3, 3, 1);
+        pool.launch(&mut gpu, &d_in, &d_out, &SimOptions::new().with_cta_sample_limit(None));
+        let expect = ops::max_pool2d(&input, &ops::Pool2dParams::new(2, 2)).unwrap();
+        assert!(d_out.download(&gpu).approx_eq(&expect, 1e-6));
+    }
+}

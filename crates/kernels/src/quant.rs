@@ -1,0 +1,320 @@
+//! Quantized-weight convolution — a preview of the quantization the
+//! paper plans for the suite ("We plan to apply quantization for the
+//! proposed benchmark suite but the current version uses 32-bit
+//! floating-point data", Section IV-D).
+//!
+//! Weights are stored as 16-bit signed fixed-point with one per-layer
+//! scale (W16/A32): the kernel loads `s16` values, widens them with
+//! `cvt`, and rescales — halving weight traffic and shifting the
+//! Figure 10 data-type mix toward the 16-bit types the paper observes.
+
+use crate::emit::{emit_counted_loop, emit_pixel_id, tile_geometry};
+use crate::{DeviceTensor, KernelError, LayerKernel, Result};
+use tango_isa::{DType, KernelBuilder, Operand};
+use tango_sim::{Gpu, KernelStats, SimOptions};
+use tango_tensor::Tensor;
+
+/// Quantizes a float filter into `(i16 values, scale)` such that
+/// `w ≈ q * scale` with `q` in `[-32767, 32767]`.
+pub fn quantize_weights(weights: &Tensor) -> (Vec<i16>, f32) {
+    let max = weights
+        .as_slice()
+        .iter()
+        .fold(0.0f32, |m, v| m.max(v.abs()))
+        .max(f32::MIN_POSITIVE);
+    let scale = max / 32767.0;
+    let q = weights
+        .as_slice()
+        .iter()
+        .map(|v| (v / scale).round().clamp(-32767.0, 32767.0) as i16)
+        .collect();
+    (q, scale)
+}
+
+/// Uploads quantized weights to the device (2 bytes per value).
+pub fn upload_quantized(gpu: &mut Gpu, q: &[i16]) -> u32 {
+    let addr = gpu.alloc_bytes((q.len() * 2) as u32);
+    for (i, v) in q.iter().enumerate() {
+        gpu.memory_mut().write_u16(addr + (i as u32) * 2, *v as u16);
+    }
+    addr
+}
+
+/// A 2-D convolution whose weights are 16-bit fixed point.
+///
+/// Geometry and thread mapping match [`Conv2d`](crate::Conv2d); only the
+/// weight stream differs (half the bytes, `ld.global.s16` + `cvt`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantizedConv2d {
+    c_in: u32,
+    h: u32,
+    w: u32,
+    c_out: u32,
+    k: u32,
+    stride: u32,
+    pad: u32,
+    h_out: u32,
+    w_out: u32,
+    kernel: LayerKernel,
+}
+
+impl QuantizedConv2d {
+    /// Builds the kernel.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KernelError`] on invalid geometry.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(c_in: u32, h: u32, w: u32, c_out: u32, k: u32, stride: u32, pad: u32, relu: bool) -> Result<Self> {
+        if c_in == 0 || h == 0 || w == 0 || c_out == 0 || k == 0 {
+            return Err(KernelError::geometry("quantized_conv2d", "all dimensions must be positive"));
+        }
+        if stride == 0 {
+            return Err(KernelError::geometry("quantized_conv2d", "stride must be positive"));
+        }
+        if h + 2 * pad < k || w + 2 * pad < k {
+            return Err(KernelError::geometry("quantized_conv2d", "filter does not fit padded input"));
+        }
+        let h_out = (h + 2 * pad - k) / stride + 1;
+        let w_out = (w + 2 * pad - k) / stride + 1;
+        let (grid, block) = tile_geometry(c_out, h_out, w_out);
+
+        let mut b = KernelBuilder::new(format!("qconv{k}x{k}s{stride}_{c_in}to{c_out}"));
+        let px = emit_pixel_id(&mut b, h_out, w_out, block);
+        let in_base = b.load_param(0); // halo origin
+        let w_base = b.load_param(1); // s16 weights
+        let b_base = b.load_param(2);
+        let out_base = b.load_param(3);
+        let irow = b.load_param(4);
+        let ich = b.load_param(5);
+        let orow = b.load_param(6);
+        let och = b.load_param(7);
+        let scale_bits = b.load_param(8); // f32 dequantization scale
+
+        let acc = b.reg();
+        let baddr = b.reg();
+        b.mad_lo(DType::U32, baddr, px.co, Operand::imm_u32(4), b_base.into());
+        b.ld_global(DType::F32, acc, baddr, 0);
+
+        let iy0 = b.reg();
+        b.mul(DType::U32, iy0, px.oy.into(), Operand::imm_u32(stride));
+        let ix0 = b.reg();
+        b.mul(DType::U32, ix0, px.ox.into(), Operand::imm_u32(stride));
+        let px_off = b.reg();
+        b.mad_lo(DType::U32, px_off, iy0, irow.into(), ix0.into());
+        let px_base = b.reg();
+        b.shl(DType::U32, px_base, px_off.into(), Operand::imm_u32(2));
+        b.add(DType::U32, px_base, px_base.into(), in_base.into());
+
+        // Quantized weights stream at 2 bytes per tap.
+        let w_ptr = b.reg();
+        b.mad_lo(DType::U32, w_ptr, px.co, Operand::imm_u32(2 * c_in * k * k), w_base.into());
+        let ich4 = b.reg();
+        b.shl(DType::U32, ich4, ich.into(), Operand::imm_u32(2));
+        let irow4 = b.reg();
+        b.shl(DType::U32, irow4, irow.into(), Operand::imm_u32(2));
+
+        let ci_base = b.reg();
+        let row = b.reg();
+        let a = b.reg();
+        let xv = b.reg();
+        let wq = b.reg();
+        let wf = b.reg();
+        emit_counted_loop(&mut b, c_in, DType::S32, &mut |b, ci| {
+            b.mad_lo(DType::U32, ci_base, ci, ich4.into(), px_base.into());
+            emit_counted_loop(b, k, DType::U16, &mut |b, ky| {
+                b.mad_lo(DType::U32, row, ky, irow4.into(), ci_base.into());
+                emit_counted_loop(b, k, DType::U16, &mut |b, kx| {
+                    b.shl(DType::U32, a, kx.into(), Operand::imm_u32(2));
+                    b.add(DType::U32, a, a.into(), row.into());
+                    b.ld_global(DType::F32, xv, a, 0);
+                    b.ld(tango_isa::AddrSpace::Global, DType::S16, wq, w_ptr, 0);
+                    b.cvt(DType::F32, DType::S16, wf, wq.into());
+                    b.mad(DType::F32, acc, xv.into(), wf.into(), acc.into());
+                    b.add(DType::U32, w_ptr, w_ptr.into(), Operand::imm_u32(2));
+                });
+            });
+        });
+        // Dequantize once per output: acc = acc_q * scale + bias_part —
+        // the bias was added pre-scale, so compute (acc - bias)*scale +
+        // bias is avoidable by accumulating the quantized sum separately;
+        // instead we load bias *after* scaling:
+        // acc currently = bias + sum(q * x); rescale the sum only.
+        // For simplicity the bias is stored pre-divided by the scale at
+        // upload time, so a single multiply finishes the layer.
+        b.mul(DType::F32, acc, acc.into(), scale_bits.into());
+        if relu {
+            b.max(DType::F32, acc, acc.into(), Operand::imm_f32(0.0));
+        }
+        let o_off = b.reg();
+        b.mad_lo(DType::U32, o_off, px.co, och.into(), px.ox.into());
+        b.mad_lo(DType::U32, o_off, px.oy, orow.into(), o_off.into());
+        let o_addr = b.reg();
+        b.shl(DType::U32, o_addr, o_off.into(), Operand::imm_u32(2));
+        b.add(DType::U32, o_addr, o_addr.into(), out_base.into());
+        b.st_global(DType::F32, o_addr, 0, acc);
+        b.exit();
+        let program = b.build()?;
+
+        Ok(QuantizedConv2d {
+            c_in,
+            h,
+            w,
+            c_out,
+            k,
+            stride,
+            pad,
+            h_out,
+            w_out,
+            kernel: LayerKernel::new(program, grid, block),
+        })
+    }
+
+    /// Output height.
+    pub fn h_out(&self) -> u32 {
+        self.h_out
+    }
+
+    /// Output width.
+    pub fn w_out(&self) -> u32 {
+        self.w_out
+    }
+
+    /// The compiled kernel.
+    pub fn kernel(&self) -> &LayerKernel {
+        &self.kernel
+    }
+
+    /// Prepares device buffers from float weights/bias: quantizes the
+    /// filter, pre-divides the bias by the scale, and uploads both.
+    /// Returns `(weights_addr, bias_addr, scale)`.
+    pub fn prepare(&self, gpu: &mut Gpu, weights: &Tensor, bias: &Tensor) -> (u32, u32, f32) {
+        let (q, scale) = quantize_weights(weights);
+        let w_addr = upload_quantized(gpu, &q);
+        let scaled_bias: Vec<f32> = bias.as_slice().iter().map(|b| b / scale).collect();
+        let b_addr = gpu.upload_f32s(&scaled_bias);
+        (w_addr, b_addr, scale)
+    }
+
+    /// Runs the layer with buffers from [`prepare`](Self::prepare).
+    ///
+    /// # Panics
+    ///
+    /// Panics if tensor geometry disagrees with the construction.
+    #[allow(clippy::too_many_arguments)]
+    pub fn launch(
+        &self,
+        gpu: &mut Gpu,
+        input: &DeviceTensor,
+        weights: u32,
+        bias: u32,
+        scale: f32,
+        output: &DeviceTensor,
+        opts: &SimOptions,
+    ) -> KernelStats {
+        assert_eq!((input.channels(), input.height(), input.width()), (self.c_in, self.h, self.w));
+        assert!(input.pad() >= self.pad);
+        assert_eq!(
+            (output.channels(), output.height(), output.width()),
+            (self.c_out, self.h_out, self.w_out)
+        );
+        let halo_origin = input.index_addr(0, 0, 0) - 4 * (self.pad * input.row_pitch() + self.pad);
+        let params = [
+            halo_origin,
+            weights,
+            bias,
+            output.interior_addr(),
+            input.row_pitch(),
+            input.ch_stride(),
+            output.row_pitch(),
+            output.ch_stride(),
+            scale.to_bits(),
+        ];
+        self.kernel.launch(gpu, &params, opts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tango_sim::GpuConfig;
+    use tango_tensor::{ops, Shape, SplitMix64};
+
+    #[test]
+    fn quantization_round_trips_within_scale() {
+        let mut rng = SplitMix64::new(1000);
+        let w = Tensor::uniform(Shape::new(&[2, 2, 3, 3]), -0.7, 0.7, &mut rng);
+        let (q, scale) = quantize_weights(&w);
+        for (orig, qv) in w.as_slice().iter().zip(&q) {
+            assert!((orig - *qv as f32 * scale).abs() <= scale * 0.5 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn quantized_conv_tracks_the_float_reference() {
+        let mut rng = SplitMix64::new(1001);
+        let input = Tensor::uniform(Shape::nchw(1, 3, 8, 8), -1.0, 1.0, &mut rng);
+        let filter = Tensor::uniform(Shape::new(&[4, 3, 3, 3]), -0.5, 0.5, &mut rng);
+        let bias = Tensor::uniform(Shape::vector(4), -0.1, 0.1, &mut rng);
+
+        let qconv = QuantizedConv2d::new(3, 8, 8, 4, 3, 1, 1, false).unwrap();
+        let mut gpu = Gpu::new(GpuConfig::gp102());
+        let d_in = DeviceTensor::upload(&mut gpu, &input, 1).unwrap();
+        let (w_addr, b_addr, scale) = qconv.prepare(&mut gpu, &filter, &bias);
+        let d_out = DeviceTensor::alloc(&mut gpu, 4, 8, 8, 0);
+        qconv.launch(
+            &mut gpu,
+            &d_in,
+            w_addr,
+            b_addr,
+            scale,
+            &d_out,
+            &SimOptions::new().with_cta_sample_limit(None),
+        );
+
+        let expect = ops::conv2d(&input, &filter, &bias, &ops::Conv2dParams::new(1, 1)).unwrap();
+        let got = d_out.download(&gpu);
+        // Quantization error bound: per-tap error <= scale/2, 27 taps.
+        let bound = scale * 0.5 * 27.0 + 1e-3;
+        assert!(
+            got.max_abs_diff(&expect) < bound,
+            "quantized conv drifted {} (bound {bound})",
+            got.max_abs_diff(&expect)
+        );
+    }
+
+    #[test]
+    fn weight_traffic_halves_and_s16_dominates_loads() {
+        use tango_isa::Opcode;
+        let qconv = QuantizedConv2d::new(3, 8, 8, 4, 3, 1, 1, false).unwrap();
+        let mut gpu = Gpu::new(GpuConfig::gp102());
+        let mut rng = SplitMix64::new(1002);
+        let input = Tensor::uniform(Shape::nchw(1, 3, 8, 8), -1.0, 1.0, &mut rng);
+        let filter = Tensor::uniform(Shape::new(&[4, 3, 3, 3]), -0.5, 0.5, &mut rng);
+        let bias = Tensor::zeros(Shape::vector(4));
+        let d_in = DeviceTensor::upload(&mut gpu, &input, 1).unwrap();
+        let (w_addr, b_addr, scale) = qconv.prepare(&mut gpu, &filter, &bias);
+        let d_out = DeviceTensor::alloc(&mut gpu, 4, 8, 8, 0);
+        let stats = qconv.launch(
+            &mut gpu,
+            &d_in,
+            w_addr,
+            b_addr,
+            scale,
+            &d_out,
+            &SimOptions::new().with_cta_sample_limit(None),
+        );
+        // The s16 data type is a visible fraction of the dynamic mix (the
+        // quantization effect the paper anticipates in Figure 10 terms).
+        let s16 = *stats.dtype_counts.get(&tango_isa::DType::S16).unwrap_or(&0);
+        let total: u64 = stats.dtype_counts.values().sum();
+        assert!(s16 as f64 / total as f64 > 0.05, "s16 share {}", s16 as f64 / total as f64);
+        assert!(stats.op_counts.contains_key(&Opcode::Cvt));
+    }
+
+    #[test]
+    fn geometry_is_validated() {
+        assert!(QuantizedConv2d::new(0, 8, 8, 4, 3, 1, 1, false).is_err());
+        assert!(QuantizedConv2d::new(3, 2, 2, 4, 5, 1, 0, false).is_err());
+    }
+}

@@ -1,0 +1,571 @@
+use crate::emit::{emit_counted_loop, emit_sigmoid, emit_tanh};
+use crate::{DeviceTensor, KernelError, LayerKernel, Result};
+use tango_isa::{DType, Dim3, KernelBuilder, Operand, Reg, Special};
+use tango_sim::{Gpu, KernelStats, SimOptions};
+
+/// Emits the flat thread id within the block (`tid.y * blockDim.x + tid.x`).
+fn emit_flat_tid(b: &mut KernelBuilder) -> Reg {
+    let ty = b.reg();
+    let j = b.reg();
+    b.mov(DType::U32, ty, Special::TidY.into());
+    b.mad_lo(DType::U32, j, ty, Special::NTidX.into(), Special::TidX.into());
+    j
+}
+
+/// Emits one RNN gate pre-activation for hidden unit `j`:
+/// `acc = bias[j] + sum_i W[i,j] * x[i] + sum_k U[k,j] * state[k]`,
+/// where `state` is read from shared memory at byte offset `state_off`.
+///
+/// Weight matrices are stored *transposed* (`[input][hidden]` and
+/// `[hidden][hidden]` with the unit index innermost) so that the 32 lanes
+/// of a warp read consecutive addresses each iteration — the coalesced
+/// layout any hand-written RNN kernel uses, and the reason the paper's
+/// RNNs show no L1D sensitivity (their weight traffic is compulsory).
+#[allow(clippy::too_many_arguments)]
+fn emit_gate(
+    b: &mut KernelBuilder,
+    j4: Reg,
+    input_dim: u32,
+    hidden: u32,
+    x_base: Reg,
+    w_base: Reg,
+    u_base: Reg,
+    b_base: Reg,
+    state_off: i32,
+    acc: Reg,
+    scratch: &GateScratch,
+) {
+    // acc = bias[j]
+    b.add(DType::U32, scratch.addr, j4.into(), b_base.into());
+    b.ld_global(DType::F32, acc, scratch.addr, 0);
+    // Input projection: lanes read W^T[i][j], consecutive in j.
+    emit_counted_loop(b, input_dim, DType::U16, &mut |b, i| {
+        b.mad_lo(DType::U32, scratch.addr, i, Operand::imm_u32(4), x_base.into());
+        b.ld_global(DType::F32, scratch.xv, scratch.addr, 0);
+        b.mad_lo(DType::U32, scratch.wptr, i, Operand::imm_u32(4 * hidden), w_base.into());
+        b.add(DType::U32, scratch.wptr, scratch.wptr.into(), j4.into());
+        b.ld_global(DType::F32, scratch.wv, scratch.wptr, 0);
+        b.mad(DType::F32, acc, scratch.xv.into(), scratch.wv.into(), acc.into());
+    });
+    // Recurrent projection: state from shared memory, U^T[k][j] coalesced.
+    emit_counted_loop(b, hidden, DType::U16, &mut |b, k| {
+        b.shl(DType::U32, scratch.addr, k.into(), Operand::imm_u32(2));
+        b.ld_shared(DType::F32, scratch.xv, scratch.addr, state_off);
+        b.mad_lo(DType::U32, scratch.wptr, k, Operand::imm_u32(4 * hidden), u_base.into());
+        b.add(DType::U32, scratch.wptr, scratch.wptr.into(), j4.into());
+        b.ld_global(DType::F32, scratch.wv, scratch.wptr, 0);
+        b.mad(DType::F32, acc, scratch.xv.into(), scratch.wv.into(), acc.into());
+    });
+}
+
+struct GateScratch {
+    addr: Reg,
+    wptr: Reg,
+    xv: Reg,
+    wv: Reg,
+}
+
+impl GateScratch {
+    fn new(b: &mut KernelBuilder) -> Self {
+        GateScratch {
+            addr: b.reg(),
+            wptr: b.reg(),
+            xv: b.reg(),
+            wv: b.reg(),
+        }
+    }
+}
+
+/// One GRU time step as a single cooperative kernel (the paper's
+/// "GRU Layer", launched `(1,1,1) x (10,10,1)` for a 100-unit state).
+///
+/// One thread owns hidden unit `j`. The previous hidden state and the
+/// reset-scaled state `r * h` are staged in shared memory between two
+/// block barriers — the structure that gives the paper's GRU its 504 B
+/// shared-memory footprint.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GruStep {
+    input_dim: u32,
+    hidden: u32,
+    kernel: LayerKernel,
+}
+
+impl GruStep {
+    /// Builds the kernel. `block.count()` must equal `hidden` (the paper
+    /// arranges 100 units as a 10 x 10 block).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KernelError`] for zero dimensions or a block/hidden
+    /// mismatch.
+    pub fn new(input_dim: u32, hidden: u32, block: Dim3) -> Result<Self> {
+        if input_dim == 0 || hidden == 0 {
+            return Err(KernelError::geometry("gru_step", "dimensions must be positive"));
+        }
+        if block.count() != hidden as u64 || hidden > 1024 {
+            return Err(KernelError::geometry(
+                "gru_step",
+                format!("block {block} must provide exactly {hidden} threads (max 1024)"),
+            ));
+        }
+        let mut b = KernelBuilder::new(format!("gru_step_h{hidden}"));
+        b.set_smem_bytes(2 * hidden * 4 + 2 * input_dim * 4);
+        let j = emit_flat_tid(&mut b);
+        let x_base = b.load_param(0);
+        let h_in = b.load_param(1);
+        let h_out = b.load_param(2);
+        let w_r = b.load_param(3);
+        let u_r = b.load_param(4);
+        let b_r = b.load_param(5);
+        let w_z = b.load_param(6);
+        let u_z = b.load_param(7);
+        let b_z = b.load_param(8);
+        let w_h = b.load_param(9);
+        let u_h = b.load_param(10);
+        let b_h = b.load_param(11);
+
+        // Stage h into shared memory.
+        let sm_j = b.reg();
+        b.shl(DType::U32, sm_j, j.into(), Operand::imm_u32(2));
+        let haddr = b.reg();
+        b.mad_lo(DType::U32, haddr, j, Operand::imm_u32(4), h_in.into());
+        let hj = b.reg();
+        b.ld_global(DType::F32, hj, haddr, 0);
+        b.st_shared(DType::F32, sm_j, 0, hj);
+        b.bar();
+
+        let scratch = GateScratch::new(&mut b);
+        let r = b.reg();
+        emit_gate(&mut b, sm_j, input_dim, hidden, x_base, w_r, u_r, b_r, 0, r, &scratch);
+        emit_sigmoid(&mut b, r, r);
+        let z = b.reg();
+        emit_gate(&mut b, sm_j, input_dim, hidden, x_base, w_z, u_z, b_z, 0, z, &scratch);
+        emit_sigmoid(&mut b, z, z);
+
+        // Stage r * h for the candidate's recurrent projection.
+        let rh = b.reg();
+        b.mul(DType::F32, rh, r.into(), hj.into());
+        b.st_shared(DType::F32, sm_j, (hidden * 4) as i32, rh);
+        b.bar();
+
+        let cand = b.reg();
+        emit_gate(
+            &mut b,
+            sm_j,
+            input_dim,
+            hidden,
+            x_base,
+            w_h,
+            u_h,
+            b_h,
+            (hidden * 4) as i32,
+            cand,
+            &scratch,
+        );
+        emit_tanh(&mut b, cand, cand);
+
+        // h' = h + z * (cand - h).
+        let d = b.reg();
+        b.sub(DType::F32, d, cand.into(), hj.into());
+        let hn = b.reg();
+        b.mad(DType::F32, hn, z.into(), d.into(), hj.into());
+        let oaddr = b.reg();
+        b.mad_lo(DType::U32, oaddr, j, Operand::imm_u32(4), h_out.into());
+        b.st_global(DType::F32, oaddr, 0, hn);
+        b.exit();
+        let program = b.build()?;
+        Ok(GruStep {
+            input_dim,
+            hidden,
+            kernel: LayerKernel::new(program, Dim3::x(1), block),
+        })
+    }
+
+    /// Hidden width.
+    pub fn hidden(&self) -> u32 {
+        self.hidden
+    }
+
+    /// Per-step input width.
+    pub fn input_dim(&self) -> u32 {
+        self.input_dim
+    }
+
+    /// The compiled kernel.
+    pub fn kernel(&self) -> &LayerKernel {
+        &self.kernel
+    }
+
+    /// Runs one step. Weight buffers are *transposed* float arrays
+    /// (`[input][hidden]` / `[hidden][hidden]` with the unit index
+    /// innermost, i.e. column-major relative to the math); `h_in`/`h_out`
+    /// must be distinct `hidden`-vectors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vector sizes disagree with the construction.
+    #[allow(clippy::too_many_arguments)]
+    pub fn launch(
+        &self,
+        gpu: &mut Gpu,
+        x: &DeviceTensor,
+        h_in: &DeviceTensor,
+        h_out: &DeviceTensor,
+        weights: &GruDeviceWeights,
+        opts: &SimOptions,
+    ) -> KernelStats {
+        assert_eq!(x.len(), self.input_dim, "gru input mismatch");
+        assert_eq!(h_in.len(), self.hidden, "gru state mismatch");
+        assert_eq!(h_out.len(), self.hidden, "gru state mismatch");
+        let params = [
+            x.interior_addr(),
+            h_in.interior_addr(),
+            h_out.interior_addr(),
+            weights.w_r,
+            weights.u_r,
+            weights.b_r,
+            weights.w_z,
+            weights.u_z,
+            weights.b_z,
+            weights.w_h,
+            weights.u_h,
+            weights.b_h,
+        ];
+        self.kernel.launch(gpu, &params, opts)
+    }
+}
+
+/// Device addresses of one GRU layer's weights.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)] // Field names mirror the GRU equations.
+pub struct GruDeviceWeights {
+    pub w_r: u32,
+    pub u_r: u32,
+    pub b_r: u32,
+    pub w_z: u32,
+    pub u_z: u32,
+    pub b_z: u32,
+    pub w_h: u32,
+    pub u_h: u32,
+    pub b_h: u32,
+}
+
+/// One LSTM time step as a single cooperative kernel (the paper's
+/// "LSTM Layer", launched `(1,1,1) x (100,1,1)`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LstmStep {
+    input_dim: u32,
+    hidden: u32,
+    kernel: LayerKernel,
+}
+
+impl LstmStep {
+    /// Builds the kernel. `block.count()` must equal `hidden`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KernelError`] for zero dimensions or a block/hidden
+    /// mismatch.
+    pub fn new(input_dim: u32, hidden: u32, block: Dim3) -> Result<Self> {
+        if input_dim == 0 || hidden == 0 {
+            return Err(KernelError::geometry("lstm_step", "dimensions must be positive"));
+        }
+        if block.count() != hidden as u64 || hidden > 1024 {
+            return Err(KernelError::geometry(
+                "lstm_step",
+                format!("block {block} must provide exactly {hidden} threads (max 1024)"),
+            ));
+        }
+        let mut b = KernelBuilder::new(format!("lstm_step_h{hidden}"));
+        b.set_smem_bytes(hidden * 4 + 4 * input_dim * 4 + hidden * 4);
+        let j = emit_flat_tid(&mut b);
+        let x_base = b.load_param(0);
+        let h_in = b.load_param(1);
+        let c_in = b.load_param(2);
+        let h_out = b.load_param(3);
+        let c_out = b.load_param(4);
+        let mut gate_params = Vec::new();
+        for g in 0..4 {
+            let w = b.load_param(5 + g * 3);
+            let u = b.load_param(6 + g * 3);
+            let bias = b.load_param(7 + g * 3);
+            gate_params.push((w, u, bias));
+        }
+
+        let sm_j = b.reg();
+        b.shl(DType::U32, sm_j, j.into(), Operand::imm_u32(2));
+        let haddr = b.reg();
+        b.mad_lo(DType::U32, haddr, j, Operand::imm_u32(4), h_in.into());
+        let hj = b.reg();
+        b.ld_global(DType::F32, hj, haddr, 0);
+        b.st_shared(DType::F32, sm_j, 0, hj);
+        b.bar();
+
+        let scratch = GateScratch::new(&mut b);
+        let i_gate = b.reg();
+        let f_gate = b.reg();
+        let o_gate = b.reg();
+        let g_gate = b.reg();
+        let gates = [i_gate, f_gate, o_gate, g_gate];
+        for (idx, &(w, u, bias)) in gate_params.iter().enumerate() {
+            emit_gate(&mut b, sm_j, input_dim, hidden, x_base, w, u, bias, 0, gates[idx], &scratch);
+            if idx == 3 {
+                emit_tanh(&mut b, gates[idx], gates[idx]);
+            } else {
+                emit_sigmoid(&mut b, gates[idx], gates[idx]);
+            }
+        }
+
+        // c' = f * c + i * g; h' = o * tanh(c').
+        let caddr = b.reg();
+        b.mad_lo(DType::U32, caddr, j, Operand::imm_u32(4), c_in.into());
+        let cj = b.reg();
+        b.ld_global(DType::F32, cj, caddr, 0);
+        let cn = b.reg();
+        b.mul(DType::F32, cn, f_gate.into(), cj.into());
+        b.mad(DType::F32, cn, i_gate.into(), g_gate.into(), cn.into());
+        let co_addr = b.reg();
+        b.mad_lo(DType::U32, co_addr, j, Operand::imm_u32(4), c_out.into());
+        b.st_global(DType::F32, co_addr, 0, cn);
+        let th = b.reg();
+        emit_tanh(&mut b, th, cn);
+        let hn = b.reg();
+        b.mul(DType::F32, hn, o_gate.into(), th.into());
+        let ho_addr = b.reg();
+        b.mad_lo(DType::U32, ho_addr, j, Operand::imm_u32(4), h_out.into());
+        b.st_global(DType::F32, ho_addr, 0, hn);
+        b.exit();
+        let program = b.build()?;
+        Ok(LstmStep {
+            input_dim,
+            hidden,
+            kernel: LayerKernel::new(program, Dim3::x(1), block),
+        })
+    }
+
+    /// Hidden width.
+    pub fn hidden(&self) -> u32 {
+        self.hidden
+    }
+
+    /// Per-step input width.
+    pub fn input_dim(&self) -> u32 {
+        self.input_dim
+    }
+
+    /// The compiled kernel.
+    pub fn kernel(&self) -> &LayerKernel {
+        &self.kernel
+    }
+
+    /// Runs one step over distinct input/output state vectors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vector sizes disagree with the construction.
+    #[allow(clippy::too_many_arguments)]
+    pub fn launch(
+        &self,
+        gpu: &mut Gpu,
+        x: &DeviceTensor,
+        h_in: &DeviceTensor,
+        c_in: &DeviceTensor,
+        h_out: &DeviceTensor,
+        c_out: &DeviceTensor,
+        weights: &LstmDeviceWeights,
+        opts: &SimOptions,
+    ) -> KernelStats {
+        assert_eq!(x.len(), self.input_dim, "lstm input mismatch");
+        for t in [h_in, c_in, h_out, c_out] {
+            assert_eq!(t.len(), self.hidden, "lstm state mismatch");
+        }
+        let params = [
+            x.interior_addr(),
+            h_in.interior_addr(),
+            c_in.interior_addr(),
+            h_out.interior_addr(),
+            c_out.interior_addr(),
+            weights.w_i,
+            weights.u_i,
+            weights.b_i,
+            weights.w_f,
+            weights.u_f,
+            weights.b_f,
+            weights.w_o,
+            weights.u_o,
+            weights.b_o,
+            weights.w_g,
+            weights.u_g,
+            weights.b_g,
+        ];
+        self.kernel.launch(gpu, &params, opts)
+    }
+}
+
+/// Device addresses of one LSTM layer's weights.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)] // Field names mirror the LSTM equations.
+pub struct LstmDeviceWeights {
+    pub w_i: u32,
+    pub u_i: u32,
+    pub b_i: u32,
+    pub w_f: u32,
+    pub u_f: u32,
+    pub b_f: u32,
+    pub w_o: u32,
+    pub u_o: u32,
+    pub b_o: u32,
+    pub w_g: u32,
+    pub u_g: u32,
+    pub b_g: u32,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tango_sim::GpuConfig;
+    use tango_tensor::{ops, Shape, SplitMix64, Tensor};
+
+    fn upload_t(gpu: &mut Gpu, t: &Tensor) -> u32 {
+        // Device layout is transposed: unit index innermost.
+        let (rows, cols) = (t.shape().dim(0), t.shape().dim(1));
+        let mut out = vec![0.0f32; rows * cols];
+        for r in 0..rows {
+            for c in 0..cols {
+                out[c * rows + r] = t.get(&[r, c]);
+            }
+        }
+        gpu.upload_f32s(&out)
+    }
+
+    fn upload_gru(gpu: &mut Gpu, w: &ops::GruWeights) -> GruDeviceWeights {
+        GruDeviceWeights {
+            w_r: upload_t(gpu, &w.w_r),
+            u_r: upload_t(gpu, &w.u_r),
+            b_r: gpu.upload_f32s(w.b_r.as_slice()),
+            w_z: upload_t(gpu, &w.w_z),
+            u_z: upload_t(gpu, &w.u_z),
+            b_z: gpu.upload_f32s(w.b_z.as_slice()),
+            w_h: upload_t(gpu, &w.w_h),
+            u_h: upload_t(gpu, &w.u_h),
+            b_h: gpu.upload_f32s(w.b_h.as_slice()),
+        }
+    }
+
+    fn upload_lstm(gpu: &mut Gpu, w: &ops::LstmWeights) -> LstmDeviceWeights {
+        LstmDeviceWeights {
+            w_i: upload_t(gpu, &w.w_i),
+            u_i: upload_t(gpu, &w.u_i),
+            b_i: gpu.upload_f32s(w.b_i.as_slice()),
+            w_f: upload_t(gpu, &w.w_f),
+            u_f: upload_t(gpu, &w.u_f),
+            b_f: gpu.upload_f32s(w.b_f.as_slice()),
+            w_o: upload_t(gpu, &w.w_o),
+            u_o: upload_t(gpu, &w.u_o),
+            b_o: gpu.upload_f32s(w.b_o.as_slice()),
+            w_g: upload_t(gpu, &w.w_g),
+            u_g: upload_t(gpu, &w.u_g),
+            b_g: gpu.upload_f32s(w.b_g.as_slice()),
+        }
+    }
+
+    #[test]
+    fn gru_step_matches_reference() {
+        let mut rng = SplitMix64::new(41);
+        let hidden = 64u32;
+        let input_dim = 2u32;
+        let w = ops::GruWeights::synthetic(input_dim as usize, hidden as usize, &mut rng);
+        let x = Tensor::uniform(Shape::vector(input_dim as usize), -1.0, 1.0, &mut rng);
+        let h0 = Tensor::uniform(Shape::vector(hidden as usize), -0.5, 0.5, &mut rng);
+
+        let step = GruStep::new(input_dim, hidden, Dim3::xy(8, 8)).unwrap();
+        let mut gpu = Gpu::new(GpuConfig::gp102());
+        let dw = upload_gru(&mut gpu, &w);
+        let d_x = DeviceTensor::upload(&mut gpu, &x, 0).unwrap();
+        let d_h0 = DeviceTensor::upload(&mut gpu, &h0, 0).unwrap();
+        let d_h1 = DeviceTensor::alloc_vector(&mut gpu, hidden);
+        step.launch(&mut gpu, &d_x, &d_h0, &d_h1, &dw, &SimOptions::new().with_cta_sample_limit(None));
+
+        let expect = ops::gru_cell(&x, &h0, &w).unwrap();
+        let got = d_h1.download(&gpu);
+        assert!(got.approx_eq(&expect, 1e-3), "max diff {}", got.max_abs_diff(&expect));
+    }
+
+    #[test]
+    fn lstm_step_matches_reference() {
+        let mut rng = SplitMix64::new(42);
+        let hidden = 100u32;
+        let input_dim = 2u32;
+        let w = ops::LstmWeights::synthetic(input_dim as usize, hidden as usize, &mut rng);
+        let x = Tensor::uniform(Shape::vector(input_dim as usize), -1.0, 1.0, &mut rng);
+        let state = ops::LstmState {
+            h: Tensor::uniform(Shape::vector(hidden as usize), -0.5, 0.5, &mut rng),
+            c: Tensor::uniform(Shape::vector(hidden as usize), -0.5, 0.5, &mut rng),
+        };
+
+        let step = LstmStep::new(input_dim, hidden, Dim3::x(hidden)).unwrap();
+        let mut gpu = Gpu::new(GpuConfig::gp102());
+        let dw = upload_lstm(&mut gpu, &w);
+        let d_x = DeviceTensor::upload(&mut gpu, &x, 0).unwrap();
+        let d_h0 = DeviceTensor::upload(&mut gpu, &state.h, 0).unwrap();
+        let d_c0 = DeviceTensor::upload(&mut gpu, &state.c, 0).unwrap();
+        let d_h1 = DeviceTensor::alloc_vector(&mut gpu, hidden);
+        let d_c1 = DeviceTensor::alloc_vector(&mut gpu, hidden);
+        step.launch(
+            &mut gpu,
+            &d_x,
+            &d_h0,
+            &d_c0,
+            &d_h1,
+            &d_c1,
+            &dw,
+            &SimOptions::new().with_cta_sample_limit(None),
+        );
+
+        let expect = ops::lstm_cell(&x, &state, &w).unwrap();
+        let got_h = d_h1.download(&gpu);
+        let got_c = d_c1.download(&gpu);
+        assert!(got_h.approx_eq(&expect.h, 1e-3), "h max diff {}", got_h.max_abs_diff(&expect.h));
+        assert!(got_c.approx_eq(&expect.c, 1e-3), "c max diff {}", got_c.max_abs_diff(&expect.c));
+    }
+
+    #[test]
+    fn gru_multi_step_sequence_matches_reference() {
+        let mut rng = SplitMix64::new(43);
+        let hidden = 25u32;
+        let w = ops::GruWeights::synthetic(2, hidden as usize, &mut rng);
+        let xs: Vec<Tensor> = (0..3)
+            .map(|_| Tensor::uniform(Shape::vector(2), -1.0, 1.0, &mut rng))
+            .collect();
+
+        let step = GruStep::new(2, hidden, Dim3::xy(5, 5)).unwrap();
+        let mut gpu = Gpu::new(GpuConfig::gp102());
+        let dw = upload_gru(&mut gpu, &w);
+        let buf_a = DeviceTensor::alloc_vector(&mut gpu, hidden);
+        let buf_b = DeviceTensor::alloc_vector(&mut gpu, hidden);
+        let (mut cur, mut next) = (buf_a, buf_b);
+        for x in &xs {
+            let d_x = DeviceTensor::upload(&mut gpu, x, 0).unwrap();
+            step.launch(&mut gpu, &d_x, &cur, &next, &dw, &SimOptions::new().with_cta_sample_limit(None));
+            std::mem::swap(&mut cur, &mut next);
+        }
+        let expect = ops::gru_sequence(&xs, &w).unwrap();
+        let got = cur.download(&gpu);
+        assert!(got.approx_eq(&expect, 2e-3), "max diff {}", got.max_abs_diff(&expect));
+    }
+
+    #[test]
+    fn block_geometry_is_validated() {
+        assert!(GruStep::new(2, 100, Dim3::xy(10, 9)).is_err());
+        assert!(LstmStep::new(2, 100, Dim3::x(64)).is_err());
+    }
+
+    #[test]
+    fn rnn_register_and_smem_footprints_are_small() {
+        let gru = GruStep::new(2, 100, Dim3::xy(10, 10)).unwrap();
+        assert!(gru.kernel().smem_bytes() >= 800);
+        assert!(gru.kernel().regs() < 64);
+        let lstm = LstmStep::new(2, 100, Dim3::x(100)).unwrap();
+        assert!(lstm.kernel().regs() < 64);
+    }
+}

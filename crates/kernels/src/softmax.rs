@@ -1,0 +1,163 @@
+use crate::{DeviceTensor, KernelError, LayerKernel, Result};
+use tango_isa::{DType, Dim3, KernelBuilder, Operand};
+use tango_sim::{Gpu, KernelStats, SimOptions};
+
+use crate::emit::{emit_counted_loop, LOG2_E};
+
+/// Softmax over a class-score vector, run as a single cooperative block:
+/// scores are staged in shared memory, every thread scans for the maximum
+/// and the exponent sum (numerically-stable softmax), then normalizes its
+/// own class. The paper's CifarNet ends with exactly such a layer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Softmax {
+    n: u32,
+    kernel: LayerKernel,
+}
+
+impl Softmax {
+    /// Builds the kernel for an `n`-class vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KernelError`] if `n` is zero or exceeds the 1024-thread
+    /// block limit.
+    pub fn new(n: u32) -> Result<Self> {
+        if n == 0 {
+            return Err(KernelError::geometry("softmax", "class count must be positive"));
+        }
+        if n > 1024 {
+            return Err(KernelError::geometry("softmax", "at most 1024 classes per block"));
+        }
+        let mut b = KernelBuilder::new(format!("softmax{n}"));
+        b.set_smem_bytes(2 * n * 4);
+        let j = b.reg();
+        b.tid_x(j);
+        let in_base = b.load_param(0);
+        let out_base = b.load_param(1);
+
+        // Stage scores: smem[j] = x[j].
+        let addr = b.reg();
+        b.mad_lo(DType::U32, addr, j, Operand::imm_u32(4), in_base.into());
+        let v = b.reg();
+        b.ld_global(DType::F32, v, addr, 0);
+        let sm_addr = b.reg();
+        b.shl(DType::U32, sm_addr, j.into(), Operand::imm_u32(2));
+        b.st_shared(DType::F32, sm_addr, 0, v);
+        b.bar();
+
+        // mx = max over smem[0..n].
+        let mx = b.reg();
+        b.mov(DType::F32, mx, Operand::imm_f32(f32::NEG_INFINITY));
+        let t = b.reg();
+        let taddr = b.reg();
+        emit_counted_loop(&mut b, n, DType::U16, &mut |b, k| {
+            b.shl(DType::U32, taddr, k.into(), Operand::imm_u32(2));
+            b.ld_shared(DType::F32, t, taddr, 0);
+            b.max(DType::F32, mx, mx.into(), t.into());
+        });
+
+        // e = 2^((v - mx) * log2 e); smem[n + j] = e.
+        let e = b.reg();
+        b.sub(DType::F32, e, v.into(), mx.into());
+        b.mul(DType::F32, e, e.into(), Operand::imm_f32(LOG2_E));
+        b.ex2(e, e.into());
+        b.st_shared(DType::F32, sm_addr, (n * 4) as i32, e);
+        b.bar();
+
+        // sum = sum over smem[n..2n].
+        let sum = b.reg();
+        b.mov(DType::F32, sum, Operand::imm_f32(0.0));
+        emit_counted_loop(&mut b, n, DType::U16, &mut |b, k| {
+            b.shl(DType::U32, taddr, k.into(), Operand::imm_u32(2));
+            b.ld_shared(DType::F32, t, taddr, (n * 4) as i32);
+            b.add(DType::F32, sum, sum.into(), t.into());
+        });
+        let inv = b.reg();
+        b.rcp(inv, sum.into());
+        b.mul(DType::F32, e, e.into(), inv.into());
+
+        let o_addr = b.reg();
+        b.mad_lo(DType::U32, o_addr, j, Operand::imm_u32(4), out_base.into());
+        b.st_global(DType::F32, o_addr, 0, e);
+        b.exit();
+        let program = b.build()?;
+        Ok(Softmax {
+            n,
+            kernel: LayerKernel::new(program, Dim3::x(1), Dim3::x(n)),
+        })
+    }
+
+    /// The compiled kernel.
+    pub fn kernel(&self) -> &LayerKernel {
+        &self.kernel
+    }
+
+    /// Runs the layer over an `n`-vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vectors do not hold `n` elements.
+    pub fn launch(&self, gpu: &mut Gpu, input: &DeviceTensor, output: &DeviceTensor, opts: &SimOptions) -> KernelStats {
+        assert_eq!(input.len(), self.n, "softmax input mismatch");
+        assert_eq!(output.len(), self.n, "softmax output mismatch");
+        let params = [input.interior_addr(), output.interior_addr()];
+        self.kernel.launch(gpu, &params, opts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tango_sim::GpuConfig;
+    use tango_tensor::{ops, Shape, SplitMix64, Tensor};
+
+    fn check(n: usize, seed: u64) {
+        let mut rng = SplitMix64::new(seed);
+        let input = Tensor::uniform(Shape::vector(n), -4.0, 4.0, &mut rng);
+        let sm = Softmax::new(n as u32).unwrap();
+        let mut gpu = Gpu::new(GpuConfig::gp102());
+        let d_in = DeviceTensor::upload(&mut gpu, &input, 0).unwrap();
+        let d_out = DeviceTensor::alloc_vector(&mut gpu, n as u32);
+        sm.launch(&mut gpu, &d_in, &d_out, &SimOptions::new().with_cta_sample_limit(None));
+        let expect = ops::softmax(&input).unwrap();
+        let got = d_out.download(&gpu);
+        assert!(got.approx_eq(&expect, 1e-4), "n={n}: max diff {}", got.max_abs_diff(&expect));
+        let total: f32 = got.as_slice().iter().sum();
+        assert!((total - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn nine_classes_like_cifarnet() {
+        check(9, 31);
+    }
+
+    #[test]
+    fn thousand_classes_like_imagenet_nets() {
+        check(1000, 32);
+    }
+
+    #[test]
+    fn partial_warp_class_count() {
+        check(5, 33);
+    }
+
+    #[test]
+    fn large_scores_are_stable() {
+        let input = Tensor::from_vec(Shape::vector(4), vec![100.0, 100.0, 100.0, 100.0]);
+        let sm = Softmax::new(4).unwrap();
+        let mut gpu = Gpu::new(GpuConfig::gp102());
+        let d_in = DeviceTensor::upload(&mut gpu, &input, 0).unwrap();
+        let d_out = DeviceTensor::alloc_vector(&mut gpu, 4);
+        sm.launch(&mut gpu, &d_in, &d_out, &SimOptions::new());
+        let got = d_out.download(&gpu);
+        for v in got.as_slice() {
+            assert!((v - 0.25).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn class_limit_is_enforced() {
+        assert!(Softmax::new(0).is_err());
+        assert!(Softmax::new(2000).is_err());
+    }
+}

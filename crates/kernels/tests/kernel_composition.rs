@@ -1,0 +1,139 @@
+//! Integration tests over kernel composition: channel-sliced outputs
+//! (grouped convolutions, fire concatenation), nested SIMT divergence,
+//! and cross-option output invariance at the kernel level.
+
+use tango_isa::{CmpOp, DType, Dim3, KernelBuilder, Operand};
+use tango_kernels::{Conv2d, DeviceTensor};
+use tango_sim::{Gpu, GpuConfig, SimOptions};
+use tango_tensor::{ops, Shape, SplitMix64, Tensor};
+
+fn full() -> SimOptions {
+    SimOptions::new().with_cta_sample_limit(None)
+}
+
+#[test]
+fn fire_style_concat_matches_two_reference_convs() {
+    // Two convolutions writing into disjoint channel slices of one output
+    // tensor must equal the channel concatenation of the reference convs.
+    let mut rng = SplitMix64::new(70);
+    let input = Tensor::uniform(Shape::nchw(1, 4, 6, 6), -1.0, 1.0, &mut rng);
+    let f1 = Tensor::uniform(Shape::new(&[3, 4, 1, 1]), -0.5, 0.5, &mut rng);
+    let b1 = Tensor::uniform(Shape::vector(3), -0.1, 0.1, &mut rng);
+    let f3 = Tensor::uniform(Shape::new(&[3, 4, 3, 3]), -0.5, 0.5, &mut rng);
+    let b3 = Tensor::uniform(Shape::vector(3), -0.1, 0.1, &mut rng);
+
+    let mut gpu = Gpu::new(GpuConfig::gp102());
+    let d_in = DeviceTensor::upload(&mut gpu, &input, 1).unwrap();
+    let out = DeviceTensor::alloc(&mut gpu, 6, 6, 6, 0);
+    let e1 = Conv2d::new(4, 6, 6, 3, 1, 1, 1, 0, false).unwrap();
+    let e3 = Conv2d::new(4, 6, 6, 3, 3, 3, 1, 1, false).unwrap();
+    let (w1, bias1) = (gpu.upload_f32s(f1.as_slice()), gpu.upload_f32s(b1.as_slice()));
+    let (w3, bias3) = (gpu.upload_f32s(f3.as_slice()), gpu.upload_f32s(b3.as_slice()));
+    e1.launch(&mut gpu, &d_in, w1, bias1, &out.channel_slice(0, 3), &full());
+    e3.launch(&mut gpu, &d_in, w3, bias3, &out.channel_slice(3, 3), &full());
+
+    let r1 = ops::conv2d(&input, &f1, &b1, &ops::Conv2dParams::unit()).unwrap();
+    let r3 = ops::conv2d(&input, &f3, &b3, &ops::Conv2dParams::new(1, 1)).unwrap();
+    let got = out.download(&gpu);
+    for ch in 0..3 {
+        for y in 0..6 {
+            for x in 0..6 {
+                assert!((got.get(&[0, ch, y, x]) - r1.get(&[0, ch, y, x])).abs() < 1e-4);
+                assert!((got.get(&[0, ch + 3, y, x]) - r3.get(&[0, ch, y, x])).abs() < 1e-4);
+            }
+        }
+    }
+}
+
+#[test]
+fn nested_divergence_reconverges_correctly() {
+    // Two nested data-dependent branches: lanes take four distinct paths
+    // and must all write their own path id plus a common epilogue.
+    let mut b = KernelBuilder::new("nested_div");
+    let tid = b.reg();
+    let v = b.reg();
+    let addr = b.reg();
+    let p_outer = b.pred();
+    let p_inner = b.pred();
+    b.tid_x(tid);
+    let base = b.load_param(0);
+
+    let outer_join = b.label();
+    let inner_join_a = b.label();
+    let inner_join_b = b.label();
+    let outer_else = b.label();
+    let inner_else_a = b.label();
+    let inner_else_b = b.label();
+
+    b.ssy(outer_join);
+    b.set(CmpOp::Ge, DType::U32, p_outer, tid.into(), Operand::imm_u32(16));
+    b.bra_if(p_outer, true, outer_else);
+    // tid < 16
+    b.ssy(inner_join_a);
+    b.set(CmpOp::Ge, DType::U32, p_inner, tid.into(), Operand::imm_u32(8));
+    b.bra_if(p_inner, true, inner_else_a);
+    b.mov(DType::U32, v, Operand::imm_u32(100)); // tid < 8
+    b.bra(inner_join_a);
+    b.place(inner_else_a);
+    b.mov(DType::U32, v, Operand::imm_u32(200)); // 8 <= tid < 16
+    b.place(inner_join_a);
+    b.bra(outer_join);
+    b.place(outer_else);
+    // tid >= 16
+    b.ssy(inner_join_b);
+    b.set(CmpOp::Ge, DType::U32, p_inner, tid.into(), Operand::imm_u32(24));
+    b.bra_if(p_inner, true, inner_else_b);
+    b.mov(DType::U32, v, Operand::imm_u32(300)); // 16 <= tid < 24
+    b.bra(inner_join_b);
+    b.place(inner_else_b);
+    b.mov(DType::U32, v, Operand::imm_u32(400)); // tid >= 24
+    b.place(inner_join_b);
+    b.place(outer_join);
+    // Common epilogue for all lanes.
+    b.add(DType::U32, v, v.into(), Operand::imm_u32(7));
+    b.shl(DType::U32, addr, tid.into(), Operand::imm_u32(2));
+    b.add(DType::U32, addr, addr.into(), base.into());
+    b.st_global(DType::U32, addr, 0, v);
+    b.exit();
+    let program = b.build().unwrap();
+
+    let mut gpu = Gpu::new(GpuConfig::gp102());
+    let buf = gpu.alloc_bytes(32 * 4);
+    gpu.launch(&program, Dim3::x(1), Dim3::x(32), &[buf], 0, &full());
+    for tid in 0..32u32 {
+        let expect = match tid {
+            0..=7 => 107,
+            8..=15 => 207,
+            16..=23 => 307,
+            _ => 407,
+        };
+        assert_eq!(gpu.memory().read_u32(buf + tid * 4), expect, "lane {tid}");
+    }
+}
+
+#[test]
+fn kernel_outputs_are_invariant_across_all_sim_options() {
+    // A convolution's numerical output must be identical for every
+    // scheduler, cache size, and (full-coverage) sampling option.
+    let mut rng = SplitMix64::new(71);
+    let input = Tensor::uniform(Shape::nchw(1, 3, 10, 10), -1.0, 1.0, &mut rng);
+    let filter = Tensor::uniform(Shape::new(&[4, 3, 3, 3]), -0.5, 0.5, &mut rng);
+    let bias = Tensor::uniform(Shape::vector(4), -0.1, 0.1, &mut rng);
+    let conv = Conv2d::new(3, 10, 10, 4, 3, 3, 1, 1, true).unwrap();
+
+    let run = |opts: &SimOptions| {
+        let mut gpu = Gpu::new(GpuConfig::gp102());
+        let d_in = DeviceTensor::upload(&mut gpu, &input, 1).unwrap();
+        let d_w = gpu.upload_f32s(filter.as_slice());
+        let d_b = gpu.upload_f32s(bias.as_slice());
+        let d_out = DeviceTensor::alloc(&mut gpu, 4, 10, 10, 0);
+        conv.launch(&mut gpu, &d_in, d_w, d_b, &d_out, opts);
+        d_out.download(&gpu)
+    };
+    let base = run(&full());
+    for policy in tango_sim::SchedulerPolicy::ALL {
+        assert_eq!(base, run(&full().with_scheduler(policy)), "{policy}");
+    }
+    assert_eq!(base, run(&full().with_l1d_bytes(0)));
+    assert_eq!(base, run(&full().with_l1d_bytes(256 << 10)));
+}

@@ -1,0 +1,156 @@
+//! AlexNet: five convolutions (conv2/4/5 grouped in two halves, as the
+//! paper's Table III shows with its `Conv 2-1/2-2` kernel pairs), two LRN
+//! layers, three pools, and three fully-connected layers run one thread
+//! per block — the configuration behind the paper's FC observations.
+
+use crate::builder::NetBuilder;
+use crate::layer::LayerType;
+use crate::network::{Network, NetworkKind, Preset};
+use crate::Result;
+use tango_kernels::Conv2d;
+use tango_sim::Gpu;
+
+struct Dims {
+    input: u32,
+    c1: u32,
+    c2: u32,
+    c3: u32,
+    c4: u32,
+    c5: u32,
+    fc: u32,
+    classes: u32,
+}
+
+fn dims(preset: Preset) -> Dims {
+    match preset {
+        Preset::Paper => Dims {
+            input: 227,
+            c1: 96,
+            c2: 256,
+            c3: 384,
+            c4: 384,
+            c5: 256,
+            fc: 4096,
+            classes: 1000,
+        },
+        Preset::Bench => Dims {
+            input: 115,
+            c1: 24,
+            c2: 64,
+            c3: 96,
+            c4: 96,
+            c5: 64,
+            fc: 512,
+            classes: 250,
+        },
+        Preset::Tiny => Dims {
+            input: 43,
+            c1: 8,
+            c2: 16,
+            c3: 24,
+            c4: 24,
+            c5: 16,
+            fc: 64,
+            classes: 20,
+        },
+    }
+}
+
+/// Emits a two-group convolution: each half of the input channels feeds
+/// half of the output channels, as two kernels named `<name>_1`/`<name>_2`
+/// (the paper's `Conv 2-1` / `Conv 2-2`).
+#[allow(clippy::too_many_arguments)]
+fn grouped_conv(
+    b: &mut NetBuilder<'_>,
+    name: &str,
+    c_out: u32,
+    k: u32,
+    pad: u32,
+    relu: bool,
+    out_pad: u32,
+) -> Result<()> {
+    let input = b.cur();
+    let half_in = input.channels() / 2;
+    let half_out = c_out / 2;
+    let kernel = Conv2d::new(half_in, input.height(), input.width(), half_out, k, k, 1, pad, relu)?;
+    let output = b.alloc(c_out, kernel.h_out(), kernel.w_out(), out_pad);
+    for g in 0..2u32 {
+        let in_slice = input.channel_slice(g * half_in, half_in);
+        let out_slice = output.channel_slice(g * half_out, half_out);
+        b.conv_between(&format!("{name}_{}", g + 1), LayerType::Conv, &kernel, in_slice, out_slice)?;
+    }
+    b.set_cur(output);
+    Ok(())
+}
+
+/// Builds AlexNet at `preset` scale with deterministic synthetic weights.
+///
+/// # Errors
+///
+/// Propagates kernel-construction failures (dimension-table bugs).
+pub fn build(gpu: &mut Gpu, preset: Preset, seed: u64) -> Result<Network> {
+    let d = dims(preset);
+    let mut b = NetBuilder::image_input(gpu, seed, 3, d.input, d.input, 0);
+    b.conv("conv1", LayerType::Conv, d.c1, 11, 4, 0, true, 0)?;
+    b.lrn("norm1", 0)?;
+    b.max_pool("pool1", 3, 2, 2)?;
+    grouped_conv(&mut b, "conv2", d.c2, 5, 2, true, 0)?;
+    b.lrn("norm2", 0)?;
+    b.max_pool("pool2", 3, 2, 1)?;
+    b.conv("conv3", LayerType::Conv, d.c3, 3, 1, 1, true, 1)?;
+    grouped_conv(&mut b, "conv4", d.c4, 3, 1, true, 1)?;
+    grouped_conv(&mut b, "conv5", d.c5, 3, 1, true, 0)?;
+    b.max_pool("pool5", 3, 2, 0)?;
+    // The paper launches AlexNet's FC layers as (N,1,1) grids of
+    // single-thread blocks.
+    b.fc("fc6", d.fc, 1, true)?;
+    b.fc("fc7", d.fc, 1, true)?;
+    b.fc("fc8", d.classes, 1, false)?;
+    b.softmax("softmax")?;
+    Ok(b.finish(NetworkKind::AlexNet, preset))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::NetworkInput;
+    use tango_sim::{GpuConfig, SimOptions};
+    use tango_tensor::{Shape, SplitMix64, Tensor};
+
+    #[test]
+    fn paper_preset_has_published_geometry() {
+        let mut gpu = Gpu::new(GpuConfig::gp102());
+        let net = build(&mut gpu, Preset::Paper, 1).unwrap();
+        // conv1 + 2x(conv2,conv4,conv5) + conv3 = 8 conv kernels.
+        let convs = net.layers().iter().filter(|l| l.layer_type() == LayerType::Conv).count();
+        assert_eq!(convs, 8);
+        let fcs: Vec<_> = net.layers().iter().filter(|l| l.layer_type() == LayerType::Fc).collect();
+        assert_eq!(fcs.len(), 3);
+        // Table III: FC layers run as (4096,1,1) grids of (1,1,1) blocks.
+        assert_eq!(fcs[0].kernel().grid().x, 4096);
+        assert_eq!(fcs[0].kernel().block().count(), 1);
+        // conv1 covers 96 channels of 55x55 output.
+        let conv1 = &net.layers()[0];
+        assert_eq!(conv1.kernel().grid().x, 96);
+        assert_eq!(conv1.kernel().total_threads(), 96 * 4 * (32 * 32) as u64);
+        // ~60M parameters (float) like the published model.
+        let params = net.weight_bytes() / 4;
+        assert!((55_000_000..70_000_000).contains(&params), "got {params}");
+    }
+
+    #[test]
+    fn tiny_inference_runs_and_classifies() {
+        let mut gpu = Gpu::new(GpuConfig::gp102());
+        let net = build(&mut gpu, Preset::Tiny, 2).unwrap();
+        let mut rng = SplitMix64::new(20);
+        let image = Tensor::uniform(Shape::nchw(1, 3, 43, 43), 0.0, 1.0, &mut rng);
+        let report = net
+            .infer(&mut gpu, &NetworkInput::Image(image), &SimOptions::new())
+            .unwrap();
+        let sum: f32 = report.output.as_slice().iter().sum();
+        assert!((sum - 1.0).abs() < 1e-3);
+        // Grouped layers appear as two records with the same stats shape.
+        assert!(report.records.iter().any(|r| r.name == "conv2_1"));
+        assert!(report.records.iter().any(|r| r.name == "conv2_2"));
+    }
+}

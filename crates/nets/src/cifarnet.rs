@@ -1,0 +1,125 @@
+//! CifarNet: three 5x5 convolutions with pooling, two fully-connected
+//! layers, and a 9-class softmax (the paper's traffic-signal model).
+
+use crate::builder::NetBuilder;
+use crate::layer::LayerType;
+use crate::network::{Network, NetworkKind, Preset};
+use crate::Result;
+use tango_sim::Gpu;
+
+struct Dims {
+    input: u32,
+    c1: u32,
+    c2: u32,
+    c3: u32,
+    fc1: u32,
+    classes: u32,
+}
+
+fn dims(preset: Preset) -> Dims {
+    match preset {
+        // The published model: 32x32x3 input, 32/32/64 channels, 64-wide
+        // FC, 9 traffic-signal classes.
+        Preset::Paper | Preset::Bench => Dims {
+            input: 32,
+            c1: 32,
+            c2: 32,
+            c3: 64,
+            fc1: 64,
+            classes: 9,
+        },
+        Preset::Tiny => Dims {
+            input: 16,
+            c1: 8,
+            c2: 8,
+            c3: 16,
+            fc1: 16,
+            classes: 9,
+        },
+    }
+}
+
+/// Builds CifarNet at `preset` scale with deterministic synthetic weights.
+///
+/// # Errors
+///
+/// Propagates kernel-construction failures (which indicate a bug in the
+/// dimension tables, not a runtime condition).
+pub fn build(gpu: &mut Gpu, preset: Preset, seed: u64) -> Result<Network> {
+    let d = dims(preset);
+    // conv1 is 5x5 pad 2, so the input tensor carries a halo of 2.
+    // The paper runs every CifarNet layer as a single thread block
+    // (Table III: gridDim (1,1,1)), looping over channels in-kernel.
+    let mut b = NetBuilder::image_input(gpu, seed, 3, d.input, d.input, 2);
+    b.conv_single_block("conv1", LayerType::Conv, d.c1, 5, 1, 2, true, 0)?;
+    b.max_pool_single_block("pool1", 3, 2, 2)?;
+    b.conv_single_block("conv2", LayerType::Conv, d.c2, 5, 1, 2, true, 0)?;
+    b.max_pool_single_block("pool2", 3, 2, 2)?;
+    b.conv_single_block("conv3", LayerType::Conv, d.c3, 5, 1, 2, true, 0)?;
+    b.max_pool_single_block("pool3", 3, 2, 0)?;
+    b.fc("fc1", d.fc1, 64.min(d.fc1), true)?;
+    b.fc("fc2", d.classes, 32, false)?;
+    b.softmax("softmax")?;
+    Ok(b.finish(NetworkKind::CifarNet, preset))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::{InputSpec, NetworkInput};
+    use tango_sim::{GpuConfig, SimOptions};
+    use tango_tensor::{Shape, SplitMix64, Tensor};
+
+    #[test]
+    fn paper_preset_matches_published_structure() {
+        let mut gpu = Gpu::new(GpuConfig::gp102());
+        let net = build(&mut gpu, Preset::Paper, 1).unwrap();
+        // 3 conv + 3 pool + 2 fc + softmax.
+        assert_eq!(net.layers().len(), 9);
+        let convs = net.layers().iter().filter(|l| l.layer_type() == LayerType::Conv).count();
+        assert_eq!(convs, 3);
+        assert_eq!(net.input_spec(), InputSpec::Image { c: 3, h: 32, w: 32 });
+        // Table III: every CifarNet kernel runs as a single block.
+        for layer in net.layers() {
+            assert_eq!(layer.kernel().grid().count(), 1, "{}", layer.name());
+        }
+    }
+
+    #[test]
+    fn inference_produces_probability_distribution() {
+        let mut gpu = Gpu::new(GpuConfig::gp102());
+        let net = build(&mut gpu, Preset::Tiny, 2).unwrap();
+        let mut rng = SplitMix64::new(9);
+        let image = Tensor::uniform(Shape::nchw(1, 3, 16, 16), 0.0, 1.0, &mut rng);
+        let report = net
+            .infer(&mut gpu, &NetworkInput::Image(image), &SimOptions::new())
+            .unwrap();
+        let sum: f32 = report.output.as_slice().iter().sum();
+        assert!((sum - 1.0).abs() < 1e-3, "softmax output sums to 1, got {sum}");
+        assert!(report.output.as_slice().iter().all(|&p| (0.0..=1.0).contains(&p)));
+        assert_eq!(report.records.len(), 9);
+        assert!(report.total_cycles() > 0);
+    }
+
+    #[test]
+    fn inference_is_deterministic() {
+        let run = || {
+            let mut gpu = Gpu::new(GpuConfig::gp102());
+            let net = build(&mut gpu, Preset::Tiny, 3).unwrap();
+            let mut rng = SplitMix64::new(10);
+            let image = Tensor::uniform(Shape::nchw(1, 3, 16, 16), 0.0, 1.0, &mut rng);
+            net.infer(&mut gpu, &NetworkInput::Image(image), &SimOptions::new())
+                .unwrap()
+                .output
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn wrong_input_shape_is_rejected() {
+        let mut gpu = Gpu::new(GpuConfig::gp102());
+        let net = build(&mut gpu, Preset::Tiny, 4).unwrap();
+        let bad = Tensor::zeros(Shape::nchw(1, 3, 8, 8));
+        assert!(net.infer(&mut gpu, &NetworkInput::Image(bad), &SimOptions::new()).is_err());
+    }
+}

@@ -1,0 +1,52 @@
+use std::error::Error;
+use std::fmt;
+use tango_kernels::KernelError;
+
+/// Error produced when building or running a network.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum NetError {
+    /// A layer kernel failed to build.
+    Kernel(KernelError),
+    /// The supplied inference input does not match the network.
+    BadInput {
+        /// Network name.
+        network: &'static str,
+        /// What was wrong.
+        message: String,
+    },
+}
+
+impl NetError {
+    pub(crate) fn bad_input(network: &'static str, message: impl Into<String>) -> Self {
+        NetError::BadInput {
+            network,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::Kernel(e) => write!(f, "layer construction failed: {e}"),
+            NetError::BadInput { network, message } => write!(f, "{network}: bad input, {message}"),
+        }
+    }
+}
+
+impl Error for NetError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            NetError::Kernel(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+#[doc(hidden)]
+impl From<KernelError> for NetError {
+    fn from(e: KernelError) -> Self {
+        NetError::Kernel(e)
+    }
+}

@@ -1,0 +1,187 @@
+//! Per-layer weight-file I/O.
+//!
+//! The paper's repository encloses per-layer weight files and promises "a
+//! script file that collects per-layer weight values, which will help
+//! researchers also test the neural network with their pre-trained
+//! models". This module is that facility: dump every weight buffer of a
+//! built network to a simple self-describing binary container, and load
+//! such a container back into a (structurally identical) network —
+//! including models trained elsewhere, as long as the shapes match.
+//!
+//! Container layout (little-endian):
+//!
+//! ```text
+//! magic "TNGW" | u32 version | u32 entry count
+//! per entry: u32 name length | name bytes | u32 float count | f32 data
+//! ```
+
+use crate::network::Network;
+use crate::{NetError, Result};
+use std::collections::BTreeMap;
+use std::io::{Read, Write};
+use tango_sim::Gpu;
+
+const MAGIC: &[u8; 4] = b"TNGW";
+const VERSION: u32 = 1;
+
+fn io_err(e: std::io::Error) -> NetError {
+    NetError::bad_input("weight_io", e.to_string())
+}
+
+/// Collects every named weight buffer of `net` (deduplicated — RNN steps
+/// share their weights) in a stable order.
+fn buffers(net: &Network) -> Vec<(String, u32, usize)> {
+    let mut seen = std::collections::BTreeSet::new();
+    let mut out = Vec::new();
+    for layer in net.layers() {
+        for (name, addr, len) in layer.weight_buffers() {
+            if seen.insert(addr) {
+                out.push((name, addr, len));
+            }
+        }
+    }
+    out
+}
+
+/// Writes all of `net`'s weights (read back from `gpu`) to `writer`.
+///
+/// A `&mut` reference works wherever a writer is expected.
+///
+/// # Errors
+///
+/// Returns [`NetError`] on I/O failure.
+pub fn save_weights<W: Write>(gpu: &Gpu, net: &Network, mut writer: W) -> Result<()> {
+    let entries = buffers(net);
+    writer.write_all(MAGIC).map_err(io_err)?;
+    writer.write_all(&VERSION.to_le_bytes()).map_err(io_err)?;
+    writer.write_all(&(entries.len() as u32).to_le_bytes()).map_err(io_err)?;
+    for (name, addr, len) in entries {
+        let bytes = name.as_bytes();
+        writer.write_all(&(bytes.len() as u32).to_le_bytes()).map_err(io_err)?;
+        writer.write_all(bytes).map_err(io_err)?;
+        writer.write_all(&(len as u32).to_le_bytes()).map_err(io_err)?;
+        for v in gpu.download_f32s(addr, len) {
+            writer.write_all(&v.to_le_bytes()).map_err(io_err)?;
+        }
+    }
+    Ok(())
+}
+
+/// Loads a weight container produced by [`save_weights`] into `net`'s
+/// device buffers. Entries are matched by name; every buffer of `net`
+/// must be present with the exact float count.
+///
+/// A `&mut` reference works wherever a reader is expected.
+///
+/// # Errors
+///
+/// Returns [`NetError`] on I/O failure, a bad container, or a
+/// shape/coverage mismatch.
+pub fn load_weights<R: Read>(gpu: &mut Gpu, net: &Network, mut reader: R) -> Result<()> {
+    let mut magic = [0u8; 4];
+    reader.read_exact(&mut magic).map_err(io_err)?;
+    if &magic != MAGIC {
+        return Err(NetError::bad_input("weight_io", "not a Tango weight container"));
+    }
+    let mut u32buf = [0u8; 4];
+    reader.read_exact(&mut u32buf).map_err(io_err)?;
+    let version = u32::from_le_bytes(u32buf);
+    if version != VERSION {
+        return Err(NetError::bad_input("weight_io", format!("unsupported version {version}")));
+    }
+    reader.read_exact(&mut u32buf).map_err(io_err)?;
+    let count = u32::from_le_bytes(u32buf) as usize;
+
+    let mut entries: BTreeMap<String, Vec<f32>> = BTreeMap::new();
+    for _ in 0..count {
+        reader.read_exact(&mut u32buf).map_err(io_err)?;
+        let name_len = u32::from_le_bytes(u32buf) as usize;
+        let mut name_bytes = vec![0u8; name_len];
+        reader.read_exact(&mut name_bytes).map_err(io_err)?;
+        let name = String::from_utf8(name_bytes)
+            .map_err(|_| NetError::bad_input("weight_io", "entry name is not UTF-8"))?;
+        reader.read_exact(&mut u32buf).map_err(io_err)?;
+        let len = u32::from_le_bytes(u32buf) as usize;
+        let mut data = Vec::with_capacity(len);
+        for _ in 0..len {
+            reader.read_exact(&mut u32buf).map_err(io_err)?;
+            data.push(f32::from_le_bytes(u32buf));
+        }
+        entries.insert(name, data);
+    }
+
+    for (name, addr, len) in buffers(net) {
+        let data = entries.get(&name).ok_or_else(|| {
+            NetError::bad_input("weight_io", format!("container is missing buffer {name}"))
+        })?;
+        if data.len() != len {
+            return Err(NetError::bad_input(
+                "weight_io",
+                format!("{name}: expected {len} floats, container holds {}", data.len()),
+            ));
+        }
+        gpu.memory_mut().write_f32s(addr, data);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{build_network, synthetic_input, NetworkKind, Preset};
+    use tango_sim::{GpuConfig, SimOptions};
+
+    #[test]
+    fn weights_round_trip_and_preserve_outputs() {
+        let mut gpu = Gpu::new(GpuConfig::gp102());
+        let net = build_network(&mut gpu, NetworkKind::CifarNet, Preset::Tiny, 5).unwrap();
+        let input = synthetic_input(net.input_spec(), 5);
+        let before = net.infer(&mut gpu, &input, &SimOptions::new()).unwrap().output;
+
+        let mut container = Vec::new();
+        save_weights(&gpu, &net, &mut container).unwrap();
+
+        // A different-seed network has different outputs; loading the
+        // saved container must restore the original behaviour exactly.
+        let mut gpu2 = Gpu::new(GpuConfig::gp102());
+        let net2 = build_network(&mut gpu2, NetworkKind::CifarNet, Preset::Tiny, 999).unwrap();
+        let other = net2.infer(&mut gpu2, &input, &SimOptions::new()).unwrap().output;
+        assert_ne!(before, other, "different seeds must differ");
+        load_weights(&mut gpu2, &net2, container.as_slice()).unwrap();
+        let restored = net2.infer(&mut gpu2, &input, &SimOptions::new()).unwrap().output;
+        assert_eq!(before, restored, "loaded weights must restore behaviour bitwise");
+    }
+
+    #[test]
+    fn rnn_weights_round_trip() {
+        let mut gpu = Gpu::new(GpuConfig::gp102());
+        let net = build_network(&mut gpu, NetworkKind::Lstm, Preset::Tiny, 6).unwrap();
+        let mut container = Vec::new();
+        save_weights(&gpu, &net, &mut container).unwrap();
+        // 12 LSTM buffers + fc weights + fc bias.
+        assert!(container.len() > 14 * 8, "container too small: {}", container.len());
+        let mut gpu2 = Gpu::new(GpuConfig::gp102());
+        let net2 = build_network(&mut gpu2, NetworkKind::Lstm, Preset::Tiny, 7).unwrap();
+        load_weights(&mut gpu2, &net2, container.as_slice()).unwrap();
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let mut gpu = Gpu::new(GpuConfig::gp102());
+        let net = build_network(&mut gpu, NetworkKind::Gru, Preset::Tiny, 1).unwrap();
+        let err = load_weights(&mut gpu, &net, &b"NOPE"[..]).unwrap_err();
+        assert!(err.to_string().contains("not a Tango weight container"));
+    }
+
+    #[test]
+    fn missing_buffers_are_reported_by_name() {
+        let mut gpu = Gpu::new(GpuConfig::gp102());
+        let small = build_network(&mut gpu, NetworkKind::Gru, Preset::Tiny, 1).unwrap();
+        let mut container = Vec::new();
+        save_weights(&gpu, &small, &mut container).unwrap();
+        let mut gpu2 = Gpu::new(GpuConfig::gp102());
+        let other = build_network(&mut gpu2, NetworkKind::CifarNet, Preset::Tiny, 1).unwrap();
+        let err = load_weights(&mut gpu2, &other, container.as_slice()).unwrap_err();
+        assert!(err.to_string().contains("missing buffer"), "{err}");
+    }
+}

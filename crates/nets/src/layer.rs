@@ -1,0 +1,427 @@
+//! Layer records: the typed list of kernel launches a network comprises.
+
+use std::fmt;
+use tango_kernels::{
+    BatchNorm, Conv2d, DepthwiseConv2d, DeviceTensor, EltwiseAdd, FullyConnected, GlobalAvgPool, GruStep,
+    LayerKernel, Lrn, LstmStep, MaxPool2d, Relu, ScaleLayer, Softmax,
+};
+use tango_kernels::{GruDeviceWeights, LstmDeviceWeights};
+use tango_sim::{Gpu, KernelStats, SimOptions};
+
+/// The layer taxonomy the paper's figures aggregate by.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum LayerType {
+    /// Convolution (including the stem and 1x1 convolutions of ResNet).
+    Conv,
+    /// Max/average/global pooling.
+    Pool,
+    /// Fully-connected.
+    Fc,
+    /// Local response normalization (AlexNet "Norm") and batch
+    /// normalization (ResNet) — the paper groups both under "Norm".
+    Norm,
+    /// SqueezeNet fire-module squeeze convolution.
+    FireSqueeze,
+    /// SqueezeNet fire-module expand convolution.
+    FireExpand,
+    /// Per-channel affine scale (ResNet).
+    Scale,
+    /// Standalone rectified linear unit (ResNet).
+    Relu,
+    /// Elementwise shortcut addition (ResNet).
+    Eltwise,
+    /// Softmax classifier output.
+    Softmax,
+    /// GRU recurrent step.
+    Gru,
+    /// LSTM recurrent step.
+    Lstm,
+}
+
+impl LayerType {
+    /// The label used in the paper's per-layer-type figures.
+    pub fn label(self) -> &'static str {
+        match self {
+            LayerType::Conv => "Conv",
+            LayerType::Pool => "Pool",
+            LayerType::Fc => "FC",
+            LayerType::Norm => "Norm",
+            LayerType::FireSqueeze => "Fire_Squeeze",
+            LayerType::FireExpand => "Fire_Expand",
+            LayerType::Scale => "Scale",
+            LayerType::Relu => "Relu",
+            LayerType::Eltwise => "Eltwise",
+            LayerType::Softmax => "Softmax",
+            LayerType::Gru => "GRU",
+            LayerType::Lstm => "LSTM",
+        }
+    }
+
+    /// Coarser label merging the fire variants (Figure 4/13 granularity).
+    pub fn coarse_label(self) -> &'static str {
+        match self {
+            LayerType::FireSqueeze | LayerType::FireExpand => "Fire",
+            other => other.label(),
+        }
+    }
+}
+
+impl fmt::Display for LayerType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// The concrete kernel launch behind one layer.
+#[derive(Debug, Clone)]
+pub(crate) enum Op {
+    Conv {
+        kernel: Conv2d,
+        weights: u32,
+        bias: u32,
+        input: DeviceTensor,
+        output: DeviceTensor,
+    },
+    DwConv {
+        kernel: DepthwiseConv2d,
+        weights: u32,
+        bias: u32,
+        input: DeviceTensor,
+        output: DeviceTensor,
+    },
+    MaxPool {
+        kernel: MaxPool2d,
+        input: DeviceTensor,
+        output: DeviceTensor,
+    },
+    GlobalPool {
+        kernel: GlobalAvgPool,
+        input: DeviceTensor,
+        output: DeviceTensor,
+    },
+    Fc {
+        kernel: FullyConnected,
+        weights: u32,
+        bias: u32,
+        input: DeviceTensor,
+        output: DeviceTensor,
+    },
+    Lrn {
+        kernel: Lrn,
+        input: DeviceTensor,
+        output: DeviceTensor,
+    },
+    BatchNorm {
+        kernel: BatchNorm,
+        mean: u32,
+        var: u32,
+        input: DeviceTensor,
+        output: DeviceTensor,
+    },
+    Scale {
+        kernel: ScaleLayer,
+        gamma: u32,
+        beta: u32,
+        input: DeviceTensor,
+        output: DeviceTensor,
+    },
+    Relu {
+        kernel: Relu,
+        input: DeviceTensor,
+        output: DeviceTensor,
+    },
+    Eltwise {
+        kernel: EltwiseAdd,
+        a: DeviceTensor,
+        b: DeviceTensor,
+        output: DeviceTensor,
+    },
+    Softmax {
+        kernel: Softmax,
+        input: DeviceTensor,
+        output: DeviceTensor,
+    },
+    Gru {
+        kernel: GruStep,
+        weights: GruDeviceWeights,
+        x: DeviceTensor,
+        h_in: DeviceTensor,
+        h_out: DeviceTensor,
+    },
+    Lstm {
+        kernel: LstmStep,
+        weights: LstmDeviceWeights,
+        x: DeviceTensor,
+        h_in: DeviceTensor,
+        c_in: DeviceTensor,
+        h_out: DeviceTensor,
+        c_out: DeviceTensor,
+    },
+}
+
+/// One layer of a built network: a named, typed kernel launch.
+#[derive(Debug, Clone)]
+pub struct Layer {
+    pub(crate) name: String,
+    pub(crate) layer_type: LayerType,
+    pub(crate) op: Op,
+}
+
+impl Layer {
+    /// Layer name (e.g. `conv2_1`, `fire3_expand3x3`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The figure taxonomy type.
+    pub fn layer_type(&self) -> LayerType {
+        self.layer_type
+    }
+
+    /// The compiled kernel behind this layer (Table III's source).
+    pub fn kernel(&self) -> &LayerKernel {
+        match &self.op {
+            Op::Conv { kernel, .. } => kernel.kernel(),
+            Op::DwConv { kernel, .. } => kernel.kernel(),
+            Op::MaxPool { kernel, .. } => kernel.kernel(),
+            Op::GlobalPool { kernel, .. } => kernel.kernel(),
+            Op::Fc { kernel, .. } => kernel.kernel(),
+            Op::Lrn { kernel, .. } => kernel.kernel(),
+            Op::BatchNorm { kernel, .. } => kernel.kernel(),
+            Op::Scale { kernel, .. } => kernel.kernel(),
+            Op::Relu { kernel, .. } => kernel.kernel(),
+            Op::Eltwise { kernel, .. } => kernel.kernel(),
+            Op::Softmax { kernel, .. } => kernel.kernel(),
+            Op::Gru { kernel, .. } => kernel.kernel(),
+            Op::Lstm { kernel, .. } => kernel.kernel(),
+        }
+    }
+
+    /// Analytic workload of this layer: the quantities platform models
+    /// (like the `tango-fpga` PynQ model) consume instead of cycle-level
+    /// simulation.
+    pub fn work(&self) -> LayerWork {
+        match &self.op {
+            Op::Conv { kernel, output, .. } => LayerWork {
+                macs: kernel.weight_len() as u64 / kernel.c_out() as u64 * output.len() as u64,
+                weight_bytes: kernel.weight_len() as u64 * 4,
+                output_elems: output.len() as u64,
+            },
+            Op::DwConv { kernel, output, .. } => LayerWork {
+                macs: kernel.weight_len() as u64 / output.channels() as u64 * output.len() as u64,
+                weight_bytes: kernel.weight_len() as u64 * 4,
+                output_elems: output.len() as u64,
+            },
+            Op::MaxPool { kernel, output, .. } => LayerWork {
+                macs: (kernel.window() * kernel.window()) as u64 * output.len() as u64,
+                weight_bytes: 0,
+                output_elems: output.len() as u64,
+            },
+            Op::GlobalPool { input, output, .. } => LayerWork {
+                macs: input.len() as u64,
+                weight_bytes: 0,
+                output_elems: output.len() as u64,
+            },
+            Op::Fc { kernel, output, .. } => LayerWork {
+                macs: kernel.weight_len() as u64,
+                weight_bytes: kernel.weight_len() as u64 * 4,
+                output_elems: output.len() as u64,
+            },
+            Op::Lrn { output, .. } => LayerWork {
+                macs: 6 * output.len() as u64,
+                weight_bytes: 0,
+                output_elems: output.len() as u64,
+            },
+            Op::BatchNorm { output, .. } | Op::Scale { output, .. } => LayerWork {
+                macs: 2 * output.len() as u64,
+                weight_bytes: 2 * output.channels() as u64 * 4,
+                output_elems: output.len() as u64,
+            },
+            Op::Relu { output, .. } | Op::Eltwise { output, .. } | Op::Softmax { output, .. } => LayerWork {
+                macs: output.len() as u64,
+                weight_bytes: 0,
+                output_elems: output.len() as u64,
+            },
+            Op::Gru { kernel, .. } => {
+                let h = kernel.hidden() as u64;
+                let i = kernel.input_dim() as u64;
+                LayerWork {
+                    macs: 3 * (h * i + h * h + h),
+                    weight_bytes: 3 * (h * i + h * h + h) * 4,
+                    output_elems: h,
+                }
+            }
+            Op::Lstm { kernel, .. } => {
+                let h = kernel.hidden() as u64;
+                let i = kernel.input_dim() as u64;
+                LayerWork {
+                    macs: 4 * (h * i + h * h + h),
+                    weight_bytes: 4 * (h * i + h * h + h) * 4,
+                    output_elems: h,
+                }
+            }
+        }
+    }
+
+    /// Named device weight buffers this layer owns: `(name, address,
+    /// float count)` triples. Used by the weight-file I/O (`crate::io`)
+    /// to dump and restore per-layer weights, the workflow the paper
+    /// supports with its per-layer weight files.
+    pub fn weight_buffers(&self) -> Vec<(String, u32, usize)> {
+        let n = &self.name;
+        match &self.op {
+            Op::Conv { kernel, weights, bias, .. } => vec![
+                (format!("{n}.weights"), *weights, kernel.weight_len()),
+                (format!("{n}.bias"), *bias, kernel.c_out() as usize),
+            ],
+            Op::DwConv { kernel, weights, bias, output, .. } => vec![
+                (format!("{n}.weights"), *weights, kernel.weight_len()),
+                (format!("{n}.bias"), *bias, output.channels() as usize),
+            ],
+            Op::Fc { kernel, weights, bias, output, .. } => vec![
+                (format!("{n}.weights"), *weights, kernel.weight_len()),
+                (format!("{n}.bias"), *bias, output.len() as usize),
+            ],
+            Op::BatchNorm { mean, var, output, .. } => vec![
+                (format!("{n}.mean"), *mean, output.channels() as usize),
+                (format!("{n}.var"), *var, output.channels() as usize),
+            ],
+            Op::Scale { gamma, beta, output, .. } => vec![
+                (format!("{n}.gamma"), *gamma, output.channels() as usize),
+                (format!("{n}.beta"), *beta, output.channels() as usize),
+            ],
+            Op::Gru { kernel, weights, .. } => {
+                let h = kernel.hidden() as usize;
+                let i = kernel.input_dim() as usize;
+                vec![
+                    (format!("{n}.w_r"), weights.w_r, h * i),
+                    (format!("{n}.u_r"), weights.u_r, h * h),
+                    (format!("{n}.b_r"), weights.b_r, h),
+                    (format!("{n}.w_z"), weights.w_z, h * i),
+                    (format!("{n}.u_z"), weights.u_z, h * h),
+                    (format!("{n}.b_z"), weights.b_z, h),
+                    (format!("{n}.w_h"), weights.w_h, h * i),
+                    (format!("{n}.u_h"), weights.u_h, h * h),
+                    (format!("{n}.b_h"), weights.b_h, h),
+                ]
+            }
+            Op::Lstm { kernel, weights, .. } => {
+                let h = kernel.hidden() as usize;
+                let i = kernel.input_dim() as usize;
+                vec![
+                    (format!("{n}.w_i"), weights.w_i, h * i),
+                    (format!("{n}.u_i"), weights.u_i, h * h),
+                    (format!("{n}.b_i"), weights.b_i, h),
+                    (format!("{n}.w_f"), weights.w_f, h * i),
+                    (format!("{n}.u_f"), weights.u_f, h * h),
+                    (format!("{n}.b_f"), weights.b_f, h),
+                    (format!("{n}.w_o"), weights.w_o, h * i),
+                    (format!("{n}.u_o"), weights.u_o, h * h),
+                    (format!("{n}.b_o"), weights.b_o, h),
+                    (format!("{n}.w_g"), weights.w_g, h * i),
+                    (format!("{n}.u_g"), weights.u_g, h * h),
+                    (format!("{n}.b_g"), weights.b_g, h),
+                ]
+            }
+            _ => Vec::new(),
+        }
+    }
+
+    /// Launches the layer on `gpu`.
+    pub(crate) fn run(&self, gpu: &mut Gpu, opts: &SimOptions) -> KernelStats {
+        match &self.op {
+            Op::Conv {
+                kernel,
+                weights,
+                bias,
+                input,
+                output,
+            } => kernel.launch(gpu, input, *weights, *bias, output, opts),
+            Op::DwConv {
+                kernel,
+                weights,
+                bias,
+                input,
+                output,
+            } => kernel.launch(gpu, input, *weights, *bias, output, opts),
+            Op::MaxPool { kernel, input, output } => kernel.launch(gpu, input, output, opts),
+            Op::GlobalPool { kernel, input, output } => kernel.launch(gpu, input, output, opts),
+            Op::Fc {
+                kernel,
+                weights,
+                bias,
+                input,
+                output,
+            } => kernel.launch(gpu, input, *weights, *bias, output, opts),
+            Op::Lrn { kernel, input, output } => kernel.launch(gpu, input, output, opts),
+            Op::BatchNorm {
+                kernel,
+                mean,
+                var,
+                input,
+                output,
+            } => kernel.launch(gpu, input, *mean, *var, output, opts),
+            Op::Scale {
+                kernel,
+                gamma,
+                beta,
+                input,
+                output,
+            } => kernel.launch(gpu, input, *gamma, *beta, output, opts),
+            Op::Relu { kernel, input, output } => kernel.launch(gpu, input, output, opts),
+            Op::Eltwise { kernel, a, b, output } => kernel.launch(gpu, a, b, output, opts),
+            Op::Softmax { kernel, input, output } => kernel.launch(gpu, input, output, opts),
+            Op::Gru {
+                kernel,
+                weights,
+                x,
+                h_in,
+                h_out,
+            } => kernel.launch(gpu, x, h_in, h_out, weights, opts),
+            Op::Lstm {
+                kernel,
+                weights,
+                x,
+                h_in,
+                c_in,
+                h_out,
+                c_out,
+            } => kernel.launch(gpu, x, h_in, c_in, h_out, c_out, weights, opts),
+        }
+    }
+}
+
+/// Analytic per-layer workload for platform models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LayerWork {
+    /// Multiply-accumulate (or comparable elementwise) operations.
+    pub macs: u64,
+    /// Bytes of weights/statistics the layer streams.
+    pub weight_bytes: u64,
+    /// Output elements produced.
+    pub output_elems: u64,
+}
+
+/// Statistics of one executed layer.
+#[derive(Debug, Clone)]
+pub struct LayerRecord {
+    /// Layer name.
+    pub name: String,
+    /// Figure taxonomy type.
+    pub layer_type: LayerType,
+    /// Full simulator statistics for the launch.
+    pub stats: KernelStats,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_match_paper_figures() {
+        assert_eq!(LayerType::Fc.label(), "FC");
+        assert_eq!(LayerType::FireExpand.label(), "Fire_Expand");
+        assert_eq!(LayerType::FireExpand.coarse_label(), "Fire");
+        assert_eq!(LayerType::Norm.coarse_label(), "Norm");
+    }
+}

@@ -1,0 +1,53 @@
+//! The seven Tango networks, built over `tango-kernels` and runnable on
+//! the `tango-sim` GPU: five CNNs (CifarNet, AlexNet, SqueezeNet,
+//! ResNet-50, VGGNet-16) and two RNNs (GRU, LSTM).
+//!
+//! The paper ships pre-trained Caffe/Kaggle models (its Table I); this
+//! reproduction substitutes deterministic synthetic weights with the exact
+//! architecture shapes (see DESIGN.md), so parameter counts, memory
+//! footprints, launch geometry, and every timing/power statistic match the
+//! structural properties the paper characterizes.
+//!
+//! # Example
+//!
+//! ```
+//! use tango_nets::{build_network, synthetic_input, NetworkKind, Preset};
+//! use tango_sim::{Gpu, GpuConfig, SimOptions};
+//!
+//! # fn main() -> Result<(), tango_nets::NetError> {
+//! let mut gpu = Gpu::new(GpuConfig::gp102());
+//! let net = build_network(&mut gpu, NetworkKind::CifarNet, Preset::Tiny, 42)?;
+//! let input = synthetic_input(net.input_spec(), 42);
+//! let report = net.infer(&mut gpu, &input, &SimOptions::new())?;
+//! println!("predicted class {}", report.output.argmax());
+//! assert_eq!(report.records.len(), net.layers().len());
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod alexnet;
+mod builder;
+mod cifarnet;
+mod error;
+pub mod io;
+mod layer;
+mod mobilenet;
+mod network;
+mod resnet;
+mod rnn;
+mod squeezenet;
+pub mod train;
+mod vggnet;
+mod zoo;
+
+pub use error::NetError;
+pub use layer::{Layer, LayerRecord, LayerType, LayerWork};
+pub use network::{InferenceReport, InputSpec, Network, NetworkInput, NetworkKind, Preset};
+pub use rnn::synthetic_price_window;
+pub use zoo::{build_network, model_info, synthetic_input, ModelInfo};
+
+/// Convenience result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, NetError>;

@@ -1,0 +1,143 @@
+//! MobileNet v1 — the network the paper names as the suite's next
+//! addition ("We are currently developing more networks such as
+//! MobileNet"). Included here as the implemented extension: a 3x3 stem
+//! followed by thirteen depthwise-separable blocks (depthwise 3x3 then
+//! pointwise 1x1, each with fused ReLU), global average pooling, one FC
+//! layer, and a softmax.
+
+use crate::builder::NetBuilder;
+use crate::layer::LayerType;
+use crate::network::{Network, NetworkKind, Preset};
+use crate::Result;
+use tango_sim::Gpu;
+
+struct Dims {
+    input: u32,
+    stem: u32,
+    /// (output channels, depthwise stride) per separable block.
+    blocks: [(u32, u32); 13],
+    classes: u32,
+}
+
+fn dims(preset: Preset) -> Dims {
+    match preset {
+        Preset::Paper => Dims {
+            input: 224,
+            stem: 32,
+            blocks: [
+                (64, 1),
+                (128, 2),
+                (128, 1),
+                (256, 2),
+                (256, 1),
+                (512, 2),
+                (512, 1),
+                (512, 1),
+                (512, 1),
+                (512, 1),
+                (512, 1),
+                (1024, 2),
+                (1024, 1),
+            ],
+            classes: 1000,
+        },
+        Preset::Bench => Dims {
+            input: 64,
+            stem: 8,
+            blocks: [
+                (16, 1),
+                (32, 2),
+                (32, 1),
+                (64, 2),
+                (64, 1),
+                (128, 2),
+                (128, 1),
+                (128, 1),
+                (128, 1),
+                (128, 1),
+                (128, 1),
+                (256, 2),
+                (256, 1),
+            ],
+            classes: 250,
+        },
+        Preset::Tiny => Dims {
+            input: 32,
+            stem: 4,
+            blocks: [
+                (8, 1),
+                (8, 2),
+                (8, 1),
+                (16, 2),
+                (16, 1),
+                (16, 2),
+                (16, 1),
+                (16, 1),
+                (16, 1),
+                (16, 1),
+                (16, 1),
+                (32, 1),
+                (32, 1),
+            ],
+            classes: 20,
+        },
+    }
+}
+
+/// Builds MobileNet v1 at `preset` scale with deterministic synthetic
+/// weights.
+///
+/// # Errors
+///
+/// Propagates kernel-construction failures (dimension-table bugs).
+pub fn build(gpu: &mut Gpu, preset: Preset, seed: u64) -> Result<Network> {
+    let d = dims(preset);
+    let mut b = NetBuilder::image_input(gpu, seed, 3, d.input, d.input, 1);
+    // Stem: 3x3 stride-2 convolution, then depthwise-separable blocks.
+    b.conv("conv1", LayerType::Conv, d.stem, 3, 2, 1, true, 1)?;
+    for (i, &(c_out, stride)) in d.blocks.iter().enumerate() {
+        let n = i + 2;
+        // Depthwise output feeds a 1x1 pointwise conv (no halo needed);
+        // pointwise output feeds the next block's 3x3 depthwise (halo 1).
+        b.dw_conv(&format!("conv{n}_dw"), 3, stride, 1, true, 0)?;
+        b.conv(&format!("conv{n}_pw"), LayerType::Conv, c_out, 1, 1, 0, true, 1)?;
+    }
+    b.global_pool("avg_pool")?;
+    b.fc("fc", d.classes, 1, false)?;
+    b.softmax("softmax")?;
+    Ok(b.finish(NetworkKind::MobileNet, preset))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::NetworkInput;
+    use tango_sim::{GpuConfig, SimOptions};
+    use tango_tensor::{Shape, SplitMix64, Tensor};
+
+    #[test]
+    fn paper_preset_matches_published_structure() {
+        let mut gpu = Gpu::new(GpuConfig::gp102());
+        let net = build(&mut gpu, Preset::Paper, 1).unwrap();
+        // 1 stem + 13 dw + 13 pw = 27 convolution kernels.
+        let convs = net.layers().iter().filter(|l| l.layer_type() == LayerType::Conv).count();
+        assert_eq!(convs, 27);
+        // ~4.2M parameters (the MobileNet v1 headline).
+        let params = net.weight_bytes() / 4;
+        assert!((3_500_000..5_000_000).contains(&params), "got {params}");
+    }
+
+    #[test]
+    fn tiny_inference_produces_distribution() {
+        let mut gpu = Gpu::new(GpuConfig::gp102());
+        let net = build(&mut gpu, Preset::Tiny, 2).unwrap();
+        let mut rng = SplitMix64::new(60);
+        let image = Tensor::uniform(Shape::nchw(1, 3, 32, 32), 0.0, 1.0, &mut rng);
+        let report = net
+            .infer(&mut gpu, &NetworkInput::Image(image), &SimOptions::new())
+            .unwrap();
+        let sum: f32 = report.output.as_slice().iter().sum();
+        assert!((sum - 1.0).abs() < 1e-3, "sum {sum}");
+        assert!(report.records.iter().any(|r| r.name == "conv5_dw"));
+    }
+}

@@ -1,0 +1,217 @@
+//! The GRU and LSTM forecasters: a 100-unit recurrent layer unrolled over
+//! a short price history (the paper's Bitcoin model consumes the past two
+//! days), followed by a one-output fully-connected regressor.
+
+use crate::builder::NetBuilder;
+use crate::layer::{LayerType, Op};
+use crate::network::{Network, NetworkKind, Preset};
+use crate::Result;
+use tango_isa::Dim3;
+use tango_kernels::{GruDeviceWeights, GruStep, LstmDeviceWeights, LstmStep};
+use tango_sim::Gpu;
+use tango_tensor::{Shape, SplitMix64, Tensor};
+
+/// Sequence length: the paper's models look at the past two days.
+pub const SEQ_LEN: u32 = 2;
+
+/// Per-step input width: one (scaled) closing price.
+pub const INPUT_DIM: u32 = 1;
+
+fn hidden(preset: Preset) -> u32 {
+    match preset {
+        Preset::Paper | Preset::Bench => 100,
+        Preset::Tiny => 16,
+    }
+}
+
+fn gru_block(hidden: u32) -> Dim3 {
+    // The paper arranges the GRU's 100 threads as a 10x10 block.
+    match hidden {
+        100 => Dim3::xy(10, 10),
+        16 => Dim3::xy(4, 4),
+        other => Dim3::x(other),
+    }
+}
+
+/// Builds the GRU forecaster.
+///
+/// # Errors
+///
+/// Propagates kernel-construction failures (dimension-table bugs).
+pub fn build_gru(gpu: &mut Gpu, preset: Preset, seed: u64) -> Result<Network> {
+    let h = hidden(preset);
+    let step = GruStep::new(INPUT_DIM, h, gru_block(h))?;
+    let mut b = NetBuilder::image_input(gpu, seed, 1, 1, INPUT_DIM, 0);
+    let x0 = b.cur();
+    let mut slots = vec![x0];
+    for _ in 1..SEQ_LEN {
+        slots.push(b.alloc(1, 1, INPUT_DIM, 0));
+    }
+    let weights = GruDeviceWeights {
+        w_r: b.xavier_weights((h * INPUT_DIM) as usize, INPUT_DIM as usize),
+        u_r: b.xavier_weights((h * h) as usize, h as usize),
+        b_r: b.uniform_weights(h as usize, -0.05, 0.05),
+        w_z: b.xavier_weights((h * INPUT_DIM) as usize, INPUT_DIM as usize),
+        u_z: b.xavier_weights((h * h) as usize, h as usize),
+        b_z: b.uniform_weights(h as usize, -0.05, 0.05),
+        w_h: b.xavier_weights((h * INPUT_DIM) as usize, INPUT_DIM as usize),
+        u_h: b.xavier_weights((h * h) as usize, h as usize),
+        b_h: b.uniform_weights(h as usize, -0.05, 0.05),
+    };
+    let mut h_cur = b.alloc(1, 1, h, 0); // zero initial state
+    for (t, x) in slots.iter().enumerate() {
+        let h_next = b.alloc(1, 1, h, 0);
+        b.push_layer(
+            &format!("gru_step{t}"),
+            LayerType::Gru,
+            Op::Gru {
+                kernel: step.clone(),
+                weights,
+                x: *x,
+                h_in: h_cur,
+                h_out: h_next,
+            },
+        );
+        h_cur = h_next;
+    }
+    b.set_cur(h_cur);
+    b.fc("fc_out", 1, 1, false)?;
+    Ok(b.finish_sequence(NetworkKind::Gru, preset, slots, INPUT_DIM))
+}
+
+/// Builds the LSTM forecaster.
+///
+/// # Errors
+///
+/// Propagates kernel-construction failures (dimension-table bugs).
+pub fn build_lstm(gpu: &mut Gpu, preset: Preset, seed: u64) -> Result<Network> {
+    let h = hidden(preset);
+    // The paper launches the LSTM as a flat (100,1,1) block.
+    let step = LstmStep::new(INPUT_DIM, h, Dim3::x(h))?;
+    let mut b = NetBuilder::image_input(gpu, seed, 1, 1, INPUT_DIM, 0);
+    let x0 = b.cur();
+    let mut slots = vec![x0];
+    for _ in 1..SEQ_LEN {
+        slots.push(b.alloc(1, 1, INPUT_DIM, 0));
+    }
+    let gate = |b: &mut NetBuilder<'_>| -> (u32, u32, u32) {
+        (
+            b.xavier_weights((h * INPUT_DIM) as usize, INPUT_DIM as usize),
+            b.xavier_weights((h * h) as usize, h as usize),
+            b.uniform_weights(h as usize, -0.05, 0.05),
+        )
+    };
+    let (w_i, u_i, b_i) = gate(&mut b);
+    let (w_f, u_f, b_f) = gate(&mut b);
+    let (w_o, u_o, b_o) = gate(&mut b);
+    let (w_g, u_g, b_g) = gate(&mut b);
+    let weights = LstmDeviceWeights {
+        w_i,
+        u_i,
+        b_i,
+        w_f,
+        u_f,
+        b_f,
+        w_o,
+        u_o,
+        b_o,
+        w_g,
+        u_g,
+        b_g,
+    };
+    let mut h_cur = b.alloc(1, 1, h, 0);
+    let mut c_cur = b.alloc(1, 1, h, 0);
+    for (t, x) in slots.iter().enumerate() {
+        let h_next = b.alloc(1, 1, h, 0);
+        let c_next = b.alloc(1, 1, h, 0);
+        b.push_layer(
+            &format!("lstm_step{t}"),
+            LayerType::Lstm,
+            Op::Lstm {
+                kernel: step.clone(),
+                weights,
+                x: *x,
+                h_in: h_cur,
+                c_in: c_cur,
+                h_out: h_next,
+                c_out: c_next,
+            },
+        );
+        h_cur = h_next;
+        c_cur = c_next;
+    }
+    b.set_cur(h_cur);
+    b.fc("fc_out", 1, 1, false)?;
+    Ok(b.finish_sequence(NetworkKind::Lstm, preset, slots, INPUT_DIM))
+}
+
+/// Generates a plausible scaled Bitcoin-style price window: `len` values
+/// in `[0, 1]` following a mild random walk, standing in for the Kaggle
+/// price history the paper's Table I models consume.
+pub fn synthetic_price_window(len: usize, seed: u64) -> Vec<Tensor> {
+    let mut rng = SplitMix64::new(seed);
+    let mut price = rng.uniform(0.3, 0.7);
+    (0..len)
+        .map(|_| {
+            price = (price + rng.uniform(-0.05, 0.05)).clamp(0.0, 1.0);
+            Tensor::from_vec(Shape::vector(1), vec![price])
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::{InputSpec, NetworkInput};
+    use tango_sim::{GpuConfig, SimOptions};
+
+    #[test]
+    fn gru_runs_and_forecasts_one_value() {
+        let mut gpu = Gpu::new(GpuConfig::gp102());
+        let net = build_gru(&mut gpu, Preset::Paper, 1).unwrap();
+        assert_eq!(net.input_spec(), InputSpec::Sequence { len: 2, dim: 1 });
+        let window = synthetic_price_window(2, 77);
+        let report = net
+            .infer(&mut gpu, &NetworkInput::Sequence(window), &SimOptions::new())
+            .unwrap();
+        assert_eq!(report.output.len(), 1);
+        assert!(report.output.get(&[0]).is_finite());
+        assert_eq!(
+            report.records.iter().filter(|r| r.layer_type == LayerType::Gru).count(),
+            2
+        );
+    }
+
+    #[test]
+    fn lstm_runs_and_forecasts_one_value() {
+        let mut gpu = Gpu::new(GpuConfig::gp102());
+        let net = build_lstm(&mut gpu, Preset::Paper, 2).unwrap();
+        let window = synthetic_price_window(2, 78);
+        let report = net
+            .infer(&mut gpu, &NetworkInput::Sequence(window), &SimOptions::new())
+            .unwrap();
+        assert!(report.output.get(&[0]).is_finite());
+        assert_eq!(
+            report.records.iter().filter(|r| r.layer_type == LayerType::Lstm).count(),
+            2
+        );
+    }
+
+    #[test]
+    fn rnn_footprint_is_under_500_kb() {
+        // The paper's Figure 11: GRU and LSTM fit in embedded devices.
+        let mut gpu = Gpu::new(GpuConfig::gp102());
+        let _ = build_lstm(&mut gpu, Preset::Paper, 3).unwrap();
+        assert!(gpu.memory_footprint_bytes() < 500 * 1024, "{}", gpu.memory_footprint_bytes());
+    }
+
+    #[test]
+    fn wrong_sequence_length_is_rejected() {
+        let mut gpu = Gpu::new(GpuConfig::gp102());
+        let net = build_gru(&mut gpu, Preset::Paper, 4).unwrap();
+        let window = synthetic_price_window(3, 79);
+        assert!(net
+            .infer(&mut gpu, &NetworkInput::Sequence(window), &SimOptions::new())
+            .is_err());
+    }
+}

@@ -1,0 +1,170 @@
+//! SqueezeNet v1.0: a 7x7 stem convolution, eight fire modules
+//! (squeeze 1x1 -> parallel expand 1x1 / expand 3x3, concatenated), a
+//! 1x1 classifier convolution, and global average pooling.
+
+use crate::builder::NetBuilder;
+use crate::layer::LayerType;
+use crate::network::{Network, NetworkKind, Preset};
+use crate::Result;
+use tango_kernels::Conv2d;
+use tango_sim::Gpu;
+
+struct Dims {
+    input: u32,
+    stem: u32,
+    /// (squeeze, expand) channel pairs for fire2..fire9.
+    fires: [(u32, u32); 8],
+    classes: u32,
+}
+
+fn dims(preset: Preset) -> Dims {
+    match preset {
+        Preset::Paper => Dims {
+            input: 227,
+            stem: 96,
+            fires: [
+                (16, 64),
+                (16, 64),
+                (32, 128),
+                (32, 128),
+                (48, 192),
+                (48, 192),
+                (64, 256),
+                (64, 256),
+            ],
+            classes: 1000,
+        },
+        Preset::Bench => Dims {
+            input: 115,
+            stem: 24,
+            fires: [
+                (4, 16),
+                (4, 16),
+                (8, 32),
+                (8, 32),
+                (12, 48),
+                (12, 48),
+                (16, 64),
+                (16, 64),
+            ],
+            classes: 250,
+        },
+        Preset::Tiny => Dims {
+            input: 59,
+            stem: 8,
+            fires: [(2, 4), (2, 4), (2, 8), (2, 8), (4, 8), (4, 8), (4, 16), (4, 16)],
+            classes: 20,
+        },
+    }
+}
+
+/// Emits one fire module: a squeeze 1x1 convolution, then expand 1x1 and
+/// expand 3x3 convolutions whose outputs concatenate along channels.
+fn fire(b: &mut NetBuilder<'_>, name: &str, squeeze_c: u32, expand_c: u32, out_pad: u32) -> Result<()> {
+    // Squeeze output feeds a 3x3 expand, so it carries a halo of 1.
+    let squeezed = b.conv(
+        &format!("{name}_squeeze1x1"),
+        LayerType::FireSqueeze,
+        squeeze_c,
+        1,
+        1,
+        0,
+        true,
+        1,
+    )?;
+    let h = squeezed.height();
+    let w = squeezed.width();
+    let output = b.alloc(2 * expand_c, h, w, out_pad);
+    let e1 = Conv2d::new(squeeze_c, h, w, expand_c, 1, 1, 1, 0, true)?;
+    b.conv_between(
+        &format!("{name}_expand1x1"),
+        LayerType::FireExpand,
+        &e1,
+        squeezed,
+        output.channel_slice(0, expand_c),
+    )?;
+    let e3 = Conv2d::new(squeeze_c, h, w, expand_c, 3, 3, 1, 1, true)?;
+    b.conv_between(
+        &format!("{name}_expand3x3"),
+        LayerType::FireExpand,
+        &e3,
+        squeezed,
+        output.channel_slice(expand_c, expand_c),
+    )?;
+    b.set_cur(output);
+    Ok(())
+}
+
+/// Builds SqueezeNet at `preset` scale with deterministic synthetic
+/// weights.
+///
+/// # Errors
+///
+/// Propagates kernel-construction failures (dimension-table bugs).
+pub fn build(gpu: &mut Gpu, preset: Preset, seed: u64) -> Result<Network> {
+    let d = dims(preset);
+    let mut b = NetBuilder::image_input(gpu, seed, 3, d.input, d.input, 0);
+    b.conv("conv1", LayerType::Conv, d.stem, 7, 2, 0, true, 0)?;
+    b.max_pool("pool1", 3, 2, 0)?;
+    fire(&mut b, "fire2", d.fires[0].0, d.fires[0].1, 0)?;
+    fire(&mut b, "fire3", d.fires[1].0, d.fires[1].1, 0)?;
+    fire(&mut b, "fire4", d.fires[2].0, d.fires[2].1, 0)?;
+    b.max_pool("pool4", 3, 2, 0)?;
+    fire(&mut b, "fire5", d.fires[3].0, d.fires[3].1, 0)?;
+    fire(&mut b, "fire6", d.fires[4].0, d.fires[4].1, 0)?;
+    fire(&mut b, "fire7", d.fires[5].0, d.fires[5].1, 0)?;
+    fire(&mut b, "fire8", d.fires[6].0, d.fires[6].1, 0)?;
+    b.max_pool("pool8", 3, 2, 0)?;
+    fire(&mut b, "fire9", d.fires[7].0, d.fires[7].1, 0)?;
+    b.conv("conv10", LayerType::Conv, d.classes, 1, 1, 0, true, 0)?;
+    b.global_pool("global_avg_pool")?;
+    b.softmax("softmax")?;
+    Ok(b.finish(NetworkKind::SqueezeNet, preset))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::NetworkInput;
+    use tango_sim::{GpuConfig, SimOptions};
+    use tango_tensor::{Shape, SplitMix64, Tensor};
+
+    #[test]
+    fn paper_preset_matches_published_structure() {
+        let mut gpu = Gpu::new(GpuConfig::gp102());
+        let net = build(&mut gpu, Preset::Paper, 1).unwrap();
+        let squeezes = net
+            .layers()
+            .iter()
+            .filter(|l| l.layer_type() == LayerType::FireSqueeze)
+            .count();
+        let expands = net
+            .layers()
+            .iter()
+            .filter(|l| l.layer_type() == LayerType::FireExpand)
+            .count();
+        assert_eq!(squeezes, 8);
+        assert_eq!(expands, 16, "eight times more fire expand kernels than plain convs per module pair");
+        // conv1 output is 111x111 with 96 filters, matching Table III's
+        // (111,1,1) x (111,1,1) scale.
+        let conv1 = &net.layers()[0];
+        assert_eq!(conv1.kernel().grid().x, 96);
+        // ~1.2M parameters: SqueezeNet's 50x-fewer-than-AlexNet claim.
+        let params = net.weight_bytes() / 4;
+        assert!((800_000..2_000_000).contains(&params), "got {params}");
+    }
+
+    #[test]
+    fn tiny_inference_produces_distribution() {
+        let mut gpu = Gpu::new(GpuConfig::gp102());
+        let net = build(&mut gpu, Preset::Tiny, 2).unwrap();
+        let mut rng = SplitMix64::new(30);
+        let image = Tensor::uniform(Shape::nchw(1, 3, 59, 59), 0.0, 1.0, &mut rng);
+        let report = net
+            .infer(&mut gpu, &NetworkInput::Image(image), &SimOptions::new())
+            .unwrap();
+        let sum: f32 = report.output.as_slice().iter().sum();
+        assert!((sum - 1.0).abs() < 1e-3);
+        assert!(report.records.iter().any(|r| r.name == "fire9_expand3x3"));
+    }
+}

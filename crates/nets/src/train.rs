@@ -1,0 +1,326 @@
+//! Simulated training — the paper's announced training-phase extension:
+//! a small CifarNet-style classifier whose forward pass, back-propagation,
+//! and SGD updates all run as kernels on the simulated GPU, so training
+//! workloads can be characterized the same way inference is.
+//!
+//! The architecture is the front of CifarNet plus its classifier head:
+//! `conv 5x5 pad 2 -> relu -> maxpool 3/2 -> fc -> softmax+cross-entropy`.
+//! The softmax/cross-entropy loss and its score gradient are evaluated
+//! host-side on the downloaded logits (a dozen floats), like a host-driven
+//! training loop's loss bookkeeping.
+
+use crate::{NetError, Result};
+use tango_kernels::{
+    Conv2d, Conv2dBackward, DeviceTensor, FcBackward, FullyConnected, MaxPool2d, MaxPoolBackward, Relu,
+    ReluBackward, SgdStep,
+};
+use tango_sim::{Gpu, KernelStats, SimOptions};
+use tango_tensor::{ops, SplitMix64, Tensor};
+
+/// Configuration of the trainable classifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TrainerConfig {
+    /// Input image extent (square, 3 channels).
+    pub input: u32,
+    /// Convolution output channels.
+    pub conv_channels: u32,
+    /// Class count.
+    pub classes: u32,
+}
+
+impl Default for TrainerConfig {
+    fn default() -> Self {
+        TrainerConfig {
+            input: 16,
+            conv_channels: 8,
+            classes: 9,
+        }
+    }
+}
+
+/// Per-step outcome.
+#[derive(Debug, Clone)]
+pub struct TrainStep {
+    /// Cross-entropy loss of this example before the update.
+    pub loss: f32,
+    /// Statistics of every kernel the step launched (forward, backward,
+    /// and SGD updates), in launch order.
+    pub kernels: Vec<KernelStats>,
+}
+
+/// A trainable CifarNet-front classifier resident on a simulated GPU.
+pub struct Trainer {
+    cfg: TrainerConfig,
+    // Forward kernels.
+    conv: Conv2d,
+    relu: Relu,
+    pool: MaxPool2d,
+    fc: FullyConnected,
+    // Backward kernels.
+    conv_bwd: Conv2dBackward,
+    relu_bwd: ReluBackward,
+    pool_bwd: MaxPoolBackward,
+    fc_bwd: FcBackward,
+    sgd_w1: SgdStep,
+    sgd_b1: SgdStep,
+    sgd_w2: SgdStep,
+    sgd_b2: SgdStep,
+    // Parameters and activations (device).
+    x: DeviceTensor,
+    w1: u32,
+    b1: u32,
+    a1: DeviceTensor,
+    r1: DeviceTensor,
+    p1: DeviceTensor,
+    w2: u32,
+    b2: u32,
+    logits: DeviceTensor,
+    // Gradients (device).
+    d_logits: DeviceTensor,
+    d_p1: DeviceTensor,
+    d_r1: DeviceTensor,
+    d_a1: DeviceTensor,
+    d_x: DeviceTensor,
+    d_w1: u32,
+    d_b1: u32,
+    d_w2: u32,
+    w1_len: u32,
+    w2_len: u32,
+}
+
+impl Trainer {
+    /// Builds the classifier with synthetic initial weights on `gpu`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates kernel-construction failures.
+    pub fn new(gpu: &mut Gpu, cfg: TrainerConfig, seed: u64) -> Result<Self> {
+        let n = cfg.input;
+        let c = cfg.conv_channels;
+        let conv = Conv2d::new(3, n, n, c, 5, 5, 1, 2, false)?;
+        let relu = Relu::new(c, n, n)?;
+        let pool = MaxPool2d::new(c, n, n, 3, 2)?;
+        let (ph, pw) = (pool.h_out(), pool.w_out());
+        let fc = FullyConnected::new(c, ph, pw, cfg.classes, cfg.classes.min(64), false)?;
+
+        let conv_bwd = Conv2dBackward::new(3, n, n, c, 5, 2)?;
+        let relu_bwd = ReluBackward::new(c, n, n)?;
+        let pool_bwd = MaxPoolBackward::new(c, n, n, 3, 2)?;
+        let fc_bwd = FcBackward::new(c * ph * pw, cfg.classes)?;
+
+        let mut rng = SplitMix64::new(seed);
+        let w1_len = conv.weight_len() as u32;
+        let w2_len = fc.weight_len() as u32;
+        let fan1 = (3 * 5 * 5) as usize;
+        let fan2 = (c * ph * pw) as usize;
+        let w1_host: Vec<f32> = (0..w1_len).map(|_| rng.xavier(fan1)).collect();
+        let b1_host: Vec<f32> = (0..c).map(|_| rng.uniform(-0.01, 0.01)).collect();
+        let w2_host: Vec<f32> = (0..w2_len).map(|_| rng.xavier(fan2)).collect();
+        let b2_host: Vec<f32> = (0..cfg.classes).map(|_| rng.uniform(-0.01, 0.01)).collect();
+
+        let x = DeviceTensor::alloc(gpu, 3, n, n, 2);
+        let w1 = gpu.upload_f32s(&w1_host);
+        let b1 = gpu.upload_f32s(&b1_host);
+        // Activation gradients that flow into the convolution backward
+        // need a halo of k = 5 (the full-correlation window); the matching
+        // forward tensors share the layout so backward kernels can assert
+        // pitch equality.
+        let halo = conv_bwd.d_out_pad();
+        let a1 = DeviceTensor::alloc(gpu, c, n, n, halo);
+        let r1 = DeviceTensor::alloc(gpu, c, n, n, halo);
+        let p1 = DeviceTensor::alloc(gpu, c, ph, pw, 0);
+        let w2 = gpu.upload_f32s(&w2_host);
+        let b2 = gpu.upload_f32s(&b2_host);
+        let logits = DeviceTensor::alloc_vector(gpu, cfg.classes);
+
+        let d_logits = DeviceTensor::alloc_vector(gpu, cfg.classes);
+        let d_p1 = DeviceTensor::alloc(gpu, c, ph, pw, 0);
+        let d_r1 = DeviceTensor::alloc(gpu, c, n, n, halo);
+        let d_a1 = DeviceTensor::alloc(gpu, c, n, n, halo);
+        let d_x = DeviceTensor::alloc(gpu, 3, n, n, 0);
+        let d_w1 = gpu.alloc_bytes(w1_len * 4);
+        let d_b1 = gpu.alloc_bytes(c * 4);
+        let d_w2 = gpu.alloc_bytes(w2_len * 4);
+
+        Ok(Trainer {
+            cfg,
+            sgd_w1: SgdStep::new(w1_len)?,
+            sgd_b1: SgdStep::new(c)?,
+            sgd_w2: SgdStep::new(w2_len)?,
+            sgd_b2: SgdStep::new(cfg.classes)?,
+            conv,
+            relu,
+            pool,
+            fc,
+            conv_bwd,
+            relu_bwd,
+            pool_bwd,
+            fc_bwd,
+            x,
+            w1,
+            b1,
+            a1,
+            r1,
+            p1,
+            w2,
+            b2,
+            logits,
+            d_logits,
+            d_p1,
+            d_r1,
+            d_a1,
+            d_x,
+            d_w1,
+            d_b1,
+            d_w2,
+            w1_len,
+            w2_len,
+        })
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> TrainerConfig {
+        self.cfg
+    }
+
+    /// Runs the forward pass on `image` and returns the class scores.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::BadInput`] if the image does not match the
+    /// configured input shape.
+    pub fn forward(&self, gpu: &mut Gpu, image: &Tensor, opts: &SimOptions) -> Result<(Tensor, Vec<KernelStats>)> {
+        self.x
+            .overwrite(gpu, image)
+            .map_err(|e| NetError::bad_input("trainer", e.to_string()))?;
+        let stats = vec![
+            self.conv.launch(gpu, &self.x, self.w1, self.b1, &self.a1, opts),
+            self.relu.launch(gpu, &self.a1, &self.r1, opts),
+            self.pool.launch(gpu, &self.r1, &self.p1, opts),
+            self.fc.launch(gpu, &self.p1, self.w2, self.b2, &self.logits, opts),
+        ];
+        Ok((self.logits.download(gpu), stats))
+    }
+
+    /// One full training step (forward, loss, backward, SGD update) on a
+    /// single labelled example. Returns the pre-update loss and all kernel
+    /// statistics.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::BadInput`] on a mismatched image or an
+    /// out-of-range label.
+    pub fn step(&self, gpu: &mut Gpu, image: &Tensor, label: usize, lr: f32, opts: &SimOptions) -> Result<TrainStep> {
+        if label as u32 >= self.cfg.classes {
+            return Err(NetError::bad_input("trainer", format!("label {label} out of range")));
+        }
+        let (scores, mut kernels) = self.forward(gpu, image, opts)?;
+        let (loss, d_scores) =
+            ops::softmax_cross_entropy(&scores, label).map_err(|e| NetError::bad_input("trainer", e.to_string()))?;
+        self.d_logits
+            .overwrite(gpu, &d_scores)
+            .map_err(|e| NetError::bad_input("trainer", e.to_string()))?;
+
+        // Backward through the head and the conv block.
+        kernels.extend(self.fc_bwd.launch(gpu, &self.p1, self.w2, &self.d_logits, &self.d_p1, self.d_w2, opts));
+        kernels.push(self.pool_bwd.launch(gpu, &self.r1, &self.p1, &self.d_p1, &self.d_r1, opts));
+        kernels.push(self.relu_bwd.launch(gpu, &self.a1, &self.d_r1, &self.d_a1, opts));
+        kernels.extend(self.conv_bwd.launch(
+            gpu,
+            &self.x,
+            self.w1,
+            &self.d_a1,
+            &self.d_x,
+            self.d_w1,
+            self.d_b1,
+            opts,
+        ));
+
+        // SGD updates. The FC bias gradient is d_scores itself.
+        kernels.push(self.sgd_w1.launch(gpu, self.w1, self.d_w1, lr, opts));
+        kernels.push(self.sgd_b1.launch(gpu, self.b1, self.d_b1, lr, opts));
+        kernels.push(self.sgd_w2.launch(gpu, self.w2, self.d_w2, lr, opts));
+        kernels.push(self.sgd_b2.launch(gpu, self.b2, self.d_logits.interior_addr(), lr, opts));
+
+        Ok(TrainStep { loss, kernels })
+    }
+
+    /// Parameter counts, for reports.
+    pub fn parameter_count(&self) -> u32 {
+        self.w1_len + self.cfg.conv_channels + self.w2_len + self.cfg.classes
+    }
+}
+
+impl std::fmt::Debug for Trainer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Trainer")
+            .field("config", &self.cfg)
+            .field("parameters", &self.parameter_count())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tango_sim::GpuConfig;
+    use tango_tensor::Shape;
+
+    fn image(seed: u64, n: usize) -> Tensor {
+        let mut rng = SplitMix64::new(seed);
+        Tensor::uniform(Shape::nchw(1, 3, n, n), 0.0, 1.0, &mut rng)
+    }
+
+    #[test]
+    fn training_reduces_loss_on_a_fixed_example() {
+        let mut gpu = Gpu::new(GpuConfig::gp102());
+        let trainer = Trainer::new(&mut gpu, TrainerConfig::default(), 42).unwrap();
+        let img = image(7, 16);
+        let opts = SimOptions::new().with_cta_sample_limit(None);
+        let first = trainer.step(&mut gpu, &img, 3, 0.05, &opts).unwrap();
+        let mut last = first.loss;
+        for _ in 0..8 {
+            last = trainer.step(&mut gpu, &img, 3, 0.05, &opts).unwrap().loss;
+        }
+        assert!(
+            last < first.loss * 0.8,
+            "loss should fall on a memorized example: {} -> {}",
+            first.loss,
+            last
+        );
+    }
+
+    #[test]
+    fn step_reports_kernel_stats_for_every_phase() {
+        let mut gpu = Gpu::new(GpuConfig::gp102());
+        let trainer = Trainer::new(&mut gpu, TrainerConfig::default(), 1).unwrap();
+        let img = image(2, 16);
+        let step = trainer.step(&mut gpu, &img, 0, 0.01, &SimOptions::new()).unwrap();
+        // 4 forward + 2 fc-bwd + 1 pool-bwd + 1 relu-bwd + 3 conv-bwd + 4 sgd.
+        assert_eq!(step.kernels.len(), 15);
+        assert!(step.kernels.iter().all(|k| k.cycles > 0));
+        assert!(step.loss.is_finite() && step.loss > 0.0);
+    }
+
+    #[test]
+    fn gradient_step_matches_reference_training_step() {
+        // One simulated step must move the loss the same way a pure
+        // reference-computed step does (same forward, same gradients).
+        let mut gpu = Gpu::new(GpuConfig::gp102());
+        let trainer = Trainer::new(&mut gpu, TrainerConfig::default(), 9).unwrap();
+        let img = image(10, 16);
+        let opts = SimOptions::new().with_cta_sample_limit(None);
+        let before = trainer.step(&mut gpu, &img, 2, 0.1, &opts).unwrap().loss;
+        let after = trainer.forward(&mut gpu, &img, &opts).unwrap().0;
+        let (loss_after, _) = ops::softmax_cross_entropy(&after, 2).unwrap();
+        assert!(loss_after < before, "one step should reduce loss: {before} -> {loss_after}");
+    }
+
+    #[test]
+    fn bad_label_is_rejected() {
+        let mut gpu = Gpu::new(GpuConfig::gp102());
+        let trainer = Trainer::new(&mut gpu, TrainerConfig::default(), 3).unwrap();
+        let img = image(4, 16);
+        assert!(trainer.step(&mut gpu, &img, 99, 0.1, &SimOptions::new()).is_err());
+    }
+}

@@ -1,0 +1,110 @@
+//! VGGNet-16: thirteen 3x3 convolutions in five blocks separated by 2x2
+//! pools, three fully-connected layers, and a softmax.
+
+use crate::builder::NetBuilder;
+use crate::layer::LayerType;
+use crate::network::{Network, NetworkKind, Preset};
+use crate::Result;
+use tango_sim::Gpu;
+
+struct Dims {
+    input: u32,
+    blocks: [(u32, u32); 5], // (channels, conv count)
+    fc: u32,
+    classes: u32,
+}
+
+fn dims(preset: Preset) -> Dims {
+    match preset {
+        Preset::Paper => Dims {
+            input: 224,
+            blocks: [(64, 2), (128, 2), (256, 3), (512, 3), (512, 3)],
+            fc: 4096,
+            classes: 1000,
+        },
+        Preset::Bench => Dims {
+            input: 64,
+            blocks: [(8, 2), (16, 2), (32, 3), (64, 3), (64, 3)],
+            fc: 256,
+            classes: 250,
+        },
+        Preset::Tiny => Dims {
+            input: 32,
+            blocks: [(4, 2), (8, 2), (8, 3), (16, 3), (16, 3)],
+            fc: 32,
+            classes: 10,
+        },
+    }
+}
+
+/// Builds VGGNet-16 at `preset` scale with deterministic synthetic
+/// weights.
+///
+/// # Errors
+///
+/// Propagates kernel-construction failures (dimension-table bugs).
+pub fn build(gpu: &mut Gpu, preset: Preset, seed: u64) -> Result<Network> {
+    let d = dims(preset);
+    let mut b = NetBuilder::image_input(gpu, seed, 3, d.input, d.input, 1);
+    for (bi, &(channels, convs)) in d.blocks.iter().enumerate() {
+        for ci in 0..convs {
+            // The last conv before a pool needs no output halo; the others
+            // feed another 3x3 pad-1 conv.
+            let out_pad = if ci + 1 == convs { 0 } else { 1 };
+            b.conv(
+                &format!("conv{}_{}", bi + 1, ci + 1),
+                LayerType::Conv,
+                channels,
+                3,
+                1,
+                1,
+                true,
+                out_pad,
+            )?;
+        }
+        // Pool output feeds the next block's pad-1 conv (or the FC head).
+        let out_pad = if bi + 1 == d.blocks.len() { 0 } else { 1 };
+        b.max_pool(&format!("pool{}", bi + 1), 2, 2, out_pad)?;
+    }
+    b.fc("fc6", d.fc, 8, true)?;
+    b.fc("fc7", d.fc, 8, true)?;
+    b.fc("fc8", d.classes, 10, false)?;
+    b.softmax("softmax")?;
+    Ok(b.finish(NetworkKind::VggNet16, preset))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::NetworkInput;
+    use tango_sim::{GpuConfig, SimOptions};
+    use tango_tensor::{Shape, SplitMix64, Tensor};
+
+    #[test]
+    fn paper_preset_is_16_weight_layers() {
+        let mut gpu = Gpu::new(GpuConfig::gp102());
+        let net = build(&mut gpu, Preset::Paper, 1).unwrap();
+        let convs = net.layers().iter().filter(|l| l.layer_type() == LayerType::Conv).count();
+        let fcs = net.layers().iter().filter(|l| l.layer_type() == LayerType::Fc).count();
+        let pools = net.layers().iter().filter(|l| l.layer_type() == LayerType::Pool).count();
+        assert_eq!(convs, 13);
+        assert_eq!(fcs, 3);
+        assert_eq!(pools, 5);
+        // ~138M parameters.
+        let params = net.weight_bytes() / 4;
+        assert!((120_000_000..150_000_000).contains(&params), "got {params}");
+    }
+
+    #[test]
+    fn tiny_inference_runs() {
+        let mut gpu = Gpu::new(GpuConfig::gp102());
+        let net = build(&mut gpu, Preset::Tiny, 2).unwrap();
+        let mut rng = SplitMix64::new(50);
+        let image = Tensor::uniform(Shape::nchw(1, 3, 32, 32), 0.0, 1.0, &mut rng);
+        let report = net
+            .infer(&mut gpu, &NetworkInput::Image(image), &SimOptions::new())
+            .unwrap();
+        let sum: f32 = report.output.as_slice().iter().sum();
+        assert!((sum - 1.0).abs() < 1e-3);
+    }
+}

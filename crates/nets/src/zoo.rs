@@ -1,0 +1,173 @@
+//! The model zoo: per-network metadata (the paper's Table I) and the
+//! build/input dispatch used by the characterization harness.
+
+use crate::network::{InputSpec, Network, NetworkInput, NetworkKind, Preset};
+use crate::{alexnet, cifarnet, mobilenet, resnet, rnn, squeezenet, vggnet, Result};
+use tango_sim::Gpu;
+use tango_tensor::{Shape, SplitMix64, Tensor};
+
+/// One row of the paper's Table I: what each network consumes, which
+/// pre-trained model the paper used (and what this reproduction
+/// substitutes), and what it produces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ModelInfo {
+    /// The network.
+    pub kind: NetworkKind,
+    /// Input data description.
+    pub input: &'static str,
+    /// Pre-trained model the paper used.
+    pub paper_model: &'static str,
+    /// What this reproduction substitutes for it.
+    pub substitute: &'static str,
+    /// Output description.
+    pub output: &'static str,
+}
+
+/// The Table I metadata for every network.
+pub fn model_info(kind: NetworkKind) -> ModelInfo {
+    match kind {
+        NetworkKind::Gru => ModelInfo {
+            kind,
+            input: "Bitcoin stock price values of past two days (scaled)",
+            paper_model: "Trained on kaggle.com/team-ai/bitcoin-price-prediction",
+            substitute: "Deterministic synthetic weights (seeded Xavier), identical shapes",
+            output: "Projected next stock price",
+        },
+        NetworkKind::Lstm => ModelInfo {
+            kind,
+            input: "Bitcoin stock price values of past two days (scaled)",
+            paper_model: "Trained on kaggle.com/team-ai/bitcoin-price-prediction",
+            substitute: "Deterministic synthetic weights (seeded Xavier), identical shapes",
+            output: "Projected next stock price",
+        },
+        NetworkKind::CifarNet => ModelInfo {
+            kind,
+            input: "Speed limit 35 image (3x32x32)",
+            paper_model: "github.com/chethankeshava/DeepLearningProject",
+            substitute: "Deterministic synthetic weights, 9 output classes",
+            output: "Confidence level for all 9 classes",
+        },
+        NetworkKind::AlexNet => ModelInfo {
+            kind,
+            input: "Cat image (3x227x227)",
+            paper_model: "BVLC Caffe bvlc_alexnet",
+            substitute: "Deterministic synthetic weights, identical layer shapes",
+            output: "Recognized class id",
+        },
+        NetworkKind::SqueezeNet => ModelInfo {
+            kind,
+            input: "Cat image (3x227x227)",
+            paper_model: "DeepScale SqueezeNet v1.0",
+            substitute: "Deterministic synthetic weights, identical layer shapes",
+            output: "Recognized class id",
+        },
+        NetworkKind::ResNet50 => ModelInfo {
+            kind,
+            input: "Cat image (3x224x224)",
+            paper_model: "KaimingHe deep-residual-networks (ResNet-50)",
+            substitute: "Deterministic synthetic weights, identical layer shapes",
+            output: "Recognized class id",
+        },
+        NetworkKind::MobileNet => ModelInfo {
+            kind,
+            input: "Cat image (3x224x224)",
+            paper_model: "Announced as in development in the paper (Section III)",
+            substitute: "MobileNet v1 with deterministic synthetic weights",
+            output: "Recognized class id",
+        },
+        NetworkKind::VggNet16 => ModelInfo {
+            kind,
+            input: "Killer whale image (3x224x224)",
+            paper_model: "robots.ox.ac.uk/~vgg/research/very_deep (VGG-16)",
+            substitute: "Deterministic synthetic weights, identical layer shapes",
+            output: "Recognized class id",
+        },
+    }
+}
+
+/// Builds any of the seven networks on `gpu`.
+///
+/// # Errors
+///
+/// Propagates kernel-construction failures.
+pub fn build_network(gpu: &mut Gpu, kind: NetworkKind, preset: Preset, seed: u64) -> Result<Network> {
+    match kind {
+        NetworkKind::CifarNet => cifarnet::build(gpu, preset, seed),
+        NetworkKind::AlexNet => alexnet::build(gpu, preset, seed),
+        NetworkKind::SqueezeNet => squeezenet::build(gpu, preset, seed),
+        NetworkKind::ResNet50 => resnet::build(gpu, preset, seed),
+        NetworkKind::VggNet16 => vggnet::build(gpu, preset, seed),
+        NetworkKind::Gru => rnn::build_gru(gpu, preset, seed),
+        NetworkKind::Lstm => rnn::build_lstm(gpu, preset, seed),
+        NetworkKind::MobileNet => mobilenet::build(gpu, preset, seed),
+    }
+}
+
+/// Generates a deterministic synthetic input matching `spec`: an
+/// image-like tensor with smooth spatial structure, or a price window for
+/// the forecasters.
+pub fn synthetic_input(spec: InputSpec, seed: u64) -> NetworkInput {
+    match spec {
+        InputSpec::Image { c, h, w } => {
+            let mut rng = SplitMix64::new(seed);
+            // Smooth gradients plus noise: image-like value locality, so
+            // cache behaviour resembles a photograph rather than white
+            // noise (values do not affect timing, but keep demos sane).
+            let (cf, hf, wf) = (c as usize, h as usize, w as usize);
+            let data: Vec<f32> = (0..cf * hf * wf)
+                .map(|i| {
+                    let y = (i / wf) % hf;
+                    let x = i % wf;
+                    let base = 0.5 + 0.3 * ((x as f32 / wf as f32) - 0.5) + 0.2 * ((y as f32 / hf as f32) - 0.5);
+                    (base + rng.uniform(-0.1, 0.1)).clamp(0.0, 1.0)
+                })
+                .collect();
+            NetworkInput::Image(Tensor::from_vec(Shape::nchw(1, cf, hf, wf), data))
+        }
+        InputSpec::Sequence { len, .. } => NetworkInput::Sequence(rnn::synthetic_price_window(len as usize, seed)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tango_sim::{GpuConfig, SimOptions};
+
+    #[test]
+    fn every_network_has_table_i_metadata() {
+        for kind in NetworkKind::ALL {
+            let info = model_info(kind);
+            assert_eq!(info.kind, kind);
+            assert!(!info.input.is_empty());
+            assert!(!info.paper_model.is_empty());
+        }
+    }
+
+    #[test]
+    fn all_seven_networks_build_and_infer_at_tiny_scale() {
+        for kind in NetworkKind::EXTENDED {
+            let mut gpu = Gpu::new(GpuConfig::gp102());
+            let net = build_network(&mut gpu, kind, Preset::Tiny, 7).unwrap_or_else(|e| panic!("{kind}: {e}"));
+            let input = synthetic_input(net.input_spec(), 7);
+            let report = net
+                .infer(&mut gpu, &input, &SimOptions::new())
+                .unwrap_or_else(|e| panic!("{kind}: {e}"));
+            assert!(report.total_cycles() > 0, "{kind}");
+            assert!(report.output.as_slice().iter().all(|v| v.is_finite()), "{kind}");
+        }
+    }
+
+    #[test]
+    fn synthetic_inputs_match_specs() {
+        let img = synthetic_input(InputSpec::Image { c: 3, h: 8, w: 8 }, 1);
+        match img {
+            NetworkInput::Image(t) => assert_eq!(t.shape().dims(), &[1, 3, 8, 8]),
+            _ => panic!("expected image"),
+        }
+        let seq = synthetic_input(InputSpec::Sequence { len: 2, dim: 1 }, 1);
+        match seq {
+            NetworkInput::Sequence(v) => assert_eq!(v.len(), 2),
+            _ => panic!("expected sequence"),
+        }
+    }
+}

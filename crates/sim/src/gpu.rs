@@ -1,0 +1,533 @@
+//! The simulated GPU device: owns device memory, the shared L2/DRAM, and
+//! runs kernel launches to completion.
+
+use crate::config::{CacheGeometry, GpuConfig, SimOptions};
+use crate::mem::GlobalMemory;
+use crate::memsys::MemorySystem;
+use crate::power::PowerMeter;
+use crate::sched::Scheduler;
+use crate::sm::{LaunchAgg, Sm, SmEnv};
+use crate::stats::KernelStats;
+use tango_isa::{max_live_registers, Dim3, KernelProgram};
+
+/// Safety valve: a single launch exceeding this many cycles is a simulator
+/// deadlock, not a slow kernel.
+const MAX_CYCLES: u64 = 50_000_000_000;
+
+/// A simulated GPU.
+///
+/// Mirrors the host-side view of a CUDA device: allocate buffers, copy data
+/// in, launch kernels, copy data out. Each launch returns a full
+/// [`KernelStats`] record.
+///
+/// # Example
+///
+/// ```
+/// use tango_isa::{DType, Dim3, KernelBuilder, Operand};
+/// use tango_sim::{Gpu, GpuConfig, SimOptions};
+///
+/// // out[tid] = 3 * tid
+/// let mut b = KernelBuilder::new("triple");
+/// let tid = b.global_tid_x();
+/// let addr = b.reg();
+/// let v = b.reg();
+/// let base = b.load_param(0);
+/// b.mul(DType::U32, v, tid.into(), Operand::imm_u32(3));
+/// b.shl(DType::U32, addr, tid.into(), Operand::imm_u32(2));
+/// b.add(DType::U32, addr, addr.into(), base.into());
+/// b.st_global(DType::U32, addr, 0, v);
+/// b.exit();
+/// let program = b.build().expect("valid program");
+///
+/// let mut gpu = Gpu::new(GpuConfig::gp102());
+/// let out = gpu.alloc_bytes(64 * 4);
+/// let stats = gpu.launch(&program, Dim3::x(2), Dim3::x(32), &[out], 0, &SimOptions::new());
+/// assert!(stats.cycles > 0);
+/// assert_eq!(gpu.memory().read_u32(out + 10 * 4), 30);
+/// ```
+#[derive(Debug)]
+pub struct Gpu {
+    config: GpuConfig,
+    mem: GlobalMemory,
+    memsys: MemorySystem,
+}
+
+impl Gpu {
+    /// Creates a device with the given configuration.
+    pub fn new(config: GpuConfig) -> Self {
+        let memsys = MemorySystem::new(&config);
+        Gpu {
+            config,
+            mem: GlobalMemory::new(),
+            memsys,
+        }
+    }
+
+    /// The device configuration.
+    pub fn config(&self) -> &GpuConfig {
+        &self.config
+    }
+
+    /// Read-only view of device memory.
+    pub fn memory(&self) -> &GlobalMemory {
+        &self.mem
+    }
+
+    /// Mutable view of device memory (host-side uploads).
+    pub fn memory_mut(&mut self) -> &mut GlobalMemory {
+        &mut self.mem
+    }
+
+    /// Allocates `bytes` of device memory.
+    pub fn alloc_bytes(&mut self, bytes: u32) -> u32 {
+        self.mem.alloc(bytes)
+    }
+
+    /// Allocates and uploads a float buffer, returning its device address.
+    pub fn upload_f32s(&mut self, values: &[f32]) -> u32 {
+        let addr = self.mem.alloc((values.len() * 4) as u32);
+        self.mem.write_f32s(addr, values);
+        addr
+    }
+
+    /// Reads `len` floats from device memory.
+    pub fn download_f32s(&self, addr: u32, len: usize) -> Vec<f32> {
+        self.mem.read_f32s(addr, len)
+    }
+
+    /// Peak device-memory usage so far in bytes (the paper's Figure 11
+    /// metric).
+    pub fn memory_footprint_bytes(&self) -> u64 {
+        self.mem.high_water_bytes()
+    }
+
+    /// Launches `program` over `grid` x `block` threads with the given
+    /// 32-bit parameters (typically buffer addresses and layer dimensions)
+    /// and `smem_bytes` of per-CTA shared memory.
+    ///
+    /// Runs the launch to completion under `opts` and returns its
+    /// statistics. With CTA sampling enabled (the default), only a prefix
+    /// of the grid executes and extensive statistics are extrapolated —
+    /// see [`SimOptions::cta_sample_limit`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the program expects more parameters than provided, or if
+    /// a kernel accesses device memory out of bounds (a generated-kernel
+    /// bug).
+    pub fn launch(
+        &mut self,
+        program: &KernelProgram,
+        grid: Dim3,
+        block: Dim3,
+        params: &[u32],
+        smem_bytes: u32,
+        opts: &SimOptions,
+    ) -> KernelStats {
+        assert!(
+            params.len() as u32 >= program.param_count(),
+            "kernel {} expects {} params, got {}",
+            program.name(),
+            program.param_count(),
+            params.len()
+        );
+        let cta_threads = block.count() as u32;
+        assert!(
+            cta_threads <= 1024,
+            "kernel {}: {} threads per block exceeds the 1024-thread CUDA limit",
+            program.name(),
+            cta_threads
+        );
+
+        let policy = opts.scheduler.unwrap_or(self.config.scheduler);
+        let l1_geometry: Option<CacheGeometry> = match opts.l1d_bytes {
+            None => self.config.l1d,
+            Some(0) => None,
+            Some(bytes) => Some(CacheGeometry::new(bytes, self.config.l2.line_bytes, 8)),
+        };
+        let line_bytes = self.config.l2.line_bytes;
+
+        let total_ctas = grid.count();
+        let sim_ctas = total_ctas.min(opts.cta_sample_limit.unwrap_or(u64::MAX)).max(1);
+
+        let regs_per_thread = program.register_count().max(1);
+        let ctas_per_sm = self
+            .config
+            .ctas_per_sm(cta_threads, regs_per_thread, smem_bytes)
+            .min(self.config.max_ctas_per_sm);
+        let warps_per_cta = self.config.warps_per_cta(cta_threads);
+
+        let mut sms: Vec<Sm> = (0..self.config.num_sms)
+            .map(|_| {
+                Sm::new(
+                    &self.config,
+                    l1_geometry,
+                    ctas_per_sm,
+                    warps_per_cta,
+                    params.len(),
+                    Scheduler::new(policy, 6),
+                )
+            })
+            .collect();
+
+        self.memsys.reset_stats();
+        let mut meter = PowerMeter::new(self.config.power, self.config.clock_ghz, opts.power_window);
+        let mut agg = LaunchAgg::default();
+
+        let cta_coords = |id: u64| -> (u32, u32, u32) {
+            let x = (id % grid.x as u64) as u32;
+            let y = ((id / grid.x as u64) % grid.y as u64) as u32;
+            let z = (id / (grid.x as u64 * grid.y as u64)) as u32;
+            (x, y, z)
+        };
+
+        let mut next_cta: u64 = 0;
+        let mut cycle: u64 = 0;
+        let mut weight: u64 = 1;
+        loop {
+            // Dispatch pending CTAs round-robin across SMs (one per SM per
+            // pass, like the hardware work distributor) so partial grids
+            // spread over the whole machine instead of packing a few SMs.
+            while next_cta < sim_ctas {
+                let mut placed = false;
+                for sm in &mut sms {
+                    if next_cta >= sim_ctas {
+                        break;
+                    }
+                    if sm.has_room() {
+                        sm.accept_cta(cta_coords(next_cta), program, block, smem_bytes);
+                        next_cta += 1;
+                        placed = true;
+                    }
+                }
+                if !placed {
+                    break;
+                }
+            }
+
+            let mut any_active = false;
+            let mut active_sms = 0u32;
+            let mut next_event = u64::MAX;
+            for sm in &mut sms {
+                let mut env = SmEnv {
+                    cycle,
+                    weight,
+                    mem: &mut self.mem,
+                    memsys: &mut self.memsys,
+                    meter: &mut meter,
+                    agg: &mut agg,
+                    program,
+                    params,
+                    grid,
+                    block,
+                    line_bytes,
+                };
+                let (active, hint) = sm.cycle(&mut env);
+                any_active |= active;
+                if active {
+                    active_sms += 1;
+                }
+                next_event = next_event.min(hint);
+            }
+            meter.charge_static_span(cycle, weight, self.config.num_sms - active_sms, active_sms);
+
+            if !any_active && next_cta >= sim_ctas {
+                break;
+            }
+            // Event skip: when every SM is stalled on a known future time,
+            // jump straight to it instead of ticking the dead cycles.
+            // Stall samples and static power for the skipped span are
+            // charged via `weight` on the next iteration.
+            let target = next_event.clamp(cycle + 1, cycle + 1_000_000);
+            weight = target - cycle;
+            cycle = target;
+            if std::env::var_os("TANGO_DEBUG_HANG").is_some() && cycle > 5_000 && cycle % 2048 < weight {
+                for (i, sm) in sms.iter().enumerate() {
+                    if sm.is_active() {
+                        eprintln!("[hang] cycle {cycle} sm {i}: {}", sm.debug_state(cycle, program));
+                    }
+                }
+            }
+            assert!(cycle < MAX_CYCLES, "kernel {} exceeded the cycle safety valve", program.name());
+        }
+
+        // Assemble statistics.
+        let mut l1d = crate::stats::CacheStats::default();
+        let mut max_resident_threads = 0;
+        for sm in &sms {
+            if let Some(c) = &sm.l1d {
+                l1d.merge(&c.stats());
+            }
+            max_resident_threads = max_resident_threads.max(sm.peak_threads);
+        }
+        let (energy, peak_power_w, _trace) = meter.finish();
+
+        let mut stats = KernelStats {
+            name: program.name().to_string(),
+            cycles: cycle.max(1),
+            warp_instructions: agg.warp_instructions,
+            thread_instructions: agg.thread_instructions,
+            op_counts: agg.op_counts,
+            dtype_counts: agg.dtype_counts,
+            stalls: agg.stalls,
+            l1d,
+            l2: self.memsys.l2_stats(),
+            dram_accesses: self.memsys.dram_accesses(),
+            const_accesses: agg.const_accesses,
+            shared_accesses: agg.shared_accesses,
+            regs_per_thread,
+            live_regs_per_thread: max_live_registers(program),
+            max_resident_threads,
+            smem_bytes: program.smem_bytes().max(smem_bytes),
+            cmem_bytes: program.cmem_bytes(),
+            energy,
+            peak_power_w,
+            avg_power_w: 0.0,
+            time_s: cycle.max(1) as f64 / (self.config.clock_ghz * 1e9),
+            ctas_total: total_ctas,
+            ctas_simulated: sim_ctas,
+        };
+        if total_ctas > sim_ctas {
+            // Counts extrapolate linearly with CTAs; time extrapolates by
+            // machine waves (a grid that still fits residency runs wider,
+            // not longer).
+            let capacity = (self.config.num_sms as u64 * ctas_per_sm as u64).max(1) as f64;
+            let waves_total = (total_ctas as f64 / capacity).max(1.0);
+            let waves_sim = (sim_ctas as f64 / capacity).max(1.0);
+            stats.scale_split(total_ctas as f64 / sim_ctas as f64, waves_total / waves_sim);
+        }
+        stats.avg_power_w = if stats.time_s > 0.0 {
+            stats.energy.total() / stats.time_s
+        } else {
+            0.0
+        };
+        // Wave-based extrapolation can raise the full-grid average above
+        // the sampled-prefix peak (more CTAs in flight in the same waves);
+        // the peak is by definition at least the average.
+        stats.peak_power_w = stats.peak_power_w.max(stats.avg_power_w);
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SchedulerPolicy;
+    use crate::stats::StallReason;
+    use tango_isa::{CmpOp, DType, KernelBuilder, Operand};
+
+    fn saxpy_program() -> KernelProgram {
+        // y[tid] = a * x[tid] + y[tid]
+        let mut b = KernelBuilder::new("saxpy");
+        let tid = b.global_tid_x();
+        let off = b.reg();
+        let xa = b.reg();
+        let ya = b.reg();
+        let xv = b.reg();
+        let yv = b.reg();
+        let x_base = b.load_param(0);
+        let y_base = b.load_param(1);
+        let a_bits = b.load_param(2);
+        b.shl(DType::U32, off, tid.into(), Operand::imm_u32(2));
+        b.add(DType::U32, xa, off.into(), x_base.into());
+        b.add(DType::U32, ya, off.into(), y_base.into());
+        b.ld_global(DType::F32, xv, xa, 0);
+        b.ld_global(DType::F32, yv, ya, 0);
+        b.mad(DType::F32, yv, a_bits.into(), xv.into(), yv.into());
+        b.st_global(DType::F32, ya, 0, yv);
+        b.exit();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn saxpy_computes_correctly_end_to_end() {
+        let mut gpu = Gpu::new(GpuConfig::gp102());
+        let n = 256;
+        let x: Vec<f32> = (0..n).map(|i| i as f32).collect();
+        let y: Vec<f32> = (0..n).map(|i| (i * 2) as f32).collect();
+        let x_addr = gpu.upload_f32s(&x);
+        let y_addr = gpu.upload_f32s(&y);
+        let params = [x_addr, y_addr, 0.5f32.to_bits()];
+        let stats = gpu.launch(
+            &saxpy_program(),
+            Dim3::x(n as u32 / 64),
+            Dim3::x(64),
+            &params,
+            0,
+            &SimOptions::new(),
+        );
+        let out = gpu.download_f32s(y_addr, n);
+        for i in 0..n {
+            assert_eq!(out[i], 0.5 * i as f32 + (i * 2) as f32, "element {i}");
+        }
+        assert!(stats.cycles > 0);
+        assert!(stats.warp_instructions > 0);
+        assert_eq!(stats.ctas_total, 4);
+        assert!(stats.energy.total() > 0.0);
+        assert!(stats.peak_power_w > 0.0);
+    }
+
+    #[test]
+    fn multi_cta_grid_covers_all_blocks() {
+        let mut gpu = Gpu::new(GpuConfig::tx1());
+        let n = 1024usize;
+        let x_addr = gpu.upload_f32s(&vec![1.0; n]);
+        let y_addr = gpu.upload_f32s(&vec![0.0; n]);
+        let params = [x_addr, y_addr, 2.0f32.to_bits()];
+        gpu.launch(
+            &saxpy_program(),
+            Dim3::x(n as u32 / 32),
+            Dim3::x(32),
+            &params,
+            0,
+            &SimOptions::new().with_cta_sample_limit(None),
+        );
+        let out = gpu.download_f32s(y_addr, n);
+        assert!(out.iter().all(|&v| v == 2.0));
+    }
+
+    #[test]
+    fn cta_sampling_scales_statistics() {
+        let mut gpu = Gpu::new(GpuConfig::gp102());
+        let n = 4096usize;
+        let x_addr = gpu.upload_f32s(&vec![1.0; n]);
+        let y_addr = gpu.upload_f32s(&vec![0.0; n]);
+        let params = [x_addr, y_addr, 2.0f32.to_bits()];
+        let full = gpu.launch(
+            &saxpy_program(),
+            Dim3::x(128),
+            Dim3::x(32),
+            &params,
+            0,
+            &SimOptions::new().with_cta_sample_limit(None),
+        );
+        let mut gpu2 = Gpu::new(GpuConfig::gp102());
+        let x2 = gpu2.upload_f32s(&vec![1.0; n]);
+        let y2 = gpu2.upload_f32s(&vec![0.0; n]);
+        let params2 = [x2, y2, 2.0f32.to_bits()];
+        let sampled = gpu2.launch(
+            &saxpy_program(),
+            Dim3::x(128),
+            Dim3::x(32),
+            &params2,
+            0,
+            &SimOptions::new().with_cta_sample_limit(Some(32)),
+        );
+        assert_eq!(sampled.ctas_simulated, 32);
+        assert_eq!(sampled.ctas_total, 128);
+        // Extrapolated instruction count matches the full run exactly
+        // (every CTA executes the identical program).
+        assert_eq!(sampled.warp_instructions, full.warp_instructions);
+    }
+
+    #[test]
+    fn l1_disabled_pushes_traffic_to_l2() {
+        let reuse_program = || {
+            // Every thread reads the SAME 512 floats: extreme reuse.
+            let mut b = KernelBuilder::new("reuse");
+            let i = b.reg();
+            let acc = b.reg();
+            let addr = b.reg();
+            let v = b.reg();
+            let p = b.pred();
+            let base = b.load_param(0);
+            b.mov(DType::U32, i, Operand::imm_u32(0));
+            b.mov(DType::F32, acc, Operand::imm_f32(0.0));
+            let top = b.place_new_label();
+            b.shl(DType::U32, addr, i.into(), Operand::imm_u32(2));
+            b.add(DType::U32, addr, addr.into(), base.into());
+            b.ld_global(DType::F32, v, addr, 0);
+            b.add(DType::F32, acc, acc.into(), v.into());
+            b.add(DType::U32, i, i.into(), Operand::imm_u32(1));
+            b.set(CmpOp::Lt, DType::U32, p, i.into(), Operand::imm_u32(512));
+            b.bra_if(p, true, top);
+            b.exit();
+            b.build().unwrap()
+        };
+        let mut with_l1 = Gpu::new(GpuConfig::gp102());
+        let buf = with_l1.upload_f32s(&vec![1.0; 512]);
+        let s1 = with_l1.launch(&reuse_program(), Dim3::x(4), Dim3::x(128), &[buf], 0, &SimOptions::new());
+        let mut no_l1 = Gpu::new(GpuConfig::gp102());
+        let buf2 = no_l1.upload_f32s(&vec![1.0; 512]);
+        let s2 = no_l1.launch(
+            &reuse_program(),
+            Dim3::x(4),
+            Dim3::x(128),
+            &[buf2],
+            0,
+            &SimOptions::new().with_l1d_bytes(0),
+        );
+        assert!(s1.l1d.accesses > 0);
+        assert_eq!(s2.l1d.accesses, 0);
+        assert!(s2.l2.accesses > s1.l2.accesses * 5, "L2 should absorb the reuse traffic");
+        assert!(s2.cycles > s1.cycles, "no-L1 run should be slower");
+    }
+
+    #[test]
+    fn schedulers_all_complete_with_same_results() {
+        let n = 512usize;
+        let mut outputs = Vec::new();
+        for policy in SchedulerPolicy::ALL {
+            let mut gpu = Gpu::new(GpuConfig::gp102());
+            let x_addr = gpu.upload_f32s(&(0..n).map(|i| i as f32).collect::<Vec<_>>());
+            let y_addr = gpu.upload_f32s(&vec![1.0; n]);
+            let params = [x_addr, y_addr, 3.0f32.to_bits()];
+            let stats = gpu.launch(
+                &saxpy_program(),
+                Dim3::x(8),
+                Dim3::x(64),
+                &params,
+                0,
+                &SimOptions::new().with_scheduler(policy),
+            );
+            assert!(stats.cycles > 0, "{policy} should complete");
+            outputs.push(gpu.download_f32s(y_addr, n));
+        }
+        assert_eq!(outputs[0], outputs[1]);
+        assert_eq!(outputs[1], outputs[2]);
+    }
+
+    #[test]
+    fn stall_samples_are_collected() {
+        let mut gpu = Gpu::new(GpuConfig::gp102());
+        let n = 2048usize;
+        let x_addr = gpu.upload_f32s(&vec![1.0; n]);
+        let y_addr = gpu.upload_f32s(&vec![0.0; n]);
+        let params = [x_addr, y_addr, 1.0f32.to_bits()];
+        let stats = gpu.launch(&saxpy_program(), Dim3::x(16), Dim3::x(128), &params, 0, &SimOptions::new());
+        assert!(stats.stalls.total() > 0);
+        // A streaming kernel must show memory-related stalls.
+        let memish = stats.stalls.count(StallReason::MemoryDependency)
+            + stats.stalls.count(StallReason::MemoryThrottle);
+        assert!(memish > 0);
+    }
+
+    #[test]
+    fn footprint_tracks_uploads() {
+        let mut gpu = Gpu::new(GpuConfig::gp102());
+        assert_eq!(gpu.memory_footprint_bytes(), 0);
+        let _ = gpu.upload_f32s(&vec![0.0; 1000]);
+        assert!(gpu.memory_footprint_bytes() >= 4000);
+    }
+
+    #[test]
+    #[should_panic(expected = "expects")]
+    fn missing_params_panic() {
+        let mut gpu = Gpu::new(GpuConfig::gp102());
+        gpu.launch(&saxpy_program(), Dim3::x(1), Dim3::x(32), &[], 0, &SimOptions::new());
+    }
+
+    #[test]
+    fn register_stats_are_populated() {
+        let mut gpu = Gpu::new(GpuConfig::gp102());
+        let n = 128usize;
+        let x_addr = gpu.upload_f32s(&vec![1.0; n]);
+        let y_addr = gpu.upload_f32s(&vec![0.0; n]);
+        let params = [x_addr, y_addr, 1.0f32.to_bits()];
+        let stats = gpu.launch(&saxpy_program(), Dim3::x(2), Dim3::x(64), &params, 0, &SimOptions::new());
+        assert!(stats.regs_per_thread >= 6);
+        assert!(stats.live_regs_per_thread <= stats.regs_per_thread);
+        assert!(stats.max_resident_threads >= 64);
+        assert!(stats.allocated_reg_bytes_per_sm() >= stats.live_reg_bytes_per_sm());
+    }
+}

@@ -1,0 +1,339 @@
+//! Warp scheduler policies: GTO, LRR, and two-level (TLV).
+//!
+//! The scheduler produces a *candidate order* each cycle; the SM walks it
+//! and issues the first warps that pass the scoreboard/port checks. GTO and
+//! TLV additionally maintain state (current warp, active set) and report
+//! "queue-management events" — the cycles the paper's Observation 12 blames
+//! for GTO/TLV losing to plain round-robin on cache-friendly convolution
+//! layers.
+
+use crate::config::SchedulerPolicy;
+
+/// Stateful warp scheduler for one SM.
+#[derive(Debug, Clone)]
+pub(crate) struct Scheduler {
+    policy: SchedulerPolicy,
+    lrr_next: usize,
+    gto_current: Option<usize>,
+    tlv_active: Vec<usize>,
+    tlv_suspended: Vec<usize>,
+    tlv_capacity: usize,
+}
+
+impl Scheduler {
+    pub fn new(policy: SchedulerPolicy, tlv_capacity: usize) -> Self {
+        Scheduler {
+            policy,
+            lrr_next: 0,
+            gto_current: None,
+            tlv_active: Vec::new(),
+            tlv_suspended: Vec::new(),
+            tlv_capacity: tlv_capacity.max(1),
+        }
+    }
+
+    #[allow(dead_code)]
+    pub fn policy(&self) -> SchedulerPolicy {
+        self.policy
+    }
+
+    /// Candidate issue order over `occupied` warp slots (`(slot, age)`
+    /// pairs, unfinished warps only). The hot path uses
+    /// [`order_into`](Self::order_into) with cached orders; this
+    /// allocating variant remains for tests and external inspection.
+    #[allow(dead_code)]
+    pub fn candidate_order(&self, occupied: &[(usize, u64)]) -> Vec<usize> {
+        let mut out = Vec::new();
+        self.candidate_order_into(occupied, &mut out);
+        out
+    }
+
+    /// Allocation- and sort-free ordering used by the SM's hot loop:
+    /// `age_order` holds occupied slots oldest-first, `slot_asc` the same
+    /// slots in ascending slot order (both maintained incrementally by the
+    /// SM). Writes the candidate order into `out`.
+    pub fn order_into(&self, age_order: &[usize], slot_asc: &[usize], out: &mut Vec<usize>) {
+        out.clear();
+        match self.policy {
+            SchedulerPolicy::Lrr => {
+                let pivot = slot_asc.partition_point(|&s| s < self.lrr_next);
+                out.extend_from_slice(&slot_asc[pivot..]);
+                out.extend_from_slice(&slot_asc[..pivot]);
+            }
+            SchedulerPolicy::Gto => {
+                if let Some(cur) = self.gto_current {
+                    if age_order.contains(&cur) {
+                        out.push(cur);
+                    }
+                }
+                out.extend(age_order.iter().copied().filter(|&s| Some(s) != self.gto_current));
+            }
+            SchedulerPolicy::Tlv => {
+                out.extend(self.tlv_active.iter().copied().filter(|s| age_order.contains(s)));
+                if out.len() < self.tlv_capacity {
+                    let room = self.tlv_capacity - out.len();
+                    let mut taken = 0;
+                    for &s in age_order {
+                        if taken >= room {
+                            break;
+                        }
+                        if !out.contains(&s) && !self.tlv_suspended.contains(&s) {
+                            out.push(s);
+                            taken += 1;
+                        }
+                    }
+                    if taken < room {
+                        // Suspended warps re-enter in FIFO order; warps
+                        // that fail to issue are rotated to the back (see
+                        // `note_blocked`) so a barrier-parked warp cannot
+                        // starve the warps that would release it.
+                        for &s in &self.tlv_suspended {
+                            if taken >= room {
+                                break;
+                            }
+                            if !out.contains(&s) && age_order.contains(&s) {
+                                out.push(s);
+                                taken += 1;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Allocation-free variant of [`candidate_order`](Self::candidate_order):
+    /// writes into `out` (cleared first).
+    #[allow(dead_code)]
+    pub fn candidate_order_into(&self, occupied: &[(usize, u64)], out: &mut Vec<usize>) {
+        out.clear();
+        let order: Vec<usize> = match self.policy {
+            SchedulerPolicy::Lrr => {
+                let mut slots: Vec<usize> = occupied.iter().map(|&(s, _)| s).collect();
+                slots.sort_unstable();
+                let pivot = slots.partition_point(|&s| s < self.lrr_next);
+                let mut order = Vec::with_capacity(slots.len());
+                order.extend_from_slice(&slots[pivot..]);
+                order.extend_from_slice(&slots[..pivot]);
+                order
+            }
+            SchedulerPolicy::Gto => {
+                let mut rest: Vec<(usize, u64)> = occupied.to_vec();
+                rest.sort_by_key(|&(_, age)| age);
+                let mut order = Vec::with_capacity(rest.len() + 1);
+                if let Some(cur) = self.gto_current {
+                    if occupied.iter().any(|&(s, _)| s == cur) {
+                        order.push(cur);
+                    }
+                }
+                for (s, _) in rest {
+                    if Some(s) != self.gto_current {
+                        order.push(s);
+                    }
+                }
+                order
+            }
+            SchedulerPolicy::Tlv => {
+                let mut order: Vec<usize> = self
+                    .tlv_active
+                    .iter()
+                    .copied()
+                    .filter(|s| occupied.iter().any(|&(o, _)| o == *s))
+                    .collect();
+                if order.len() < self.tlv_capacity {
+                    // Fill vacancies with the oldest pending warps; warps
+                    // recently suspended on a memory stall come last so a
+                    // swap actually brings fresh work in.
+                    let mut pending: Vec<(usize, u64)> = occupied
+                        .iter()
+                        .copied()
+                        .filter(|&(s, _)| !order.contains(&s) && !self.tlv_suspended.contains(&s))
+                        .collect();
+                    pending.sort_by_key(|&(_, age)| age);
+                    let mut suspended: Vec<(usize, u64)> = occupied
+                        .iter()
+                        .copied()
+                        .filter(|&(s, _)| self.tlv_suspended.contains(&s))
+                        .collect();
+                    suspended.sort_by_key(|&(_, age)| age);
+                    pending.extend(suspended);
+                    for (s, _) in pending.into_iter().take(self.tlv_capacity - order.len()) {
+                        order.push(s);
+                    }
+                }
+                order
+            }
+        };
+        out.extend(order);
+    }
+
+    /// Records that `slot` issued this cycle.
+    pub fn note_issue(&mut self, slot: usize) {
+        match self.policy {
+            SchedulerPolicy::Lrr => self.lrr_next = slot + 1,
+            SchedulerPolicy::Gto => self.gto_current = Some(slot),
+            SchedulerPolicy::Tlv => {
+                self.tlv_suspended.retain(|&s| s != slot);
+                if let Some(pos) = self.tlv_active.iter().position(|&s| s == slot) {
+                    // Rotate within the active set (round-robin).
+                    let s = self.tlv_active.remove(pos);
+                    self.tlv_active.push(s);
+                } else {
+                    if self.tlv_active.len() >= self.tlv_capacity {
+                        self.tlv_active.remove(0);
+                    }
+                    self.tlv_active.push(slot);
+                }
+            }
+        }
+    }
+
+    /// Records that the scheduler's preferred warp stalled on a
+    /// long-latency (memory) operation. Returns `true` when this forces a
+    /// queue-management event the pipeline pays for (moving the warp
+    /// between ready and pending queues) — never for LRR, which has no
+    /// queues to manage.
+    pub fn note_memory_stall(&mut self, slot: usize) -> bool {
+        match self.policy {
+            SchedulerPolicy::Lrr => false,
+            SchedulerPolicy::Gto => {
+                if self.gto_current == Some(slot) {
+                    self.gto_current = None;
+                    true
+                } else {
+                    false
+                }
+            }
+            SchedulerPolicy::Tlv => {
+                if let Some(pos) = self.tlv_active.iter().position(|&s| s == slot) {
+                    self.tlv_active.remove(pos);
+                    self.tlv_suspended.push(slot);
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    /// Records that a candidate failed to issue; rotates it to the back
+    /// of the suspended queue so other pending warps get the next slot.
+    pub fn note_blocked(&mut self, slot: usize) {
+        if let Some(pos) = self.tlv_suspended.iter().position(|&s| s == slot) {
+            let s = self.tlv_suspended.remove(pos);
+            self.tlv_suspended.push(s);
+        }
+    }
+
+    /// Debug snapshot of the two-level state.
+    pub fn debug_tlv(&self) -> String {
+        format!("tlv_active={:?} tlv_suspended={:?} gto_cur={:?} lrr_next={}", self.tlv_active, self.tlv_suspended, self.gto_current, self.lrr_next)
+    }
+
+    /// Forgets a finished warp.
+    pub fn note_warp_finished(&mut self, slot: usize) {
+        if self.gto_current == Some(slot) {
+            self.gto_current = None;
+        }
+        self.tlv_active.retain(|&s| s != slot);
+        self.tlv_suspended.retain(|&s| s != slot);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn occ(slots: &[usize]) -> Vec<(usize, u64)> {
+        slots.iter().map(|&s| (s, s as u64)).collect()
+    }
+
+    #[test]
+    fn lrr_rotates_after_issue() {
+        let mut s = Scheduler::new(SchedulerPolicy::Lrr, 6);
+        let o = occ(&[0, 1, 2, 3]);
+        assert_eq!(s.candidate_order(&o), vec![0, 1, 2, 3]);
+        s.note_issue(1);
+        assert_eq!(s.candidate_order(&o), vec![2, 3, 0, 1]);
+    }
+
+    #[test]
+    fn gto_prefers_current_then_oldest() {
+        let mut s = Scheduler::new(SchedulerPolicy::Gto, 6);
+        let o = vec![(0, 5u64), (1, 2), (2, 9)];
+        // No current: oldest (age 2 -> slot 1) first.
+        assert_eq!(s.candidate_order(&o), vec![1, 0, 2]);
+        s.note_issue(2);
+        // Greedy: slot 2 first now.
+        assert_eq!(s.candidate_order(&o), vec![2, 1, 0]);
+    }
+
+    #[test]
+    fn gto_memory_stall_clears_current_and_reports_event() {
+        let mut s = Scheduler::new(SchedulerPolicy::Gto, 6);
+        s.note_issue(3);
+        assert!(s.note_memory_stall(3));
+        assert!(!s.note_memory_stall(3), "second report is not a new event");
+        let o = occ(&[1, 3]);
+        assert_eq!(s.candidate_order(&o), vec![1, 3]); // back to oldest-first
+    }
+
+    #[test]
+    fn lrr_never_reports_queue_events() {
+        let mut s = Scheduler::new(SchedulerPolicy::Lrr, 6);
+        s.note_issue(0);
+        assert!(!s.note_memory_stall(0));
+    }
+
+    #[test]
+    fn tlv_limits_active_set() {
+        let mut s = Scheduler::new(SchedulerPolicy::Tlv, 2);
+        let o = occ(&[0, 1, 2, 3]);
+        let order = s.candidate_order(&o);
+        // Empty active set: filled with the two oldest.
+        assert_eq!(order, vec![0, 1]);
+        s.note_issue(0);
+        s.note_issue(1);
+        let order = s.candidate_order(&o);
+        assert_eq!(order.len(), 2);
+        assert!(order.contains(&0) && order.contains(&1));
+    }
+
+    #[test]
+    fn tlv_swaps_out_stalled_warp() {
+        let mut s = Scheduler::new(SchedulerPolicy::Tlv, 2);
+        let o = occ(&[0, 1, 2]);
+        s.note_issue(0);
+        s.note_issue(1);
+        assert!(s.note_memory_stall(0));
+        let order = s.candidate_order(&o);
+        assert!(order.contains(&2), "pending warp promoted: {order:?}");
+        assert!(order.contains(&1));
+    }
+
+    #[test]
+    fn finished_warp_is_forgotten() {
+        let mut s = Scheduler::new(SchedulerPolicy::Gto, 6);
+        s.note_issue(4);
+        s.note_warp_finished(4);
+        let o = occ(&[1, 2]);
+        assert_eq!(s.candidate_order(&o), vec![1, 2]);
+    }
+
+    #[test]
+    fn orders_cover_all_or_capacity_warps() {
+        for policy in SchedulerPolicy::ALL {
+            let s = Scheduler::new(policy, 6);
+            let o = occ(&[0, 1, 2, 3, 4]);
+            let order = s.candidate_order(&o);
+            match policy {
+                SchedulerPolicy::Tlv => assert_eq!(order.len(), 5.min(6)),
+                _ => assert_eq!(order.len(), 5),
+            }
+            let mut sorted = order.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), order.len(), "no duplicates in {order:?}");
+        }
+    }
+}

@@ -1,0 +1,77 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error type returned by tensor constructors and the reference operators.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TensorError {
+    /// Two shapes that were required to match did not.
+    ShapeMismatch {
+        /// Description of the operation that failed.
+        op: &'static str,
+        /// Human-readable description of what was expected.
+        expected: String,
+        /// Human-readable description of what was found.
+        found: String,
+    },
+    /// A parameter (stride, pad, group count, ...) was invalid for the
+    /// operand shapes.
+    InvalidParameter {
+        /// Description of the operation that failed.
+        op: &'static str,
+        /// What was wrong.
+        message: String,
+    },
+}
+
+impl TensorError {
+    pub(crate) fn shape(op: &'static str, expected: impl Into<String>, found: impl Into<String>) -> Self {
+        TensorError::ShapeMismatch {
+            op,
+            expected: expected.into(),
+            found: found.into(),
+        }
+    }
+
+    pub(crate) fn param(op: &'static str, message: impl Into<String>) -> Self {
+        TensorError::InvalidParameter {
+            op,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::ShapeMismatch { op, expected, found } => {
+                write!(f, "{op}: shape mismatch, expected {expected}, found {found}")
+            }
+            TensorError::InvalidParameter { op, message } => {
+                write!(f, "{op}: invalid parameter, {message}")
+            }
+        }
+    }
+}
+
+impl Error for TensorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_informative() {
+        let err = TensorError::shape("conv2d", "[1, 3]", "[2, 3]");
+        let text = err.to_string();
+        assert!(text.contains("conv2d"));
+        assert!(text.contains("[1, 3]"));
+        assert!(text.contains("[2, 3]"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TensorError>();
+    }
+}

@@ -1,0 +1,105 @@
+use crate::{Result, Shape, Tensor, TensorError};
+
+/// Rectified linear unit, applied elementwise: `max(x, 0)`.
+pub fn relu(input: &Tensor) -> Tensor {
+    Tensor::from_vec(
+        input.shape().clone(),
+        input.as_slice().iter().map(|&v| v.max(0.0)).collect(),
+    )
+}
+
+/// Logistic sigmoid, applied elementwise: `1 / (1 + e^-x)`.
+pub fn sigmoid(input: &Tensor) -> Tensor {
+    Tensor::from_vec(
+        input.shape().clone(),
+        input.as_slice().iter().map(|&v| sigmoid_scalar(v)).collect(),
+    )
+}
+
+/// Hyperbolic tangent, applied elementwise.
+pub fn tanh(input: &Tensor) -> Tensor {
+    Tensor::from_vec(
+        input.shape().clone(),
+        input.as_slice().iter().map(|&v| v.tanh()).collect(),
+    )
+}
+
+pub(crate) fn sigmoid_scalar(x: f32) -> f32 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+/// Numerically-stable softmax over a flat vector; the classification output
+/// layer of the CNNs.
+///
+/// # Errors
+///
+/// Returns [`TensorError`] if the input is not rank 1.
+pub fn softmax(input: &Tensor) -> Result<Tensor> {
+    if input.shape().rank() != 1 {
+        return Err(TensorError::shape("softmax", "rank-1 input", input.shape().to_string()));
+    }
+    let x = input.as_slice();
+    let max = x.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let exps: Vec<f32> = x.iter().map(|&v| (v - max).exp()).collect();
+    let sum: f32 = exps.iter().sum();
+    Ok(Tensor::from_vec(
+        Shape::vector(x.len()),
+        exps.into_iter().map(|e| e / sum).collect(),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relu_clamps_negatives() {
+        let t = Tensor::from_vec(Shape::vector(4), vec![-2.0, -0.0, 0.5, 3.0]);
+        assert_eq!(relu(&t).as_slice(), &[0.0, 0.0, 0.5, 3.0]);
+    }
+
+    #[test]
+    fn sigmoid_is_bounded_and_centered() {
+        let t = Tensor::from_vec(Shape::vector(3), vec![-100.0, 0.0, 100.0]);
+        let s = sigmoid(&t);
+        assert!(s.get(&[0]) < 1e-6);
+        assert_eq!(s.get(&[1]), 0.5);
+        assert!(s.get(&[2]) > 1.0 - 1e-6);
+    }
+
+    #[test]
+    fn tanh_matches_std() {
+        let t = Tensor::from_vec(Shape::vector(2), vec![0.5, -0.5]);
+        let out = tanh(&t);
+        assert!((out.get(&[0]) - 0.5f32.tanh()).abs() < 1e-7);
+        assert!((out.get(&[1]) + 0.5f32.tanh()).abs() < 1e-7);
+    }
+
+    #[test]
+    fn softmax_sums_to_one_and_orders() {
+        let t = Tensor::from_vec(Shape::vector(3), vec![1.0, 2.0, 3.0]);
+        let s = softmax(&t).unwrap();
+        let sum: f32 = s.as_slice().iter().sum();
+        assert!((sum - 1.0).abs() < 1e-6);
+        assert!(s.get(&[2]) > s.get(&[1]) && s.get(&[1]) > s.get(&[0]));
+    }
+
+    #[test]
+    fn softmax_is_stable_for_large_inputs() {
+        let t = Tensor::from_vec(Shape::vector(2), vec![1000.0, 1000.0]);
+        let s = softmax(&t).unwrap();
+        assert!((s.get(&[0]) - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn softmax_requires_vector() {
+        let t = Tensor::zeros(Shape::matrix(2, 2));
+        assert!(softmax(&t).is_err());
+    }
+
+    #[test]
+    fn relu_preserves_shape() {
+        let t = Tensor::zeros(Shape::nchw(1, 2, 3, 4));
+        assert_eq!(relu(&t).shape(), t.shape());
+    }
+}

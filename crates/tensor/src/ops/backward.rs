@@ -1,0 +1,432 @@
+//! Reference backward (gradient) operators — the training-phase
+//! extension the paper announces ("we plan to extend the suite to also
+//! provide back-propagation code for training phase").
+//!
+//! Conventions mirror the forward operators: NCHW activations, batch 1.
+//! Max-pool gradients are routed to *every* input position equal to the
+//! window maximum (the deterministic semantics the GPU backward kernel
+//! implements without atomics); with continuous inputs, ties have measure
+//! zero.
+
+use super::conv::Conv2dParams;
+use super::pool::Pool2dParams;
+use crate::{Result, Shape, Tensor, TensorError};
+
+/// Gradients of a 2-D convolution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Conv2dGrads {
+    /// Gradient w.r.t. the input, same shape as the input.
+    pub d_input: Tensor,
+    /// Gradient w.r.t. the filter, same shape as the filter.
+    pub d_filter: Tensor,
+    /// Gradient w.r.t. the bias, `[c_out]`.
+    pub d_bias: Tensor,
+}
+
+/// Backward pass of [`conv2d`](super::conv2d): given the forward operands
+/// and the output gradient, returns all three parameter gradients.
+///
+/// # Errors
+///
+/// Returns [`TensorError`] if the shapes are inconsistent with a forward
+/// `conv2d(input, filter, ..)` producing `d_out`'s shape.
+pub fn conv2d_backward(
+    input: &Tensor,
+    filter: &Tensor,
+    d_out: &Tensor,
+    params: &Conv2dParams,
+) -> Result<Conv2dGrads> {
+    let ishape = input.shape();
+    let fshape = filter.shape();
+    let oshape = d_out.shape();
+    if ishape.rank() != 4 || fshape.rank() != 4 || oshape.rank() != 4 {
+        return Err(TensorError::shape(
+            "conv2d_backward",
+            "rank-4 operands",
+            format!("input {ishape}, filter {fshape}, d_out {oshape}"),
+        ));
+    }
+    let (n, c_in, h, w) = (ishape.dim(0), ishape.dim(1), ishape.dim(2), ishape.dim(3));
+    let (c_out, _, kh, kw) = (fshape.dim(0), fshape.dim(1), fshape.dim(2), fshape.dim(3));
+    let (h_out, w_out) = (oshape.dim(2), oshape.dim(3));
+    if fshape.dim(1) != c_in || oshape.dim(1) != c_out || oshape.dim(0) != n {
+        return Err(TensorError::shape(
+            "conv2d_backward",
+            "consistent channel counts",
+            format!("input {ishape}, filter {fshape}, d_out {oshape}"),
+        ));
+    }
+    if params.out_extent(h, kh) != Some(h_out) || params.out_extent(w, kw) != Some(w_out) {
+        return Err(TensorError::param(
+            "conv2d_backward",
+            "d_out extent does not match the forward geometry".to_string(),
+        ));
+    }
+
+    let x = input.as_slice();
+    let f = filter.as_slice();
+    let dy = d_out.as_slice();
+    let mut d_input = Tensor::zeros(ishape.clone());
+    let mut d_filter = Tensor::zeros(fshape.clone());
+    let mut d_bias = Tensor::zeros(Shape::vector(c_out));
+    {
+        let dxs = d_input.as_mut_slice();
+        let dfs = d_filter.as_mut_slice();
+        let dbs = d_bias.as_mut_slice();
+        for bn in 0..n {
+            for co in 0..c_out {
+                for oy in 0..h_out {
+                    for ox in 0..w_out {
+                        let g = dy[((bn * c_out + co) * h_out + oy) * w_out + ox];
+                        dbs[co] += g;
+                        for ci in 0..c_in {
+                            for ky in 0..kh {
+                                let iy = (oy * params.stride + ky) as isize - params.pad as isize;
+                                if iy < 0 || iy as usize >= h {
+                                    continue;
+                                }
+                                for kx in 0..kw {
+                                    let ix = (ox * params.stride + kx) as isize - params.pad as isize;
+                                    if ix < 0 || ix as usize >= w {
+                                        continue;
+                                    }
+                                    let xi = ((bn * c_in + ci) * h + iy as usize) * w + ix as usize;
+                                    let fi = ((co * c_in + ci) * kh + ky) * kw + kx;
+                                    dfs[fi] += g * x[xi];
+                                    dxs[xi] += g * f[fi];
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Ok(Conv2dGrads {
+        d_input,
+        d_filter,
+        d_bias,
+    })
+}
+
+/// Gradients of a fully-connected layer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FcGrads {
+    /// Gradient w.r.t. the (flattened) input.
+    pub d_input: Tensor,
+    /// Gradient w.r.t. the weights, `[out, in]`.
+    pub d_weights: Tensor,
+    /// Gradient w.r.t. the bias, `[out]`.
+    pub d_bias: Tensor,
+}
+
+/// Backward pass of [`fully_connected`](super::fully_connected).
+///
+/// # Errors
+///
+/// Returns [`TensorError`] on shape mismatches.
+pub fn fully_connected_backward(input: &Tensor, weights: &Tensor, d_out: &Tensor) -> Result<FcGrads> {
+    let wshape = weights.shape();
+    if wshape.rank() != 2 {
+        return Err(TensorError::shape("fully_connected_backward", "rank-2 weights", wshape.to_string()));
+    }
+    let (out_features, in_features) = (wshape.dim(0), wshape.dim(1));
+    if input.len() != in_features || d_out.len() != out_features {
+        return Err(TensorError::shape(
+            "fully_connected_backward",
+            format!("input {in_features}, d_out {out_features}"),
+            format!("input {}, d_out {}", input.len(), d_out.len()),
+        ));
+    }
+    let x = input.as_slice();
+    let w = weights.as_slice();
+    let dy = d_out.as_slice();
+    let mut d_input = Tensor::zeros(input.shape().clone());
+    let mut d_weights = Tensor::zeros(wshape.clone());
+    let mut d_bias = Tensor::zeros(Shape::vector(out_features));
+    {
+        let dxs = d_input.as_mut_slice();
+        let dws = d_weights.as_mut_slice();
+        let dbs = d_bias.as_mut_slice();
+        for o in 0..out_features {
+            let g = dy[o];
+            dbs[o] = g;
+            for i in 0..in_features {
+                dws[o * in_features + i] = g * x[i];
+                dxs[i] += g * w[o * in_features + i];
+            }
+        }
+    }
+    Ok(FcGrads {
+        d_input,
+        d_weights,
+        d_bias,
+    })
+}
+
+/// Backward pass of [`relu`](super::relu): `dX = dY where X > 0`.
+///
+/// # Errors
+///
+/// Returns [`TensorError`] if the shapes differ.
+pub fn relu_backward(input: &Tensor, d_out: &Tensor) -> Result<Tensor> {
+    if input.shape() != d_out.shape() {
+        return Err(TensorError::shape(
+            "relu_backward",
+            input.shape().to_string(),
+            d_out.shape().to_string(),
+        ));
+    }
+    Ok(Tensor::from_vec(
+        input.shape().clone(),
+        input
+            .as_slice()
+            .iter()
+            .zip(d_out.as_slice())
+            .map(|(&x, &g)| if x > 0.0 { g } else { 0.0 })
+            .collect(),
+    ))
+}
+
+/// Backward pass of [`max_pool2d`](super::max_pool2d): routes each window
+/// gradient to every input position equal to the window maximum.
+///
+/// # Errors
+///
+/// Returns [`TensorError`] if `d_out` does not match the forward output
+/// geometry.
+pub fn max_pool2d_backward(input: &Tensor, d_out: &Tensor, params: &Pool2dParams) -> Result<Tensor> {
+    let ishape = input.shape();
+    let oshape = d_out.shape();
+    if ishape.rank() != 4 || oshape.rank() != 4 {
+        return Err(TensorError::shape("max_pool2d_backward", "rank-4 operands", format!("{ishape}, {oshape}")));
+    }
+    let (n, c, h, w) = (ishape.dim(0), ishape.dim(1), ishape.dim(2), ishape.dim(3));
+    let (h_out, w_out) = (oshape.dim(2), oshape.dim(3));
+    if params.out_extent(h) != Some(h_out) || params.out_extent(w) != Some(w_out) || oshape.dim(1) != c {
+        return Err(TensorError::param("max_pool2d_backward", "d_out does not match forward geometry"));
+    }
+    let x = input.as_slice();
+    let dy = d_out.as_slice();
+    let mut d_input = Tensor::zeros(ishape.clone());
+    let dxs = d_input.as_mut_slice();
+    for bn in 0..n {
+        for ch in 0..c {
+            for oy in 0..h_out {
+                for ox in 0..w_out {
+                    // Recompute the window maximum, then distribute.
+                    let mut m = f32::NEG_INFINITY;
+                    for ky in 0..params.window {
+                        let iy = oy * params.stride + ky;
+                        if iy >= h {
+                            continue;
+                        }
+                        for kx in 0..params.window {
+                            let ix = ox * params.stride + kx;
+                            if ix >= w {
+                                continue;
+                            }
+                            m = m.max(x[((bn * c + ch) * h + iy) * w + ix]);
+                        }
+                    }
+                    let g = dy[((bn * c + ch) * h_out + oy) * w_out + ox];
+                    for ky in 0..params.window {
+                        let iy = oy * params.stride + ky;
+                        if iy >= h {
+                            continue;
+                        }
+                        for kx in 0..params.window {
+                            let ix = ox * params.stride + kx;
+                            if ix >= w {
+                                continue;
+                            }
+                            let xi = ((bn * c + ch) * h + iy) * w + ix;
+                            if x[xi] == m {
+                                dxs[xi] += g;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Ok(d_input)
+}
+
+/// Combined softmax + cross-entropy loss gradient: given class scores and
+/// the true label, returns `(loss, d_scores)` with
+/// `d_scores = softmax(scores) - onehot(label)`.
+///
+/// # Errors
+///
+/// Returns [`TensorError`] if `scores` is not a vector or `label` is out
+/// of range.
+pub fn softmax_cross_entropy(scores: &Tensor, label: usize) -> Result<(f32, Tensor)> {
+    if scores.shape().rank() != 1 {
+        return Err(TensorError::shape("softmax_cross_entropy", "rank-1 scores", scores.shape().to_string()));
+    }
+    if label >= scores.len() {
+        return Err(TensorError::param(
+            "softmax_cross_entropy",
+            format!("label {label} out of range for {} classes", scores.len()),
+        ));
+    }
+    let probs = super::softmax(scores)?;
+    let p = probs.get(&[label]).max(1e-12);
+    let loss = -p.ln();
+    let mut grad = probs;
+    let g = grad.get(&[label]) - 1.0;
+    grad.set(&[label], g);
+    Ok((loss, grad))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::{conv2d, fully_connected, max_pool2d, relu};
+    use crate::SplitMix64;
+
+    /// Central-difference numerical gradient of a scalar loss.
+    fn numeric_grad(mut f: impl FnMut(&Tensor) -> f32, at: &Tensor, eps: f32) -> Tensor {
+        let mut grad = Tensor::zeros(at.shape().clone());
+        for i in 0..at.len() {
+            let mut plus = at.clone();
+            plus.as_mut_slice()[i] += eps;
+            let mut minus = at.clone();
+            minus.as_mut_slice()[i] -= eps;
+            grad.as_mut_slice()[i] = (f(&plus) - f(&minus)) / (2.0 * eps);
+        }
+        grad
+    }
+
+    /// Loss = weighted sum of outputs (so d_out is the weight pattern).
+    fn weighted_sum(t: &Tensor, weights: &Tensor) -> f32 {
+        t.as_slice().iter().zip(weights.as_slice()).map(|(a, b)| a * b).sum()
+    }
+
+    #[test]
+    fn conv_backward_matches_numeric_gradients() {
+        let mut rng = SplitMix64::new(800);
+        let input = Tensor::uniform(Shape::nchw(1, 2, 5, 5), -1.0, 1.0, &mut rng);
+        let filter = Tensor::uniform(Shape::new(&[3, 2, 3, 3]), -0.5, 0.5, &mut rng);
+        let bias = Tensor::uniform(Shape::vector(3), -0.1, 0.1, &mut rng);
+        let p = Conv2dParams::new(1, 1);
+        let out = conv2d(&input, &filter, &bias, &p).unwrap();
+        let d_out = Tensor::uniform(out.shape().clone(), -1.0, 1.0, &mut rng);
+
+        let grads = conv2d_backward(&input, &filter, &d_out, &p).unwrap();
+
+        let num_df = numeric_grad(
+            |f| weighted_sum(&conv2d(&input, f, &bias, &p).unwrap(), &d_out),
+            &filter,
+            1e-2,
+        );
+        assert!(
+            grads.d_filter.approx_eq(&num_df, 2e-2),
+            "filter grad off by {}",
+            grads.d_filter.max_abs_diff(&num_df)
+        );
+
+        let num_dx = numeric_grad(
+            |x| weighted_sum(&conv2d(x, &filter, &bias, &p).unwrap(), &d_out),
+            &input,
+            1e-2,
+        );
+        assert!(
+            grads.d_input.approx_eq(&num_dx, 2e-2),
+            "input grad off by {}",
+            grads.d_input.max_abs_diff(&num_dx)
+        );
+
+        let num_db = numeric_grad(
+            |b| weighted_sum(&conv2d(&input, &filter, b, &p).unwrap(), &d_out),
+            &bias,
+            1e-2,
+        );
+        assert!(grads.d_bias.approx_eq(&num_db, 2e-2));
+    }
+
+    #[test]
+    fn fc_backward_matches_numeric_gradients() {
+        let mut rng = SplitMix64::new(801);
+        let input = Tensor::uniform(Shape::vector(6), -1.0, 1.0, &mut rng);
+        let weights = Tensor::uniform(Shape::matrix(4, 6), -0.5, 0.5, &mut rng);
+        let bias = Tensor::uniform(Shape::vector(4), -0.1, 0.1, &mut rng);
+        let d_out = Tensor::uniform(Shape::vector(4), -1.0, 1.0, &mut rng);
+
+        let grads = fully_connected_backward(&input, &weights, &d_out).unwrap();
+        let num_dw = numeric_grad(
+            |w| weighted_sum(&fully_connected(&input, w, &bias).unwrap(), &d_out),
+            &weights,
+            1e-2,
+        );
+        assert!(grads.d_weights.approx_eq(&num_dw, 2e-2));
+        let num_dx = numeric_grad(
+            |x| weighted_sum(&fully_connected(x, &weights, &bias).unwrap(), &d_out),
+            &input,
+            1e-2,
+        );
+        assert!(grads.d_input.approx_eq(&num_dx, 2e-2));
+    }
+
+    #[test]
+    fn relu_backward_masks_negatives() {
+        let input = Tensor::from_vec(Shape::vector(4), vec![-1.0, 0.0, 0.5, 2.0]);
+        let d_out = Tensor::filled(Shape::vector(4), 3.0);
+        let dx = relu_backward(&input, &d_out).unwrap();
+        assert_eq!(dx.as_slice(), &[0.0, 0.0, 3.0, 3.0]);
+    }
+
+    #[test]
+    fn max_pool_backward_routes_to_maxima() {
+        let input = Tensor::from_vec(
+            Shape::nchw(1, 1, 2, 2),
+            vec![1.0, 4.0, 2.0, 3.0],
+        );
+        let p = Pool2dParams::new(2, 2);
+        let fwd = max_pool2d(&input, &p).unwrap();
+        assert_eq!(fwd.as_slice(), &[4.0]);
+        let d_out = Tensor::filled(fwd.shape().clone(), 1.0);
+        let dx = max_pool2d_backward(&input, &d_out, &p).unwrap();
+        assert_eq!(dx.as_slice(), &[0.0, 1.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn max_pool_backward_matches_numeric_for_distinct_values() {
+        let mut rng = SplitMix64::new(802);
+        let input = Tensor::uniform(Shape::nchw(1, 2, 5, 5), -1.0, 1.0, &mut rng);
+        let p = Pool2dParams::new(3, 2);
+        let out = max_pool2d(&input, &p).unwrap();
+        let d_out = Tensor::uniform(out.shape().clone(), -1.0, 1.0, &mut rng);
+        let dx = max_pool2d_backward(&input, &d_out, &p).unwrap();
+        let num = numeric_grad(
+            |x| weighted_sum(&max_pool2d(x, &p).unwrap(), &d_out),
+            &input,
+            1e-3,
+        );
+        assert!(dx.approx_eq(&num, 5e-2), "off by {}", dx.max_abs_diff(&num));
+    }
+
+    #[test]
+    fn softmax_cross_entropy_gradient_matches_numeric() {
+        let mut rng = SplitMix64::new(803);
+        let scores = Tensor::uniform(Shape::vector(5), -2.0, 2.0, &mut rng);
+        let (loss, grad) = softmax_cross_entropy(&scores, 2).unwrap();
+        assert!(loss > 0.0);
+        let num = numeric_grad(
+            |s| softmax_cross_entropy(s, 2).unwrap().0,
+            &scores,
+            1e-3,
+        );
+        assert!(grad.approx_eq(&num, 1e-2), "off by {}", grad.max_abs_diff(&num));
+        // Gradient sums to zero (softmax property).
+        let sum: f32 = grad.as_slice().iter().sum();
+        assert!(sum.abs() < 1e-5);
+    }
+
+    #[test]
+    fn label_out_of_range_is_rejected() {
+        let scores = Tensor::zeros(Shape::vector(3));
+        assert!(softmax_cross_entropy(&scores, 3).is_err());
+    }
+}

@@ -1,0 +1,347 @@
+use crate::{Result, Shape, Tensor, TensorError};
+
+/// Spatial parameters of a 2-D convolution.
+///
+/// # Example
+///
+/// ```
+/// use tango_tensor::ops::Conv2dParams;
+///
+/// let p = Conv2dParams::new(4, 2); // AlexNet conv1: stride 4, no padding
+/// assert_eq!(p.stride, 4);
+/// assert_eq!(p.pad, 2);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Conv2dParams {
+    /// Step between filter applications, identical in both dimensions.
+    pub stride: usize,
+    /// Zero padding added on every spatial edge.
+    pub pad: usize,
+}
+
+impl Conv2dParams {
+    /// Creates parameters with the given stride and padding.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stride == 0`.
+    pub fn new(stride: usize, pad: usize) -> Self {
+        assert!(stride > 0, "conv2d stride must be positive");
+        Conv2dParams { stride, pad }
+    }
+
+    /// Stride 1, no padding — the parameters of a plain "valid" convolution.
+    pub fn unit() -> Self {
+        Conv2dParams { stride: 1, pad: 0 }
+    }
+
+    /// Output spatial extent for an input extent and filter extent.
+    pub fn out_extent(&self, input: usize, filter: usize) -> Option<usize> {
+        let padded = input + 2 * self.pad;
+        if padded < filter {
+            None
+        } else {
+            Some((padded - filter) / self.stride + 1)
+        }
+    }
+}
+
+impl Default for Conv2dParams {
+    fn default() -> Self {
+        Conv2dParams::unit()
+    }
+}
+
+/// 2-D convolution in NCHW layout.
+///
+/// * `input` — `[n, c_in, h, w]`
+/// * `filter` — `[c_out, c_in, kh, kw]`
+/// * `bias` — `[c_out]`
+///
+/// Returns `[n, c_out, h_out, w_out]`. This mirrors the paper's kernels:
+/// one output neuron per (n, c_out, y, x) position, computing
+/// `sum_i w_i * x_i + b`.
+///
+/// # Errors
+///
+/// Returns [`TensorError`] if the operand ranks or channel counts disagree,
+/// or if the filter does not fit in the padded input.
+pub fn conv2d(input: &Tensor, filter: &Tensor, bias: &Tensor, params: &Conv2dParams) -> Result<Tensor> {
+    let ishape = input.shape();
+    let fshape = filter.shape();
+    if ishape.rank() != 4 || fshape.rank() != 4 {
+        return Err(TensorError::shape(
+            "conv2d",
+            "rank-4 input and filter",
+            format!("input {ishape}, filter {fshape}"),
+        ));
+    }
+    let (n, c_in, h, w) = (ishape.dim(0), ishape.dim(1), ishape.dim(2), ishape.dim(3));
+    let (c_out, fc_in, kh, kw) = (fshape.dim(0), fshape.dim(1), fshape.dim(2), fshape.dim(3));
+    if fc_in != c_in {
+        return Err(TensorError::shape(
+            "conv2d",
+            format!("filter input channels = {c_in}"),
+            format!("{fc_in}"),
+        ));
+    }
+    if bias.shape().rank() != 1 || bias.shape().dim(0) != c_out {
+        return Err(TensorError::shape(
+            "conv2d",
+            format!("bias of [{c_out}]"),
+            bias.shape().to_string(),
+        ));
+    }
+    let h_out = params.out_extent(h, kh).ok_or_else(|| {
+        TensorError::param("conv2d", format!("filter height {kh} exceeds padded input height"))
+    })?;
+    let w_out = params.out_extent(w, kw).ok_or_else(|| {
+        TensorError::param("conv2d", format!("filter width {kw} exceeds padded input width"))
+    })?;
+
+    let mut out = Tensor::zeros(Shape::nchw(n, c_out, h_out, w_out));
+    let x = input.as_slice();
+    let f = filter.as_slice();
+    let b = bias.as_slice();
+    let o = out.as_mut_slice();
+
+    for bn in 0..n {
+        for co in 0..c_out {
+            for oy in 0..h_out {
+                for ox in 0..w_out {
+                    let mut acc = b[co];
+                    for ci in 0..c_in {
+                        for ky in 0..kh {
+                            let iy = (oy * params.stride + ky) as isize - params.pad as isize;
+                            if iy < 0 || iy as usize >= h {
+                                continue;
+                            }
+                            for kx in 0..kw {
+                                let ix = (ox * params.stride + kx) as isize - params.pad as isize;
+                                if ix < 0 || ix as usize >= w {
+                                    continue;
+                                }
+                                let xi = ((bn * c_in + ci) * h + iy as usize) * w + ix as usize;
+                                let fi = ((co * c_in + ci) * kh + ky) * kw + kx;
+                                acc += x[xi] * f[fi];
+                            }
+                        }
+                    }
+                    o[((bn * c_out + co) * h_out + oy) * w_out + ox] = acc;
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Depthwise 2-D convolution in NCHW layout (MobileNet's spatial filter):
+/// each channel is convolved with its own single-channel filter.
+///
+/// * `input` — `[n, c, h, w]`
+/// * `filter` — `[c, 1, kh, kw]`
+/// * `bias` — `[c]`
+///
+/// # Errors
+///
+/// Returns [`TensorError`] if the operand ranks or channel counts
+/// disagree, or if the filter does not fit in the padded input.
+pub fn depthwise_conv2d(
+    input: &Tensor,
+    filter: &Tensor,
+    bias: &Tensor,
+    params: &Conv2dParams,
+) -> Result<Tensor> {
+    let ishape = input.shape();
+    let fshape = filter.shape();
+    if ishape.rank() != 4 || fshape.rank() != 4 {
+        return Err(TensorError::shape(
+            "depthwise_conv2d",
+            "rank-4 input and filter",
+            format!("input {ishape}, filter {fshape}"),
+        ));
+    }
+    let (n, c, h, w) = (ishape.dim(0), ishape.dim(1), ishape.dim(2), ishape.dim(3));
+    if fshape.dim(0) != c || fshape.dim(1) != 1 {
+        return Err(TensorError::shape(
+            "depthwise_conv2d",
+            format!("filter of [{c}, 1, kh, kw]"),
+            fshape.to_string(),
+        ));
+    }
+    if bias.len() != c {
+        return Err(TensorError::shape(
+            "depthwise_conv2d",
+            format!("bias of [{c}]"),
+            bias.shape().to_string(),
+        ));
+    }
+    let (kh, kw) = (fshape.dim(2), fshape.dim(3));
+    let h_out = params
+        .out_extent(h, kh)
+        .ok_or_else(|| TensorError::param("depthwise_conv2d", "filter taller than padded input"))?;
+    let w_out = params
+        .out_extent(w, kw)
+        .ok_or_else(|| TensorError::param("depthwise_conv2d", "filter wider than padded input"))?;
+
+    let mut out = Tensor::zeros(Shape::nchw(n, c, h_out, w_out));
+    let x = input.as_slice();
+    let f = filter.as_slice();
+    let b = bias.as_slice();
+    let o = out.as_mut_slice();
+    for bn in 0..n {
+        for ch in 0..c {
+            for oy in 0..h_out {
+                for ox in 0..w_out {
+                    let mut acc = b[ch];
+                    for ky in 0..kh {
+                        let iy = (oy * params.stride + ky) as isize - params.pad as isize;
+                        if iy < 0 || iy as usize >= h {
+                            continue;
+                        }
+                        for kx in 0..kw {
+                            let ix = (ox * params.stride + kx) as isize - params.pad as isize;
+                            if ix < 0 || ix as usize >= w {
+                                continue;
+                            }
+                            let xi = ((bn * c + ch) * h + iy as usize) * w + ix as usize;
+                            let fi = (ch * kh + ky) * kw + kx;
+                            acc += x[xi] * f[fi];
+                        }
+                    }
+                    o[((bn * c + ch) * h_out + oy) * w_out + ox] = acc;
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t4(n: usize, c: usize, h: usize, w: usize, f: impl FnMut(usize) -> f32) -> Tensor {
+        Tensor::from_fn(Shape::nchw(n, c, h, w), f)
+    }
+
+    #[test]
+    fn identity_filter_passes_through_center() {
+        let input = t4(1, 1, 3, 3, |i| i as f32);
+        let mut filter = Tensor::zeros(Shape::nchw(1, 1, 3, 3));
+        filter.set(&[0, 0, 1, 1], 1.0);
+        let bias = Tensor::zeros(Shape::vector(1));
+        let out = conv2d(&input, &filter, &bias, &Conv2dParams::unit()).unwrap();
+        assert_eq!(out.shape().dims(), &[1, 1, 1, 1]);
+        assert_eq!(out.get(&[0, 0, 0, 0]), 4.0);
+    }
+
+    #[test]
+    fn box_filter_sums_window() {
+        let input = t4(1, 1, 4, 4, |_| 1.0);
+        let filter = Tensor::filled(Shape::nchw(1, 1, 2, 2), 1.0);
+        let bias = Tensor::zeros(Shape::vector(1));
+        let out = conv2d(&input, &filter, &bias, &Conv2dParams::unit()).unwrap();
+        assert_eq!(out.shape().dims(), &[1, 1, 3, 3]);
+        assert!(out.as_slice().iter().all(|&v| v == 4.0));
+    }
+
+    #[test]
+    fn stride_reduces_output() {
+        let input = t4(1, 1, 5, 5, |i| i as f32);
+        let filter = Tensor::filled(Shape::nchw(1, 1, 1, 1), 1.0);
+        let bias = Tensor::zeros(Shape::vector(1));
+        let out = conv2d(&input, &filter, &bias, &Conv2dParams::new(2, 0)).unwrap();
+        assert_eq!(out.shape().dims(), &[1, 1, 3, 3]);
+        assert_eq!(out.get(&[0, 0, 1, 1]), 12.0); // input[2][2]
+    }
+
+    #[test]
+    fn padding_extends_with_zeros() {
+        let input = t4(1, 1, 2, 2, |_| 1.0);
+        let filter = Tensor::filled(Shape::nchw(1, 1, 3, 3), 1.0);
+        let bias = Tensor::zeros(Shape::vector(1));
+        let out = conv2d(&input, &filter, &bias, &Conv2dParams::new(1, 1)).unwrap();
+        assert_eq!(out.shape().dims(), &[1, 1, 2, 2]);
+        // Every output sees the full 2x2 ones block.
+        assert!(out.as_slice().iter().all(|&v| v == 4.0));
+    }
+
+    #[test]
+    fn multi_channel_accumulates_across_inputs() {
+        let input = t4(1, 2, 2, 2, |_| 2.0);
+        let filter = Tensor::filled(Shape::nchw(3, 2, 2, 2), 0.5);
+        let bias = Tensor::from_vec(Shape::vector(3), vec![0.0, 1.0, 2.0]);
+        let out = conv2d(&input, &filter, &bias, &Conv2dParams::unit()).unwrap();
+        assert_eq!(out.shape().dims(), &[1, 3, 1, 1]);
+        // 2 channels * 4 taps * (2.0 * 0.5) = 8, plus bias.
+        assert_eq!(out.get(&[0, 0, 0, 0]), 8.0);
+        assert_eq!(out.get(&[0, 1, 0, 0]), 9.0);
+        assert_eq!(out.get(&[0, 2, 0, 0]), 10.0);
+    }
+
+    #[test]
+    fn bias_shape_is_validated() {
+        let input = t4(1, 1, 3, 3, |_| 0.0);
+        let filter = Tensor::zeros(Shape::nchw(2, 1, 2, 2));
+        let bias = Tensor::zeros(Shape::vector(3));
+        let err = conv2d(&input, &filter, &bias, &Conv2dParams::unit()).unwrap_err();
+        assert!(err.to_string().contains("bias"));
+    }
+
+    #[test]
+    fn channel_mismatch_is_an_error() {
+        let input = t4(1, 2, 3, 3, |_| 0.0);
+        let filter = Tensor::zeros(Shape::nchw(1, 3, 2, 2));
+        let bias = Tensor::zeros(Shape::vector(1));
+        assert!(conv2d(&input, &filter, &bias, &Conv2dParams::unit()).is_err());
+    }
+
+    #[test]
+    fn oversized_filter_is_an_error() {
+        let input = t4(1, 1, 2, 2, |_| 0.0);
+        let filter = Tensor::zeros(Shape::nchw(1, 1, 5, 5));
+        let bias = Tensor::zeros(Shape::vector(1));
+        assert!(conv2d(&input, &filter, &bias, &Conv2dParams::unit()).is_err());
+    }
+
+    #[test]
+    fn depthwise_matches_per_channel_conv() {
+        // Depthwise conv on c channels equals c independent 1-channel convs.
+        use crate::SplitMix64;
+        let mut rng = SplitMix64::new(500);
+        let input = Tensor::uniform(Shape::nchw(1, 3, 6, 6), -1.0, 1.0, &mut rng);
+        let filter = Tensor::uniform(Shape::new(&[3, 1, 3, 3]), -0.5, 0.5, &mut rng);
+        let bias = Tensor::uniform(Shape::vector(3), -0.1, 0.1, &mut rng);
+        let p = Conv2dParams::new(1, 1);
+        let out = depthwise_conv2d(&input, &filter, &bias, &p).unwrap();
+        for ch in 0..3usize {
+            let ich = Tensor::from_fn(Shape::nchw(1, 1, 6, 6), |i| {
+                input.get(&[0, ch, i / 6, i % 6])
+            });
+            let fch = Tensor::from_fn(Shape::new(&[1, 1, 3, 3]), |i| filter.get(&[ch, 0, i / 3, i % 3]));
+            let bch = Tensor::from_vec(Shape::vector(1), vec![bias.get(&[ch])]);
+            let expect = conv2d(&ich, &fch, &bch, &p).unwrap();
+            for y in 0..6 {
+                for x in 0..6 {
+                    assert!((out.get(&[0, ch, y, x]) - expect.get(&[0, 0, y, x])).abs() < 1e-5);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn depthwise_validates_filter_shape() {
+        let input = Tensor::zeros(Shape::nchw(1, 3, 4, 4));
+        let filter = Tensor::zeros(Shape::new(&[3, 2, 3, 3]));
+        let bias = Tensor::zeros(Shape::vector(3));
+        assert!(depthwise_conv2d(&input, &filter, &bias, &Conv2dParams::unit()).is_err());
+    }
+
+    #[test]
+    fn alexnet_conv1_geometry() {
+        // 227x227 input, 11x11 filter, stride 4, no pad -> 55x55.
+        let p = Conv2dParams::new(4, 0);
+        assert_eq!(p.out_extent(227, 11), Some(55));
+    }
+}

@@ -1,0 +1,109 @@
+use crate::{Result, Shape, Tensor, TensorError};
+
+/// Fully-connected (inner-product) layer: `y = W x + b`.
+///
+/// * `input` — any shape; flattened to a vector of `in_features` elements
+/// * `weights` — `[out_features, in_features]`
+/// * `bias` — `[out_features]`
+///
+/// Returns `[out_features]`. The paper's FC kernels assign one thread per
+/// output neuron, each walking the whole input vector; this is the oracle
+/// for those kernels.
+///
+/// # Errors
+///
+/// Returns [`TensorError`] if `weights` is not a matrix whose column count
+/// equals the flattened input length, or if the bias length disagrees.
+pub fn fully_connected(input: &Tensor, weights: &Tensor, bias: &Tensor) -> Result<Tensor> {
+    let wshape = weights.shape();
+    if wshape.rank() != 2 {
+        return Err(TensorError::shape("fully_connected", "rank-2 weights", wshape.to_string()));
+    }
+    let (out_features, in_features) = (wshape.dim(0), wshape.dim(1));
+    if input.len() != in_features {
+        return Err(TensorError::shape(
+            "fully_connected",
+            format!("input of {in_features} elements"),
+            format!("{} elements", input.len()),
+        ));
+    }
+    if bias.shape().rank() != 1 || bias.len() != out_features {
+        return Err(TensorError::shape(
+            "fully_connected",
+            format!("bias of [{out_features}]"),
+            bias.shape().to_string(),
+        ));
+    }
+
+    let x = input.as_slice();
+    let w = weights.as_slice();
+    let b = bias.as_slice();
+    let mut out = Tensor::zeros(Shape::vector(out_features));
+    let o = out.as_mut_slice();
+    for (row, out_v) in o.iter_mut().enumerate() {
+        let mut acc = b[row];
+        let wrow = &w[row * in_features..(row + 1) * in_features];
+        for (wi, xi) in wrow.iter().zip(x) {
+            acc += wi * xi;
+        }
+        *out_v = acc;
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_weights_copy_input() {
+        let input = Tensor::from_vec(Shape::vector(3), vec![1.0, 2.0, 3.0]);
+        let weights = Tensor::from_fn(Shape::matrix(3, 3), |i| if i % 4 == 0 { 1.0 } else { 0.0 });
+        let bias = Tensor::zeros(Shape::vector(3));
+        let out = fully_connected(&input, &weights, &bias).unwrap();
+        assert_eq!(out.as_slice(), input.as_slice());
+    }
+
+    #[test]
+    fn bias_offsets_output() {
+        let input = Tensor::zeros(Shape::vector(2));
+        let weights = Tensor::zeros(Shape::matrix(2, 2));
+        let bias = Tensor::from_vec(Shape::vector(2), vec![0.5, -0.5]);
+        let out = fully_connected(&input, &weights, &bias).unwrap();
+        assert_eq!(out.as_slice(), &[0.5, -0.5]);
+    }
+
+    #[test]
+    fn computes_dot_products_per_row() {
+        let input = Tensor::from_vec(Shape::vector(2), vec![2.0, 3.0]);
+        let weights = Tensor::from_vec(Shape::matrix(2, 2), vec![1.0, 1.0, 1.0, -1.0]);
+        let bias = Tensor::zeros(Shape::vector(2));
+        let out = fully_connected(&input, &weights, &bias).unwrap();
+        assert_eq!(out.as_slice(), &[5.0, -1.0]);
+    }
+
+    #[test]
+    fn input_is_flattened_from_any_rank() {
+        let input = Tensor::from_fn(Shape::nchw(1, 1, 2, 2), |i| i as f32);
+        let weights = Tensor::filled(Shape::matrix(1, 4), 1.0);
+        let bias = Tensor::zeros(Shape::vector(1));
+        let out = fully_connected(&input, &weights, &bias).unwrap();
+        assert_eq!(out.as_slice(), &[6.0]);
+    }
+
+    #[test]
+    fn mismatched_input_is_an_error() {
+        let input = Tensor::zeros(Shape::vector(3));
+        let weights = Tensor::zeros(Shape::matrix(2, 4));
+        let bias = Tensor::zeros(Shape::vector(2));
+        assert!(fully_connected(&input, &weights, &bias).is_err());
+    }
+
+    #[test]
+    fn mismatched_bias_is_an_error() {
+        let input = Tensor::zeros(Shape::vector(4));
+        let weights = Tensor::zeros(Shape::matrix(2, 4));
+        let bias = Tensor::zeros(Shape::vector(3));
+        assert!(fully_connected(&input, &weights, &bias).is_err());
+    }
+}

@@ -1,0 +1,25 @@
+//! Reference CPU implementations of every layer operator used by the suite.
+//!
+//! These are written for clarity, not speed: they are the oracle against
+//! which the simulated GPU kernels are validated. Each operator validates
+//! its operand shapes and returns a [`TensorError`](crate::TensorError) on
+//! mismatch.
+
+mod activation;
+mod backward;
+mod conv;
+mod fc;
+mod norm;
+mod pool;
+mod rnn;
+
+pub use activation::{relu, sigmoid, softmax, tanh};
+pub use backward::{
+    conv2d_backward, fully_connected_backward, max_pool2d_backward, relu_backward,
+    softmax_cross_entropy, Conv2dGrads, FcGrads,
+};
+pub use conv::{conv2d, depthwise_conv2d, Conv2dParams};
+pub use fc::fully_connected;
+pub use norm::{batch_norm, eltwise_add, lrn, scale, LrnParams};
+pub use pool::{avg_pool2d, global_avg_pool, max_pool2d, Pool2dParams};
+pub use rnn::{gru_cell, gru_sequence, lstm_cell, lstm_sequence, GruWeights, LstmState, LstmWeights};

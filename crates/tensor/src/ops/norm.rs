@@ -1,0 +1,247 @@
+use crate::{Result, Tensor, TensorError};
+
+/// Parameters of AlexNet-style local response normalization across channels.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LrnParams {
+    /// Number of adjacent channels in the normalization window.
+    pub local_size: usize,
+    /// Scaling coefficient.
+    pub alpha: f32,
+    /// Exponent.
+    pub beta: f32,
+    /// Bias inside the power term.
+    pub k: f32,
+}
+
+impl LrnParams {
+    /// AlexNet's published constants: n=5, alpha=1e-4, beta=0.75, k=2.
+    pub fn alexnet() -> Self {
+        LrnParams {
+            local_size: 5,
+            alpha: 1e-4,
+            beta: 0.75,
+            k: 2.0,
+        }
+    }
+}
+
+impl Default for LrnParams {
+    fn default() -> Self {
+        LrnParams::alexnet()
+    }
+}
+
+fn check_rank4(op: &'static str, input: &Tensor) -> Result<(usize, usize, usize, usize)> {
+    let s = input.shape();
+    if s.rank() != 4 {
+        return Err(TensorError::shape(op, "rank-4 input", s.to_string()));
+    }
+    Ok((s.dim(0), s.dim(1), s.dim(2), s.dim(3)))
+}
+
+/// Local response normalization across channels (AlexNet "Norm" layers):
+///
+/// `y[c] = x[c] / (k + alpha/n * sum_{c' in window} x[c']^2)^beta`
+///
+/// # Errors
+///
+/// Returns [`TensorError`] for non-rank-4 input or a zero window.
+pub fn lrn(input: &Tensor, params: &LrnParams) -> Result<Tensor> {
+    if params.local_size == 0 {
+        return Err(TensorError::param("lrn", "local_size must be positive"));
+    }
+    let (n, c, h, w) = check_rank4("lrn", input)?;
+    let x = input.as_slice();
+    let mut out = Tensor::zeros(input.shape().clone());
+    let o = out.as_mut_slice();
+    let half = params.local_size / 2;
+
+    for bn in 0..n {
+        for ch in 0..c {
+            let lo = ch.saturating_sub(half);
+            let hi = (ch + half).min(c - 1);
+            for y in 0..h {
+                for xw in 0..w {
+                    let mut sq = 0.0;
+                    for cc in lo..=hi {
+                        let v = x[((bn * c + cc) * h + y) * w + xw];
+                        sq += v * v;
+                    }
+                    let denom = (params.k + params.alpha / params.local_size as f32 * sq).powf(params.beta);
+                    let idx = ((bn * c + ch) * h + y) * w + xw;
+                    o[idx] = x[idx] / denom;
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Inference-time batch normalization with per-channel statistics:
+/// `y = (x - mean[c]) / sqrt(var[c] + eps)`.
+///
+/// ResNet applies this after nearly every convolution.
+///
+/// # Errors
+///
+/// Returns [`TensorError`] if the input is not rank 4 or the statistics do
+/// not have one value per channel.
+pub fn batch_norm(input: &Tensor, mean: &Tensor, var: &Tensor, eps: f32) -> Result<Tensor> {
+    let (n, c, h, w) = check_rank4("batch_norm", input)?;
+    if mean.len() != c || var.len() != c {
+        return Err(TensorError::shape(
+            "batch_norm",
+            format!("per-channel stats of [{c}]"),
+            format!("mean {}, var {}", mean.shape(), var.shape()),
+        ));
+    }
+    let x = input.as_slice();
+    let m = mean.as_slice();
+    let v = var.as_slice();
+    let mut out = Tensor::zeros(input.shape().clone());
+    let o = out.as_mut_slice();
+    for bn in 0..n {
+        for ch in 0..c {
+            let inv = 1.0 / (v[ch] + eps).sqrt();
+            for i in 0..h * w {
+                let idx = ((bn * c + ch) * h * w) + i;
+                o[idx] = (x[idx] - m[ch]) * inv;
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Per-channel affine scaling: `y = gamma[c] * x + beta[c]` (the Caffe
+/// "Scale" layer that follows BatchNorm in ResNet).
+///
+/// # Errors
+///
+/// Returns [`TensorError`] if the input is not rank 4 or the coefficients do
+/// not have one value per channel.
+pub fn scale(input: &Tensor, gamma: &Tensor, beta: &Tensor) -> Result<Tensor> {
+    let (n, c, h, w) = check_rank4("scale", input)?;
+    if gamma.len() != c || beta.len() != c {
+        return Err(TensorError::shape(
+            "scale",
+            format!("per-channel coefficients of [{c}]"),
+            format!("gamma {}, beta {}", gamma.shape(), beta.shape()),
+        ));
+    }
+    let x = input.as_slice();
+    let g = gamma.as_slice();
+    let b = beta.as_slice();
+    let mut out = Tensor::zeros(input.shape().clone());
+    let o = out.as_mut_slice();
+    for bn in 0..n {
+        for ch in 0..c {
+            for i in 0..h * w {
+                let idx = ((bn * c + ch) * h * w) + i;
+                o[idx] = g[ch] * x[idx] + b[ch];
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Elementwise addition of two tensors of identical shape — ResNet's
+/// shortcut ("Eltwise") layer.
+///
+/// # Errors
+///
+/// Returns [`TensorError`] if the shapes differ.
+pub fn eltwise_add(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    if a.shape() != b.shape() {
+        return Err(TensorError::shape(
+            "eltwise_add",
+            a.shape().to_string(),
+            b.shape().to_string(),
+        ));
+    }
+    Ok(Tensor::from_vec(
+        a.shape().clone(),
+        a.as_slice().iter().zip(b.as_slice()).map(|(x, y)| x + y).collect(),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Shape;
+
+    #[test]
+    fn lrn_leaves_zero_input_zero() {
+        let input = Tensor::zeros(Shape::nchw(1, 4, 2, 2));
+        let out = lrn(&input, &LrnParams::alexnet()).unwrap();
+        assert!(out.as_slice().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn lrn_damps_large_activations() {
+        let mut input = Tensor::zeros(Shape::nchw(1, 5, 1, 1));
+        for ch in 0..5 {
+            input.set(&[0, ch, 0, 0], 100.0);
+        }
+        let out = lrn(&input, &LrnParams::alexnet()).unwrap();
+        // With all channels hot, normalization must reduce magnitude.
+        assert!(out.get(&[0, 2, 0, 0]) < 100.0);
+        assert!(out.get(&[0, 2, 0, 0]) > 0.0);
+    }
+
+    #[test]
+    fn lrn_window_is_channelwise() {
+        let mut input = Tensor::zeros(Shape::nchw(1, 11, 1, 1));
+        input.set(&[0, 0, 0, 0], 1.0);
+        input.set(&[0, 10, 0, 0], 1.0);
+        let out = lrn(&input, &LrnParams::alexnet()).unwrap();
+        // Channel 0 and 10 are far apart; each normalizes independently.
+        assert!((out.get(&[0, 0, 0, 0]) - out.get(&[0, 10, 0, 0])).abs() < 1e-7);
+    }
+
+    #[test]
+    fn batch_norm_standardizes() {
+        let input = Tensor::from_vec(
+            Shape::nchw(1, 1, 1, 4),
+            vec![2.0, 4.0, 6.0, 8.0],
+        );
+        let mean = Tensor::from_vec(Shape::vector(1), vec![5.0]);
+        let var = Tensor::from_vec(Shape::vector(1), vec![5.0]);
+        let out = batch_norm(&input, &mean, &var, 0.0).unwrap();
+        let expect = [-3.0, -1.0, 1.0, 3.0].map(|v: f32| v / 5.0f32.sqrt());
+        for (o, e) in out.as_slice().iter().zip(expect) {
+            assert!((o - e).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn scale_applies_per_channel() {
+        let input = Tensor::filled(Shape::nchw(1, 2, 1, 2), 1.0);
+        let gamma = Tensor::from_vec(Shape::vector(2), vec![2.0, 3.0]);
+        let beta = Tensor::from_vec(Shape::vector(2), vec![0.0, 1.0]);
+        let out = scale(&input, &gamma, &beta).unwrap();
+        assert_eq!(out.as_slice(), &[2.0, 2.0, 4.0, 4.0]);
+    }
+
+    #[test]
+    fn eltwise_add_adds() {
+        let a = Tensor::filled(Shape::vector(3).into(), 1.0);
+        let b = Tensor::from_vec(Shape::vector(3), vec![1.0, 2.0, 3.0]);
+        let out = eltwise_add(&a, &b).unwrap();
+        assert_eq!(out.as_slice(), &[2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn eltwise_add_validates_shape() {
+        let a = Tensor::zeros(Shape::vector(3));
+        let b = Tensor::zeros(Shape::vector(4));
+        assert!(eltwise_add(&a, &b).is_err());
+    }
+
+    #[test]
+    fn batch_norm_validates_stats() {
+        let input = Tensor::zeros(Shape::nchw(1, 3, 2, 2));
+        let mean = Tensor::zeros(Shape::vector(2));
+        let var = Tensor::zeros(Shape::vector(3));
+        assert!(batch_norm(&input, &mean, &var, 1e-5).is_err());
+    }
+}

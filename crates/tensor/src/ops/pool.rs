@@ -1,0 +1,191 @@
+use crate::{Result, Shape, Tensor, TensorError};
+
+/// Spatial parameters of a 2-D pooling layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Pool2dParams {
+    /// Pooling window extent (square).
+    pub window: usize,
+    /// Step between windows.
+    pub stride: usize,
+}
+
+impl Pool2dParams {
+    /// Creates pooling parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window == 0` or `stride == 0`.
+    pub fn new(window: usize, stride: usize) -> Self {
+        assert!(window > 0, "pool window must be positive");
+        assert!(stride > 0, "pool stride must be positive");
+        Pool2dParams { window, stride }
+    }
+
+    /// Output spatial extent for a given input extent. Uses "ceil" semantics
+    /// like Caffe so that partial windows at the edge still produce an
+    /// output, matching the reference models in the paper.
+    pub fn out_extent(&self, input: usize) -> Option<usize> {
+        if input < 1 {
+            return None;
+        }
+        if input <= self.window {
+            return Some(1);
+        }
+        Some((input - self.window).div_ceil(self.stride) + 1)
+    }
+}
+
+fn check_rank4(op: &'static str, input: &Tensor) -> Result<(usize, usize, usize, usize)> {
+    let s = input.shape();
+    if s.rank() != 4 {
+        return Err(TensorError::shape(op, "rank-4 input", s.to_string()));
+    }
+    Ok((s.dim(0), s.dim(1), s.dim(2), s.dim(3)))
+}
+
+fn pool2d(
+    op: &'static str,
+    input: &Tensor,
+    params: &Pool2dParams,
+    mut combine: impl FnMut(&[f32]) -> f32,
+) -> Result<Tensor> {
+    let (n, c, h, w) = check_rank4(op, input)?;
+    let h_out = params
+        .out_extent(h)
+        .ok_or_else(|| TensorError::param(op, "empty input"))?;
+    let w_out = params
+        .out_extent(w)
+        .ok_or_else(|| TensorError::param(op, "empty input"))?;
+    let x = input.as_slice();
+    let mut out = Tensor::zeros(Shape::nchw(n, c, h_out, w_out));
+    let o = out.as_mut_slice();
+    let mut window = Vec::with_capacity(params.window * params.window);
+
+    for bn in 0..n {
+        for ch in 0..c {
+            for oy in 0..h_out {
+                for ox in 0..w_out {
+                    window.clear();
+                    for ky in 0..params.window {
+                        let iy = oy * params.stride + ky;
+                        if iy >= h {
+                            continue;
+                        }
+                        for kx in 0..params.window {
+                            let ix = ox * params.stride + kx;
+                            if ix >= w {
+                                continue;
+                            }
+                            window.push(x[((bn * c + ch) * h + iy) * w + ix]);
+                        }
+                    }
+                    o[((bn * c + ch) * h_out + oy) * w_out + ox] = combine(&window);
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Max pooling over square windows; partial edge windows are allowed
+/// (Caffe "ceil" semantics).
+///
+/// # Errors
+///
+/// Returns [`TensorError`] for non-rank-4 input.
+pub fn max_pool2d(input: &Tensor, params: &Pool2dParams) -> Result<Tensor> {
+    pool2d("max_pool2d", input, params, |w| {
+        w.iter().copied().fold(f32::NEG_INFINITY, f32::max)
+    })
+}
+
+/// Average pooling over square windows; partial edge windows average over
+/// the elements actually present.
+///
+/// # Errors
+///
+/// Returns [`TensorError`] for non-rank-4 input.
+pub fn avg_pool2d(input: &Tensor, params: &Pool2dParams) -> Result<Tensor> {
+    pool2d("avg_pool2d", input, params, |w| {
+        w.iter().sum::<f32>() / w.len() as f32
+    })
+}
+
+/// Global average pooling: collapses each channel to its mean, returning
+/// `[n, c, 1, 1]`. SqueezeNet's final layer.
+///
+/// # Errors
+///
+/// Returns [`TensorError`] for non-rank-4 input.
+pub fn global_avg_pool(input: &Tensor) -> Result<Tensor> {
+    let (n, c, h, w) = check_rank4("global_avg_pool", input)?;
+    let x = input.as_slice();
+    let mut out = Tensor::zeros(Shape::nchw(n, c, 1, 1));
+    let o = out.as_mut_slice();
+    let area = (h * w) as f32;
+    for bn in 0..n {
+        for ch in 0..c {
+            let base = (bn * c + ch) * h * w;
+            o[bn * c + ch] = x[base..base + h * w].iter().sum::<f32>() / area;
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn max_pool_takes_window_maximum() {
+        let input = Tensor::from_fn(Shape::nchw(1, 1, 4, 4), |i| i as f32);
+        let out = max_pool2d(&input, &Pool2dParams::new(2, 2)).unwrap();
+        assert_eq!(out.shape().dims(), &[1, 1, 2, 2]);
+        assert_eq!(out.as_slice(), &[5.0, 7.0, 13.0, 15.0]);
+    }
+
+    #[test]
+    fn avg_pool_takes_window_mean() {
+        let input = Tensor::from_fn(Shape::nchw(1, 1, 2, 2), |i| i as f32);
+        let out = avg_pool2d(&input, &Pool2dParams::new(2, 2)).unwrap();
+        assert_eq!(out.as_slice(), &[1.5]);
+    }
+
+    #[test]
+    fn ceil_semantics_cover_the_edge() {
+        // 5 wide, window 2, stride 2 -> outputs at 0, 2, 4 (last is partial).
+        let p = Pool2dParams::new(2, 2);
+        assert_eq!(p.out_extent(5), Some(3));
+        let input = Tensor::from_fn(Shape::nchw(1, 1, 1, 5), |i| i as f32);
+        let out = max_pool2d(&input, &p).unwrap();
+        assert_eq!(out.as_slice(), &[1.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn overlapping_pool_matches_alexnet_geometry() {
+        // AlexNet: 55 -> 27 with window 3 stride 2.
+        assert_eq!(Pool2dParams::new(3, 2).out_extent(55), Some(27));
+    }
+
+    #[test]
+    fn global_avg_pool_collapses_channels() {
+        let input = Tensor::from_fn(Shape::nchw(1, 2, 2, 2), |i| i as f32);
+        let out = global_avg_pool(&input).unwrap();
+        assert_eq!(out.shape().dims(), &[1, 2, 1, 1]);
+        assert_eq!(out.as_slice(), &[1.5, 5.5]);
+    }
+
+    #[test]
+    fn negative_values_survive_max_pool() {
+        let input = Tensor::filled(Shape::nchw(1, 1, 2, 2), -3.0);
+        let out = max_pool2d(&input, &Pool2dParams::new(2, 2)).unwrap();
+        assert_eq!(out.as_slice(), &[-3.0]);
+    }
+
+    #[test]
+    fn rank_is_validated() {
+        let input = Tensor::zeros(Shape::matrix(3, 3));
+        assert!(max_pool2d(&input, &Pool2dParams::new(2, 2)).is_err());
+        assert!(global_avg_pool(&input).is_err());
+    }
+}

@@ -1,0 +1,387 @@
+use super::activation::sigmoid_scalar;
+use super::fully_connected;
+use crate::{Result, Shape, SplitMix64, Tensor, TensorError};
+
+/// Weights of one GRU layer (reset and update gates plus candidate state).
+///
+/// Matrix conventions: `w_*` maps the input (`[hidden, input]`), `u_*` maps
+/// the previous hidden state (`[hidden, hidden]`), `b_*` is `[hidden]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GruWeights {
+    /// Input projection of the reset gate.
+    pub w_r: Tensor,
+    /// Recurrent projection of the reset gate.
+    pub u_r: Tensor,
+    /// Bias of the reset gate.
+    pub b_r: Tensor,
+    /// Input projection of the update gate.
+    pub w_z: Tensor,
+    /// Recurrent projection of the update gate.
+    pub u_z: Tensor,
+    /// Bias of the update gate.
+    pub b_z: Tensor,
+    /// Input projection of the candidate state.
+    pub w_h: Tensor,
+    /// Recurrent projection of the candidate state.
+    pub u_h: Tensor,
+    /// Bias of the candidate state.
+    pub b_h: Tensor,
+}
+
+impl GruWeights {
+    /// Synthetic, deterministically-initialized weights for the given sizes.
+    pub fn synthetic(input: usize, hidden: usize, rng: &mut SplitMix64) -> Self {
+        let wi = |rng: &mut SplitMix64| Tensor::xavier(Shape::matrix(hidden, input), input, rng);
+        let wh = |rng: &mut SplitMix64| Tensor::xavier(Shape::matrix(hidden, hidden), hidden, rng);
+        let b = |rng: &mut SplitMix64| Tensor::uniform(Shape::vector(hidden), -0.05, 0.05, rng);
+        GruWeights {
+            w_r: wi(rng),
+            u_r: wh(rng),
+            b_r: b(rng),
+            w_z: wi(rng),
+            u_z: wh(rng),
+            b_z: b(rng),
+            w_h: wi(rng),
+            u_h: wh(rng),
+            b_h: b(rng),
+        }
+    }
+
+    /// Hidden-state width.
+    pub fn hidden(&self) -> usize {
+        self.w_r.shape().dim(0)
+    }
+
+    /// Input width.
+    pub fn input(&self) -> usize {
+        self.w_r.shape().dim(1)
+    }
+
+    /// Total parameter count, used for the memory-footprint experiment.
+    pub fn parameter_count(&self) -> usize {
+        [
+            &self.w_r, &self.u_r, &self.b_r, &self.w_z, &self.u_z, &self.b_z, &self.w_h, &self.u_h,
+            &self.b_h,
+        ]
+        .iter()
+        .map(|t| t.len())
+        .sum()
+    }
+}
+
+/// Weights of one LSTM layer (input, forget, output gates plus cell input).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LstmWeights {
+    /// Input projection of the input gate.
+    pub w_i: Tensor,
+    /// Recurrent projection of the input gate.
+    pub u_i: Tensor,
+    /// Bias of the input gate.
+    pub b_i: Tensor,
+    /// Input projection of the forget gate.
+    pub w_f: Tensor,
+    /// Recurrent projection of the forget gate.
+    pub u_f: Tensor,
+    /// Bias of the forget gate.
+    pub b_f: Tensor,
+    /// Input projection of the output gate.
+    pub w_o: Tensor,
+    /// Recurrent projection of the output gate.
+    pub u_o: Tensor,
+    /// Bias of the output gate.
+    pub b_o: Tensor,
+    /// Input projection of the cell candidate.
+    pub w_g: Tensor,
+    /// Recurrent projection of the cell candidate.
+    pub u_g: Tensor,
+    /// Bias of the cell candidate.
+    pub b_g: Tensor,
+}
+
+impl LstmWeights {
+    /// Synthetic, deterministically-initialized weights for the given sizes.
+    pub fn synthetic(input: usize, hidden: usize, rng: &mut SplitMix64) -> Self {
+        let wi = |rng: &mut SplitMix64| Tensor::xavier(Shape::matrix(hidden, input), input, rng);
+        let wh = |rng: &mut SplitMix64| Tensor::xavier(Shape::matrix(hidden, hidden), hidden, rng);
+        let b = |rng: &mut SplitMix64| Tensor::uniform(Shape::vector(hidden), -0.05, 0.05, rng);
+        LstmWeights {
+            w_i: wi(rng),
+            u_i: wh(rng),
+            b_i: b(rng),
+            w_f: wi(rng),
+            u_f: wh(rng),
+            b_f: b(rng),
+            w_o: wi(rng),
+            u_o: wh(rng),
+            b_o: b(rng),
+            w_g: wi(rng),
+            u_g: wh(rng),
+            b_g: b(rng),
+        }
+    }
+
+    /// Hidden-state width.
+    pub fn hidden(&self) -> usize {
+        self.w_i.shape().dim(0)
+    }
+
+    /// Input width.
+    pub fn input(&self) -> usize {
+        self.w_i.shape().dim(1)
+    }
+
+    /// Total parameter count, used for the memory-footprint experiment.
+    pub fn parameter_count(&self) -> usize {
+        [
+            &self.w_i, &self.u_i, &self.b_i, &self.w_f, &self.u_f, &self.b_f, &self.w_o, &self.u_o,
+            &self.b_o, &self.w_g, &self.u_g, &self.b_g,
+        ]
+        .iter()
+        .map(|t| t.len())
+        .sum()
+    }
+}
+
+/// Hidden and cell state carried between LSTM steps.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LstmState {
+    /// Hidden state `h`.
+    pub h: Tensor,
+    /// Cell state `c`.
+    pub c: Tensor,
+}
+
+impl LstmState {
+    /// Zero state of the given width.
+    pub fn zeros(hidden: usize) -> Self {
+        LstmState {
+            h: Tensor::zeros(Shape::vector(hidden)),
+            c: Tensor::zeros(Shape::vector(hidden)),
+        }
+    }
+}
+
+fn gate(x: &Tensor, h: &Tensor, w: &Tensor, u: &Tensor, b: &Tensor) -> Result<Vec<f32>> {
+    let wx = fully_connected(x, w, b)?;
+    let zero = Tensor::zeros(Shape::vector(u.shape().dim(0)));
+    let uh = fully_connected(h, u, &zero)?;
+    Ok(wx.as_slice().iter().zip(uh.as_slice()).map(|(a, b)| a + b).collect())
+}
+
+/// One GRU step: returns the next hidden state.
+///
+/// Uses the standard Cho et al. formulation with reset gate `r`, update gate
+/// `z`, and candidate `h~`:
+/// `h' = (1 - z) * h + z * h~` where `h~ = tanh(W_h x + U_h (r*h) + b_h)`.
+///
+/// # Errors
+///
+/// Returns [`TensorError`] if `x` or `h` do not match the weight shapes.
+pub fn gru_cell(x: &Tensor, h: &Tensor, w: &GruWeights) -> Result<Tensor> {
+    let hidden = w.hidden();
+    if h.len() != hidden {
+        return Err(TensorError::shape(
+            "gru_cell",
+            format!("hidden state of {hidden}"),
+            format!("{}", h.len()),
+        ));
+    }
+    let r: Vec<f32> = gate(x, h, &w.w_r, &w.u_r, &w.b_r)?
+        .into_iter()
+        .map(sigmoid_scalar)
+        .collect();
+    let z: Vec<f32> = gate(x, h, &w.w_z, &w.u_z, &w.b_z)?
+        .into_iter()
+        .map(sigmoid_scalar)
+        .collect();
+    let rh = Tensor::from_vec(
+        Shape::vector(hidden),
+        r.iter().zip(h.as_slice()).map(|(ri, hi)| ri * hi).collect(),
+    );
+    let cand: Vec<f32> = gate(x, &rh, &w.w_h, &w.u_h, &w.b_h)?
+        .into_iter()
+        .map(f32::tanh)
+        .collect();
+    let next: Vec<f32> = h
+        .as_slice()
+        .iter()
+        .zip(&z)
+        .zip(&cand)
+        .map(|((hi, zi), ci)| (1.0 - zi) * hi + zi * ci)
+        .collect();
+    Ok(Tensor::from_vec(Shape::vector(hidden), next))
+}
+
+/// Runs a GRU over an input sequence, returning the final hidden state.
+///
+/// # Errors
+///
+/// Propagates shape errors from [`gru_cell`].
+pub fn gru_sequence(inputs: &[Tensor], w: &GruWeights) -> Result<Tensor> {
+    let mut h = Tensor::zeros(Shape::vector(w.hidden()));
+    for x in inputs {
+        h = gru_cell(x, &h, w)?;
+    }
+    Ok(h)
+}
+
+/// One LSTM step: returns the next state.
+///
+/// Standard formulation with input/forget/output gates and cell candidate:
+/// `c' = f*c + i*g`, `h' = o * tanh(c')`.
+///
+/// # Errors
+///
+/// Returns [`TensorError`] if the state does not match the weight shapes.
+pub fn lstm_cell(x: &Tensor, state: &LstmState, w: &LstmWeights) -> Result<LstmState> {
+    let hidden = w.hidden();
+    if state.h.len() != hidden || state.c.len() != hidden {
+        return Err(TensorError::shape(
+            "lstm_cell",
+            format!("state of {hidden}"),
+            format!("h {}, c {}", state.h.len(), state.c.len()),
+        ));
+    }
+    let i: Vec<f32> = gate(x, &state.h, &w.w_i, &w.u_i, &w.b_i)?
+        .into_iter()
+        .map(sigmoid_scalar)
+        .collect();
+    let f: Vec<f32> = gate(x, &state.h, &w.w_f, &w.u_f, &w.b_f)?
+        .into_iter()
+        .map(sigmoid_scalar)
+        .collect();
+    let o: Vec<f32> = gate(x, &state.h, &w.w_o, &w.u_o, &w.b_o)?
+        .into_iter()
+        .map(sigmoid_scalar)
+        .collect();
+    let g: Vec<f32> = gate(x, &state.h, &w.w_g, &w.u_g, &w.b_g)?
+        .into_iter()
+        .map(f32::tanh)
+        .collect();
+    let c: Vec<f32> = state
+        .c
+        .as_slice()
+        .iter()
+        .zip(&f)
+        .zip(i.iter().zip(&g))
+        .map(|((cp, fi), (ii, gi))| fi * cp + ii * gi)
+        .collect();
+    let h: Vec<f32> = c.iter().zip(&o).map(|(ci, oi)| oi * ci.tanh()).collect();
+    Ok(LstmState {
+        h: Tensor::from_vec(Shape::vector(hidden), h),
+        c: Tensor::from_vec(Shape::vector(hidden), c),
+    })
+}
+
+/// Runs an LSTM over an input sequence, returning the final state.
+///
+/// # Errors
+///
+/// Propagates shape errors from [`lstm_cell`].
+pub fn lstm_sequence(inputs: &[Tensor], w: &LstmWeights) -> Result<LstmState> {
+    let mut state = LstmState::zeros(w.hidden());
+    for x in inputs {
+        state = lstm_cell(x, &state, w)?;
+    }
+    Ok(state)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_gru() -> GruWeights {
+        let mut rng = SplitMix64::new(100);
+        GruWeights::synthetic(2, 4, &mut rng)
+    }
+
+    fn small_lstm() -> LstmWeights {
+        let mut rng = SplitMix64::new(101);
+        LstmWeights::synthetic(2, 4, &mut rng)
+    }
+
+    #[test]
+    fn gru_hidden_stays_bounded() {
+        let w = small_gru();
+        let mut h = Tensor::zeros(Shape::vector(4));
+        let x = Tensor::from_vec(Shape::vector(2), vec![0.9, -0.4]);
+        for _ in 0..50 {
+            h = gru_cell(&x, &h, &w).unwrap();
+        }
+        // h is a convex combination of bounded candidates, so |h| <= 1.
+        assert!(h.as_slice().iter().all(|v| v.abs() <= 1.0));
+    }
+
+    #[test]
+    fn gru_zero_update_gate_freezes_state() {
+        let mut w = small_gru();
+        // Force z = sigmoid(-inf) ~ 0 by using huge negative bias and zero
+        // projections: the state must then never change.
+        w.w_z = Tensor::zeros(w.w_z.shape().clone());
+        w.u_z = Tensor::zeros(w.u_z.shape().clone());
+        w.b_z = Tensor::filled(Shape::vector(4), -100.0);
+        let h0 = Tensor::from_vec(Shape::vector(4), vec![0.1, 0.2, 0.3, 0.4]);
+        let x = Tensor::from_vec(Shape::vector(2), vec![1.0, 1.0]);
+        let h1 = gru_cell(&x, &h0, &w).unwrap();
+        assert!(h0.approx_eq(&h1, 1e-6));
+    }
+
+    #[test]
+    fn lstm_forget_gate_zero_clears_history() {
+        let mut w = small_lstm();
+        w.w_f = Tensor::zeros(w.w_f.shape().clone());
+        w.u_f = Tensor::zeros(w.u_f.shape().clone());
+        w.b_f = Tensor::filled(Shape::vector(4), -100.0);
+        let state = LstmState {
+            h: Tensor::zeros(Shape::vector(4)),
+            c: Tensor::filled(Shape::vector(4), 10.0),
+        };
+        let x = Tensor::zeros(Shape::vector(2));
+        let next = lstm_cell(&x, &state, &w).unwrap();
+        // c' = f*c + i*g with f ~ 0: old cell state must not leak through.
+        assert!(next.c.as_slice().iter().all(|v| v.abs() < 1.5));
+    }
+
+    #[test]
+    fn lstm_hidden_is_bounded_by_one() {
+        let w = small_lstm();
+        let mut state = LstmState::zeros(4);
+        let x = Tensor::from_vec(Shape::vector(2), vec![5.0, -5.0]);
+        for _ in 0..100 {
+            state = lstm_cell(&x, &state, &w).unwrap();
+        }
+        assert!(state.h.as_slice().iter().all(|v| v.abs() <= 1.0));
+    }
+
+    #[test]
+    fn sequences_fold_left() {
+        let w = small_gru();
+        let xs = vec![
+            Tensor::from_vec(Shape::vector(2), vec![0.1, 0.2]),
+            Tensor::from_vec(Shape::vector(2), vec![0.3, 0.4]),
+        ];
+        let manual = {
+            let h = gru_cell(&xs[0], &Tensor::zeros(Shape::vector(4)), &w).unwrap();
+            gru_cell(&xs[1], &h, &w).unwrap()
+        };
+        let seq = gru_sequence(&xs, &w).unwrap();
+        assert!(manual.approx_eq(&seq, 1e-7));
+    }
+
+    #[test]
+    fn state_width_is_validated() {
+        let w = small_gru();
+        let h = Tensor::zeros(Shape::vector(3));
+        let x = Tensor::zeros(Shape::vector(2));
+        assert!(gru_cell(&x, &h, &w).is_err());
+    }
+
+    #[test]
+    fn parameter_counts_match_formula() {
+        let w = small_gru();
+        // 3 gates * (h*i + h*h + h) = 3 * (8 + 16 + 4)
+        assert_eq!(w.parameter_count(), 3 * (8 + 16 + 4));
+        let l = small_lstm();
+        assert_eq!(l.parameter_count(), 4 * (8 + 16 + 4));
+    }
+}

@@ -1,0 +1,186 @@
+use std::fmt;
+
+/// The dimensions of a [`Tensor`](crate::Tensor), in row-major order.
+///
+/// Convolutional layers use the NCHW convention throughout the suite
+/// (batch, channels, height, width); helper constructors exist for the
+/// common ranks. A `Shape` is immutable once constructed.
+///
+/// # Example
+///
+/// ```
+/// use tango_tensor::Shape;
+///
+/// let s = Shape::nchw(1, 3, 227, 227); // AlexNet input
+/// assert_eq!(s.len(), 1 * 3 * 227 * 227);
+/// assert_eq!(s.dim(1), 3);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Shape {
+    dims: Vec<usize>,
+}
+
+impl Shape {
+    /// Creates a shape from explicit dimensions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dims` is empty or any dimension is zero.
+    pub fn new(dims: &[usize]) -> Self {
+        assert!(!dims.is_empty(), "shape must have at least one dimension");
+        assert!(dims.iter().all(|&d| d > 0), "shape dimensions must be positive: {dims:?}");
+        Shape { dims: dims.to_vec() }
+    }
+
+    /// 1-D shape of `n` elements.
+    pub fn vector(n: usize) -> Self {
+        Shape::new(&[n])
+    }
+
+    /// 2-D shape (rows x cols), used by fully-connected weights.
+    pub fn matrix(rows: usize, cols: usize) -> Self {
+        Shape::new(&[rows, cols])
+    }
+
+    /// 4-D NCHW shape, used by activations and convolution filters.
+    pub fn nchw(n: usize, c: usize, h: usize, w: usize) -> Self {
+        Shape::new(&[n, c, h, w])
+    }
+
+    /// The dimensions as a slice.
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// Number of dimensions (rank).
+    pub fn rank(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// A single dimension.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `axis >= rank()`.
+    pub fn dim(&self, axis: usize) -> usize {
+        self.dims[axis]
+    }
+
+    /// Total element count.
+    pub fn len(&self) -> usize {
+        self.dims.iter().product()
+    }
+
+    /// Whether the shape contains zero elements. Always `false` for a valid
+    /// shape (dimensions are positive) but provided per Rust API convention.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Row-major strides: `strides()[i]` is the linear-index step for axis `i`.
+    pub fn strides(&self) -> Vec<usize> {
+        let mut strides = vec![1; self.dims.len()];
+        for i in (0..self.dims.len().saturating_sub(1)).rev() {
+            strides[i] = strides[i + 1] * self.dims[i + 1];
+        }
+        strides
+    }
+
+    /// Converts a multi-dimensional index to a linear offset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` has the wrong rank or any coordinate is out of range.
+    pub fn offset(&self, index: &[usize]) -> usize {
+        assert_eq!(
+            index.len(),
+            self.dims.len(),
+            "index rank {} does not match shape rank {}",
+            index.len(),
+            self.dims.len()
+        );
+        let mut offset = 0;
+        let mut stride = 1;
+        for axis in (0..self.dims.len()).rev() {
+            assert!(
+                index[axis] < self.dims[axis],
+                "index {:?} out of bounds for shape {}",
+                index,
+                self
+            );
+            offset += index[axis] * stride;
+            stride *= self.dims[axis];
+        }
+        offset
+    }
+}
+
+impl fmt::Display for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, d) in self.dims.iter().enumerate() {
+            if i > 0 {
+                write!(f, "x")?;
+            }
+            write!(f, "{d}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl From<Vec<usize>> for Shape {
+    fn from(dims: Vec<usize>) -> Self {
+        Shape::new(&dims)
+    }
+}
+
+impl AsRef<[usize]> for Shape {
+    fn as_ref(&self) -> &[usize] {
+        &self.dims
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn offsets_are_row_major() {
+        let s = Shape::new(&[2, 3, 4]);
+        assert_eq!(s.offset(&[0, 0, 0]), 0);
+        assert_eq!(s.offset(&[0, 0, 1]), 1);
+        assert_eq!(s.offset(&[0, 1, 0]), 4);
+        assert_eq!(s.offset(&[1, 0, 0]), 12);
+        assert_eq!(s.offset(&[1, 2, 3]), 23);
+    }
+
+    #[test]
+    fn strides_match_offsets() {
+        let s = Shape::new(&[5, 7, 2, 3]);
+        let strides = s.strides();
+        assert_eq!(s.offset(&[1, 2, 1, 2]), strides[0] + 2 * strides[1] + strides[2] + 2 * strides[3]);
+    }
+
+    #[test]
+    fn display_reads_like_dims() {
+        assert_eq!(Shape::nchw(1, 3, 32, 32).to_string(), "[1x3x32x32]");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn out_of_range_index_panics() {
+        Shape::new(&[2, 2]).offset(&[2, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn zero_dimension_panics() {
+        Shape::new(&[3, 0]);
+    }
+
+    #[test]
+    fn len_is_product() {
+        assert_eq!(Shape::nchw(2, 3, 4, 5).len(), 120);
+        assert_eq!(Shape::vector(9).len(), 9);
+    }
+}

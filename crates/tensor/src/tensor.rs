@@ -1,0 +1,290 @@
+use crate::{Shape, SplitMix64};
+use std::fmt;
+
+/// A dense row-major `f32` tensor.
+///
+/// This is the host-side data type of the suite: network weights,
+/// activations, and reference-operator results are all `Tensor`s. The
+/// simulated GPU keeps its own byte-addressed copy (see `tango-sim`), and
+/// integration tests compare the two.
+///
+/// # Example
+///
+/// ```
+/// use tango_tensor::{Shape, Tensor};
+///
+/// let t = Tensor::from_fn(Shape::matrix(2, 2), |i| (i * i) as f32);
+/// assert_eq!(t.get(&[1, 1]), 9.0);
+/// assert_eq!(t.as_slice(), &[0.0, 1.0, 4.0, 9.0]);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tensor {
+    shape: Shape,
+    data: Vec<f32>,
+}
+
+impl Tensor {
+    /// Creates a tensor of zeros.
+    pub fn zeros(shape: Shape) -> Self {
+        let len = shape.len();
+        Tensor {
+            shape,
+            data: vec![0.0; len],
+        }
+    }
+
+    /// Creates a tensor with every element set to `value`.
+    pub fn filled(shape: Shape, value: f32) -> Self {
+        let len = shape.len();
+        Tensor {
+            shape,
+            data: vec![value; len],
+        }
+    }
+
+    /// Creates a tensor by mapping the linear element index to a value.
+    pub fn from_fn(shape: Shape, f: impl FnMut(usize) -> f32) -> Self {
+        let len = shape.len();
+        Tensor {
+            shape,
+            data: (0..len).map(f).collect(),
+        }
+    }
+
+    /// Creates a tensor from existing data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != shape.len()`.
+    pub fn from_vec(shape: Shape, data: Vec<f32>) -> Self {
+        assert_eq!(
+            data.len(),
+            shape.len(),
+            "data length {} does not match shape {} ({} elements)",
+            data.len(),
+            shape,
+            shape.len()
+        );
+        Tensor { shape, data }
+    }
+
+    /// Creates a tensor with Xavier-initialized synthetic weights.
+    ///
+    /// Used as the stand-in for the paper's pre-trained model files: the
+    /// shape (and hence parameter count, memory footprint, and kernel
+    /// geometry) is exact, the values are a deterministic function of `rng`.
+    pub fn xavier(shape: Shape, fan_in: usize, rng: &mut SplitMix64) -> Self {
+        let len = shape.len();
+        Tensor {
+            shape,
+            data: (0..len).map(|_| rng.xavier(fan_in)).collect(),
+        }
+    }
+
+    /// Creates a tensor of uniform random values in `[lo, hi)`.
+    pub fn uniform(shape: Shape, lo: f32, hi: f32, rng: &mut SplitMix64) -> Self {
+        let len = shape.len();
+        Tensor {
+            shape,
+            data: (0..len).map(|_| rng.uniform(lo, hi)).collect(),
+        }
+    }
+
+    /// The tensor's shape.
+    pub fn shape(&self) -> &Shape {
+        &self.shape
+    }
+
+    /// Total element count.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the tensor has zero elements (never true for valid shapes).
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Size of the tensor payload in bytes (4 bytes per `f32`), i.e. the
+    /// device-memory cost of this tensor in the simulated GPU.
+    pub fn byte_len(&self) -> usize {
+        self.data.len() * std::mem::size_of::<f32>()
+    }
+
+    /// Reads one element by multi-dimensional index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index is out of bounds.
+    pub fn get(&self, index: &[usize]) -> f32 {
+        self.data[self.shape.offset(index)]
+    }
+
+    /// Writes one element by multi-dimensional index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index is out of bounds.
+    pub fn set(&mut self, index: &[usize], value: f32) {
+        let off = self.shape.offset(index);
+        self.data[off] = value;
+    }
+
+    /// The underlying data in row-major order.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable access to the underlying data in row-major order.
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor and returns its data buffer.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Returns a tensor with the same data and a new shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the element counts differ.
+    pub fn reshaped(mut self, shape: Shape) -> Self {
+        assert_eq!(
+            self.data.len(),
+            shape.len(),
+            "cannot reshape {} elements into shape {}",
+            self.data.len(),
+            shape
+        );
+        self.shape = shape;
+        self
+    }
+
+    /// Index of the maximum element (ties broken toward the lower index).
+    /// This is the classification decision for the CNN demos.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is empty (valid shapes are never empty).
+    pub fn argmax(&self) -> usize {
+        self.data
+            .iter()
+            .enumerate()
+            .fold((0, f32::NEG_INFINITY), |(bi, bv), (i, &v)| {
+                if v > bv {
+                    (i, v)
+                } else {
+                    (bi, bv)
+                }
+            })
+            .0
+    }
+
+    /// Maximum absolute difference between two tensors of identical shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn max_abs_diff(&self, other: &Tensor) -> f32 {
+        assert_eq!(self.shape, other.shape, "max_abs_diff requires identical shapes");
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f32::max)
+    }
+
+    /// Whether every element is within `tol` of the corresponding element of
+    /// `other`. Shapes must match.
+    pub fn approx_eq(&self, other: &Tensor, tol: f32) -> bool {
+        self.shape == other.shape && self.max_abs_diff(other) <= tol
+    }
+}
+
+impl fmt::Display for Tensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Tensor{} [", self.shape)?;
+        const PREVIEW: usize = 8;
+        for (i, v) in self.data.iter().take(PREVIEW).enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v:.4}")?;
+        }
+        if self.data.len() > PREVIEW {
+            write!(f, ", ... {} more", self.data.len() - PREVIEW)?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_fn_orders_row_major() {
+        let t = Tensor::from_fn(Shape::new(&[2, 3]), |i| i as f32);
+        assert_eq!(t.get(&[0, 2]), 2.0);
+        assert_eq!(t.get(&[1, 0]), 3.0);
+    }
+
+    #[test]
+    fn set_then_get_roundtrip() {
+        let mut t = Tensor::zeros(Shape::nchw(1, 2, 3, 3));
+        t.set(&[0, 1, 2, 1], 42.5);
+        assert_eq!(t.get(&[0, 1, 2, 1]), 42.5);
+        assert_eq!(t.as_slice().iter().filter(|&&v| v != 0.0).count(), 1);
+    }
+
+    #[test]
+    fn argmax_picks_first_of_ties() {
+        let t = Tensor::from_vec(Shape::vector(4), vec![1.0, 3.0, 3.0, 0.0]);
+        assert_eq!(t.argmax(), 1);
+    }
+
+    #[test]
+    fn approx_eq_tolerates_small_error() {
+        let a = Tensor::filled(Shape::vector(3), 1.0);
+        let b = Tensor::from_vec(Shape::vector(3), vec![1.0, 1.0 + 1e-6, 1.0 - 1e-6]);
+        assert!(a.approx_eq(&b, 1e-5));
+        assert!(!a.approx_eq(&b, 1e-7));
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let t = Tensor::from_fn(Shape::new(&[2, 6]), |i| i as f32);
+        let r = t.clone().reshaped(Shape::new(&[3, 4]));
+        assert_eq!(r.as_slice(), t.as_slice());
+        assert_eq!(r.shape().dims(), &[3, 4]);
+    }
+
+    #[test]
+    fn xavier_is_deterministic_per_seed() {
+        let mut r1 = SplitMix64::new(11);
+        let mut r2 = SplitMix64::new(11);
+        let a = Tensor::xavier(Shape::matrix(4, 4), 16, &mut r1);
+        let b = Tensor::xavier(Shape::matrix(4, 4), 16, &mut r2);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn byte_len_counts_f32s() {
+        assert_eq!(Tensor::zeros(Shape::vector(10)).byte_len(), 40);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match shape")]
+    fn from_vec_validates_length() {
+        Tensor::from_vec(Shape::vector(3), vec![1.0]);
+    }
+
+    #[test]
+    fn display_previews_and_truncates() {
+        let t = Tensor::zeros(Shape::vector(20));
+        let s = t.to_string();
+        assert!(s.contains("12 more"));
+    }
+}

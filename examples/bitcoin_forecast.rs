@@ -1,0 +1,40 @@
+//! Bitcoin price forecasting with the GRU and LSTM networks — the
+//! paper's RNN workloads (Table I: "projected next stock price based on
+//! past two days' stock price").
+//!
+//! ```text
+//! cargo run --release -p tango --example bitcoin_forecast
+//! ```
+
+use tango_nets::{build_network, synthetic_price_window, NetworkInput, NetworkKind, Preset};
+use tango_sim::{Gpu, GpuConfig, SimOptions};
+
+fn main() -> Result<(), tango_nets::NetError> {
+    // A synthetic scaled price window standing in for the Kaggle data.
+    let window = synthetic_price_window(2, 7);
+    println!("past two days (scaled): {:.4}, {:.4}", window[0].get(&[0]), window[1].get(&[0]));
+    println!();
+
+    for kind in [NetworkKind::Gru, NetworkKind::Lstm] {
+        let mut gpu = Gpu::new(GpuConfig::gp102());
+        let net = build_network(&mut gpu, kind, Preset::Paper, 100)?;
+        let report = net.infer(&mut gpu, &NetworkInput::Sequence(window.clone()), &SimOptions::new())?;
+        println!(
+            "{:<5} forecast: {:.4}  ({} recurrent steps, {} cycles, {:.1} W peak, {:.0} KB footprint)",
+            kind.name(),
+            report.output.get(&[0]),
+            report
+                .records
+                .iter()
+                .filter(|r| matches!(r.layer_type, tango_nets::LayerType::Gru | tango_nets::LayerType::Lstm))
+                .count(),
+            report.total_cycles(),
+            report.peak_power_w(),
+            gpu.memory_footprint_bytes() as f64 / 1024.0
+        );
+    }
+    println!();
+    println!("Note: GRU uses two gates to LSTM's three-plus-candidate, so it");
+    println!("executes fewer instructions per step (the paper's Section III-B).");
+    Ok(())
+}

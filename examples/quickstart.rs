@@ -1,0 +1,44 @@
+//! Quickstart: build one of the suite's networks on the simulated GPU,
+//! run an inference, and read the architectural statistics — the loop a
+//! computer architect would use Tango for.
+//!
+//! ```text
+//! cargo run --release -p tango --example quickstart
+//! ```
+
+use tango::Characterizer;
+use tango_nets::{NetworkKind, Preset};
+use tango_sim::GpuConfig;
+
+fn main() -> Result<(), tango::TangoError> {
+    // A Pascal-class simulated GPU running the published CifarNet.
+    let ch = Characterizer::new(GpuConfig::gp102(), Preset::Bench, 42);
+    let run = ch.run_network(NetworkKind::CifarNet, &ch.default_options())?;
+
+    println!("network      : {}", run.kind.name());
+    println!("device       : {}", ch.config().name);
+    println!("layers       : {}", run.report.records.len());
+    println!("output class : {}", run.report.output.argmax());
+    println!();
+    println!(
+        "{:<12} {:>12} {:>14} {:>8} {:>10}",
+        "layer", "cycles", "thread instrs", "IPC", "L1D miss"
+    );
+    for rec in &run.report.records {
+        println!(
+            "{:<12} {:>12} {:>14} {:>8.2} {:>9.1}%",
+            rec.name,
+            rec.stats.cycles,
+            rec.stats.thread_instructions,
+            rec.stats.ipc(),
+            rec.stats.l1d.miss_ratio() * 100.0
+        );
+    }
+    println!();
+    println!("total cycles : {}", run.report.total_cycles());
+    println!("kernel time  : {:.3} ms", run.report.total_time_s() * 1e3);
+    println!("peak power   : {:.1} W", run.report.peak_power_w());
+    println!("energy       : {:.4} J", run.report.total_energy_j());
+    println!("device memory: {:.0} KB", run.footprint_bytes as f64 / 1024.0);
+    Ok(())
+}

@@ -1,0 +1,40 @@
+//! Warp-scheduler study: run networks under GTO, LRR, and two-level
+//! scheduling — the paper's Figure 15/16 experiment, only possible on an
+//! architecture simulator (Observation 12: plain round-robin is good
+//! enough for these cache-friendly convolutions).
+//!
+//! ```text
+//! cargo run --release -p tango --example scheduler_study
+//! ```
+
+use tango::Characterizer;
+use tango_nets::{NetworkKind, Preset};
+use tango_sim::{GpuConfig, SchedulerPolicy};
+
+fn main() -> Result<(), tango::TangoError> {
+    let ch = Characterizer::new(GpuConfig::gp102(), Preset::Bench, 15);
+
+    println!("{:<10} {:>10} {:>10} {:>10}", "network", "GTO", "LRR", "TLV");
+    for kind in [NetworkKind::AlexNet, NetworkKind::SqueezeNet, NetworkKind::Gru, NetworkKind::Lstm] {
+        let mut cells = Vec::new();
+        let mut base = 0u64;
+        for policy in SchedulerPolicy::ALL {
+            let run = ch.run_network(kind, &ch.default_options().with_scheduler(policy))?;
+            let cycles = run.report.total_cycles();
+            if policy == SchedulerPolicy::Gto {
+                base = cycles;
+            }
+            cells.push(cycles as f64 / base as f64);
+        }
+        println!(
+            "{:<10} {:>10.3} {:>10.3} {:>10.3}",
+            kind.name(),
+            cells[0],
+            cells[1],
+            cells[2]
+        );
+    }
+    println!();
+    println!("(normalized execution time, GTO = 1.0; lower is better)");
+    Ok(())
+}

@@ -1,0 +1,134 @@
+//! Property-based tests over the simulator substrates: caches, memory,
+//! ISA round trips, and invariants of whole kernel launches under random
+//! geometry.
+
+use proptest::prelude::*;
+use tango_isa::{CmpOp, DType, Dim3, KernelBuilder, Operand};
+use tango_sim::{CacheGeometry, Gpu, GpuConfig, SimOptions};
+
+/// Builds a kernel computing `out[tid] = a*tid + b` for property checks.
+fn affine_kernel(a: u32, b: u32) -> tango_isa::KernelProgram {
+    let mut kb = KernelBuilder::new("affine");
+    let tid = kb.global_tid_x();
+    let v = kb.reg();
+    let addr = kb.reg();
+    let base = kb.load_param(0);
+    kb.mul(DType::U32, v, tid.into(), Operand::imm_u32(a));
+    kb.add(DType::U32, v, v.into(), Operand::imm_u32(b));
+    kb.shl(DType::U32, addr, tid.into(), Operand::imm_u32(2));
+    kb.add(DType::U32, addr, addr.into(), base.into());
+    kb.st_global(DType::U32, addr, 0, v);
+    kb.exit();
+    kb.build().unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Every thread of every launch geometry computes its own value:
+    /// results only depend on the global thread id, never on scheduling.
+    #[test]
+    fn launch_geometry_never_changes_results(
+        blocks in 1u32..12,
+        block_threads in 1u32..128,
+        a in 1u32..50,
+        b in 0u32..1000,
+    ) {
+        let n = (blocks * block_threads) as usize;
+        let program = affine_kernel(a, b);
+        let mut gpu = Gpu::new(GpuConfig::gp102());
+        let buf = gpu.alloc_bytes((n * 4) as u32);
+        gpu.launch(&program, Dim3::x(blocks), Dim3::x(block_threads), &[buf], 0, &SimOptions::new());
+        for tid in 0..n {
+            prop_assert_eq!(gpu.memory().read_u32(buf + (tid as u32) * 4), a * tid as u32 + b);
+        }
+    }
+
+    /// Cache counters always satisfy hits + misses == accesses, and a
+    /// repeat of the same access stream entirely hits when it fits.
+    #[test]
+    fn cache_invariants(addrs in prop::collection::vec(0u32..64, 1..200)) {
+        let mut cache = tango_sim::Cache::new(CacheGeometry::new(64 * 128, 128, 4), true);
+        for &a in &addrs {
+            cache.access(a, false);
+        }
+        let s = cache.stats();
+        prop_assert_eq!(s.hits + s.misses, s.accesses);
+        // 64 lines fit a 64-line cache: second pass over the unique set hits.
+        let mut uniq: Vec<u32> = addrs.clone();
+        uniq.sort_unstable();
+        uniq.dedup();
+        if uniq.len() <= 64 {
+            for &a in &uniq {
+                cache.access(a, false);
+            }
+        }
+        let s2 = cache.stats();
+        prop_assert_eq!(s2.hits + s2.misses, s2.accesses);
+    }
+
+    /// Dynamic instruction counts are invariant across schedulers and
+    /// cache sizes: timing knobs must not change what executes.
+    #[test]
+    fn knobs_never_change_instruction_counts(seed in 0u32..50) {
+        let a = seed % 7 + 1;
+        let program = affine_kernel(a, seed);
+        let run = |opts: SimOptions| {
+            let mut gpu = Gpu::new(GpuConfig::gp102());
+            let buf = gpu.alloc_bytes(64 * 4);
+            gpu.launch(&program, Dim3::x(2), Dim3::x(32), &[buf], 0, &opts)
+        };
+        let base = run(SimOptions::new());
+        let lrr = run(SimOptions::new().with_scheduler(tango_sim::SchedulerPolicy::Lrr));
+        let nol1 = run(SimOptions::new().with_l1d_bytes(0));
+        prop_assert_eq!(base.warp_instructions, lrr.warp_instructions);
+        prop_assert_eq!(base.thread_instructions, nol1.thread_instructions);
+        prop_assert_eq!(&base.op_counts, &lrr.op_counts);
+    }
+
+    /// Comparison semantics of the ISA match Rust's.
+    #[test]
+    fn cmp_ops_match_rust(x in any::<i32>(), y in any::<i32>()) {
+        prop_assert_eq!(CmpOp::Lt.eval_s32(x, y), x < y);
+        prop_assert_eq!(CmpOp::Ge.eval_s32(x, y), x >= y);
+        prop_assert_eq!(CmpOp::Eq.eval_u32(x as u32, y as u32), x as u32 == y as u32);
+        prop_assert_eq!(CmpOp::Ne.eval_u32(x as u32, y as u32), x as u32 != y as u32);
+    }
+
+    /// Device memory round-trips arbitrary float payloads.
+    #[test]
+    fn device_memory_roundtrip(values in prop::collection::vec(-1e6f32..1e6, 1..256)) {
+        let mut gpu = Gpu::new(GpuConfig::gp102());
+        let addr = gpu.upload_f32s(&values);
+        prop_assert_eq!(gpu.download_f32s(addr, values.len()), values);
+    }
+}
+
+#[test]
+fn stall_fractions_sum_to_one_when_nonempty() {
+    let program = affine_kernel(3, 1);
+    let mut gpu = Gpu::new(GpuConfig::gp102());
+    let buf = gpu.alloc_bytes(4096 * 4);
+    let stats = gpu.launch(&program, Dim3::x(64), Dim3::x(64), &[buf], 0, &SimOptions::new());
+    if stats.stalls.total() > 0 {
+        let sum: f64 = tango_sim::StallReason::ALL
+            .iter()
+            .map(|&r| stats.stalls.fraction(r))
+            .sum();
+        assert!((sum - 1.0).abs() < 1e-9, "fractions sum to {sum}");
+    }
+}
+
+#[test]
+fn energy_breakdown_total_is_component_sum() {
+    let program = affine_kernel(2, 5);
+    let mut gpu = Gpu::new(GpuConfig::gp102());
+    let buf = gpu.alloc_bytes(1024 * 4);
+    let stats = gpu.launch(&program, Dim3::x(16), Dim3::x(64), &[buf], 0, &SimOptions::new());
+    let total = stats.energy.total();
+    let sum: f64 = tango_sim::Component::ALL.iter().map(|&c| stats.energy.get(c)).sum();
+    assert!((total - sum).abs() < 1e-12);
+    assert!(total > 0.0);
+    assert!(stats.avg_power_w > 0.0);
+    assert!(stats.peak_power_w >= stats.avg_power_w * 0.5, "peak should not be below a half of average");
+}
