@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Offline CI gate: tier-1 build + tests, then a cold+warm repro_all pass
+# proving the persistent result store eliminates all re-simulation.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== tier 1: build =="
+cargo build --release
+
+echo "== tier 1: tests =="
+cargo test -q
+
+echo "== repro_all: cold pass (tiny preset, scratch store) =="
+SCRATCH="$(mktemp -d)"
+trap 'rm -rf "$SCRATCH"' EXIT
+
+run_repro() {
+    TANGO_PRESET=tiny TANGO_RESULTS_DIR="$SCRATCH" \
+        cargo run --release -q -p tango-bench --bin repro_all 2>&1 >/dev/null |
+        tee /dev/stderr | grep -oE 'store hits=[0-9]+ misses=[0-9]+' | tail -1
+}
+
+cold=$(run_repro)
+echo "cold:  $cold"
+[ "$(echo "$cold" | grep -oE 'misses=[0-9]+')" != "misses=0" ] ||
+    echo "note: cold pass already warm (pre-existing store?)"
+
+echo "== repro_all: warm pass (must be all cache hits) =="
+warm=$(run_repro)
+echo "warm:  $warm"
+if [ "$(echo "$warm" | grep -oE 'misses=[0-9]+')" != "misses=0" ]; then
+    echo "FAIL: warm repro_all re-simulated ($warm)" >&2
+    exit 1
+fi
+
+echo "== ci.sh: all gates passed =="

@@ -1,8 +1,8 @@
-//! Criterion wrappers around the ablation configurations, tracking how
+//! Microbenches around the ablation configurations, tracking how
 //! simulator wall time responds to the knobs DESIGN.md calls out.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
+use tango_bench::microbench::Runner;
 use tango_nets::{build_network, synthetic_input, NetworkKind, Preset};
 use tango_sim::{Gpu, GpuConfig, SchedulerPolicy, SimOptions};
 
@@ -15,38 +15,26 @@ fn run(config: GpuConfig, opts: &SimOptions) -> u64 {
     net.infer(&mut gpu, &input, opts).expect("infer").total_cycles()
 }
 
-fn bench_schedulers(c: &mut Criterion) {
-    let mut g = c.benchmark_group("ablation_scheduler");
-    g.sample_size(10);
+fn main() {
+    let mut r = Runner::from_args();
+
     for policy in SchedulerPolicy::ALL {
-        g.bench_with_input(BenchmarkId::from_parameter(policy.name()), &policy, |b, &p| {
-            b.iter(|| black_box(run(GpuConfig::gp102(), &SimOptions::new().with_scheduler(p))))
+        r.bench(&format!("ablation_scheduler/{}", policy.name()), || {
+            black_box(run(GpuConfig::gp102(), &SimOptions::new().with_scheduler(policy)));
         });
     }
-    g.finish();
-}
 
-fn bench_l1_sizes(c: &mut Criterion) {
-    let mut g = c.benchmark_group("ablation_l1d");
-    g.sample_size(10);
     for (name, bytes) in [("no_l1", 0u32), ("64k", 64 << 10), ("256k", 256 << 10)] {
-        g.bench_with_input(BenchmarkId::from_parameter(name), &bytes, |b, &bytes| {
-            b.iter(|| black_box(run(GpuConfig::gp102(), &SimOptions::new().with_l1d_bytes(bytes))))
+        r.bench(&format!("ablation_l1d/{name}"), || {
+            black_box(run(GpuConfig::gp102(), &SimOptions::new().with_l1d_bytes(bytes)));
         });
     }
-    g.finish();
-}
 
-fn bench_sampling(c: &mut Criterion) {
-    let mut g = c.benchmark_group("ablation_cta_sampling");
-    g.sample_size(10);
     for (name, limit) in [("full", None), ("sample32", Some(32u64))] {
-        g.bench_with_input(BenchmarkId::from_parameter(name), &limit, |b, limit| {
-            b.iter(|| black_box(run(GpuConfig::gp102(), &SimOptions::new().with_cta_sample_limit(*limit))))
+        r.bench(&format!("ablation_cta_sampling/{name}"), || {
+            black_box(run(GpuConfig::gp102(), &SimOptions::new().with_cta_sample_limit(limit)));
         });
     }
-    g.finish();
-}
 
-criterion_group!(benches, bench_schedulers, bench_l1_sizes, bench_sampling);
-criterion_main!(benches);
+    r.finish();
+}

@@ -1,16 +1,16 @@
-//! Criterion benches over the figure producers.
+//! Microbenches over the figure producers.
 //!
 //! One bench per table/figure of the paper's evaluation, run at `Tiny`
-//! preset so Criterion's repeated sampling stays tractable; the
-//! `repro_all` binary (bench preset) is what regenerates the recorded
-//! EXPERIMENTS.md numbers. These benches double as regression guards on
-//! simulator throughput.
+//! preset so repeated sampling stays tractable; the `repro_all` binary
+//! (bench preset) is what regenerates the recorded EXPERIMENTS.md
+//! numbers. These benches double as regression guards on simulator
+//! throughput.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 use tango::figures;
 use tango::tables;
 use tango::Characterizer;
+use tango_bench::microbench::Runner;
 use tango_nets::Preset;
 use tango_sim::GpuConfig;
 
@@ -20,111 +20,106 @@ fn tiny() -> Characterizer {
     Characterizer::new(GpuConfig::gp102(), Preset::Tiny, SEED)
 }
 
-fn bench_tables(c: &mut Criterion) {
-    let mut g = c.benchmark_group("tables");
-    g.sample_size(10);
-    g.bench_function("table1_models", |b| b.iter(|| black_box(tables::table1_models())));
-    g.bench_function("table2_gpus", |b| b.iter(|| black_box(tables::table2_gpus())));
+fn bench_tables(r: &mut Runner) {
+    let ch = tiny();
+    r.bench("tables/table1_models", || {
+        black_box(tables::table1_models());
+    });
+    r.bench("tables/table2_gpus", || {
+        black_box(tables::table2_gpus());
+    });
     // Table III builds every full-size network (VGG-16 generates 138M
     // weights), so bench the smallest network's table instead of all.
-    g.bench_function("table3_cifarnet", |b| {
-        b.iter(|| black_box(tables::table3_network(tango_nets::NetworkKind::CifarNet, SEED).unwrap()))
+    r.bench("tables/table3_cifarnet", || {
+        black_box(tables::table3_network(&ch, tango_nets::NetworkKind::CifarNet).unwrap());
     });
-    g.bench_function("table4_fpga", |b| b.iter(|| black_box(tables::table4_fpga())));
-    g.finish();
+    r.bench("tables/table4_fpga", || {
+        black_box(tables::table4_fpga());
+    });
 }
 
-fn bench_suite_figures(c: &mut Criterion) {
+fn bench_suite_figures(r: &mut Runner) {
     let ch = tiny();
     let runs = figures::run_default_suite(&ch).expect("suite");
-    let mut g = c.benchmark_group("figures_from_suite");
-    g.sample_size(10);
-    g.bench_function("fig01_time_breakdown", |b| {
-        b.iter(|| black_box(figures::fig1_time_breakdown(&runs)))
+    r.bench("figures_from_suite/fig01_time_breakdown", || {
+        black_box(figures::fig1_time_breakdown(&runs));
     });
-    g.bench_function("fig03_peak_power", |b| b.iter(|| black_box(figures::fig3_peak_power(&runs))));
-    g.bench_function("fig04_power_per_type", |b| {
-        b.iter(|| black_box(figures::fig4_power_per_layer_type(&runs)))
+    r.bench("figures_from_suite/fig03_peak_power", || {
+        black_box(figures::fig3_peak_power(&runs));
     });
-    g.bench_function("fig05_power_components", |b| {
-        b.iter(|| black_box(figures::fig5_power_components(&runs)))
+    r.bench("figures_from_suite/fig04_power_per_type", || {
+        black_box(figures::fig4_power_per_layer_type(&runs));
     });
-    g.bench_function("fig08_op_breakdown", |b| b.iter(|| black_box(figures::fig8_op_breakdown(&runs))));
-    g.bench_function("fig09_top_ops", |b| b.iter(|| black_box(figures::fig9_top_ops(&runs))));
-    g.bench_function("fig10_dtypes", |b| b.iter(|| black_box(figures::fig10_dtype_over_layers(&runs))));
-    g.finish();
+    r.bench("figures_from_suite/fig05_power_components", || {
+        black_box(figures::fig5_power_components(&runs));
+    });
+    r.bench("figures_from_suite/fig08_op_breakdown", || {
+        black_box(figures::fig8_op_breakdown(&runs));
+    });
+    r.bench("figures_from_suite/fig09_top_ops", || {
+        black_box(figures::fig9_top_ops(&runs));
+    });
+    r.bench("figures_from_suite/fig10_dtypes", || {
+        black_box(figures::fig10_dtype_over_layers(&runs));
+    });
 }
 
-fn bench_simulating_figures(c: &mut Criterion) {
+fn bench_simulating_figures(r: &mut Runner) {
     // Representative slices of each sweep figure: the full multi-network
-    // sweeps live in the fig02/fig07/fig13..fig16 binaries; Criterion
+    // sweeps live in the fig02/fig07/fig13..fig16 binaries; this target
     // measures one network per knob so `cargo bench` finishes in minutes.
     use tango_nets::NetworkKind;
     use tango_sim::SchedulerPolicy;
     let ch = tiny();
-    let mut g = c.benchmark_group("figures_simulating");
-    g.sample_size(10);
-    g.bench_function("suite_default_runs", |b| {
-        b.iter(|| black_box(figures::run_default_suite(&ch).unwrap()))
+    r.bench("figures_simulating/suite_default_runs", || {
+        black_box(figures::run_default_suite(&ch).unwrap());
     });
-    g.bench_function("fig02_l1d_sweep_cifarnet", |b| {
-        b.iter(|| {
-            for bytes in [0u32, 64 << 10, 128 << 10, 256 << 10] {
-                black_box(
-                    ch.run_network(NetworkKind::CifarNet, &ch.default_options().with_l1d_bytes(bytes))
-                        .unwrap(),
-                );
-            }
-        })
-    });
-    g.bench_function("fig06_tx1_vs_pynq", |b| {
-        b.iter(|| black_box(figures::fig6_tx1_vs_pynq(Preset::Tiny, SEED).unwrap()))
-    });
-    g.bench_function("fig07_stalls_gru_gk210", |b| {
-        let gk = ch.with_config(tango_sim::GpuConfig::gk210());
-        b.iter(|| black_box(gk.run_network(NetworkKind::Gru, &gk.default_options()).unwrap()))
-    });
-    g.bench_function("fig13_14_no_l1_cifarnet", |b| {
-        b.iter(|| {
+    r.bench("figures_simulating/fig02_l1d_sweep_cifarnet", || {
+        for bytes in [0u32, 64 << 10, 128 << 10, 256 << 10] {
             black_box(
-                ch.run_network(NetworkKind::CifarNet, &ch.default_options().with_l1d_bytes(0))
+                ch.run_network(NetworkKind::CifarNet, &ch.default_options().with_l1d_bytes(bytes))
                     .unwrap(),
-            )
-        })
+            );
+        }
     });
-    g.bench_function("fig15_schedulers_alexnet", |b| {
-        b.iter(|| {
-            for policy in SchedulerPolicy::ALL {
-                black_box(
-                    ch.run_network(NetworkKind::AlexNet, &ch.default_options().with_scheduler(policy))
-                        .unwrap(),
-                );
-            }
-        })
+    r.bench("figures_simulating/fig06_tx1_vs_pynq", || {
+        black_box(figures::fig6_tx1_vs_pynq(&ch, Preset::Tiny).unwrap());
     });
-    g.finish();
+    let gk = ch.with_config(tango_sim::GpuConfig::gk210());
+    r.bench("figures_simulating/fig07_stalls_gru_gk210", || {
+        black_box(gk.run_network(NetworkKind::Gru, &gk.default_options()).unwrap());
+    });
+    r.bench("figures_simulating/fig13_14_no_l1_cifarnet", || {
+        black_box(
+            ch.run_network(NetworkKind::CifarNet, &ch.default_options().with_l1d_bytes(0))
+                .unwrap(),
+        );
+    });
+    r.bench("figures_simulating/fig15_schedulers_alexnet", || {
+        for policy in SchedulerPolicy::ALL {
+            black_box(
+                ch.run_network(NetworkKind::AlexNet, &ch.default_options().with_scheduler(policy))
+                    .unwrap(),
+            );
+        }
+    });
 }
 
-fn bench_static_figures(c: &mut Criterion) {
-    let mut g = c.benchmark_group("figures_static");
-    g.sample_size(10);
+fn bench_static_figures(r: &mut Runner) {
     // Figures 11/12 build full-size models (hundreds of MB of synthetic
     // weights); bench the cheapest network to keep iteration time sane.
-    g.bench_function("fig11_footprint_rnn_only", |b| {
-        b.iter(|| {
-            let mut gpu = tango_sim::Gpu::new(GpuConfig::tx1());
-            let _ = tango_nets::build_network(&mut gpu, tango_nets::NetworkKind::Lstm, Preset::Paper, SEED).unwrap();
-            black_box(gpu.memory_footprint_bytes())
-        })
+    r.bench("figures_static/fig11_footprint_rnn_only", || {
+        let mut gpu = tango_sim::Gpu::new(GpuConfig::tx1());
+        let _ = tango_nets::build_network(&mut gpu, tango_nets::NetworkKind::Lstm, Preset::Paper, SEED).unwrap();
+        black_box(gpu.memory_footprint_bytes());
     });
-    g.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_tables,
-    bench_suite_figures,
-    bench_simulating_figures,
-    bench_static_figures
-);
-criterion_main!(benches);
+fn main() {
+    let mut r = Runner::from_args();
+    bench_tables(&mut r);
+    bench_suite_figures(&mut r);
+    bench_simulating_figures(&mut r);
+    bench_static_figures(&mut r);
+    r.finish();
+}

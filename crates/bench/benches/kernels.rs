@@ -2,65 +2,62 @@
 //! granularity of the paper's Table III, useful for tracking simulator
 //! throughput per kernel family.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
+use tango_bench::microbench::Runner;
 use tango_isa::Dim3;
 use tango_kernels::{Conv2d, DeviceTensor, FullyConnected, GruStep, LstmStep, MaxPool2d, Softmax};
 use tango_kernels::{GruDeviceWeights, LstmDeviceWeights};
 use tango_sim::{Gpu, GpuConfig, SimOptions};
 use tango_tensor::{Shape, SplitMix64, Tensor};
 
-fn bench_conv(c: &mut Criterion) {
-    let mut g = c.benchmark_group("kernels");
-    g.sample_size(10);
-
-    g.bench_function("conv3x3_8to16_16x16", |b| {
+fn bench_kernels(r: &mut Runner) {
+    {
         let conv = Conv2d::new(8, 16, 16, 16, 3, 3, 1, 1, true).unwrap();
         let mut rng = SplitMix64::new(1);
         let input = Tensor::uniform(Shape::nchw(1, 8, 16, 16), -1.0, 1.0, &mut rng);
         let weights = Tensor::uniform(Shape::new(&[16, 8, 3, 3]), -0.5, 0.5, &mut rng);
         let bias = Tensor::uniform(Shape::vector(16), -0.1, 0.1, &mut rng);
-        b.iter(|| {
+        r.bench("kernels/conv3x3_8to16_16x16", || {
             let mut gpu = Gpu::new(GpuConfig::gp102());
             let d_in = DeviceTensor::upload(&mut gpu, &input, 1).unwrap();
             let d_w = gpu.upload_f32s(weights.as_slice());
             let d_b = gpu.upload_f32s(bias.as_slice());
             let d_out = DeviceTensor::alloc(&mut gpu, 16, conv.h_out(), conv.w_out(), 0);
-            black_box(conv.launch(&mut gpu, &d_in, d_w, d_b, &d_out, &SimOptions::new()))
-        })
-    });
+            black_box(conv.launch(&mut gpu, &d_in, d_w, d_b, &d_out, &SimOptions::new()));
+        });
+    }
 
-    g.bench_function("maxpool2x2_16ch_16x16", |b| {
+    {
         let pool = MaxPool2d::new(16, 16, 16, 2, 2).unwrap();
         let mut rng = SplitMix64::new(2);
         let input = Tensor::uniform(Shape::nchw(1, 16, 16, 16), -1.0, 1.0, &mut rng);
-        b.iter(|| {
+        r.bench("kernels/maxpool2x2_16ch_16x16", || {
             let mut gpu = Gpu::new(GpuConfig::gp102());
             let d_in = DeviceTensor::upload(&mut gpu, &input, 0).unwrap();
             let d_out = DeviceTensor::alloc(&mut gpu, 16, pool.h_out(), pool.w_out(), 0);
-            black_box(pool.launch(&mut gpu, &d_in, &d_out, &SimOptions::new()))
-        })
-    });
+            black_box(pool.launch(&mut gpu, &d_in, &d_out, &SimOptions::new()));
+        });
+    }
 
-    g.bench_function("fc_256to64_single_thread_blocks", |b| {
+    {
         let fc = FullyConnected::new(1, 1, 256, 64, 1, false).unwrap();
         let mut rng = SplitMix64::new(3);
         let input = Tensor::uniform(Shape::vector(256), -1.0, 1.0, &mut rng);
         let weights = Tensor::uniform(Shape::matrix(64, 256), -0.3, 0.3, &mut rng);
         let bias = Tensor::uniform(Shape::vector(64), -0.1, 0.1, &mut rng);
-        b.iter(|| {
+        r.bench("kernels/fc_256to64_single_thread_blocks", || {
             let mut gpu = Gpu::new(GpuConfig::gp102());
             let d_in = DeviceTensor::upload(&mut gpu, &input, 0).unwrap();
             let d_w = gpu.upload_f32s(weights.as_slice());
             let d_b = gpu.upload_f32s(bias.as_slice());
             let d_out = DeviceTensor::alloc_vector(&mut gpu, 64);
-            black_box(fc.launch(&mut gpu, &d_in, d_w, d_b, &d_out, &SimOptions::new()))
-        })
-    });
+            black_box(fc.launch(&mut gpu, &d_in, d_w, d_b, &d_out, &SimOptions::new()));
+        });
+    }
 
-    g.bench_function("gru_step_h64", |b| {
+    {
         let step = GruStep::new(1, 64, Dim3::xy(8, 8)).unwrap();
-        b.iter(|| {
+        r.bench("kernels/gru_step_h64", || {
             let mut gpu = Gpu::new(GpuConfig::gp102());
             let mut rng = SplitMix64::new(4);
             let buf = |gpu: &mut Gpu, rng: &mut SplitMix64, n: usize| {
@@ -81,13 +78,13 @@ fn bench_conv(c: &mut Criterion) {
             let x = DeviceTensor::alloc_vector(&mut gpu, 1);
             let h0 = DeviceTensor::alloc_vector(&mut gpu, 64);
             let h1 = DeviceTensor::alloc_vector(&mut gpu, 64);
-            black_box(step.launch(&mut gpu, &x, &h0, &h1, &weights, &SimOptions::new()))
-        })
-    });
+            black_box(step.launch(&mut gpu, &x, &h0, &h1, &weights, &SimOptions::new()));
+        });
+    }
 
-    g.bench_function("lstm_step_h64", |b| {
+    {
         let step = LstmStep::new(1, 64, Dim3::x(64)).unwrap();
-        b.iter(|| {
+        r.bench("kernels/lstm_step_h64", || {
             let mut gpu = Gpu::new(GpuConfig::gp102());
             let mut rng = SplitMix64::new(5);
             let buf = |gpu: &mut Gpu, rng: &mut SplitMix64, n: usize| {
@@ -113,24 +110,25 @@ fn bench_conv(c: &mut Criterion) {
             let c0 = DeviceTensor::alloc_vector(&mut gpu, 64);
             let h1 = DeviceTensor::alloc_vector(&mut gpu, 64);
             let c1 = DeviceTensor::alloc_vector(&mut gpu, 64);
-            black_box(step.launch(&mut gpu, &x, &h0, &c0, &h1, &c1, &weights, &SimOptions::new()))
-        })
-    });
+            black_box(step.launch(&mut gpu, &x, &h0, &c0, &h1, &c1, &weights, &SimOptions::new()));
+        });
+    }
 
-    g.bench_function("softmax_250", |b| {
+    {
         let sm = Softmax::new(250).unwrap();
         let mut rng = SplitMix64::new(6);
         let input = Tensor::uniform(Shape::vector(250), -3.0, 3.0, &mut rng);
-        b.iter(|| {
+        r.bench("kernels/softmax_250", || {
             let mut gpu = Gpu::new(GpuConfig::gp102());
             let d_in = DeviceTensor::upload(&mut gpu, &input, 0).unwrap();
             let d_out = DeviceTensor::alloc_vector(&mut gpu, 250);
-            black_box(sm.launch(&mut gpu, &d_in, &d_out, &SimOptions::new()))
-        })
-    });
-
-    g.finish();
+            black_box(sm.launch(&mut gpu, &d_in, &d_out, &SimOptions::new()));
+        });
+    }
 }
 
-criterion_group!(benches, bench_conv);
-criterion_main!(benches);
+fn main() {
+    let mut r = Runner::from_args();
+    bench_kernels(&mut r);
+    r.finish();
+}

@@ -1,7 +1,8 @@
 //! Regenerates Figure 6: energy on TX1 vs PynQ.
 use tango::figures;
 fn main() {
-    let report = figures::fig6_tx1_vs_pynq(tango_nets::Preset::Paper, tango_bench::SEED).expect("runs");
+    let ch = tango_bench::characterizer();
+    let report = figures::fig6_tx1_vs_pynq(&ch, tango_nets::Preset::Paper).expect("runs");
     let text = format!(
         "{}\n{}\n{}",
         report.normalized_energy, report.time_s, report.peak_power_w

@@ -1,5 +1,6 @@
 //! Regenerates Figure 11: memory footprint of the full-size models.
 use tango::figures;
 fn main() {
-    tango_bench::emit("fig11", &figures::fig11_memory_footprint(tango_bench::SEED).expect("builds").to_string());
+    let ch = tango_bench::characterizer();
+    tango_bench::emit("fig11", &figures::fig11_memory_footprint(&ch).expect("builds").to_string());
 }

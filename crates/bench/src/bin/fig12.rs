@@ -1,5 +1,6 @@
 //! Regenerates Figure 12: per-SM register-file usage (full-size models).
 use tango::figures;
 fn main() {
-    tango_bench::emit("fig12", &figures::fig12_register_usage(tango_bench::SEED).expect("builds").to_string());
+    let ch = tango_bench::characterizer();
+    tango_bench::emit("fig12", &figures::fig12_register_usage(&ch).expect("builds").to_string());
 }

@@ -1,63 +1,96 @@
 //! Regenerates every table and figure of the paper in one run, writing
 //! each to `results/<id>.txt` and printing a progress line per experiment.
 //!
+//! The full experiment plan (every simulation any figure needs,
+//! deduplicated) is expanded up front by [`tango_harness::repro_plan`]
+//! and executed across `TANGO_JOBS` worker threads against the shared
+//! persistent [`RunStore`]; the figure and table producers then read
+//! exclusively from the warm store. A second invocation with the same
+//! preset therefore performs zero simulations.
+//!
 //! `TANGO_PRESET=tiny repro_all` gives a fast smoke pass; the default
 //! `bench` preset is what EXPERIMENTS.md records.
 
 use std::time::Instant;
 use tango::figures;
 use tango::tables;
-use tango_bench::{characterizer, emit, preset_from_env, SEED};
+use tango_bench::{characterizer, emit, preset_from_env, store_handle, SEED};
+use tango_harness::{jobs_from_env, repro_plan, RunStore};
 
-fn step<F: FnOnce() -> String>(name: &str, f: F) {
+fn step<F: FnOnce() -> String>(store: &RunStore, name: &str, f: F) {
+    let (h0, m0) = (store.hits(), store.misses());
     let t = Instant::now();
     let text = f();
     emit(name, &text);
-    eprintln!("[repro] {name:8} done in {:6.1}s", t.elapsed().as_secs_f64());
+    eprintln!(
+        "[repro] {name:8} done in {:6.1}s  (store hits {}, misses {})",
+        t.elapsed().as_secs_f64(),
+        store.hits() - h0,
+        store.misses() - m0,
+    );
 }
 
 fn main() {
+    let store = store_handle();
+    store.reset_counters();
     let ch = characterizer();
+    let preset = preset_from_env();
+    let workers = jobs_from_env();
     eprintln!(
-        "[repro] preset={} config={} seed={SEED:#x}",
-        preset_from_env(),
+        "[repro] preset={preset} config={} seed={SEED:#x} jobs={workers}",
         ch.config().name
     );
 
-    step("table1", tables::table1_models);
-    step("table2", tables::table2_gpus);
-    step("table3", || tables::table3_all(SEED).expect("networks build"));
-    step("table4", tables::table4_fpga);
+    // Phase 1: run (or fetch) every simulation any figure needs, in
+    // parallel, deduplicated by content-addressed key.
+    let suite = repro_plan(preset, SEED);
+    let t = Instant::now();
+    let report = suite.execute(&store, workers).expect("suite runs");
+    eprintln!(
+        "[repro] suite: {} jobs in {:.1}s  ({} store hits, {} simulated)",
+        report.jobs,
+        t.elapsed().as_secs_f64(),
+        report.hits,
+        report.misses,
+    );
+
+    // Phase 2: every producer below is served from the warm store.
+    step(&store, "table1", tables::table1_models);
+    step(&store, "table2", tables::table2_gpus);
+    step(&store, "table3", || tables::table3_all(&ch).expect("networks build"));
+    step(&store, "table4", tables::table4_fpga);
 
     let runs = {
         let t = Instant::now();
         let runs = figures::run_default_suite(&ch).expect("suite runs");
-        eprintln!("[repro] default suite simulated in {:.1}s", t.elapsed().as_secs_f64());
+        eprintln!("[repro] default suite fetched in {:.1}s", t.elapsed().as_secs_f64());
         runs
     };
-    step("fig01", || figures::fig1_time_breakdown(&runs).to_string());
-    step("fig03", || figures::fig3_peak_power(&runs).to_string());
-    step("fig04", || figures::fig4_power_per_layer_type(&runs).to_string());
-    step("fig05", || figures::fig5_power_components(&runs).to_string());
-    step("fig08", || figures::fig8_op_breakdown(&runs).to_string());
-    step("fig09", || figures::fig9_top_ops(&runs).to_string());
-    step("fig10", || figures::fig10_dtype_over_layers(&runs).to_string());
+    step(&store, "fig01", || figures::fig1_time_breakdown(&runs).to_string());
+    step(&store, "fig03", || figures::fig3_peak_power(&runs).to_string());
+    step(&store, "fig04", || figures::fig4_power_per_layer_type(&runs).to_string());
+    step(&store, "fig05", || figures::fig5_power_components(&runs).to_string());
+    step(&store, "fig08", || figures::fig8_op_breakdown(&runs).to_string());
+    step(&store, "fig09", || figures::fig9_top_ops(&runs).to_string());
+    step(&store, "fig10", || figures::fig10_dtype_over_layers(&runs).to_string());
 
-    step("fig02", || figures::fig2_l1d_sensitivity(&ch).expect("runs").to_string());
-    step("fig06", || {
-        let r = figures::fig6_tx1_vs_pynq(tango_nets::Preset::Paper, SEED).expect("runs");
+    step(&store, "fig02", || figures::fig2_l1d_sensitivity(&ch).expect("runs").to_string());
+    step(&store, "fig06", || {
+        let r = figures::fig6_tx1_vs_pynq(&ch, tango_nets::Preset::Paper).expect("runs");
         format!("{}\n{}\n{}", r.normalized_energy, r.time_s, r.peak_power_w)
     });
-    step("fig07", || figures::fig7_stall_breakdown(&ch).expect("runs").to_string());
-    step("fig11", || figures::fig11_memory_footprint(SEED).expect("builds").to_string());
-    step("fig12", || figures::fig12_register_usage(SEED).expect("builds").to_string());
+    step(&store, "fig07", || figures::fig7_stall_breakdown(&ch).expect("runs").to_string());
+    step(&store, "fig11", || figures::fig11_memory_footprint(&ch).expect("builds").to_string());
+    step(&store, "fig12", || figures::fig12_register_usage(&ch).expect("builds").to_string());
 
     let no_l1 = figures::run_cnns_no_l1(&ch).expect("runs");
-    step("fig13", || figures::fig13_l2_misses(&no_l1).to_string());
-    step("fig14", || figures::fig14_l2_miss_ratio(&no_l1).to_string());
+    step(&store, "fig13", || figures::fig13_l2_misses(&no_l1).to_string());
+    step(&store, "fig14", || figures::fig14_l2_miss_ratio(&no_l1).to_string());
 
-    step("fig15", || figures::fig15_scheduler_sensitivity(&ch).expect("runs").to_string());
-    step("fig16", || figures::fig16_alexnet_per_layer_scheduler(&ch).expect("runs").to_string());
+    step(&store, "fig15", || figures::fig15_scheduler_sensitivity(&ch).expect("runs").to_string());
+    step(&store, "fig16", || figures::fig16_alexnet_per_layer_scheduler(&ch).expect("runs").to_string());
 
     eprintln!("[repro] all experiments written to results/");
+    // Machine-readable totals (ci.sh asserts misses=0 on a warm pass).
+    eprintln!("[repro] store hits={} misses={}", store.hits(), store.misses());
 }

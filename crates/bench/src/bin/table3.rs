@@ -1,6 +1,7 @@
 //! Regenerates Table III (per-layer kernel configuration and SRAM usage)
 //! for all seven networks at full published size.
 fn main() {
-    let text = tango::tables::table3_all(tango_bench::SEED).expect("networks build");
+    let ch = tango_bench::characterizer();
+    let text = tango::tables::table3_all(&ch).expect("networks build");
     tango_bench::emit("table3", &text);
 }

@@ -1,16 +1,21 @@
 //! Shared plumbing for the reproduction binaries (`fig01`..`fig16`,
-//! `table1`..`table4`, `repro_all`) and the Criterion benches.
+//! `table1`..`table4`, `repro_all`) and the in-tree microbenches.
 //!
-//! Each binary regenerates one table or figure of the paper and prints the
-//! paper-style rows; `repro_all` runs everything and writes the outputs
-//! under `results/`.
+//! Each binary regenerates one table or figure of the paper and prints
+//! the paper-style rows; `repro_all` schedules every experiment through
+//! the `tango-harness` suite scheduler. All binaries share one
+//! process-wide [`RunStore`] (persisted under `results/store/`), so any
+//! simulation one binary performs is a cache hit for every later one.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod microbench;
+
 use std::fs;
-use std::path::PathBuf;
+use std::sync::{Arc, OnceLock};
 use tango::Characterizer;
+use tango_harness::{results_root, RunStore};
 use tango_nets::Preset;
 use tango_sim::GpuConfig;
 
@@ -28,17 +33,28 @@ pub fn preset_from_env() -> Preset {
     }
 }
 
-/// The characterizer the simulated figures use: GP102 at the environment
-/// preset.
-pub fn characterizer() -> Characterizer {
-    Characterizer::new(GpuConfig::gp102(), preset_from_env(), SEED)
+/// The process-wide persistent run store at the default location
+/// (`results/store/`, or under `TANGO_RESULTS_DIR`).
+pub fn store_handle() -> Arc<RunStore> {
+    static STORE: OnceLock<Arc<RunStore>> = OnceLock::new();
+    STORE.get_or_init(|| Arc::new(RunStore::open_default())).clone()
 }
 
-/// Prints `content` and also writes it to `results/<name>.txt` (best
-/// effort — printing is the contract, the file is a convenience).
+/// The characterizer the simulated figures use: GP102 at the environment
+/// preset, backed by the shared [`store_handle`] so repeated runs are
+/// served from the store.
+pub fn characterizer() -> Characterizer {
+    Characterizer::new(GpuConfig::gp102(), preset_from_env(), SEED).with_source(store_handle())
+}
+
+/// Prints `content` and also writes it to `results/<name>.txt` at the
+/// workspace root (best effort — printing is the contract, the file is
+/// a convenience). The directory is resolved via
+/// [`tango_harness::results_root`], so it does not depend on the
+/// process working directory.
 pub fn emit(name: &str, content: &str) {
     println!("{content}");
-    let dir = PathBuf::from("results");
+    let dir = results_root();
     if fs::create_dir_all(&dir).is_ok() {
         let _ = fs::write(dir.join(format!("{name}.txt")), content);
     }
@@ -57,7 +73,14 @@ mod tests {
     }
 
     #[test]
-    fn characterizer_uses_gp102() {
-        assert!(characterizer().config().name.contains("GP102"));
+    fn characterizer_uses_gp102_with_the_shared_store() {
+        let ch = characterizer();
+        assert!(ch.config().name.contains("GP102"));
+        assert!(ch.source().is_some(), "figures must route through the store");
+    }
+
+    #[test]
+    fn store_handle_is_shared() {
+        assert!(Arc::ptr_eq(&store_handle(), &store_handle()));
     }
 }

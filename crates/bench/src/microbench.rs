@@ -1,0 +1,124 @@
+//! Minimal in-tree microbenchmark harness.
+//!
+//! The workspace builds fully offline, so the bench targets cannot pull
+//! in an external framework; this module provides the small subset they
+//! need: named benchmarks, a fixed warm-up, a handful of timed samples,
+//! and a one-line `min/median/mean` report per benchmark.
+//!
+//! `cargo bench` invokes each `harness = false` target with a `--bench`
+//! flag (and test runners may add `--nocapture` etc.); flags are
+//! ignored. The first non-flag argument, if any, is a substring filter
+//! on benchmark names. `TANGO_BENCH_SAMPLES` overrides the sample count
+//! (default 5).
+
+use std::time::{Duration, Instant};
+
+/// Collects and runs the benchmarks of one bench target.
+pub struct Runner {
+    filter: Option<String>,
+    samples: usize,
+    ran: usize,
+}
+
+impl Runner {
+    /// A runner configured from the process arguments and environment.
+    pub fn from_args() -> Self {
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        let samples = std::env::var("TANGO_BENCH_SAMPLES")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .map_or(5, |n| n.max(1));
+        Runner {
+            filter,
+            samples,
+            ran: 0,
+        }
+    }
+
+    /// Times `f` (after one untimed warm-up call) unless the name is
+    /// filtered out, and prints a report line.
+    pub fn bench<F: FnMut()>(&mut self, name: &str, mut f: F) {
+        if let Some(filter) = &self.filter {
+            if !name.contains(filter.as_str()) {
+                return;
+            }
+        }
+        f();
+        let mut times: Vec<Duration> = (0..self.samples)
+            .map(|_| {
+                let t = Instant::now();
+                f();
+                t.elapsed()
+            })
+            .collect();
+        times.sort_unstable();
+        let min = times[0];
+        let median = times[times.len() / 2];
+        let mean = times.iter().sum::<Duration>() / times.len() as u32;
+        println!(
+            "bench {name:<40} min {:>10}  median {:>10}  mean {:>10}  ({} samples)",
+            fmt(min),
+            fmt(median),
+            fmt(mean),
+            times.len()
+        );
+        self.ran += 1;
+    }
+
+    /// Prints the closing summary. Call once at the end of `main`.
+    pub fn finish(self) {
+        println!("bench: {} benchmark(s) run", self.ran);
+    }
+}
+
+fn fmt(d: Duration) -> String {
+    let s = d.as_secs_f64();
+    if s >= 1.0 {
+        format!("{s:.3} s")
+    } else if s >= 1e-3 {
+        format!("{:.3} ms", s * 1e3)
+    } else {
+        format!("{:.1} us", s * 1e6)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runner_times_and_counts() {
+        let mut r = Runner {
+            filter: None,
+            samples: 2,
+            ran: 0,
+        };
+        let mut calls = 0;
+        r.bench("noop", || calls += 1);
+        // 1 warm-up + 2 samples.
+        assert_eq!(calls, 3);
+        assert_eq!(r.ran, 1);
+    }
+
+    #[test]
+    fn filter_skips_non_matching_names() {
+        let mut r = Runner {
+            filter: Some("conv".into()),
+            samples: 1,
+            ran: 0,
+        };
+        let mut calls = 0;
+        r.bench("softmax", || calls += 1);
+        assert_eq!(calls, 0);
+        r.bench("conv3x3", || calls += 1);
+        assert_eq!(calls, 2);
+        assert_eq!(r.ran, 1);
+    }
+
+    #[test]
+    fn durations_format_by_magnitude() {
+        assert_eq!(fmt(Duration::from_secs(2)), "2.000 s");
+        assert_eq!(fmt(Duration::from_millis(12)), "12.000 ms");
+        assert_eq!(fmt(Duration::from_micros(70)), "70.0 us");
+    }
+}

@@ -13,7 +13,7 @@ use crate::report::{Matrix, Unit};
 use crate::Result;
 use std::collections::BTreeMap;
 use tango_fpga::PynqZ1;
-use tango_isa::{max_live_registers, DType, Opcode};
+use tango_isa::{DType, Opcode};
 use tango_nets::{build_network, LayerType, NetworkKind, Preset};
 use tango_sim::{Gpu, GpuConfig, SchedulerPolicy, StallReason};
 
@@ -196,13 +196,15 @@ pub struct Fig6Report {
 
 /// Figure 6: energy on the embedded GPU (TX1) vs the embedded FPGA
 /// (PynQ), energy computed as peak power x execution time exactly as the
-/// paper does.
+/// paper does. The TX1 runs route through `ch`'s run source (keeping its
+/// seed), so a warm store skips the expensive full-size simulations.
 ///
 /// # Errors
 ///
 /// Propagates network failures.
-pub fn fig6_tx1_vs_pynq(preset: Preset, seed: u64) -> Result<Fig6Report> {
-    let ch = Characterizer::new(GpuConfig::tx1(), preset, seed);
+pub fn fig6_tx1_vs_pynq(ch: &Characterizer, preset: Preset) -> Result<Fig6Report> {
+    let seed = ch.seed();
+    let ch = ch.with_config(GpuConfig::tx1()).with_preset(preset);
     // The embedded comparison is meaningful at published model sizes
     // (layer-count-driven FPGA overheads do not shrink with channel
     // scaling); CTA sampling keeps the TX1 side tractable.
@@ -359,12 +361,13 @@ pub fn fig10_dtype_over_layers(runs: &[NetworkRun]) -> Matrix {
 
 /// Figure 11: maximum device-memory usage per network in KB, on the
 /// full-size (`Paper`) models like the paper's TX1 measurement.
-/// Build-only — footprint is an allocation property.
+/// Build-only — footprint is an allocation property, pulled through
+/// `ch`'s run source.
 ///
 /// # Errors
 ///
 /// Propagates network-construction failures.
-pub fn fig11_memory_footprint(seed: u64) -> Result<Matrix> {
+pub fn fig11_memory_footprint(ch: &Characterizer) -> Result<Matrix> {
     let mut m = Matrix::new(
         "Fig 11: Memory Footprint (full-size models, TX1)",
         "Network",
@@ -372,9 +375,8 @@ pub fn fig11_memory_footprint(seed: u64) -> Result<Matrix> {
         Unit::Kilobytes,
     );
     for kind in NetworkKind::ALL {
-        let mut gpu = Gpu::new(GpuConfig::tx1());
-        let _net = build_network(&mut gpu, kind, Preset::Paper, seed)?;
-        m.push_row(kind.name(), vec![gpu.memory_footprint_bytes() as f64 / 1024.0]);
+        let build = ch.build_stats(kind, Preset::Paper)?;
+        m.push_row(kind.name(), vec![build.footprint_bytes as f64 / 1024.0]);
     }
     Ok(m)
 }
@@ -387,7 +389,7 @@ pub fn fig11_memory_footprint(seed: u64) -> Result<Matrix> {
 /// # Errors
 ///
 /// Propagates network-construction failures.
-pub fn fig12_register_usage(seed: u64) -> Result<Matrix> {
+pub fn fig12_register_usage(ch: &Characterizer) -> Result<Matrix> {
     let config = GpuConfig::gp102();
     let mut m = Matrix::new(
         "Fig 12: Register File Usage per SM (Pascal, full-size models)",
@@ -396,21 +398,17 @@ pub fn fig12_register_usage(seed: u64) -> Result<Matrix> {
         Unit::Kilobytes,
     );
     for kind in NetworkKind::ALL {
-        let mut gpu = Gpu::new(config.clone());
-        let net = build_network(&mut gpu, kind, Preset::Paper, seed)?;
+        let build = ch.build_stats(kind, Preset::Paper)?;
         let mut alloc_max = 0u64;
         let mut live_max = 0u64;
-        for layer in net.layers() {
-            let k = layer.kernel();
-            let threads = k.block().count() as u32;
-            let regs = k.regs();
+        for layer in &build.layers {
+            let threads = layer.block.count() as u32;
             let ctas = config
-                .ctas_per_sm(threads, regs, k.smem_bytes())
-                .min(k.grid().count().min(u32::MAX as u64) as u32);
+                .ctas_per_sm(threads, layer.regs, layer.smem_bytes)
+                .min(layer.grid.count().min(u32::MAX as u64) as u32);
             let resident = (ctas * threads) as u64;
-            let live = max_live_registers(k.program()) as u64;
-            alloc_max = alloc_max.max(regs as u64 * resident * 4);
-            live_max = live_max.max(live * resident * 4);
+            alloc_max = alloc_max.max(layer.regs as u64 * resident * 4);
+            live_max = live_max.max(layer.live_regs as u64 * resident * 4);
         }
         m.push_row(kind.name(), vec![alloc_max as f64 / 1024.0, live_max as f64 / 1024.0]);
     }
@@ -595,7 +593,7 @@ mod tests {
 
     #[test]
     fn fig12_live_never_exceeds_allocated() {
-        let m = fig12_register_usage(5).unwrap();
+        let m = fig12_register_usage(&Characterizer::new(GpuConfig::gp102(), Preset::Tiny, 5)).unwrap();
         for (name, v) in &m.rows {
             assert!(v[1] <= v[0], "{name}: live {} > allocated {}", v[1], v[0]);
         }

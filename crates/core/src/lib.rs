@@ -29,7 +29,9 @@
 //! ```
 //!
 //! The per-experiment producers live in [`figures`] and [`tables`]; the
-//! `tango-bench` crate wraps each one in a binary and a Criterion bench.
+//! `tango-bench` crate wraps each one in a binary and an in-tree
+//! microbench, and the `tango-harness` crate schedules the full
+//! experiment plan against a persistent result store.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -40,7 +42,9 @@ pub mod figures;
 pub mod report;
 pub mod tables;
 
-pub use characterize::{Characterizer, NetworkRun};
+pub use characterize::{
+    measure_build, simulate_run, BuildSpec, BuildStats, Characterizer, LayerBuildStats, NetworkRun, RunSource, RunSpec,
+};
 pub use error::TangoError;
 pub use report::{Matrix, Unit};
 

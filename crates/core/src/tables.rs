@@ -1,10 +1,10 @@
 //! Table producers: the paper's Tables I-IV as printable text.
 
-use crate::Result;
+use crate::{Characterizer, Result};
 use std::fmt::Write as _;
 use tango_fpga::PynqConfig;
-use tango_nets::{build_network, model_info, NetworkKind, Preset};
-use tango_sim::{Gpu, GpuConfig};
+use tango_nets::{model_info, NetworkKind, Preset};
+use tango_sim::GpuConfig;
 
 /// Table I: input data, pre-trained models (and this reproduction's
 /// substitutions), and outputs per network.
@@ -54,14 +54,14 @@ pub fn table2_gpus() -> String {
 }
 
 /// Table III: per-layer kernel configuration (gridDim, blockDim, regs,
-/// smem, cmem) for one network at full published size.
+/// smem, cmem) for one network at full published size, pulled through
+/// `ch`'s run source.
 ///
 /// # Errors
 ///
 /// Propagates network-construction failures.
-pub fn table3_network(kind: NetworkKind, seed: u64) -> Result<String> {
-    let mut gpu = Gpu::new(GpuConfig::gp102());
-    let net = build_network(&mut gpu, kind, Preset::Paper, seed)?;
+pub fn table3_network(ch: &Characterizer, kind: NetworkKind) -> Result<String> {
+    let build = ch.build_stats(kind, Preset::Paper)?;
     let mut out = String::new();
     let _ = writeln!(out, "# Table III ({}): Network Configuration and SRAM Usage", kind.name());
     let _ = writeln!(
@@ -69,17 +69,16 @@ pub fn table3_network(kind: NetworkKind, seed: u64) -> Result<String> {
         "{:<24} {:>16} {:>14} {:>5} {:>6} {:>6}",
         "Layer", "gridDim", "blockDim", "regs", "smem", "cmem"
     );
-    for layer in net.layers() {
-        let k = layer.kernel();
+    for layer in &build.layers {
         let _ = writeln!(
             out,
             "{:<24} {:>16} {:>14} {:>5} {:>6} {:>6}",
-            layer.name(),
-            k.grid().to_string(),
-            k.block().to_string(),
-            k.regs(),
-            k.smem_bytes(),
-            k.cmem_bytes()
+            layer.name,
+            layer.grid.to_string(),
+            layer.block.to_string(),
+            layer.regs,
+            layer.smem_bytes,
+            layer.cmem_bytes
         );
     }
     Ok(out)
@@ -90,10 +89,10 @@ pub fn table3_network(kind: NetworkKind, seed: u64) -> Result<String> {
 /// # Errors
 ///
 /// Propagates network-construction failures.
-pub fn table3_all(seed: u64) -> Result<String> {
+pub fn table3_all(ch: &Characterizer) -> Result<String> {
     let mut out = String::new();
     for kind in NetworkKind::ALL {
-        out.push_str(&table3_network(kind, seed)?);
+        out.push_str(&table3_network(ch, kind)?);
         out.push('\n');
     }
     Ok(out)
@@ -144,7 +143,8 @@ mod tests {
 
     #[test]
     fn table3_cifarnet_matches_paper_geometry() {
-        let t = table3_network(NetworkKind::CifarNet, 3).unwrap();
+        let ch = Characterizer::new(GpuConfig::gp102(), Preset::Paper, 3);
+        let t = table3_network(&ch, NetworkKind::CifarNet).unwrap();
         // The paper's CifarNet conv kernels: (1,1,1) grids of (32,32,1).
         assert!(t.contains("conv1"), "{t}");
         assert!(t.contains("(1, 1, 1)"));

@@ -1,0 +1,530 @@
+//! Binary encoding of store records.
+//!
+//! The store persists two record types, both little-endian and
+//! self-describing, in the style of the weight container in
+//! `tango_nets::io` (magic + version + length-prefixed payload):
+//!
+//! ```text
+//! "TNGR" | u32 version | NetworkRun     (a full simulated inference)
+//! "TNGB" | u32 version | BuildStats     (build-only static facts)
+//! ```
+//!
+//! Decoding is strict: a wrong magic, a stale version, an out-of-range
+//! enum code, or a truncated payload all return `Err`, which the store
+//! treats as a cache miss (the entry is re-simulated and rewritten).
+//! Floats are stored by bit pattern, so a decoded record compares equal
+//! (`PartialEq`) to the one that was encoded — the property the
+//! round-trip tests pin.
+
+use crate::key::{network_kind_code, network_kind_from_code, STORE_SCHEMA_VERSION};
+use std::collections::BTreeMap;
+use tango::{BuildStats, LayerBuildStats, NetworkRun};
+use tango_isa::{DType, Dim3, Opcode};
+use tango_nets::{InferenceReport, LayerRecord, LayerType};
+use tango_sim::{CacheStats, Component, EnergyBreakdown, KernelStats, StallBreakdown, StallReason};
+use tango_tensor::{Shape, Tensor};
+
+const RUN_MAGIC: &[u8; 4] = b"TNGR";
+const BUILD_MAGIC: &[u8; 4] = b"TNGB";
+
+/// Why a record failed to decode. The store maps any decode error to a
+/// cache miss, so this is diagnostic only.
+pub type DecodeError = String;
+
+fn layer_type_code(t: LayerType) -> u8 {
+    match t {
+        LayerType::Conv => 0,
+        LayerType::Pool => 1,
+        LayerType::Fc => 2,
+        LayerType::Norm => 3,
+        LayerType::FireSqueeze => 4,
+        LayerType::FireExpand => 5,
+        LayerType::Scale => 6,
+        LayerType::Relu => 7,
+        LayerType::Eltwise => 8,
+        LayerType::Softmax => 9,
+        LayerType::Gru => 10,
+        LayerType::Lstm => 11,
+    }
+}
+
+fn layer_type_from_code(code: u8) -> Option<LayerType> {
+    Some(match code {
+        0 => LayerType::Conv,
+        1 => LayerType::Pool,
+        2 => LayerType::Fc,
+        3 => LayerType::Norm,
+        4 => LayerType::FireSqueeze,
+        5 => LayerType::FireExpand,
+        6 => LayerType::Scale,
+        7 => LayerType::Relu,
+        8 => LayerType::Eltwise,
+        9 => LayerType::Softmax,
+        10 => LayerType::Gru,
+        11 => LayerType::Lstm,
+        _ => return None,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------------
+
+struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    fn new(magic: &[u8; 4]) -> Self {
+        let mut buf = Vec::with_capacity(4096);
+        buf.extend_from_slice(magic);
+        buf.extend_from_slice(&STORE_SCHEMA_VERSION.to_le_bytes());
+        Writer { buf }
+    }
+
+    fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+
+    fn f32(&mut self, v: f32) {
+        self.buf.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+
+    fn str(&mut self, s: &str) {
+        self.u32(s.len() as u32);
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+
+    fn dim3(&mut self, d: Dim3) {
+        self.u32(d.x);
+        self.u32(d.y);
+        self.u32(d.z);
+    }
+
+    fn tensor(&mut self, t: &Tensor) {
+        let dims = t.shape().dims();
+        self.u32(dims.len() as u32);
+        for &d in dims {
+            self.u64(d as u64);
+        }
+        let data = t.as_slice();
+        self.u64(data.len() as u64);
+        for &v in data {
+            self.f32(v);
+        }
+    }
+
+    fn cache_stats(&mut self, c: &CacheStats) {
+        self.u64(c.accesses);
+        self.u64(c.hits);
+        self.u64(c.misses);
+    }
+
+    fn stalls(&mut self, s: &StallBreakdown) {
+        for reason in StallReason::ALL {
+            self.u64(s.count(reason));
+        }
+    }
+
+    fn energy(&mut self, e: &EnergyBreakdown) {
+        for component in Component::ALL {
+            self.f64(e.get(component));
+        }
+    }
+
+    fn opcode_counts(&mut self, counts: &BTreeMap<Opcode, u64>) {
+        self.u32(counts.len() as u32);
+        for (&op, &n) in counts {
+            let idx = Opcode::ALL.iter().position(|&o| o == op).expect("opcode in ALL");
+            self.u8(idx as u8);
+            self.u64(n);
+        }
+    }
+
+    fn dtype_counts(&mut self, counts: &BTreeMap<DType, u64>) {
+        self.u32(counts.len() as u32);
+        for (&dt, &n) in counts {
+            let idx = DType::ALL.iter().position(|&d| d == dt).expect("dtype in ALL");
+            self.u8(idx as u8);
+            self.u64(n);
+        }
+    }
+
+    fn kernel_stats(&mut self, k: &KernelStats) {
+        self.str(&k.name);
+        self.u64(k.cycles);
+        self.u64(k.warp_instructions);
+        self.u64(k.thread_instructions);
+        self.opcode_counts(&k.op_counts);
+        self.dtype_counts(&k.dtype_counts);
+        self.stalls(&k.stalls);
+        self.cache_stats(&k.l1d);
+        self.cache_stats(&k.l2);
+        self.u64(k.dram_accesses);
+        self.u64(k.const_accesses);
+        self.u64(k.shared_accesses);
+        self.u32(k.regs_per_thread);
+        self.u32(k.live_regs_per_thread);
+        self.u32(k.max_resident_threads);
+        self.u32(k.smem_bytes);
+        self.u32(k.cmem_bytes);
+        self.energy(&k.energy);
+        self.f64(k.peak_power_w);
+        self.f64(k.avg_power_w);
+        self.f64(k.time_s);
+        self.u64(k.ctas_total);
+        self.u64(k.ctas_simulated);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Reader
+// ---------------------------------------------------------------------------
+
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(bytes: &'a [u8], magic: &[u8; 4]) -> Result<Self, DecodeError> {
+        let mut r = Reader { bytes, pos: 0 };
+        let got = r.take(4)?;
+        if got != magic {
+            return Err(format!("bad magic {got:?}"));
+        }
+        let version = r.u32()?;
+        if version != STORE_SCHEMA_VERSION {
+            return Err(format!("schema version {version} != {STORE_SCHEMA_VERSION}"));
+        }
+        Ok(r)
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+        if self.pos + n > self.bytes.len() {
+            return Err(format!("truncated record at offset {}", self.pos));
+        }
+        let s = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn finish(&self) -> Result<(), DecodeError> {
+        if self.pos != self.bytes.len() {
+            return Err(format!("{} trailing bytes", self.bytes.len() - self.pos));
+        }
+        Ok(())
+    }
+
+    fn u8(&mut self) -> Result<u8, DecodeError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, DecodeError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+    }
+
+    fn u64(&mut self) -> Result<u64, DecodeError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+
+    fn f64(&mut self) -> Result<f64, DecodeError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    fn f32(&mut self) -> Result<f32, DecodeError> {
+        Ok(f32::from_bits(self.u32()?))
+    }
+
+    fn str(&mut self) -> Result<String, DecodeError> {
+        let len = self.u32()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| "string is not UTF-8".to_string())
+    }
+
+    fn dim3(&mut self) -> Result<Dim3, DecodeError> {
+        Ok(Dim3 {
+            x: self.u32()?,
+            y: self.u32()?,
+            z: self.u32()?,
+        })
+    }
+
+    fn tensor(&mut self) -> Result<Tensor, DecodeError> {
+        let rank = self.u32()? as usize;
+        if rank == 0 || rank > 8 {
+            return Err(format!("implausible tensor rank {rank}"));
+        }
+        let mut dims = Vec::with_capacity(rank);
+        for _ in 0..rank {
+            let d = self.u64()? as usize;
+            if d == 0 {
+                return Err("zero tensor dimension".to_string());
+            }
+            dims.push(d);
+        }
+        let count = self.u64()? as usize;
+        if count != dims.iter().product::<usize>() {
+            return Err("tensor element count does not match shape".to_string());
+        }
+        let mut data = Vec::with_capacity(count);
+        for _ in 0..count {
+            data.push(self.f32()?);
+        }
+        Ok(Tensor::from_vec(Shape::new(&dims), data))
+    }
+
+    fn cache_stats(&mut self) -> Result<CacheStats, DecodeError> {
+        Ok(CacheStats {
+            accesses: self.u64()?,
+            hits: self.u64()?,
+            misses: self.u64()?,
+        })
+    }
+
+    fn stalls(&mut self) -> Result<StallBreakdown, DecodeError> {
+        let mut s = StallBreakdown::new();
+        for reason in StallReason::ALL {
+            s.record_n(reason, self.u64()?);
+        }
+        Ok(s)
+    }
+
+    fn energy(&mut self) -> Result<EnergyBreakdown, DecodeError> {
+        let mut e = EnergyBreakdown::new();
+        for component in Component::ALL {
+            e.add(component, self.f64()?);
+        }
+        Ok(e)
+    }
+
+    fn opcode_counts(&mut self) -> Result<BTreeMap<Opcode, u64>, DecodeError> {
+        let count = self.u32()? as usize;
+        let mut map = BTreeMap::new();
+        for _ in 0..count {
+            let idx = self.u8()? as usize;
+            let op = *Opcode::ALL.get(idx).ok_or_else(|| format!("opcode code {idx} out of range"))?;
+            let n = self.u64()?;
+            map.insert(op, n);
+        }
+        Ok(map)
+    }
+
+    fn dtype_counts(&mut self) -> Result<BTreeMap<DType, u64>, DecodeError> {
+        let count = self.u32()? as usize;
+        let mut map = BTreeMap::new();
+        for _ in 0..count {
+            let idx = self.u8()? as usize;
+            let dt = *DType::ALL.get(idx).ok_or_else(|| format!("dtype code {idx} out of range"))?;
+            let n = self.u64()?;
+            map.insert(dt, n);
+        }
+        Ok(map)
+    }
+
+    fn kernel_stats(&mut self) -> Result<KernelStats, DecodeError> {
+        Ok(KernelStats {
+            name: self.str()?,
+            cycles: self.u64()?,
+            warp_instructions: self.u64()?,
+            thread_instructions: self.u64()?,
+            op_counts: self.opcode_counts()?,
+            dtype_counts: self.dtype_counts()?,
+            stalls: self.stalls()?,
+            l1d: self.cache_stats()?,
+            l2: self.cache_stats()?,
+            dram_accesses: self.u64()?,
+            const_accesses: self.u64()?,
+            shared_accesses: self.u64()?,
+            regs_per_thread: self.u32()?,
+            live_regs_per_thread: self.u32()?,
+            max_resident_threads: self.u32()?,
+            smem_bytes: self.u32()?,
+            cmem_bytes: self.u32()?,
+            energy: self.energy()?,
+            peak_power_w: self.f64()?,
+            avg_power_w: self.f64()?,
+            time_s: self.f64()?,
+            ctas_total: self.u64()?,
+            ctas_simulated: self.u64()?,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Public API
+// ---------------------------------------------------------------------------
+
+/// Encodes a full run record.
+pub fn encode_run(run: &NetworkRun) -> Vec<u8> {
+    let mut w = Writer::new(RUN_MAGIC);
+    w.u8(network_kind_code(run.kind));
+    w.u64(run.footprint_bytes);
+    w.tensor(&run.report.output);
+    w.u32(run.report.records.len() as u32);
+    for record in &run.report.records {
+        w.str(&record.name);
+        w.u8(layer_type_code(record.layer_type));
+        w.kernel_stats(&record.stats);
+    }
+    w.buf
+}
+
+/// Decodes a run record; any malformation is an error (= cache miss).
+///
+/// # Errors
+///
+/// Returns a diagnostic string on bad magic, version, enum code, or a
+/// truncated/overlong payload.
+pub fn decode_run(bytes: &[u8]) -> Result<NetworkRun, DecodeError> {
+    let mut r = Reader::new(bytes, RUN_MAGIC)?;
+    let kind_code = r.u8()?;
+    let kind = network_kind_from_code(kind_code).ok_or_else(|| format!("network code {kind_code} out of range"))?;
+    let footprint_bytes = r.u64()?;
+    let output = r.tensor()?;
+    let count = r.u32()? as usize;
+    let mut records = Vec::with_capacity(count);
+    for _ in 0..count {
+        let name = r.str()?;
+        let type_code = r.u8()?;
+        let layer_type =
+            layer_type_from_code(type_code).ok_or_else(|| format!("layer-type code {type_code} out of range"))?;
+        let stats = r.kernel_stats()?;
+        records.push(LayerRecord {
+            name,
+            layer_type,
+            stats,
+        });
+    }
+    r.finish()?;
+    Ok(NetworkRun {
+        kind,
+        report: InferenceReport { output, records },
+        footprint_bytes,
+    })
+}
+
+/// Encodes a build record.
+pub fn encode_build(build: &BuildStats) -> Vec<u8> {
+    let mut w = Writer::new(BUILD_MAGIC);
+    w.u64(build.footprint_bytes);
+    w.u64(build.weight_bytes);
+    w.u32(build.layers.len() as u32);
+    for layer in &build.layers {
+        w.str(&layer.name);
+        w.dim3(layer.grid);
+        w.dim3(layer.block);
+        w.u32(layer.regs);
+        w.u32(layer.live_regs);
+        w.u32(layer.smem_bytes);
+        w.u32(layer.cmem_bytes);
+    }
+    w.buf
+}
+
+/// Decodes a build record; any malformation is an error (= cache miss).
+///
+/// # Errors
+///
+/// Returns a diagnostic string on bad magic, version, or a
+/// truncated/overlong payload.
+pub fn decode_build(bytes: &[u8]) -> Result<BuildStats, DecodeError> {
+    let mut r = Reader::new(bytes, BUILD_MAGIC)?;
+    let footprint_bytes = r.u64()?;
+    let weight_bytes = r.u64()?;
+    let count = r.u32()? as usize;
+    let mut layers = Vec::with_capacity(count);
+    for _ in 0..count {
+        layers.push(LayerBuildStats {
+            name: r.str()?,
+            grid: r.dim3()?,
+            block: r.dim3()?,
+            regs: r.u32()?,
+            live_regs: r.u32()?,
+            smem_bytes: r.u32()?,
+            cmem_bytes: r.u32()?,
+        });
+    }
+    r.finish()?;
+    Ok(BuildStats {
+        footprint_bytes,
+        weight_bytes,
+        layers,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tango::{measure_build, simulate_run, BuildSpec, RunSpec};
+    use tango_nets::{NetworkKind, Preset};
+    use tango_sim::{GpuConfig, SimOptions};
+
+    fn tiny_run() -> NetworkRun {
+        simulate_run(&RunSpec {
+            config: GpuConfig::gp102(),
+            preset: Preset::Tiny,
+            seed: 11,
+            kind: NetworkKind::CifarNet,
+            options: SimOptions::new(),
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn run_record_round_trips_exactly() {
+        let run = tiny_run();
+        let bytes = encode_run(&run);
+        let decoded = decode_run(&bytes).unwrap();
+        assert_eq!(run, decoded);
+    }
+
+    #[test]
+    fn build_record_round_trips_exactly() {
+        let build = measure_build(&BuildSpec {
+            preset: Preset::Tiny,
+            seed: 11,
+            kind: NetworkKind::Gru,
+        })
+        .unwrap();
+        let bytes = encode_build(&build);
+        assert_eq!(decode_build(&bytes).unwrap(), build);
+    }
+
+    #[test]
+    fn corruption_is_detected_not_misread() {
+        let run = tiny_run();
+        let bytes = encode_run(&run);
+        assert!(decode_run(&bytes[..bytes.len() - 1]).is_err(), "truncation");
+        let mut longer = bytes.clone();
+        longer.push(0);
+        assert!(decode_run(&longer).is_err(), "trailing bytes");
+        let mut wrong_magic = bytes.clone();
+        wrong_magic[0] = b'X';
+        assert!(decode_run(&wrong_magic).is_err(), "magic");
+        let mut wrong_version = bytes;
+        wrong_version[4] = 0xFF;
+        assert!(decode_run(&wrong_version).is_err(), "version");
+    }
+
+    #[test]
+    fn layer_type_codes_round_trip() {
+        for code in 0..12u8 {
+            let t = layer_type_from_code(code).unwrap();
+            assert_eq!(layer_type_code(t), code);
+        }
+        assert_eq!(layer_type_from_code(12), None);
+    }
+}

@@ -1,0 +1,152 @@
+//! Stable, process-independent hashing for store keys.
+//!
+//! `std::hash` offers no cross-process stability guarantee (and
+//! `RandomState` is explicitly randomized), so store keys are digested
+//! with FNV-1a 64 over an explicit, versioned byte encoding of every
+//! field, finished with the SplitMix64 avalanche to disperse the low
+//! bits FNV leaves correlated. The same inputs therefore produce the
+//! same key in every process, on every platform, forever — which is what
+//! lets `results/store/` survive across runs.
+
+/// FNV-1a 64-bit streaming hasher with a SplitMix64 finalizer.
+#[derive(Debug, Clone)]
+pub struct StableHasher {
+    state: u64,
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+impl StableHasher {
+    /// A fresh hasher at the FNV offset basis.
+    pub fn new() -> Self {
+        StableHasher { state: FNV_OFFSET }
+    }
+
+    /// Feeds raw bytes.
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state ^= b as u64;
+            self.state = self.state.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// Feeds one byte.
+    pub fn write_u8(&mut self, v: u8) {
+        self.write_bytes(&[v]);
+    }
+
+    /// Feeds a little-endian `u32`.
+    pub fn write_u32(&mut self, v: u32) {
+        self.write_bytes(&v.to_le_bytes());
+    }
+
+    /// Feeds a little-endian `u64`.
+    pub fn write_u64(&mut self, v: u64) {
+        self.write_bytes(&v.to_le_bytes());
+    }
+
+    /// Feeds an `f64` by bit pattern (exact, including the sign of zero).
+    pub fn write_f64(&mut self, v: f64) {
+        self.write_u64(v.to_bits());
+    }
+
+    /// Feeds a length-prefixed string.
+    pub fn write_str(&mut self, s: &str) {
+        self.write_u64(s.len() as u64);
+        self.write_bytes(s.as_bytes());
+    }
+
+    /// Feeds an optional `u32` (presence byte + value).
+    pub fn write_opt_u32(&mut self, v: Option<u32>) {
+        match v {
+            None => self.write_u8(0),
+            Some(x) => {
+                self.write_u8(1);
+                self.write_u32(x);
+            }
+        }
+    }
+
+    /// Feeds an optional `u64` (presence byte + value).
+    pub fn write_opt_u64(&mut self, v: Option<u64>) {
+        match v {
+            None => self.write_u8(0),
+            Some(x) => {
+                self.write_u8(1);
+                self.write_u64(x);
+            }
+        }
+    }
+
+    /// Finishes with the SplitMix64 avalanche.
+    pub fn finish(&self) -> u64 {
+        let mut z = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+impl Default for StableHasher {
+    fn default() -> Self {
+        StableHasher::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_streams_identical_digests() {
+        let mut a = StableHasher::new();
+        let mut b = StableHasher::new();
+        for h in [&mut a, &mut b] {
+            h.write_u64(42);
+            h.write_str("gp102");
+            h.write_f64(1.48);
+            h.write_opt_u32(Some(0));
+        }
+        assert_eq!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn any_field_change_changes_digest() {
+        let digest = |seed: u64, name: &str, opt: Option<u32>| {
+            let mut h = StableHasher::new();
+            h.write_u64(seed);
+            h.write_str(name);
+            h.write_opt_u32(opt);
+            h.finish()
+        };
+        let base = digest(1, "a", None);
+        assert_ne!(base, digest(2, "a", None));
+        assert_ne!(base, digest(1, "b", None));
+        assert_ne!(base, digest(1, "a", Some(0)));
+    }
+
+    #[test]
+    fn empty_vs_zero_length_strings_are_framed() {
+        // Length prefixes keep "ab" + "c" distinct from "a" + "bc".
+        let digest = |parts: &[&str]| {
+            let mut h = StableHasher::new();
+            for p in parts {
+                h.write_str(p);
+            }
+            h.finish()
+        };
+        assert_ne!(digest(&["ab", "c"]), digest(&["a", "bc"]));
+    }
+
+    #[test]
+    fn digest_is_stable_across_releases() {
+        // Golden value: this is what makes the on-disk store valid across
+        // processes and builds. Changing the hash function requires
+        // bumping STORE_SCHEMA_VERSION.
+        let mut h = StableHasher::new();
+        h.write_str("tango");
+        h.write_u64(0x7A16_0201_9151);
+        assert_eq!(h.finish(), 0xcb58_7e57_9178_f3f2);
+    }
+}

@@ -1,0 +1,303 @@
+//! Content-addressed store keys.
+//!
+//! A [`RunKey`] digests *everything* that determines a run's outcome —
+//! network kind, the full `GpuConfig` (including power constants), the
+//! complete `SimOptions`, preset, seed — plus the store schema version
+//! and a record-type tag. Any field change, or any change to the on-disk
+//! record layout (bump [`STORE_SCHEMA_VERSION`]), produces a different
+//! key, so stale cache entries can never be returned for a new
+//! configuration.
+
+use crate::hash::StableHasher;
+use tango::{BuildSpec, RunSpec};
+use tango_nets::{NetworkKind, Preset};
+use tango_sim::{CacheGeometry, GpuConfig, PowerConstants, SchedulerPolicy, SimOptions};
+
+/// Version of the store's key derivation *and* record encoding. Bump on
+/// any change to either; old entries are then simply never looked up
+/// again (and unreadable leftovers are treated as misses).
+pub const STORE_SCHEMA_VERSION: u32 = 1;
+
+/// Stable numeric code for a network kind (part of the on-disk schema —
+/// append-only).
+pub fn network_kind_code(kind: NetworkKind) -> u8 {
+    match kind {
+        NetworkKind::CifarNet => 0,
+        NetworkKind::AlexNet => 1,
+        NetworkKind::SqueezeNet => 2,
+        NetworkKind::ResNet50 => 3,
+        NetworkKind::VggNet16 => 4,
+        NetworkKind::Gru => 5,
+        NetworkKind::Lstm => 6,
+        NetworkKind::MobileNet => 7,
+    }
+}
+
+/// Inverse of [`network_kind_code`].
+pub fn network_kind_from_code(code: u8) -> Option<NetworkKind> {
+    Some(match code {
+        0 => NetworkKind::CifarNet,
+        1 => NetworkKind::AlexNet,
+        2 => NetworkKind::SqueezeNet,
+        3 => NetworkKind::ResNet50,
+        4 => NetworkKind::VggNet16,
+        5 => NetworkKind::Gru,
+        6 => NetworkKind::Lstm,
+        7 => NetworkKind::MobileNet,
+        _ => return None,
+    })
+}
+
+/// Stable numeric code for a preset.
+pub fn preset_code(preset: Preset) -> u8 {
+    match preset {
+        Preset::Paper => 0,
+        Preset::Bench => 1,
+        Preset::Tiny => 2,
+    }
+}
+
+/// Stable numeric code for a scheduler policy.
+pub fn scheduler_code(policy: SchedulerPolicy) -> u8 {
+    match policy {
+        SchedulerPolicy::Gto => 0,
+        SchedulerPolicy::Lrr => 1,
+        SchedulerPolicy::Tlv => 2,
+    }
+}
+
+fn hash_cache_geometry(h: &mut StableHasher, g: &CacheGeometry) {
+    h.write_u32(g.size_bytes);
+    h.write_u32(g.line_bytes);
+    h.write_u32(g.assoc);
+}
+
+fn hash_power_constants(h: &mut StableHasher, p: &PowerConstants) {
+    for v in [
+        p.rf_access_nj,
+        p.ibp_nj,
+        p.icp_nj,
+        p.sched_nj,
+        p.pipe_nj,
+        p.sp_nj,
+        p.fpu_nj,
+        p.sfu_nj,
+        p.l1_nj,
+        p.tex_nj,
+        p.const_nj,
+        p.shared_nj,
+        p.l2_nj,
+        p.mc_nj,
+        p.noc_nj,
+        p.dram_nj,
+        p.idle_sm_w,
+        p.active_sm_w,
+        p.const_w,
+    ] {
+        h.write_f64(v);
+    }
+}
+
+fn hash_gpu_config(h: &mut StableHasher, c: &GpuConfig) {
+    h.write_str(&c.name);
+    for v in [
+        c.num_sms,
+        c.warp_size,
+        c.max_threads_per_sm,
+        c.max_ctas_per_sm,
+        c.registers_per_sm,
+        c.shared_mem_per_sm,
+        c.issue_width,
+        c.sp_width,
+        c.sfu_width,
+        c.ldst_width,
+        c.alu_latency,
+        c.sfu_latency,
+        c.shared_latency,
+        c.const_latency,
+        c.l1_latency,
+        c.l2_latency,
+        c.dram_latency,
+        c.dram_bytes_per_cycle,
+        c.mshrs_per_sm,
+        c.requeue_penalty,
+        c.fetch_bubble,
+    ] {
+        h.write_u32(v);
+    }
+    match &c.l1d {
+        None => h.write_u8(0),
+        Some(g) => {
+            h.write_u8(1);
+            hash_cache_geometry(h, g);
+        }
+    }
+    hash_cache_geometry(h, &c.l2);
+    h.write_f64(c.clock_ghz);
+    h.write_u8(scheduler_code(c.scheduler));
+    hash_power_constants(h, &c.power);
+}
+
+fn hash_sim_options(h: &mut StableHasher, o: &SimOptions) {
+    match o.scheduler {
+        None => h.write_u8(0),
+        Some(p) => {
+            h.write_u8(1);
+            h.write_u8(scheduler_code(p));
+        }
+    }
+    h.write_opt_u32(o.l1d_bytes);
+    h.write_opt_u64(o.cta_sample_limit);
+    h.write_u64(o.power_window);
+}
+
+/// Record-type tag mixed into the digest so a build record can never
+/// alias a run record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RecordKind {
+    /// A full simulated inference (`NetworkRun`).
+    Run,
+    /// Build-only static stats (`BuildStats`).
+    Build,
+}
+
+impl RecordKind {
+    fn code(self) -> u8 {
+        match self {
+            RecordKind::Run => 0,
+            RecordKind::Build => 1,
+        }
+    }
+
+    /// File extension for this record kind.
+    pub fn extension(self) -> &'static str {
+        match self {
+            RecordKind::Run => "run",
+            RecordKind::Build => "build",
+        }
+    }
+}
+
+/// A content-addressed store key: the digest plus enough metadata to
+/// name the entry's file readably.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RunKey {
+    /// Stable digest over the full spec + schema version.
+    pub digest: u64,
+    /// The network the entry describes (file-name prefix only).
+    pub kind: NetworkKind,
+    /// Whether the entry is a simulated run or build-only stats.
+    pub record: RecordKind,
+}
+
+impl RunKey {
+    /// Key for a full simulated run.
+    pub fn for_run(spec: &RunSpec) -> RunKey {
+        let mut h = StableHasher::new();
+        h.write_u32(STORE_SCHEMA_VERSION);
+        h.write_u8(RecordKind::Run.code());
+        h.write_u8(network_kind_code(spec.kind));
+        h.write_u8(preset_code(spec.preset));
+        h.write_u64(spec.seed);
+        hash_gpu_config(&mut h, &spec.config);
+        hash_sim_options(&mut h, &spec.options);
+        RunKey {
+            digest: h.finish(),
+            kind: spec.kind,
+            record: RecordKind::Run,
+        }
+    }
+
+    /// Key for build-only stats.
+    pub fn for_build(spec: &BuildSpec) -> RunKey {
+        let mut h = StableHasher::new();
+        h.write_u32(STORE_SCHEMA_VERSION);
+        h.write_u8(RecordKind::Build.code());
+        h.write_u8(network_kind_code(spec.kind));
+        h.write_u8(preset_code(spec.preset));
+        h.write_u64(spec.seed);
+        RunKey {
+            digest: h.finish(),
+            kind: spec.kind,
+            record: RecordKind::Build,
+        }
+    }
+
+    /// The entry's file name under the store root, e.g.
+    /// `alexnet-9f2c41d07be3a815.run`.
+    pub fn file_name(&self) -> String {
+        format!(
+            "{}-{:016x}.{}",
+            self.kind.name().to_lowercase(),
+            self.digest,
+            self.record.extension()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tango_sim::GpuConfig;
+
+    fn spec() -> RunSpec {
+        RunSpec {
+            config: GpuConfig::gp102(),
+            preset: Preset::Tiny,
+            seed: 7,
+            kind: NetworkKind::CifarNet,
+            options: SimOptions::new(),
+        }
+    }
+
+    #[test]
+    fn same_spec_same_key() {
+        assert_eq!(RunKey::for_run(&spec()).digest, RunKey::for_run(&spec()).digest);
+    }
+
+    #[test]
+    fn every_field_discriminates() {
+        let base = RunKey::for_run(&spec()).digest;
+        let mut s = spec();
+        s.kind = NetworkKind::Gru;
+        assert_ne!(base, RunKey::for_run(&s).digest);
+        let mut s = spec();
+        s.preset = Preset::Bench;
+        assert_ne!(base, RunKey::for_run(&s).digest);
+        let mut s = spec();
+        s.seed = 8;
+        assert_ne!(base, RunKey::for_run(&s).digest);
+        let mut s = spec();
+        s.config = GpuConfig::gk210();
+        assert_ne!(base, RunKey::for_run(&s).digest);
+        let mut s = spec();
+        s.config.mshrs_per_sm += 1;
+        assert_ne!(base, RunKey::for_run(&s).digest);
+        let mut s = spec();
+        s.options = SimOptions::new().with_l1d_bytes(0);
+        assert_ne!(base, RunKey::for_run(&s).digest);
+        let mut s = spec();
+        s.options = SimOptions::new().with_scheduler(SchedulerPolicy::Gto);
+        assert_ne!(base, RunKey::for_run(&s).digest, "Some(default) must differ from None");
+    }
+
+    #[test]
+    fn run_and_build_records_never_alias() {
+        let r = RunKey::for_run(&spec());
+        let b = RunKey::for_build(&BuildSpec {
+            preset: Preset::Tiny,
+            seed: 7,
+            kind: NetworkKind::CifarNet,
+        });
+        assert_ne!(r.digest, b.digest);
+        assert_ne!(r.file_name(), b.file_name());
+    }
+
+    #[test]
+    fn kind_codes_round_trip() {
+        for kind in NetworkKind::EXTENDED {
+            assert_eq!(network_kind_from_code(network_kind_code(kind)), Some(kind));
+        }
+        assert_eq!(network_kind_from_code(200), None);
+    }
+}

@@ -1,0 +1,262 @@
+//! The persistent, content-addressed run store.
+//!
+//! A [`RunStore`] memoizes simulation results at two levels: an
+//! in-process map (shared across threads) and an on-disk directory of
+//! records named by [`RunKey`]. A fetch checks memory, then disk, then
+//! simulates and persists. Disk writes go through a temp file and an
+//! atomic rename, so concurrent processes sharing one store directory
+//! can only ever observe complete records; unreadable or stale records
+//! are treated as misses and rewritten.
+//!
+//! The store implements [`RunSource`], so plugging it into a
+//! `Characterizer` (`ch.with_source(store)`) makes every figure and
+//! table producer cache-aware without further changes.
+
+use crate::codec::{decode_build, decode_run, encode_build, encode_run};
+use crate::key::{RecordKind, RunKey};
+use std::collections::HashMap;
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use tango::{measure_build, simulate_run, BuildSpec, BuildStats, NetworkRun, Result, RunSource, RunSpec};
+
+/// The workspace-level `results/` directory: `TANGO_RESULTS_DIR` when
+/// set, otherwise `<workspace root>/results` (resolved at compile time
+/// from this crate's manifest location, so it does not depend on the
+/// process working directory).
+pub fn results_root() -> PathBuf {
+    if let Some(dir) = std::env::var_os("TANGO_RESULTS_DIR") {
+        return PathBuf::from(dir);
+    }
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crate lives two levels below the workspace root")
+        .join("results")
+}
+
+/// A persistent, content-addressed cache of simulation results.
+pub struct RunStore {
+    root: PathBuf,
+    runs: Mutex<HashMap<u64, NetworkRun>>,
+    builds: Mutex<HashMap<u64, BuildStats>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl std::fmt::Debug for RunStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RunStore")
+            .field("root", &self.root)
+            .field("hits", &self.hits())
+            .field("misses", &self.misses())
+            .finish()
+    }
+}
+
+impl RunStore {
+    /// A store rooted at `root` (created on first write).
+    pub fn at(root: impl Into<PathBuf>) -> Self {
+        RunStore {
+            root: root.into(),
+            runs: Mutex::new(HashMap::new()),
+            builds: Mutex::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// The default on-disk location, `results/store/` at the workspace
+    /// root (see [`results_root`]).
+    pub fn open_default() -> Self {
+        RunStore::at(results_root().join("store"))
+    }
+
+    /// The store's directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// Fetches served without simulating (memory or disk).
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Fetches that had to simulate.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Resets the hit/miss counters (e.g. between a warm-up pass and a
+    /// measured pass).
+    pub fn reset_counters(&self) {
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+    }
+
+    fn path_for(&self, key: &RunKey) -> PathBuf {
+        self.root.join(key.file_name())
+    }
+
+    /// Best-effort persist: a cache that cannot write is slow, not
+    /// broken, so I/O failures are swallowed.
+    fn persist(&self, key: &RunKey, bytes: &[u8]) {
+        if fs::create_dir_all(&self.root).is_err() {
+            return;
+        }
+        let tmp = self.root.join(format!(".{}.tmp.{}", key.file_name(), std::process::id()));
+        if fs::write(&tmp, bytes).is_ok() && fs::rename(&tmp, self.path_for(key)).is_err() {
+            let _ = fs::remove_file(&tmp);
+        }
+    }
+
+    fn load(&self, key: &RunKey) -> Option<Vec<u8>> {
+        fs::read(self.path_for(key)).ok()
+    }
+
+    /// Fetches (or simulates and caches) the run for `spec`. The flag is
+    /// `true` when the result came from the cache.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulation failures; cache I/O never fails a fetch.
+    pub fn fetch_run(&self, spec: &RunSpec) -> Result<(NetworkRun, bool)> {
+        let key = RunKey::for_run(spec);
+        debug_assert_eq!(key.record, RecordKind::Run);
+        if let Some(run) = self.runs.lock().expect("store lock").get(&key.digest) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok((run.clone(), true));
+        }
+        if let Some(run) = self.load(&key).and_then(|bytes| decode_run(&bytes).ok()) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            self.runs.lock().expect("store lock").insert(key.digest, run.clone());
+            return Ok((run, true));
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let run = simulate_run(spec)?;
+        self.persist(&key, &encode_run(&run));
+        self.runs.lock().expect("store lock").insert(key.digest, run.clone());
+        Ok((run, false))
+    }
+
+    /// Fetches (or measures and caches) the build stats for `spec`. The
+    /// flag is `true` when the result came from the cache.
+    ///
+    /// # Errors
+    ///
+    /// Propagates network-construction failures; cache I/O never fails a
+    /// fetch.
+    pub fn fetch_build(&self, spec: &BuildSpec) -> Result<(BuildStats, bool)> {
+        let key = RunKey::for_build(spec);
+        debug_assert_eq!(key.record, RecordKind::Build);
+        if let Some(build) = self.builds.lock().expect("store lock").get(&key.digest) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok((build.clone(), true));
+        }
+        if let Some(build) = self.load(&key).and_then(|bytes| decode_build(&bytes).ok()) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            self.builds.lock().expect("store lock").insert(key.digest, build.clone());
+            return Ok((build, true));
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let build = measure_build(spec)?;
+        self.persist(&key, &encode_build(&build));
+        self.builds.lock().expect("store lock").insert(key.digest, build.clone());
+        Ok((build, false))
+    }
+}
+
+impl RunSource for RunStore {
+    fn network_run(&self, spec: &RunSpec) -> Result<NetworkRun> {
+        self.fetch_run(spec).map(|(run, _)| run)
+    }
+
+    fn build_stats(&self, spec: &BuildSpec) -> Result<BuildStats> {
+        self.fetch_build(spec).map(|(build, _)| build)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tango_nets::{NetworkKind, Preset};
+    use tango_sim::{GpuConfig, SimOptions};
+
+    fn scratch(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("tango-store-{tag}-{}", std::process::id()))
+    }
+
+    fn spec() -> RunSpec {
+        RunSpec {
+            config: GpuConfig::gp102(),
+            preset: Preset::Tiny,
+            seed: 21,
+            kind: NetworkKind::Gru,
+            options: SimOptions::new(),
+        }
+    }
+
+    #[test]
+    fn memory_then_disk_then_simulate() {
+        let root = scratch("mem-disk");
+        let _ = fs::remove_dir_all(&root);
+        let store = RunStore::at(&root);
+        let (cold, was_hit) = store.fetch_run(&spec()).unwrap();
+        assert!(!was_hit);
+        assert_eq!((store.hits(), store.misses()), (0, 1));
+
+        let (warm, was_hit) = store.fetch_run(&spec()).unwrap();
+        assert!(was_hit, "second fetch must hit memory");
+        assert_eq!(warm, cold);
+
+        // A fresh store over the same directory must hit disk.
+        let reopened = RunStore::at(&root);
+        let (from_disk, was_hit) = reopened.fetch_run(&spec()).unwrap();
+        assert!(was_hit, "fresh store must hit the persisted record");
+        assert_eq!(from_disk, cold);
+        assert_eq!((reopened.hits(), reopened.misses()), (1, 0));
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn corrupt_records_fall_back_to_simulation() {
+        let root = scratch("corrupt");
+        let _ = fs::remove_dir_all(&root);
+        let store = RunStore::at(&root);
+        let (good, _) = store.fetch_run(&spec()).unwrap();
+        let path = store.path_for(&RunKey::for_run(&spec()));
+        fs::write(&path, b"TNGRgarbage").unwrap();
+
+        let reopened = RunStore::at(&root);
+        let (recovered, was_hit) = reopened.fetch_run(&spec()).unwrap();
+        assert!(!was_hit, "corrupt record must count as a miss");
+        assert_eq!(recovered, good);
+        // The bad record was rewritten with a valid one.
+        let (again, was_hit) = RunStore::at(&root).fetch_run(&spec()).unwrap();
+        assert!(was_hit);
+        assert_eq!(again, good);
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn builds_are_cached_separately() {
+        let root = scratch("builds");
+        let _ = fs::remove_dir_all(&root);
+        let store = RunStore::at(&root);
+        let bspec = BuildSpec {
+            preset: Preset::Tiny,
+            seed: 21,
+            kind: NetworkKind::Gru,
+        };
+        let (cold, was_hit) = store.fetch_build(&bspec).unwrap();
+        assert!(!was_hit);
+        let (warm, was_hit) = store.fetch_build(&bspec).unwrap();
+        assert!(was_hit);
+        assert_eq!(warm, cold);
+        let (from_disk, was_hit) = RunStore::at(&root).fetch_build(&bspec).unwrap();
+        assert!(was_hit);
+        assert_eq!(from_disk, cold);
+        let _ = fs::remove_dir_all(&root);
+    }
+}

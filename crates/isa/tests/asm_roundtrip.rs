@@ -1,9 +1,37 @@
-//! Property-based round-trip tests for the assembler: random valid
-//! programs produced by the builder must survive
-//! disassemble -> parse -> disassemble unchanged.
+//! Randomized round-trip tests for the assembler: random valid programs
+//! produced by the builder must survive disassemble -> parse ->
+//! disassemble unchanged.
+//!
+//! Cases are driven by a fixed-seed SplitMix64 generator (defined
+//! locally — this crate is dependency-free), so every run exercises the
+//! same 48 programs and failures reproduce exactly.
 
-use proptest::prelude::*;
 use tango_isa::{parse_program, CmpOp, DType, KernelBuilder, Operand};
+
+/// SplitMix64 (Steele et al.), the same generator the rest of the
+/// workspace uses for deterministic synthetic data.
+struct Rng(u64);
+
+impl Rng {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, n)`.
+    fn below(&mut self, n: u64) -> u64 {
+        self.next_u64() % n
+    }
+
+    /// Uniform f32 in `[lo, hi)`.
+    fn f32_in(&mut self, lo: f32, hi: f32) -> f32 {
+        let unit = (self.next_u64() >> 40) as f32 / (1u64 << 24) as f32;
+        lo + unit * (hi - lo)
+    }
+}
 
 #[derive(Debug, Clone)]
 enum Gen {
@@ -20,27 +48,27 @@ enum Gen {
     Loop(u32),
 }
 
-fn gen_strategy() -> impl Strategy<Value = Gen> {
-    prop_oneof![
-        (0u32..1000).prop_map(Gen::Add),
-        (-100.0f32..100.0).prop_map(Gen::MulF),
-        (0u32..31).prop_map(Gen::Shl),
-        ((0u32..100), (0u32..100)).prop_map(|(a, b)| Gen::Mad(a, b)),
-        (0u8..6).prop_map(Gen::Set),
-        (-64i32..64).prop_map(|o| Gen::LdGlobal(o * 4)),
-        (0i32..32).prop_map(|o| Gen::StShared(o * 4)),
-        Just(Gen::Cvt),
-        (0u8..3).prop_map(Gen::Sfu),
-        Just(Gen::Nop),
-        (1u32..5).prop_map(Gen::Loop),
-    ]
+fn gen_op(rng: &mut Rng) -> Gen {
+    match rng.below(11) {
+        0 => Gen::Add(rng.below(1000) as u32),
+        1 => Gen::MulF(rng.f32_in(-100.0, 100.0)),
+        2 => Gen::Shl(rng.below(31) as u32),
+        3 => Gen::Mad(rng.below(100) as u32, rng.below(100) as u32),
+        4 => Gen::Set(rng.below(6) as u8),
+        5 => Gen::LdGlobal((rng.below(128) as i32 - 64) * 4),
+        6 => Gen::StShared(rng.below(32) as i32 * 4),
+        7 => Gen::Cvt,
+        8 => Gen::Sfu(rng.below(3) as u8),
+        9 => Gen::Nop,
+        _ => Gen::Loop(1 + rng.below(4) as u32),
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn random_programs_round_trip(ops in prop::collection::vec(gen_strategy(), 1..24)) {
+#[test]
+fn random_programs_round_trip() {
+    let mut rng = Rng(0x7A16_A5ED_0001);
+    for case in 0..48 {
+        let ops: Vec<Gen> = (0..1 + rng.below(23)).map(|_| gen_op(&mut rng)).collect();
         let mut b = KernelBuilder::new("fuzzed");
         b.set_smem_bytes(256);
         let r0 = b.reg();
@@ -56,17 +84,31 @@ proptest! {
         b.add(DType::U32, addr, addr.into(), base.into());
         for g in &ops {
             match g {
-                Gen::Add(v) => { b.add(DType::U32, r1, r1.into(), Operand::imm_u32(*v)); }
-                Gen::MulF(v) => { b.mul(DType::F32, rf, rf.into(), Operand::imm_f32(*v)); }
-                Gen::Shl(v) => { b.shl(DType::U32, r1, r1.into(), Operand::imm_u32(*v)); }
-                Gen::Mad(a, c) => { b.mad(DType::U32, r1, r1.into(), Operand::imm_u32(*a), Operand::imm_u32(*c)); }
+                Gen::Add(v) => {
+                    b.add(DType::U32, r1, r1.into(), Operand::imm_u32(*v));
+                }
+                Gen::MulF(v) => {
+                    b.mul(DType::F32, rf, rf.into(), Operand::imm_f32(*v));
+                }
+                Gen::Shl(v) => {
+                    b.shl(DType::U32, r1, r1.into(), Operand::imm_u32(*v));
+                }
+                Gen::Mad(a, c) => {
+                    b.mad(DType::U32, r1, r1.into(), Operand::imm_u32(*a), Operand::imm_u32(*c));
+                }
                 Gen::Set(c) => {
                     let cmp = [CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge, CmpOp::Eq, CmpOp::Ne][*c as usize];
                     b.set(cmp, DType::U32, p, r1.into(), Operand::imm_u32(10));
                 }
-                Gen::LdGlobal(off) => { b.ld_global(DType::F32, rf, addr, *off & !3); }
-                Gen::StShared(off) => { b.st_shared(DType::U32, r1, *off & 0xFC, r0); }
-                Gen::Cvt => { b.cvt(DType::F32, DType::U32, rf, r1.into()); }
+                Gen::LdGlobal(off) => {
+                    b.ld_global(DType::F32, rf, addr, *off & !3);
+                }
+                Gen::StShared(off) => {
+                    b.st_shared(DType::U32, r1, *off & 0xFC, r0);
+                }
+                Gen::Cvt => {
+                    b.cvt(DType::F32, DType::U32, rf, r1.into());
+                }
                 Gen::Sfu(k) => {
                     match k {
                         0 => b.rcp(rf, rf.into()),
@@ -74,7 +116,9 @@ proptest! {
                         _ => b.ex2(rf, rf.into()),
                     };
                 }
-                Gen::Nop => { b.nop(); }
+                Gen::Nop => {
+                    b.nop();
+                }
                 Gen::Loop(n) => {
                     let i = b.reg();
                     let lp = b.pred();
@@ -90,13 +134,12 @@ proptest! {
         let Ok(program) = b.build() else {
             // Register exhaustion from many loops is a valid builder
             // outcome, not a round-trip failure.
-            return Ok(());
+            continue;
         };
         let text = program.disassemble();
-        let reparsed = parse_program(&text)
-            .unwrap_or_else(|e| panic!("parse failed: {e}\n{text}"));
-        prop_assert_eq!(&program, &reparsed, "round trip changed program");
+        let reparsed = parse_program(&text).unwrap_or_else(|e| panic!("case {case}: parse failed: {e}\n{text}"));
+        assert_eq!(program, reparsed, "case {case}: round trip changed program");
         // Second round trip is a fixed point.
-        prop_assert_eq!(reparsed.disassemble(), text);
+        assert_eq!(reparsed.disassemble(), text, "case {case}");
     }
 }

@@ -403,7 +403,7 @@ pub struct LayerWork {
 }
 
 /// Statistics of one executed layer.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct LayerRecord {
     /// Layer name.
     pub name: String,

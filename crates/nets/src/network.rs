@@ -267,7 +267,7 @@ impl fmt::Debug for Network {
 }
 
 /// Output and statistics of one simulated inference.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct InferenceReport {
     /// The network output (class scores/probabilities or the forecast).
     pub output: Tensor,

@@ -1,39 +1,56 @@
-//! Property-based tests over the reference operators: linearity,
+//! Randomized tests over the reference operators: linearity,
 //! composition, and invariance laws that any correct implementation of
 //! these layers must satisfy.
+//!
+//! Each law is checked over 24 cases drawn from a fixed-seed SplitMix64
+//! stream, so runs are reproducible and a failing case can be replayed
+//! from its printed seed.
 
-use proptest::prelude::*;
 use tango_tensor::{ops, Shape, SplitMix64, Tensor};
+
+const CASES: usize = 24;
 
 fn tensor4(seed: u64, c: usize, h: usize, w: usize) -> Tensor {
     let mut rng = SplitMix64::new(seed);
     Tensor::uniform(Shape::nchw(1, c, h, w), -2.0, 2.0, &mut rng)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// Convolution with zero bias is linear in the input:
-    /// conv(a*x) == a * conv(x).
-    #[test]
-    fn conv_is_homogeneous(seed in 0u64..500, a in -3.0f32..3.0) {
+/// Convolution with zero bias is linear in the input:
+/// conv(a*x) == a * conv(x).
+#[test]
+fn conv_is_homogeneous() {
+    let mut gen = SplitMix64::new(0x7A16_0501);
+    for _ in 0..CASES {
+        let seed = gen.below(500);
+        let a = gen.uniform(-3.0, 3.0);
         let x = tensor4(seed, 2, 6, 6);
         let f = tensor4(seed ^ 1, 4, 3, 3).reshaped(Shape::new(&[2, 2, 3, 3]));
         let bias = Tensor::zeros(Shape::vector(2));
         let p = ops::Conv2dParams::new(1, 1);
         let lhs = ops::conv2d(
             &Tensor::from_vec(x.shape().clone(), x.as_slice().iter().map(|v| a * v).collect()),
-            &f, &bias, &p,
-        ).unwrap();
+            &f,
+            &bias,
+            &p,
+        )
+        .unwrap();
         let base = ops::conv2d(&x, &f, &bias, &p).unwrap();
         let rhs = Tensor::from_vec(base.shape().clone(), base.as_slice().iter().map(|v| a * v).collect());
-        prop_assert!(lhs.approx_eq(&rhs, 1e-3), "max diff {}", lhs.max_abs_diff(&rhs));
+        assert!(
+            lhs.approx_eq(&rhs, 1e-3),
+            "seed {seed} a {a}: max diff {}",
+            lhs.max_abs_diff(&rhs)
+        );
     }
+}
 
-    /// Convolution is additive in the input: conv(x+y) == conv(x) + conv(y)
-    /// (zero bias).
-    #[test]
-    fn conv_is_additive(seed in 0u64..500) {
+/// Convolution is additive in the input: conv(x+y) == conv(x) + conv(y)
+/// (zero bias).
+#[test]
+fn conv_is_additive() {
+    let mut gen = SplitMix64::new(0x7A16_0502);
+    for _ in 0..CASES {
+        let seed = gen.below(500);
         let x = tensor4(seed, 1, 5, 5);
         let y = tensor4(seed ^ 2, 1, 5, 5);
         let f = tensor4(seed ^ 3, 1, 3, 3).reshaped(Shape::new(&[1, 1, 3, 3]));
@@ -44,38 +61,52 @@ proptest! {
         let rhs = ops::eltwise_add(
             &ops::conv2d(&x, &f, &bias, &p).unwrap(),
             &ops::conv2d(&y, &f, &bias, &p).unwrap(),
-        ).unwrap();
-        prop_assert!(lhs.approx_eq(&rhs, 1e-3));
+        )
+        .unwrap();
+        assert!(lhs.approx_eq(&rhs, 1e-3), "seed {seed}");
     }
+}
 
-    /// ReLU is idempotent and max pooling commutes with ReLU
-    /// (both are monotone; relu(maxpool(x)) == maxpool(relu(x))).
-    #[test]
-    fn relu_commutes_with_max_pool(seed in 0u64..500) {
+/// ReLU is idempotent and max pooling commutes with ReLU
+/// (both are monotone; relu(maxpool(x)) == maxpool(relu(x))).
+#[test]
+fn relu_commutes_with_max_pool() {
+    let mut gen = SplitMix64::new(0x7A16_0503);
+    for _ in 0..CASES {
+        let seed = gen.below(500);
         let x = tensor4(seed, 2, 6, 6);
         let p = ops::Pool2dParams::new(2, 2);
         let a = ops::relu(&ops::max_pool2d(&x, &p).unwrap());
         let b = ops::max_pool2d(&ops::relu(&x), &p).unwrap();
-        prop_assert!(a.approx_eq(&b, 0.0));
+        assert!(a.approx_eq(&b, 0.0), "seed {seed}");
         let r = ops::relu(&x);
-        prop_assert!(ops::relu(&r).approx_eq(&r, 0.0), "relu must be idempotent");
+        assert!(ops::relu(&r).approx_eq(&r, 0.0), "seed {seed}: relu must be idempotent");
     }
+}
 
-    /// Softmax is shift-invariant: softmax(x + c) == softmax(x).
-    #[test]
-    fn softmax_is_shift_invariant(seed in 0u64..500, shift in -10.0f32..10.0) {
+/// Softmax is shift-invariant: softmax(x + c) == softmax(x).
+#[test]
+fn softmax_is_shift_invariant() {
+    let mut gen = SplitMix64::new(0x7A16_0504);
+    for _ in 0..CASES {
+        let seed = gen.below(500);
+        let shift = gen.uniform(-10.0, 10.0);
         let mut rng = SplitMix64::new(seed);
         let x = Tensor::uniform(Shape::vector(7), -3.0, 3.0, &mut rng);
         let shifted = Tensor::from_vec(x.shape().clone(), x.as_slice().iter().map(|v| v + shift).collect());
         let a = ops::softmax(&x).unwrap();
         let b = ops::softmax(&shifted).unwrap();
-        prop_assert!(a.approx_eq(&b, 1e-4));
+        assert!(a.approx_eq(&b, 1e-4), "seed {seed} shift {shift}");
     }
+}
 
-    /// Depthwise convolution of a channel-constant filter bank equals the
-    /// general convolution restricted to a diagonal filter.
-    #[test]
-    fn depthwise_is_a_diagonal_conv(seed in 0u64..500) {
+/// Depthwise convolution of a channel-constant filter bank equals the
+/// general convolution restricted to a diagonal filter.
+#[test]
+fn depthwise_is_a_diagonal_conv() {
+    let mut gen = SplitMix64::new(0x7A16_0505);
+    for _ in 0..CASES {
+        let seed = gen.below(500);
         let c = 3usize;
         let x = tensor4(seed, c, 5, 5);
         let dwf = tensor4(seed ^ 7, c, 3, 3).reshaped(Shape::new(&[c, 1, 3, 3]));
@@ -92,13 +123,17 @@ proptest! {
             }
         }
         let full = ops::conv2d(&x, &dense, &bias, &p).unwrap();
-        prop_assert!(dw.approx_eq(&full, 1e-4));
+        assert!(dw.approx_eq(&full, 1e-4), "seed {seed}");
     }
+}
 
-    /// The GRU state is a convex combination, so it never escapes the
-    /// envelope of the previous state and a tanh-bounded candidate.
-    #[test]
-    fn gru_state_stays_in_envelope(seed in 0u64..200) {
+/// The GRU state is a convex combination, so it never escapes the
+/// envelope of the previous state and a tanh-bounded candidate.
+#[test]
+fn gru_state_stays_in_envelope() {
+    let mut gen = SplitMix64::new(0x7A16_0506);
+    for _ in 0..CASES {
+        let seed = gen.below(200);
         let mut rng = SplitMix64::new(seed);
         let w = ops::GruWeights::synthetic(2, 6, &mut rng);
         let h = Tensor::uniform(Shape::vector(6), -1.0, 1.0, &mut rng);
@@ -109,7 +144,10 @@ proptest! {
             let lo = hi.min(-1.0);
             let hi2 = hi.max(1.0);
             let v = next.get(&[i]);
-            prop_assert!(v >= lo - 1e-5 && v <= hi2 + 1e-5, "h'[{i}]={v} escaped [{lo}, {hi2}]");
+            assert!(
+                v >= lo - 1e-5 && v <= hi2 + 1e-5,
+                "seed {seed}: h'[{i}]={v} escaped [{lo}, {hi2}]"
+            );
         }
     }
 }

@@ -177,7 +177,7 @@ fn observation12_lrr_wins_on_alexnet_rnns_insensitive() {
 
 #[test]
 fn fig6_shape_tx1_beats_pynq_on_time_loses_on_energy() {
-    let report = figures::fig6_tx1_vs_pynq(Preset::Paper, 0x7A16_0201_9151).unwrap();
+    let report = figures::fig6_tx1_vs_pynq(&bench_ch(), Preset::Paper).unwrap();
     for net in ["CifarNet", "SqueezeNet"] {
         let tx1_t = report.time_s.get(net, "TX1").unwrap();
         let pynq_t = report.time_s.get(net, "PynQ").unwrap();
@@ -192,7 +192,7 @@ fn fig6_shape_tx1_beats_pynq_on_time_loses_on_energy() {
 
 #[test]
 fn fig12_shape_big_nets_use_large_register_files_rnns_tiny() {
-    let m = figures::fig12_register_usage(0x7A16_0201_9151).unwrap();
+    let m = figures::fig12_register_usage(&bench_ch()).unwrap();
     let alex = m.get("AlexNet", "Max Allocated Registers").unwrap();
     let gru = m.get("GRU", "Max Allocated Registers").unwrap();
     // Pascal: 256 KB register file per SM; AlexNet/ResNet exceed half.

@@ -1,10 +1,15 @@
-//! Property-based tests over the simulator substrates: caches, memory,
-//! ISA round trips, and invariants of whole kernel launches under random
+//! Randomized tests over the simulator substrates: caches, memory, ISA
+//! round trips, and invariants of whole kernel launches under random
 //! geometry.
+//!
+//! Cases come from fixed-seed SplitMix64 streams (16 per law), so runs
+//! are reproducible and a failure names the case that produced it.
 
-use proptest::prelude::*;
 use tango_isa::{CmpOp, DType, Dim3, KernelBuilder, Operand};
 use tango_sim::{CacheGeometry, Gpu, GpuConfig, SimOptions};
+use tango_tensor::SplitMix64;
+
+const CASES: usize = 16;
 
 /// Builds a kernel computing `out[tid] = a*tid + b` for property checks.
 fn affine_kernel(a: u32, b: u32) -> tango_isa::KernelProgram {
@@ -22,38 +27,45 @@ fn affine_kernel(a: u32, b: u32) -> tango_isa::KernelProgram {
     kb.build().unwrap()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
-
-    /// Every thread of every launch geometry computes its own value:
-    /// results only depend on the global thread id, never on scheduling.
-    #[test]
-    fn launch_geometry_never_changes_results(
-        blocks in 1u32..12,
-        block_threads in 1u32..128,
-        a in 1u32..50,
-        b in 0u32..1000,
-    ) {
+/// Every thread of every launch geometry computes its own value:
+/// results only depend on the global thread id, never on scheduling.
+#[test]
+fn launch_geometry_never_changes_results() {
+    let mut gen = SplitMix64::new(0x7A16_0601);
+    for _ in 0..CASES {
+        let blocks = 1 + gen.below(11) as u32;
+        let block_threads = 1 + gen.below(127) as u32;
+        let a = 1 + gen.below(49) as u32;
+        let b = gen.below(1000) as u32;
         let n = (blocks * block_threads) as usize;
         let program = affine_kernel(a, b);
         let mut gpu = Gpu::new(GpuConfig::gp102());
         let buf = gpu.alloc_bytes((n * 4) as u32);
         gpu.launch(&program, Dim3::x(blocks), Dim3::x(block_threads), &[buf], 0, &SimOptions::new());
         for tid in 0..n {
-            prop_assert_eq!(gpu.memory().read_u32(buf + (tid as u32) * 4), a * tid as u32 + b);
+            assert_eq!(
+                gpu.memory().read_u32(buf + (tid as u32) * 4),
+                a * tid as u32 + b,
+                "geometry {blocks}x{block_threads}, tid {tid}"
+            );
         }
     }
+}
 
-    /// Cache counters always satisfy hits + misses == accesses, and a
-    /// repeat of the same access stream entirely hits when it fits.
-    #[test]
-    fn cache_invariants(addrs in prop::collection::vec(0u32..64, 1..200)) {
+/// Cache counters always satisfy hits + misses == accesses, and a
+/// repeat of the same access stream entirely hits when it fits.
+#[test]
+fn cache_invariants() {
+    let mut gen = SplitMix64::new(0x7A16_0602);
+    for case in 0..CASES {
+        let len = 1 + gen.below(199) as usize;
+        let addrs: Vec<u32> = (0..len).map(|_| gen.below(64) as u32).collect();
         let mut cache = tango_sim::Cache::new(CacheGeometry::new(64 * 128, 128, 4), true);
         for &a in &addrs {
             cache.access(a, false);
         }
         let s = cache.stats();
-        prop_assert_eq!(s.hits + s.misses, s.accesses);
+        assert_eq!(s.hits + s.misses, s.accesses, "case {case}");
         // 64 lines fit a 64-line cache: second pass over the unique set hits.
         let mut uniq: Vec<u32> = addrs.clone();
         uniq.sort_unstable();
@@ -64,13 +76,17 @@ proptest! {
             }
         }
         let s2 = cache.stats();
-        prop_assert_eq!(s2.hits + s2.misses, s2.accesses);
+        assert_eq!(s2.hits + s2.misses, s2.accesses, "case {case}");
     }
+}
 
-    /// Dynamic instruction counts are invariant across schedulers and
-    /// cache sizes: timing knobs must not change what executes.
-    #[test]
-    fn knobs_never_change_instruction_counts(seed in 0u32..50) {
+/// Dynamic instruction counts are invariant across schedulers and
+/// cache sizes: timing knobs must not change what executes.
+#[test]
+fn knobs_never_change_instruction_counts() {
+    let mut gen = SplitMix64::new(0x7A16_0603);
+    for _ in 0..CASES {
+        let seed = gen.below(50) as u32;
         let a = seed % 7 + 1;
         let program = affine_kernel(a, seed);
         let run = |opts: SimOptions| {
@@ -81,26 +97,41 @@ proptest! {
         let base = run(SimOptions::new());
         let lrr = run(SimOptions::new().with_scheduler(tango_sim::SchedulerPolicy::Lrr));
         let nol1 = run(SimOptions::new().with_l1d_bytes(0));
-        prop_assert_eq!(base.warp_instructions, lrr.warp_instructions);
-        prop_assert_eq!(base.thread_instructions, nol1.thread_instructions);
-        prop_assert_eq!(&base.op_counts, &lrr.op_counts);
+        assert_eq!(base.warp_instructions, lrr.warp_instructions, "seed {seed}");
+        assert_eq!(base.thread_instructions, nol1.thread_instructions, "seed {seed}");
+        assert_eq!(base.op_counts, lrr.op_counts, "seed {seed}");
     }
+}
 
-    /// Comparison semantics of the ISA match Rust's.
-    #[test]
-    fn cmp_ops_match_rust(x in any::<i32>(), y in any::<i32>()) {
-        prop_assert_eq!(CmpOp::Lt.eval_s32(x, y), x < y);
-        prop_assert_eq!(CmpOp::Ge.eval_s32(x, y), x >= y);
-        prop_assert_eq!(CmpOp::Eq.eval_u32(x as u32, y as u32), x as u32 == y as u32);
-        prop_assert_eq!(CmpOp::Ne.eval_u32(x as u32, y as u32), x as u32 != y as u32);
+/// Comparison semantics of the ISA match Rust's.
+#[test]
+fn cmp_ops_match_rust() {
+    let mut gen = SplitMix64::new(0x7A16_0604);
+    for _ in 0..CASES {
+        let x = gen.next_u64() as u32 as i32;
+        let y = gen.next_u64() as u32 as i32;
+        assert_eq!(CmpOp::Lt.eval_s32(x, y), x < y, "{x} {y}");
+        assert_eq!(CmpOp::Ge.eval_s32(x, y), x >= y, "{x} {y}");
+        assert_eq!(CmpOp::Eq.eval_u32(x as u32, y as u32), x as u32 == y as u32);
+        assert_eq!(CmpOp::Ne.eval_u32(x as u32, y as u32), x as u32 != y as u32);
     }
+    // Pin the boundary cases random draws rarely land on.
+    for (x, y) in [(i32::MIN, i32::MAX), (i32::MAX, i32::MIN), (0, 0), (-1, 1)] {
+        assert_eq!(CmpOp::Lt.eval_s32(x, y), x < y, "{x} {y}");
+        assert_eq!(CmpOp::Ge.eval_s32(x, y), x >= y, "{x} {y}");
+    }
+}
 
-    /// Device memory round-trips arbitrary float payloads.
-    #[test]
-    fn device_memory_roundtrip(values in prop::collection::vec(-1e6f32..1e6, 1..256)) {
+/// Device memory round-trips arbitrary float payloads.
+#[test]
+fn device_memory_roundtrip() {
+    let mut gen = SplitMix64::new(0x7A16_0605);
+    for case in 0..CASES {
+        let len = 1 + gen.below(255) as usize;
+        let values: Vec<f32> = (0..len).map(|_| gen.uniform(-1e6, 1e6)).collect();
         let mut gpu = Gpu::new(GpuConfig::gp102());
         let addr = gpu.upload_f32s(&values);
-        prop_assert_eq!(gpu.download_f32s(addr, values.len()), values);
+        assert_eq!(gpu.download_f32s(addr, values.len()), values, "case {case}");
     }
 }
 

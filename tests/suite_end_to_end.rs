@@ -20,7 +20,7 @@ fn every_table_renders() {
     // 138M synthetic weights) — covered by the repro binary; here check
     // the cheapest two networks render with the right columns.
     for kind in [NetworkKind::CifarNet, NetworkKind::Gru] {
-        let t = tables::table3_network(kind, 1).unwrap();
+        let t = tables::table3_network(&tiny_ch(), kind).unwrap();
         assert!(t.contains("gridDim"), "{t}");
         assert!(t.contains("regs"));
     }
