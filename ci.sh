@@ -33,4 +33,22 @@ if [ "$(echo "$warm" | grep -oE 'misses=[0-9]+')" != "misses=0" ]; then
     exit 1
 fi
 
+echo "== harness store stats/gc (stale record must be dropped) =="
+# Inject a record written under schema version 1; gc must remove exactly it.
+printf 'TNGR\x01\x00\x00\x00stale' > "$SCRATCH/store/gru-00000000deadbeef.run"
+cargo run --release -q -p tango-harness --bin harness -- store stats --dir "$SCRATCH/store"
+gc_out=$(cargo run --release -q -p tango-harness --bin harness -- store gc --dir "$SCRATCH/store")
+echo "$gc_out"
+case "$gc_out" in
+    "removed 1 stale record"*) ;;
+    *)
+        echo "FAIL: store gc did not remove the injected stale record" >&2
+        exit 1
+        ;;
+esac
+
+echo "== serve_bench --smoke (admission control + batching latency win) =="
+TANGO_RESULTS_DIR="$SCRATCH" \
+    cargo run --release -q -p tango-bench --bin serve_bench -- --smoke
+
 echo "== ci.sh: all gates passed =="

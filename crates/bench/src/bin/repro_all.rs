@@ -15,7 +15,7 @@ use std::time::Instant;
 use tango::figures;
 use tango::tables;
 use tango_bench::{characterizer, emit, preset_from_env, store_handle, SEED};
-use tango_harness::{jobs_from_env, repro_plan, RunStore};
+use tango_harness::{repro_plan, workers_from_env, RunStore};
 
 fn step<F: FnOnce() -> String>(store: &RunStore, name: &str, f: F) {
     let (h0, m0) = (store.hits(), store.misses());
@@ -35,7 +35,10 @@ fn main() {
     store.reset_counters();
     let ch = characterizer();
     let preset = preset_from_env();
-    let workers = jobs_from_env();
+    let workers = workers_from_env("TANGO_JOBS").unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    });
     eprintln!(
         "[repro] preset={preset} config={} seed={SEED:#x} jobs={workers}",
         ch.config().name

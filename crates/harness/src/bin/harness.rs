@@ -1,0 +1,74 @@
+//! Store maintenance CLI.
+//!
+//! ```text
+//! harness store stats [--dir PATH]   # classify and count records
+//! harness store gc    [--dir PATH]   # drop stale-schema records
+//! ```
+//!
+//! The store defaults to `results/store/` at the workspace root
+//! (`TANGO_RESULTS_DIR` respected); `--dir` points at any other store
+//! directory. Exit code 0 on success, 2 on usage errors.
+
+use std::process::ExitCode;
+use tango_harness::{RunStore, STORE_SCHEMA_VERSION};
+
+fn usage() -> ExitCode {
+    eprintln!("usage: harness store <stats|gc> [--dir PATH]");
+    ExitCode::from(2)
+}
+
+fn open_store(mut args: std::env::Args) -> Result<RunStore, ExitCode> {
+    match args.next() {
+        None => Ok(RunStore::open_default()),
+        Some(flag) if flag == "--dir" => match args.next() {
+            Some(dir) if args.next().is_none() => Ok(RunStore::at(dir)),
+            _ => Err(usage()),
+        },
+        Some(_) => Err(usage()),
+    }
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args();
+    let _argv0 = args.next();
+    let (cmd, sub) = (args.next(), args.next());
+    if cmd.as_deref() != Some("store") {
+        return usage();
+    }
+    let store = match open_store(args) {
+        Ok(store) => store,
+        Err(code) => return code,
+    };
+    match sub.as_deref() {
+        Some("stats") => match store.disk_stats() {
+            Ok(s) => {
+                println!("store: {}", store.root().display());
+                println!("schema version: {STORE_SCHEMA_VERSION}");
+                println!("run records: {}", s.run_records);
+                println!("build records: {}", s.build_records);
+                println!("stale records: {}", s.stale_records);
+                println!("other files: {}", s.other_files);
+                println!("total bytes: {}", s.total_bytes);
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("error: cannot scan {}: {e}", store.root().display());
+                ExitCode::FAILURE
+            }
+        },
+        Some("gc") => match store.gc() {
+            Ok(r) => {
+                println!(
+                    "removed {} stale record(s) ({} bytes); kept {} at schema version {STORE_SCHEMA_VERSION}",
+                    r.removed_records, r.removed_bytes, r.kept_records
+                );
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("error: gc failed in {}: {e}", store.root().display());
+                ExitCode::FAILURE
+            }
+        },
+        _ => usage(),
+    }
+}

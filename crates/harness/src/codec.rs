@@ -367,6 +367,24 @@ impl<'a> Reader<'a> {
 // Public API
 // ---------------------------------------------------------------------------
 
+/// Inspects a record header without decoding the payload: returns the
+/// record kind and the schema version it was written under, or `None` if
+/// the bytes do not start with a known magic. `store gc` uses this to
+/// tell a stale-but-valid record (old version, delete) from foreign junk
+/// (left alone).
+pub(crate) fn probe_record(bytes: &[u8]) -> Option<(crate::key::RecordKind, u32)> {
+    if bytes.len() < 8 {
+        return None;
+    }
+    let kind = match &bytes[..4] {
+        m if m == RUN_MAGIC => crate::key::RecordKind::Run,
+        m if m == BUILD_MAGIC => crate::key::RecordKind::Build,
+        _ => return None,
+    };
+    let version = u32::from_le_bytes(bytes[4..8].try_into().expect("4 bytes"));
+    Some((kind, version))
+}
+
 /// Encodes a full run record.
 pub fn encode_run(run: &NetworkRun) -> Vec<u8> {
     let mut w = Writer::new(RUN_MAGIC);

@@ -15,8 +15,12 @@ use tango_sim::{CacheGeometry, GpuConfig, PowerConstants, SchedulerPolicy, SimOp
 
 /// Version of the store's key derivation *and* record encoding. Bump on
 /// any change to either; old entries are then simply never looked up
-/// again (and unreadable leftovers are treated as misses).
-pub const STORE_SCHEMA_VERSION: u32 = 1;
+/// again (and unreadable leftovers are treated as misses — `harness store
+/// gc` deletes them).
+///
+/// History: v1 = initial schema; v2 = `SimOptions::batch` joined the key
+/// derivation.
+pub const STORE_SCHEMA_VERSION: u32 = 2;
 
 /// Stable numeric code for a network kind (part of the on-disk schema —
 /// append-only).
@@ -149,6 +153,7 @@ fn hash_sim_options(h: &mut StableHasher, o: &SimOptions) {
     h.write_opt_u32(o.l1d_bytes);
     h.write_opt_u64(o.cta_sample_limit);
     h.write_u64(o.power_window);
+    h.write_u32(o.batch);
 }
 
 /// Record-type tag mixed into the digest so a build record can never
@@ -279,6 +284,9 @@ mod tests {
         let mut s = spec();
         s.options = SimOptions::new().with_scheduler(SchedulerPolicy::Gto);
         assert_ne!(base, RunKey::for_run(&s).digest, "Some(default) must differ from None");
+        let mut s = spec();
+        s.options = SimOptions::new().with_batch(2);
+        assert_ne!(base, RunKey::for_run(&s).digest, "batch factor must discriminate");
     }
 
     #[test]

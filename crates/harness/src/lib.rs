@@ -31,5 +31,5 @@ mod suite;
 pub use codec::{decode_build, decode_run, encode_build, encode_run, DecodeError};
 pub use hash::StableHasher;
 pub use key::{network_kind_code, network_kind_from_code, RecordKind, RunKey, STORE_SCHEMA_VERSION};
-pub use store::{results_root, RunStore};
-pub use suite::{jobs_from_env, repro_plan, Job, Suite, SuiteReport};
+pub use store::{results_root, GcReport, RunStore, StoreStats};
+pub use suite::{jobs_from_env, parse_worker_count, repro_plan, workers_from_env, Job, Suite, SuiteReport};

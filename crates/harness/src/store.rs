@@ -12,8 +12,8 @@
 //! `Characterizer` (`ch.with_source(store)`) makes every figure and
 //! table producer cache-aware without further changes.
 
-use crate::codec::{decode_build, decode_run, encode_build, encode_run};
-use crate::key::{RecordKind, RunKey};
+use crate::codec::{decode_build, decode_run, encode_build, encode_run, probe_record};
+use crate::key::{RecordKind, RunKey, STORE_SCHEMA_VERSION};
 use std::collections::HashMap;
 use std::fs;
 use std::path::{Path, PathBuf};
@@ -167,6 +167,107 @@ impl RunStore {
     }
 }
 
+/// What `RunStore::disk_stats` found on disk.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Run records at the current schema version.
+    pub run_records: u64,
+    /// Build records at the current schema version.
+    pub build_records: u64,
+    /// Records written under an older (or newer) schema version.
+    pub stale_records: u64,
+    /// Files in the store directory that are not Tango records (foreign
+    /// files, leftover temp files).
+    pub other_files: u64,
+    /// Total bytes across all of the above.
+    pub total_bytes: u64,
+}
+
+impl StoreStats {
+    /// Records at the current schema version.
+    pub fn live_records(&self) -> u64 {
+        self.run_records + self.build_records
+    }
+}
+
+/// What `RunStore::gc` deleted.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GcReport {
+    /// Stale-version records deleted.
+    pub removed_records: u64,
+    /// Bytes those records occupied.
+    pub removed_bytes: u64,
+    /// Records kept (current schema version).
+    pub kept_records: u64,
+}
+
+impl RunStore {
+    /// Scans the store directory and classifies every file by its record
+    /// header (see `probe_record`). A missing directory is an empty
+    /// store, not an error.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error other than the directory not existing.
+    pub fn disk_stats(&self) -> std::io::Result<StoreStats> {
+        let mut stats = StoreStats::default();
+        let entries = match fs::read_dir(&self.root) {
+            Ok(entries) => entries,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(stats),
+            Err(e) => return Err(e),
+        };
+        for entry in entries {
+            let entry = entry?;
+            if !entry.file_type()?.is_file() {
+                continue;
+            }
+            let bytes = fs::read(entry.path())?;
+            stats.total_bytes += bytes.len() as u64;
+            match probe_record(&bytes) {
+                Some((RecordKind::Run, STORE_SCHEMA_VERSION)) => stats.run_records += 1,
+                Some((RecordKind::Build, STORE_SCHEMA_VERSION)) => stats.build_records += 1,
+                Some(_) => stats.stale_records += 1,
+                None => stats.other_files += 1,
+            }
+        }
+        Ok(stats)
+    }
+
+    /// Deletes records written under a schema version other than
+    /// [`STORE_SCHEMA_VERSION`]. They can never be looked up again (the
+    /// version is part of the key digest), so they are pure dead weight.
+    /// Files that are not Tango records are left untouched.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error other than the directory not existing.
+    pub fn gc(&self) -> std::io::Result<GcReport> {
+        let mut report = GcReport::default();
+        let entries = match fs::read_dir(&self.root) {
+            Ok(entries) => entries,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(report),
+            Err(e) => return Err(e),
+        };
+        for entry in entries {
+            let entry = entry?;
+            if !entry.file_type()?.is_file() {
+                continue;
+            }
+            let bytes = fs::read(entry.path())?;
+            match probe_record(&bytes) {
+                Some((_, STORE_SCHEMA_VERSION)) => report.kept_records += 1,
+                Some(_) => {
+                    fs::remove_file(entry.path())?;
+                    report.removed_records += 1;
+                    report.removed_bytes += bytes.len() as u64;
+                }
+                None => {}
+            }
+        }
+        Ok(report)
+    }
+}
+
 impl RunSource for RunStore {
     fn network_run(&self, spec: &RunSpec) -> Result<NetworkRun> {
         self.fetch_run(spec).map(|(run, _)| run)
@@ -236,6 +337,50 @@ mod tests {
         let (again, was_hit) = RunStore::at(&root).fetch_run(&spec()).unwrap();
         assert!(was_hit);
         assert_eq!(again, good);
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn disk_stats_and_gc_classify_records() {
+        let root = scratch("stats-gc");
+        let _ = fs::remove_dir_all(&root);
+        let store = RunStore::at(&root);
+        // Empty (missing) directory: all zeros, no error.
+        assert_eq!(store.disk_stats().unwrap(), StoreStats::default());
+        assert_eq!(store.gc().unwrap(), GcReport::default());
+
+        store.fetch_run(&spec()).unwrap();
+        store
+            .fetch_build(&BuildSpec {
+                preset: Preset::Tiny,
+                seed: 21,
+                kind: NetworkKind::Gru,
+            })
+            .unwrap();
+        // A record from a previous schema version, and a foreign file.
+        let mut stale = b"TNGR".to_vec();
+        stale.extend_from_slice(&1u32.to_le_bytes());
+        stale.extend_from_slice(b"old payload");
+        fs::write(root.join("gru-00000000deadbeef.run"), &stale).unwrap();
+        fs::write(root.join("README.txt"), b"not a record").unwrap();
+
+        let stats = store.disk_stats().unwrap();
+        assert_eq!(stats.run_records, 1);
+        assert_eq!(stats.build_records, 1);
+        assert_eq!(stats.stale_records, 1);
+        assert_eq!(stats.other_files, 1);
+        assert!(stats.total_bytes > stale.len() as u64);
+        assert_eq!(stats.live_records(), 2);
+
+        let report = store.gc().unwrap();
+        assert_eq!(report.removed_records, 1);
+        assert_eq!(report.removed_bytes, stale.len() as u64);
+        assert_eq!(report.kept_records, 2);
+        // Live records and foreign files survive; the stale record is gone.
+        let after = store.disk_stats().unwrap();
+        assert_eq!(after.stale_records, 0);
+        assert_eq!(after.live_records(), 2);
+        assert_eq!(after.other_files, 1);
         let _ = fs::remove_dir_all(&root);
     }
 

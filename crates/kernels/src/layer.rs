@@ -1,5 +1,5 @@
 use tango_isa::{Dim3, KernelProgram};
-use tango_sim::{Gpu, KernelStats, SimOptions};
+use tango_sim::{Gpu, KernelStats, LaunchFrame, SimOptions};
 
 /// A compiled layer kernel: the program plus its launch geometry.
 ///
@@ -56,5 +56,11 @@ impl LayerKernel {
     /// Launches the kernel with the given parameters.
     pub fn launch(&self, gpu: &mut Gpu, params: &[u32], opts: &SimOptions) -> KernelStats {
         gpu.launch(&self.program, self.grid, self.block, params, self.program.smem_bytes(), opts)
+    }
+
+    /// Starts the kernel as a resumable [`LaunchFrame`] so a scheduler can
+    /// advance it in cycle slices; see [`Gpu::begin_launch`].
+    pub fn begin_launch<'a>(&'a self, gpu: &'a mut Gpu, params: &[u32], opts: &SimOptions) -> LaunchFrame<'a> {
+        gpu.begin_launch(&self.program, self.grid, self.block, params, self.program.smem_bytes(), opts)
     }
 }

@@ -210,6 +210,44 @@ impl Network {
     /// Returns [`NetError::BadInput`] if `input` does not match
     /// [`input_spec`](Self::input_spec).
     pub fn infer(&self, gpu: &mut Gpu, input: &NetworkInput, opts: &SimOptions) -> Result<InferenceReport> {
+        self.bind_input(gpu, input)?;
+        self.run_layers(gpu, opts)
+    }
+
+    /// Runs one batched inference: `inputs.len()` requests simulated as a
+    /// single device pass with [`SimOptions::batch`] set to the batch size
+    /// (CTA-level grid replication — see `tango_sim::LaunchFrame`).
+    ///
+    /// The simulator binds one logical copy of the input, so a batch must
+    /// be homogeneous: every element identical to the first. This is
+    /// exactly the shape a serving coalescer produces (identical requests
+    /// folded into one batch); heterogeneous batching would need
+    /// per-replica device buffers, which the kernels do not address yet.
+    /// The returned report's output and per-layer outputs are identical to
+    /// an unbatched run; its cycle counts are the batched cost.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::BadInput`] if `inputs` is empty, any element
+    /// differs from the first, or the first does not match
+    /// [`input_spec`](Self::input_spec).
+    pub fn infer_batch(&self, gpu: &mut Gpu, inputs: &[NetworkInput], opts: &SimOptions) -> Result<InferenceReport> {
+        let name = self.kind.name();
+        let first = inputs
+            .first()
+            .ok_or_else(|| NetError::bad_input(name, "batch must contain at least one input"))?;
+        if let Some(pos) = inputs.iter().position(|i| i != first) {
+            return Err(NetError::bad_input(
+                name,
+                format!("batch must be homogeneous; input {pos} differs from input 0"),
+            ));
+        }
+        self.bind_input(gpu, first)?;
+        self.run_layers(gpu, &opts.clone().with_batch(inputs.len() as u32))
+    }
+
+    /// Uploads `input` into the network's device-resident input slot.
+    fn bind_input(&self, gpu: &mut Gpu, input: &NetworkInput) -> Result<()> {
         let name = self.kind.name();
         match (&self.input_slot, input) {
             (InputSlot::Image(slot), NetworkInput::Image(host)) => {
@@ -235,7 +273,11 @@ impl Network {
                 return Err(NetError::bad_input(name, "expected a sequence input"));
             }
         }
+        Ok(())
+    }
 
+    /// Simulates every layer kernel under `opts` and assembles the report.
+    fn run_layers(&self, gpu: &mut Gpu, opts: &SimOptions) -> Result<InferenceReport> {
         let mut records = Vec::with_capacity(self.layers.len());
         for layer in &self.layers {
             if std::env::var_os("TANGO_TRACE_LAYERS").is_some() {

@@ -158,6 +158,50 @@ mod tests {
     }
 
     #[test]
+    fn batched_inference_matches_single_and_costs_sublinearly() {
+        let kind = NetworkKind::Gru;
+        let single = {
+            let mut gpu = Gpu::new(GpuConfig::gp102());
+            let net = build_network(&mut gpu, kind, Preset::Tiny, 7).unwrap();
+            let input = synthetic_input(net.input_spec(), 7);
+            net.infer(&mut gpu, &input, &SimOptions::new()).unwrap()
+        };
+        let batched = {
+            let mut gpu = Gpu::new(GpuConfig::gp102());
+            let net = build_network(&mut gpu, kind, Preset::Tiny, 7).unwrap();
+            let input = synthetic_input(net.input_spec(), 7);
+            let inputs = vec![input; 4];
+            net.infer_batch(&mut gpu, &inputs, &SimOptions::new()).unwrap()
+        };
+        assert_eq!(single.output, batched.output, "batching must not change the output");
+        assert!(batched.total_cycles() > 0);
+        // Tiny GRU grids are far below one machine wave; batching 4x must
+        // cost well under 4x.
+        assert!(
+            batched.total_cycles() < 4 * single.total_cycles(),
+            "batch-4 cycles {} should be under 4x single {}",
+            batched.total_cycles(),
+            single.total_cycles()
+        );
+    }
+
+    #[test]
+    fn batched_inference_rejects_bad_batches() {
+        let mut gpu = Gpu::new(GpuConfig::gp102());
+        let net = build_network(&mut gpu, NetworkKind::Gru, Preset::Tiny, 7).unwrap();
+        let err = net.infer_batch(&mut gpu, &[], &SimOptions::new()).unwrap_err();
+        assert!(err.to_string().contains("at least one"), "{err}");
+        let a = synthetic_input(net.input_spec(), 7);
+        let b = synthetic_input(net.input_spec(), 8);
+        let err = net
+            .infer_batch(&mut gpu, &[a.clone(), b], &SimOptions::new())
+            .unwrap_err();
+        assert!(err.to_string().contains("homogeneous"), "{err}");
+        // A homogeneous pair is fine.
+        net.infer_batch(&mut gpu, &[a.clone(), a], &SimOptions::new()).unwrap();
+    }
+
+    #[test]
     fn synthetic_inputs_match_specs() {
         let img = synthetic_input(InputSpec::Image { c: 3, h: 8, w: 8 }, 1);
         match img {

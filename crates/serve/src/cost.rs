@@ -1,0 +1,155 @@
+use crate::error::Result;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use tango::RunSpec;
+use tango_harness::{RunStore, Suite};
+use tango_nets::{NetworkKind, Preset};
+use tango_sim::{GpuConfig, SimOptions};
+
+/// How long a device takes to execute one batch.
+///
+/// The engine asks only this question, so it can schedule against a
+/// table (fast unit tests, analytical what-ifs) or against the full
+/// cycle-level simulator via the run store. Implementations must be
+/// deterministic: the same `(kind, batch)` always returns the same
+/// cycle count.
+pub trait CostModel {
+    /// Cycles for one dispatch of `batch` coalesced requests to `kind`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulation failures (a table model never fails).
+    fn batch_cycles(&self, kind: NetworkKind, batch: u32) -> Result<u64>;
+}
+
+/// An affine cost table: `base + per_request * batch` cycles, settable
+/// per network. The `base` term is what makes batching pay — it is
+/// amortized over the whole batch.
+#[derive(Debug, Clone, Default)]
+pub struct TableCostModel {
+    entries: BTreeMap<&'static str, (u64, u64)>,
+}
+
+impl TableCostModel {
+    /// An empty table.
+    pub fn new() -> Self {
+        TableCostModel::default()
+    }
+
+    /// Sets `kind`'s cost to `base + per_request * batch`.
+    pub fn with_kind(mut self, kind: NetworkKind, base: u64, per_request: u64) -> Self {
+        self.entries.insert(kind.name(), (base, per_request));
+        self
+    }
+}
+
+impl CostModel for TableCostModel {
+    fn batch_cycles(&self, kind: NetworkKind, batch: u32) -> Result<u64> {
+        let (base, per_request) = self.entries.get(kind.name()).copied().unwrap_or((1000, 100));
+        Ok(base + per_request * batch as u64)
+    }
+}
+
+/// The real thing: batch cost measured by simulating the network with
+/// [`SimOptions::batch`] set, fetched through a [`RunStore`] so repeated
+/// identical batches — the common case under a steady workload — are
+/// store hits rather than re-simulations.
+#[derive(Debug, Clone)]
+pub struct SimCostModel {
+    store: Arc<RunStore>,
+    config: GpuConfig,
+    preset: Preset,
+    seed: u64,
+    options: SimOptions,
+}
+
+impl SimCostModel {
+    /// A model simulating on `config` at `preset`/`seed` under the base
+    /// `options` (its `batch` field is overridden per query).
+    pub fn new(store: Arc<RunStore>, config: GpuConfig, preset: Preset, seed: u64, options: SimOptions) -> Self {
+        SimCostModel {
+            store,
+            config,
+            preset,
+            seed,
+            options,
+        }
+    }
+
+    fn spec(&self, kind: NetworkKind, batch: u32) -> RunSpec {
+        RunSpec {
+            config: self.config.clone(),
+            preset: self.preset,
+            seed: self.seed,
+            kind,
+            options: self.options.clone().with_batch(batch.max(1)),
+        }
+    }
+
+    /// Simulates every `(kind, batch ≤ max_batch)` combination the
+    /// engine can ask for, in parallel across `workers` threads via a
+    /// harness [`Suite`]. This is the only parallel stage in a serve
+    /// run — the engine itself is serial — so worker count can never
+    /// change results, only wall-clock time.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first simulation failure.
+    pub fn precompute(&self, kinds: &[NetworkKind], max_batch: u32, workers: usize) -> Result<()> {
+        let mut suite = Suite::new();
+        for &kind in kinds {
+            for batch in 1..=max_batch.max(1) {
+                suite.add_run(self.spec(kind, batch));
+            }
+        }
+        suite.execute(&self.store, workers)?;
+        Ok(())
+    }
+
+    /// The backing store (hit/miss counters tell how much re-simulation
+    /// the workload actually caused).
+    pub fn store(&self) -> &RunStore {
+        &self.store
+    }
+}
+
+impl CostModel for SimCostModel {
+    fn batch_cycles(&self, kind: NetworkKind, batch: u32) -> Result<u64> {
+        let (run, _hit) = self.store.fetch_run(&self.spec(kind, batch))?;
+        Ok(run.report.total_cycles().max(1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_model_is_affine_in_batch() {
+        let m = TableCostModel::new().with_kind(NetworkKind::Gru, 1000, 10);
+        assert_eq!(m.batch_cycles(NetworkKind::Gru, 1).unwrap(), 1010);
+        assert_eq!(m.batch_cycles(NetworkKind::Gru, 8).unwrap(), 1080);
+        // Unlisted kinds get the default curve rather than panicking.
+        assert!(m.batch_cycles(NetworkKind::Lstm, 1).unwrap() > 0);
+    }
+
+    #[test]
+    fn sim_model_caches_repeat_queries() {
+        let root = std::env::temp_dir().join(format!("tango-serve-cost-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        let store = Arc::new(RunStore::at(&root));
+        let m = SimCostModel::new(
+            store.clone(),
+            GpuConfig::gp102(),
+            Preset::Tiny,
+            7,
+            SimOptions::new(),
+        );
+        let c1 = m.batch_cycles(NetworkKind::Gru, 2).unwrap();
+        let misses = store.misses();
+        let c2 = m.batch_cycles(NetworkKind::Gru, 2).unwrap();
+        assert_eq!(c1, c2);
+        assert_eq!(store.misses(), misses, "second query must be a store hit");
+        let _ = std::fs::remove_dir_all(&root);
+    }
+}

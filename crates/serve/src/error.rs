@@ -1,0 +1,54 @@
+use std::error::Error;
+use std::fmt;
+use tango::TangoError;
+use tango_nets::NetworkKind;
+
+/// Errors surfaced by the serving layer.
+#[derive(Debug)]
+pub enum ServeError {
+    /// The underlying simulation (or network build) failed.
+    Sim(TangoError),
+    /// Admission control rejected the request: its queue was at the
+    /// configured bound.
+    Shed {
+        /// The network whose queue was full.
+        kind: NetworkKind,
+        /// Queue occupancy at rejection (= the configured bound).
+        queue_len: usize,
+    },
+    /// The service is shutting down and no longer admits requests.
+    Shutdown,
+    /// The service or engine was misconfigured.
+    Config(String),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Sim(e) => write!(f, "simulation failed: {e}"),
+            ServeError::Shed { kind, queue_len } => {
+                write!(f, "request shed: {kind} queue full at {queue_len}")
+            }
+            ServeError::Shutdown => write!(f, "service is shutting down"),
+            ServeError::Config(msg) => write!(f, "bad serve configuration: {msg}"),
+        }
+    }
+}
+
+impl Error for ServeError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ServeError::Sim(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TangoError> for ServeError {
+    fn from(e: TangoError) -> Self {
+        ServeError::Sim(e)
+    }
+}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, ServeError>;

@@ -1,0 +1,83 @@
+//! Latency summarization over virtual-cycle samples.
+
+/// Nearest-rank percentile over an ascending-sorted slice: the smallest
+/// sample such that at least `q`% of the population is ≤ it. Exact and
+/// interpolation-free, so summaries are byte-stable across platforms.
+///
+/// # Panics
+///
+/// Panics if `sorted` is empty or `q` is outside `(0, 100]`.
+pub fn percentile(sorted: &[u64], q: f64) -> u64 {
+    assert!(!sorted.is_empty(), "percentile of an empty sample");
+    assert!(q > 0.0 && q <= 100.0, "percentile rank {q} out of range");
+    debug_assert!(sorted.windows(2).all(|w| w[0] <= w[1]), "samples must be sorted");
+    let rank = ((q / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+/// The latency distribution of a set of completed requests, in virtual
+/// cycles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LatencySummary {
+    /// Samples summarized.
+    pub count: usize,
+    /// Median.
+    pub p50: u64,
+    /// 95th percentile.
+    pub p95: u64,
+    /// 99th percentile.
+    pub p99: u64,
+    /// Worst case.
+    pub max: u64,
+    /// Mean, rounded to the nearest cycle.
+    pub mean: u64,
+}
+
+impl LatencySummary {
+    /// Summarizes `latencies` (need not be sorted). Returns `None` for
+    /// an empty sample.
+    pub fn from_latencies(latencies: &[u64]) -> Option<Self> {
+        if latencies.is_empty() {
+            return None;
+        }
+        let mut sorted = latencies.to_vec();
+        sorted.sort_unstable();
+        let sum: u128 = sorted.iter().map(|&v| u128::from(v)).sum();
+        Some(LatencySummary {
+            count: sorted.len(),
+            p50: percentile(&sorted, 50.0),
+            p95: percentile(&sorted, 95.0),
+            p99: percentile(&sorted, 99.0),
+            max: *sorted.last().expect("nonempty"),
+            mean: (sum / sorted.len() as u128) as u64,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nearest_rank_percentiles() {
+        let s: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile(&s, 50.0), 50);
+        assert_eq!(percentile(&s, 95.0), 95);
+        assert_eq!(percentile(&s, 99.0), 99);
+        assert_eq!(percentile(&s, 100.0), 100);
+        assert_eq!(percentile(&[7], 50.0), 7);
+        assert_eq!(percentile(&[7], 99.0), 7);
+    }
+
+    #[test]
+    fn summary_matches_hand_computation() {
+        let summary = LatencySummary::from_latencies(&[40, 10, 30, 20]).unwrap();
+        assert_eq!(summary.count, 4);
+        assert_eq!(summary.p50, 20);
+        assert_eq!(summary.p95, 40);
+        assert_eq!(summary.p99, 40);
+        assert_eq!(summary.max, 40);
+        assert_eq!(summary.mean, 25);
+        assert_eq!(LatencySummary::from_latencies(&[]), None);
+    }
+}

@@ -1,0 +1,96 @@
+use crate::error::{Result, ServeError};
+
+/// Time/size-bounded dynamic batching: a per-network queue flushes to a
+/// device as soon as it holds [`max_batch`](Self::max_batch) requests,
+/// or once its oldest request has waited
+/// [`max_delay_cycles`](Self::max_delay_cycles) — whichever comes first.
+/// `max_batch = 1` disables batching; `max_delay_cycles = 0` flushes
+/// greedily whenever a device is free.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchPolicy {
+    /// Largest batch a single dispatch may carry (≥ 1).
+    pub max_batch: u32,
+    /// Longest a request may sit at the head of its queue waiting for
+    /// the batch to fill, in virtual cycles.
+    pub max_delay_cycles: u64,
+}
+
+impl BatchPolicy {
+    /// A policy that never batches and never delays.
+    pub fn immediate() -> Self {
+        BatchPolicy {
+            max_batch: 1,
+            max_delay_cycles: 0,
+        }
+    }
+
+    /// Validates the policy.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Config`] when `max_batch` is zero.
+    pub fn validate(&self) -> Result<()> {
+        if self.max_batch == 0 {
+            return Err(ServeError::Config("max_batch must be at least 1".into()));
+        }
+        Ok(())
+    }
+}
+
+/// Engine configuration: the device pool and admission bound the batcher
+/// schedules against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeConfig {
+    /// Simulated devices in the pool (≥ 1).
+    pub devices: usize,
+    /// Per-network queue bound; an arrival to a full queue is shed.
+    pub queue_bound: usize,
+    /// The batching policy.
+    pub policy: BatchPolicy,
+}
+
+impl ServeConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Config`] when the pool is empty, the queue
+    /// bound is zero, or the policy is invalid.
+    pub fn validate(&self) -> Result<()> {
+        if self.devices == 0 {
+            return Err(ServeError::Config("device pool must hold at least 1 device".into()));
+        }
+        if self.queue_bound == 0 {
+            return Err(ServeError::Config("queue_bound must be at least 1".into()));
+        }
+        self.policy.validate()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validation_rejects_degenerate_configs() {
+        let good = ServeConfig {
+            devices: 2,
+            queue_bound: 8,
+            policy: BatchPolicy {
+                max_batch: 4,
+                max_delay_cycles: 100,
+            },
+        };
+        good.validate().unwrap();
+        let mut bad = good;
+        bad.devices = 0;
+        assert!(bad.validate().is_err());
+        let mut bad = good;
+        bad.queue_bound = 0;
+        assert!(bad.validate().is_err());
+        let mut bad = good;
+        bad.policy.max_batch = 0;
+        assert!(bad.validate().is_err());
+        assert_eq!(BatchPolicy::immediate().max_batch, 1);
+    }
+}

@@ -1,0 +1,86 @@
+//! The batching-determinism contract: the same seed and arrival trace
+//! must produce a byte-identical latency table whether the cost model
+//! was precomputed serially or across many workers, and whether the
+//! store was cold or warm.
+
+use std::sync::Arc;
+use tango_harness::RunStore;
+use tango_nets::{NetworkKind, Preset};
+use tango_serve::{run_trace, ArrivalTrace, BatchPolicy, ServeConfig, ServeReport, SimCostModel};
+use tango_sim::{GpuConfig, SimOptions};
+
+const KINDS: [NetworkKind; 2] = [NetworkKind::Gru, NetworkKind::Lstm];
+const SEED: u64 = 0x5EED;
+const MAX_BATCH: u32 = 4;
+
+fn scratch(tag: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("tango-serve-det-{tag}-{}", std::process::id()))
+}
+
+fn engine_config() -> ServeConfig {
+    ServeConfig {
+        devices: 2,
+        queue_bound: 32,
+        policy: BatchPolicy {
+            max_batch: MAX_BATCH,
+            max_delay_cycles: 5_000,
+        },
+    }
+}
+
+/// Renders the full per-request accounting to text — the strictest
+/// possible equality: every dispatch time, batch size, device
+/// assignment, and latency must match.
+fn render(report: &ServeReport) -> String {
+    let mut out = String::new();
+    for (i, r) in report.records.iter().enumerate() {
+        out.push_str(&format!("{i} {} {} {:?}\n", r.kind, r.arrival, r.outcome));
+    }
+    let s = report.latency_summary().expect("completions");
+    out.push_str(&format!(
+        "makespan={} batches={} p50={} p95={} p99={}\n",
+        report.makespan, report.batches, s.p50, s.p95, s.p99
+    ));
+    out
+}
+
+fn run_with_workers(tag: &str, workers: usize) -> String {
+    let root = scratch(tag);
+    let _ = std::fs::remove_dir_all(&root);
+    let store = Arc::new(RunStore::at(&root));
+    let cost = SimCostModel::new(store, GpuConfig::gp102(), Preset::Tiny, SEED, SimOptions::new());
+    cost.precompute(&KINDS, MAX_BATCH, workers).expect("precompute");
+    let trace = ArrivalTrace::open_loop(&KINDS, 120, 40_000, 3, SEED);
+    let report = run_trace(&trace, &engine_config(), &cost).expect("trace run");
+    let rendered = render(&report);
+    let _ = std::fs::remove_dir_all(&root);
+    rendered
+}
+
+#[test]
+fn latency_table_is_identical_across_worker_counts() {
+    let serial = run_with_workers("serial", 1);
+    let parallel = run_with_workers("parallel", 4);
+    assert_eq!(serial, parallel, "worker count must not affect the latency table");
+}
+
+#[test]
+fn warm_store_reruns_are_identical_and_simulation_free() {
+    let root = scratch("warm");
+    let _ = std::fs::remove_dir_all(&root);
+    let trace = ArrivalTrace::open_loop(&KINDS, 120, 40_000, 3, SEED);
+    let cold = {
+        let store = Arc::new(RunStore::at(&root));
+        let cost = SimCostModel::new(store, GpuConfig::gp102(), Preset::Tiny, SEED, SimOptions::new());
+        cost.precompute(&KINDS, MAX_BATCH, 2).expect("precompute");
+        render(&run_trace(&trace, &engine_config(), &cost).expect("cold run"))
+    };
+    // A fresh process over the same store directory: everything hits.
+    let store = Arc::new(RunStore::at(&root));
+    let cost = SimCostModel::new(store.clone(), GpuConfig::gp102(), Preset::Tiny, SEED, SimOptions::new());
+    cost.precompute(&KINDS, MAX_BATCH, 2).expect("warm precompute");
+    let warm = render(&run_trace(&trace, &engine_config(), &cost).expect("warm run"));
+    assert_eq!(cold, warm);
+    assert_eq!(store.misses(), 0, "warm rerun must not simulate");
+    let _ = std::fs::remove_dir_all(&root);
+}

@@ -384,17 +384,27 @@ pub struct SimOptions {
     /// maximum windowed average, mirroring a physical power meter's
     /// sampling).
     pub power_window: u64,
+    /// Batch replication factor (default 1). Every kernel launch is
+    /// simulated as `batch` concurrent copies of its grid: replica CTAs
+    /// map to the coordinates of their base CTA, so they execute the
+    /// identical program over the identical data (outputs are unchanged)
+    /// while the device sees `batch`x the CTAs in flight. Small grids
+    /// therefore batch almost for free (they fill otherwise-idle SMs);
+    /// grids beyond one machine wave scale linearly — the cost shape a
+    /// batched inference server schedules against.
+    pub batch: u32,
 }
 
 impl SimOptions {
     /// Defaults: config scheduler, config L1D, detailed simulation of at
-    /// most 96 CTAs per kernel, 4096-cycle power windows.
+    /// most 96 CTAs per kernel, 4096-cycle power windows, batch 1.
     pub fn new() -> Self {
         SimOptions {
             scheduler: None,
             l1d_bytes: None,
             cta_sample_limit: Some(96),
             power_window: 4096,
+            batch: 1,
         }
     }
 
@@ -413,6 +423,17 @@ impl SimOptions {
     /// Sets the CTA sampling limit (`None` simulates every CTA).
     pub fn with_cta_sample_limit(mut self, limit: Option<u64>) -> Self {
         self.cta_sample_limit = limit;
+        self
+    }
+
+    /// Sets the batch replication factor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch` is zero.
+    pub fn with_batch(mut self, batch: u32) -> Self {
+        assert!(batch >= 1, "batch replication factor must be at least 1");
+        self.batch = batch;
         self
     }
 }
@@ -481,9 +502,18 @@ mod tests {
         let o = SimOptions::new()
             .with_scheduler(SchedulerPolicy::Lrr)
             .with_l1d_bytes(0)
-            .with_cta_sample_limit(None);
+            .with_cta_sample_limit(None)
+            .with_batch(4);
         assert_eq!(o.scheduler, Some(SchedulerPolicy::Lrr));
         assert_eq!(o.l1d_bytes, Some(0));
         assert_eq!(o.cta_sample_limit, None);
+        assert_eq!(o.batch, 4);
+        assert_eq!(SimOptions::new().batch, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_batch_is_rejected() {
+        let _ = SimOptions::new().with_batch(0);
     }
 }

@@ -108,7 +108,13 @@ impl Gpu {
     /// Runs the launch to completion under `opts` and returns its
     /// statistics. With CTA sampling enabled (the default), only a prefix
     /// of the grid executes and extensive statistics are extrapolated —
-    /// see [`SimOptions::cta_sample_limit`].
+    /// see [`SimOptions::cta_sample_limit`]. With
+    /// [`SimOptions::batch`] > 1 the grid is replicated at the CTA level
+    /// (see [`LaunchFrame`]).
+    ///
+    /// Equivalent to [`begin_launch`](Self::begin_launch) followed by
+    /// [`LaunchFrame::finish`]; use the frame API directly to interleave
+    /// or pace long launches.
     ///
     /// # Panics
     ///
@@ -124,6 +130,29 @@ impl Gpu {
         smem_bytes: u32,
         opts: &SimOptions,
     ) -> KernelStats {
+        self.begin_launch(program, grid, block, params, smem_bytes, opts).finish()
+    }
+
+    /// Starts a launch without running it, returning a resumable
+    /// [`LaunchFrame`] that executes the kernel in caller-controlled
+    /// cycle slices. This is the step-wise device API a serving scheduler
+    /// needs: a long launch can be advanced a quantum at a time, checked
+    /// for progress, and interleaved with bookkeeping, and the final
+    /// statistics are byte-identical to a one-shot [`launch`](Self::launch)
+    /// (slicing only chunks the same deterministic loop).
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`launch`](Self::launch).
+    pub fn begin_launch<'a>(
+        &'a mut self,
+        program: &'a KernelProgram,
+        grid: Dim3,
+        block: Dim3,
+        params: &[u32],
+        smem_bytes: u32,
+        opts: &SimOptions,
+    ) -> LaunchFrame<'a> {
         assert!(
             params.len() as u32 >= program.param_count(),
             "kernel {} expects {} params, got {}",
@@ -147,7 +176,13 @@ impl Gpu {
         };
         let line_bytes = self.config.l2.line_bytes;
 
-        let total_ctas = grid.count();
+        // Batch replication: `batch` copies of the grid are dispatched
+        // replica-major, each replica CTA mapping to its base coordinates
+        // (identical program, identical data, identical — idempotent —
+        // writes). The first `grid.count()` CTAs are therefore exactly the
+        // unbatched launch, so outputs never depend on the batch factor.
+        let base_ctas = grid.count();
+        let total_ctas = base_ctas * opts.batch.max(1) as u64;
         let sim_ctas = total_ctas.min(opts.cta_sample_limit.unwrap_or(u64::MAX)).max(1);
 
         let regs_per_thread = program.register_count().max(1);
@@ -157,7 +192,7 @@ impl Gpu {
             .min(self.config.max_ctas_per_sm);
         let warps_per_cta = self.config.warps_per_cta(cta_threads);
 
-        let mut sms: Vec<Sm> = (0..self.config.num_sms)
+        let sms: Vec<Sm> = (0..self.config.num_sms)
             .map(|_| {
                 Sm::new(
                     &self.config,
@@ -171,130 +206,261 @@ impl Gpu {
             .collect();
 
         self.memsys.reset_stats();
-        let mut meter = PowerMeter::new(self.config.power, self.config.clock_ghz, opts.power_window);
-        let mut agg = LaunchAgg::default();
+        let meter = PowerMeter::new(self.config.power, self.config.clock_ghz, opts.power_window);
 
-        let cta_coords = |id: u64| -> (u32, u32, u32) {
-            let x = (id % grid.x as u64) as u32;
-            let y = ((id / grid.x as u64) % grid.y as u64) as u32;
-            let z = (id / (grid.x as u64 * grid.y as u64)) as u32;
-            (x, y, z)
-        };
+        LaunchFrame {
+            gpu: self,
+            program,
+            params: params.to_vec(),
+            grid,
+            block,
+            smem_bytes,
+            sms,
+            meter,
+            agg: LaunchAgg::default(),
+            line_bytes,
+            base_ctas,
+            total_ctas,
+            sim_ctas,
+            ctas_per_sm,
+            regs_per_thread,
+            next_cta: 0,
+            cycle: 0,
+            weight: 1,
+            done: false,
+        }
+    }
+}
 
-        let mut next_cta: u64 = 0;
-        let mut cycle: u64 = 0;
-        let mut weight: u64 = 1;
-        loop {
-            // Dispatch pending CTAs round-robin across SMs (one per SM per
-            // pass, like the hardware work distributor) so partial grids
-            // spread over the whole machine instead of packing a few SMs.
-            while next_cta < sim_ctas {
-                let mut placed = false;
-                for sm in &mut sms {
-                    if next_cta >= sim_ctas {
-                        break;
-                    }
-                    if sm.has_room() {
-                        sm.accept_cta(cta_coords(next_cta), program, block, smem_bytes);
-                        next_cta += 1;
-                        placed = true;
-                    }
-                }
-                if !placed {
+/// Whether a [`LaunchFrame`] still has work left.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepStatus {
+    /// The launch has not retired every CTA yet.
+    Running,
+    /// The launch is complete; call [`LaunchFrame::finish`].
+    Done,
+}
+
+/// An in-flight kernel launch that can be advanced incrementally.
+///
+/// Created by [`Gpu::begin_launch`]; holds the full mid-launch machine
+/// state (SM pipelines, power meter, aggregation counters, the CTA
+/// dispatch cursor and the virtual-cycle clock), so execution can stop at
+/// any cycle boundary and resume later with no observable difference.
+/// Dropping a frame abandons the launch (device memory keeps whatever the
+/// executed prefix wrote).
+///
+/// # Example
+///
+/// ```
+/// use tango_isa::{DType, Dim3, KernelBuilder, Operand};
+/// use tango_sim::{Gpu, GpuConfig, SimOptions, StepStatus};
+///
+/// let mut b = KernelBuilder::new("fill");
+/// let tid = b.global_tid_x();
+/// let addr = b.reg();
+/// let base = b.load_param(0);
+/// b.shl(DType::U32, addr, tid.into(), Operand::imm_u32(2));
+/// b.add(DType::U32, addr, addr.into(), base.into());
+/// b.st_global(DType::U32, addr, 0, tid);
+/// b.exit();
+/// let program = b.build().expect("valid program");
+///
+/// let mut gpu = Gpu::new(GpuConfig::gp102());
+/// let out = gpu.alloc_bytes(64 * 4);
+/// let mut frame = gpu.begin_launch(&program, Dim3::x(2), Dim3::x(32), &[out], 0, &SimOptions::new());
+/// while frame.step(8) == StepStatus::Running {}
+/// let stats = frame.finish();
+/// assert!(stats.cycles > 0);
+/// ```
+pub struct LaunchFrame<'a> {
+    gpu: &'a mut Gpu,
+    program: &'a KernelProgram,
+    params: Vec<u32>,
+    grid: Dim3,
+    block: Dim3,
+    smem_bytes: u32,
+    sms: Vec<Sm>,
+    meter: PowerMeter,
+    agg: LaunchAgg,
+    line_bytes: u32,
+    base_ctas: u64,
+    total_ctas: u64,
+    sim_ctas: u64,
+    ctas_per_sm: u32,
+    regs_per_thread: u32,
+    next_cta: u64,
+    cycle: u64,
+    weight: u64,
+    done: bool,
+}
+
+impl LaunchFrame<'_> {
+    /// The launch's current virtual cycle.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// CTAs dispatched so far (of [`ctas_to_simulate`](Self::ctas_to_simulate)).
+    pub fn ctas_dispatched(&self) -> u64 {
+        self.next_cta
+    }
+
+    /// CTAs this launch will simulate in detail (after sampling).
+    pub fn ctas_to_simulate(&self) -> u64 {
+        self.sim_ctas
+    }
+
+    /// Whether the launch has completed.
+    pub fn is_done(&self) -> bool {
+        self.done
+    }
+
+    /// One iteration of the launch loop: dispatch pending CTAs, cycle
+    /// every SM once, advance the clock (event-skipping dead spans).
+    fn step_once(&mut self) {
+        let Gpu { config, mem, memsys } = &mut *self.gpu;
+
+        // Dispatch pending CTAs round-robin across SMs (one per SM per
+        // pass, like the hardware work distributor) so partial grids
+        // spread over the whole machine instead of packing a few SMs.
+        while self.next_cta < self.sim_ctas {
+            let mut placed = false;
+            for sm in &mut self.sms {
+                if self.next_cta >= self.sim_ctas {
                     break;
                 }
-            }
-
-            let mut any_active = false;
-            let mut active_sms = 0u32;
-            let mut next_event = u64::MAX;
-            for sm in &mut sms {
-                let mut env = SmEnv {
-                    cycle,
-                    weight,
-                    mem: &mut self.mem,
-                    memsys: &mut self.memsys,
-                    meter: &mut meter,
-                    agg: &mut agg,
-                    program,
-                    params,
-                    grid,
-                    block,
-                    line_bytes,
-                };
-                let (active, hint) = sm.cycle(&mut env);
-                any_active |= active;
-                if active {
-                    active_sms += 1;
+                if sm.has_room() {
+                    let id = self.next_cta % self.base_ctas;
+                    let x = (id % self.grid.x as u64) as u32;
+                    let y = ((id / self.grid.x as u64) % self.grid.y as u64) as u32;
+                    let z = (id / (self.grid.x as u64 * self.grid.y as u64)) as u32;
+                    sm.accept_cta((x, y, z), self.program, self.block, self.smem_bytes);
+                    self.next_cta += 1;
+                    placed = true;
                 }
-                next_event = next_event.min(hint);
             }
-            meter.charge_static_span(cycle, weight, self.config.num_sms - active_sms, active_sms);
-
-            if !any_active && next_cta >= sim_ctas {
+            if !placed {
                 break;
             }
-            // Event skip: when every SM is stalled on a known future time,
-            // jump straight to it instead of ticking the dead cycles.
-            // Stall samples and static power for the skipped span are
-            // charged via `weight` on the next iteration.
-            let target = next_event.clamp(cycle + 1, cycle + 1_000_000);
-            weight = target - cycle;
-            cycle = target;
-            if std::env::var_os("TANGO_DEBUG_HANG").is_some() && cycle > 5_000 && cycle % 2048 < weight {
-                for (i, sm) in sms.iter().enumerate() {
-                    if sm.is_active() {
-                        eprintln!("[hang] cycle {cycle} sm {i}: {}", sm.debug_state(cycle, program));
-                    }
-                }
-            }
-            assert!(cycle < MAX_CYCLES, "kernel {} exceeded the cycle safety valve", program.name());
         }
 
-        // Assemble statistics.
+        let mut any_active = false;
+        let mut active_sms = 0u32;
+        let mut next_event = u64::MAX;
+        for sm in &mut self.sms {
+            let mut env = SmEnv {
+                cycle: self.cycle,
+                weight: self.weight,
+                mem,
+                memsys,
+                meter: &mut self.meter,
+                agg: &mut self.agg,
+                program: self.program,
+                params: &self.params,
+                grid: self.grid,
+                block: self.block,
+                line_bytes: self.line_bytes,
+            };
+            let (active, hint) = sm.cycle(&mut env);
+            any_active |= active;
+            if active {
+                active_sms += 1;
+            }
+            next_event = next_event.min(hint);
+        }
+        self.meter
+            .charge_static_span(self.cycle, self.weight, config.num_sms - active_sms, active_sms);
+
+        if !any_active && self.next_cta >= self.sim_ctas {
+            self.done = true;
+            return;
+        }
+        // Event skip: when every SM is stalled on a known future time,
+        // jump straight to it instead of ticking the dead cycles.
+        // Stall samples and static power for the skipped span are
+        // charged via `weight` on the next iteration.
+        let target = next_event.clamp(self.cycle + 1, self.cycle + 1_000_000);
+        self.weight = target - self.cycle;
+        self.cycle = target;
+        if std::env::var_os("TANGO_DEBUG_HANG").is_some() && self.cycle > 5_000 && self.cycle % 2048 < self.weight {
+            for (i, sm) in self.sms.iter().enumerate() {
+                if sm.is_active() {
+                    eprintln!("[hang] cycle {} sm {i}: {}", self.cycle, sm.debug_state(self.cycle, self.program));
+                }
+            }
+        }
+        assert!(
+            self.cycle < MAX_CYCLES,
+            "kernel {} exceeded the cycle safety valve",
+            self.program.name()
+        );
+    }
+
+    /// Advances the launch by at least `budget` virtual cycles (the last
+    /// event skip may overshoot) or to completion, whichever is first.
+    pub fn step(&mut self, budget: u64) -> StepStatus {
+        let target = self.cycle.saturating_add(budget.max(1));
+        while !self.done && self.cycle < target {
+            self.step_once();
+        }
+        if self.done {
+            StepStatus::Done
+        } else {
+            StepStatus::Running
+        }
+    }
+
+    /// Runs any remaining work to completion and assembles the launch
+    /// statistics (identical to what a one-shot [`Gpu::launch`] returns).
+    pub fn finish(mut self) -> KernelStats {
+        while !self.done {
+            self.step_once();
+        }
+
         let mut l1d = crate::stats::CacheStats::default();
         let mut max_resident_threads = 0;
-        for sm in &sms {
+        for sm in &self.sms {
             if let Some(c) = &sm.l1d {
                 l1d.merge(&c.stats());
             }
             max_resident_threads = max_resident_threads.max(sm.peak_threads);
         }
-        let (energy, peak_power_w, _trace) = meter.finish();
+        let (energy, peak_power_w, _trace) = self.meter.finish();
 
         let mut stats = KernelStats {
-            name: program.name().to_string(),
-            cycles: cycle.max(1),
-            warp_instructions: agg.warp_instructions,
-            thread_instructions: agg.thread_instructions,
-            op_counts: agg.op_counts,
-            dtype_counts: agg.dtype_counts,
-            stalls: agg.stalls,
+            name: self.program.name().to_string(),
+            cycles: self.cycle.max(1),
+            warp_instructions: self.agg.warp_instructions,
+            thread_instructions: self.agg.thread_instructions,
+            op_counts: self.agg.op_counts,
+            dtype_counts: self.agg.dtype_counts,
+            stalls: self.agg.stalls,
             l1d,
-            l2: self.memsys.l2_stats(),
-            dram_accesses: self.memsys.dram_accesses(),
-            const_accesses: agg.const_accesses,
-            shared_accesses: agg.shared_accesses,
-            regs_per_thread,
-            live_regs_per_thread: max_live_registers(program),
+            l2: self.gpu.memsys.l2_stats(),
+            dram_accesses: self.gpu.memsys.dram_accesses(),
+            const_accesses: self.agg.const_accesses,
+            shared_accesses: self.agg.shared_accesses,
+            regs_per_thread: self.regs_per_thread,
+            live_regs_per_thread: max_live_registers(self.program),
             max_resident_threads,
-            smem_bytes: program.smem_bytes().max(smem_bytes),
-            cmem_bytes: program.cmem_bytes(),
+            smem_bytes: self.program.smem_bytes().max(self.smem_bytes),
+            cmem_bytes: self.program.cmem_bytes(),
             energy,
             peak_power_w,
             avg_power_w: 0.0,
-            time_s: cycle.max(1) as f64 / (self.config.clock_ghz * 1e9),
-            ctas_total: total_ctas,
-            ctas_simulated: sim_ctas,
+            time_s: self.cycle.max(1) as f64 / (self.gpu.config.clock_ghz * 1e9),
+            ctas_total: self.total_ctas,
+            ctas_simulated: self.sim_ctas,
         };
-        if total_ctas > sim_ctas {
+        if self.total_ctas > self.sim_ctas {
             // Counts extrapolate linearly with CTAs; time extrapolates by
             // machine waves (a grid that still fits residency runs wider,
             // not longer).
-            let capacity = (self.config.num_sms as u64 * ctas_per_sm as u64).max(1) as f64;
-            let waves_total = (total_ctas as f64 / capacity).max(1.0);
-            let waves_sim = (sim_ctas as f64 / capacity).max(1.0);
-            stats.scale_split(total_ctas as f64 / sim_ctas as f64, waves_total / waves_sim);
+            let capacity = (self.gpu.config.num_sms as u64 * self.ctas_per_sm as u64).max(1) as f64;
+            let waves_total = (self.total_ctas as f64 / capacity).max(1.0);
+            let waves_sim = (self.sim_ctas as f64 / capacity).max(1.0);
+            stats.scale_split(self.total_ctas as f64 / self.sim_ctas as f64, waves_total / waves_sim);
         }
         stats.avg_power_w = if stats.time_s > 0.0 {
             stats.energy.total() / stats.time_s
@@ -515,6 +681,146 @@ mod tests {
     fn missing_params_panic() {
         let mut gpu = Gpu::new(GpuConfig::gp102());
         gpu.launch(&saxpy_program(), Dim3::x(1), Dim3::x(32), &[], 0, &SimOptions::new());
+    }
+
+    fn scale_program() -> KernelProgram {
+        // out[tid] = 2 * x[tid] — pure (output disjoint from input), so
+        // replica CTAs write identical values and batching is idempotent.
+        let mut b = KernelBuilder::new("scale");
+        let tid = b.global_tid_x();
+        let off = b.reg();
+        let xa = b.reg();
+        let oa = b.reg();
+        let v = b.reg();
+        let x_base = b.load_param(0);
+        let o_base = b.load_param(1);
+        b.shl(DType::U32, off, tid.into(), Operand::imm_u32(2));
+        b.add(DType::U32, xa, off.into(), x_base.into());
+        b.add(DType::U32, oa, off.into(), o_base.into());
+        b.ld_global(DType::F32, v, xa, 0);
+        b.add(DType::F32, v, v.into(), v.into());
+        b.st_global(DType::F32, oa, 0, v);
+        b.exit();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn stepwise_launch_matches_one_shot() {
+        let n = 1024usize;
+        let run = |stepwise: bool| {
+            let mut gpu = Gpu::new(GpuConfig::gp102());
+            let x_addr = gpu.upload_f32s(&(0..n).map(|i| i as f32).collect::<Vec<_>>());
+            let o_addr = gpu.alloc_bytes(n as u32 * 4);
+            let params = [x_addr, o_addr];
+            let program = scale_program();
+            let opts = SimOptions::new();
+            let stats = if stepwise {
+                let mut frame = gpu.begin_launch(&program, Dim3::x(16), Dim3::x(64), &params, 0, &opts);
+                let mut steps = 0u32;
+                while frame.step(7) == StepStatus::Running {
+                    steps += 1;
+                    assert!(steps < 1_000_000, "frame never completed");
+                }
+                assert!(frame.is_done());
+                frame.finish()
+            } else {
+                gpu.launch(&program, Dim3::x(16), Dim3::x(64), &params, 0, &opts)
+            };
+            (stats, gpu.download_f32s(o_addr, n))
+        };
+        let (one_shot, out_a) = run(false);
+        let (stepped, out_b) = run(true);
+        assert_eq!(out_a, out_b);
+        // Byte-identical statistics: slicing only chunks the same loop.
+        assert_eq!(format!("{one_shot:?}"), format!("{stepped:?}"));
+    }
+
+    #[test]
+    fn interleaved_frames_on_two_devices_match_serial() {
+        let n = 512usize;
+        let serial = |dim: u32| {
+            let mut gpu = Gpu::new(GpuConfig::gp102());
+            let x_addr = gpu.upload_f32s(&vec![1.5; n]);
+            let o_addr = gpu.alloc_bytes(n as u32 * 4);
+            let stats = gpu.launch(&scale_program(), Dim3::x(dim), Dim3::x(64), &[x_addr, o_addr], 0, &SimOptions::new());
+            stats.cycles
+        };
+        let (a_cycles, b_cycles) = (serial(8), serial(4));
+
+        let mut gpu_a = Gpu::new(GpuConfig::gp102());
+        let mut gpu_b = Gpu::new(GpuConfig::gp102());
+        let xa = gpu_a.upload_f32s(&vec![1.5; n]);
+        let oa = gpu_a.alloc_bytes(n as u32 * 4);
+        let xb = gpu_b.upload_f32s(&vec![1.5; n]);
+        let ob = gpu_b.alloc_bytes(n as u32 * 4);
+        let pa = scale_program();
+        let pb = scale_program();
+        let opts = SimOptions::new();
+        let mut fa = gpu_a.begin_launch(&pa, Dim3::x(8), Dim3::x(64), &[xa, oa], 0, &opts);
+        let mut fb = gpu_b.begin_launch(&pb, Dim3::x(4), Dim3::x(64), &[xb, ob], 0, &opts);
+        // Ping-pong between the two devices a quantum at a time.
+        loop {
+            let sa = fa.step(16);
+            let sb = fb.step(16);
+            if sa == StepStatus::Done && sb == StepStatus::Done {
+                break;
+            }
+        }
+        assert_eq!(fa.finish().cycles, a_cycles);
+        assert_eq!(fb.finish().cycles, b_cycles);
+    }
+
+    #[test]
+    fn batched_launch_preserves_outputs() {
+        let n = 256usize;
+        let run = |batch: u32| {
+            let mut gpu = Gpu::new(GpuConfig::gp102());
+            let x_addr = gpu.upload_f32s(&(0..n).map(|i| i as f32 * 0.25).collect::<Vec<_>>());
+            let o_addr = gpu.alloc_bytes(n as u32 * 4);
+            let stats = gpu.launch(
+                &scale_program(),
+                Dim3::x(4),
+                Dim3::x(64),
+                &[x_addr, o_addr],
+                0,
+                &SimOptions::new().with_batch(batch),
+            );
+            (stats, gpu.download_f32s(o_addr, n))
+        };
+        let (s1, out1) = run(1);
+        let (s8, out8) = run(8);
+        assert_eq!(out1, out8, "batch replication must not change outputs");
+        assert_eq!(s1.ctas_total, 4);
+        assert_eq!(s8.ctas_total, 32);
+        // A 4-CTA grid nowhere near fills a GP102; batching it 8x mostly
+        // fills idle SMs, so the cost grows sublinearly. (It can even come
+        // in *under* the unbatched run: replica CTAs touch identical cache
+        // lines, so their requests merge in the MSHRs.)
+        assert!(s8.cycles < 8 * s1.cycles, "small grids must batch sublinearly");
+    }
+
+    #[test]
+    fn batched_launch_scales_sampled_grids() {
+        // A grid already past the sample limit: batching multiplies
+        // ctas_total and extrapolated work linearly.
+        let n = 64 * 256usize;
+        let mut gpu = Gpu::new(GpuConfig::gp102());
+        let x_addr = gpu.upload_f32s(&vec![1.0; n]);
+        let o_addr = gpu.alloc_bytes(n as u32 * 4);
+        let opts = SimOptions::new().with_cta_sample_limit(Some(16));
+        let s1 = gpu.launch(&scale_program(), Dim3::x(256), Dim3::x(64), &[x_addr, o_addr], 0, &opts);
+        let s4 = gpu.launch(
+            &scale_program(),
+            Dim3::x(256),
+            Dim3::x(64),
+            &[x_addr, o_addr],
+            0,
+            &opts.clone().with_batch(4),
+        );
+        assert_eq!(s1.ctas_total, 256);
+        assert_eq!(s4.ctas_total, 1024);
+        assert_eq!(s4.ctas_simulated, 16);
+        assert!(s4.warp_instructions > 3 * s1.warp_instructions);
     }
 
     #[test]

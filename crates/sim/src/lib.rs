@@ -57,7 +57,7 @@ mod stats;
 
 pub use cache::Cache;
 pub use config::{CacheGeometry, GpuConfig, PowerConstants, SchedulerPolicy, SimOptions};
-pub use gpu::Gpu;
+pub use gpu::{Gpu, LaunchFrame, StepStatus};
 pub use mem::GlobalMemory;
 pub use memsys::{MemResponse, MemorySystem};
 pub use power::{Component, EnergyBreakdown, PowerMeter};
