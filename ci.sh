@@ -33,6 +33,48 @@ if [ "$(echo "$warm" | grep -oE 'misses=[0-9]+')" != "misses=0" ]; then
     exit 1
 fi
 
+echo "== repro_all: per-phase profile =="
+if [ ! -s "$SCRATCH/profile.txt" ]; then
+    echo "FAIL: repro_all did not write a per-phase profile" >&2
+    exit 1
+fi
+
+echo "== harness trace: tracing must not change a single output byte =="
+TRACE_BIN="cargo run --release -q -p tango-harness --bin harness --"
+TANGO_PRESET=tiny $TRACE_BIN trace cifarnet > "$SCRATCH/untraced.out" 2>/dev/null
+TANGO_PRESET=tiny TANGO_TRACE="$SCRATCH/trace.json" \
+    $TRACE_BIN trace cifarnet > "$SCRATCH/traced.out" 2>"$SCRATCH/traced.err"
+if ! cmp -s "$SCRATCH/untraced.out" "$SCRATCH/traced.out"; then
+    echo "FAIL: tracing changed the simulation report" >&2
+    diff "$SCRATCH/untraced.out" "$SCRATCH/traced.out" >&2 || true
+    exit 1
+fi
+# The traced binary itself verified nesting, launch-cycle coverage, and
+# JSON validity before writing; the file must exist and say so.
+if [ ! -s "$SCRATCH/trace.json" ]; then
+    echo "FAIL: traced run wrote no trace file" >&2
+    exit 1
+fi
+grep -q 'launch spans cover' "$SCRATCH/traced.err" || {
+    echo "FAIL: traced run did not report launch-span coverage" >&2
+    exit 1
+}
+if command -v python3 >/dev/null 2>&1; then
+    python3 -c 'import json,sys; json.load(open(sys.argv[1]))' "$SCRATCH/trace.json" ||
+        { echo "FAIL: trace.json is not valid JSON" >&2; exit 1; }
+fi
+
+echo "== harness trace: bad TANGO_TRACE_CAP must exit 2 =="
+set +e
+TANGO_TRACE_CAP=0 $TRACE_BIN trace cifarnet >/dev/null 2>"$SCRATCH/cap.err"
+cap_status=$?
+set -e
+if [ "$cap_status" -ne 2 ]; then
+    echo "FAIL: TANGO_TRACE_CAP=0 exited $cap_status, want 2" >&2
+    cat "$SCRATCH/cap.err" >&2
+    exit 1
+fi
+
 echo "== harness store stats/gc (stale record must be dropped) =="
 # Inject a record written under schema version 1; gc must remove exactly it.
 printf 'TNGR\x01\x00\x00\x00stale' > "$SCRATCH/store/gru-00000000deadbeef.run"

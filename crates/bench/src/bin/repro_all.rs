@@ -8,6 +8,14 @@
 //! exclusively from the warm store. A second invocation with the same
 //! preset therefore performs zero simulations.
 //!
+//! Besides the per-experiment artifacts, the run writes a per-phase
+//! profile — wall-clock seconds plus store hit/miss/write deltas — to
+//! `results/profile.txt`. The profile carries host timings and is the
+//! one results file that is *not* byte-reproducible across runs.
+//!
+//! With `TANGO_TRACE=<path>` set the whole reproduction is recorded by
+//! the flight recorder and exported as Chrome trace-event JSON on exit.
+//!
 //! `TANGO_PRESET=tiny repro_all` gives a fast smoke pass; the default
 //! `bench` preset is what EXPERIMENTS.md records.
 
@@ -15,12 +23,78 @@ use std::time::Instant;
 use tango::figures;
 use tango::tables;
 use tango_bench::{characterizer, emit, preset_from_env, store_handle, SEED};
-use tango_harness::{repro_plan, workers_from_env, RunStore};
+use tango_harness::{repro_plan, results_root, workers_from_env, RunStore};
 
-fn step<F: FnOnce() -> String>(store: &RunStore, name: &str, f: F) {
+/// One profiled phase of the reproduction: wall-clock seconds and the
+/// store-counter deltas it was responsible for.
+struct PhaseRow {
+    name: &'static str,
+    secs: f64,
+    hits: u64,
+    misses: u64,
+    writes: u64,
+}
+
+/// Accumulates [`PhaseRow`]s and renders the `results/profile.txt`
+/// table. Timings are host wall-clock, so the rendered table is the one
+/// results artifact that differs between otherwise-identical runs.
+struct Profile {
+    rows: Vec<PhaseRow>,
+}
+
+impl Profile {
+    fn new() -> Self {
+        Profile { rows: Vec::new() }
+    }
+
+    /// Runs `f` as a named phase: times it, attributes the store-counter
+    /// movement to it, and (when tracing) wraps it in a host-clock span.
+    fn phase<R>(&mut self, store: &RunStore, name: &'static str, f: impl FnOnce() -> R) -> R {
+        let _span = tango_obs::is_enabled().then(|| tango_obs::hspan("repro.phase", name));
+        let (h0, m0, w0) = (store.hits(), store.misses(), store.writes());
+        let t = Instant::now();
+        let out = f();
+        self.rows.push(PhaseRow {
+            name,
+            secs: t.elapsed().as_secs_f64(),
+            hits: store.hits() - h0,
+            misses: store.misses() - m0,
+            writes: store.writes() - w0,
+        });
+        out
+    }
+
+    fn render(&self, header: &str) -> String {
+        let mut out = String::new();
+        out.push_str(header);
+        out.push('\n');
+        out.push_str(&format!(
+            "{:<10} {:>9} {:>8} {:>8} {:>8}\n",
+            "phase", "seconds", "hits", "misses", "writes"
+        ));
+        let (mut secs, mut hits, mut misses, mut writes) = (0.0, 0, 0, 0);
+        for row in &self.rows {
+            secs += row.secs;
+            hits += row.hits;
+            misses += row.misses;
+            writes += row.writes;
+            out.push_str(&format!(
+                "{:<10} {:>9.2} {:>8} {:>8} {:>8}\n",
+                row.name, row.secs, row.hits, row.misses, row.writes
+            ));
+        }
+        out.push_str(&format!(
+            "{:<10} {:>9.2} {:>8} {:>8} {:>8}\n",
+            "total", secs, hits, misses, writes
+        ));
+        out
+    }
+}
+
+fn step<F: FnOnce() -> String>(profile: &mut Profile, store: &RunStore, name: &'static str, f: F) {
     let (h0, m0) = (store.hits(), store.misses());
     let t = Instant::now();
-    let text = f();
+    let text = profile.phase(store, name, f);
     emit(name, &text);
     eprintln!(
         "[repro] {name:8} done in {:6.1}s  (store hits {}, misses {})",
@@ -31,6 +105,15 @@ fn step<F: FnOnce() -> String>(store: &RunStore, name: &str, f: F) {
 }
 
 fn main() {
+    // Validate the trace environment before doing any work: a typo'd
+    // TANGO_TRACE_CAP must stop the run, traced or not.
+    let trace_path = match tango_obs::init_from_env() {
+        Ok(path) => path,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
     let store = store_handle();
     store.reset_counters();
     let ch = characterizer();
@@ -43,12 +126,13 @@ fn main() {
         "[repro] preset={preset} config={} seed={SEED:#x} jobs={workers}",
         ch.config().name
     );
+    let mut profile = Profile::new();
 
     // Phase 1: run (or fetch) every simulation any figure needs, in
     // parallel, deduplicated by content-addressed key.
     let suite = repro_plan(preset, SEED);
     let t = Instant::now();
-    let report = suite.execute(&store, workers).expect("suite runs");
+    let report = profile.phase(&store, "suite", || suite.execute(&store, workers).expect("suite runs"));
     eprintln!(
         "[repro] suite: {} jobs in {:.1}s  ({} store hits, {} simulated)",
         report.jobs,
@@ -58,42 +142,67 @@ fn main() {
     );
 
     // Phase 2: every producer below is served from the warm store.
-    step(&store, "table1", tables::table1_models);
-    step(&store, "table2", tables::table2_gpus);
-    step(&store, "table3", || tables::table3_all(&ch).expect("networks build"));
-    step(&store, "table4", tables::table4_fpga);
+    step(&mut profile, &store, "table1", tables::table1_models);
+    step(&mut profile, &store, "table2", tables::table2_gpus);
+    step(&mut profile, &store, "table3", || tables::table3_all(&ch).expect("networks build"));
+    step(&mut profile, &store, "table4", tables::table4_fpga);
 
     let runs = {
         let t = Instant::now();
-        let runs = figures::run_default_suite(&ch).expect("suite runs");
+        let runs = profile.phase(&store, "fetch", || figures::run_default_suite(&ch).expect("suite runs"));
         eprintln!("[repro] default suite fetched in {:.1}s", t.elapsed().as_secs_f64());
         runs
     };
-    step(&store, "fig01", || figures::fig1_time_breakdown(&runs).to_string());
-    step(&store, "fig03", || figures::fig3_peak_power(&runs).to_string());
-    step(&store, "fig04", || figures::fig4_power_per_layer_type(&runs).to_string());
-    step(&store, "fig05", || figures::fig5_power_components(&runs).to_string());
-    step(&store, "fig08", || figures::fig8_op_breakdown(&runs).to_string());
-    step(&store, "fig09", || figures::fig9_top_ops(&runs).to_string());
-    step(&store, "fig10", || figures::fig10_dtype_over_layers(&runs).to_string());
+    step(&mut profile, &store, "fig01", || figures::fig1_time_breakdown(&runs).to_string());
+    step(&mut profile, &store, "fig03", || figures::fig3_peak_power(&runs).to_string());
+    step(&mut profile, &store, "fig04", || figures::fig4_power_per_layer_type(&runs).to_string());
+    step(&mut profile, &store, "fig05", || figures::fig5_power_components(&runs).to_string());
+    step(&mut profile, &store, "fig08", || figures::fig8_op_breakdown(&runs).to_string());
+    step(&mut profile, &store, "fig09", || figures::fig9_top_ops(&runs).to_string());
+    step(&mut profile, &store, "fig10", || figures::fig10_dtype_over_layers(&runs).to_string());
 
-    step(&store, "fig02", || figures::fig2_l1d_sensitivity(&ch).expect("runs").to_string());
-    step(&store, "fig06", || {
+    step(&mut profile, &store, "fig02", || figures::fig2_l1d_sensitivity(&ch).expect("runs").to_string());
+    step(&mut profile, &store, "fig06", || {
         let r = figures::fig6_tx1_vs_pynq(&ch, tango_nets::Preset::Paper).expect("runs");
         format!("{}\n{}\n{}", r.normalized_energy, r.time_s, r.peak_power_w)
     });
-    step(&store, "fig07", || figures::fig7_stall_breakdown(&ch).expect("runs").to_string());
-    step(&store, "fig11", || figures::fig11_memory_footprint(&ch).expect("builds").to_string());
-    step(&store, "fig12", || figures::fig12_register_usage(&ch).expect("builds").to_string());
+    step(&mut profile, &store, "fig07", || figures::fig7_stall_breakdown(&ch).expect("runs").to_string());
+    step(&mut profile, &store, "fig11", || figures::fig11_memory_footprint(&ch).expect("builds").to_string());
+    step(&mut profile, &store, "fig12", || figures::fig12_register_usage(&ch).expect("builds").to_string());
 
-    let no_l1 = figures::run_cnns_no_l1(&ch).expect("runs");
-    step(&store, "fig13", || figures::fig13_l2_misses(&no_l1).to_string());
-    step(&store, "fig14", || figures::fig14_l2_miss_ratio(&no_l1).to_string());
+    let no_l1 = profile.phase(&store, "no_l1", || figures::run_cnns_no_l1(&ch).expect("runs"));
+    step(&mut profile, &store, "fig13", || figures::fig13_l2_misses(&no_l1).to_string());
+    step(&mut profile, &store, "fig14", || figures::fig14_l2_miss_ratio(&no_l1).to_string());
 
-    step(&store, "fig15", || figures::fig15_scheduler_sensitivity(&ch).expect("runs").to_string());
-    step(&store, "fig16", || figures::fig16_alexnet_per_layer_scheduler(&ch).expect("runs").to_string());
+    step(&mut profile, &store, "fig15", || figures::fig15_scheduler_sensitivity(&ch).expect("runs").to_string());
+    step(&mut profile, &store, "fig16", || figures::fig16_alexnet_per_layer_scheduler(&ch).expect("runs").to_string());
+
+    // The profile carries wall-clock timings, so it bypasses `emit`
+    // (whose stdout copy feeds deterministic-output comparisons).
+    let header = format!("repro_all profile: preset={preset} jobs={workers}");
+    let rendered = profile.render(&header);
+    let profile_path = results_root().join("profile.txt");
+    match std::fs::create_dir_all(results_root())
+        .and_then(|()| std::fs::write(&profile_path, &rendered))
+    {
+        Ok(()) => eprintln!("[repro] phase profile written to {}", profile_path.display()),
+        Err(e) => eprintln!("[repro] warning: cannot write {}: {e}", profile_path.display()),
+    }
 
     eprintln!("[repro] all experiments written to results/");
     // Machine-readable totals (ci.sh asserts misses=0 on a warm pass).
     eprintln!("[repro] store hits={} misses={}", store.hits(), store.misses());
+
+    if let Some(path) = trace_path {
+        let trace = tango_obs::drain();
+        match tango_obs::write_chrome_file(&path, &trace) {
+            Ok(()) => eprintln!(
+                "[repro] trace: wrote {} events to {} ({} dropped)",
+                trace.len(),
+                path.display(),
+                trace.dropped
+            ),
+            Err(e) => eprintln!("[repro] warning: {e}"),
+        }
+    }
 }

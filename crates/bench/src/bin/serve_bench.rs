@@ -166,6 +166,15 @@ fn smoke(cost: &SimCostModel) -> tango_serve::Result<ExitCode> {
 }
 
 fn run() -> tango_serve::Result<ExitCode> {
+    // Validate (and, with TANGO_TRACE set, arm) the flight recorder
+    // before any work; a bad TANGO_TRACE_CAP is a usage error.
+    let trace_path = match tango_obs::init_from_env() {
+        Ok(path) => path,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return Ok(ExitCode::from(2));
+        }
+    };
     let smoke_mode = std::env::args().any(|a| a == "--smoke");
     let workers = match workers_from_env("TANGO_SERVE_WORKERS") {
         Ok(n) => n,
@@ -184,7 +193,9 @@ fn run() -> tango_serve::Result<ExitCode> {
         SimOptions::new(),
     );
     if smoke_mode {
-        return smoke(&cost);
+        let code = smoke(&cost)?;
+        write_trace(trace_path.as_deref());
+        return Ok(code);
     }
 
     let kinds = [NetworkKind::CifarNet, NetworkKind::Gru];
@@ -200,7 +211,23 @@ fn run() -> tango_serve::Result<ExitCode> {
         cost.store().hits(),
         cost.store().misses()
     );
+    write_trace(trace_path.as_deref());
     Ok(ExitCode::SUCCESS)
+}
+
+/// Exports the flight recorder to `path` when tracing was requested.
+fn write_trace(path: Option<&std::path::Path>) {
+    let Some(path) = path else { return };
+    let trace = tango_obs::drain();
+    match tango_obs::write_chrome_file(path, &trace) {
+        Ok(()) => eprintln!(
+            "[serve] trace: wrote {} events to {} ({} dropped)",
+            trace.len(),
+            path.display(),
+            trace.dropped
+        ),
+        Err(e) => eprintln!("[serve] warning: {e}"),
+    }
 }
 
 fn main() -> ExitCode {

@@ -1,19 +1,49 @@
-//! Store maintenance CLI.
+//! Harness CLI: store maintenance and single-run tracing.
 //!
 //! ```text
 //! harness store stats [--dir PATH]   # classify and count records
 //! harness store gc    [--dir PATH]   # drop stale-schema records
+//! harness trace <net>                # simulate one network, optionally traced
 //! ```
 //!
 //! The store defaults to `results/store/` at the workspace root
 //! (`TANGO_RESULTS_DIR` respected); `--dir` points at any other store
-//! directory. Exit code 0 on success, 2 on usage errors.
+//! directory.
+//!
+//! `trace` simulates one inference directly (no store, so the run is
+//! fully deterministic) and prints a per-layer cycle table plus an
+//! output digest on stdout. With `TANGO_TRACE=<path>` set, the run is
+//! recorded and the flight-recorder contents are written to `<path>` as
+//! Chrome trace-event JSON (load it in Perfetto) after being validated:
+//! the span tree must nest, the launch spans must sum to the reported
+//! total cycles, and the JSON must parse. stdout is byte-identical
+//! whether or not tracing is enabled — that is the observability
+//! contract, and `ci.sh` asserts it.
+//!
+//! Exit code 0 on success, 1 on validation/simulation failure, 2 on
+//! usage or environment errors.
 
 use std::process::ExitCode;
-use tango_harness::{RunStore, STORE_SCHEMA_VERSION};
+use tango::{simulate_run, RunSpec};
+use tango_harness::{RunStore, StableHasher, STORE_SCHEMA_VERSION};
+use tango_nets::{NetworkKind, Preset};
+use tango_sim::{GpuConfig, SimOptions};
+
+/// The deterministic seed every reproduction binary uses
+/// (`tango_bench::SEED`; the harness cannot depend on the bench crate).
+const SEED: u64 = 0x7A16_0201_9151;
 
 fn usage() -> ExitCode {
     eprintln!("usage: harness store <stats|gc> [--dir PATH]");
+    eprintln!("       harness trace <net>");
+    eprintln!(
+        "nets: {}",
+        NetworkKind::EXTENDED
+            .iter()
+            .map(|k| k.name().to_lowercase())
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
     ExitCode::from(2)
 }
 
@@ -28,13 +58,7 @@ fn open_store(mut args: std::env::Args) -> Result<RunStore, ExitCode> {
     }
 }
 
-fn main() -> ExitCode {
-    let mut args = std::env::args();
-    let _argv0 = args.next();
-    let (cmd, sub) = (args.next(), args.next());
-    if cmd.as_deref() != Some("store") {
-        return usage();
-    }
+fn store_cmd(sub: Option<String>, args: std::env::Args) -> ExitCode {
     let store = match open_store(args) {
         Ok(store) => store,
         Err(code) => return code,
@@ -68,6 +92,130 @@ fn main() -> ExitCode {
                 eprintln!("error: gc failed in {}: {e}", store.root().display());
                 ExitCode::FAILURE
             }
+        },
+        _ => usage(),
+    }
+}
+
+/// Case-insensitive network lookup over the extended suite.
+fn parse_kind(raw: &str) -> Option<NetworkKind> {
+    let want = raw.to_lowercase();
+    NetworkKind::EXTENDED.into_iter().find(|k| k.name().to_lowercase() == want)
+}
+
+/// Preset selected by `TANGO_PRESET`, mirroring `tango_bench`.
+fn preset_from_env() -> Preset {
+    match std::env::var("TANGO_PRESET").as_deref() {
+        Ok("paper") => Preset::Paper,
+        Ok("tiny") => Preset::Tiny,
+        _ => Preset::Bench,
+    }
+}
+
+/// Order-stable digest of the network output, so two runs can be
+/// compared from their printed reports alone.
+fn output_digest(values: &[f32]) -> u64 {
+    let mut h = StableHasher::new();
+    h.write_u64(values.len() as u64);
+    for v in values {
+        h.write_u32(v.to_bits());
+    }
+    h.finish()
+}
+
+fn trace_cmd(net: &str) -> ExitCode {
+    // Validate the trace environment before doing any work: a typo'd
+    // TANGO_TRACE_CAP must stop the run, traced or not.
+    let trace_path = match tango_obs::init_from_env() {
+        Ok(path) => path,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let Some(kind) = parse_kind(net) else {
+        eprintln!("error: unknown network {net:?}");
+        return usage();
+    };
+    let spec = RunSpec {
+        config: GpuConfig::gp102(),
+        preset: preset_from_env(),
+        seed: SEED,
+        kind,
+        options: SimOptions::new(),
+    };
+    let run = match simulate_run(&spec) {
+        Ok(run) => run,
+        Err(e) => {
+            eprintln!("error: simulation failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    // The deterministic report: byte-identical traced or untraced.
+    println!("network: {}", kind.name());
+    println!("preset: {}", spec.preset.name());
+    println!("device: {}", spec.config.name);
+    println!("seed: {SEED:#x}");
+    println!();
+    println!("{:<24} {:<12} {:>14}", "layer", "type", "cycles");
+    for record in &run.report.records {
+        println!(
+            "{:<24} {:<12} {:>14}",
+            record.name,
+            record.layer_type.to_string(),
+            record.stats.cycles
+        );
+    }
+    let total = run.report.total_cycles();
+    println!();
+    println!("total cycles: {total}");
+    println!("footprint bytes: {}", run.footprint_bytes);
+    println!("output digest: {:016x}", output_digest(run.report.output.as_slice()));
+
+    let Some(path) = trace_path else {
+        return ExitCode::SUCCESS;
+    };
+    let trace = tango_obs::drain();
+    if let Err(e) = trace.check_nesting() {
+        eprintln!("error: trace spans do not nest: {e}");
+        return ExitCode::FAILURE;
+    }
+    let launch_cycles = trace.span_cycles("sim.launch");
+    if launch_cycles != total {
+        eprintln!("error: launch spans sum to {launch_cycles} cycles but the run reports {total}");
+        return ExitCode::FAILURE;
+    }
+    let json = trace.chrome_json();
+    if let Err(e) = tango_obs::json::validate(&json) {
+        eprintln!("error: exported trace is not valid JSON: {e}");
+        return ExitCode::FAILURE;
+    }
+    if let Err(e) = tango_obs::write_chrome_file(&path, &trace) {
+        eprintln!("error: {e}");
+        return ExitCode::FAILURE;
+    }
+    eprintln!(
+        "trace: wrote {} events to {} ({} dropped); launch spans cover {launch_cycles} cycles",
+        trace.len(),
+        path.display(),
+        trace.dropped
+    );
+    eprint!("{}", trace.text_summary());
+    ExitCode::SUCCESS
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args();
+    let _argv0 = args.next();
+    match args.next().as_deref() {
+        Some("store") => {
+            let sub = args.next();
+            store_cmd(sub, args)
+        }
+        Some("trace") => match (args.next(), args.next()) {
+            (Some(net), None) => trace_cmd(&net),
+            _ => usage(),
         },
         _ => usage(),
     }

@@ -43,6 +43,7 @@ pub struct RunStore {
     builds: Mutex<HashMap<u64, BuildStats>>,
     hits: AtomicU64,
     misses: AtomicU64,
+    writes: AtomicU64,
 }
 
 impl std::fmt::Debug for RunStore {
@@ -51,6 +52,7 @@ impl std::fmt::Debug for RunStore {
             .field("root", &self.root)
             .field("hits", &self.hits())
             .field("misses", &self.misses())
+            .field("writes", &self.writes())
             .finish()
     }
 }
@@ -64,6 +66,7 @@ impl RunStore {
             builds: Mutex::new(HashMap::new()),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            writes: AtomicU64::new(0),
         }
     }
 
@@ -88,11 +91,24 @@ impl RunStore {
         self.misses.load(Ordering::Relaxed)
     }
 
-    /// Resets the hit/miss counters (e.g. between a warm-up pass and a
-    /// measured pass).
+    /// Records persisted to disk (one per successfully written miss).
+    pub fn writes(&self) -> u64 {
+        self.writes.load(Ordering::Relaxed)
+    }
+
+    /// Resets the hit/miss/write counters (e.g. between a warm-up pass
+    /// and a measured pass).
     pub fn reset_counters(&self) {
         self.hits.store(0, Ordering::Relaxed);
         self.misses.store(0, Ordering::Relaxed);
+        self.writes.store(0, Ordering::Relaxed);
+    }
+
+    /// Bumps `counter` and surfaces the new running total as a
+    /// host-clock trace counter.
+    fn count(&self, counter: &AtomicU64, name: &'static str) {
+        let total = counter.fetch_add(1, Ordering::Relaxed) + 1;
+        tango_obs::hcounter("harness.store", name, total as i64);
     }
 
     fn path_for(&self, key: &RunKey) -> PathBuf {
@@ -106,8 +122,12 @@ impl RunStore {
             return;
         }
         let tmp = self.root.join(format!(".{}.tmp.{}", key.file_name(), std::process::id()));
-        if fs::write(&tmp, bytes).is_ok() && fs::rename(&tmp, self.path_for(key)).is_err() {
-            let _ = fs::remove_file(&tmp);
+        if fs::write(&tmp, bytes).is_ok() {
+            if fs::rename(&tmp, self.path_for(key)).is_ok() {
+                self.count(&self.writes, "writes");
+            } else {
+                let _ = fs::remove_file(&tmp);
+            }
         }
     }
 
@@ -125,15 +145,15 @@ impl RunStore {
         let key = RunKey::for_run(spec);
         debug_assert_eq!(key.record, RecordKind::Run);
         if let Some(run) = self.runs.lock().expect("store lock").get(&key.digest) {
-            self.hits.fetch_add(1, Ordering::Relaxed);
+            self.count(&self.hits, "hits");
             return Ok((run.clone(), true));
         }
         if let Some(run) = self.load(&key).and_then(|bytes| decode_run(&bytes).ok()) {
-            self.hits.fetch_add(1, Ordering::Relaxed);
+            self.count(&self.hits, "hits");
             self.runs.lock().expect("store lock").insert(key.digest, run.clone());
             return Ok((run, true));
         }
-        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.count(&self.misses, "misses");
         let run = simulate_run(spec)?;
         self.persist(&key, &encode_run(&run));
         self.runs.lock().expect("store lock").insert(key.digest, run.clone());
@@ -151,15 +171,15 @@ impl RunStore {
         let key = RunKey::for_build(spec);
         debug_assert_eq!(key.record, RecordKind::Build);
         if let Some(build) = self.builds.lock().expect("store lock").get(&key.digest) {
-            self.hits.fetch_add(1, Ordering::Relaxed);
+            self.count(&self.hits, "hits");
             return Ok((build.clone(), true));
         }
         if let Some(build) = self.load(&key).and_then(|bytes| decode_build(&bytes).ok()) {
-            self.hits.fetch_add(1, Ordering::Relaxed);
+            self.count(&self.hits, "hits");
             self.builds.lock().expect("store lock").insert(key.digest, build.clone());
             return Ok((build, true));
         }
-        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.count(&self.misses, "misses");
         let build = measure_build(spec)?;
         self.persist(&key, &encode_build(&build));
         self.builds.lock().expect("store lock").insert(key.digest, build.clone());

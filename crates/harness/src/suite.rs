@@ -35,6 +35,14 @@ impl Job {
             Job::Build(spec) => RunKey::for_build(spec),
         }
     }
+
+    /// Human label for progress and trace spans, e.g. `run AlexNet@bench`.
+    pub fn label(&self) -> String {
+        match self {
+            Job::Run(spec) => format!("run {}@{}", spec.kind.name(), spec.preset.name()),
+            Job::Build(spec) => format!("build {}@{}", spec.kind.name(), spec.preset.name()),
+        }
+    }
 }
 
 /// What [`Suite::execute`] reports.
@@ -115,19 +123,31 @@ impl Suite {
         let next = AtomicUsize::new(0);
         let first_error: Mutex<Option<TangoError>> = Mutex::new(None);
         let workers = workers.max(1).min(self.jobs.len().max(1));
+        // Trace spans are host-clock: suite wall time, each worker's
+        // busy window (per-worker utilization), and each job within it.
+        // The `is_enabled` gates keep the dynamic labels free when off.
+        let _suite_span = tango_obs::is_enabled()
+            .then(|| tango_obs::hspan("harness.suite", &format!("execute {} jobs x{} workers", self.jobs.len(), workers)));
 
         std::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    let Some(job) = self.jobs.get(i) else { break };
-                    let outcome = match job {
-                        Job::Run(spec) => store.fetch_run(spec).map(|_| ()),
-                        Job::Build(spec) => store.fetch_build(spec).map(|_| ()),
-                    };
-                    if let Err(e) = outcome {
-                        let mut slot = first_error.lock().expect("error lock");
-                        slot.get_or_insert(e);
+            for w in 0..workers {
+                let (next, first_error) = (&next, &first_error);
+                scope.spawn(move || {
+                    let _worker_span =
+                        tango_obs::is_enabled().then(|| tango_obs::hspan("harness.worker", &format!("worker{w}")));
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(job) = self.jobs.get(i) else { break };
+                        let _job_span =
+                            tango_obs::is_enabled().then(|| tango_obs::hspan("harness.job", &job.label()));
+                        let outcome = match job {
+                            Job::Run(spec) => store.fetch_run(spec).map(|_| ()),
+                            Job::Build(spec) => store.fetch_build(spec).map(|_| ()),
+                        };
+                        if let Err(e) = outcome {
+                            let mut slot = first_error.lock().expect("error lock");
+                            slot.get_or_insert(e);
+                        }
                     }
                 });
             }

@@ -278,11 +278,13 @@ impl Network {
 
     /// Simulates every layer kernel under `opts` and assembles the report.
     fn run_layers(&self, gpu: &mut Gpu, opts: &SimOptions) -> Result<InferenceReport> {
+        let _infer_span = tango_obs::vspan("net.infer", self.kind.name());
         let mut records = Vec::with_capacity(self.layers.len());
         for layer in &self.layers {
             if std::env::var_os("TANGO_TRACE_LAYERS").is_some() {
                 eprintln!("[tango] running layer {}", layer.name);
             }
+            let _layer_span = tango_obs::vspan("net.layer", &layer.name);
             let stats = layer.run(gpu, opts);
             records.push(LayerRecord {
                 name: layer.name.clone(),

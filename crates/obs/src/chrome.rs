@@ -1,0 +1,168 @@
+//! Chrome trace-event JSON exporter.
+//!
+//! The output is the "JSON object format" understood by Perfetto and
+//! `chrome://tracing`: a `traceEvents` array plus top-level metadata.
+//! Each clock domain exports as its own process so virtual cycles and
+//! host nanoseconds never share a timeline; cycle timestamps map 1:1 to
+//! microseconds (so 1 "µs" on screen is 1 cycle), host nanoseconds are
+//! converted to microseconds with a three-decimal fraction.
+//!
+//! The exporter writes one event per line in trace order with fixed key
+//! order and no floating-point formatting, so a deterministic event
+//! stream exports to byte-identical JSON.
+
+use crate::event::{Domain, Phase};
+use crate::trace::Trace;
+use std::fmt::Write as _;
+
+/// Escapes `s` into `out` as a JSON string body (no surrounding
+/// quotes).
+fn escape_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// Writes a timestamp in microseconds: cycles map 1:1, host
+/// nanoseconds gain a fixed three-decimal fraction.
+fn ts_into(out: &mut String, domain: Domain, ts: u64) {
+    match domain {
+        Domain::Virtual | Domain::Engine => {
+            let _ = write!(out, "{ts}");
+        }
+        Domain::Host => {
+            let _ = write!(out, "{}.{:03}", ts / 1000, ts % 1000);
+        }
+    }
+}
+
+/// Renders `trace` as Chrome trace-event JSON.
+pub fn export(trace: &Trace) -> String {
+    let mut out = String::with_capacity(128 + trace.events.len() * 96);
+    out.push_str("{\"traceEvents\":[\n");
+    // Process-name metadata first, one per clock domain, always all
+    // three so the preamble is stable regardless of which layers ran.
+    for domain in Domain::ALL {
+        let _ = write!(
+            out,
+            "{{\"ph\":\"M\",\"pid\":{},\"tid\":0,\"name\":\"process_name\",\"args\":{{\"name\":\"",
+            domain.pid()
+        );
+        escape_into(&mut out, domain.label());
+        out.push_str("\"}},\n");
+    }
+    for (i, ev) in trace.events.iter().enumerate() {
+        let _ = write!(
+            out,
+            "{{\"ph\":\"{}\",\"pid\":{},\"tid\":{},\"ts\":",
+            ev.phase.chrome(),
+            ev.domain.pid(),
+            ev.tid
+        );
+        ts_into(&mut out, ev.domain, ev.ts);
+        out.push_str(",\"cat\":\"");
+        escape_into(&mut out, ev.cat);
+        out.push_str("\",\"name\":\"");
+        escape_into(&mut out, &ev.name);
+        out.push('"');
+        match ev.phase {
+            Phase::Counter => {
+                let _ = write!(out, ",\"args\":{{\"value\":{}}}", ev.value);
+            }
+            Phase::Instant => out.push_str(",\"s\":\"t\""),
+            Phase::AsyncBegin | Phase::AsyncEnd => {
+                let _ = write!(out, ",\"id\":{}", ev.value);
+            }
+            Phase::Begin | Phase::End => {}
+        }
+        out.push('}');
+        if i + 1 < trace.events.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    let _ = write!(
+        out,
+        "],\"displayTimeUnit\":\"ms\",\"droppedEvents\":{}}}\n",
+        trace.dropped
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Event;
+
+    fn demo_trace() -> Trace {
+        Trace {
+            events: vec![
+                Event {
+                    domain: Domain::Virtual,
+                    tid: 1,
+                    ts: 0,
+                    phase: Phase::Begin,
+                    cat: "net.layer",
+                    name: "conv\"1\"".to_string(),
+                    value: 0,
+                },
+                Event {
+                    domain: Domain::Virtual,
+                    tid: 1,
+                    ts: 42,
+                    phase: Phase::End,
+                    cat: "net.layer",
+                    name: "conv\"1\"".to_string(),
+                    value: 0,
+                },
+                Event {
+                    domain: Domain::Host,
+                    tid: 2,
+                    ts: 1_234_567,
+                    phase: Phase::Counter,
+                    cat: "store",
+                    name: "hits".to_string(),
+                    value: 3,
+                },
+            ],
+            dropped: 1,
+        }
+    }
+
+    #[test]
+    fn export_is_valid_json_with_expected_fields() {
+        let json = export(&demo_trace());
+        crate::json::validate(&json).unwrap();
+        assert!(json.contains("\"ph\":\"B\""));
+        assert!(json.contains("\"ph\":\"C\""));
+        assert!(json.contains("\"args\":{\"value\":3}"));
+        // Host ns -> µs with a three-decimal fraction.
+        assert!(json.contains("\"ts\":1234.567"), "{json}");
+        // Quotes in names are escaped.
+        assert!(json.contains("conv\\\"1\\\""));
+        assert!(json.contains("\"droppedEvents\":1"));
+    }
+
+    #[test]
+    fn export_is_deterministic() {
+        let trace = demo_trace();
+        assert_eq!(export(&trace), export(&trace));
+    }
+
+    #[test]
+    fn escapes_control_characters() {
+        let mut out = String::new();
+        escape_into(&mut out, "a\nb\t\u{1}c\\d");
+        assert_eq!(out, "a\\nb\\t\\u0001c\\\\d");
+    }
+}

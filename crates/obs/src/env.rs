@@ -1,0 +1,121 @@
+//! Environment gating: `TANGO_TRACE` and `TANGO_TRACE_CAP`.
+//!
+//! Validation follows the same strict style as the harness's
+//! `TANGO_JOBS`: an *unset* variable falls back cleanly, but a variable
+//! that is set to something unusable is an error naming the variable —
+//! silently ignoring a typo'd cap would hand the user a truncated trace
+//! they asked to size differently.
+
+use crate::trace::Trace;
+use std::path::PathBuf;
+
+/// Default per-thread ring capacity in events when `TANGO_TRACE_CAP` is
+/// unset: large enough to hold a full paper-preset run, small enough
+/// that an accidental always-on trace stays bounded.
+pub const DEFAULT_EVENT_CAP: usize = 1 << 20;
+
+/// Parses a ring capacity from env-var text. `name` is the variable
+/// name, used in error messages.
+///
+/// # Errors
+///
+/// Returns a message naming the variable when the value is `0` or does
+/// not parse as a positive integer.
+pub fn parse_event_cap(name: &str, raw: &str) -> Result<usize, String> {
+    match raw.trim().parse::<usize>() {
+        Ok(0) => Err(format!("{name} must be a positive event count, got 0 (unset it for the default)")),
+        Ok(n) => Ok(n),
+        Err(_) => Err(format!("{name} must be a positive event count, got {raw:?}")),
+    }
+}
+
+/// Ring capacity from `TANGO_TRACE_CAP`: unset means
+/// [`DEFAULT_EVENT_CAP`]; a set value must parse as a positive integer.
+///
+/// # Errors
+///
+/// Returns the [`parse_event_cap`] message when the variable is set to
+/// `0` or garbage.
+pub fn cap_from_env() -> Result<usize, String> {
+    let name = "TANGO_TRACE_CAP";
+    match std::env::var(name) {
+        Ok(v) => parse_event_cap(name, &v),
+        Err(std::env::VarError::NotPresent) => Ok(DEFAULT_EVENT_CAP),
+        Err(std::env::VarError::NotUnicode(_)) => Err(format!("{name} is set to a non-UTF-8 value")),
+    }
+}
+
+/// Trace output path from `TANGO_TRACE`, if set.
+///
+/// # Errors
+///
+/// Returns a message when the variable is set but empty or non-UTF-8 —
+/// an empty path would silently drop the trace the user asked for.
+pub fn trace_path_from_env() -> Result<Option<PathBuf>, String> {
+    let name = "TANGO_TRACE";
+    match std::env::var(name) {
+        Ok(v) if v.trim().is_empty() => Err(format!("{name} must name a trace output path, got {v:?}")),
+        Ok(v) => Ok(Some(PathBuf::from(v))),
+        Err(std::env::VarError::NotPresent) => Ok(None),
+        Err(std::env::VarError::NotUnicode(_)) => Err(format!("{name} is set to a non-UTF-8 value")),
+    }
+}
+
+/// Reads `TANGO_TRACE` / `TANGO_TRACE_CAP` and, when a trace path is
+/// set, enables recording with the configured capacity. Returns the
+/// path to write the trace to on completion, or `None` when tracing is
+/// off.
+///
+/// The cap is validated even when `TANGO_TRACE` is unset: a garbage
+/// `TANGO_TRACE_CAP` is a user mistake worth failing on rather than a
+/// value to quietly ignore.
+///
+/// # Errors
+///
+/// Returns the [`parse_event_cap`] / [`trace_path_from_env`] messages;
+/// binaries should print them to stderr and exit 2.
+pub fn init_from_env() -> Result<Option<PathBuf>, String> {
+    let cap = cap_from_env()?;
+    let path = trace_path_from_env()?;
+    if path.is_some() {
+        crate::recorder::enable(cap);
+    }
+    Ok(path)
+}
+
+/// Writes `trace` as Chrome trace-event JSON to `path`, creating parent
+/// directories.
+///
+/// # Errors
+///
+/// Returns a message naming the path on I/O failure.
+pub fn write_chrome_file(path: &std::path::Path, trace: &Trace) -> Result<(), String> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent).map_err(|e| format!("creating {}: {e}", parent.display()))?;
+        }
+    }
+    std::fs::write(path, trace.chrome_json()).map_err(|e| format!("writing {}: {e}", path.display()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cap_accepts_positive_integers() {
+        assert_eq!(parse_event_cap("TANGO_TRACE_CAP", "4096"), Ok(4096));
+        assert_eq!(parse_event_cap("TANGO_TRACE_CAP", " 1 "), Ok(1));
+    }
+
+    #[test]
+    fn cap_rejects_zero_and_garbage_naming_the_variable() {
+        let err = parse_event_cap("TANGO_TRACE_CAP", "0").unwrap_err();
+        assert!(err.contains("TANGO_TRACE_CAP") && err.contains('0'), "{err}");
+        for bad in ["", "many", "-1", "2.5", "1e6"] {
+            let err = parse_event_cap("TANGO_TRACE_CAP", bad).unwrap_err();
+            assert!(err.contains("TANGO_TRACE_CAP"), "{err}");
+            assert!(err.contains(&format!("{bad:?}")), "{err}");
+        }
+    }
+}

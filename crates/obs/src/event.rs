@@ -1,0 +1,125 @@
+//! The event model: everything a flight recorder stores.
+
+use std::fmt;
+
+/// Which clock an event's timestamp belongs to.
+///
+/// Chrome trace export maps each domain to its own process (`pid`), so
+/// virtual cycles and host nanoseconds never share a timeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Domain {
+    /// Simulator virtual cycles (the per-thread virtual cursor).
+    Virtual,
+    /// Serving-engine virtual cycles (explicitly stamped).
+    Engine,
+    /// Host monotonic nanoseconds since trace start.
+    Host,
+}
+
+impl Domain {
+    /// All domains, in export order.
+    pub const ALL: [Domain; 3] = [Domain::Virtual, Domain::Engine, Domain::Host];
+
+    /// The Chrome trace `pid` this domain exports under.
+    pub fn pid(self) -> u32 {
+        match self {
+            Domain::Virtual => 0,
+            Domain::Engine => 1,
+            Domain::Host => 2,
+        }
+    }
+
+    /// Human label used for Chrome process names and the text summary.
+    pub fn label(self) -> &'static str {
+        match self {
+            Domain::Virtual => "virtual (cycles)",
+            Domain::Engine => "engine (cycles)",
+            Domain::Host => "host (ns)",
+        }
+    }
+}
+
+impl fmt::Display for Domain {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// What kind of event this is (a subset of the Chrome trace phases).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Phase {
+    /// Span begin (`ph: "B"`). Must nest: the matching [`Phase::End`]
+    /// closes the most recently opened span on the same track.
+    Begin,
+    /// Span end (`ph: "E"`).
+    End,
+    /// Counter / gauge sample (`ph: "C"`); `value` is the sample.
+    Counter,
+    /// Instantaneous marker (`ph: "i"`).
+    Instant,
+    /// Async span begin (`ph: "b"`); `value` is the async id. Async
+    /// spans may overlap on a track (request lifecycles).
+    AsyncBegin,
+    /// Async span end (`ph: "e"`); `value` is the async id.
+    AsyncEnd,
+}
+
+impl Phase {
+    /// The Chrome trace `ph` string.
+    pub fn chrome(self) -> &'static str {
+        match self {
+            Phase::Begin => "B",
+            Phase::End => "E",
+            Phase::Counter => "C",
+            Phase::Instant => "i",
+            Phase::AsyncBegin => "b",
+            Phase::AsyncEnd => "e",
+        }
+    }
+}
+
+/// One recorded observation.
+///
+/// Events are appended in program order per thread, and every clock in
+/// use is monotonic per track, so a drained track is already in
+/// timeline order — no sorting happens anywhere, which is part of what
+/// keeps enabled traces byte-stable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Event {
+    /// Clock domain of `ts`.
+    pub domain: Domain,
+    /// Logical track (thread for `Virtual`/`Host`; device or queue for
+    /// `Engine`).
+    pub tid: u32,
+    /// Timestamp in the domain's unit (cycles or nanoseconds).
+    pub ts: u64,
+    /// Event kind.
+    pub phase: Phase,
+    /// Category (`sim.launch`, `net.layer`, `harness.job`, ...).
+    pub cat: &'static str,
+    /// Event name (kernel, layer, network, counter name).
+    pub name: String,
+    /// Counter sample or async id; 0 otherwise.
+    pub value: i64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn domains_have_distinct_pids() {
+        let pids: Vec<u32> = Domain::ALL.iter().map(|d| d.pid()).collect();
+        assert_eq!(pids, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn phases_map_to_chrome_strings() {
+        assert_eq!(Phase::Begin.chrome(), "B");
+        assert_eq!(Phase::End.chrome(), "E");
+        assert_eq!(Phase::Counter.chrome(), "C");
+        assert_eq!(Phase::Instant.chrome(), "i");
+        assert_eq!(Phase::AsyncBegin.chrome(), "b");
+        assert_eq!(Phase::AsyncEnd.chrome(), "e");
+    }
+}

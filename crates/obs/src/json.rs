@@ -1,0 +1,216 @@
+//! A minimal JSON validity checker.
+//!
+//! The trace exporter emits JSON by hand (this crate is dependency
+//! free), so the CI gate "the emitted trace parses" needs an
+//! independent check. This is a strict recursive-descent recognizer for
+//! RFC 8259 JSON — it validates structure without building a value
+//! tree, which is all the gate needs.
+
+/// Checks that `input` is exactly one well-formed JSON value (plus
+/// surrounding whitespace).
+///
+/// # Errors
+///
+/// Returns a message with the byte offset of the first violation.
+pub fn validate(input: &str) -> Result<(), String> {
+    let bytes = input.as_bytes();
+    let mut pos = 0;
+    skip_ws(bytes, &mut pos);
+    value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing data at byte {pos}"));
+    }
+    Ok(())
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn value(bytes: &[u8], pos: &mut usize) -> Result<(), String> {
+    match bytes.get(*pos) {
+        Some(b'{') => object(bytes, pos),
+        Some(b'[') => array(bytes, pos),
+        Some(b'"') => string(bytes, pos),
+        Some(b't') => literal(bytes, pos, b"true"),
+        Some(b'f') => literal(bytes, pos, b"false"),
+        Some(b'n') => literal(bytes, pos, b"null"),
+        Some(c) if *c == b'-' || c.is_ascii_digit() => number(bytes, pos),
+        Some(c) => Err(format!("unexpected byte {:?} at {}", *c as char, *pos)),
+        None => Err(format!("unexpected end of input at byte {pos}")),
+    }
+}
+
+fn literal(bytes: &[u8], pos: &mut usize, lit: &[u8]) -> Result<(), String> {
+    if bytes.len() >= *pos + lit.len() && &bytes[*pos..*pos + lit.len()] == lit {
+        *pos += lit.len();
+        Ok(())
+    } else {
+        Err(format!("invalid literal at byte {pos}"))
+    }
+}
+
+fn object(bytes: &[u8], pos: &mut usize) -> Result<(), String> {
+    *pos += 1; // '{'
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(());
+    }
+    loop {
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) != Some(&b'"') {
+            return Err(format!("expected object key at byte {pos}"));
+        }
+        string(bytes, pos)?;
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) != Some(&b':') {
+            return Err(format!("expected ':' at byte {pos}"));
+        }
+        *pos += 1;
+        skip_ws(bytes, pos);
+        value(bytes, pos)?;
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(());
+            }
+            _ => return Err(format!("expected ',' or '}}' at byte {pos}")),
+        }
+    }
+}
+
+fn array(bytes: &[u8], pos: &mut usize) -> Result<(), String> {
+    *pos += 1; // '['
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(());
+    }
+    loop {
+        skip_ws(bytes, pos);
+        value(bytes, pos)?;
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(());
+            }
+            _ => return Err(format!("expected ',' or ']' at byte {pos}")),
+        }
+    }
+}
+
+fn string(bytes: &[u8], pos: &mut usize) -> Result<(), String> {
+    *pos += 1; // opening '"'
+    while let Some(&b) = bytes.get(*pos) {
+        match b {
+            b'"' => {
+                *pos += 1;
+                return Ok(());
+            }
+            b'\\' => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => *pos += 1,
+                    Some(b'u') => {
+                        *pos += 1;
+                        for _ in 0..4 {
+                            match bytes.get(*pos) {
+                                Some(h) if h.is_ascii_hexdigit() => *pos += 1,
+                                _ => return Err(format!("invalid \\u escape at byte {pos}")),
+                            }
+                        }
+                    }
+                    _ => return Err(format!("invalid escape at byte {pos}")),
+                }
+            }
+            0x00..=0x1f => return Err(format!("unescaped control character at byte {pos}")),
+            _ => *pos += 1,
+        }
+    }
+    Err(format!("unterminated string at byte {pos}"))
+}
+
+fn number(bytes: &[u8], pos: &mut usize) -> Result<(), String> {
+    if bytes.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    match bytes.get(*pos) {
+        Some(b'0') => *pos += 1,
+        Some(d) if d.is_ascii_digit() => {
+            while matches!(bytes.get(*pos), Some(d) if d.is_ascii_digit()) {
+                *pos += 1;
+            }
+        }
+        _ => return Err(format!("invalid number at byte {pos}")),
+    }
+    if bytes.get(*pos) == Some(&b'.') {
+        *pos += 1;
+        if !matches!(bytes.get(*pos), Some(d) if d.is_ascii_digit()) {
+            return Err(format!("invalid fraction at byte {pos}"));
+        }
+        while matches!(bytes.get(*pos), Some(d) if d.is_ascii_digit()) {
+            *pos += 1;
+        }
+    }
+    if matches!(bytes.get(*pos), Some(b'e' | b'E')) {
+        *pos += 1;
+        if matches!(bytes.get(*pos), Some(b'+' | b'-')) {
+            *pos += 1;
+        }
+        if !matches!(bytes.get(*pos), Some(d) if d.is_ascii_digit()) {
+            return Err(format!("invalid exponent at byte {pos}"));
+        }
+        while matches!(bytes.get(*pos), Some(d) if d.is_ascii_digit()) {
+            *pos += 1;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_well_formed_json() {
+        for ok in [
+            "{}",
+            "[]",
+            "null",
+            "true",
+            " -12.5e+3 ",
+            r#"{"a":[1,2,{"b":"c\né"}],"d":null}"#,
+            "0.001",
+        ] {
+            validate(ok).unwrap_or_else(|e| panic!("{ok}: {e}"));
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_json() {
+        for bad in [
+            "",
+            "{",
+            "[1,]",
+            "{\"a\":}",
+            "{'a':1}",
+            "01",
+            "1.",
+            "nul",
+            "\"unterminated",
+            "{} trailing",
+            "{\"a\":1,}",
+            "\"bad \\x escape\"",
+        ] {
+            assert!(validate(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+}

@@ -1,0 +1,496 @@
+//! The flight recorder: global gate, per-thread ring buffers, and the
+//! virtual-cycle cursor.
+//!
+//! Recording is a three-step fast path: load one relaxed atomic (the
+//! gate), grab the thread's ring behind an uncontended mutex, append.
+//! Nothing allocates, formats, or locks when the gate is off — call
+//! sites that build dynamic names should themselves branch on
+//! [`is_enabled`] first.
+//!
+//! Rings are *bounded*: when a ring is full the oldest event is dropped
+//! and counted, so a long run degrades into a flight recorder of the
+//! most recent window instead of growing without bound.
+
+use crate::event::{Domain, Event, Phase};
+use crate::trace::Trace;
+use std::cell::{Cell, RefCell};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static CAP: AtomicUsize = AtomicUsize::new(crate::env::DEFAULT_EVENT_CAP);
+static EPOCH: AtomicU64 = AtomicU64::new(0);
+static NEXT_TID: AtomicU32 = AtomicU32::new(1);
+static REGISTRY: Mutex<Vec<Arc<Mutex<Ring>>>> = Mutex::new(Vec::new());
+static HOST_EPOCH: OnceLock<Instant> = OnceLock::new();
+
+#[derive(Debug)]
+struct Ring {
+    tid: u32,
+    cap: usize,
+    events: VecDeque<Event>,
+    dropped: u64,
+}
+
+impl Ring {
+    fn push(&mut self, event: Event) {
+        if self.events.len() >= self.cap {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+        self.events.push_back(event);
+    }
+}
+
+struct Local {
+    ring: Arc<Mutex<Ring>>,
+    tid: u32,
+    epoch: u64,
+}
+
+thread_local! {
+    static LOCAL: RefCell<Option<Local>> = const { RefCell::new(None) };
+    static VCURSOR: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Turns recording on with a per-thread ring capacity of `cap` events
+/// (clamped to at least 1). Existing rings keep their events; their
+/// capacity is refreshed lazily on each thread's next append.
+pub fn enable(cap: usize) {
+    CAP.store(cap.max(1), Ordering::Relaxed);
+    EPOCH.fetch_add(1, Ordering::Relaxed);
+    ENABLED.store(true, Ordering::Release);
+}
+
+/// Turns recording off. Buffered events stay drainable.
+pub fn disable() {
+    ENABLED.store(false, Ordering::Release);
+}
+
+/// Whether recording is on. One relaxed load — the gate every recording
+/// call (and every call site building a dynamic name) checks first.
+#[inline]
+pub fn is_enabled() -> bool {
+    ENABLED.load(Ordering::Acquire)
+}
+
+/// Monotonic nanoseconds since the first host-clock observation of the
+/// process (the host-domain timestamp base).
+pub fn host_now_ns() -> u64 {
+    HOST_EPOCH.get_or_init(Instant::now).elapsed().as_nanos() as u64
+}
+
+/// This thread's virtual-cycle cursor.
+pub fn virtual_now() -> u64 {
+    VCURSOR.with(|c| c.get())
+}
+
+/// Advances this thread's virtual cursor by `cycles` (a retired launch).
+pub fn advance_virtual(cycles: u64) {
+    VCURSOR.with(|c| c.set(c.get().saturating_add(cycles)));
+}
+
+/// This thread's track id, if it has recorded anything yet.
+pub fn current_tid() -> Option<u32> {
+    LOCAL.with(|l| l.borrow().as_ref().map(|local| local.tid))
+}
+
+/// Resets this thread's state for a fresh deterministic recording:
+/// clears its ring and drop count and zeroes the virtual cursor. The
+/// thread keeps its track id, so repeated traced runs on one thread
+/// produce byte-identical event streams.
+pub fn reset_current_thread() {
+    VCURSOR.with(|c| c.set(0));
+    LOCAL.with(|l| {
+        if let Some(local) = l.borrow().as_ref() {
+            let mut ring = local.ring.lock().expect("obs ring lock");
+            ring.events.clear();
+            ring.dropped = 0;
+        }
+    });
+}
+
+/// Runs `f` with this thread's ring (allocating and registering it on
+/// first use), passing the thread's track id.
+fn with_local<R>(f: impl FnOnce(u32, &mut Ring) -> R) -> R {
+    LOCAL.with(|l| {
+        let mut slot = l.borrow_mut();
+        let epoch = EPOCH.load(Ordering::Relaxed);
+        let local = slot.get_or_insert_with(|| {
+            let tid = NEXT_TID.fetch_add(1, Ordering::Relaxed);
+            let ring = Arc::new(Mutex::new(Ring {
+                tid,
+                cap: CAP.load(Ordering::Relaxed),
+                events: VecDeque::new(),
+                dropped: 0,
+            }));
+            REGISTRY.lock().expect("obs registry lock").push(Arc::clone(&ring));
+            Local { ring, tid, epoch }
+        });
+        let mut ring = local.ring.lock().expect("obs ring lock");
+        if local.epoch != epoch {
+            ring.cap = CAP.load(Ordering::Relaxed);
+            local.epoch = epoch;
+        }
+        f(local.tid, &mut ring)
+    })
+}
+
+/// Appends `event` to this thread's ring exactly as given (the caller
+/// chose the logical `tid` — engine events use device/queue tracks).
+/// No-op when disabled. Most call sites want the typed helpers
+/// ([`vspan`], [`vcounter`], [`engine_span_at`], ...) instead.
+pub fn emit(event: Event) {
+    if !is_enabled() {
+        return;
+    }
+    with_local(|_, ring| ring.push(event));
+}
+
+/// Appends an event on this thread's own track.
+fn thread_event(domain: Domain, ts: u64, phase: Phase, cat: &'static str, name: &str, value: i64) {
+    if !is_enabled() {
+        return;
+    }
+    with_local(|tid, ring| {
+        ring.push(Event {
+            domain,
+            tid,
+            ts,
+            phase,
+            cat,
+            name: name.to_string(),
+            value,
+        });
+    });
+}
+
+/// Collects every thread's buffered events into a [`Trace`], emptying
+/// the rings (recording continues if still enabled). Tracks are ordered
+/// by track id; events within a track keep append order, which is
+/// chronological (every clock is monotonic per track).
+pub fn drain() -> Trace {
+    let registry = REGISTRY.lock().expect("obs registry lock");
+    let mut rings: Vec<&Arc<Mutex<Ring>>> = registry.iter().collect();
+    rings.sort_by_key(|r| r.lock().expect("obs ring lock").tid);
+    let mut events = Vec::new();
+    let mut dropped = 0;
+    for ring in rings {
+        let mut ring = ring.lock().expect("obs ring lock");
+        dropped += ring.dropped;
+        ring.dropped = 0;
+        events.extend(ring.events.drain(..));
+    }
+    Trace { events, dropped }
+}
+
+/// An RAII span: emits its `End` event (at the domain's current clock)
+/// when dropped. Inert when recording was disabled at construction.
+#[must_use = "a span guard ends its span when dropped"]
+pub struct SpanGuard {
+    open: Option<(Domain, &'static str, String)>,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some((domain, cat, name)) = self.open.take() {
+            let ts = match domain {
+                Domain::Virtual => virtual_now(),
+                Domain::Host => host_now_ns(),
+                Domain::Engine => unreachable!("engine spans are stamped explicitly"),
+            };
+            thread_event(domain, ts, Phase::End, cat, &name, 0);
+        }
+    }
+}
+
+fn span(domain: Domain, ts: u64, cat: &'static str, name: &str) -> SpanGuard {
+    if !is_enabled() {
+        return SpanGuard { open: None };
+    }
+    thread_event(domain, ts, Phase::Begin, cat, name, 0);
+    SpanGuard {
+        open: Some((domain, cat, name.to_string())),
+    }
+}
+
+/// Opens a virtual-cycle span at the current cursor; the guard closes
+/// it at the cursor's position when dropped.
+pub fn vspan(cat: &'static str, name: &str) -> SpanGuard {
+    span(Domain::Virtual, virtual_now(), cat, name)
+}
+
+/// Opens a host-clock span now; the guard closes it when dropped.
+pub fn hspan(cat: &'static str, name: &str) -> SpanGuard {
+    if !is_enabled() {
+        return SpanGuard { open: None };
+    }
+    span(Domain::Host, host_now_ns(), cat, name)
+}
+
+/// Emits a bare virtual span begin (no guard) at the current cursor —
+/// for spans whose end timestamp is computed, like kernel launches
+/// closed by [`vspan_end_at`].
+pub fn vspan_begin(cat: &'static str, name: &str) {
+    thread_event(Domain::Virtual, virtual_now(), Phase::Begin, cat, name, 0);
+}
+
+/// Closes a span opened by [`vspan_begin`] at the explicit cycle `ts`.
+pub fn vspan_end_at(ts: u64, cat: &'static str, name: &str) {
+    thread_event(Domain::Virtual, ts, Phase::End, cat, name, 0);
+}
+
+/// Counter sample at the current virtual cursor.
+pub fn vcounter(cat: &'static str, name: &str, value: i64) {
+    thread_event(Domain::Virtual, virtual_now(), Phase::Counter, cat, name, value);
+}
+
+/// Counter sample at an explicit virtual cycle (mid-launch gauges).
+pub fn vcounter_at(ts: u64, cat: &'static str, name: &str, value: i64) {
+    thread_event(Domain::Virtual, ts, Phase::Counter, cat, name, value);
+}
+
+/// Instant marker at the current virtual cursor.
+pub fn vinstant(cat: &'static str, name: &str) {
+    thread_event(Domain::Virtual, virtual_now(), Phase::Instant, cat, name, 0);
+}
+
+/// Host-clock counter sample (store hit totals, queue depths).
+pub fn hcounter(cat: &'static str, name: &str, value: i64) {
+    if !is_enabled() {
+        return;
+    }
+    thread_event(Domain::Host, host_now_ns(), Phase::Counter, cat, name, value);
+}
+
+/// Host-clock instant marker.
+pub fn hinstant(cat: &'static str, name: &str) {
+    if !is_enabled() {
+        return;
+    }
+    thread_event(Domain::Host, host_now_ns(), Phase::Instant, cat, name, 0);
+}
+
+/// A complete engine-clock span `[begin_ts, end_ts]` on logical track
+/// `tid` (a device, in practice). Emitted as a B/E pair.
+pub fn engine_span_at(begin_ts: u64, end_ts: u64, tid: u32, cat: &'static str, name: &str) {
+    if !is_enabled() {
+        return;
+    }
+    emit(Event {
+        domain: Domain::Engine,
+        tid,
+        ts: begin_ts,
+        phase: Phase::Begin,
+        cat,
+        name: name.to_string(),
+        value: 0,
+    });
+    emit(Event {
+        domain: Domain::Engine,
+        tid,
+        ts: end_ts,
+        phase: Phase::End,
+        cat,
+        name: name.to_string(),
+        value: 0,
+    });
+}
+
+/// Engine-clock counter sample on logical track `tid`.
+pub fn engine_counter_at(ts: u64, tid: u32, cat: &'static str, name: &str, value: i64) {
+    if !is_enabled() {
+        return;
+    }
+    emit(Event {
+        domain: Domain::Engine,
+        tid,
+        ts,
+        phase: Phase::Counter,
+        cat,
+        name: name.to_string(),
+        value,
+    });
+}
+
+/// Engine-clock instant marker on logical track `tid`.
+pub fn engine_instant_at(ts: u64, tid: u32, cat: &'static str, name: &str) {
+    if !is_enabled() {
+        return;
+    }
+    emit(Event {
+        domain: Domain::Engine,
+        tid,
+        ts,
+        phase: Phase::Instant,
+        cat,
+        name: name.to_string(),
+        value: 0,
+    });
+}
+
+/// Opens an engine-clock async span (request lifecycles; may overlap).
+pub fn engine_async_begin(ts: u64, tid: u32, cat: &'static str, name: &str, id: u64) {
+    if !is_enabled() {
+        return;
+    }
+    emit(Event {
+        domain: Domain::Engine,
+        tid,
+        ts,
+        phase: Phase::AsyncBegin,
+        cat,
+        name: name.to_string(),
+        value: id as i64,
+    });
+}
+
+/// Closes an engine-clock async span by id.
+pub fn engine_async_end(ts: u64, tid: u32, cat: &'static str, name: &str, id: u64) {
+    if !is_enabled() {
+        return;
+    }
+    emit(Event {
+        domain: Domain::Engine,
+        tid,
+        ts,
+        phase: Phase::AsyncEnd,
+        cat,
+        name: name.to_string(),
+        value: id as i64,
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Recorder state is process-global; tests that record serialize
+    // here and drain fully before releasing, so they never see each
+    // other's events.
+    static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+    fn lock() -> std::sync::MutexGuard<'static, ()> {
+        TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn own_events(trace: &Trace) -> Vec<&Event> {
+        let tid = current_tid().expect("thread has recorded");
+        trace.events.iter().filter(|e| e.tid == tid).collect()
+    }
+
+    #[test]
+    fn disabled_recording_is_silent() {
+        let _g = lock();
+        disable();
+        reset_current_thread();
+        {
+            let _s = vspan("test", "ignored");
+            vcounter("test", "ignored", 1);
+            advance_virtual(10);
+        }
+        enable(64);
+        let trace = drain();
+        if current_tid().is_some() {
+            assert!(own_events(&trace).is_empty());
+        }
+        disable();
+    }
+
+    #[test]
+    fn rings_drop_oldest_and_count() {
+        let _g = lock();
+        enable(4);
+        reset_current_thread();
+        for i in 0..6 {
+            vcounter("test", "n", i);
+        }
+        let trace = drain();
+        let mine = own_events(&trace);
+        assert_eq!(mine.len(), 4);
+        // Newest events win: the first two samples were dropped.
+        assert_eq!(mine[0].value, 2);
+        assert_eq!(mine[3].value, 5);
+        assert!(trace.dropped >= 2);
+        disable();
+    }
+
+    #[test]
+    fn guards_nest_and_advance_virtual_time() {
+        let _g = lock();
+        enable(64);
+        reset_current_thread();
+        {
+            let _outer = vspan("test.outer", "o");
+            advance_virtual(100);
+            {
+                let _inner = vspan("test.inner", "i");
+                advance_virtual(40);
+            }
+            advance_virtual(10);
+        }
+        let trace = drain();
+        trace.check_nesting().unwrap();
+        assert_eq!(trace.span_cycles("test.outer"), 150);
+        assert_eq!(trace.span_cycles("test.inner"), 40);
+        assert_eq!(virtual_now(), 150);
+        disable();
+    }
+
+    #[test]
+    fn repeated_runs_are_byte_identical() {
+        let _g = lock();
+        enable(256);
+        let run = || {
+            reset_current_thread();
+            let _span = vspan("test.run", "body");
+            advance_virtual(42);
+            vcounter("test.run", "samples", 3);
+            vinstant("test.run", "mark");
+            drop(_span);
+            let trace = drain();
+            let tid = current_tid().expect("recorded");
+            let events: Vec<Event> = trace.events.into_iter().filter(|e| e.tid == tid).collect();
+            Trace { events, dropped: trace.dropped }
+        };
+        let first = run();
+        let second = run();
+        assert_eq!(first.chrome_json(), second.chrome_json());
+        assert!(!first.is_empty());
+        disable();
+    }
+
+    #[test]
+    fn tid_is_stable_across_enable_epochs() {
+        let _g = lock();
+        enable(16);
+        vinstant("test", "a");
+        let before = current_tid().expect("recorded");
+        disable();
+        enable(32);
+        vinstant("test", "b");
+        assert_eq!(current_tid(), Some(before));
+        drain();
+        disable();
+    }
+
+    #[test]
+    fn engine_events_keep_their_logical_track() {
+        let _g = lock();
+        enable(64);
+        reset_current_thread();
+        engine_span_at(5, 900, 2, "test.batch", "b0");
+        engine_counter_at(6, 2, "test.queue", "depth", 3);
+        engine_async_begin(1, 2, "test.req", "r", 17);
+        engine_async_end(9, 2, "test.req", "r", 17);
+        let trace = drain();
+        trace.check_nesting().unwrap();
+        let batch: Vec<&Event> = trace.events.iter().filter(|e| e.cat == "test.batch").collect();
+        assert_eq!(batch.len(), 2);
+        assert!(batch.iter().all(|e| e.tid == 2 && e.domain == Domain::Engine));
+        assert_eq!(trace.span_cycles("test.batch"), 895);
+        disable();
+    }
+}

@@ -1,0 +1,209 @@
+//! Plain-text hierarchical time summary.
+//!
+//! One section per track, a call tree built by replaying span
+//! begin/end events: each node reports call count, total inclusive
+//! time, and self time (total minus child totals), followed by the last
+//! observed value of each counter on that track. Best-effort: a
+//! malformed stream (use [`crate::Trace::check_nesting`] to detect one)
+//! renders what it can instead of failing.
+
+use crate::event::{Domain, Event, Phase};
+use crate::trace::Trace;
+use std::fmt::Write as _;
+
+#[derive(Debug)]
+struct Node {
+    label: String,
+    calls: u64,
+    total: u64,
+    child_total: u64,
+    children: Vec<usize>,
+}
+
+#[derive(Debug, Default)]
+struct Tree {
+    nodes: Vec<Node>,
+    roots: Vec<usize>,
+}
+
+impl Tree {
+    fn child(&mut self, parent: Option<usize>, label: &str) -> usize {
+        let siblings = match parent {
+            Some(p) => &self.nodes[p].children,
+            None => &self.roots,
+        };
+        if let Some(&idx) = siblings.iter().find(|&&i| self.nodes[i].label == label) {
+            return idx;
+        }
+        let idx = self.nodes.len();
+        self.nodes.push(Node {
+            label: label.to_string(),
+            calls: 0,
+            total: 0,
+            child_total: 0,
+            children: Vec::new(),
+        });
+        match parent {
+            Some(p) => self.nodes[p].children.push(idx),
+            None => self.roots.push(idx),
+        }
+        idx
+    }
+}
+
+fn fmt_time(domain: Domain, t: u64) -> String {
+    match domain {
+        Domain::Virtual | Domain::Engine => format!("{t} cyc"),
+        Domain::Host => format!("{}.{:03} ms", t / 1_000_000, (t / 1_000) % 1_000),
+    }
+}
+
+fn render_node(out: &mut String, tree: &Tree, idx: usize, depth: usize, domain: Domain) {
+    let node = &tree.nodes[idx];
+    let own = node.total.saturating_sub(node.child_total);
+    let _ = writeln!(
+        out,
+        "{:indent$}{:<width$} calls {:>5}  total {:>14}  self {:>14}",
+        "",
+        node.label,
+        node.calls,
+        fmt_time(domain, node.total),
+        fmt_time(domain, own),
+        indent = 2 + depth * 2,
+        width = 36usize.saturating_sub(depth * 2),
+    );
+    for &child in &node.children {
+        render_node(out, tree, child, depth + 1, domain);
+    }
+}
+
+/// Renders the per-track hierarchical time summary for `trace`.
+pub fn render(trace: &Trace) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "trace summary: {} events, {} dropped", trace.events.len(), trace.dropped);
+    // Events are already track-grouped; walk contiguous (domain, tid)
+    // sections in stream order.
+    let mut i = 0;
+    while i < trace.events.len() {
+        let (domain, tid) = (trace.events[i].domain, trace.events[i].tid);
+        let start = i;
+        while i < trace.events.len() && trace.events[i].domain == domain && trace.events[i].tid == tid {
+            i += 1;
+        }
+        render_track(&mut out, domain, tid, &trace.events[start..i]);
+    }
+    out
+}
+
+fn render_track(out: &mut String, domain: Domain, tid: u32, events: &[Event]) {
+    let _ = writeln!(out, "\n== {} · track {} ==", domain.label(), tid);
+    let mut tree = Tree::default();
+    // Open spans: (node index, begin ts).
+    let mut stack: Vec<(usize, u64)> = Vec::new();
+    // Counters in first-seen order: (label, last value, samples).
+    let mut counters: Vec<(String, i64, u64)> = Vec::new();
+    for ev in events {
+        match ev.phase {
+            Phase::Begin => {
+                let label = format!("{} {}", ev.cat, ev.name);
+                let idx = tree.child(stack.last().map(|&(i, _)| i), &label);
+                stack.push((idx, ev.ts));
+            }
+            Phase::End => {
+                if let Some((idx, begin)) = stack.pop() {
+                    let dt = ev.ts.saturating_sub(begin);
+                    tree.nodes[idx].calls += 1;
+                    tree.nodes[idx].total += dt;
+                    if let Some(&(parent, _)) = stack.last() {
+                        tree.nodes[parent].child_total += dt;
+                    }
+                }
+            }
+            Phase::Counter => {
+                let label = format!("{} {}", ev.cat, ev.name);
+                match counters.iter_mut().find(|(l, _, _)| *l == label) {
+                    Some(slot) => {
+                        slot.1 = ev.value;
+                        slot.2 += 1;
+                    }
+                    None => counters.push((label, ev.value, 1)),
+                }
+            }
+            Phase::Instant | Phase::AsyncBegin | Phase::AsyncEnd => {}
+        }
+    }
+    if tree.roots.is_empty() && counters.is_empty() {
+        let _ = writeln!(out, "  (no spans or counters)");
+        return;
+    }
+    let roots = tree.roots.clone();
+    for root in roots {
+        render_node(out, &tree, root, 0, domain);
+    }
+    if !counters.is_empty() {
+        let _ = writeln!(out, "  counters:");
+        for (label, last, samples) in counters {
+            let _ = writeln!(out, "    {label} = {last} (last of {samples} samples)");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(tid: u32, ts: u64, phase: Phase, cat: &'static str, name: &str, value: i64) -> Event {
+        Event {
+            domain: Domain::Virtual,
+            tid,
+            ts,
+            phase,
+            cat,
+            name: name.to_string(),
+            value,
+        }
+    }
+
+    #[test]
+    fn summary_shows_tree_and_counters() {
+        let trace = Trace {
+            events: vec![
+                ev(1, 0, Phase::Begin, "net.infer", "CifarNet", 0),
+                ev(1, 0, Phase::Begin, "net.layer", "conv1", 0),
+                ev(1, 70, Phase::End, "net.layer", "conv1", 0),
+                ev(1, 70, Phase::Begin, "net.layer", "pool1", 0),
+                ev(1, 100, Phase::End, "net.layer", "pool1", 0),
+                ev(1, 100, Phase::End, "net.infer", "CifarNet", 0),
+                ev(1, 100, Phase::Counter, "sim.cache", "l1d_hits", 42, ),
+            ],
+            dropped: 0,
+        };
+        let text = trace.text_summary();
+        let root = text.lines().find(|l| l.contains("net.infer CifarNet")).expect("root line");
+        // Inclusive 100, children 70 + 30 -> self 0.
+        assert!(root.contains("calls"), "{root}");
+        assert!(root.contains("total") && root.contains("100 cyc"), "{root}");
+        assert!(root.trim_end().ends_with("0 cyc"), "{root}");
+        assert!(text.contains("net.layer conv1"), "{text}");
+        assert!(text.contains("sim.cache l1d_hits = 42 (last of 1 samples)"), "{text}");
+    }
+
+    #[test]
+    fn repeated_calls_aggregate() {
+        let trace = Trace {
+            events: vec![
+                ev(1, 0, Phase::Begin, "job", "a", 0),
+                ev(1, 10, Phase::End, "job", "a", 0),
+                ev(1, 10, Phase::Begin, "job", "a", 0),
+                ev(1, 25, Phase::End, "job", "a", 0),
+            ],
+            dropped: 0,
+        };
+        let text = trace.text_summary();
+        let line = text.lines().find(|l| l.contains("job a")).expect("job line");
+        let calls: Vec<&str> = line.split_whitespace().collect();
+        let pos = calls.iter().position(|t| *t == "calls").expect("calls column");
+        assert_eq!(calls[pos + 1], "2", "{line}");
+        assert!(line.contains("25 cyc"), "{line}");
+    }
+}

@@ -1,0 +1,248 @@
+//! A drained trace: the events plus the invariants we can check on
+//! them.
+
+use crate::event::{Event, Phase};
+use std::collections::HashMap;
+
+/// Everything the flight recorders held at drain time.
+///
+/// Events are grouped by track (ascending track id) and in append order
+/// within a track — which is chronological, because every clock in use
+/// is monotonic per track.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Trace {
+    /// The recorded events, track-grouped.
+    pub events: Vec<Event>,
+    /// Events discarded because a ring was full. A non-zero count means
+    /// the trace is a truncated flight-recorder window, not a complete
+    /// record.
+    pub dropped: u64,
+}
+
+impl Trace {
+    /// Checks span discipline on every track: each `End` closes the
+    /// most recent `Begin` with the same category and name, timestamps
+    /// never run backwards within a span, every span closes, and async
+    /// begin/end ids balance.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violation.
+    pub fn check_nesting(&self) -> Result<(), String> {
+        // (domain pid, tid) -> stack of open (cat, name, ts).
+        let mut stacks: HashMap<(u32, u32), Vec<(&str, &str, u64)>> = HashMap::new();
+        // (cat, async id) -> open count.
+        let mut async_open: HashMap<(&str, i64), i64> = HashMap::new();
+        for ev in &self.events {
+            let key = (ev.domain.pid(), ev.tid);
+            match ev.phase {
+                Phase::Begin => {
+                    stacks.entry(key).or_default().push((ev.cat, &ev.name, ev.ts));
+                }
+                Phase::End => {
+                    let top = stacks.entry(key).or_default().pop();
+                    match top {
+                        None => {
+                            return Err(format!(
+                                "track {}/{}: end of {} {:?} with no open span",
+                                ev.domain, ev.tid, ev.cat, ev.name
+                            ))
+                        }
+                        Some((cat, name, ts)) => {
+                            if cat != ev.cat || name != ev.name {
+                                return Err(format!(
+                                    "track {}/{}: end of {} {:?} closes open span {} {:?}",
+                                    ev.domain, ev.tid, ev.cat, ev.name, cat, name
+                                ));
+                            }
+                            if ev.ts < ts {
+                                return Err(format!(
+                                    "track {}/{}: span {} {:?} ends at {} before its begin at {}",
+                                    ev.domain, ev.tid, ev.cat, ev.name, ev.ts, ts
+                                ));
+                            }
+                        }
+                    }
+                }
+                Phase::AsyncBegin => *async_open.entry((ev.cat, ev.value)).or_insert(0) += 1,
+                Phase::AsyncEnd => {
+                    let open = async_open.entry((ev.cat, ev.value)).or_insert(0);
+                    *open -= 1;
+                    if *open < 0 {
+                        return Err(format!(
+                            "async span {} id {} ended without a begin",
+                            ev.cat, ev.value
+                        ));
+                    }
+                }
+                Phase::Counter | Phase::Instant => {}
+            }
+        }
+        for ((pid, tid), stack) in &stacks {
+            if let Some((cat, name, ts)) = stack.last() {
+                return Err(format!(
+                    "track pid {pid}/tid {tid}: span {cat} {name:?} opened at {ts} never closed"
+                ));
+            }
+        }
+        for ((cat, id), open) in &async_open {
+            if *open != 0 {
+                return Err(format!("async span {cat} id {id} left {open} begin(s) unclosed"));
+            }
+        }
+        Ok(())
+    }
+
+    /// Total duration of all closed spans in category `cat`, in the
+    /// span's own clock units (cycles for virtual/engine spans).
+    /// Overlapping and nested spans each contribute their full length.
+    pub fn span_cycles(&self, cat: &str) -> u64 {
+        let mut stacks: HashMap<(u32, u32), Vec<(&str, u64)>> = HashMap::new();
+        let mut total = 0u64;
+        for ev in &self.events {
+            let key = (ev.domain.pid(), ev.tid);
+            match ev.phase {
+                Phase::Begin => stacks.entry(key).or_default().push((ev.cat, ev.ts)),
+                Phase::End => {
+                    if let Some((open_cat, ts)) = stacks.entry(key).or_default().pop() {
+                        if open_cat == cat {
+                            total += ev.ts.saturating_sub(ts);
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+        total
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the trace holds no events.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Exports the trace as Chrome trace-event JSON (Perfetto /
+    /// `chrome://tracing` loadable). Byte-deterministic for
+    /// deterministic event streams.
+    pub fn chrome_json(&self) -> String {
+        crate::chrome::export(self)
+    }
+
+    /// Renders a plain-text hierarchical time summary per track, with
+    /// final counter values.
+    pub fn text_summary(&self) -> String {
+        crate::summary::render(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Domain;
+
+    fn ev(tid: u32, ts: u64, phase: Phase, cat: &'static str, name: &str) -> Event {
+        Event {
+            domain: Domain::Virtual,
+            tid,
+            ts,
+            phase,
+            cat,
+            name: name.to_string(),
+            value: 0,
+        }
+    }
+
+    #[test]
+    fn well_nested_spans_pass_and_sum() {
+        let trace = Trace {
+            events: vec![
+                ev(1, 0, Phase::Begin, "outer", "a"),
+                ev(1, 5, Phase::Begin, "inner", "b"),
+                ev(1, 9, Phase::End, "inner", "b"),
+                ev(1, 20, Phase::End, "outer", "a"),
+            ],
+            dropped: 0,
+        };
+        trace.check_nesting().unwrap();
+        assert_eq!(trace.span_cycles("outer"), 20);
+        assert_eq!(trace.span_cycles("inner"), 4);
+        assert_eq!(trace.span_cycles("absent"), 0);
+    }
+
+    #[test]
+    fn cross_track_spans_do_not_interfere() {
+        let trace = Trace {
+            events: vec![
+                ev(1, 0, Phase::Begin, "job", "x"),
+                ev(2, 3, Phase::Begin, "job", "y"),
+                ev(1, 10, Phase::End, "job", "x"),
+                ev(2, 7, Phase::End, "job", "y"),
+            ],
+            dropped: 0,
+        };
+        trace.check_nesting().unwrap();
+        assert_eq!(trace.span_cycles("job"), 10 + 4);
+    }
+
+    #[test]
+    fn mismatched_end_is_rejected() {
+        let trace = Trace {
+            events: vec![
+                ev(1, 0, Phase::Begin, "outer", "a"),
+                ev(1, 5, Phase::End, "outer", "b"),
+            ],
+            dropped: 0,
+        };
+        let err = trace.check_nesting().unwrap_err();
+        assert!(err.contains("closes open span"), "{err}");
+    }
+
+    #[test]
+    fn unclosed_and_unopened_spans_are_rejected() {
+        let open = Trace {
+            events: vec![ev(1, 0, Phase::Begin, "outer", "a")],
+            dropped: 0,
+        };
+        assert!(open.check_nesting().unwrap_err().contains("never closed"));
+        let stray = Trace {
+            events: vec![ev(1, 4, Phase::End, "outer", "a")],
+            dropped: 0,
+        };
+        assert!(stray.check_nesting().unwrap_err().contains("no open span"));
+    }
+
+    #[test]
+    fn backwards_span_is_rejected() {
+        let trace = Trace {
+            events: vec![
+                ev(1, 10, Phase::Begin, "outer", "a"),
+                ev(1, 3, Phase::End, "outer", "a"),
+            ],
+            dropped: 0,
+        };
+        assert!(trace.check_nesting().unwrap_err().contains("before its begin"));
+    }
+
+    #[test]
+    fn async_ids_must_balance() {
+        let mut begin = ev(1, 0, Phase::AsyncBegin, "req", "r");
+        begin.value = 7;
+        let mut end = ev(1, 9, Phase::AsyncEnd, "req", "r");
+        end.value = 7;
+        let ok = Trace {
+            events: vec![begin.clone(), end],
+            dropped: 0,
+        };
+        ok.check_nesting().unwrap();
+        let unclosed = Trace {
+            events: vec![begin],
+            dropped: 0,
+        };
+        assert!(unclosed.check_nesting().unwrap_err().contains("unclosed"));
+    }
+}

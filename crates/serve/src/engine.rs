@@ -126,6 +126,10 @@ struct Queued {
     arrival: u64,
 }
 
+/// Trace-track base for per-kind queue events, clear of the device
+/// tracks (devices use their pool index).
+const QUEUE_TRACK_BASE: u32 = 1000;
+
 /// Replays `trace` against a device pool under `config`, costing every
 /// batch with `cost`. Serial and fully deterministic.
 ///
@@ -161,6 +165,7 @@ pub fn run_trace(trace: &ArrivalTrace, config: &ServeConfig, cost: &dyn CostMode
     let mut now = 0u64;
     let mut batches = 0u64;
     let mut makespan = 0u64;
+    let mut shed_total = 0i64;
     let max_batch = config.policy.max_batch as usize;
     let max_delay = config.policy.max_delay_cycles;
 
@@ -177,14 +182,30 @@ pub fn run_trace(trace: &ArrivalTrace, config: &ServeConfig, cost: &dyn CostMode
         // 2. Admit (or shed) every arrival due by `now`, in trace order.
         while next_arrival < arrivals.len() && arrivals[next_arrival].at_cycle <= now {
             let arrival = &arrivals[next_arrival];
-            let queue = &mut queues[kind_index(arrival.kind)];
+            let k = kind_index(arrival.kind);
+            let qtrack = QUEUE_TRACK_BASE + k as u32;
+            let queue = &mut queues[k];
             records[next_arrival].outcome = if queue.len() >= config.queue_bound {
+                shed_total += 1;
+                tango_obs::engine_instant_at(now, qtrack, "serve.request", "shed");
+                tango_obs::engine_counter_at(now, qtrack, "serve.queue", "shed_total", shed_total);
                 Outcome::Shed { queue_len: queue.len() }
             } else {
+                // Request lifecycle opens here (enqueue) and closes when
+                // its batch completes; async spans because requests on
+                // one queue overlap freely.
+                tango_obs::engine_async_begin(
+                    arrival.at_cycle,
+                    qtrack,
+                    "serve.request",
+                    arrival.kind.name(),
+                    next_arrival as u64,
+                );
                 queue.push_back(Queued {
                     record_idx: next_arrival,
                     arrival: arrival.at_cycle,
                 });
+                tango_obs::engine_counter_at(now, qtrack, "serve.queue", "depth", queue.len() as i64);
                 // Marked completed when its batch retires; a request
                 // still queued at trace end simply waits for a device
                 // (the loop drains queues before exiting).
@@ -213,8 +234,14 @@ pub fn run_trace(trace: &ArrivalTrace, config: &ServeConfig, cost: &dyn CostMode
             let batch_len = queue.len().min(max_batch);
             let exec = cost.batch_cycles(kinds[k], batch_len as u32)?;
             let completed = now + exec.max(1);
+            let qtrack = QUEUE_TRACK_BASE + k as u32;
+            if tango_obs::is_enabled() {
+                let label = format!("{}x{batch_len}", kinds[k].name());
+                tango_obs::engine_span_at(now, completed, device as u32, "serve.batch", &label);
+            }
             for _ in 0..batch_len {
                 let item = queue.pop_front().expect("batch_len items queued");
+                tango_obs::engine_async_end(completed, qtrack, "serve.request", kinds[k].name(), item.record_idx as u64);
                 records[item.record_idx].outcome = Outcome::Completed {
                     dispatched: now,
                     completed,
@@ -222,6 +249,7 @@ pub fn run_trace(trace: &ArrivalTrace, config: &ServeConfig, cost: &dyn CostMode
                     device,
                 };
             }
+            tango_obs::engine_counter_at(now, qtrack, "serve.queue", "depth", queue.len() as i64);
             busy.push(Reverse((completed, device)));
             makespan = makespan.max(completed);
             batches += 1;

@@ -70,6 +70,69 @@ mod tests {
     }
 
     #[test]
+    fn single_sample_is_every_percentile() {
+        for q in [0.001, 1.0, 25.0, 50.0, 75.0, 99.0, 99.999, 100.0] {
+            assert_eq!(percentile(&[42], q), 42, "q={q}");
+        }
+        let summary = LatencySummary::from_latencies(&[42]).unwrap();
+        assert_eq!(summary.count, 1);
+        assert_eq!((summary.p50, summary.p95, summary.p99), (42, 42, 42));
+        assert_eq!((summary.max, summary.mean), (42, 42));
+    }
+
+    #[test]
+    fn q100_is_the_maximum_never_out_of_bounds() {
+        // ceil(100/100 * n) == n lands exactly on the last index; the
+        // clamp must not push past it.
+        for n in [1usize, 2, 3, 10, 97] {
+            let s: Vec<u64> = (0..n as u64).map(|i| i * 3).collect();
+            assert_eq!(percentile(&s, 100.0), *s.last().unwrap(), "n={n}");
+        }
+    }
+
+    #[test]
+    fn tiny_q_selects_the_minimum() {
+        let s: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile(&s, 0.5), 1);
+        assert_eq!(percentile(&s, 1.0), 1);
+    }
+
+    #[test]
+    fn duplicate_heavy_distributions() {
+        // 90 samples of 5, then 10 of 1000: the p50/p95 boundary falls
+        // inside and just past the duplicate run.
+        let mut s = vec![5u64; 90];
+        s.extend(std::iter::repeat(1000).take(10));
+        assert_eq!(percentile(&s, 50.0), 5);
+        assert_eq!(percentile(&s, 90.0), 5, "rank 90 is the last duplicate");
+        assert_eq!(percentile(&s, 90.1), 1000, "rank 91 is the first outlier");
+        assert_eq!(percentile(&s, 99.0), 1000);
+        // All-identical samples: every percentile is that value.
+        let flat = vec![7u64; 33];
+        for q in [1.0, 50.0, 95.0, 99.0, 100.0] {
+            assert_eq!(percentile(&flat, q), 7);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_sample_panics() {
+        percentile(&[], 50.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn zero_rank_panics() {
+        percentile(&[1], 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn over_100_rank_panics() {
+        percentile(&[1], 100.1);
+    }
+
+    #[test]
     fn summary_matches_hand_computation() {
         let summary = LatencySummary::from_latencies(&[40, 10, 30, 20]).unwrap();
         assert_eq!(summary.count, 4);

@@ -166,6 +166,7 @@ impl Service {
         if queue.len() >= self.shared.queue_bound {
             let queue_len = queue.len();
             state.shed += 1;
+            tango_obs::hcounter("serve.service", "shed_total", state.shed as i64);
             return Err(ServeError::Shed { kind, queue_len });
         }
         let (tx, rx) = mpsc::channel();
@@ -173,6 +174,7 @@ impl Service {
             input_seed,
             reply: tx,
         });
+        tango_obs::hcounter("serve.service", "queue_depth", queue.len() as i64);
         drop(state);
         self.shared.work.notify_one();
         Ok(Ticket { rx })
@@ -262,6 +264,10 @@ fn worker_loop(shared: &Shared, config: &ServiceConfig) {
 
         let kind = shared.kinds[k];
         let net = &networks[k];
+        // Host-clock batch span: the worker's wall time executing one
+        // coalesced dispatch (the virtual cost rides inside as vspans).
+        let _batch_span =
+            tango_obs::is_enabled().then(|| tango_obs::hspan("serve.batch", &format!("{}x{}", kind.name(), batch.len())));
         let input = synthetic_input(net.input_spec(), batch[0].input_seed);
         let inputs = vec![input; batch.len()];
         let outcome = net
@@ -277,6 +283,7 @@ fn worker_loop(shared: &Shared, config: &ServiceConfig) {
                 };
                 let mut state = shared.state.lock().expect("service lock");
                 state.completed += batch.len() as u64;
+                tango_obs::hcounter("serve.service", "completed_total", state.completed as i64);
                 drop(state);
                 for pending in batch {
                     let _ = pending.reply.send(Ok(reply.clone()));

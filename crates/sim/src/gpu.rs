@@ -14,6 +14,11 @@ use tango_isa::{max_live_registers, Dim3, KernelProgram};
 /// deadlock, not a slow kernel.
 const MAX_CYCLES: u64 = 50_000_000_000;
 
+/// Minimum virtual cycles between live occupancy gauge samples when
+/// tracing: dense enough to see ramp-up and drain, sparse enough that a
+/// long kernel does not flood the ring.
+const GAUGE_INTERVAL: u64 = 8192;
+
 /// A simulated GPU.
 ///
 /// Mirrors the host-side view of a CUDA device: allocate buffers, copy data
@@ -208,6 +213,12 @@ impl Gpu {
         self.memsys.reset_stats();
         let meter = PowerMeter::new(self.config.power, self.config.clock_ghz, opts.power_window);
 
+        // Launch span: opened here at the thread's virtual cursor, closed
+        // by `finish` at cursor + (extrapolated) cycles, so launch spans
+        // tile the inference timeline and sum to the reported total.
+        let vbase = tango_obs::virtual_now();
+        tango_obs::vspan_begin("sim.launch", program.name());
+
         LaunchFrame {
             gpu: self,
             program,
@@ -228,6 +239,8 @@ impl Gpu {
             cycle: 0,
             weight: 1,
             done: false,
+            vbase,
+            last_gauge: 0,
         }
     }
 }
@@ -293,6 +306,8 @@ pub struct LaunchFrame<'a> {
     cycle: u64,
     weight: u64,
     done: bool,
+    vbase: u64,
+    last_gauge: u64,
 }
 
 impl LaunchFrame<'_> {
@@ -371,6 +386,13 @@ impl LaunchFrame<'_> {
         }
         self.meter
             .charge_static_span(self.cycle, self.weight, config.num_sms - active_sms, active_sms);
+
+        // Live occupancy gauge: how many SMs did work this cycle,
+        // sampled sparsely so ramp-up and tail drain show in the trace.
+        if tango_obs::is_enabled() && self.cycle >= self.last_gauge.saturating_add(GAUGE_INTERVAL) {
+            self.last_gauge = self.cycle;
+            tango_obs::vcounter_at(self.vbase + self.cycle, "sim.sm", "active_sms", active_sms as i64);
+        }
 
         if !any_active && self.next_cta >= self.sim_ctas {
             self.done = true;
@@ -471,6 +493,31 @@ impl LaunchFrame<'_> {
         // the sampled-prefix peak (more CTAs in flight in the same waves);
         // the peak is by definition at least the average.
         stats.peak_power_w = stats.peak_power_w.max(stats.avg_power_w);
+
+        if tango_obs::is_enabled() {
+            // Close the launch span at the extrapolated end and surface
+            // the run's cache, stall, and occupancy totals as trace
+            // counters at that instant.
+            let end = self.vbase + stats.cycles;
+            tango_obs::vcounter_at(end, "sim.cache", "l1d_hits", stats.l1d.hits as i64);
+            tango_obs::vcounter_at(end, "sim.cache", "l1d_misses", stats.l1d.misses as i64);
+            tango_obs::vcounter_at(end, "sim.cache", "l2_hits", stats.l2.hits as i64);
+            tango_obs::vcounter_at(end, "sim.cache", "l2_misses", stats.l2.misses as i64);
+            tango_obs::vcounter_at(end, "sim.cache", "dram_accesses", stats.dram_accesses as i64);
+            for (reason, count) in stats.stalls.iter() {
+                if count > 0 {
+                    tango_obs::vcounter_at(end, "sim.stall", reason.name(), count as i64);
+                }
+            }
+            for (i, sm) in self.sms.iter().enumerate() {
+                if sm.peak_threads > 0 {
+                    let name = format!("sm{i}_peak_threads");
+                    tango_obs::vcounter_at(end, "sim.occupancy", &name, sm.peak_threads as i64);
+                }
+            }
+            tango_obs::vspan_end_at(end, "sim.launch", self.program.name());
+            tango_obs::advance_virtual(stats.cycles);
+        }
         stats
     }
 }
