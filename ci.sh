@@ -93,4 +93,59 @@ echo "== serve_bench --smoke (admission control + batching latency win) =="
 TANGO_RESULTS_DIR="$SCRATCH" \
     cargo run --release -q -p tango-bench --bin serve_bench -- --smoke
 
+echo "== harness backends: byte-identical across reruns and worker counts =="
+BACKENDS_BIN="cargo run --release -q -p tango-harness --bin harness --"
+for net in cifarnet gru; do
+    TANGO_PRESET=tiny TANGO_RESULTS_DIR="$SCRATCH" TANGO_JOBS=1 \
+        $BACKENDS_BIN backends "$net" > "$SCRATCH/backends_${net}_j1.out" 2>/dev/null
+    TANGO_PRESET=tiny TANGO_RESULTS_DIR="$SCRATCH" TANGO_JOBS=4 \
+        $BACKENDS_BIN backends "$net" > "$SCRATCH/backends_${net}_j4.out" 2>"$SCRATCH/backends_${net}_j4.err"
+    if ! cmp -s "$SCRATCH/backends_${net}_j1.out" "$SCRATCH/backends_${net}_j4.out"; then
+        echo "FAIL: harness backends $net differs across TANGO_JOBS settings" >&2
+        diff "$SCRATCH/backends_${net}_j1.out" "$SCRATCH/backends_${net}_j4.out" >&2 || true
+        exit 1
+    fi
+    # The second pass ran over a warm store: zero re-simulations.
+    grep -q 'store hits=[0-9]* misses=0' "$SCRATCH/backends_${net}_j4.err" || {
+        echo "FAIL: warm harness backends $net re-ran models" >&2
+        cat "$SCRATCH/backends_${net}_j4.err" >&2
+        exit 1
+    }
+    # Stdout and the results artifact must agree byte for byte.
+    if ! cmp -s "$SCRATCH/backends_${net}_j1.out" "$SCRATCH/backends_${net}.txt"; then
+        echo "FAIL: results/backends_${net}.txt diverges from stdout" >&2
+        exit 1
+    fi
+done
+
+echo "== harness backends: garbage TANGO_BACKENDS must exit 2 =="
+set +e
+TANGO_PRESET=tiny TANGO_RESULTS_DIR="$SCRATCH" TANGO_BACKENDS=garbage \
+    $BACKENDS_BIN backends gru >/dev/null 2>"$SCRATCH/backends.err"
+backends_status=$?
+set -e
+if [ "$backends_status" -ne 2 ]; then
+    echo "FAIL: TANGO_BACKENDS=garbage exited $backends_status, want 2" >&2
+    cat "$SCRATCH/backends.err" >&2
+    exit 1
+fi
+grep -q 'TANGO_BACKENDS' "$SCRATCH/backends.err" || {
+    echo "FAIL: TANGO_BACKENDS error does not name the variable" >&2
+    exit 1
+}
+
+echo "== bench_perf: perf baseline artifacts =="
+TANGO_PRESET=tiny TANGO_RESULTS_DIR="$SCRATCH" TANGO_JOBS=2 \
+    cargo run --release -q -p tango-bench --bin bench_perf >/dev/null
+for f in BENCH_sim.json BENCH_serve.json; do
+    if [ ! -s "$SCRATCH/$f" ]; then
+        echo "FAIL: bench_perf did not write $f" >&2
+        exit 1
+    fi
+    if command -v python3 >/dev/null 2>&1; then
+        python3 -c 'import json,sys; json.load(open(sys.argv[1]))' "$SCRATCH/$f" ||
+            { echo "FAIL: $f is not valid JSON" >&2; exit 1; }
+    fi
+done
+
 echo "== ci.sh: all gates passed =="

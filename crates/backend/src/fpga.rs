@@ -1,0 +1,173 @@
+//! The PynQ-Z1 dataflow model as a [`Backend`].
+//!
+//! `tango-fpga` reports seconds; the trait contract is cycles on an
+//! observable virtual clock. The adapter quantizes each layer's
+//! analytic time to whole fabric cycles (at `fabric_mhz`) and emits one
+//! `backend.launch` span per layer, so per-layer cycles sum *exactly*
+//! to the reported total — the same invariant the other backends keep.
+//!
+//! Batching reuses staged weights: the MAC-bound compute term scales
+//! with the batch while the DDR weight stream and per-partition
+//! reconfiguration are paid once per dispatch (that split is what
+//! [`tango_fpga::LayerTimeParts`] exists for).
+
+use crate::lower::LoweredNet;
+use crate::{Backend, BackendError, BackendJob, BackendKind, BackendLayerStats, BackendRun, Precision};
+use tango_fpga::{PynqConfig, PynqZ1};
+
+/// The PynQ-Z1 analytic model behind the [`Backend`] trait.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FpgaBackend {
+    board: PynqZ1,
+}
+
+impl FpgaBackend {
+    /// A board with datasheet defaults.
+    pub fn new() -> FpgaBackend {
+        FpgaBackend { board: PynqZ1::new() }
+    }
+
+    /// A board with custom parameters.
+    pub fn with_config(config: PynqConfig) -> FpgaBackend {
+        FpgaBackend {
+            board: PynqZ1::with_config(config),
+        }
+    }
+
+    /// The underlying board model.
+    pub fn board(&self) -> &PynqZ1 {
+        &self.board
+    }
+}
+
+impl Default for FpgaBackend {
+    fn default() -> Self {
+        FpgaBackend::new()
+    }
+}
+
+impl Backend for FpgaBackend {
+    fn kind(&self) -> BackendKind {
+        BackendKind::Fpga
+    }
+
+    fn describe(&self) -> String {
+        let c = self.board.config();
+        format!(
+            "PynQ-Z1: {} fp32 MACs @ {:.0} MHz fabric, {} KiB BRAM, analytic dataflow",
+            c.mac_units,
+            c.fabric_mhz,
+            c.bram_bytes / 1024
+        )
+    }
+
+    fn run(&self, job: &BackendJob) -> Result<BackendRun, BackendError> {
+        if job.precision != Precision::Fp32 {
+            return Err(BackendError::Unsupported {
+                backend: BackendKind::Fpga,
+                reason: format!("{} weights (the HLS dataflow pipeline is fp32-only)", job.precision),
+            });
+        }
+        let net = LoweredNet::build(job.kind, job.preset, job.seed)?;
+        let cfg = *self.board.config();
+        let batch = u64::from(job.batch.max(1));
+        let cycles_per_s = cfg.fabric_mhz * 1e6;
+        let mut layers = Vec::with_capacity(net.layers.len());
+        for layer in &net.layers {
+            // ReLU fuses into the producing layer's fabric output stage.
+            let fused = layer.label == "Relu";
+            let (cycles, stall_cycles, time_s, util) = if fused {
+                (0, 0, 0.0, 0.0)
+            } else {
+                let parts = self.board.layer_time_parts(layer.work.macs, layer.work.weight_bytes, layer.work.output_elems);
+                // Weights stay staged across the batch; only compute scales.
+                let compute_s = parts.compute_s * batch as f64;
+                let time_s = compute_s.max(parts.stream_s) + parts.partitions as f64 * cfg.partition_overhead_s;
+                let cycles = (time_s * cycles_per_s).round() as u64;
+                let compute_cycles = (compute_s * cycles_per_s).round() as u64;
+                let stall = cycles.saturating_sub(compute_cycles);
+                let util = if cycles == 0 {
+                    0.0
+                } else {
+                    let peak = cycles as f64 * f64::from(cfg.mac_units);
+                    ((layer.work.macs * batch) as f64 / peak).min(1.0)
+                };
+                (cycles, stall, time_s, util)
+            };
+            if cycles > 0 {
+                let vbase = tango_obs::virtual_now();
+                tango_obs::vspan_begin("backend.launch", &layer.name);
+                tango_obs::vspan_end_at(vbase + cycles, "backend.launch", &layer.name);
+                tango_obs::advance_virtual(cycles);
+            }
+            layers.push(BackendLayerStats {
+                name: layer.name.clone(),
+                label: layer.label.clone(),
+                cycles,
+                macs: layer.work.macs * batch,
+                stall_cycles,
+                utilization: util,
+                energy_j: cfg.active_power_w * time_s,
+            });
+        }
+        Ok(BackendRun {
+            backend: BackendKind::Fpga,
+            kind: job.kind,
+            batch: job.batch.max(1),
+            precision: Precision::Fp32,
+            clock_ghz: cfg.fabric_mhz / 1000.0,
+            layers,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tango_nets::{NetworkKind, Preset};
+
+    fn job(kind: NetworkKind) -> BackendJob {
+        BackendJob {
+            kind,
+            preset: Preset::Tiny,
+            seed: 7,
+            batch: 1,
+            precision: Precision::Fp32,
+        }
+    }
+
+    #[test]
+    fn fpga_runs_are_deterministic_and_fuse_relu() {
+        let be = FpgaBackend::new();
+        let a = be.run(&job(NetworkKind::CifarNet)).unwrap();
+        let b = be.run(&job(NetworkKind::CifarNet)).unwrap();
+        assert_eq!(a, b);
+        assert!(a.total_cycles() > 0);
+        assert!(a.layers.iter().filter(|l| l.label == "Relu").all(|l| l.cycles == 0));
+        // Energy must agree with the analytic model's peak-power x time.
+        let expect = be.board().config().active_power_w * a.time_s();
+        assert!((a.total_energy_j() - expect).abs() / expect < 0.01, "{} vs {expect}", a.total_energy_j());
+    }
+
+    #[test]
+    fn batching_amortizes_staging() {
+        let be = FpgaBackend::new();
+        let one = be.run(&job(NetworkKind::CifarNet)).unwrap();
+        let four = be.run(&BackendJob { batch: 4, ..job(NetworkKind::CifarNet) }).unwrap();
+        assert!(four.total_cycles() > one.total_cycles());
+        assert!(
+            four.total_cycles() < 4 * one.total_cycles(),
+            "weights stay staged across the batch: {} vs {}",
+            four.total_cycles(),
+            4 * one.total_cycles()
+        );
+    }
+
+    #[test]
+    fn narrow_weights_are_rejected() {
+        let err = FpgaBackend::new()
+            .run(&BackendJob { precision: Precision::Int16, ..job(NetworkKind::Gru) })
+            .unwrap_err();
+        assert!(matches!(err, BackendError::Unsupported { backend: BackendKind::Fpga, .. }), "{err}");
+    }
+}

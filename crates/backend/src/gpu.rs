@@ -1,0 +1,139 @@
+//! The SIMT GPU simulator as a [`Backend`]: a thin adapter over
+//! `tango::simulate_run` that reshapes the simulator's per-layer
+//! [`tango_nets::LayerRecord`]s into the backend-neutral
+//! [`BackendRun`] form. The simulator already advances the `tango-obs`
+//! virtual clock per kernel launch, so the adapter only wraps the run
+//! in a `backend.launch` span covering exactly those cycles.
+
+use crate::lower::LoweredNet;
+use crate::{Backend, BackendError, BackendJob, BackendKind, BackendLayerStats, BackendRun, Precision};
+use tango::{simulate_run, NetworkRun, RunSpec};
+use tango_sim::{GpuConfig, SimOptions};
+
+/// The cycle-level SIMT simulator behind the [`Backend`] trait.
+#[derive(Debug, Clone)]
+pub struct GpuBackend {
+    config: GpuConfig,
+}
+
+impl GpuBackend {
+    /// Wraps a device configuration (e.g. `GpuConfig::gp102()`).
+    pub fn new(config: GpuConfig) -> GpuBackend {
+        GpuBackend { config }
+    }
+
+    /// The wrapped configuration.
+    pub fn config(&self) -> &GpuConfig {
+        &self.config
+    }
+}
+
+/// Reshapes a simulator [`NetworkRun`] into the backend-neutral form,
+/// pairing each layer record with its lowered workload (the two lists
+/// come from the same `Network::layers()` walk, so they zip 1:1).
+///
+/// Per layer: stall cycles are the gap between actual cycles and the
+/// ideal issue-limited cycles (`warp_instructions / issue_width`), and
+/// utilization is the fraction of issue slots filled — the SIMT
+/// analogue of the systolic grid's MAC occupancy.
+pub fn convert_gpu_run(run: &NetworkRun, config: &GpuConfig, lowered: &LoweredNet, batch: u32) -> BackendRun {
+    let issue = u64::from(config.issue_width).max(1);
+    let layers = run
+        .report
+        .records
+        .iter()
+        .zip(&lowered.layers)
+        .map(|(record, low)| {
+            let cycles = record.stats.cycles;
+            let ideal = record.stats.warp_instructions.div_ceil(issue);
+            let utilization = if cycles == 0 {
+                0.0
+            } else {
+                (record.stats.warp_instructions as f64 / (cycles as f64 * issue as f64)).min(1.0)
+            };
+            BackendLayerStats {
+                name: record.name.clone(),
+                label: record.layer_type.label().to_string(),
+                cycles,
+                macs: low.work.macs * u64::from(batch.max(1)),
+                stall_cycles: cycles.saturating_sub(ideal),
+                utilization,
+                energy_j: record.stats.energy.total(),
+            }
+        })
+        .collect();
+    BackendRun {
+        backend: BackendKind::Gpu,
+        kind: run.kind,
+        batch: batch.max(1),
+        precision: Precision::Fp32,
+        clock_ghz: config.clock_ghz,
+        layers,
+    }
+}
+
+impl Backend for GpuBackend {
+    fn kind(&self) -> BackendKind {
+        BackendKind::Gpu
+    }
+
+    fn describe(&self) -> String {
+        format!(
+            "{}: SIMT simulator, issue width {} @ {:.2} GHz",
+            self.config.name, self.config.issue_width, self.config.clock_ghz
+        )
+    }
+
+    fn run(&self, job: &BackendJob) -> Result<BackendRun, BackendError> {
+        if job.precision != Precision::Fp32 {
+            return Err(BackendError::Unsupported {
+                backend: BackendKind::Gpu,
+                reason: format!("{} weights (the SIMT kernel pipeline is fp32-only)", job.precision),
+            });
+        }
+        let lowered = LoweredNet::build(job.kind, job.preset, job.seed)?;
+        let spec = RunSpec {
+            config: self.config.clone(),
+            preset: job.preset,
+            seed: job.seed,
+            kind: job.kind,
+            options: SimOptions::new().with_batch(job.batch.max(1)),
+        };
+        // The simulator advances the virtual clock per kernel launch;
+        // bracket the whole inference so `backend.launch` covers exactly
+        // the simulated cycles, matching the other backends' contract.
+        let vbase = tango_obs::virtual_now();
+        tango_obs::vspan_begin("backend.launch", job.kind.name());
+        let run = simulate_run(&spec).map_err(BackendError::Tango)?;
+        tango_obs::vspan_end_at(vbase + run.report.total_cycles(), "backend.launch", job.kind.name());
+        Ok(convert_gpu_run(&run, &self.config, &lowered, job.batch))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tango_nets::{NetworkKind, Preset};
+
+    #[test]
+    fn gpu_runs_are_deterministic_and_reject_narrow_weights() {
+        let be = GpuBackend::new(GpuConfig::gp102());
+        let job = BackendJob {
+            kind: NetworkKind::CifarNet,
+            preset: Preset::Tiny,
+            seed: 7,
+            batch: 1,
+            precision: Precision::Fp32,
+        };
+        let a = be.run(&job).unwrap();
+        let b = be.run(&job).unwrap();
+        assert_eq!(a, b);
+        assert!(a.total_cycles() > 0);
+        assert!(a.total_macs() > 0);
+        assert!(a.utilization() > 0.0 && a.utilization() <= 1.0);
+
+        let narrow = BackendJob { precision: Precision::Int8, ..job };
+        let err = be.run(&narrow).unwrap_err();
+        assert!(matches!(err, BackendError::Unsupported { backend: BackendKind::Gpu, .. }), "{err}");
+    }
+}

@@ -1,0 +1,441 @@
+//! Accelerator backend abstraction: "various accelerators" as a trait.
+//!
+//! The paper's premise is comparing DNN workloads *across* accelerators,
+//! but until this crate the stack was hard-wired to the SIMT GPU
+//! simulator, with the PynQ FPGA model bolted on as detached analytic
+//! code. [`Backend`] unifies them: lower a network, run it, and report
+//! per-layer cycles, stalls, utilization, and energy in one
+//! [`BackendRun`] shape — deterministically, so results are
+//! content-addressable in the harness `RunStore` and byte-reproducible
+//! across hosts and worker counts.
+//!
+//! Three implementations ship:
+//!
+//! * [`GpuBackend`] — an adapter over `tango::simulate_run` (the
+//!   cycle-level SIMT simulator). fp32 only.
+//! * [`SystolicBackend`] — a **new** cycle-level weight-stationary
+//!   systolic array (TPU-style): a MAC grid with per-column
+//!   accumulators, a double-buffered unified buffer, and a lowering
+//!   pass that tiles conv/FC/RNN layers onto the grid via
+//!   `tango_nets::GemmShape`. Runs fp32, int16, and int8 (consuming
+//!   `tango_kernels::quantize_weights` output for the narrow types).
+//! * [`FpgaBackend`] — the `tango-fpga` PynQ-Z1 dataflow model promoted
+//!   to a trait citizen (per-layer cycles at the fabric clock). fp32
+//!   only.
+//!
+//! Every backend emits `backend.launch` spans on the `tango-obs`
+//! virtual clock that sum *exactly* to the reported total cycles — the
+//! same observability contract the GPU simulator honours with its
+//! `sim.launch` spans.
+//!
+//! # Example
+//!
+//! ```
+//! use tango_backend::{run_backend, BackendJob, BackendRunSpec, BackendSpec, Precision, SystolicConfig};
+//! use tango_nets::{NetworkKind, Preset};
+//!
+//! let spec = BackendRunSpec {
+//!     spec: BackendSpec::Systolic(SystolicConfig::edge()),
+//!     job: BackendJob {
+//!         kind: NetworkKind::CifarNet,
+//!         preset: Preset::Tiny,
+//!         seed: 7,
+//!         batch: 1,
+//!         precision: Precision::Int8,
+//!     },
+//! };
+//! let run = run_backend(&spec).unwrap();
+//! assert!(run.total_cycles() > 0);
+//! assert!(run.utilization() <= 1.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod fpga;
+mod gpu;
+pub mod lower;
+pub mod systolic;
+
+pub use fpga::FpgaBackend;
+pub use gpu::{convert_gpu_run, GpuBackend};
+pub use systolic::{run_gemm, GemmTiming, SystolicBackend, SystolicConfig};
+
+use std::error::Error;
+use std::fmt;
+use tango::TangoError;
+use tango_nets::{NetError, NetworkKind, Preset};
+use tango_sim::GpuConfig;
+
+/// The accelerator families the suite can retarget a network onto.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum BackendKind {
+    /// The cycle-level SIMT GPU simulator (`tango-sim`).
+    Gpu,
+    /// The cycle-level weight-stationary systolic array.
+    Systolic,
+    /// The PynQ-Z1 analytic dataflow model (`tango-fpga`).
+    Fpga,
+}
+
+impl BackendKind {
+    /// All backends, in the fixed comparison-table order.
+    pub const ALL: [BackendKind; 3] = [BackendKind::Gpu, BackendKind::Systolic, BackendKind::Fpga];
+
+    /// Lower-case name (CLI selector and store-file vocabulary).
+    pub fn name(self) -> &'static str {
+        match self {
+            BackendKind::Gpu => "gpu",
+            BackendKind::Systolic => "systolic",
+            BackendKind::Fpga => "fpga",
+        }
+    }
+
+    /// Stable numeric code (part of the on-disk schema — append-only).
+    pub fn code(self) -> u8 {
+        match self {
+            BackendKind::Gpu => 0,
+            BackendKind::Systolic => 1,
+            BackendKind::Fpga => 2,
+        }
+    }
+
+    /// Inverse of [`code`](Self::code).
+    pub fn from_code(code: u8) -> Option<BackendKind> {
+        Some(match code {
+            0 => BackendKind::Gpu,
+            1 => BackendKind::Systolic,
+            2 => BackendKind::Fpga,
+            _ => return None,
+        })
+    }
+
+    /// Case-insensitive name lookup (`"gpu"`, `"Systolic"`, ...).
+    pub fn parse(raw: &str) -> Option<BackendKind> {
+        let want = raw.trim().to_lowercase();
+        BackendKind::ALL.into_iter().find(|b| b.name() == want)
+    }
+}
+
+impl fmt::Display for BackendKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Arithmetic precision a backend runs its MACs at. Only the weight
+/// datatype narrows (W8/W16 with fp32 activations, matching the
+/// `tango_kernels::quant` scheme), so the lowering stays functional.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Precision {
+    /// 32-bit float weights (the paper's baseline).
+    Fp32,
+    /// 16-bit fixed-point weights (`quantize_weights`).
+    Int16,
+    /// 8-bit fixed-point weights (`quantize_weights_i8`).
+    Int8,
+}
+
+impl Precision {
+    /// All precisions, widest first.
+    pub const ALL: [Precision; 3] = [Precision::Fp32, Precision::Int16, Precision::Int8];
+
+    /// Lower-case name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Precision::Fp32 => "fp32",
+            Precision::Int16 => "int16",
+            Precision::Int8 => "int8",
+        }
+    }
+
+    /// Stable numeric code (on-disk schema — append-only).
+    pub fn code(self) -> u8 {
+        match self {
+            Precision::Fp32 => 0,
+            Precision::Int16 => 1,
+            Precision::Int8 => 2,
+        }
+    }
+
+    /// Inverse of [`code`](Self::code).
+    pub fn from_code(code: u8) -> Option<Precision> {
+        Some(match code {
+            0 => Precision::Fp32,
+            1 => Precision::Int16,
+            2 => Precision::Int8,
+            _ => return None,
+        })
+    }
+
+    /// Bytes each weight occupies in transit and on chip.
+    pub fn weight_bytes(self) -> u64 {
+        match self {
+            Precision::Fp32 => 4,
+            Precision::Int16 => 2,
+            Precision::Int8 => 1,
+        }
+    }
+}
+
+impl fmt::Display for Precision {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// What to run: the workload half of a backend request. Together with a
+/// [`BackendSpec`] this determines the outcome completely, which is what
+/// makes the pair content-addressable.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BackendJob {
+    /// The network.
+    pub kind: NetworkKind,
+    /// Network scale preset.
+    pub preset: Preset,
+    /// Weight/input seed.
+    pub seed: u64,
+    /// Coalesced inferences per dispatch (>= 1).
+    pub batch: u32,
+    /// MAC precision (non-fp32 is systolic-only today).
+    pub precision: Precision,
+}
+
+/// Where to run it: one backend's full hardware description.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BackendSpec {
+    /// SIMT GPU simulator configuration.
+    Gpu(GpuConfig),
+    /// Systolic-array configuration.
+    Systolic(SystolicConfig),
+    /// PynQ FPGA board parameters.
+    Fpga(tango_fpga::PynqConfig),
+}
+
+impl BackendSpec {
+    /// Which backend family the spec describes.
+    pub fn kind(&self) -> BackendKind {
+        match self {
+            BackendSpec::Gpu(_) => BackendKind::Gpu,
+            BackendSpec::Systolic(_) => BackendKind::Systolic,
+            BackendSpec::Fpga(_) => BackendKind::Fpga,
+        }
+    }
+
+    /// The hardware's display name.
+    pub fn device_name(&self) -> &str {
+        match self {
+            BackendSpec::Gpu(c) => &c.name,
+            BackendSpec::Systolic(c) => &c.name,
+            BackendSpec::Fpga(_) => "PynQ-Z1",
+        }
+    }
+}
+
+/// A complete backend request: hardware + workload. This is the unit the
+/// harness `RunStore` keys and caches.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BackendRunSpec {
+    /// The hardware description.
+    pub spec: BackendSpec,
+    /// The workload.
+    pub job: BackendJob,
+}
+
+/// Per-layer statistics every backend reports in the same shape —
+/// the `Stats`-compatible common denominator the comparison table and
+/// the serve cost model consume.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BackendLayerStats {
+    /// Layer name (e.g. `conv2_1`).
+    pub name: String,
+    /// Figure-taxonomy label (`Conv`, `FC`, `GRU`, ...).
+    pub label: String,
+    /// Cycles the layer occupied the accelerator (0 = fused away).
+    pub cycles: u64,
+    /// Multiply-accumulates performed (batch included).
+    pub macs: u64,
+    /// Cycles the compute resource sat idle waiting (weight fills,
+    /// bandwidth, unissued slots — each backend's own stall notion).
+    pub stall_cycles: u64,
+    /// Fraction of peak MAC (or issue-slot) capacity used, in [0, 1].
+    pub utilization: f64,
+    /// Energy attributed to the layer, in joules.
+    pub energy_j: f64,
+}
+
+/// One network's execution on one backend: the deterministic,
+/// store-round-trippable result record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BackendRun {
+    /// Which backend produced the run.
+    pub backend: BackendKind,
+    /// The network that ran.
+    pub kind: NetworkKind,
+    /// Coalesced inferences the run carried.
+    pub batch: u32,
+    /// MAC precision the run used.
+    pub precision: Precision,
+    /// The backend's clock, for cycles -> seconds conversion.
+    pub clock_ghz: f64,
+    /// Per-layer statistics in execution order.
+    pub layers: Vec<BackendLayerStats>,
+}
+
+impl BackendRun {
+    /// Total cycles across all layers.
+    pub fn total_cycles(&self) -> u64 {
+        self.layers.iter().map(|l| l.cycles).sum()
+    }
+
+    /// Total MACs across all layers.
+    pub fn total_macs(&self) -> u64 {
+        self.layers.iter().map(|l| l.macs).sum()
+    }
+
+    /// Total stall cycles across all layers.
+    pub fn total_stall_cycles(&self) -> u64 {
+        self.layers.iter().map(|l| l.stall_cycles).sum()
+    }
+
+    /// Total energy in joules.
+    pub fn total_energy_j(&self) -> f64 {
+        self.layers.iter().map(|l| l.energy_j).sum()
+    }
+
+    /// Wall-clock time at the backend's clock, in seconds.
+    pub fn time_s(&self) -> f64 {
+        self.total_cycles() as f64 / (self.clock_ghz * 1e9)
+    }
+
+    /// Cycle-weighted whole-network utilization, in [0, 1].
+    pub fn utilization(&self) -> f64 {
+        let total = self.total_cycles();
+        if total == 0 {
+            return 0.0;
+        }
+        self.layers.iter().map(|l| l.utilization * l.cycles as f64).sum::<f64>() / total as f64
+    }
+}
+
+/// An accelerator that can lower and run a Tango network. Contract:
+/// implementations are **deterministic** (same [`BackendJob`] -> same
+/// [`BackendRun`], bit for bit) and emit `backend.launch` virtual spans
+/// summing exactly to [`BackendRun::total_cycles`].
+pub trait Backend {
+    /// The backend family.
+    fn kind(&self) -> BackendKind;
+
+    /// One-line human description of the modelled hardware.
+    fn describe(&self) -> String;
+
+    /// Lowers and runs `job` end to end.
+    ///
+    /// # Errors
+    ///
+    /// [`BackendError::Unsupported`] when the job asks for something the
+    /// hardware cannot do (e.g. int8 on the fp32-only GPU pipeline);
+    /// otherwise propagates network-construction/simulation failures.
+    fn run(&self, job: &BackendJob) -> Result<BackendRun, BackendError>;
+}
+
+/// Dispatches `spec` to the matching backend implementation.
+///
+/// # Errors
+///
+/// See [`Backend::run`].
+pub fn run_backend(spec: &BackendRunSpec) -> Result<BackendRun, BackendError> {
+    match &spec.spec {
+        BackendSpec::Gpu(config) => GpuBackend::new(config.clone()).run(&spec.job),
+        BackendSpec::Systolic(config) => SystolicBackend::new(config.clone()).run(&spec.job),
+        BackendSpec::Fpga(config) => FpgaBackend::with_config(*config).run(&spec.job),
+    }
+}
+
+/// Why a backend request failed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BackendError {
+    /// The hardware cannot execute the requested job.
+    Unsupported {
+        /// The backend that rejected it.
+        backend: BackendKind,
+        /// What was asked for and why it cannot be done.
+        reason: String,
+    },
+    /// Building or simulating the network failed.
+    Tango(TangoError),
+}
+
+impl fmt::Display for BackendError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BackendError::Unsupported { backend, reason } => {
+                write!(f, "{backend} backend cannot run this job: {reason}")
+            }
+            BackendError::Tango(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl Error for BackendError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            BackendError::Unsupported { .. } => None,
+            BackendError::Tango(e) => Some(e),
+        }
+    }
+}
+
+impl From<TangoError> for BackendError {
+    fn from(e: TangoError) -> Self {
+        BackendError::Tango(e)
+    }
+}
+
+impl From<NetError> for BackendError {
+    fn from(e: NetError) -> Self {
+        BackendError::Tango(TangoError::Net(e))
+    }
+}
+
+impl From<BackendError> for TangoError {
+    fn from(e: BackendError) -> Self {
+        match e {
+            BackendError::Unsupported { backend, reason } => TangoError::Backend(format!("{backend}: {reason}")),
+            BackendError::Tango(inner) => inner,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_and_precision_codes_round_trip() {
+        for b in BackendKind::ALL {
+            assert_eq!(BackendKind::from_code(b.code()), Some(b));
+            assert_eq!(BackendKind::parse(b.name()), Some(b));
+            assert_eq!(BackendKind::parse(&b.name().to_uppercase()), Some(b));
+        }
+        assert_eq!(BackendKind::from_code(9), None);
+        assert_eq!(BackendKind::parse("npu"), None);
+        for p in Precision::ALL {
+            assert_eq!(Precision::from_code(p.code()), Some(p));
+        }
+        assert_eq!(Precision::from_code(9), None);
+        assert!(Precision::Fp32.weight_bytes() > Precision::Int8.weight_bytes());
+    }
+
+    #[test]
+    fn unsupported_error_names_the_backend() {
+        let e = BackendError::Unsupported {
+            backend: BackendKind::Fpga,
+            reason: "int8 weights".into(),
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("fpga") && msg.contains("int8"), "{msg}");
+        let t: TangoError = e.into();
+        assert!(t.to_string().contains("fpga"), "{t}");
+    }
+}

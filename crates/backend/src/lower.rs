@@ -1,0 +1,87 @@
+//! The shared lowering pass: one network description -> the per-layer
+//! workload every backend consumes.
+//!
+//! Network construction never consults the accelerator (kernel geometry
+//! and weights are properties of `(kind, preset, seed)` alone — the same
+//! fact `tango::BuildSpec` relies on), so all three backends lower
+//! through this one pass and are guaranteed to agree on layer names,
+//! order, MAC counts, and GEMM shapes. That agreement is what makes the
+//! per-layer comparison table meaningful.
+
+use crate::BackendError;
+use tango_nets::{build_network, GemmShape, LayerWork, NetworkKind, Preset};
+use tango_sim::{Gpu, GpuConfig};
+
+/// One layer after lowering: its identity plus the analytic workload and
+/// (when MAC-dominated) the dense GEMM a matrix accelerator tiles.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoweredLayer {
+    /// Layer name (e.g. `conv2_1`).
+    pub name: String,
+    /// Figure-taxonomy label (`Conv`, `FC`, ...).
+    pub label: String,
+    /// Analytic workload (MACs, weight bytes, output elements).
+    pub work: LayerWork,
+    /// Dense GEMM shape, `None` for vector-unit layers.
+    pub gemm: Option<GemmShape>,
+}
+
+/// A whole network lowered to backend-neutral form.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoweredNet {
+    /// Which network was lowered.
+    pub kind: NetworkKind,
+    /// Per-layer workloads in execution order.
+    pub layers: Vec<LoweredLayer>,
+}
+
+impl LoweredNet {
+    /// Builds `kind` at `preset`/`seed` (on a scratch device — geometry
+    /// is device-independent) and lowers every layer.
+    ///
+    /// # Errors
+    ///
+    /// Propagates network-construction failures.
+    pub fn build(kind: NetworkKind, preset: Preset, seed: u64) -> Result<LoweredNet, BackendError> {
+        let mut gpu = Gpu::new(GpuConfig::gp102());
+        let net = build_network(&mut gpu, kind, preset, seed)?;
+        let layers = net
+            .layers()
+            .iter()
+            .map(|layer| LoweredLayer {
+                name: layer.name().to_string(),
+                label: layer.layer_type().label().to_string(),
+                work: layer.work(),
+                gemm: layer.gemm(),
+            })
+            .collect();
+        Ok(LoweredNet { kind, layers })
+    }
+
+    /// Total MACs for one inference.
+    pub fn total_macs(&self) -> u64 {
+        self.layers.iter().map(|l| l.work.macs).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lowering_is_deterministic_and_covers_every_layer() {
+        let a = LoweredNet::build(NetworkKind::CifarNet, Preset::Tiny, 7).unwrap();
+        let b = LoweredNet::build(NetworkKind::CifarNet, Preset::Tiny, 7).unwrap();
+        assert_eq!(a, b);
+        assert!(!a.layers.is_empty());
+        assert!(a.layers.iter().any(|l| l.gemm.is_some()), "a CNN must lower conv layers to GEMMs");
+        assert!(a.total_macs() > 0);
+    }
+
+    #[test]
+    fn rnn_layers_lower_to_gate_gemms() {
+        let net = LoweredNet::build(NetworkKind::Gru, Preset::Tiny, 7).unwrap();
+        let gemms = net.layers.iter().filter(|l| l.gemm.is_some()).count();
+        assert!(gemms > 0, "GRU steps must lower to fused gate GEMMs");
+    }
+}

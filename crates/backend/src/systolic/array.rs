@@ -1,0 +1,277 @@
+//! The cycle model of the weight-stationary MAC grid, and a small
+//! functional GEMM that computes real outputs at each supported
+//! precision (the path the quantization accuracy tests pin).
+//!
+//! # Microarchitecture modelled
+//!
+//! A `rows x cols` grid of MACs holds one weight tile stationary
+//! (`rows` reduction taps by `cols` output channels). Activations
+//! stream in from the unified buffer one row per cycle and results
+//! drain into per-column accumulators of depth `acc_depth`. Weight
+//! tiles load from DRAM through a fill FIFO at
+//! `weight_bytes_per_cycle`; the fill of tile *i+1* is double-buffered
+//! behind the compute of tile *i*, so only the *excess* fill time shows
+//! up as stall. Activation reads are bounded by
+//! `ub_bytes_per_cycle`; the unified buffer itself is split in two
+//! (double-buffered), which caps how many GEMM rows a pass may carry.
+//!
+//! All timing arithmetic is integer, so a timing is a pure function of
+//! `(config, shape, batch, precision)` — the determinism the store key
+//! relies on.
+
+use super::SystolicConfig;
+use crate::Precision;
+use tango_kernels::{quantize_weights, quantize_weights_i8};
+use tango_nets::{GemmShape, LayerWork};
+use tango_tensor::Tensor;
+
+/// Cycle accounting for one lowered layer on the array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GemmTiming {
+    /// Total cycles, stalls included.
+    pub cycles: u64,
+    /// Cycles lost waiting on weight-tile fills the double buffer could
+    /// not hide.
+    pub fill_stall_cycles: u64,
+    /// Cycles lost waiting on unified-buffer activation bandwidth.
+    pub act_stall_cycles: u64,
+    /// Multiply-accumulates performed.
+    pub macs: u64,
+    /// Weight bytes streamed from DRAM (reloads across accumulator
+    /// passes included — the capacity effect of `acc_depth`).
+    pub weight_bytes: u64,
+    /// Unified-buffer bytes moved (activation reads + result writes).
+    pub ub_bytes: u64,
+}
+
+impl GemmTiming {
+    /// An all-zero timing (fused / free layer).
+    pub fn zero() -> Self {
+        GemmTiming {
+            cycles: 0,
+            fill_stall_cycles: 0,
+            act_stall_cycles: 0,
+            macs: 0,
+            weight_bytes: 0,
+            ub_bytes: 0,
+        }
+    }
+
+    /// Total stall cycles.
+    pub fn stall_cycles(&self) -> u64 {
+        self.fill_stall_cycles + self.act_stall_cycles
+    }
+}
+
+/// Rows one pass may carry: bounded by the accumulator depth and by
+/// half the unified buffer (the other half is the double buffer's
+/// in-flight side) holding a full `m_pass x K` activation panel.
+fn rows_per_pass(cfg: &SystolicConfig, k: u64) -> u64 {
+    let ub_rows = (cfg.unified_buffer_bytes / 2) / (k.max(1) * 4);
+    u64::from(cfg.acc_depth).min(ub_rows).max(1)
+}
+
+/// Times one lowered GEMM (`batch` stacked copies of its `M` rows) on
+/// the array. Pure integer arithmetic; see the module docs for the
+/// pipeline being counted.
+pub fn gemm_timing(cfg: &SystolicConfig, shape: GemmShape, batch: u32, precision: Precision) -> GemmTiming {
+    let (rows, cols) = (u64::from(cfg.rows), u64::from(cfg.cols));
+    let m_total = shape.m * u64::from(batch).max(1);
+    let k_tiles = shape.k.div_ceil(rows);
+    let n_tiles = shape.n.div_ceil(cols);
+    let m_pass = rows_per_pass(cfg, shape.k);
+    let m_tiles = m_total.div_ceil(m_pass);
+    let wbytes = precision.weight_bytes();
+    let wfill_bw = u64::from(cfg.weight_bytes_per_cycle).max(1);
+    let ub_bw = u64::from(cfg.ub_bytes_per_cycle).max(1);
+
+    let mut t = GemmTiming::zero();
+    // The previous tile's compute window, which the next fill hides
+    // behind. Starts at 0: the very first fill is fully exposed.
+    let mut prev_compute = 0u64;
+    for mt in 0..m_tiles {
+        let m_r = m_pass.min(m_total - mt * m_pass);
+        // Weight-stationary: every pass over a fresh row panel must
+        // re-walk all (n, k) weight tiles — the accumulator-capacity
+        // cost of a deep M.
+        for nt in 0..n_tiles {
+            let tc = cols.min(shape.n - nt * cols);
+            for kt in 0..k_tiles {
+                let tr = rows.min(shape.k - kt * rows);
+                let tile_weight_bytes = tr * tc * wbytes;
+                // Loading a tile takes `tr` shift-in cycles or the FIFO
+                // fill time, whichever dominates.
+                let fill = tr.max(tile_weight_bytes.div_ceil(wfill_bw));
+                let fill_stall = fill.saturating_sub(prev_compute);
+                // Streaming m_r activation rows through a tr x tc grid:
+                // pipeline depth tr + tc, one row per cycle.
+                let compute = m_r + tr + tc - 1;
+                let act_bytes = m_r * tr * 4;
+                let act_stall = act_bytes.div_ceil(ub_bw).saturating_sub(compute);
+                t.cycles += fill_stall + compute + act_stall;
+                t.fill_stall_cycles += fill_stall;
+                t.act_stall_cycles += act_stall;
+                t.macs += m_r * tr * tc;
+                t.weight_bytes += tile_weight_bytes;
+                t.ub_bytes += act_bytes;
+                prev_compute = compute;
+            }
+            // Accumulators write the finished m_r x tc panel back.
+            t.ub_bytes += m_r * tc * 4;
+        }
+    }
+    t
+}
+
+/// Times a non-GEMM layer on the post-array vector unit (pooling,
+/// normalization, elementwise, softmax): `lanes` elements per cycle
+/// plus a fixed issue overhead. The MAC grid idles, so these layers
+/// report zero array utilization.
+pub fn vector_timing(cfg: &SystolicConfig, work: &LayerWork, batch: u32) -> GemmTiming {
+    let elems = work.output_elems * u64::from(batch).max(1);
+    let ops = work.macs * u64::from(batch).max(1);
+    let cycles = ops.div_ceil(u64::from(cfg.vector_lanes).max(1)) + cfg.vector_overhead_cycles;
+    GemmTiming {
+        cycles,
+        fill_stall_cycles: 0,
+        act_stall_cycles: 0,
+        macs: 0, // the MAC grid did nothing; vector ops are not array MACs
+        weight_bytes: work.weight_bytes, // stats/scale streams load once per dispatch
+        ub_bytes: 2 * elems * 4, // read + write each element once
+    }
+}
+
+/// Runs a real `M x K` by `K x N` GEMM functionally at `precision`:
+/// fp32 multiplies against the float weights, int16/int8 against the
+/// `tango_kernels::quant` fixed-point weights dequantized by their
+/// per-tensor scale. Accumulation order is ascending `k` — identical to
+/// the array's tile walk (tiles partition `k` in order) — so results
+/// are bit-deterministic and the int-vs-fp32 delta is a stable,
+/// testable quantity.
+///
+/// `a` must be `M x K` row-major, `w` must be `K x N` row-major.
+///
+/// # Panics
+///
+/// Panics when the operand lengths are not `m*k` and `k*n`.
+pub fn run_gemm(a: &Tensor, w: &Tensor, m: usize, k: usize, n: usize, precision: Precision) -> Vec<f32> {
+    assert_eq!(a.as_slice().len(), m * k, "A must be M x K");
+    assert_eq!(w.as_slice().len(), k * n, "W must be K x N");
+    let wd: Vec<f32> = match precision {
+        Precision::Fp32 => w.as_slice().to_vec(),
+        Precision::Int16 => {
+            let (q, scale) = quantize_weights(w);
+            q.iter().map(|&v| f32::from(v) * scale).collect()
+        }
+        Precision::Int8 => {
+            let (q, scale) = quantize_weights_i8(w);
+            q.iter().map(|&v| f32::from(v) * scale).collect()
+        }
+    };
+    let av = a.as_slice();
+    let mut c = vec![0.0f32; m * n];
+    for mi in 0..m {
+        for ni in 0..n {
+            let mut acc = 0.0f32;
+            for ki in 0..k {
+                acc += av[mi * k + ki] * wd[ki * n + ni];
+            }
+            c[mi * n + ni] = acc;
+        }
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tango_tensor::{Shape, SplitMix64};
+
+    fn cfg() -> SystolicConfig {
+        SystolicConfig::edge()
+    }
+
+    #[test]
+    fn timing_is_deterministic_and_macs_are_exact() {
+        let shape = GemmShape { m: 100, k: 200, n: 96 };
+        let a = gemm_timing(&cfg(), shape, 1, Precision::Fp32);
+        let b = gemm_timing(&cfg(), shape, 1, Precision::Fp32);
+        assert_eq!(a, b);
+        assert_eq!(a.macs, shape.macs());
+        assert!(a.cycles > 0);
+    }
+
+    #[test]
+    fn utilization_never_exceeds_the_grid() {
+        let c = cfg();
+        for shape in [
+            GemmShape { m: 1, k: 10, n: 10 },
+            GemmShape { m: 1000, k: 64, n: 64 },
+            GemmShape { m: 64, k: 500, n: 3 },
+        ] {
+            let t = gemm_timing(&c, shape, 1, Precision::Fp32);
+            let peak = t.cycles as f64 * f64::from(c.rows) * f64::from(c.cols);
+            assert!(t.macs as f64 <= peak, "{shape:?}: {} macs in {} cycles", t.macs, t.cycles);
+        }
+    }
+
+    #[test]
+    fn narrow_weights_stream_fewer_bytes_and_stall_less() {
+        let shape = GemmShape { m: 4, k: 2000, n: 512 }; // FC-like: fill-bound
+        let fp32 = gemm_timing(&cfg(), shape, 1, Precision::Fp32);
+        let int8 = gemm_timing(&cfg(), shape, 1, Precision::Int8);
+        assert_eq!(fp32.weight_bytes, 4 * int8.weight_bytes);
+        assert!(int8.fill_stall_cycles < fp32.fill_stall_cycles, "int8 quarters the fill traffic");
+        assert!(int8.cycles < fp32.cycles);
+        assert_eq!(fp32.macs, int8.macs, "precision changes time, not work");
+    }
+
+    #[test]
+    fn batching_amortizes_weight_fills() {
+        let shape = GemmShape { m: 1, k: 512, n: 512 }; // mat-vec: the RNN serve case
+        let one = gemm_timing(&cfg(), shape, 1, Precision::Fp32);
+        let eight = gemm_timing(&cfg(), shape, 8, Precision::Fp32);
+        assert!(
+            eight.cycles < 8 * one.cycles,
+            "batch 8 ({}) must beat 8x batch 1 ({})",
+            eight.cycles,
+            8 * one.cycles
+        );
+        assert_eq!(eight.macs, 8 * one.macs);
+    }
+
+    #[test]
+    fn deep_m_reloads_weights_across_accumulator_passes() {
+        let c = cfg();
+        let shallow = gemm_timing(&c, GemmShape { m: 10, k: 64, n: 64 }, 1, Precision::Fp32);
+        let deep_m = 10 * u64::from(c.acc_depth);
+        let deep = gemm_timing(&c, GemmShape { m: deep_m, k: 64, n: 64 }, 1, Precision::Fp32);
+        assert!(
+            deep.weight_bytes > shallow.weight_bytes,
+            "M beyond acc_depth must re-stream the weight tiles"
+        );
+    }
+
+    #[test]
+    fn functional_gemm_matches_a_hand_result_and_quantization_degrades_gracefully() {
+        let mut rng = SplitMix64::new(77);
+        let (m, k, n) = (4, 32, 8);
+        let a = Tensor::uniform(Shape::new(&[m, k]), -1.0, 1.0, &mut rng);
+        let w = Tensor::uniform(Shape::new(&[k, n]), -0.5, 0.5, &mut rng);
+        let fp = run_gemm(&a, &w, m, k, n, Precision::Fp32);
+        let i16r = run_gemm(&a, &w, m, k, n, Precision::Int16);
+        let i8r = run_gemm(&a, &w, m, k, n, Precision::Int8);
+        let delta = |x: &[f32]| {
+            x.iter()
+                .zip(&fp)
+                .map(|(v, r)| (v - r).abs())
+                .fold(0.0f32, f32::max)
+        };
+        let (d16, d8) = (delta(&i16r), delta(&i8r));
+        assert!(d16 > 0.0 && d16 < 1e-3, "int16 delta {d16}");
+        assert!(d8 >= d16, "int8 ({d8}) cannot beat int16 ({d16})");
+        assert!(d8 < 0.1, "int8 delta {d8}");
+        // Bit-exact repeatability: same inputs, same bits.
+        assert_eq!(i8r, run_gemm(&a, &w, m, k, n, Precision::Int8));
+    }
+}

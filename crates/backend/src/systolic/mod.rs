@@ -1,0 +1,283 @@
+//! A cycle-level weight-stationary systolic array (TPU-style).
+//!
+//! The machine: a square MAC grid fed by a double-buffered unified
+//! on-chip buffer, per-column accumulators, a DRAM weight-fill FIFO,
+//! and a post-array vector unit for the layers that are not matrix
+//! multiplies. ReLU is fused into the accumulator drain, so it costs
+//! zero cycles — the classic TPU activation-on-the-way-out trick.
+//!
+//! [`SystolicBackend`] lowers a network with [`crate::lower::LoweredNet`],
+//! tiles every GEMM-shaped layer onto the grid with
+//! [`array::gemm_timing`], routes the rest through
+//! [`array::vector_timing`], and reports per-layer cycles, stalls,
+//! utilization, and energy as a [`BackendRun`]. Weights may be fp32 or
+//! the `tango_kernels::quant` int16/int8 fixed-point formats — narrower
+//! weights quarter/halve the fill traffic, which is the whole
+//! quantization story on this machine.
+
+mod array;
+
+pub use array::{gemm_timing, run_gemm, vector_timing, GemmTiming};
+
+use crate::lower::LoweredNet;
+use crate::{Backend, BackendError, BackendJob, BackendKind, BackendLayerStats, BackendRun, Precision};
+
+/// Every architectural parameter of the modelled array. All integers, so
+/// timings derived from a config are exactly reproducible.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SystolicConfig {
+    /// Display name (appears in comparison tables and store keys).
+    pub name: String,
+    /// MAC grid rows (the reduction dimension).
+    pub rows: u32,
+    /// MAC grid columns (the output-channel dimension).
+    pub cols: u32,
+    /// Core clock in GHz.
+    pub clock_ghz: f64,
+    /// Unified on-chip buffer capacity in bytes (half usable per pass —
+    /// the other half is the double buffer's in-flight side).
+    pub unified_buffer_bytes: u64,
+    /// Accumulator depth: GEMM rows one pass may hold before weights
+    /// must be re-streamed.
+    pub acc_depth: u32,
+    /// DRAM weight-fill bandwidth in bytes per core cycle.
+    pub weight_bytes_per_cycle: u32,
+    /// Unified-buffer activation bandwidth in bytes per core cycle.
+    pub ub_bytes_per_cycle: u32,
+    /// Post-array vector unit lanes (elements per cycle).
+    pub vector_lanes: u32,
+    /// Fixed vector-op issue overhead in cycles.
+    pub vector_overhead_cycles: u64,
+    /// Energy per fp32 MAC, picojoules.
+    pub mac_fp32_pj: f64,
+    /// Energy per int16 MAC, picojoules.
+    pub mac_int16_pj: f64,
+    /// Energy per int8 MAC, picojoules.
+    pub mac_int8_pj: f64,
+    /// Energy per unified-buffer byte moved, picojoules.
+    pub ub_pj_per_byte: f64,
+    /// Energy per DRAM byte streamed, picojoules.
+    pub dram_pj_per_byte: f64,
+    /// Static (leakage + clock tree) power in watts.
+    pub static_w: f64,
+}
+
+impl SystolicConfig {
+    /// A TPU-v1-class datacenter array: 256x256 grid at 0.7 GHz with a
+    /// 24 MiB unified buffer and 4096-deep accumulators.
+    pub fn tpu_v1() -> SystolicConfig {
+        SystolicConfig {
+            name: "TPUv1-256x256".to_string(),
+            rows: 256,
+            cols: 256,
+            clock_ghz: 0.7,
+            unified_buffer_bytes: 24 * 1024 * 1024,
+            acc_depth: 4096,
+            weight_bytes_per_cycle: 43, // ~30 GB/s DDR3 at 0.7 GHz
+            ub_bytes_per_cycle: 256,
+            vector_lanes: 256,
+            vector_overhead_cycles: 64,
+            mac_fp32_pj: 4.6,
+            mac_int16_pj: 1.2,
+            mac_int8_pj: 0.4,
+            ub_pj_per_byte: 0.3,
+            dram_pj_per_byte: 20.0,
+            static_w: 40.0,
+        }
+    }
+
+    /// An edge-class array sized like the suite's embedded boards:
+    /// 64x64 grid, 2 MiB unified buffer — small enough that the paper's
+    /// tiny networks cannot trivially hide every weight fill. This is
+    /// the harness's default systolic device.
+    pub fn edge() -> SystolicConfig {
+        SystolicConfig {
+            name: "edge-64x64".to_string(),
+            rows: 64,
+            cols: 64,
+            clock_ghz: 0.7,
+            unified_buffer_bytes: 2 * 1024 * 1024,
+            acc_depth: 2048,
+            weight_bytes_per_cycle: 16,
+            ub_bytes_per_cycle: 128,
+            vector_lanes: 64,
+            vector_overhead_cycles: 32,
+            mac_fp32_pj: 4.6,
+            mac_int16_pj: 1.2,
+            mac_int8_pj: 0.4,
+            ub_pj_per_byte: 0.3,
+            dram_pj_per_byte: 20.0,
+            static_w: 2.0,
+        }
+    }
+
+    /// Energy of one MAC at `precision`, picojoules.
+    pub fn mac_pj(&self, precision: Precision) -> f64 {
+        match precision {
+            Precision::Fp32 => self.mac_fp32_pj,
+            Precision::Int16 => self.mac_int16_pj,
+            Precision::Int8 => self.mac_int8_pj,
+        }
+    }
+
+    /// Peak MAC throughput per cycle (`rows * cols`).
+    pub fn peak_macs_per_cycle(&self) -> u64 {
+        u64::from(self.rows) * u64::from(self.cols)
+    }
+}
+
+/// The systolic-array [`Backend`] implementation.
+#[derive(Debug, Clone)]
+pub struct SystolicBackend {
+    config: SystolicConfig,
+}
+
+impl SystolicBackend {
+    /// Wraps a hardware description.
+    pub fn new(config: SystolicConfig) -> SystolicBackend {
+        SystolicBackend { config }
+    }
+
+    /// The wrapped configuration.
+    pub fn config(&self) -> &SystolicConfig {
+        &self.config
+    }
+
+    /// Energy for one layer's timing at `precision`: dynamic MAC + UB +
+    /// DRAM energy plus the static power burned over the layer's cycles.
+    fn layer_energy_j(&self, t: &GemmTiming, vector_ops: u64, precision: Precision) -> f64 {
+        let c = &self.config;
+        // Grid MACs run at the job's precision; vector ops are always
+        // fp32 (activations never narrow in this scheme).
+        let dynamic = t.macs as f64 * c.mac_pj(precision)
+            + vector_ops as f64 * c.mac_fp32_pj
+            + t.ub_bytes as f64 * c.ub_pj_per_byte
+            + t.weight_bytes as f64 * c.dram_pj_per_byte;
+        let static_j = t.cycles as f64 / (c.clock_ghz * 1e9) * c.static_w;
+        dynamic * 1e-12 + static_j
+    }
+}
+
+impl Backend for SystolicBackend {
+    fn kind(&self) -> BackendKind {
+        BackendKind::Systolic
+    }
+
+    fn describe(&self) -> String {
+        let c = &self.config;
+        format!(
+            "{}: {}x{} weight-stationary MAC grid @ {:.2} GHz, {} KiB unified buffer, acc depth {}",
+            c.name,
+            c.rows,
+            c.cols,
+            c.clock_ghz,
+            c.unified_buffer_bytes / 1024,
+            c.acc_depth
+        )
+    }
+
+    fn run(&self, job: &BackendJob) -> Result<BackendRun, BackendError> {
+        let net = LoweredNet::build(job.kind, job.preset, job.seed)?;
+        let batch = job.batch.max(1);
+        let peak = self.config.peak_macs_per_cycle();
+        let mut layers = Vec::with_capacity(net.layers.len());
+        for layer in &net.layers {
+            let fused = layer.gemm.is_none() && layer.label == "Relu";
+            let (timing, vector_ops) = if fused {
+                // ReLU folds into the accumulator drain: zero cycles.
+                (GemmTiming::zero(), 0)
+            } else if let Some(shape) = layer.gemm {
+                (gemm_timing(&self.config, shape, batch, job.precision), 0)
+            } else {
+                let t = vector_timing(&self.config, &layer.work, batch);
+                (t, layer.work.macs * u64::from(batch))
+            };
+            if timing.cycles > 0 {
+                let vbase = tango_obs::virtual_now();
+                tango_obs::vspan_begin("backend.launch", &layer.name);
+                tango_obs::vspan_end_at(vbase + timing.cycles, "backend.launch", &layer.name);
+                tango_obs::advance_virtual(timing.cycles);
+            }
+            let utilization = if timing.cycles == 0 {
+                0.0
+            } else {
+                timing.macs as f64 / (timing.cycles as f64 * peak as f64)
+            };
+            layers.push(BackendLayerStats {
+                name: layer.name.clone(),
+                label: layer.label.clone(),
+                cycles: timing.cycles,
+                macs: layer.work.macs * u64::from(batch),
+                stall_cycles: timing.stall_cycles(),
+                utilization,
+                energy_j: self.layer_energy_j(&timing, vector_ops, job.precision),
+            });
+        }
+        Ok(BackendRun {
+            backend: BackendKind::Systolic,
+            kind: job.kind,
+            batch,
+            precision: job.precision,
+            clock_ghz: self.config.clock_ghz,
+            layers,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tango_nets::{NetworkKind, Preset};
+
+    fn job(kind: NetworkKind, precision: Precision) -> BackendJob {
+        BackendJob {
+            kind,
+            preset: Preset::Tiny,
+            seed: 7,
+            batch: 1,
+            precision,
+        }
+    }
+
+    #[test]
+    fn runs_are_deterministic_and_relu_is_fused() {
+        let be = SystolicBackend::new(SystolicConfig::edge());
+        let a = be.run(&job(NetworkKind::CifarNet, Precision::Fp32)).unwrap();
+        let b = be.run(&job(NetworkKind::CifarNet, Precision::Fp32)).unwrap();
+        assert_eq!(a, b);
+        assert!(a.total_cycles() > 0);
+        assert!(a.utilization() > 0.0 && a.utilization() <= 1.0);
+        // Standalone ReLU layers only appear in ResNet's bottlenecks.
+        let resnet = be.run(&job(NetworkKind::ResNet50, Precision::Fp32)).unwrap();
+        let relu = resnet.layers.iter().find(|l| l.label == "Relu").expect("ResNet has ReLU");
+        assert_eq!(relu.cycles, 0, "ReLU fuses into the accumulator drain");
+    }
+
+    #[test]
+    fn int8_is_faster_and_cheaper_than_fp32() {
+        let be = SystolicBackend::new(SystolicConfig::edge());
+        let fp32 = be.run(&job(NetworkKind::CifarNet, Precision::Fp32)).unwrap();
+        let int8 = be.run(&job(NetworkKind::CifarNet, Precision::Int8)).unwrap();
+        assert!(int8.total_cycles() < fp32.total_cycles());
+        assert!(int8.total_energy_j() < fp32.total_energy_j());
+        assert_eq!(int8.total_macs(), fp32.total_macs());
+    }
+
+    #[test]
+    fn rnns_run_and_report_gate_gemm_stalls() {
+        let be = SystolicBackend::new(SystolicConfig::edge());
+        let run = be.run(&job(NetworkKind::Gru, Precision::Fp32)).unwrap();
+        assert!(run.total_cycles() > 0);
+        // Mat-vec at batch 1 cannot keep a 64x64 grid busy.
+        assert!(run.utilization() < 0.5, "util {}", run.utilization());
+        assert!(run.total_stall_cycles() > 0, "weight fills must show as stalls");
+    }
+
+    #[test]
+    fn bigger_arrays_finish_sooner() {
+        let j = job(NetworkKind::CifarNet, Precision::Fp32);
+        let edge = SystolicBackend::new(SystolicConfig::edge()).run(&j).unwrap();
+        let tpu = SystolicBackend::new(SystolicConfig::tpu_v1()).run(&j).unwrap();
+        assert!(tpu.total_cycles() < edge.total_cycles());
+    }
+}

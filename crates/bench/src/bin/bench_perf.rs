@@ -1,0 +1,142 @@
+//! Perf baseline: measures how fast the toolchain itself runs and
+//! writes two machine-readable artifacts for CI trend tracking.
+//!
+//! * `results/BENCH_sim.json` — raw simulator throughput
+//!   (simulated-cycles per wall-clock second) for one CNN (CifarNet)
+//!   and one RNN (GRU), measured over direct `simulate_run` calls with
+//!   a warmup pass excluded from timing.
+//! * `results/BENCH_serve.json` — serve-engine throughput: requests per
+//!   wall-clock second and per simulated megacycle for an open-loop
+//!   trace at offered load 1.0, with batch costs precomputed through
+//!   the store so the timed region is the engine itself.
+//!
+//! Wall-clock numbers vary run to run (this is the one binary in the
+//! suite whose output is *meant* to measure the host); the simulated
+//! quantities embedded alongside them (total cycles, completed
+//! requests) stay deterministic, so a regression in either axis is
+//! attributable.
+
+use std::process::ExitCode;
+use std::time::Instant;
+use tango::{simulate_run, RunSpec};
+use tango_bench::{emit_file, preset_from_env, store_handle, JsonObject, SEED};
+use tango_harness::workers_from_env;
+use tango_nets::NetworkKind;
+use tango_serve::{run_trace, ArrivalTrace, BatchPolicy, CostModel, ServeConfig, SimCostModel};
+use tango_sim::{GpuConfig, SimOptions};
+
+/// Timed simulator passes per network (after one untimed warmup).
+const TIMED_RUNS: u32 = 2;
+const DEVICES: usize = 2;
+const DISTINCT_INPUTS: u64 = 4;
+const REQUESTS: usize = 200;
+const MAX_BATCH: u32 = 8;
+
+fn sim_leg(kinds: &[NetworkKind]) -> tango::Result<JsonObject> {
+    let preset = preset_from_env();
+    let mut obj = JsonObject::new()
+        .str("bench", "sim")
+        .str("preset", &preset.to_string())
+        .str("seed", &format!("{SEED:#x}"))
+        .int("timed_runs", TIMED_RUNS as u64);
+    for &kind in kinds {
+        let spec = RunSpec {
+            config: GpuConfig::gp102(),
+            preset,
+            seed: SEED,
+            kind,
+            options: SimOptions::new(),
+        };
+        let warm = simulate_run(&spec)?;
+        let cycles = warm.report.total_cycles();
+        let start = Instant::now();
+        for _ in 0..TIMED_RUNS {
+            let run = simulate_run(&spec)?;
+            assert_eq!(run.report.total_cycles(), cycles, "simulator must be deterministic");
+        }
+        let wall_s = start.elapsed().as_secs_f64();
+        let key = kind.name().to_ascii_lowercase();
+        obj = obj
+            .int(&format!("{key}_total_cycles"), cycles)
+            .num(&format!("{key}_wall_s"), wall_s)
+            .num(
+                &format!("{key}_sim_cycles_per_sec"),
+                (cycles * TIMED_RUNS as u64) as f64 / wall_s,
+            );
+    }
+    Ok(obj)
+}
+
+fn serve_leg(kinds: &[NetworkKind], workers: usize) -> tango_serve::Result<JsonObject> {
+    let preset = preset_from_env();
+    let cost = SimCostModel::new(store_handle(), GpuConfig::gp102(), preset, SEED, SimOptions::new());
+    cost.precompute(kinds, MAX_BATCH, workers)?;
+
+    let mut obj = JsonObject::new()
+        .str("bench", "serve")
+        .str("preset", &preset.to_string())
+        .str("seed", &format!("{SEED:#x}"))
+        .int("devices", DEVICES as u64)
+        .int("requests", REQUESTS as u64)
+        .int("max_batch", MAX_BATCH as u64);
+    for &kind in kinds {
+        let service_1 = cost.batch_cycles(kind, 1)?;
+        let interarrival = (service_1 / DEVICES as u64).max(1);
+        let trace = ArrivalTrace::open_loop(&[kind], REQUESTS, interarrival, DISTINCT_INPUTS, SEED);
+        let config = ServeConfig {
+            devices: DEVICES,
+            queue_bound: 256,
+            policy: BatchPolicy {
+                max_batch: MAX_BATCH,
+                max_delay_cycles: service_1 / 2,
+            },
+        };
+        let start = Instant::now();
+        let report = run_trace(&trace, &config, &cost)?;
+        let wall_s = start.elapsed().as_secs_f64();
+        let key = kind.name().to_ascii_lowercase();
+        obj = obj
+            .int(&format!("{key}_completed"), report.completed() as u64)
+            .int(&format!("{key}_shed"), report.shed() as u64)
+            .num(&format!("{key}_wall_s"), wall_s)
+            .num(&format!("{key}_requests_per_sec"), report.completed() as f64 / wall_s)
+            .num(&format!("{key}_req_per_mcycle"), report.throughput_per_mcycle());
+    }
+    Ok(obj)
+}
+
+fn run() -> ExitCode {
+    let workers = match workers_from_env("TANGO_JOBS") {
+        Ok(n) => n,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let kinds = [NetworkKind::CifarNet, NetworkKind::Gru];
+
+    eprintln!("[perf] sim leg: {TIMED_RUNS} timed simulate_run passes per network");
+    let sim = match sim_leg(&kinds) {
+        Ok(obj) => obj,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    emit_file("BENCH_sim.json", &sim.render());
+
+    eprintln!("[perf] serve leg: {REQUESTS} requests per network ({workers} precompute workers)");
+    let serve = match serve_leg(&kinds, workers) {
+        Ok(obj) => obj,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    emit_file("BENCH_serve.json", &serve.render());
+    ExitCode::SUCCESS
+}
+
+fn main() -> ExitCode {
+    run()
+}

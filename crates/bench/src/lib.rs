@@ -60,6 +60,74 @@ pub fn emit(name: &str, content: &str) {
     }
 }
 
+/// Like [`emit`] but for machine-readable artifacts: writes `content`
+/// verbatim to `results/<name>` (full file name, e.g. `BENCH_sim.json`)
+/// and prints it, so CI can consume either the file or stdout.
+pub fn emit_file(name: &str, content: &str) {
+    println!("{content}");
+    let dir = results_root();
+    if fs::create_dir_all(&dir).is_ok() {
+        let _ = fs::write(dir.join(name), content);
+    }
+}
+
+/// A minimal flat JSON-object builder for the `BENCH_*.json` perf
+/// baselines — insertion-ordered, strings escaped, and every number
+/// guaranteed finite (non-finite values are clamped to `0`, so a
+/// degenerate measurement can never produce `NaN`/`inf`, which are not
+/// JSON).
+#[derive(Debug, Clone, Default)]
+pub struct JsonObject {
+    fields: Vec<(String, String)>,
+}
+
+impl JsonObject {
+    /// An empty object.
+    pub fn new() -> Self {
+        JsonObject::default()
+    }
+
+    fn push(&mut self, key: &str, rendered: String) {
+        self.fields.push((key.to_string(), rendered));
+    }
+
+    /// Adds a string field (escaped).
+    pub fn str(mut self, key: &str, value: &str) -> Self {
+        let escaped: String = value
+            .chars()
+            .flat_map(|c| match c {
+                '"' => "\\\"".chars().collect::<Vec<_>>(),
+                '\\' => "\\\\".chars().collect(),
+                '\n' => "\\n".chars().collect(),
+                c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+                c => vec![c],
+            })
+            .collect();
+        self.push(key, format!("\"{escaped}\""));
+        self
+    }
+
+    /// Adds an integer field.
+    pub fn int(mut self, key: &str, value: u64) -> Self {
+        self.push(key, value.to_string());
+        self
+    }
+
+    /// Adds a float field; non-finite values render as `0` so the output
+    /// is always valid JSON.
+    pub fn num(mut self, key: &str, value: f64) -> Self {
+        let safe = if value.is_finite() { value } else { 0.0 };
+        self.push(key, format!("{safe:.6}"));
+        self
+    }
+
+    /// Renders the object as a single-line JSON string.
+    pub fn render(&self) -> String {
+        let body: Vec<String> = self.fields.iter().map(|(k, v)| format!("\"{k}\":{v}")).collect();
+        format!("{{{}}}", body.join(","))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -82,5 +150,19 @@ mod tests {
     #[test]
     fn store_handle_is_shared() {
         assert!(Arc::ptr_eq(&store_handle(), &store_handle()));
+    }
+
+    #[test]
+    fn json_builder_emits_valid_escaped_json() {
+        let obj = JsonObject::new()
+            .str("bench", "sim")
+            .str("tricky", "a\"b\\c\nd")
+            .int("cycles", 123456)
+            .num("wall_s", 0.25)
+            .num("rate", f64::NAN)
+            .render();
+        tango_obs::json::validate(&obj).expect("builder output must be valid JSON");
+        assert!(obj.starts_with("{\"bench\":\"sim\""), "insertion order preserved: {obj}");
+        assert!(obj.contains("\"rate\":0.000000"), "non-finite must clamp to 0: {obj}");
     }
 }

@@ -8,12 +8,16 @@ use tango_nets::NetError;
 pub enum TangoError {
     /// Building or running a network failed.
     Net(NetError),
+    /// An accelerator backend rejected or failed the request (e.g. an
+    /// unsupported precision); the message names the backend.
+    Backend(String),
 }
 
 impl fmt::Display for TangoError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             TangoError::Net(e) => write!(f, "network error: {e}"),
+            TangoError::Backend(msg) => write!(f, "backend error: {msg}"),
         }
     }
 }
@@ -22,6 +26,7 @@ impl Error for TangoError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
             TangoError::Net(e) => Some(e),
+            TangoError::Backend(_) => None,
         }
     }
 }

@@ -87,6 +87,28 @@ pub struct FpgaRunReport {
     pub partitions: u64,
 }
 
+/// One layer's time estimate split into its constituent terms, so
+/// callers modelling batched execution can scale the compute term
+/// without re-paying the weight stream or reconfiguration (weights stay
+/// staged across a batch).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LayerTimeParts {
+    /// MAC-bound compute time for one inference, in seconds.
+    pub compute_s: f64,
+    /// DDR weight-streaming time (paid once per staging), in seconds.
+    pub stream_s: f64,
+    /// BRAM partitions the layer's working set needs (>= 1).
+    pub partitions: u64,
+}
+
+impl LayerTimeParts {
+    /// Total layer time under `overhead_s` per partition: the dominant
+    /// of compute and streaming, plus reconfiguration.
+    pub fn total_s(&self, overhead_s: f64) -> f64 {
+        self.compute_s.max(self.stream_s) + self.partitions as f64 * overhead_s
+    }
+}
+
 /// The PynQ-Z1 analytic platform model.
 #[derive(Debug, Clone, PartialEq)]
 pub struct PynqZ1 {
@@ -115,6 +137,13 @@ impl PynqZ1 {
     /// streaming time, plus per-partition reconfiguration overhead when
     /// the layer working set exceeds BRAM.
     pub fn layer_time_s(&self, macs: u64, weight_bytes: u64, output_elems: u64) -> (f64, u64) {
+        let parts = self.layer_time_parts(macs, weight_bytes, output_elems);
+        (parts.total_s(self.config.partition_overhead_s), parts.partitions)
+    }
+
+    /// The same estimate with its terms kept apart (see
+    /// [`LayerTimeParts`]); `layer_time_s` is this plus the overhead sum.
+    pub fn layer_time_parts(&self, macs: u64, weight_bytes: u64, output_elems: u64) -> LayerTimeParts {
         let c = &self.config;
         let mac_rate = c.mac_units as f64 * c.fabric_mhz * 1e6;
         let compute_s = macs as f64 / mac_rate;
@@ -122,8 +151,11 @@ impl PynqZ1 {
         // Working set: weights plus double-buffered output tile.
         let working_set = weight_bytes + output_elems * 4 * 2;
         let partitions = working_set.div_ceil(c.bram_bytes).max(1);
-        let time = compute_s.max(stream_s) + partitions as f64 * c.partition_overhead_s;
-        (time, partitions)
+        LayerTimeParts {
+            compute_s,
+            stream_s,
+            partitions,
+        }
     }
 
     /// Runs a whole network description through the model.

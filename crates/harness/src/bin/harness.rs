@@ -4,6 +4,7 @@
 //! harness store stats [--dir PATH]   # classify and count records
 //! harness store gc    [--dir PATH]   # drop stale-schema records
 //! harness trace <net>                # simulate one network, optionally traced
+//! harness backends <net>             # per-layer GPU vs systolic vs FPGA table
 //! ```
 //!
 //! The store defaults to `results/store/` at the workspace root
@@ -23,9 +24,12 @@
 //! Exit code 0 on success, 1 on validation/simulation failure, 2 on
 //! usage or environment errors.
 
+use std::fmt::Write as _;
 use std::process::ExitCode;
 use tango::{simulate_run, RunSpec};
-use tango_harness::{RunStore, StableHasher, STORE_SCHEMA_VERSION};
+use tango_backend::{BackendJob, BackendKind, BackendRun, BackendRunSpec, BackendSpec, Precision, SystolicConfig};
+use tango_fpga::PynqConfig;
+use tango_harness::{workers_from_env, RunStore, StableHasher, Suite, STORE_SCHEMA_VERSION};
 use tango_nets::{NetworkKind, Preset};
 use tango_sim::{GpuConfig, SimOptions};
 
@@ -36,6 +40,7 @@ const SEED: u64 = 0x7A16_0201_9151;
 fn usage() -> ExitCode {
     eprintln!("usage: harness store <stats|gc> [--dir PATH]");
     eprintln!("       harness trace <net>");
+    eprintln!("       harness backends <net>");
     eprintln!(
         "nets: {}",
         NetworkKind::EXTENDED
@@ -70,6 +75,9 @@ fn store_cmd(sub: Option<String>, args: std::env::Args) -> ExitCode {
                 println!("schema version: {STORE_SCHEMA_VERSION}");
                 println!("run records: {}", s.run_records);
                 println!("build records: {}", s.build_records);
+                for backend in BackendKind::ALL {
+                    println!("backend records ({backend}): {}", s.backend_records_for(backend));
+                }
                 println!("stale records: {}", s.stale_records);
                 println!("other files: {}", s.other_files);
                 println!("total bytes: {}", s.total_bytes);
@@ -205,6 +213,187 @@ fn trace_cmd(net: &str) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// Backend selection from `TANGO_BACKENDS`: unset or `all` means every
+/// backend; otherwise a comma list of `gpu`/`systolic`/`fpga`
+/// (case-insensitive). The result preserves the fixed comparison-table
+/// order regardless of how the user ordered the list. A present but
+/// unusable value is an error naming the variable, like `TANGO_JOBS`.
+fn backends_from_env() -> Result<Vec<BackendKind>, String> {
+    let raw = match std::env::var("TANGO_BACKENDS") {
+        Ok(v) => v,
+        Err(std::env::VarError::NotPresent) => return Ok(BackendKind::ALL.to_vec()),
+        Err(std::env::VarError::NotUnicode(_)) => return Err("TANGO_BACKENDS is set to a non-UTF-8 value".into()),
+    };
+    if raw.trim().eq_ignore_ascii_case("all") {
+        return Ok(BackendKind::ALL.to_vec());
+    }
+    let mut wanted = Vec::new();
+    for part in raw.split(',') {
+        match BackendKind::parse(part) {
+            Some(kind) => {
+                if !wanted.contains(&kind) {
+                    wanted.push(kind);
+                }
+            }
+            None => {
+                return Err(format!(
+                    "TANGO_BACKENDS must be `all` or a comma list of gpu/systolic/fpga, got {part:?}"
+                ))
+            }
+        }
+    }
+    if wanted.is_empty() {
+        return Err("TANGO_BACKENDS is set but names no backends".into());
+    }
+    Ok(BackendKind::ALL.into_iter().filter(|k| wanted.contains(k)).collect())
+}
+
+/// The fixed device roster the comparison runs against.
+fn spec_for(backend: BackendKind) -> BackendSpec {
+    match backend {
+        BackendKind::Gpu => BackendSpec::Gpu(GpuConfig::gp102()),
+        BackendKind::Systolic => BackendSpec::Systolic(SystolicConfig::edge()),
+        BackendKind::Fpga => BackendSpec::Fpga(PynqConfig::pynq_z1()),
+    }
+}
+
+/// Renders the deterministic comparison table (the exact bytes that go
+/// to stdout and to `results/backends_<net>.txt`).
+fn backends_report(kind: NetworkKind, preset: Preset, runs: &[(BackendKind, BackendRun)]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "backend comparison: {}@{}", kind.name(), preset.name());
+    let _ = writeln!(out, "seed: {SEED:#x}  batch: 1  precision: fp32");
+    let _ = writeln!(out);
+    for (backend, _) in runs {
+        let _ = writeln!(out, "{:<9} {}", format!("{backend}:"), spec_for(*backend).device_name());
+    }
+    let _ = writeln!(out);
+
+    let _ = write!(out, "{:<24} {:<14}", "layer", "type");
+    for (backend, _) in runs {
+        let _ = write!(out, " {:>16}", format!("{backend}_cycles"));
+    }
+    let _ = writeln!(out, " {:>9}", "sys_util%");
+    let first = &runs[0].1;
+    for (i, layer) in first.layers.iter().enumerate() {
+        let _ = write!(out, "{:<24} {:<14}", layer.name, layer.label);
+        for (_, run) in runs {
+            let _ = write!(out, " {:>16}", run.layers[i].cycles);
+        }
+        let util = runs
+            .iter()
+            .find(|(b, _)| *b == BackendKind::Systolic)
+            .map(|(_, run)| run.layers[i].utilization * 100.0);
+        match util {
+            Some(u) => {
+                let _ = writeln!(out, " {:>8.1}%", u);
+            }
+            None => {
+                let _ = writeln!(out, " {:>9}", "-");
+            }
+        }
+    }
+    let _ = writeln!(out);
+    let _ = writeln!(
+        out,
+        "{:<9} {:>16} {:>12} {:>12} {:>10} {:>12}",
+        "backend", "total_cycles", "time_ms", "energy_j", "util%", "stall%"
+    );
+    for (backend, run) in runs {
+        let cycles = run.total_cycles();
+        let stall_pct = if cycles == 0 {
+            0.0
+        } else {
+            run.total_stall_cycles() as f64 / cycles as f64 * 100.0
+        };
+        let _ = writeln!(
+            out,
+            "{:<9} {:>16} {:>12.3} {:>12.6} {:>9.1}% {:>11.1}%",
+            backend.name(),
+            cycles,
+            run.time_s() * 1e3,
+            run.total_energy_j(),
+            run.utilization() * 100.0,
+            stall_pct
+        );
+    }
+    out
+}
+
+fn backends_cmd(net: &str) -> ExitCode {
+    // Strict environment validation before any work, like `trace`.
+    let workers = match workers_from_env("TANGO_JOBS") {
+        Ok(n) => n,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let selected = match backends_from_env() {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let Some(kind) = parse_kind(net) else {
+        eprintln!("error: unknown network {net:?}");
+        return usage();
+    };
+    let preset = preset_from_env();
+    let job = BackendJob {
+        kind,
+        preset,
+        seed: SEED,
+        batch: 1,
+        precision: Precision::Fp32,
+    };
+    let specs: Vec<BackendRunSpec> = selected
+        .iter()
+        .map(|&backend| BackendRunSpec {
+            spec: spec_for(backend),
+            job,
+        })
+        .collect();
+
+    let store = RunStore::open_default();
+    let mut suite = Suite::new();
+    for spec in &specs {
+        suite.add_backend(spec.clone());
+    }
+    if let Err(e) = suite.execute(&store, workers) {
+        eprintln!("error: backend execution failed: {e}");
+        return ExitCode::FAILURE;
+    }
+    // Everything is now a memory hit; read the results back in table order.
+    let mut runs = Vec::with_capacity(specs.len());
+    for (backend, spec) in selected.iter().zip(&specs) {
+        match store.fetch_backend(spec) {
+            Ok((run, _)) => runs.push((*backend, run)),
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let report = backends_report(kind, preset, &runs);
+    print!("{report}");
+    let out_path = tango_harness::results_root().join(format!("backends_{}.txt", kind.name().to_lowercase()));
+    if let Some(parent) = out_path.parent() {
+        let _ = std::fs::create_dir_all(parent);
+    }
+    if let Err(e) = std::fs::write(&out_path, &report) {
+        eprintln!("error: cannot write {}: {e}", out_path.display());
+        return ExitCode::FAILURE;
+    }
+    // Cache accounting goes to stderr so stdout stays byte-identical
+    // across cold and warm runs.
+    eprintln!("[backends] store hits={} misses={}", store.hits(), store.misses());
+    eprintln!("[backends] wrote {}", out_path.display());
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let mut args = std::env::args();
     let _argv0 = args.next();
@@ -215,6 +404,10 @@ fn main() -> ExitCode {
         }
         Some("trace") => match (args.next(), args.next()) {
             (Some(net), None) => trace_cmd(&net),
+            _ => usage(),
+        },
+        Some("backends") => match (args.next(), args.next()) {
+            (Some(net), None) => backends_cmd(&net),
             _ => usage(),
         },
         _ => usage(),

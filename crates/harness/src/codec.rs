@@ -7,6 +7,7 @@
 //! ```text
 //! "TNGR" | u32 version | NetworkRun     (a full simulated inference)
 //! "TNGB" | u32 version | BuildStats     (build-only static facts)
+//! "TNGA" | u32 version | BackendRun     (an accelerator-backend run)
 //! ```
 //!
 //! Decoding is strict: a wrong magic, a stale version, an out-of-range
@@ -19,6 +20,7 @@
 use crate::key::{network_kind_code, network_kind_from_code, STORE_SCHEMA_VERSION};
 use std::collections::BTreeMap;
 use tango::{BuildStats, LayerBuildStats, NetworkRun};
+use tango_backend::{BackendKind, BackendLayerStats, BackendRun, Precision};
 use tango_isa::{DType, Dim3, Opcode};
 use tango_nets::{InferenceReport, LayerRecord, LayerType};
 use tango_sim::{CacheStats, Component, EnergyBreakdown, KernelStats, StallBreakdown, StallReason};
@@ -26,6 +28,7 @@ use tango_tensor::{Shape, Tensor};
 
 const RUN_MAGIC: &[u8; 4] = b"TNGR";
 const BUILD_MAGIC: &[u8; 4] = b"TNGB";
+const BACKEND_MAGIC: &[u8; 4] = b"TNGA";
 
 /// Why a record failed to decode. The store maps any decode error to a
 /// cache miss, so this is diagnostic only.
@@ -379,10 +382,21 @@ pub(crate) fn probe_record(bytes: &[u8]) -> Option<(crate::key::RecordKind, u32)
     let kind = match &bytes[..4] {
         m if m == RUN_MAGIC => crate::key::RecordKind::Run,
         m if m == BUILD_MAGIC => crate::key::RecordKind::Build,
+        m if m == BACKEND_MAGIC => crate::key::RecordKind::Backend,
         _ => return None,
     };
     let version = u32::from_le_bytes(bytes[4..8].try_into().expect("4 bytes"));
     Some((kind, version))
+}
+
+/// For a current-version backend record, the backend-family code stored
+/// right after the header (byte 8). `store stats` uses this to count
+/// records per backend without decoding payloads.
+pub(crate) fn probe_backend_code(bytes: &[u8]) -> Option<u8> {
+    match probe_record(bytes) {
+        Some((crate::key::RecordKind::Backend, v)) if v == STORE_SCHEMA_VERSION => bytes.get(8).copied(),
+        _ => None,
+    }
 }
 
 /// Encodes a full run record.
@@ -483,6 +497,70 @@ pub fn decode_build(bytes: &[u8]) -> Result<BuildStats, DecodeError> {
     })
 }
 
+/// Encodes a backend-run record.
+pub fn encode_backend(run: &BackendRun) -> Vec<u8> {
+    let mut w = Writer::new(BACKEND_MAGIC);
+    w.u8(run.backend.code());
+    w.u8(network_kind_code(run.kind));
+    w.u32(run.batch);
+    w.u8(run.precision.code());
+    w.f64(run.clock_ghz);
+    w.u32(run.layers.len() as u32);
+    for layer in &run.layers {
+        w.str(&layer.name);
+        w.str(&layer.label);
+        w.u64(layer.cycles);
+        w.u64(layer.macs);
+        w.u64(layer.stall_cycles);
+        w.f64(layer.utilization);
+        w.f64(layer.energy_j);
+    }
+    w.buf
+}
+
+/// Decodes a backend-run record; any malformation is an error (= cache
+/// miss).
+///
+/// # Errors
+///
+/// Returns a diagnostic string on bad magic, version, enum code, or a
+/// truncated/overlong payload.
+pub fn decode_backend(bytes: &[u8]) -> Result<BackendRun, DecodeError> {
+    let mut r = Reader::new(bytes, BACKEND_MAGIC)?;
+    let backend_code = r.u8()?;
+    let backend =
+        BackendKind::from_code(backend_code).ok_or_else(|| format!("backend code {backend_code} out of range"))?;
+    let kind_code = r.u8()?;
+    let kind = network_kind_from_code(kind_code).ok_or_else(|| format!("network code {kind_code} out of range"))?;
+    let batch = r.u32()?;
+    let precision_code = r.u8()?;
+    let precision =
+        Precision::from_code(precision_code).ok_or_else(|| format!("precision code {precision_code} out of range"))?;
+    let clock_ghz = r.f64()?;
+    let count = r.u32()? as usize;
+    let mut layers = Vec::with_capacity(count);
+    for _ in 0..count {
+        layers.push(BackendLayerStats {
+            name: r.str()?,
+            label: r.str()?,
+            cycles: r.u64()?,
+            macs: r.u64()?,
+            stall_cycles: r.u64()?,
+            utilization: r.f64()?,
+            energy_j: r.f64()?,
+        });
+    }
+    r.finish()?;
+    Ok(BackendRun {
+        backend,
+        kind,
+        batch,
+        precision,
+        clock_ghz,
+        layers,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -535,6 +613,31 @@ mod tests {
         let mut wrong_version = bytes;
         wrong_version[4] = 0xFF;
         assert!(decode_run(&wrong_version).is_err(), "version");
+    }
+
+    #[test]
+    fn backend_record_round_trips_exactly() {
+        use tango_backend::{run_backend, BackendJob, BackendRunSpec, BackendSpec, SystolicConfig};
+        let run = run_backend(&BackendRunSpec {
+            spec: BackendSpec::Systolic(SystolicConfig::edge()),
+            job: BackendJob {
+                kind: NetworkKind::CifarNet,
+                preset: Preset::Tiny,
+                seed: 11,
+                batch: 2,
+                precision: tango_backend::Precision::Int16,
+            },
+        })
+        .unwrap();
+        let bytes = encode_backend(&run);
+        assert_eq!(decode_backend(&bytes).unwrap(), run);
+        assert_eq!(probe_record(&bytes), Some((crate::key::RecordKind::Backend, STORE_SCHEMA_VERSION)));
+        assert_eq!(probe_backend_code(&bytes), Some(run.backend.code()));
+        let mut stale = bytes.clone();
+        stale[4] = 0xFE;
+        let err = decode_backend(&stale).unwrap_err();
+        assert!(err.contains("schema version"), "{err}");
+        assert_eq!(probe_backend_code(&stale), None, "stale versions are not probed");
     }
 
     #[test]

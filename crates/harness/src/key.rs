@@ -10,6 +10,8 @@
 
 use crate::hash::StableHasher;
 use tango::{BuildSpec, RunSpec};
+use tango_backend::{BackendRunSpec, BackendSpec, SystolicConfig};
+use tango_fpga::PynqConfig;
 use tango_nets::{NetworkKind, Preset};
 use tango_sim::{CacheGeometry, GpuConfig, PowerConstants, SchedulerPolicy, SimOptions};
 
@@ -19,8 +21,9 @@ use tango_sim::{CacheGeometry, GpuConfig, PowerConstants, SchedulerPolicy, SimOp
 /// gc` deletes them).
 ///
 /// History: v1 = initial schema; v2 = `SimOptions::batch` joined the key
-/// derivation.
-pub const STORE_SCHEMA_VERSION: u32 = 2;
+/// derivation; v3 = backend records (`.acc`) and the backend
+/// discriminant joined the schema.
+pub const STORE_SCHEMA_VERSION: u32 = 3;
 
 /// Stable numeric code for a network kind (part of the on-disk schema —
 /// append-only).
@@ -156,6 +159,47 @@ fn hash_sim_options(h: &mut StableHasher, o: &SimOptions) {
     h.write_u32(o.batch);
 }
 
+fn hash_systolic_config(h: &mut StableHasher, c: &SystolicConfig) {
+    h.write_str(&c.name);
+    for v in [
+        c.rows,
+        c.cols,
+        c.acc_depth,
+        c.weight_bytes_per_cycle,
+        c.ub_bytes_per_cycle,
+        c.vector_lanes,
+    ] {
+        h.write_u32(v);
+    }
+    h.write_u64(c.unified_buffer_bytes);
+    h.write_u64(c.vector_overhead_cycles);
+    for v in [
+        c.clock_ghz,
+        c.mac_fp32_pj,
+        c.mac_int16_pj,
+        c.mac_int8_pj,
+        c.ub_pj_per_byte,
+        c.dram_pj_per_byte,
+        c.static_w,
+    ] {
+        h.write_f64(v);
+    }
+}
+
+fn hash_pynq_config(h: &mut StableHasher, c: &PynqConfig) {
+    h.write_u32(c.mac_units);
+    h.write_u64(c.bram_bytes);
+    for v in [
+        c.fabric_mhz,
+        c.ddr_bytes_per_s,
+        c.partition_overhead_s,
+        c.active_power_w,
+        c.idle_power_w,
+    ] {
+        h.write_f64(v);
+    }
+}
+
 /// Record-type tag mixed into the digest so a build record can never
 /// alias a run record.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -164,6 +208,8 @@ pub enum RecordKind {
     Run,
     /// Build-only static stats (`BuildStats`).
     Build,
+    /// A backend execution (`BackendRun`) — any accelerator family.
+    Backend,
 }
 
 impl RecordKind {
@@ -171,6 +217,7 @@ impl RecordKind {
         match self {
             RecordKind::Run => 0,
             RecordKind::Build => 1,
+            RecordKind::Backend => 2,
         }
     }
 
@@ -179,6 +226,7 @@ impl RecordKind {
         match self {
             RecordKind::Run => "run",
             RecordKind::Build => "build",
+            RecordKind::Backend => "acc",
         }
     }
 }
@@ -225,6 +273,32 @@ impl RunKey {
             digest: h.finish(),
             kind: spec.kind,
             record: RecordKind::Build,
+        }
+    }
+
+    /// Key for a backend execution. Hashes the backend discriminant, the
+    /// full workload (kind/preset/seed/batch/precision), and every field
+    /// of the hardware description, so two accelerator configs can never
+    /// share a record.
+    pub fn for_backend(spec: &BackendRunSpec) -> RunKey {
+        let mut h = StableHasher::new();
+        h.write_u32(STORE_SCHEMA_VERSION);
+        h.write_u8(RecordKind::Backend.code());
+        h.write_u8(spec.spec.kind().code());
+        h.write_u8(network_kind_code(spec.job.kind));
+        h.write_u8(preset_code(spec.job.preset));
+        h.write_u64(spec.job.seed);
+        h.write_u32(spec.job.batch);
+        h.write_u8(spec.job.precision.code());
+        match &spec.spec {
+            BackendSpec::Gpu(c) => hash_gpu_config(&mut h, c),
+            BackendSpec::Systolic(c) => hash_systolic_config(&mut h, c),
+            BackendSpec::Fpga(c) => hash_pynq_config(&mut h, c),
+        }
+        RunKey {
+            digest: h.finish(),
+            kind: spec.job.kind,
+            record: RecordKind::Backend,
         }
     }
 
@@ -299,6 +373,54 @@ mod tests {
         });
         assert_ne!(r.digest, b.digest);
         assert_ne!(r.file_name(), b.file_name());
+    }
+
+    #[test]
+    fn backend_keys_discriminate_hardware_and_precision() {
+        use tango_backend::{BackendJob, Precision};
+        let job = BackendJob {
+            kind: NetworkKind::CifarNet,
+            preset: Preset::Tiny,
+            seed: 7,
+            batch: 1,
+            precision: Precision::Fp32,
+        };
+        let sys = BackendRunSpec {
+            spec: BackendSpec::Systolic(SystolicConfig::edge()),
+            job,
+        };
+        let base = RunKey::for_backend(&sys).digest;
+        assert_eq!(base, RunKey::for_backend(&sys).digest);
+
+        let gpu = BackendRunSpec {
+            spec: BackendSpec::Gpu(GpuConfig::gp102()),
+            job,
+        };
+        let fpga = BackendRunSpec {
+            spec: BackendSpec::Fpga(PynqConfig::pynq_z1()),
+            job,
+        };
+        assert_ne!(base, RunKey::for_backend(&gpu).digest);
+        assert_ne!(base, RunKey::for_backend(&fpga).digest);
+        assert_ne!(RunKey::for_backend(&gpu).digest, RunKey::for_backend(&fpga).digest);
+
+        let mut s = sys.clone();
+        s.job.precision = Precision::Int8;
+        assert_ne!(base, RunKey::for_backend(&s).digest);
+        let mut s = sys.clone();
+        s.job.batch = 2;
+        assert_ne!(base, RunKey::for_backend(&s).digest);
+        let mut s = sys.clone();
+        if let BackendSpec::Systolic(c) = &mut s.spec {
+            c.rows *= 2;
+        }
+        assert_ne!(base, RunKey::for_backend(&s).digest);
+
+        // A backend GPU record must never alias the plain run record for
+        // the same spec (different RecordKind code).
+        let run = RunKey::for_run(&spec());
+        assert_ne!(run.digest, RunKey::for_backend(&gpu).digest);
+        assert!(RunKey::for_backend(&sys).file_name().ends_with(".acc"));
     }
 
     #[test]

@@ -28,7 +28,7 @@ mod key;
 mod store;
 mod suite;
 
-pub use codec::{decode_build, decode_run, encode_build, encode_run, DecodeError};
+pub use codec::{decode_backend, decode_build, decode_run, encode_backend, encode_build, encode_run, DecodeError};
 pub use hash::StableHasher;
 pub use key::{network_kind_code, network_kind_from_code, RecordKind, RunKey, STORE_SCHEMA_VERSION};
 pub use store::{results_root, GcReport, RunStore, StoreStats};

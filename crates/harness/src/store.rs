@@ -12,7 +12,10 @@
 //! `Characterizer` (`ch.with_source(store)`) makes every figure and
 //! table producer cache-aware without further changes.
 
-use crate::codec::{decode_build, decode_run, encode_build, encode_run, probe_record};
+use crate::codec::{
+    decode_backend, decode_build, decode_run, encode_backend, encode_build, encode_run, probe_backend_code,
+    probe_record,
+};
 use crate::key::{RecordKind, RunKey, STORE_SCHEMA_VERSION};
 use std::collections::HashMap;
 use std::fs;
@@ -20,6 +23,10 @@ use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 use tango::{measure_build, simulate_run, BuildSpec, BuildStats, NetworkRun, Result, RunSource, RunSpec};
+use tango_backend::{
+    lower::LoweredNet, run_backend, BackendError, BackendKind, BackendRun, BackendRunSpec, BackendSpec, Precision,
+};
+use tango_sim::SimOptions;
 
 /// The workspace-level `results/` directory: `TANGO_RESULTS_DIR` when
 /// set, otherwise `<workspace root>/results` (resolved at compile time
@@ -41,6 +48,7 @@ pub struct RunStore {
     root: PathBuf,
     runs: Mutex<HashMap<u64, NetworkRun>>,
     builds: Mutex<HashMap<u64, BuildStats>>,
+    backends: Mutex<HashMap<u64, BackendRun>>,
     hits: AtomicU64,
     misses: AtomicU64,
     writes: AtomicU64,
@@ -64,6 +72,7 @@ impl RunStore {
             root: root.into(),
             runs: Mutex::new(HashMap::new()),
             builds: Mutex::new(HashMap::new()),
+            backends: Mutex::new(HashMap::new()),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             writes: AtomicU64::new(0),
@@ -185,6 +194,61 @@ impl RunStore {
         self.builds.lock().expect("store lock").insert(key.digest, build.clone());
         Ok((build, false))
     }
+
+    /// Fetches (or executes and caches) the backend run for `spec`. The
+    /// flag is `true` when the result came from the cache.
+    ///
+    /// GPU-backend requests are special-cased: the heavy payload is the
+    /// simulator's `NetworkRun`, which [`fetch_run`](Self::fetch_run)
+    /// already caches as a `.run` record, so the GPU path converts from
+    /// that cache instead of persisting a second on-disk copy. Systolic
+    /// and FPGA runs persist native `.acc` records.
+    ///
+    /// # Errors
+    ///
+    /// Propagates backend execution failures (unsupported precision,
+    /// simulation errors); cache I/O never fails a fetch.
+    pub fn fetch_backend(&self, spec: &BackendRunSpec) -> std::result::Result<(BackendRun, bool), BackendError> {
+        let key = RunKey::for_backend(spec);
+        debug_assert_eq!(key.record, RecordKind::Backend);
+        if let Some(run) = self.backends.lock().expect("store lock").get(&key.digest) {
+            self.count(&self.hits, "hits");
+            return Ok((run.clone(), true));
+        }
+        if let BackendSpec::Gpu(config) = &spec.spec {
+            if spec.job.precision != Precision::Fp32 {
+                return Err(BackendError::Unsupported {
+                    backend: BackendKind::Gpu,
+                    reason: format!("{} weights (the SIMT kernel pipeline is fp32-only)", spec.job.precision),
+                });
+            }
+            let run_spec = RunSpec {
+                config: config.clone(),
+                preset: spec.job.preset,
+                seed: spec.job.seed,
+                kind: spec.job.kind,
+                options: SimOptions::new().with_batch(spec.job.batch.max(1)),
+            };
+            // fetch_run does its own hit/miss accounting and `.run`
+            // persistence; the conversion below is deterministic, so the
+            // derived BackendRun inherits the cache's replayability.
+            let (net_run, was_hit) = self.fetch_run(&run_spec).map_err(BackendError::Tango)?;
+            let lowered = LoweredNet::build(spec.job.kind, spec.job.preset, spec.job.seed)?;
+            let run = tango_backend::convert_gpu_run(&net_run, config, &lowered, spec.job.batch);
+            self.backends.lock().expect("store lock").insert(key.digest, run.clone());
+            return Ok((run, was_hit));
+        }
+        if let Some(run) = self.load(&key).and_then(|bytes| decode_backend(&bytes).ok()) {
+            self.count(&self.hits, "hits");
+            self.backends.lock().expect("store lock").insert(key.digest, run.clone());
+            return Ok((run, true));
+        }
+        self.count(&self.misses, "misses");
+        let run = run_backend(spec)?;
+        self.persist(&key, &encode_backend(&run));
+        self.backends.lock().expect("store lock").insert(key.digest, run.clone());
+        Ok((run, false))
+    }
 }
 
 /// What `RunStore::disk_stats` found on disk.
@@ -194,7 +258,11 @@ pub struct StoreStats {
     pub run_records: u64,
     /// Build records at the current schema version.
     pub build_records: u64,
-    /// Records written under an older (or newer) schema version.
+    /// Backend (`.acc`) records at the current schema version, counted
+    /// per backend family and indexed by `BackendKind::code()`.
+    pub backend_records: [u64; 3],
+    /// Records written under an older (or newer) schema version, or
+    /// current-version backend records with an unknown family code.
     pub stale_records: u64,
     /// Files in the store directory that are not Tango records (foreign
     /// files, leftover temp files).
@@ -206,7 +274,12 @@ pub struct StoreStats {
 impl StoreStats {
     /// Records at the current schema version.
     pub fn live_records(&self) -> u64 {
-        self.run_records + self.build_records
+        self.run_records + self.build_records + self.backend_records.iter().sum::<u64>()
+    }
+
+    /// Backend records for one family.
+    pub fn backend_records_for(&self, kind: BackendKind) -> u64 {
+        self.backend_records[usize::from(kind.code())]
     }
 }
 
@@ -246,6 +319,14 @@ impl RunStore {
             match probe_record(&bytes) {
                 Some((RecordKind::Run, STORE_SCHEMA_VERSION)) => stats.run_records += 1,
                 Some((RecordKind::Build, STORE_SCHEMA_VERSION)) => stats.build_records += 1,
+                Some((RecordKind::Backend, STORE_SCHEMA_VERSION)) => {
+                    match probe_backend_code(&bytes).and_then(BackendKind::from_code) {
+                        Some(kind) => stats.backend_records[usize::from(kind.code())] += 1,
+                        // A current-version record claiming an unknown
+                        // family can never decode: treat it as stale.
+                        None => stats.stale_records += 1,
+                    }
+                }
                 Some(_) => stats.stale_records += 1,
                 None => stats.other_files += 1,
             }
@@ -401,6 +482,60 @@ mod tests {
         assert_eq!(after.stale_records, 0);
         assert_eq!(after.live_records(), 2);
         assert_eq!(after.other_files, 1);
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn backend_runs_are_cached_and_replayable() {
+        use tango_backend::{BackendJob, SystolicConfig};
+        let root = scratch("backend");
+        let _ = fs::remove_dir_all(&root);
+        let store = RunStore::at(&root);
+        let bspec = BackendRunSpec {
+            spec: BackendSpec::Systolic(SystolicConfig::edge()),
+            job: BackendJob {
+                kind: NetworkKind::Gru,
+                preset: Preset::Tiny,
+                seed: 21,
+                batch: 1,
+                precision: Precision::Int8,
+            },
+        };
+        let (cold, was_hit) = store.fetch_backend(&bspec).unwrap();
+        assert!(!was_hit);
+        let (warm, was_hit) = store.fetch_backend(&bspec).unwrap();
+        assert!(was_hit, "second fetch must hit memory");
+        assert_eq!(warm, cold);
+        // A fresh store over the same directory replays from the `.acc`
+        // record without re-running the model.
+        let reopened = RunStore::at(&root);
+        let (from_disk, was_hit) = reopened.fetch_backend(&bspec).unwrap();
+        assert!(was_hit, "fresh store must hit the persisted record");
+        assert_eq!(from_disk, cold);
+        assert_eq!((reopened.hits(), reopened.misses()), (1, 0));
+
+        // GPU-backend fetches ride the `.run` cache: a warm rerun in a
+        // fresh store is a hit even though no `.acc` file exists.
+        let gspec = BackendRunSpec {
+            spec: BackendSpec::Gpu(tango_sim::GpuConfig::gp102()),
+            job: BackendJob {
+                kind: NetworkKind::Gru,
+                preset: Preset::Tiny,
+                seed: 21,
+                batch: 1,
+                precision: Precision::Fp32,
+            },
+        };
+        let (gcold, was_hit) = store.fetch_backend(&gspec).unwrap();
+        assert!(!was_hit);
+        let (gwarm, was_hit) = RunStore::at(&root).fetch_backend(&gspec).unwrap();
+        assert!(was_hit, "GPU backend must replay from the .run record");
+        assert_eq!(gwarm, gcold);
+
+        let stats = store.disk_stats().unwrap();
+        assert_eq!(stats.backend_records_for(BackendKind::Systolic), 1);
+        assert_eq!(stats.backend_records_for(BackendKind::Gpu), 0, "GPU backend persists no .acc");
+        assert_eq!(stats.run_records, 1);
         let _ = fs::remove_dir_all(&root);
     }
 

@@ -15,16 +15,20 @@ use std::collections::HashSet;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use tango::{BuildSpec, Result, RunSpec, TangoError};
+use tango_backend::BackendRunSpec;
 use tango_nets::{NetworkKind, Preset};
 use tango_sim::{GpuConfig, SchedulerPolicy, SimOptions};
 
-/// One unit of work: a full simulated run or a build-only measurement.
+/// One unit of work: a full simulated run, a build-only measurement, or
+/// an accelerator-backend execution.
 #[derive(Debug, Clone)]
 pub enum Job {
     /// Simulate a full inference.
     Run(RunSpec),
     /// Build a network and capture static stats.
     Build(BuildSpec),
+    /// Run a network on an accelerator backend.
+    Backend(BackendRunSpec),
 }
 
 impl Job {
@@ -33,6 +37,7 @@ impl Job {
         match self {
             Job::Run(spec) => RunKey::for_run(spec),
             Job::Build(spec) => RunKey::for_build(spec),
+            Job::Backend(spec) => RunKey::for_backend(spec),
         }
     }
 
@@ -41,6 +46,12 @@ impl Job {
         match self {
             Job::Run(spec) => format!("run {}@{}", spec.kind.name(), spec.preset.name()),
             Job::Build(spec) => format!("build {}@{}", spec.kind.name(), spec.preset.name()),
+            Job::Backend(spec) => format!(
+                "backend {} {}@{}",
+                spec.spec.kind().name(),
+                spec.job.kind.name(),
+                spec.job.preset.name()
+            ),
         }
     }
 }
@@ -84,6 +95,15 @@ impl Suite {
         let key = RunKey::for_build(&spec);
         self.seen.insert(key.digest) && {
             self.jobs.push(Job::Build(spec));
+            true
+        }
+    }
+
+    /// Queues a backend job; returns `false` when already queued.
+    pub fn add_backend(&mut self, spec: BackendRunSpec) -> bool {
+        let key = RunKey::for_backend(&spec);
+        self.seen.insert(key.digest) && {
+            self.jobs.push(Job::Backend(spec));
             true
         }
     }
@@ -143,6 +163,9 @@ impl Suite {
                         let outcome = match job {
                             Job::Run(spec) => store.fetch_run(spec).map(|_| ()),
                             Job::Build(spec) => store.fetch_build(spec).map(|_| ()),
+                            Job::Backend(spec) => {
+                                store.fetch_backend(spec).map(|_| ()).map_err(TangoError::from)
+                            }
                         };
                         if let Err(e) = outcome {
                             let mut slot = first_error.lock().expect("error lock");

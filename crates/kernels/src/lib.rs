@@ -71,7 +71,7 @@ pub use fc::FullyConnected;
 pub use layer::LayerKernel;
 pub use norm::{BatchNorm, EltwiseAdd, Relu, ScaleLayer, Lrn};
 pub use pool::{AvgPool2d, GlobalAvgPool, MaxPool2d};
-pub use quant::{quantize_weights, upload_quantized, QuantizedConv2d};
+pub use quant::{quantize_weights, quantize_weights_i8, upload_quantized, QuantizedConv2d};
 pub use rnn::{GruDeviceWeights, GruStep, LstmDeviceWeights, LstmStep};
 pub use softmax::Softmax;
 

@@ -31,6 +31,24 @@ pub fn quantize_weights(weights: &Tensor) -> (Vec<i16>, f32) {
     (q, scale)
 }
 
+/// Quantizes a float filter into `(i8 values, scale)` such that
+/// `w ≈ q * scale` with `q` in `[-127, 127]` — the aggressive variant
+/// matrix accelerators (systolic int8 MACs) consume.
+pub fn quantize_weights_i8(weights: &Tensor) -> (Vec<i8>, f32) {
+    let max = weights
+        .as_slice()
+        .iter()
+        .fold(0.0f32, |m, v| m.max(v.abs()))
+        .max(f32::MIN_POSITIVE);
+    let scale = max / 127.0;
+    let q = weights
+        .as_slice()
+        .iter()
+        .map(|v| (v / scale).round().clamp(-127.0, 127.0) as i8)
+        .collect();
+    (q, scale)
+}
+
 /// Uploads quantized weights to the device (2 bytes per value).
 pub fn upload_quantized(gpu: &mut Gpu, q: &[i16]) -> u32 {
     let addr = gpu.alloc_bytes((q.len() * 2) as u32);
@@ -247,6 +265,18 @@ mod tests {
         let (q, scale) = quantize_weights(&w);
         for (orig, qv) in w.as_slice().iter().zip(&q) {
             assert!((orig - *qv as f32 * scale).abs() <= scale * 0.5 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn int8_quantization_round_trips_within_its_coarser_scale() {
+        let mut rng = SplitMix64::new(1003);
+        let w = Tensor::uniform(Shape::new(&[2, 2, 3, 3]), -0.7, 0.7, &mut rng);
+        let (q8, scale8) = quantize_weights_i8(&w);
+        let (_, scale16) = quantize_weights(&w);
+        assert!(scale8 > scale16, "int8 buckets must be coarser than int16");
+        for (orig, qv) in w.as_slice().iter().zip(&q8) {
+            assert!((orig - f32::from(*qv) * scale8).abs() <= scale8 * 0.5 + 1e-9);
         }
     }
 

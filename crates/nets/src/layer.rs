@@ -263,6 +263,53 @@ impl Layer {
         }
     }
 
+    /// The layer expressed as a dense GEMM, when it has one: the shape a
+    /// matrix accelerator (e.g. a weight-stationary systolic array) tiles
+    /// onto its MAC grid. Convolutions lower via implicit im2col (one GEMM
+    /// row per output pixel), recurrent steps via their fused gate matrix.
+    /// Layers with no MAC-dominated kernel (pooling, normalization,
+    /// elementwise) return `None` and fall to a vector unit.
+    ///
+    /// Invariant: `m * k * n == self.work().macs` for every `Some` shape.
+    pub fn gemm(&self) -> Option<GemmShape> {
+        match &self.op {
+            Op::Conv { kernel, output, .. } => Some(GemmShape {
+                m: output.len() as u64 / kernel.c_out() as u64,
+                k: kernel.weight_len() as u64 / kernel.c_out() as u64,
+                n: kernel.c_out() as u64,
+            }),
+            Op::DwConv { kernel, output, .. } => Some(GemmShape {
+                m: output.len() as u64,
+                k: kernel.weight_len() as u64 / output.channels() as u64,
+                n: 1,
+            }),
+            Op::Fc { kernel, output, .. } => Some(GemmShape {
+                m: 1,
+                k: kernel.weight_len() as u64 / output.len() as u64,
+                n: output.len() as u64,
+            }),
+            // GRU/LSTM: the 3/4 gate mat-vecs fuse into one GEMM over the
+            // concatenated [x; h; 1] vector (the +1 row carries the bias).
+            Op::Gru { kernel, .. } => {
+                let (h, i) = (kernel.hidden() as u64, kernel.input_dim() as u64);
+                Some(GemmShape {
+                    m: 1,
+                    k: i + h + 1,
+                    n: 3 * h,
+                })
+            }
+            Op::Lstm { kernel, .. } => {
+                let (h, i) = (kernel.hidden() as u64, kernel.input_dim() as u64);
+                Some(GemmShape {
+                    m: 1,
+                    k: i + h + 1,
+                    n: 4 * h,
+                })
+            }
+            _ => None,
+        }
+    }
+
     /// Named device weight buffers this layer owns: `(name, address,
     /// float count)` triples. Used by the weight-file I/O (`crate::io`)
     /// to dump and restore per-layer weights, the workflow the paper
@@ -391,6 +438,25 @@ impl Layer {
     }
 }
 
+/// A layer lowered to a dense `M x K` by `K x N` matrix multiply (see
+/// [`Layer::gemm`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GemmShape {
+    /// Activation rows (output pixels for a convolution, 1 for FC/RNN).
+    pub m: u64,
+    /// Reduction depth (receptive field x input channels).
+    pub k: u64,
+    /// Output columns (output channels / gate width).
+    pub n: u64,
+}
+
+impl GemmShape {
+    /// Multiply-accumulates the GEMM performs.
+    pub fn macs(&self) -> u64 {
+        self.m * self.k * self.n
+    }
+}
+
 /// Analytic per-layer workload for platform models.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct LayerWork {
@@ -416,6 +482,24 @@ pub struct LayerRecord {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn gemm_shapes_account_for_every_mac() {
+        use crate::{build_network, NetworkKind, Preset};
+        use tango_sim::{Gpu, GpuConfig};
+        let mut gpu = Gpu::new(GpuConfig::gp102());
+        for kind in [NetworkKind::CifarNet, NetworkKind::Gru, NetworkKind::MobileNet] {
+            let net = build_network(&mut gpu, kind, Preset::Tiny, 5).unwrap();
+            let mut lowered = 0;
+            for layer in net.layers() {
+                if let Some(g) = layer.gemm() {
+                    assert_eq!(g.macs(), layer.work().macs, "{}: GEMM shape disagrees with work()", layer.name());
+                    lowered += 1;
+                }
+            }
+            assert!(lowered > 0, "{kind:?} lowered no layer to a GEMM");
+        }
+    }
 
     #[test]
     fn labels_match_paper_figures() {

@@ -44,7 +44,7 @@ mod vggnet;
 mod zoo;
 
 pub use error::NetError;
-pub use layer::{Layer, LayerRecord, LayerType, LayerWork};
+pub use layer::{GemmShape, Layer, LayerRecord, LayerType, LayerWork};
 pub use network::{InferenceReport, InputSpec, Network, NetworkInput, NetworkKind, Preset};
 pub use rnn::synthetic_price_window;
 pub use zoo::{build_network, model_info, synthetic_input, ModelInfo};

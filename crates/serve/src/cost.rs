@@ -1,7 +1,8 @@
 use crate::error::Result;
 use std::collections::BTreeMap;
 use std::sync::Arc;
-use tango::RunSpec;
+use tango::{RunSpec, TangoError};
+use tango_backend::{BackendJob, BackendRunSpec, BackendSpec, Precision};
 use tango_harness::{RunStore, Suite};
 use tango_nets::{NetworkKind, Preset};
 use tango_sim::{GpuConfig, SimOptions};
@@ -50,10 +51,20 @@ impl CostModel for TableCostModel {
     }
 }
 
-/// The real thing: batch cost measured by simulating the network with
-/// [`SimOptions::batch`] set, fetched through a [`RunStore`] so repeated
+/// The real thing: batch cost measured by running the network on a
+/// modelled accelerator, fetched through a [`RunStore`] so repeated
 /// identical batches — the common case under a steady workload — are
 /// store hits rather than re-simulations.
+///
+/// By default the device is the SIMT GPU simulator (with
+/// [`SimOptions::batch`] set per query). [`with_backend`] retargets the
+/// model onto any [`BackendSpec`] — systolic array, FPGA — and
+/// [`with_precision`] additionally narrows the weights on backends that
+/// support it, so serve experiments can compare accelerators under the
+/// same arrival trace.
+///
+/// [`with_backend`]: SimCostModel::with_backend
+/// [`with_precision`]: SimCostModel::with_precision
 #[derive(Debug, Clone)]
 pub struct SimCostModel {
     store: Arc<RunStore>,
@@ -61,6 +72,8 @@ pub struct SimCostModel {
     preset: Preset,
     seed: u64,
     options: SimOptions,
+    backend: Option<BackendSpec>,
+    precision: Precision,
 }
 
 impl SimCostModel {
@@ -73,7 +86,25 @@ impl SimCostModel {
             preset,
             seed,
             options,
+            backend: None,
+            precision: Precision::Fp32,
         }
+    }
+
+    /// Retargets the model onto `spec` instead of the default GPU
+    /// simulator path. The base `SimOptions` no longer apply (backends
+    /// have their own hardware descriptions).
+    pub fn with_backend(mut self, spec: BackendSpec) -> Self {
+        self.backend = Some(spec);
+        self
+    }
+
+    /// Sets the weight precision for backend queries (only meaningful
+    /// with [`with_backend`](Self::with_backend); the plain GPU path is
+    /// fp32-only and ignores it).
+    pub fn with_precision(mut self, precision: Precision) -> Self {
+        self.precision = precision;
+        self
     }
 
     fn spec(&self, kind: NetworkKind, batch: u32) -> RunSpec {
@@ -83,6 +114,19 @@ impl SimCostModel {
             seed: self.seed,
             kind,
             options: self.options.clone().with_batch(batch.max(1)),
+        }
+    }
+
+    fn backend_spec(&self, backend: &BackendSpec, kind: NetworkKind, batch: u32) -> BackendRunSpec {
+        BackendRunSpec {
+            spec: backend.clone(),
+            job: BackendJob {
+                kind,
+                preset: self.preset,
+                seed: self.seed,
+                batch: batch.max(1),
+                precision: self.precision,
+            },
         }
     }
 
@@ -99,7 +143,10 @@ impl SimCostModel {
         let mut suite = Suite::new();
         for &kind in kinds {
             for batch in 1..=max_batch.max(1) {
-                suite.add_run(self.spec(kind, batch));
+                match &self.backend {
+                    None => suite.add_run(self.spec(kind, batch)),
+                    Some(backend) => suite.add_backend(self.backend_spec(backend, kind, batch)),
+                };
             }
         }
         suite.execute(&self.store, workers)?;
@@ -115,8 +162,19 @@ impl SimCostModel {
 
 impl CostModel for SimCostModel {
     fn batch_cycles(&self, kind: NetworkKind, batch: u32) -> Result<u64> {
-        let (run, _hit) = self.store.fetch_run(&self.spec(kind, batch))?;
-        Ok(run.report.total_cycles().max(1))
+        match &self.backend {
+            None => {
+                let (run, _hit) = self.store.fetch_run(&self.spec(kind, batch))?;
+                Ok(run.report.total_cycles().max(1))
+            }
+            Some(backend) => {
+                let (run, _hit) = self
+                    .store
+                    .fetch_backend(&self.backend_spec(backend, kind, batch))
+                    .map_err(TangoError::from)?;
+                Ok(run.total_cycles().max(1))
+            }
+        }
     }
 }
 
@@ -150,6 +208,32 @@ mod tests {
         let c2 = m.batch_cycles(NetworkKind::Gru, 2).unwrap();
         assert_eq!(c1, c2);
         assert_eq!(store.misses(), misses, "second query must be a store hit");
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn backend_model_caches_and_batches_amortize() {
+        use tango_backend::SystolicConfig;
+        let root = std::env::temp_dir().join(format!("tango-serve-cost-acc-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        let store = Arc::new(RunStore::at(&root));
+        let m = SimCostModel::new(
+            store.clone(),
+            GpuConfig::gp102(),
+            Preset::Tiny,
+            7,
+            SimOptions::new(),
+        )
+        .with_backend(BackendSpec::Systolic(SystolicConfig::edge()))
+        .with_precision(Precision::Int8);
+
+        m.precompute(&[NetworkKind::Gru], 4, 2).unwrap();
+        let misses = store.misses();
+        let c1 = m.batch_cycles(NetworkKind::Gru, 1).unwrap();
+        let c4 = m.batch_cycles(NetworkKind::Gru, 4).unwrap();
+        assert_eq!(store.misses(), misses, "precomputed batches must all be hits");
+        assert!(c4 < 4 * c1, "weight-stationary batching must amortize: {c4} vs 4x{c1}");
+        assert_eq!(c1, m.batch_cycles(NetworkKind::Gru, 1).unwrap());
         let _ = std::fs::remove_dir_all(&root);
     }
 }
