@@ -39,6 +39,22 @@ if [ ! -s "$SCRATCH/profile.txt" ]; then
     exit 1
 fi
 
+echo "== repro_all: TANGO_SIM_MEMO=0 must not change a single output byte =="
+# The launch-memo escape hatch: a cold pass with memoization disabled
+# must produce byte-identical figures and tables — replay is exact or
+# it is a bug.
+mkdir -p "$SCRATCH/memo_off"
+TANGO_PRESET=tiny TANGO_SIM_MEMO=0 TANGO_RESULTS_DIR="$SCRATCH/memo_off" \
+    cargo run --release -q -p tango-bench --bin repro_all >/dev/null 2>&1
+for f in "$SCRATCH"/fig*.txt "$SCRATCH"/table*.txt; do
+    b="$(basename "$f")"
+    if ! cmp -s "$f" "$SCRATCH/memo_off/$b"; then
+        echo "FAIL: $b differs with TANGO_SIM_MEMO=0" >&2
+        diff "$f" "$SCRATCH/memo_off/$b" >&2 || true
+        exit 1
+    fi
+done
+
 echo "== harness trace: tracing must not change a single output byte =="
 TRACE_BIN="cargo run --release -q -p tango-harness --bin harness --"
 TANGO_PRESET=tiny $TRACE_BIN trace cifarnet > "$SCRATCH/untraced.out" 2>/dev/null
@@ -147,5 +163,51 @@ for f in BENCH_sim.json BENCH_serve.json; do
             { echo "FAIL: $f is not valid JSON" >&2; exit 1; }
     fi
 done
+
+echo "== bench_perf: bad TANGO_BENCH_SAMPLES must exit 2 =="
+set +e
+TANGO_PRESET=tiny TANGO_RESULTS_DIR="$SCRATCH" TANGO_BENCH_SAMPLES=garbage \
+    cargo run --release -q -p tango-bench --bin bench_perf >/dev/null 2>"$SCRATCH/samples.err"
+samples_status=$?
+set -e
+if [ "$samples_status" -ne 2 ]; then
+    echo "FAIL: TANGO_BENCH_SAMPLES=garbage exited $samples_status, want 2" >&2
+    cat "$SCRATCH/samples.err" >&2
+    exit 1
+fi
+grep -q 'TANGO_BENCH_SAMPLES' "$SCRATCH/samples.err" || {
+    echo "FAIL: TANGO_BENCH_SAMPLES error does not name the variable" >&2
+    exit 1
+}
+
+echo "== committed perf artifacts present =="
+for f in results/profile.txt results/BENCH_sim.json results/BENCH_serve.json results/bench_history.jsonl; do
+    if [ ! -s "$f" ]; then
+        echo "FAIL: $f missing or empty (regenerate with repro_all / bench_perf)" >&2
+        exit 1
+    fi
+done
+
+echo "== bench_perf: perf-regression check vs committed baselines (bench preset) =="
+# Warm-throughput regressions >20% against the committed BENCH_*.json
+# warn but do not fail: wall-clock numbers depend on the host, and the
+# committed baselines were measured on one particular machine.
+mkdir -p "$SCRATCH/perf"
+TANGO_RESULTS_DIR="$SCRATCH/perf" \
+    cargo run --release -q -p tango-bench --bin bench_perf >/dev/null
+if command -v python3 >/dev/null 2>&1; then
+    for f in BENCH_sim.json BENCH_serve.json; do
+        python3 - "$SCRATCH/perf/$f" "results/$f" <<'PY'
+import json, sys
+new, old = json.load(open(sys.argv[1])), json.load(open(sys.argv[2]))
+for k, ov in old.items():
+    if "cold" in k or not (k.endswith("_sim_cycles_per_sec") or k.endswith("_requests_per_sec")):
+        continue
+    nv = new.get(k)
+    if isinstance(ov, (int, float)) and isinstance(nv, (int, float)) and ov > 0 and nv < 0.8 * ov:
+        print(f"WARN: perf regression {k}: {ov:.0f} -> {nv:.0f} ({nv / ov:.0%} of baseline)")
+PY
+    done
+fi
 
 echo "== ci.sh: all gates passed =="

@@ -1,44 +1,64 @@
 //! Perf baseline: measures how fast the toolchain itself runs and
-//! writes two machine-readable artifacts for CI trend tracking.
+//! writes machine-readable artifacts for CI trend tracking.
 //!
 //! * `results/BENCH_sim.json` — raw simulator throughput
 //!   (simulated-cycles per wall-clock second) for one CNN (CifarNet)
-//!   and one RNN (GRU), measured over direct `simulate_run` calls with
-//!   a warmup pass excluded from timing.
+//!   and one RNN (GRU), measured over direct `simulate_run` calls. The
+//!   first pass is reported separately as the *cold* leg (memo table
+//!   empty — every launch fully simulated); the timed passes that
+//!   follow replay from the launch-memo table when `TANGO_SIM_MEMO` is
+//!   enabled, so the cold/warm ratio is the memoization speedup.
 //! * `results/BENCH_serve.json` — serve-engine throughput: requests per
 //!   wall-clock second and per simulated megacycle for an open-loop
 //!   trace at offered load 1.0, with batch costs precomputed through
 //!   the store so the timed region is the engine itself.
+//! * `results/bench_history.jsonl` — one appended line per run with the
+//!   headline rates, so the perf trajectory of the codebase is
+//!   recorded over time instead of overwritten.
 //!
 //! Wall-clock numbers vary run to run (this is the one binary in the
 //! suite whose output is *meant* to measure the host); the simulated
 //! quantities embedded alongside them (total cycles, completed
 //! requests) stay deterministic, so a regression in either axis is
 //! attributable.
+//!
+//! `TANGO_BENCH_SAMPLES` overrides the timed pass count (default 2);
+//! like `TANGO_JOBS`, a set-but-unusable value exits with status 2.
 
 use std::process::ExitCode;
-use std::time::Instant;
+use std::time::{Instant, SystemTime, UNIX_EPOCH};
 use tango::{simulate_run, RunSpec};
-use tango_bench::{emit_file, preset_from_env, store_handle, JsonObject, SEED};
+use tango_bench::{append_line, emit_file, preset_from_env, samples_from_env, store_handle, JsonObject, SEED};
 use tango_harness::workers_from_env;
 use tango_nets::NetworkKind;
 use tango_serve::{run_trace, ArrivalTrace, BatchPolicy, CostModel, ServeConfig, SimCostModel};
-use tango_sim::{GpuConfig, SimOptions};
+use tango_sim::{memo_table_stats, GpuConfig, SimOptions};
 
-/// Timed simulator passes per network (after one untimed warmup).
-const TIMED_RUNS: u32 = 2;
+/// Default timed simulator passes per network (after the cold pass).
+const DEFAULT_TIMED_RUNS: u32 = 2;
 const DEVICES: usize = 2;
 const DISTINCT_INPUTS: u64 = 4;
 const REQUESTS: usize = 200;
 const MAX_BATCH: u32 = 8;
 
-fn sim_leg(kinds: &[NetworkKind]) -> tango::Result<JsonObject> {
+/// What the launch-memo layer will do for this process, per the same
+/// env rule the simulator applies (`TANGO_SIM_MEMO=0` disables).
+fn memo_mode() -> &'static str {
+    if std::env::var("TANGO_SIM_MEMO").is_ok_and(|v| v == "0") {
+        "off"
+    } else {
+        "on"
+    }
+}
+
+fn sim_leg(kinds: &[NetworkKind], timed_runs: u32) -> tango::Result<JsonObject> {
     let preset = preset_from_env();
     let mut obj = JsonObject::new()
         .str("bench", "sim")
         .str("preset", &preset.to_string())
         .str("seed", &format!("{SEED:#x}"))
-        .int("timed_runs", TIMED_RUNS as u64);
+        .str("memo", memo_mode())
+        .int("timed_runs", timed_runs as u64);
     for &kind in kinds {
         let spec = RunSpec {
             config: GpuConfig::gp102(),
@@ -47,10 +67,14 @@ fn sim_leg(kinds: &[NetworkKind]) -> tango::Result<JsonObject> {
             kind,
             options: SimOptions::new(),
         };
-        let warm = simulate_run(&spec)?;
-        let cycles = warm.report.total_cycles();
+        // Cold pass: nothing recorded yet for this network, so every
+        // launch is fully simulated (and recorded when memo is on).
+        let cold_start = Instant::now();
+        let cold = simulate_run(&spec)?;
+        let cold_wall_s = cold_start.elapsed().as_secs_f64();
+        let cycles = cold.report.total_cycles();
         let start = Instant::now();
-        for _ in 0..TIMED_RUNS {
+        for _ in 0..timed_runs {
             let run = simulate_run(&spec)?;
             assert_eq!(run.report.total_cycles(), cycles, "simulator must be deterministic");
         }
@@ -58,13 +82,19 @@ fn sim_leg(kinds: &[NetworkKind]) -> tango::Result<JsonObject> {
         let key = kind.name().to_ascii_lowercase();
         obj = obj
             .int(&format!("{key}_total_cycles"), cycles)
+            .num(&format!("{key}_cold_wall_s"), cold_wall_s)
+            .num(&format!("{key}_cold_sim_cycles_per_sec"), cycles as f64 / cold_wall_s)
             .num(&format!("{key}_wall_s"), wall_s)
             .num(
                 &format!("{key}_sim_cycles_per_sec"),
-                (cycles * TIMED_RUNS as u64) as f64 / wall_s,
+                (cycles * timed_runs as u64) as f64 / wall_s,
             );
     }
-    Ok(obj)
+    let (memo_keys, memo_entries, memo_bytes) = memo_table_stats();
+    Ok(obj
+        .int("memo_table_keys", memo_keys as u64)
+        .int("memo_table_entries", memo_entries as u64)
+        .int("memo_table_bytes", memo_bytes as u64))
 }
 
 fn serve_leg(kinds: &[NetworkKind], workers: usize) -> tango_serve::Result<JsonObject> {
@@ -76,6 +106,7 @@ fn serve_leg(kinds: &[NetworkKind], workers: usize) -> tango_serve::Result<JsonO
         .str("bench", "serve")
         .str("preset", &preset.to_string())
         .str("seed", &format!("{SEED:#x}"))
+        .str("memo", memo_mode())
         .int("devices", DEVICES as u64)
         .int("requests", REQUESTS as u64)
         .int("max_batch", MAX_BATCH as u64);
@@ -105,6 +136,34 @@ fn serve_leg(kinds: &[NetworkKind], workers: usize) -> tango_serve::Result<JsonO
     Ok(obj)
 }
 
+/// One `bench_history.jsonl` record: headline rates copied from the
+/// two per-leg objects plus enough context to interpret them later.
+fn history_line(sim: &JsonObject, serve: &JsonObject, timed_runs: u32) -> String {
+    let ts = SystemTime::now().duration_since(UNIX_EPOCH).map_or(0, |d| d.as_secs());
+    let mut hist = JsonObject::new()
+        .int("ts_unix", ts)
+        .str("preset", &preset_from_env().to_string())
+        .str("seed", &format!("{SEED:#x}"))
+        .str("memo", memo_mode())
+        .int("timed_runs", timed_runs as u64);
+    for key in [
+        "cifarnet_cold_sim_cycles_per_sec",
+        "cifarnet_sim_cycles_per_sec",
+        "gru_cold_sim_cycles_per_sec",
+        "gru_sim_cycles_per_sec",
+    ] {
+        if let Some(v) = sim.get(key) {
+            hist = hist.raw(key, v);
+        }
+    }
+    for key in ["cifarnet_requests_per_sec", "gru_requests_per_sec"] {
+        if let Some(v) = serve.get(key) {
+            hist = hist.raw(key, v);
+        }
+    }
+    hist.render()
+}
+
 fn run() -> ExitCode {
     let workers = match workers_from_env("TANGO_JOBS") {
         Ok(n) => n,
@@ -113,10 +172,17 @@ fn run() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    let timed_runs = match samples_from_env(DEFAULT_TIMED_RUNS) {
+        Ok(n) => n,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
     let kinds = [NetworkKind::CifarNet, NetworkKind::Gru];
 
-    eprintln!("[perf] sim leg: {TIMED_RUNS} timed simulate_run passes per network");
-    let sim = match sim_leg(&kinds) {
+    eprintln!("[perf] sim leg: 1 cold + {timed_runs} timed simulate_run passes per network (memo {})", memo_mode());
+    let sim = match sim_leg(&kinds, timed_runs) {
         Ok(obj) => obj,
         Err(e) => {
             eprintln!("error: {e}");
@@ -134,6 +200,8 @@ fn run() -> ExitCode {
         }
     };
     emit_file("BENCH_serve.json", &serve.render());
+
+    append_line("bench_history.jsonl", &history_line(&sim, &serve, timed_runs));
     ExitCode::SUCCESS
 }
 

@@ -33,6 +33,28 @@ pub fn preset_from_env() -> Preset {
     }
 }
 
+/// Timed sample count from `TANGO_BENCH_SAMPLES`: unset means
+/// `default`; a set value must parse as a positive integer. Same
+/// strictness as `TANGO_JOBS` ([`tango_harness::workers_from_env`]): a
+/// value that is present but unusable (`0`, `-1`, `lots`, an empty
+/// string) is an error naming the variable, not a silent default.
+///
+/// # Errors
+///
+/// Returns a human-readable message when the variable is set to `0`,
+/// garbage, or a non-UTF-8 value.
+pub fn samples_from_env(default: u32) -> std::result::Result<u32, String> {
+    match std::env::var("TANGO_BENCH_SAMPLES") {
+        Ok(v) => match v.trim().parse::<u32>() {
+            Ok(0) => Err("TANGO_BENCH_SAMPLES must be a positive sample count, got 0 (unset it for the default)".into()),
+            Ok(n) => Ok(n),
+            Err(_) => Err(format!("TANGO_BENCH_SAMPLES must be a positive sample count, got {v:?}")),
+        },
+        Err(std::env::VarError::NotPresent) => Ok(default),
+        Err(std::env::VarError::NotUnicode(_)) => Err("TANGO_BENCH_SAMPLES is set to a non-UTF-8 value".into()),
+    }
+}
+
 /// The process-wide persistent run store at the default location
 /// (`results/store/`, or under `TANGO_RESULTS_DIR`).
 pub fn store_handle() -> Arc<RunStore> {
@@ -68,6 +90,19 @@ pub fn emit_file(name: &str, content: &str) {
     let dir = results_root();
     if fs::create_dir_all(&dir).is_ok() {
         let _ = fs::write(dir.join(name), content);
+    }
+}
+
+/// Appends one line to `results/<name>`, creating the file if needed —
+/// for append-only trajectory logs (`bench_history.jsonl`) that
+/// accumulate one record per run instead of being overwritten.
+pub fn append_line(name: &str, line: &str) {
+    use std::io::Write;
+    let dir = results_root();
+    if fs::create_dir_all(&dir).is_ok() {
+        if let Ok(mut f) = fs::OpenOptions::new().create(true).append(true).open(dir.join(name)) {
+            let _ = writeln!(f, "{line}");
+        }
     }
 }
 
@@ -118,6 +153,21 @@ impl JsonObject {
     pub fn num(mut self, key: &str, value: f64) -> Self {
         let safe = if value.is_finite() { value } else { 0.0 };
         self.push(key, format!("{safe:.6}"));
+        self
+    }
+
+    /// Returns the rendered value of `key`, if present — for composing
+    /// derived records (the bench history line copies fields out of the
+    /// per-leg objects).
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.fields.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
+    }
+
+    /// Adds an already-rendered field verbatim. Only pass values
+    /// obtained from [`get`](Self::get) on another builder; arbitrary
+    /// strings would break the valid-JSON guarantee.
+    pub fn raw(mut self, key: &str, rendered: &str) -> Self {
+        self.push(key, rendered.to_string());
         self
     }
 

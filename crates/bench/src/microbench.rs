@@ -22,12 +22,19 @@ pub struct Runner {
 
 impl Runner {
     /// A runner configured from the process arguments and environment.
+    ///
+    /// Exits the process with status 2 when `TANGO_BENCH_SAMPLES` is
+    /// set but unusable — same convention as `TANGO_JOBS`: a typo'd
+    /// sample count should stop the run, not silently fall back.
     pub fn from_args() -> Self {
         let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
-        let samples = std::env::var("TANGO_BENCH_SAMPLES")
-            .ok()
-            .and_then(|v| v.trim().parse::<usize>().ok())
-            .map_or(5, |n| n.max(1));
+        let samples = match crate::samples_from_env(5) {
+            Ok(n) => n as usize,
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(2);
+            }
+        };
         Runner {
             filter,
             samples,

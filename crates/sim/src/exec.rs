@@ -8,6 +8,7 @@
 //! top by `sm.rs`.
 
 use crate::mem::GlobalMemory;
+use crate::memo::MemoRecorder;
 use tango_isa::{AddrSpace, CmpOp, DType, Dim3, Instruction, KernelProgram, Opcode, Operand, Special};
 
 /// Reconvergence value meaning "no reconvergence point" (the base stack
@@ -137,6 +138,12 @@ pub(crate) struct ExecCtx<'a> {
     pub grid: Dim3,
     pub cta: (u32, u32, u32),
     pub line_bytes: u32,
+    /// Reused line-coalescing buffer (avoids a per-memory-instruction
+    /// allocation); the interpreter takes it, fills it, and hands it back
+    /// through [`ExecOutcome::global_lines`].
+    pub lines_scratch: &'a mut Vec<u32>,
+    /// Launch memo recorder, when this launch is being recorded.
+    pub rec: Option<&'a mut MemoRecorder>,
 }
 
 /// Micro-architecturally relevant facts about one executed warp-instruction.
@@ -168,29 +175,54 @@ fn lane_thread_coords(warp_in_cta: u32, lane: u32, block: Dim3) -> (u32, u32, u3
     (tx, ty, tz)
 }
 
-fn read_special(s: Special, warp: &Warp, lane: u32, ctx: &ExecCtx<'_>) -> u32 {
-    let (tx, ty, tz) = lane_thread_coords(warp.warp_in_cta, lane, ctx.block);
-    match s {
-        Special::TidX => tx,
-        Special::TidY => ty,
-        Special::TidZ => tz,
-        Special::CtaIdX => ctx.cta.0,
-        Special::CtaIdY => ctx.cta.1,
-        Special::CtaIdZ => ctx.cta.2,
-        Special::NTidX => ctx.block.x,
-        Special::NTidY => ctx.block.y,
-        Special::NTidZ => ctx.block.z,
-        Special::NCtaIdX => ctx.grid.x,
-        Special::NCtaIdY => ctx.grid.y,
-        Special::NCtaIdZ => ctx.grid.z,
+/// One operand pre-resolved per warp-instruction: everything warp-uniform
+/// (immediates, CTA coordinates, grid/block dimensions) folds to a constant
+/// up front, so the 32-lane loop only distinguishes register reads from
+/// constants instead of re-matching the full operand enum per lane.
+#[derive(Clone, Copy)]
+enum LaneSrc {
+    /// Missing operand (reads as zero, matching the old `Option` chain).
+    Zero,
+    /// Register file read; payload is `reg * 32`.
+    Reg(usize),
+    /// Warp-uniform constant.
+    Imm(u32),
+    TidX,
+    TidY,
+    TidZ,
+}
+
+fn resolve(op: Option<&Operand>, ctx: &ExecCtx<'_>) -> LaneSrc {
+    match op {
+        None => LaneSrc::Zero,
+        Some(Operand::Reg(r)) => LaneSrc::Reg(r.0 as usize * 32),
+        Some(Operand::Imm(bits)) => LaneSrc::Imm(*bits),
+        Some(Operand::Special(s)) => match s {
+            Special::TidX => LaneSrc::TidX,
+            Special::TidY => LaneSrc::TidY,
+            Special::TidZ => LaneSrc::TidZ,
+            Special::CtaIdX => LaneSrc::Imm(ctx.cta.0),
+            Special::CtaIdY => LaneSrc::Imm(ctx.cta.1),
+            Special::CtaIdZ => LaneSrc::Imm(ctx.cta.2),
+            Special::NTidX => LaneSrc::Imm(ctx.block.x),
+            Special::NTidY => LaneSrc::Imm(ctx.block.y),
+            Special::NTidZ => LaneSrc::Imm(ctx.block.z),
+            Special::NCtaIdX => LaneSrc::Imm(ctx.grid.x),
+            Special::NCtaIdY => LaneSrc::Imm(ctx.grid.y),
+            Special::NCtaIdZ => LaneSrc::Imm(ctx.grid.z),
+        },
     }
 }
 
-fn read_operand(op: &Operand, warp: &Warp, lane: u32, ctx: &ExecCtx<'_>) -> u32 {
-    match op {
-        Operand::Reg(r) => warp.regs[(r.0 as usize) * 32 + lane as usize],
-        Operand::Imm(bits) => *bits,
-        Operand::Special(s) => read_special(*s, warp, lane, ctx),
+#[inline(always)]
+fn fetch(src: LaneSrc, regs: &[u32], warp_in_cta: u32, lane: u32, block: Dim3) -> u32 {
+    match src {
+        LaneSrc::Zero => 0,
+        LaneSrc::Reg(base) => regs[base + lane as usize],
+        LaneSrc::Imm(v) => v,
+        LaneSrc::TidX => lane_thread_coords(warp_in_cta, lane, block).0,
+        LaneSrc::TidY => lane_thread_coords(warp_in_cta, lane, block).1,
+        LaneSrc::TidZ => lane_thread_coords(warp_in_cta, lane, block).2,
     }
 }
 
@@ -378,52 +410,60 @@ pub(crate) fn execute(warp: &mut Warp, program: &KernelProgram, ctx: &mut ExecCt
             let space = inst.space.expect("validated ld has space");
             let dst = inst.dst.expect("validated ld has dst");
             out.exec_lanes = guard_mask.count_ones();
+            let base = resolve(inst.srcs.first(), ctx);
+            let off = inst.offset as u32;
+            let dbase = (dst.0 as usize) * 32;
+            let wide = inst.dtype.byte_width() != 2;
+            let (wic, blk) = (warp.warp_in_cta, ctx.block);
             match space {
                 AddrSpace::Const => {
                     out.const_access = true;
-                    for lane in 0..32 {
-                        if guard_mask & (1 << lane) == 0 {
-                            continue;
-                        }
-                        let base = read_operand(&inst.srcs[0], warp, lane, ctx);
-                        let addr = base.wrapping_add(inst.offset as u32);
+                    let mut m = guard_mask;
+                    while m != 0 {
+                        let lane = m.trailing_zeros();
+                        m &= m - 1;
+                        let addr = fetch(base, &warp.regs, wic, lane, blk).wrapping_add(off);
                         let v = ctx.params.get((addr / 4) as usize).copied().unwrap_or(0);
-                        warp.regs[(dst.0 as usize) * 32 + lane as usize] = v;
+                        warp.regs[dbase + lane as usize] = v;
                     }
                 }
                 AddrSpace::Shared => {
-                    for lane in 0..32 {
-                        if guard_mask & (1 << lane) == 0 {
-                            continue;
-                        }
+                    let mut m = guard_mask;
+                    while m != 0 {
+                        let lane = m.trailing_zeros();
+                        m &= m - 1;
                         out.shared_accesses += 1;
-                        let base = read_operand(&inst.srcs[0], warp, lane, ctx);
-                        let addr = base.wrapping_add(inst.offset as u32) as usize;
-                        let v = match inst.dtype.byte_width() {
-                            2 => u16::from_le_bytes([ctx.smem[addr], ctx.smem[addr + 1]]) as u32,
-                            _ => u32::from_le_bytes([
+                        let addr = fetch(base, &warp.regs, wic, lane, blk).wrapping_add(off) as usize;
+                        let v = if wide {
+                            u32::from_le_bytes([
                                 ctx.smem[addr],
                                 ctx.smem[addr + 1],
                                 ctx.smem[addr + 2],
                                 ctx.smem[addr + 3],
-                            ]),
+                            ])
+                        } else {
+                            u16::from_le_bytes([ctx.smem[addr], ctx.smem[addr + 1]]) as u32
                         };
-                        warp.regs[(dst.0 as usize) * 32 + lane as usize] = v;
+                        warp.regs[dbase + lane as usize] = v;
                     }
                 }
                 AddrSpace::Global => {
-                    let mut lines: Vec<u32> = Vec::with_capacity(4);
-                    for lane in 0..32 {
-                        if guard_mask & (1 << lane) == 0 {
-                            continue;
-                        }
-                        let base = read_operand(&inst.srcs[0], warp, lane, ctx);
-                        let addr = base.wrapping_add(inst.offset as u32);
-                        let v = match inst.dtype.byte_width() {
-                            2 => ctx.mem.read_u16(addr) as u32,
-                            _ => ctx.mem.read_u32(addr),
+                    let mut lines = std::mem::take(ctx.lines_scratch);
+                    lines.clear();
+                    let mut m = guard_mask;
+                    while m != 0 {
+                        let lane = m.trailing_zeros();
+                        m &= m - 1;
+                        let addr = fetch(base, &warp.regs, wic, lane, blk).wrapping_add(off);
+                        let v = if wide {
+                            ctx.mem.read_u32(addr)
+                        } else {
+                            ctx.mem.read_u16(addr) as u32
                         };
-                        warp.regs[(dst.0 as usize) * 32 + lane as usize] = v;
+                        if let Some(r) = ctx.rec.as_deref_mut() {
+                            r.on_global_read(addr, wide, v);
+                        }
+                        warp.regs[dbase + lane as usize] = v;
                         let line = addr / ctx.line_bytes;
                         if !lines.contains(&line) {
                             lines.push(line);
@@ -437,34 +477,43 @@ pub(crate) fn execute(warp: &mut Warp, program: &KernelProgram, ctx: &mut ExecCt
         Opcode::St => {
             let space = inst.space.expect("validated st has space");
             out.exec_lanes = guard_mask.count_ones();
+            let base = resolve(inst.srcs.first(), ctx);
+            let val = resolve(inst.srcs.get(1), ctx);
+            let off = inst.offset as u32;
+            let wide = inst.dtype.byte_width() != 2;
+            let (wic, blk) = (warp.warp_in_cta, ctx.block);
             match space {
                 AddrSpace::Shared => {
-                    for lane in 0..32 {
-                        if guard_mask & (1 << lane) == 0 {
-                            continue;
-                        }
+                    let mut m = guard_mask;
+                    while m != 0 {
+                        let lane = m.trailing_zeros();
+                        m &= m - 1;
                         out.shared_accesses += 1;
-                        let base = read_operand(&inst.srcs[0], warp, lane, ctx);
-                        let value = read_operand(&inst.srcs[1], warp, lane, ctx);
-                        let addr = base.wrapping_add(inst.offset as u32) as usize;
-                        match inst.dtype.byte_width() {
-                            2 => ctx.smem[addr..addr + 2].copy_from_slice(&(value as u16).to_le_bytes()),
-                            _ => ctx.smem[addr..addr + 4].copy_from_slice(&value.to_le_bytes()),
+                        let addr = fetch(base, &warp.regs, wic, lane, blk).wrapping_add(off) as usize;
+                        let value = fetch(val, &warp.regs, wic, lane, blk);
+                        if wide {
+                            ctx.smem[addr..addr + 4].copy_from_slice(&value.to_le_bytes());
+                        } else {
+                            ctx.smem[addr..addr + 2].copy_from_slice(&(value as u16).to_le_bytes());
                         }
                     }
                 }
                 AddrSpace::Global => {
-                    let mut lines: Vec<u32> = Vec::with_capacity(4);
-                    for lane in 0..32 {
-                        if guard_mask & (1 << lane) == 0 {
-                            continue;
+                    let mut lines = std::mem::take(ctx.lines_scratch);
+                    lines.clear();
+                    let mut m = guard_mask;
+                    while m != 0 {
+                        let lane = m.trailing_zeros();
+                        m &= m - 1;
+                        let addr = fetch(base, &warp.regs, wic, lane, blk).wrapping_add(off);
+                        let value = fetch(val, &warp.regs, wic, lane, blk);
+                        if wide {
+                            ctx.mem.write_u32(addr, value);
+                        } else {
+                            ctx.mem.write_u16(addr, value as u16);
                         }
-                        let base = read_operand(&inst.srcs[0], warp, lane, ctx);
-                        let value = read_operand(&inst.srcs[1], warp, lane, ctx);
-                        let addr = base.wrapping_add(inst.offset as u32);
-                        match inst.dtype.byte_width() {
-                            2 => ctx.mem.write_u16(addr, value as u16),
-                            _ => ctx.mem.write_u32(addr, value),
+                        if let Some(r) = ctx.rec.as_deref_mut() {
+                            r.on_global_write(addr, wide, value);
                         }
                         let line = addr / ctx.line_bytes;
                         if !lines.contains(&line) {
@@ -480,19 +529,23 @@ pub(crate) fn execute(warp: &mut Warp, program: &KernelProgram, ctx: &mut ExecCt
         }
         Opcode::Set => {
             out.exec_lanes = guard_mask.count_ones();
+            let sa = resolve(inst.srcs.first(), ctx);
+            let sb = resolve(inst.srcs.get(1), ctx);
+            let (wic, blk) = (warp.warp_in_cta, ctx.block);
+            let dbase = inst.dst.map(|d| (d.0 as usize) * 32);
             let mut bits_new = 0u32;
-            for lane in 0..32 {
-                if guard_mask & (1 << lane) == 0 {
-                    continue;
-                }
-                let a = read_operand(&inst.srcs[0], warp, lane, ctx);
-                let b = read_operand(&inst.srcs[1], warp, lane, ctx);
+            let mut m = guard_mask;
+            while m != 0 {
+                let lane = m.trailing_zeros();
+                m &= m - 1;
+                let a = fetch(sa, &warp.regs, wic, lane, blk);
+                let b = fetch(sb, &warp.regs, wic, lane, blk);
                 let t = alu(Opcode::Set, inst.dtype, a, b, 0, inst.cmp, None);
                 if t != 0 {
                     bits_new |= 1 << lane;
                 }
-                if let Some(d) = inst.dst {
-                    warp.regs[(d.0 as usize) * 32 + lane as usize] = t;
+                if let Some(dbase) = dbase {
+                    warp.regs[dbase + lane as usize] = t;
                 }
             }
             if let Some(p) = inst.pdst {
@@ -505,15 +558,21 @@ pub(crate) fn execute(warp: &mut Warp, program: &KernelProgram, ctx: &mut ExecCt
             // Plain ALU.
             out.exec_lanes = guard_mask.count_ones();
             if let Some(dst) = inst.dst {
-                for lane in 0..32 {
-                    if guard_mask & (1 << lane) == 0 {
-                        continue;
-                    }
-                    let a = inst.srcs.first().map(|s| read_operand(s, warp, lane, ctx)).unwrap_or(0);
-                    let b = inst.srcs.get(1).map(|s| read_operand(s, warp, lane, ctx)).unwrap_or(0);
-                    let c = inst.srcs.get(2).map(|s| read_operand(s, warp, lane, ctx)).unwrap_or(0);
-                    let v = alu(inst.op, inst.dtype, a, b, c, inst.cmp, inst.src_dtype);
-                    warp.regs[(dst.0 as usize) * 32 + lane as usize] = v;
+                let sa = resolve(inst.srcs.first(), ctx);
+                let sb = resolve(inst.srcs.get(1), ctx);
+                let sc = resolve(inst.srcs.get(2), ctx);
+                let (wic, blk) = (warp.warp_in_cta, ctx.block);
+                let dbase = (dst.0 as usize) * 32;
+                let (op, dtype) = (inst.op, inst.dtype);
+                let mut m = guard_mask;
+                while m != 0 {
+                    let lane = m.trailing_zeros();
+                    m &= m - 1;
+                    let a = fetch(sa, &warp.regs, wic, lane, blk);
+                    let b = fetch(sb, &warp.regs, wic, lane, blk);
+                    let c = fetch(sc, &warp.regs, wic, lane, blk);
+                    let v = alu(op, dtype, a, b, c, inst.cmp, inst.src_dtype);
+                    warp.regs[dbase + lane as usize] = v;
                 }
             }
             warp.top_mut().pc += 1;
@@ -529,7 +588,12 @@ mod tests {
     use super::*;
     use tango_isa::{CmpOp, KernelBuilder, Operand};
 
-    fn ctx<'a>(mem: &'a mut GlobalMemory, smem: &'a mut [u8], params: &'a [u32]) -> ExecCtx<'a> {
+    fn ctx<'a>(
+        mem: &'a mut GlobalMemory,
+        smem: &'a mut [u8],
+        params: &'a [u32],
+        scratch: &'a mut Vec<u32>,
+    ) -> ExecCtx<'a> {
         ExecCtx {
             mem,
             smem,
@@ -538,6 +602,8 @@ mod tests {
             grid: Dim3::x(1),
             cta: (0, 0, 0),
             line_bytes: 128,
+            lines_scratch: scratch,
+            rec: None,
         }
     }
 
@@ -571,7 +637,8 @@ mod tests {
         let out_buf = mem.alloc(32 * 4);
         let params = [out_buf];
         let mut smem = [];
-        let mut c = ctx(&mut mem, &mut smem, &params);
+        let mut scratch = Vec::new();
+        let mut c = ctx(&mut mem, &mut smem, &params, &mut scratch);
         let mut w = Warp::new(0, 0, 32, p.register_count(), 1.max(p.pred_count()));
         run_to_completion(&mut w, &p, &mut c);
         for lane in 0..32u32 {
@@ -607,7 +674,8 @@ mod tests {
         let out = mem.alloc(32 * 4);
         let params = [out];
         let mut smem = [];
-        let mut c = ctx(&mut mem, &mut smem, &params);
+        let mut scratch = Vec::new();
+        let mut c = ctx(&mut mem, &mut smem, &params, &mut scratch);
         let mut w = Warp::new(0, 0, 32, prog.register_count(), prog.pred_count().max(1));
         run_to_completion(&mut w, &prog, &mut c);
         assert_eq!(mem.read_u32(out), 45);
@@ -645,7 +713,8 @@ mod tests {
         let out = mem.alloc(32 * 4);
         let params = [out];
         let mut smem = [];
-        let mut c = ctx(&mut mem, &mut smem, &params);
+        let mut scratch = Vec::new();
+        let mut c = ctx(&mut mem, &mut smem, &params, &mut scratch);
         let mut w = Warp::new(0, 0, 32, prog.register_count(), prog.pred_count().max(1));
         run_to_completion(&mut w, &prog, &mut c);
         for lane in 0..32u32 {
@@ -673,7 +742,8 @@ mod tests {
         let out = mem.alloc(32 * 4);
         let params = [out];
         let mut smem = [];
-        let mut c = ctx(&mut mem, &mut smem, &params);
+        let mut scratch = Vec::new();
+        let mut c = ctx(&mut mem, &mut smem, &params, &mut scratch);
         // Only 10 active lanes.
         let mut w = Warp::new(0, 0, 10, prog.register_count(), prog.pred_count().max(1));
         run_to_completion(&mut w, &prog, &mut c);
@@ -702,7 +772,8 @@ mod tests {
         let buf = mem.alloc(32 * 4);
         let params = [buf];
         let mut smem = [];
-        let mut c = ctx(&mut mem, &mut smem, &params);
+        let mut scratch = Vec::new();
+        let mut c = ctx(&mut mem, &mut smem, &params, &mut scratch);
         let mut w = Warp::new(0, 0, 32, prog.register_count(), prog.pred_count().max(1));
         // Step to the load.
         let mut lines = Vec::new();
@@ -734,7 +805,8 @@ mod tests {
         let buf = mem.alloc(32 * 128);
         let params = [buf];
         let mut smem = [];
-        let mut c = ctx(&mut mem, &mut smem, &params);
+        let mut scratch = Vec::new();
+        let mut c = ctx(&mut mem, &mut smem, &params, &mut scratch);
         let mut w = Warp::new(0, 0, 32, prog.register_count(), prog.pred_count().max(1));
         let mut max_lines = 0;
         while !w.done {
@@ -756,7 +828,8 @@ mod tests {
         let _ = mem.alloc(64);
         let params = [];
         let mut smem = [];
-        let mut c = ctx(&mut mem, &mut smem, &params);
+        let mut scratch = Vec::new();
+        let mut c = ctx(&mut mem, &mut smem, &params, &mut scratch);
         let mut w = Warp::new(0, 0, 32, prog.register_count(), 1);
         run_to_completion(&mut w, &prog, &mut c);
         assert_eq!(f32::from_bits(w.regs[0]), 1.5 * 2.0 + 0.25);
@@ -774,7 +847,8 @@ mod tests {
         let _ = mem.alloc(64);
         let params = [];
         let mut smem = [];
-        let mut c = ctx(&mut mem, &mut smem, &params);
+        let mut scratch = Vec::new();
+        let mut c = ctx(&mut mem, &mut smem, &params, &mut scratch);
         let mut w = Warp::new(0, 0, 32, prog.register_count(), 1);
         run_to_completion(&mut w, &prog, &mut c);
         assert_eq!(w.regs[0], 0);
@@ -798,7 +872,8 @@ mod tests {
         let _ = mem.alloc(64);
         let params = [];
         let mut smem = vec![0u8; 256];
-        let mut c = ctx(&mut mem, &mut smem, &params);
+        let mut scratch = Vec::new();
+        let mut c = ctx(&mut mem, &mut smem, &params, &mut scratch);
         let mut w = Warp::new(0, 0, 32, prog.register_count(), 1);
         while !w.done {
             let o = execute(&mut w, &prog, &mut c);
@@ -824,7 +899,8 @@ mod tests {
         let _ = mem.alloc(64);
         let params = [40, 2];
         let mut smem = [];
-        let mut c = ctx(&mut mem, &mut smem, &params);
+        let mut scratch = Vec::new();
+        let mut c = ctx(&mut mem, &mut smem, &params, &mut scratch);
         let mut w = Warp::new(0, 0, 32, prog.register_count(), 1);
         run_to_completion(&mut w, &prog, &mut c);
         assert_eq!(w.regs[sum.0 as usize * 32], 42);

@@ -2,7 +2,9 @@
 //! runs kernel launches to completion.
 
 use crate::config::{CacheGeometry, GpuConfig, SimOptions};
+use crate::decode::{decode_program, DecodedInst};
 use crate::mem::GlobalMemory;
+use crate::memo::{self, MemoRecorder};
 use crate::memsys::MemorySystem;
 use crate::power::PowerMeter;
 use crate::sched::Scheduler;
@@ -197,21 +199,63 @@ impl Gpu {
             .min(self.config.max_ctas_per_sm);
         let warps_per_cta = self.config.warps_per_cta(cta_threads);
 
-        let sms: Vec<Sm> = (0..self.config.num_sms)
-            .map(|_| {
-                Sm::new(
-                    &self.config,
-                    l1_geometry,
-                    ctas_per_sm,
-                    warps_per_cta,
-                    params.len(),
-                    Scheduler::new(policy, 6),
-                )
-            })
-            .collect();
-
         self.memsys.reset_stats();
         let meter = PowerMeter::new(self.config.power, self.config.clock_ghz, opts.power_window);
+
+        // Launch memoization (DESIGN.md section 13): a launch is a pure
+        // function of its static description plus the device state it
+        // reads, so an identical earlier launch can be replayed exactly —
+        // write log applied, recorded post-hierarchy installed, recorded
+        // stats returned — instead of simulated.
+        let mut replayed = None;
+        let mut recorder = None;
+        if memo::enabled(opts.memo) {
+            // `memo` itself is excluded from the signature: it selects the
+            // execution strategy, never the result.
+            let opts_sig = format!(
+                "{:?}|{:?}|{:?}|{}|{}",
+                opts.scheduler, opts.l1d_bytes, opts.cta_sample_limit, opts.power_window, opts.batch
+            );
+            let config_sig = format!("{:?}", self.config);
+            let key = memo::static_key(program, grid, block, params, smem_bytes, &config_sig, &opts_sig);
+            match memo::lookup(key, self.memsys.state_tag(), &mut self.mem) {
+                Some((stats, post_memsys)) => {
+                    self.memsys = post_memsys;
+                    replayed = Some(stats);
+                }
+                None => {
+                    recorder = Some(MemoRecorder::new(key, self.memsys.state_tag(), self.mem.size_bytes()));
+                    // Stamp a fresh tag *before* simulation mutates the
+                    // hierarchy, so an abandoned frame can never leave a
+                    // stale tag describing a state that no longer exists.
+                    self.memsys.refresh_tag();
+                }
+            }
+        } else {
+            self.memsys.refresh_tag();
+        }
+        let done = replayed.is_some();
+        let cycle = replayed.as_ref().map_or(0, |s| s.cycles);
+        let next_cta = if done { sim_ctas } else { 0 };
+
+        // A replayed launch never cycles, so skip building its machine.
+        let (sms, decoded) = if done {
+            (Vec::new(), Vec::new())
+        } else {
+            let sms: Vec<Sm> = (0..self.config.num_sms)
+                .map(|_| {
+                    Sm::new(
+                        &self.config,
+                        l1_geometry,
+                        ctas_per_sm,
+                        warps_per_cta,
+                        params.len(),
+                        Scheduler::new(policy, 6),
+                    )
+                })
+                .collect();
+            (sms, decode_program(program))
+        };
 
         // Launch span: opened here at the thread's virtual cursor, closed
         // by `finish` at cursor + (extrapolated) cycles, so launch spans
@@ -227,6 +271,7 @@ impl Gpu {
             block,
             smem_bytes,
             sms,
+            decoded,
             meter,
             agg: LaunchAgg::default(),
             line_bytes,
@@ -235,10 +280,12 @@ impl Gpu {
             sim_ctas,
             ctas_per_sm,
             regs_per_thread,
-            next_cta: 0,
-            cycle: 0,
+            next_cta,
+            cycle,
             weight: 1,
-            done: false,
+            done,
+            recorder,
+            replayed,
             vbase,
             last_gauge: 0,
         }
@@ -294,6 +341,8 @@ pub struct LaunchFrame<'a> {
     block: Dim3,
     smem_bytes: u32,
     sms: Vec<Sm>,
+    /// Flat pre-decoded program (index-parallel with its instructions).
+    decoded: Vec<DecodedInst>,
     meter: PowerMeter,
     agg: LaunchAgg,
     line_bytes: u32,
@@ -306,6 +355,10 @@ pub struct LaunchFrame<'a> {
     cycle: u64,
     weight: u64,
     done: bool,
+    /// Memo recorder for a live launch that is being recorded.
+    recorder: Option<MemoRecorder>,
+    /// Recorded stats installed by a memo hit; returned by `finish`.
+    replayed: Option<KernelStats>,
     vbase: u64,
     last_gauge: u64,
 }
@@ -372,10 +425,12 @@ impl LaunchFrame<'_> {
                 meter: &mut self.meter,
                 agg: &mut self.agg,
                 program: self.program,
+                decoded: &self.decoded,
                 params: &self.params,
                 grid: self.grid,
                 block: self.block,
                 line_bytes: self.line_bytes,
+                rec: self.recorder.as_mut(),
             };
             let (active, hint) = sm.cycle(&mut env);
             any_active |= active;
@@ -436,6 +491,11 @@ impl LaunchFrame<'_> {
     /// Runs any remaining work to completion and assembles the launch
     /// statistics (identical to what a one-shot [`Gpu::launch`] returns).
     pub fn finish(mut self) -> KernelStats {
+        // A memo hit already produced the launch's exact statistics (and
+        // applied its memory effects) at `begin_launch`.
+        if let Some(stats) = self.replayed.take() {
+            return stats;
+        }
         while !self.done {
             self.step_once();
         }
@@ -455,8 +515,8 @@ impl LaunchFrame<'_> {
             cycles: self.cycle.max(1),
             warp_instructions: self.agg.warp_instructions,
             thread_instructions: self.agg.thread_instructions,
-            op_counts: self.agg.op_counts,
-            dtype_counts: self.agg.dtype_counts,
+            op_counts: self.agg.op_counts_map(),
+            dtype_counts: self.agg.dtype_counts_map(),
             stalls: self.agg.stalls,
             l1d,
             l2: self.gpu.memsys.l2_stats(),
@@ -493,6 +553,10 @@ impl LaunchFrame<'_> {
         // the sampled-prefix peak (more CTAs in flight in the same waves);
         // the peak is by definition at least the average.
         stats.peak_power_w = stats.peak_power_w.max(stats.avg_power_w);
+
+        if let Some(rec) = self.recorder.take() {
+            memo::record(rec, &self.gpu.memsys, &stats);
+        }
 
         if tango_obs::is_enabled() {
             // Close the launch span at the extrapolated end and surface

@@ -46,9 +46,11 @@
 
 mod cache;
 mod config;
+mod decode;
 mod exec;
 mod gpu;
 mod mem;
+mod memo;
 mod memsys;
 mod power;
 mod sched;
@@ -59,6 +61,7 @@ pub use cache::Cache;
 pub use config::{CacheGeometry, GpuConfig, PowerConstants, SchedulerPolicy, SimOptions};
 pub use gpu::{Gpu, LaunchFrame, StepStatus};
 pub use mem::GlobalMemory;
+pub use memo::table_stats as memo_table_stats;
 pub use memsys::{MemResponse, MemorySystem};
 pub use power::{Component, EnergyBreakdown, PowerMeter};
 pub use stats::{CacheStats, KernelStats, StallBreakdown, StallReason};

@@ -4,14 +4,16 @@
 
 use crate::cache::Cache;
 use crate::config::{CacheGeometry, GpuConfig, PowerConstants};
+use crate::decode::{DecodedInst, DTYPE_ORDER};
 use crate::exec::{self, ExecCtx, PendKind, Warp};
 use crate::mem::GlobalMemory;
+use crate::memo::MemoRecorder;
 use crate::memsys::MemorySystem;
 use crate::power::{Component, PowerMeter};
 use crate::sched::Scheduler;
 use crate::stats::{StallBreakdown, StallReason};
 use std::collections::BTreeMap;
-use tango_isa::{AddrSpace, DType, Dim3, FuncUnit, KernelProgram, Opcode, Operand};
+use tango_isa::{AddrSpace, DType, Dim3, FuncUnit, KernelProgram, Opcode};
 
 /// Resident thread-block bookkeeping.
 #[derive(Debug)]
@@ -25,15 +27,44 @@ struct CtaRt {
 }
 
 /// Statistics accumulated across the launch (shared by all SMs).
+///
+/// Per-opcode/dtype counters are flat arrays indexed by discriminant (the
+/// hot path increments one slot per issue instead of probing a map) and
+/// fold back into the `KernelStats` `BTreeMap`s at launch finish — the
+/// map iteration order is the discriminant order either way, so reports
+/// are byte-identical.
 #[derive(Debug, Default)]
 pub(crate) struct LaunchAgg {
     pub warp_instructions: u64,
     pub thread_instructions: u64,
-    pub op_counts: BTreeMap<Opcode, u64>,
-    pub dtype_counts: BTreeMap<DType, u64>,
+    pub op_counts: [u64; Opcode::ALL.len()],
+    pub dtype_counts: [u64; DTYPE_ORDER.len()],
     pub stalls: StallBreakdown,
     pub const_accesses: u64,
     pub shared_accesses: u64,
+}
+
+impl LaunchAgg {
+    /// Folds the flat opcode counters into the reporting map (zero entries
+    /// omitted, exactly as the entry-API accumulation used to).
+    pub fn op_counts_map(&self) -> BTreeMap<Opcode, u64> {
+        Opcode::ALL
+            .iter()
+            .zip(self.op_counts.iter())
+            .filter(|(_, &n)| n > 0)
+            .map(|(&op, &n)| (op, n))
+            .collect()
+    }
+
+    /// Folds the flat dtype counters into the reporting map.
+    pub fn dtype_counts_map(&self) -> BTreeMap<DType, u64> {
+        DTYPE_ORDER
+            .iter()
+            .zip(self.dtype_counts.iter())
+            .filter(|(_, &n)| n > 0)
+            .map(|(&t, &n)| (t, n))
+            .collect()
+    }
 }
 
 /// Everything an SM needs from the outside during one cycle.
@@ -46,10 +77,14 @@ pub(crate) struct SmEnv<'a> {
     pub meter: &'a mut PowerMeter,
     pub agg: &'a mut LaunchAgg,
     pub program: &'a KernelProgram,
+    /// Flat pre-decoded form of `program` (index-parallel).
+    pub decoded: &'a [DecodedInst],
     pub params: &'a [u32],
     pub grid: Dim3,
     pub block: Dim3,
     pub line_bytes: u32,
+    /// Launch memo recorder, when this launch is being recorded.
+    pub rec: Option<&'a mut MemoRecorder>,
 }
 
 /// One streaming multiprocessor.
@@ -75,6 +110,9 @@ pub(crate) struct Sm {
     sample_debt: u64,
     /// Live warp count (`is_active` in O(1)).
     resident_warps: u32,
+    /// Reused line-coalescing buffer handed to the interpreter (round-trips
+    /// through `ExecOutcome::global_lines` on every global memory op).
+    line_scratch: Vec<u32>,
 }
 
 /// How often (in weighted cycles) the stall sampler classifies every
@@ -143,6 +181,7 @@ impl Sm {
             slot_asc: Vec::new(),
             sample_debt: 0,
             resident_warps: 0,
+            line_scratch: Vec::new(),
         }
     }
 
@@ -217,32 +256,32 @@ impl Sm {
         if warp.fetch_ready > env.cycle {
             return Some((StallReason::InstFetch, warp.fetch_ready));
         }
-        let inst = &env.program.instructions()[warp.pc() as usize];
-        if let Some((p, _)) = inst.guard {
-            let ready = warp.pred_ready[p.0 as usize];
+        let d = &env.decoded[warp.pc() as usize];
+        if let Some(p) = d.guard {
+            let ready = warp.pred_ready[p as usize];
             if ready > env.cycle {
                 return Some((StallReason::ExecDependency, ready));
             }
         }
-        for r in inst.reads() {
-            let ready = warp.reg_ready[r.0 as usize];
+        for &r in &d.reads[..d.nreads as usize] {
+            let ready = warp.reg_ready[r as usize];
             if ready > env.cycle {
-                return Some((Self::classify_pend(warp.reg_pend[r.0 as usize]), ready));
+                return Some((Self::classify_pend(warp.reg_pend[r as usize]), ready));
             }
         }
-        if let Some(d) = inst.dst {
-            let ready = warp.reg_ready[d.0 as usize];
+        if let Some(dr) = d.dst {
+            let ready = warp.reg_ready[dr as usize];
             if ready > env.cycle {
-                return Some((Self::classify_pend(warp.reg_pend[d.0 as usize]), ready));
+                return Some((Self::classify_pend(warp.reg_pend[dr as usize]), ready));
             }
         }
-        if let Some(p) = inst.pdst {
-            let ready = warp.pred_ready[p.0 as usize];
+        if let Some(p) = d.pdst {
+            let ready = warp.pred_ready[p as usize];
             if ready > env.cycle {
                 return Some((StallReason::ExecDependency, ready));
             }
         }
-        match inst.op.func_unit() {
+        match d.unit {
             FuncUnit::Sp => {
                 if ports.sp >= self.cfg.sp_width {
                     return Some((StallReason::PipeBusy, env.cycle + 1));
@@ -260,7 +299,7 @@ impl Sm {
             }
             FuncUnit::Ctrl => {}
         }
-        if inst.op.is_memory() && inst.space == Some(AddrSpace::Global) && self.mshr.len() >= self.cfg.mshrs {
+        if d.is_global_mem && self.mshr.len() >= self.cfg.mshrs {
             let drain = self.mshr.iter().copied().min().unwrap_or(env.cycle + 1);
             return Some((StallReason::MemoryThrottle, drain));
         }
@@ -272,25 +311,17 @@ impl Sm {
     fn issue(&mut self, slot: usize, env: &mut SmEnv<'_>, ports: &mut Ports) {
         let mut warp = self.warps[slot].take().expect("checked occupied");
         let pc = warp.pc() as usize;
-        let inst = &env.program.instructions()[pc];
-        let op = inst.op;
-        let dtype = inst.dtype;
-        let unit = op.func_unit();
-        let space = inst.space;
-        let dst = inst.dst;
-        let pdst = inst.pdst;
-        let reg_srcs = inst.reads().count() as u32;
-        let const_param_index = if op == Opcode::Ld && space == Some(AddrSpace::Const) {
-            match inst.srcs.first() {
-                Some(Operand::Imm(off)) => Some((*off / 4) as usize),
-                _ => None,
-            }
-        } else {
-            None
-        };
+        let d = env.decoded[pc];
+        let op = d.op;
+        let dtype = d.dtype;
+        let unit = d.unit;
+        let dst = d.dst;
+        let pdst = d.pdst;
+        let reg_srcs = d.nreads as u32;
+        let const_param_index = d.const_param_index;
 
         let cta_slot = warp.cta_slot;
-        let out = {
+        let mut out = {
             let cta = self.ctas[cta_slot].as_mut().expect("warp's CTA is resident");
             let mut ectx = ExecCtx {
                 mem: env.mem,
@@ -300,6 +331,8 @@ impl Sm {
                 grid: env.grid,
                 cta: cta.coords,
                 line_bytes: env.line_bytes,
+                lines_scratch: &mut self.line_scratch,
+                rec: env.rec.as_deref_mut(),
             };
             exec::execute(&mut warp, env.program, &mut ectx)
         };
@@ -316,8 +349,8 @@ impl Sm {
         let lanes = out.exec_lanes.max(1) as u64;
         env.agg.warp_instructions += 1;
         env.agg.thread_instructions += lanes;
-        *env.agg.op_counts.entry(op).or_insert(0) += lanes;
-        *env.agg.dtype_counts.entry(dtype).or_insert(0) += lanes;
+        env.agg.op_counts[op as usize] += lanes;
+        env.agg.dtype_counts[dtype as usize] += lanes;
 
         // Per-issue energy.
         let p = &self.power;
@@ -344,7 +377,7 @@ impl Sm {
 
         // Timing.
         match op {
-            Opcode::Ld | Opcode::St => match space.expect("validated memory op") {
+            Opcode::Ld | Opcode::St => match d.space.expect("validated memory op") {
                 AddrSpace::Global => {
                     let is_store = out.global_is_store;
                     let mut completion = env.cycle + self.cfg.l1_latency as u64;
@@ -370,18 +403,18 @@ impl Sm {
                             self.mshr.push(resp.completion_cycle);
                         }
                     }
-                    if let Some(d) = dst {
-                        warp.reg_ready[d.0 as usize] = completion;
-                        warp.reg_pend[d.0 as usize] = PendKind::Mem;
+                    if let Some(dr) = dst {
+                        warp.reg_ready[dr as usize] = completion;
+                        warp.reg_pend[dr as usize] = PendKind::Mem;
                     }
                 }
                 AddrSpace::Shared => {
                     env.agg.shared_accesses += out.shared_accesses as u64;
                     env.meter
                         .charge_nj(Component::Shrdp, p.shared_nj * out.shared_accesses as f64 / 8.0);
-                    if let Some(d) = dst {
-                        warp.reg_ready[d.0 as usize] = env.cycle + self.cfg.shared_latency as u64;
-                        warp.reg_pend[d.0 as usize] = PendKind::Shared;
+                    if let Some(dr) = dst {
+                        warp.reg_ready[dr as usize] = env.cycle + self.cfg.shared_latency as u64;
+                        warp.reg_pend[dr as usize] = PendKind::Shared;
                     }
                 }
                 AddrSpace::Const => {
@@ -397,9 +430,9 @@ impl Sm {
                         })
                         .unwrap_or(true);
                     let lat = if warm { self.cfg.const_latency } else { self.cfg.l2_latency };
-                    if let Some(d) = dst {
-                        warp.reg_ready[d.0 as usize] = env.cycle + lat as u64;
-                        warp.reg_pend[d.0 as usize] = PendKind::Const;
+                    if let Some(dr) = dst {
+                        warp.reg_ready[dr as usize] = env.cycle + lat as u64;
+                        warp.reg_pend[dr as usize] = PendKind::Const;
                     }
                 }
             },
@@ -408,14 +441,19 @@ impl Sm {
                     FuncUnit::Sfu => self.cfg.sfu_latency,
                     _ => self.cfg.alu_latency,
                 };
-                if let Some(d) = dst {
-                    warp.reg_ready[d.0 as usize] = env.cycle + lat as u64;
-                    warp.reg_pend[d.0 as usize] = PendKind::Alu;
+                if let Some(dr) = dst {
+                    warp.reg_ready[dr as usize] = env.cycle + lat as u64;
+                    warp.reg_pend[dr as usize] = PendKind::Alu;
                 }
                 if let Some(pr) = pdst {
-                    warp.pred_ready[pr.0 as usize] = env.cycle + lat as u64;
+                    warp.pred_ready[pr as usize] = env.cycle + lat as u64;
                 }
             }
+        }
+
+        // Hand the line buffer back for the next memory instruction.
+        if d.is_global_mem {
+            self.line_scratch = std::mem::take(&mut out.global_lines);
         }
 
         if out.redirect {
@@ -590,10 +628,4 @@ struct Ports {
     sp: u32,
     sfu: u32,
     ldst: u32,
-}
-
-/// Stall sampling helper used by tests.
-#[cfg(test)]
-pub(crate) fn stall_fraction(stalls: &StallBreakdown, reason: StallReason) -> f64 {
-    stalls.fraction(reason)
 }

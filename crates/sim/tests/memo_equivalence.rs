@@ -1,0 +1,230 @@
+//! Launch memoization must be invisible: byte-identical `KernelStats` and
+//! memory contents whether a launch is fully simulated or replayed from
+//! the process-global memo table, across every device preset and in
+//! composition with CTA sampling and batch replication.
+//!
+//! Every test forces the path explicitly via `SimOptions::with_memo`
+//! instead of the `TANGO_SIM_MEMO` environment variable, so the two paths
+//! can be compared race-free inside one test process.
+
+use tango_isa::{DType, Dim3, KernelBuilder, KernelProgram, Operand};
+use tango_sim::{Gpu, GpuConfig, SimOptions};
+
+/// y[tid] = a * x[tid] + y[tid] — the canonical streaming kernel.
+fn saxpy() -> KernelProgram {
+    let mut b = KernelBuilder::new("memo_saxpy");
+    let tid = b.global_tid_x();
+    let off = b.reg();
+    let xa = b.reg();
+    let ya = b.reg();
+    let xv = b.reg();
+    let yv = b.reg();
+    let x_base = b.load_param(0);
+    let y_base = b.load_param(1);
+    let a_bits = b.load_param(2);
+    b.shl(DType::U32, off, tid.into(), Operand::imm_u32(2));
+    b.add(DType::U32, xa, off.into(), x_base.into());
+    b.add(DType::U32, ya, off.into(), y_base.into());
+    b.ld_global(DType::F32, xv, xa, 0);
+    b.ld_global(DType::F32, yv, ya, 0);
+    b.mad(DType::F32, yv, a_bits.into(), xv.into(), yv.into());
+    b.st_global(DType::F32, ya, 0, yv);
+    b.exit();
+    b.build().unwrap()
+}
+
+/// out[tid] = x[tid] + x[tid] — pure, output disjoint from input.
+fn double() -> KernelProgram {
+    let mut b = KernelBuilder::new("memo_double");
+    let tid = b.global_tid_x();
+    let off = b.reg();
+    let xa = b.reg();
+    let oa = b.reg();
+    let v = b.reg();
+    let x_base = b.load_param(0);
+    let o_base = b.load_param(1);
+    b.shl(DType::U32, off, tid.into(), Operand::imm_u32(2));
+    b.add(DType::U32, xa, off.into(), x_base.into());
+    b.add(DType::U32, oa, off.into(), o_base.into());
+    b.ld_global(DType::F32, v, xa, 0);
+    b.add(DType::F32, v, v.into(), v.into());
+    b.st_global(DType::F32, oa, 0, v);
+    b.exit();
+    b.build().unwrap()
+}
+
+/// Runs the two-kernel "network" (double feeding saxpy) `reps` times on a
+/// fresh device and returns every launch's debug-formatted stats plus the
+/// final output buffer. Repetitions after the first re-launch identical
+/// work over identical data — exactly the shape the memo accelerates.
+fn run_sequence(config: GpuConfig, opts: &SimOptions, reps: usize, n: usize) -> (Vec<String>, Vec<f32>) {
+    let mut gpu = Gpu::new(config);
+    let x: Vec<f32> = (0..n).map(|i| i as f32 * 0.5).collect();
+    let x_addr = gpu.upload_f32s(&x);
+    let mid_addr = gpu.alloc_bytes(n as u32 * 4);
+    let y_addr = gpu.upload_f32s(&vec![1.0; n]);
+    let grid = Dim3::x((n as u32).div_ceil(64));
+    let block = Dim3::x(64);
+    let (p_double, p_saxpy) = (double(), saxpy());
+    let mut stats = Vec::new();
+    for _ in 0..reps {
+        // Reset y so every repetition computes over identical data.
+        gpu.memory_mut().write_f32s(y_addr, &vec![1.0; n]);
+        let s1 = gpu.launch(&p_double, grid, block, &[x_addr, mid_addr], 0, opts);
+        let s2 = gpu.launch(&p_saxpy, grid, block, &[mid_addr, y_addr, 0.25f32.to_bits()], 0, opts);
+        stats.push(format!("{s1:?}"));
+        stats.push(format!("{s2:?}"));
+    }
+    (stats, gpu.download_f32s(y_addr, n))
+}
+
+#[test]
+fn memoized_stats_identical_across_presets() {
+    for config in [GpuConfig::gk210(), GpuConfig::tx1(), GpuConfig::gp102()] {
+        let full = run_sequence(config.clone(), &SimOptions::new().with_memo(false), 3, 512);
+        // First memoized pass records the launch chain; the second, on a
+        // fresh identically-configured device, replays it end to end.
+        let memo1 = run_sequence(config.clone(), &SimOptions::new().with_memo(true), 3, 512);
+        let memo2 = run_sequence(config.clone(), &SimOptions::new().with_memo(true), 3, 512);
+        assert_eq!(full.1, memo1.1, "outputs diverged on {:?}", config.name);
+        assert_eq!(full.1, memo2.1, "replayed outputs diverged on {:?}", config.name);
+        assert_eq!(full.0.len(), memo1.0.len());
+        for (i, f) in full.0.iter().enumerate() {
+            assert_eq!(f, &memo1.0[i], "launch {i} stats diverged on {:?}", config.name);
+            assert_eq!(f, &memo2.0[i], "launch {i} replayed stats diverged on {:?}", config.name);
+        }
+    }
+}
+
+#[test]
+fn memo_composes_with_sampling_and_batching() {
+    // Property sweep: every (cta_sample_limit, batch) cell must agree
+    // between the memoized and full paths — the memo key covers both
+    // options, so replay never crosses cells.
+    for limit in [None, Some(8), Some(32)] {
+        for batch in [1u32, 4] {
+            let opts = SimOptions::new().with_cta_sample_limit(limit).with_batch(batch);
+            let full = run_sequence(GpuConfig::gp102(), &opts.clone().with_memo(false), 2, 2048);
+            let memo = run_sequence(GpuConfig::gp102(), &opts.clone().with_memo(true), 2, 2048);
+            let replay = run_sequence(GpuConfig::gp102(), &opts.clone().with_memo(true), 2, 2048);
+            assert_eq!(full.1, memo.1, "outputs diverged at limit={limit:?} batch={batch}");
+            assert_eq!(full.0, memo.0, "stats diverged at limit={limit:?} batch={batch}");
+            assert_eq!(full.0, replay.0, "replayed stats diverged at limit={limit:?} batch={batch}");
+            assert_eq!(full.1, replay.1, "replayed outputs diverged at limit={limit:?} batch={batch}");
+        }
+    }
+}
+
+#[test]
+fn memo_falls_back_when_input_data_changes() {
+    // Same program, same addresses, different buffer contents: the probe
+    // digest must miss and the launch must re-simulate with the new data.
+    // Replays happen across fresh identically-configured devices (the tag
+    // chain starts from the shared pristine tag), so each scenario runs on
+    // its own device.
+    let n = 256usize;
+    let run = |memo: bool, fill: f32| {
+        let mut gpu = Gpu::new(GpuConfig::gp102());
+        let x_addr = gpu.upload_f32s(&vec![fill; n]);
+        let o_addr = gpu.alloc_bytes(n as u32 * 4);
+        let s = gpu.launch(
+            &double(),
+            Dim3::x(4),
+            Dim3::x(64),
+            &[x_addr, o_addr],
+            0,
+            &SimOptions::new().with_memo(memo),
+        );
+        (format!("{s:?}"), gpu.download_f32s(o_addr, n))
+    };
+    let (s1, out1) = run(true, 1.0); // records
+    let (s2, out2) = run(true, 1.0); // replays
+    assert_eq!(s1, s2);
+    assert_eq!(out1, vec![2.0; n]);
+    assert_eq!(out2, vec![2.0; n]);
+    // Divergence: identical static signature and pre-state tag, different
+    // input data — the probes must reject the entry.
+    let (s3, out3) = run(true, 3.0);
+    assert_eq!(out3, vec![6.0; n], "stale replay served after input change");
+    let (s3_full, _) = run(false, 3.0);
+    assert_eq!(s3, s3_full, "fallback path diverged from full simulation");
+}
+
+#[test]
+fn narrow_accesses_poison_but_stay_correct() {
+    // A kernel doing u16 global traffic is never memoizable (sub-word
+    // writes defeat word-granular dependence tracking); it must silently
+    // fall back to full simulation every time and stay correct.
+    let mut b = KernelBuilder::new("memo_u16");
+    let tid = b.global_tid_x();
+    let off = b.reg();
+    let xa = b.reg();
+    let oa = b.reg();
+    let v = b.reg();
+    let x_base = b.load_param(0);
+    let o_base = b.load_param(1);
+    b.shl(DType::U32, off, tid.into(), Operand::imm_u32(1));
+    b.add(DType::U32, xa, off.into(), x_base.into());
+    b.add(DType::U32, oa, off.into(), o_base.into());
+    b.ld_global(DType::U16, v, xa, 0);
+    b.add(DType::U16, v, v.into(), Operand::imm_u32(1));
+    b.st_global(DType::U16, oa, 0, v);
+    b.exit();
+    let p = b.build().unwrap();
+
+    let run = |memo: bool, base: u16| {
+        let mut gpu = Gpu::new(GpuConfig::gp102());
+        let x_addr = gpu.alloc_bytes(64 * 2);
+        let o_addr = gpu.alloc_bytes(64 * 2);
+        for i in 0..64u32 {
+            gpu.memory_mut().write_u16(x_addr + i * 2, base + i as u16);
+        }
+        let s = gpu.launch(
+            &p,
+            Dim3::x(2),
+            Dim3::x(32),
+            &[x_addr, o_addr],
+            0,
+            &SimOptions::new().with_memo(memo),
+        );
+        let out: Vec<u16> = (0..64u32).map(|i| gpu.memory().read_u16(o_addr + i * 2)).collect();
+        (format!("{s:?}"), out)
+    };
+    // Two memo-on runs with different inputs: a stale replay would freeze
+    // the first run's outputs; poisoning must keep both fully simulated.
+    let (sa, out_a) = run(true, 0);
+    let (sb, out_b) = run(true, 100);
+    assert_eq!(out_a, (0..64u16).map(|i| i + 1).collect::<Vec<_>>());
+    assert_eq!(out_b, (0..64u16).map(|i| i + 101).collect::<Vec<_>>());
+    // And each matches the memo-off path byte for byte.
+    assert_eq!(sa, run(false, 0).0);
+    assert_eq!(sb, run(false, 100).0);
+}
+
+#[test]
+fn memo_replays_across_devices_with_shared_table() {
+    // The table is process-global: a launch recorded on one device must
+    // replay on a second identically-configured device with identical
+    // stats — the serving fleet case (N workers, same model).
+    let n = 512usize;
+    let run = |memo: bool| {
+        let mut gpu = Gpu::new(GpuConfig::tx1());
+        let x_addr = gpu.upload_f32s(&(0..n).map(|i| (i % 7) as f32).collect::<Vec<_>>());
+        let o_addr = gpu.alloc_bytes(n as u32 * 4);
+        let s = gpu.launch(
+            &double(),
+            Dim3::x(8),
+            Dim3::x(64),
+            &[x_addr, o_addr],
+            0,
+            &SimOptions::new().with_memo(memo),
+        );
+        (format!("{s:?}"), gpu.download_f32s(o_addr, n))
+    };
+    let baseline = run(false);
+    let first = run(true); // records (or replays a prior test's entry)
+    let second = run(true); // replays
+    assert_eq!(baseline.0, first.0);
+    assert_eq!(baseline.0, second.0);
+    assert_eq!(baseline.1, second.1);
+}
