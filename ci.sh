@@ -10,6 +10,9 @@ cargo build --release
 echo "== tier 1: tests =="
 cargo test -q
 
+echo "== clippy: workspace must be warning-free =="
+cargo clippy --workspace --all-targets -- -D warnings
+
 echo "== repro_all: cold pass (tiny preset, scratch store) =="
 SCRATCH="$(mktemp -d)"
 trap 'rm -rf "$SCRATCH"' EXIT
@@ -88,6 +91,24 @@ set -e
 if [ "$cap_status" -ne 2 ]; then
     echo "FAIL: TANGO_TRACE_CAP=0 exited $cap_status, want 2" >&2
     cat "$SCRATCH/cap.err" >&2
+    exit 1
+fi
+
+echo "== harness lint: zero error-severity diagnostics, deterministic report =="
+LINT_BIN="cargo run --release -q -p tango-harness --bin harness --"
+# Exit code 1 here means an error-severity diagnostic in a suite kernel.
+TANGO_PRESET=tiny TANGO_RESULTS_DIR="$SCRATCH" \
+    $LINT_BIN lint --all > "$SCRATCH/lint1.out" 2>/dev/null
+if ! cmp -s "$SCRATCH/lint1.out" "$SCRATCH/lint_report.txt"; then
+    echo "FAIL: results/lint_report.txt diverges from lint stdout" >&2
+    exit 1
+fi
+cp "$SCRATCH/lint_report.txt" "$SCRATCH/lint_report_run1.txt"
+TANGO_PRESET=tiny TANGO_RESULTS_DIR="$SCRATCH" \
+    $LINT_BIN lint --all > "$SCRATCH/lint2.out" 2>/dev/null
+if ! cmp -s "$SCRATCH/lint_report_run1.txt" "$SCRATCH/lint_report.txt"; then
+    echo "FAIL: lint_report.txt differs across identical runs" >&2
+    diff "$SCRATCH/lint_report_run1.txt" "$SCRATCH/lint_report.txt" >&2 || true
     exit 1
 fi
 

@@ -5,6 +5,7 @@
 //! harness store gc    [--dir PATH]   # drop stale-schema records
 //! harness trace <net>                # simulate one network, optionally traced
 //! harness backends <net>             # per-layer GPU vs systolic vs FPGA table
+//! harness lint <net>|--all           # static kernel verification report
 //! ```
 //!
 //! The store defaults to `results/store/` at the workspace root
@@ -41,6 +42,7 @@ fn usage() -> ExitCode {
     eprintln!("usage: harness store <stats|gc> [--dir PATH]");
     eprintln!("       harness trace <net>");
     eprintln!("       harness backends <net>");
+    eprintln!("       harness lint <net>|--all");
     eprintln!(
         "nets: {}",
         NetworkKind::EXTENDED
@@ -394,6 +396,129 @@ fn backends_cmd(net: &str) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// Statically verifies every kernel of one network and appends the
+/// per-kernel table (plus any diagnostics) to `out`. Returns the
+/// severity totals `(errors, warnings, lints)`.
+fn lint_network(kind: NetworkKind, preset: Preset, out: &mut String) -> Result<(u64, u64, u64), String> {
+    use tango_isa::verify::{verify_launch, LaunchSpec};
+
+    let mut gpu = tango_sim::Gpu::new(GpuConfig::gp102());
+    let net = tango_nets::build_network(&mut gpu, kind, preset, SEED)
+        .map_err(|e| format!("cannot build {}: {e}", kind.name()))?;
+
+    let _ = writeln!(out, "== {}@{} ==", kind.name().to_lowercase(), preset.name());
+    let _ = writeln!(
+        out,
+        "{:<26} {:<14} {:<12} {:>6} {:>4} {:>5} {:>5}  aligned",
+        "kernel", "grid", "block", "insts", "err", "warn", "lint"
+    );
+
+    let mut seen = std::collections::HashSet::new();
+    let mut totals = (0u64, 0u64, 0u64);
+    let mut diags = String::new();
+    for layer in net.layers() {
+        let k = layer.kernel();
+        let program = k.program();
+        if !seen.insert(program.name().to_string()) {
+            continue; // shared kernel already verified and listed
+        }
+        // Parameter words are verified as 256-byte aligned: that is the
+        // device allocator's guarantee for every buffer pointer, and
+        // scalar parameters only reach addresses through multiplications
+        // the affine domain treats as opaque anyway. Launches additionally
+        // re-verify against their concrete parameter words in the
+        // simulator's memo layer.
+        let spec = LaunchSpec {
+            grid: k.grid(),
+            block: k.block(),
+            params: None,
+            param_align: 256,
+            mem_bytes: None,
+        };
+        let report = verify_launch(program, &spec);
+        let fmt_dim = |d: tango_isa::Dim3| format!("({},{},{})", d.x, d.y, d.z);
+        let _ = writeln!(
+            out,
+            "{:<26} {:<14} {:<12} {:>6} {:>4} {:>5} {:>5}  {}",
+            program.name(),
+            fmt_dim(k.grid()),
+            fmt_dim(k.block()),
+            program.instructions().len(),
+            report.error_count(),
+            report.warning_count(),
+            report.lint_count(),
+            if report.aligned_certified { "yes" } else { "no" },
+        );
+        totals.0 += report.error_count() as u64;
+        totals.1 += report.warning_count() as u64;
+        totals.2 += report.lint_count() as u64;
+        for d in &report.diagnostics {
+            let _ = writeln!(diags, "{}: {d}", program.name());
+        }
+    }
+    if !diags.is_empty() {
+        let _ = writeln!(out);
+        let _ = write!(out, "{diags}");
+    }
+    let _ = writeln!(out);
+    Ok(totals)
+}
+
+fn lint_cmd(net: &str) -> ExitCode {
+    let preset = preset_from_env();
+    let kinds: Vec<NetworkKind> = if net == "--all" {
+        NetworkKind::EXTENDED.to_vec()
+    } else {
+        match parse_kind(net) {
+            Some(kind) => vec![kind],
+            None => {
+                eprintln!("error: unknown network {net:?}");
+                return usage();
+            }
+        }
+    };
+
+    let mut out = String::new();
+    let _ = writeln!(out, "kernel lint: static verification of generated kernels");
+    let _ = writeln!(out, "preset: {}  seed: {SEED:#x}", preset.name());
+    let _ = writeln!(out);
+    let mut totals = (0u64, 0u64, 0u64);
+    for kind in kinds {
+        match lint_network(kind, preset, &mut out) {
+            Ok((e, w, l)) => {
+                totals.0 += e;
+                totals.1 += w;
+                totals.2 += l;
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let _ = writeln!(
+        out,
+        "total: {} error(s), {} warning(s), {} lint(s)",
+        totals.0, totals.1, totals.2
+    );
+
+    print!("{out}");
+    let out_path = tango_harness::results_root().join("lint_report.txt");
+    if let Some(parent) = out_path.parent() {
+        let _ = std::fs::create_dir_all(parent);
+    }
+    if let Err(e) = std::fs::write(&out_path, &out) {
+        eprintln!("error: cannot write {}: {e}", out_path.display());
+        return ExitCode::FAILURE;
+    }
+    eprintln!("[lint] wrote {}", out_path.display());
+    if totals.0 > 0 {
+        eprintln!("error: {} error-severity diagnostic(s)", totals.0);
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let mut args = std::env::args();
     let _argv0 = args.next();
@@ -408,6 +533,10 @@ fn main() -> ExitCode {
         },
         Some("backends") => match (args.next(), args.next()) {
             (Some(net), None) => backends_cmd(&net),
+            _ => usage(),
+        },
+        Some("lint") => match (args.next(), args.next()) {
+            (Some(net), None) => lint_cmd(&net),
             _ => usage(),
         },
         _ => usage(),

@@ -18,6 +18,15 @@ pub enum IsaError {
         /// What is wrong with it.
         message: String,
     },
+    /// A branch or `ssy` target points at or past the end of the program.
+    BranchOutOfRange {
+        /// Index of the offending instruction.
+        pc: usize,
+        /// The out-of-range target.
+        target: u32,
+        /// Program length in instructions.
+        len: usize,
+    },
     /// The program ran out of register names (the per-thread file holds 255).
     RegisterOverflow,
     /// The program is empty or does not end every path with `exit`.
@@ -32,6 +41,12 @@ impl fmt::Display for IsaError {
             }
             IsaError::MalformedInstruction { pc, message } => {
                 write!(f, "malformed instruction at {pc}: {message}")
+            }
+            IsaError::BranchOutOfRange { pc, target, len } => {
+                write!(
+                    f,
+                    "instruction {pc} branches to {target} but the program has only {len} instructions"
+                )
             }
             IsaError::RegisterOverflow => write!(f, "kernel uses more than 255 registers"),
             IsaError::NoExit => write!(f, "program must contain at least one exit instruction"),

@@ -43,7 +43,7 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 mod analysis;
 mod asm;
@@ -54,8 +54,9 @@ mod instruction;
 mod opcode;
 mod operand;
 mod program;
+pub mod verify;
 
-pub use analysis::{max_live_registers, static_op_histogram};
+pub use analysis::{max_live_predicates, max_live_registers, static_op_histogram};
 pub use asm::parse_program;
 pub use builder::{KernelBuilder, Label};
 pub use dtype::DType;

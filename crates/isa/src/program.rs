@@ -156,8 +156,12 @@ impl KernelProgram {
             match inst.op {
                 Opcode::Bra | Opcode::Ssy => {
                     let t = inst.target.ok_or_else(|| malformed("missing branch target"))?;
-                    if t as usize > self.instructions.len() {
-                        return Err(IsaError::UnboundLabel { pc });
+                    if t as usize >= self.instructions.len() {
+                        return Err(IsaError::BranchOutOfRange {
+                            pc,
+                            target: t,
+                            len: self.instructions.len(),
+                        });
                     }
                 }
                 Opcode::Ld => {
@@ -269,6 +273,26 @@ mod tests {
     fn missing_exit_is_rejected() {
         let p = KernelProgram::from_parts("x".into(), vec![Instruction::new(Opcode::Nop, DType::U32)], 0, 0);
         assert!(matches!(p, Err(IsaError::NoExit)));
+    }
+
+    #[test]
+    fn branch_target_past_end_is_rejected() {
+        let mut bra = Instruction::new(Opcode::Bra, DType::U32);
+        bra.target = Some(2); // == len: one past the last valid pc
+        let exit = Instruction::new(Opcode::Exit, DType::U32);
+        let p = KernelProgram::from_parts("x".into(), vec![bra, exit], 0, 0);
+        assert!(matches!(
+            p,
+            Err(IsaError::BranchOutOfRange { pc: 0, target: 2, len: 2 })
+        ));
+    }
+
+    #[test]
+    fn branch_target_at_last_instruction_is_accepted() {
+        let mut bra = Instruction::new(Opcode::Bra, DType::U32);
+        bra.target = Some(1);
+        let exit = Instruction::new(Opcode::Exit, DType::U32);
+        assert!(KernelProgram::from_parts("x".into(), vec![bra, exit], 0, 0).is_ok());
     }
 
     #[test]

@@ -1,0 +1,105 @@
+//! Structural control-flow checks: reachability, fallthrough off the end,
+//! and guards on warp-wide instructions.
+
+use super::{Diagnostic, DiagnosticKind, Report};
+use crate::analysis::successors;
+use crate::{KernelProgram, Opcode};
+
+/// Runs the structural checks and returns the per-pc reachability map used
+/// by the later passes (so they never analyze or complain about dead code).
+pub(super) fn check(program: &KernelProgram, report: &mut Report) -> Vec<bool> {
+    let insts = program.instructions();
+    let n = insts.len();
+    let mut reachable = vec![false; n];
+    if n == 0 {
+        return reachable;
+    }
+
+    // Forward reachability from the entry. `ssy` additionally makes its
+    // reconvergence target reachable: diverged warps resume there even
+    // though no `bra` names it.
+    let mut work = vec![0usize];
+    reachable[0] = true;
+    while let Some(pc) = work.pop() {
+        let mut visit = |succ: usize| {
+            if !reachable[succ] {
+                reachable[succ] = true;
+                work.push(succ);
+            }
+        };
+        if insts[pc].op == Opcode::Ssy {
+            visit(insts[pc].target.expect("validated ssy carries a target") as usize);
+        }
+        for succ in successors(insts, pc) {
+            visit(succ);
+        }
+    }
+
+    // Fallthrough off the end: a reachable instruction whose fall-through
+    // successor would be pc == n. The interpreter would index past the
+    // instruction array.
+    let last = n - 1;
+    if reachable[last] {
+        let inst = &insts[last];
+        let falls_off = match inst.op {
+            Opcode::Exit => inst.guard.is_some(),
+            Opcode::Bra => inst.guard.is_some(),
+            _ => true,
+        };
+        if falls_off {
+            report.diagnostics.push(Diagnostic {
+                kind: DiagnosticKind::FallthroughEnd,
+                pc: last as u32,
+                message: format!(
+                    "execution can fall through past the last instruction `{}`",
+                    inst
+                ),
+            });
+        }
+    }
+
+    // Unreachable code, reported once per contiguous range.
+    let mut pc = 0usize;
+    while pc < n {
+        if reachable[pc] {
+            pc += 1;
+            continue;
+        }
+        let start = pc;
+        while pc < n && !reachable[pc] {
+            pc += 1;
+        }
+        let end = pc - 1;
+        let span = if start == end {
+            format!("L{start}")
+        } else {
+            format!("L{start}..L{end}")
+        };
+        report.diagnostics.push(Diagnostic {
+            kind: DiagnosticKind::UnreachableCode,
+            pc: start as u32,
+            message: format!("{span} can never execute"),
+        });
+    }
+
+    // Guards on warp-wide ops: the machine arms `bar`/`ssy` for the whole
+    // warp regardless of the predicate, so a guard is dead weight at best
+    // and a misunderstanding at worst.
+    for (pc, inst) in insts.iter().enumerate() {
+        if reachable[pc]
+            && inst.guard.is_some()
+            && matches!(inst.op, Opcode::Bar | Opcode::Ssy)
+        {
+            report.diagnostics.push(Diagnostic {
+                kind: DiagnosticKind::IgnoredGuard,
+                pc: pc as u32,
+                message: format!(
+                    "`{}` executes warp-wide; its guard predicate is ignored",
+                    inst.op
+                ),
+            });
+        }
+    }
+
+    reachable
+}

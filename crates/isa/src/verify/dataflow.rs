@@ -1,0 +1,318 @@
+//! Dataflow passes: def-before-use for registers and predicates, float/int
+//! class consistency, and dead-store detection.
+
+use super::{Diagnostic, DiagnosticKind, Report};
+use crate::analysis::{successors, RegSet};
+use crate::{DType, Instruction, KernelProgram, Opcode, Operand};
+
+pub(super) fn check(program: &KernelProgram, reachable: &[bool], report: &mut Report) {
+    let insts = program.instructions();
+    if insts.is_empty() {
+        return;
+    }
+    check_defined_before_use(insts, reachable, report);
+    check_dtype_classes(insts, reachable, report);
+    check_dead_stores(program, reachable, report);
+}
+
+/// Forward may-assign analysis. A register (or predicate) read at a pc that
+/// *no* path can have assigned is undefined on every execution: the machine
+/// would read whatever the register window holds. Guarded writes count as
+/// assignments, so only definitely-never-written uses are reported.
+fn check_defined_before_use(insts: &[Instruction], reachable: &[bool], report: &mut Report) {
+    let n = insts.len();
+    // may_regs[pc] / may_preds[pc]: registers possibly assigned on some path
+    // reaching pc. Entry starts empty; merge is union.
+    let mut may_regs = vec![RegSet::default(); n];
+    let mut may_preds = vec![RegSet::default(); n];
+    let mut seeded = vec![false; n];
+    seeded[0] = true;
+
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for pc in 0..n {
+            if !seeded[pc] || !reachable[pc] {
+                continue;
+            }
+            let inst = &insts[pc];
+            let mut out_regs = may_regs[pc];
+            let mut out_preds = may_preds[pc];
+            if let Some(d) = inst.dst {
+                out_regs.insert(d.0);
+            }
+            if let Some(p) = inst.pdst {
+                out_preds.insert(p.0);
+            }
+            for succ in successors(insts, pc) {
+                if !seeded[succ] {
+                    seeded[succ] = true;
+                    changed = true;
+                }
+                changed |= may_regs[succ].union_with(&out_regs);
+                changed |= may_preds[succ].union_with(&out_preds);
+            }
+        }
+    }
+
+    let mut reported_regs = RegSet::default();
+    let mut reported_preds = RegSet::default();
+    for (pc, inst) in insts.iter().enumerate() {
+        if !reachable[pc] {
+            continue;
+        }
+        for src in &inst.srcs {
+            if let Operand::Reg(r) = src {
+                if !may_regs[pc].contains(r.0) && !reported_regs.contains(r.0) {
+                    reported_regs.insert(r.0);
+                    report.diagnostics.push(Diagnostic {
+                        kind: DiagnosticKind::UndefinedRegister,
+                        pc: pc as u32,
+                        message: format!("%r{} is read but never written on any path here", r.0),
+                    });
+                }
+            }
+        }
+        if let Some((p, _)) = inst.guard {
+            if !may_preds[pc].contains(p.0) && !reported_preds.contains(p.0) {
+                reported_preds.insert(p.0);
+                report.diagnostics.push(Diagnostic {
+                    kind: DiagnosticKind::UndefinedPredicate,
+                    pc: pc as u32,
+                    message: format!("%p{} guards this instruction but no `set` ever writes it", p.0),
+                });
+            }
+        }
+    }
+}
+
+/// Value class a register holds, as far as bit-level tracking can tell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Class {
+    /// Nothing known yet (bottom).
+    Bottom,
+    /// Written by an integer-typed operation.
+    Int,
+    /// Written by a float-typed operation.
+    Float,
+    /// Both on different paths, or deliberately type-punned (top).
+    Mixed,
+}
+
+impl Class {
+    fn join(self, other: Class) -> Class {
+        match (self, other) {
+            (Class::Bottom, x) | (x, Class::Bottom) => x,
+            (a, b) if a == b => a,
+            _ => Class::Mixed,
+        }
+    }
+}
+
+fn class_of_dtype(dtype: DType) -> Class {
+    if dtype.is_float() {
+        Class::Float
+    } else {
+        Class::Int
+    }
+}
+
+/// Does this opcode arithmetically interpret its register sources (so that
+/// feeding it the wrong class is a meaningful lint)? Bit ops (`mov`, `and`,
+/// `or`, `xor`, shifts) move or mask bits and accept any class; narrow-width
+/// integer mixing (a `u16` counter feeding a `u32` `mad`) is a deliberate
+/// suite idiom and is *not* flagged — only float-vs-int class confusion is.
+fn interprets_sources(op: Opcode) -> bool {
+    matches!(
+        op,
+        Opcode::Add
+            | Opcode::Sub
+            | Opcode::Mul
+            | Opcode::Mad
+            | Opcode::Mad24
+            | Opcode::Min
+            | Opcode::Max
+            | Opcode::Abs
+            | Opcode::Rcp
+            | Opcode::Rsqrt
+            | Opcode::Ex2
+            | Opcode::Set
+    )
+}
+
+/// Float transcendental units always decode their input as f32, whatever
+/// the instruction's nominal dtype says.
+fn always_float(op: Opcode) -> bool {
+    matches!(op, Opcode::Rcp | Opcode::Rsqrt | Opcode::Ex2)
+}
+
+fn check_dtype_classes(insts: &[Instruction], reachable: &[bool], report: &mut Report) {
+    let n = insts.len();
+    let nregs = 256usize;
+    let mut in_class: Vec<Vec<Class>> = vec![vec![Class::Bottom; nregs]; n];
+    let mut seeded = vec![false; n];
+    seeded[0] = true;
+
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for pc in 0..n {
+            if !seeded[pc] || !reachable[pc] {
+                continue;
+            }
+            let inst = &insts[pc];
+            let mut out = in_class[pc].clone();
+            if let Some(d) = inst.dst {
+                let written = write_class(inst, &in_class[pc]);
+                out[d.0 as usize] = if inst.guard.is_some() {
+                    // A guarded write merges lanewise with the old value.
+                    out[d.0 as usize].join(written)
+                } else {
+                    written
+                };
+            }
+            for succ in successors(insts, pc) {
+                if !seeded[succ] {
+                    seeded[succ] = true;
+                    changed = true;
+                }
+                for r in 0..nregs {
+                    let joined = in_class[succ][r].join(out[r]);
+                    if joined != in_class[succ][r] {
+                        in_class[succ][r] = joined;
+                        changed = true;
+                    }
+                }
+            }
+        }
+    }
+
+    for (pc, inst) in insts.iter().enumerate() {
+        if !reachable[pc] {
+            continue;
+        }
+        // Which class does each source position get interpreted as?
+        let wants: Vec<(usize, Class)> = match inst.op {
+            op if interprets_sources(op) => {
+                let c = if always_float(op) {
+                    Class::Float
+                } else {
+                    class_of_dtype(inst.dtype)
+                };
+                inst.srcs.iter().enumerate().map(|(i, _)| (i, c)).collect()
+            }
+            Opcode::Cvt => {
+                let src = inst.src_dtype.expect("validated cvt has src dtype");
+                vec![(0, class_of_dtype(src))]
+            }
+            // Address operand is integer; stored value carries the dtype.
+            Opcode::Ld => vec![(0, Class::Int)],
+            Opcode::St => vec![(0, Class::Int), (1, class_of_dtype(inst.dtype))],
+            _ => vec![],
+        };
+        for (idx, want) in wants {
+            let Some(Operand::Reg(r)) = inst.srcs.get(idx) else {
+                continue;
+            };
+            let have = in_class[pc][r.0 as usize];
+            let confused = matches!(
+                (have, want),
+                (Class::Int, Class::Float) | (Class::Float, Class::Int)
+            );
+            if confused {
+                report.diagnostics.push(Diagnostic {
+                    kind: DiagnosticKind::TypeConfusion,
+                    pc: pc as u32,
+                    message: format!(
+                        "%r{} was last written as {} but `{}` consumes it as {} (no cvt in between)",
+                        r.0,
+                        if have == Class::Float { "f32" } else { "an integer" },
+                        inst,
+                        if want == Class::Float { "f32" } else { "an integer" },
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// The class an instruction writes into its destination.
+fn write_class(inst: &Instruction, in_class: &[Class]) -> Class {
+    match inst.op {
+        // Loads and converts stamp the instruction dtype.
+        Opcode::Ld | Opcode::Cvt => class_of_dtype(inst.dtype),
+        // `mov` copies bits: propagate the source register's class when
+        // known, otherwise trust the annotation (covers float immediates).
+        Opcode::Mov => match inst.srcs.first() {
+            Some(Operand::Reg(r)) if in_class[r.0 as usize] != Class::Bottom => {
+                in_class[r.0 as usize]
+            }
+            Some(Operand::Special(_)) => Class::Int,
+            _ => class_of_dtype(inst.dtype),
+        },
+        // Bit ops preserve whatever they were fed when it is uniform.
+        Opcode::And | Opcode::Or | Opcode::Xor | Opcode::Shl | Opcode::Shr => {
+            match inst.srcs.first() {
+                Some(Operand::Reg(r)) if in_class[r.0 as usize] != Class::Bottom => {
+                    in_class[r.0 as usize]
+                }
+                _ => class_of_dtype(inst.dtype),
+            }
+        }
+        op if always_float(op) => Class::Float,
+        // `set` writes a 0/1 mask into a GPR destination.
+        Opcode::Set => Class::Int,
+        _ => class_of_dtype(inst.dtype),
+    }
+}
+
+/// Backward liveness; an unguarded register write whose destination is dead
+/// in every successor did work that nothing observes.
+fn check_dead_stores(program: &KernelProgram, reachable: &[bool], report: &mut Report) {
+    let insts = program.instructions();
+    let n = insts.len();
+    let mut live_in = vec![RegSet::default(); n];
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for pc in (0..n).rev() {
+            let mut out = RegSet::default();
+            for succ in successors(insts, pc) {
+                out.union_with(&live_in[succ]);
+            }
+            let inst = &insts[pc];
+            if let Some(d) = inst.dst {
+                if inst.guard.is_none() {
+                    out.remove(d.0);
+                }
+            }
+            for src in &inst.srcs {
+                if let Operand::Reg(r) = src {
+                    out.insert(r.0);
+                }
+            }
+            if live_in[pc] != out {
+                live_in[pc] = out;
+                changed = true;
+            }
+        }
+    }
+
+    for (pc, inst) in insts.iter().enumerate() {
+        if !reachable[pc] || inst.guard.is_some() {
+            continue;
+        }
+        let Some(d) = inst.dst else { continue };
+        let mut live_out = RegSet::default();
+        for succ in successors(insts, pc) {
+            live_out.union_with(&live_in[succ]);
+        }
+        if !live_out.contains(d.0) {
+            report.diagnostics.push(Diagnostic {
+                kind: DiagnosticKind::DeadStore,
+                pc: pc as u32,
+                message: format!("`{}` writes %r{} but no path ever reads it", inst, d.0),
+            });
+        }
+    }
+}

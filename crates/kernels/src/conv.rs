@@ -321,6 +321,7 @@ mod tests {
     use tango_sim::GpuConfig;
     use tango_tensor::{ops, Shape, SplitMix64, Tensor};
 
+    #[allow(clippy::too_many_arguments)]
     fn check_conv(c_in: u32, h: u32, w: u32, c_out: u32, k: u32, stride: u32, pad: u32, relu: bool, out_pad: u32) {
         let mut rng = SplitMix64::new((c_in + h + k + stride + pad) as u64);
         let input = Tensor::uniform(Shape::nchw(1, c_in as usize, h as usize, w as usize), -1.0, 1.0, &mut rng);

@@ -15,6 +15,23 @@ pub struct LayerKernel {
 
 impl LayerKernel {
     pub(crate) fn new(program: KernelProgram, grid: Dim3, block: Dim3) -> Self {
+        // In debug and test builds every generated kernel goes through the
+        // static verifier at construction; an error-severity diagnostic
+        // (undefined register, fallthrough off the end, provable
+        // out-of-bounds) is a generator bug, not an input problem.
+        if cfg!(debug_assertions) {
+            let spec = tango_isa::verify::LaunchSpec::geometry(grid, block);
+            let report = tango_isa::verify::verify_launch(&program, &spec);
+            if report.has_errors() {
+                let msgs: Vec<String> =
+                    report.diagnostics.iter().map(|d| d.to_string()).collect();
+                panic!(
+                    "kernel `{}` failed static verification:\n{}",
+                    program.name(),
+                    msgs.join("\n")
+                );
+            }
+        }
         LayerKernel { program, grid, block }
     }
 

@@ -540,8 +540,8 @@ mod tests {
         // Output halo stays zero so a following padded conv is sound.
         let plane = gpu.memory().read_f32s(d_out.raw_addr(), d_out.ch_stride() as usize);
         let pitch = d_out.row_pitch() as usize;
-        for x in 0..pitch {
-            assert_eq!(plane[x], 0.0, "top halo row must remain zero");
+        for (x, &v) in plane.iter().enumerate().take(pitch) {
+            assert_eq!(v, 0.0, "top halo row {x} must remain zero");
         }
     }
 

@@ -1,0 +1,65 @@
+//! Conformance: every kernel of every network at every preset passes the
+//! static verifier with no error-severity diagnostics.
+//!
+//! This is the suite-wide half of the verifier contract. (The negative
+//! half — each diagnostic kind firing on a purpose-built bad kernel —
+//! lives in `tango_isa::verify`'s unit tests.) `LayerKernel::new` already
+//! panics on error diagnostics in debug builds, so this test would fail
+//! at construction too; running the verifier explicitly also asserts the
+//! *warning* level stays clean and keeps the contract enforced in
+//! release-mode test runs.
+
+use tango_isa::verify::{verify_launch, LaunchSpec, Severity};
+use tango_nets::{build_network, NetworkKind, Preset};
+use tango_sim::{Gpu, GpuConfig};
+
+const SEED: u64 = 0x7A16_0201_9151;
+
+fn check_suite(preset: Preset) {
+    for kind in NetworkKind::EXTENDED {
+        let mut gpu = Gpu::new(GpuConfig::gp102());
+        let net = build_network(&mut gpu, kind, preset, SEED)
+            .unwrap_or_else(|e| panic!("cannot build {}@{}: {e}", kind.name(), preset.name()));
+        for layer in net.layers() {
+            let k = layer.kernel();
+            let spec = LaunchSpec {
+                grid: k.grid(),
+                block: k.block(),
+                params: None,
+                param_align: 256,
+                mem_bytes: None,
+            };
+            let report = verify_launch(k.program(), &spec);
+            let bad: Vec<String> = report
+                .diagnostics
+                .iter()
+                .filter(|d| d.kind.severity() >= Severity::Warning)
+                .map(|d| d.to_string())
+                .collect();
+            assert!(
+                bad.is_empty(),
+                "{}@{} kernel `{}` (layer {}):\n{}",
+                kind.name(),
+                preset.name(),
+                k.program().name(),
+                layer.name(),
+                bad.join("\n")
+            );
+        }
+    }
+}
+
+#[test]
+fn tiny_preset_kernels_verify_clean() {
+    check_suite(Preset::Tiny);
+}
+
+#[test]
+fn bench_preset_kernels_verify_clean() {
+    check_suite(Preset::Bench);
+}
+
+#[test]
+fn paper_preset_kernels_verify_clean() {
+    check_suite(Preset::Paper);
+}

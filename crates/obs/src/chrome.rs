@@ -91,9 +91,9 @@ pub fn export(trace: &Trace) -> String {
         }
         out.push('\n');
     }
-    let _ = write!(
+    let _ = writeln!(
         out,
-        "],\"displayTimeUnit\":\"ms\",\"droppedEvents\":{}}}\n",
+        "],\"displayTimeUnit\":\"ms\",\"droppedEvents\":{}}}",
         trace.dropped
     );
     out

@@ -30,7 +30,8 @@ impl Trace {
     /// Returns a description of the first violation.
     pub fn check_nesting(&self) -> Result<(), String> {
         // (domain pid, tid) -> stack of open (cat, name, ts).
-        let mut stacks: HashMap<(u32, u32), Vec<(&str, &str, u64)>> = HashMap::new();
+        type OpenSpan<'a> = (&'a str, &'a str, u64);
+        let mut stacks: HashMap<(u32, u32), Vec<OpenSpan<'_>>> = HashMap::new();
         // (cat, async id) -> open count.
         let mut async_open: HashMap<(&str, i64), i64> = HashMap::new();
         for ev in &self.events {

@@ -102,7 +102,7 @@ mod tests {
         // 90 samples of 5, then 10 of 1000: the p50/p95 boundary falls
         // inside and just past the duplicate run.
         let mut s = vec![5u64; 90];
-        s.extend(std::iter::repeat(1000).take(10));
+        s.extend(std::iter::repeat_n(1000, 10));
         assert_eq!(percentile(&s, 50.0), 5);
         assert_eq!(percentile(&s, 90.0), 5, "rank 90 is the last duplicate");
         assert_eq!(percentile(&s, 90.1), 1000, "rank 91 is the first outlier");

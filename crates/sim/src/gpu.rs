@@ -108,6 +108,34 @@ impl Gpu {
         self.mem.high_water_bytes()
     }
 
+    /// Statically verifies a launch without running it: structural CFG
+    /// checks, dataflow lints, and the thread-affine access analysis from
+    /// [`tango_isa::verify`], evaluated against this device's actual
+    /// memory size and the concrete parameter words.
+    ///
+    /// The launch memo layer consults the same analysis: when it proves
+    /// every global access is an aligned 32-bit word
+    /// ([`Report::aligned_certified`](tango_isa::verify::Report)), the
+    /// recorder skips its per-access width/alignment poison probes. That
+    /// only elides a check the proof says cannot fire — replayed results
+    /// stay byte-identical.
+    pub fn verify_launch(
+        &self,
+        program: &KernelProgram,
+        grid: Dim3,
+        block: Dim3,
+        params: &[u32],
+    ) -> tango_isa::verify::Report {
+        let spec = tango_isa::verify::LaunchSpec {
+            grid,
+            block,
+            params: Some(params),
+            param_align: 1,
+            mem_bytes: Some(self.mem.size_bytes() as u64),
+        };
+        tango_isa::verify::verify_launch(program, &spec)
+    }
+
     /// Launches `program` over `grid` x `block` threads with the given
     /// 32-bit parameters (typically buffer addresses and layer dimensions)
     /// and `smem_bytes` of per-CTA shared memory.
@@ -224,7 +252,16 @@ impl Gpu {
                     replayed = Some(stats);
                 }
                 None => {
-                    recorder = Some(MemoRecorder::new(key, self.memsys.state_tag(), self.mem.size_bytes()));
+                    let mut rec = MemoRecorder::new(key, self.memsys.state_tag(), self.mem.size_bytes());
+                    // One static verification per static key: a proof that
+                    // every global access is an aligned word lets the
+                    // recorder drop its per-access poison probes.
+                    if memo::certification(key, || {
+                        self.verify_launch(program, grid, block, params).aligned_certified
+                    }) {
+                        rec.certify();
+                    }
+                    recorder = Some(rec);
                     // Stamp a fresh tag *before* simulation mutates the
                     // hierarchy, so an abandoned frame can never leave a
                     // stale tag describing a state that no longer exists.
@@ -634,8 +671,8 @@ mod tests {
             &SimOptions::new(),
         );
         let out = gpu.download_f32s(y_addr, n);
-        for i in 0..n {
-            assert_eq!(out[i], 0.5 * i as f32 + (i * 2) as f32, "element {i}");
+        for (i, &v) in out.iter().enumerate() {
+            assert_eq!(v, 0.5 * i as f32 + (i * 2) as f32, "element {i}");
         }
         assert!(stats.cycles > 0);
         assert!(stats.warp_instructions > 0);

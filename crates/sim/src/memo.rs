@@ -154,6 +154,10 @@ pub(crate) struct MemoRecorder {
     key: u64,
     pre_tag: u64,
     poisoned: bool,
+    /// Statically certified: the verifier proved every global access in
+    /// this launch is a 4-byte aligned word, so the per-access poison
+    /// probe below is skipped (it could never fire).
+    certified: bool,
     /// Bitmap over 4-byte device words: read-or-written already.
     seen: Vec<u64>,
     /// Byte addresses of clean first reads, in simulation order.
@@ -173,12 +177,21 @@ impl MemoRecorder {
             key,
             pre_tag,
             poisoned: false,
+            certified: false,
             seen: vec![0u64; words / 64 + 1],
             probes: Vec::new(),
             read_hash: SigHasher::new(),
             writes: Vec::new(),
             max_write_end: 0,
         }
+    }
+
+    /// Marks the launch as statically certified (see
+    /// [`crate::Gpu::verify_launch`]): the width/alignment poison probes
+    /// are elided because the verifier proved they cannot trigger. The
+    /// recording itself is unchanged — replay stays byte-identical.
+    pub fn certify(&mut self) {
+        self.certified = true;
     }
 
     /// Drops the recording buffers: a poisoned launch keeps simulating but
@@ -199,7 +212,11 @@ impl MemoRecorder {
         if self.poisoned {
             return;
         }
-        if !wide || addr & 3 != 0 {
+        debug_assert!(
+            !self.certified || (wide && addr & 3 == 0),
+            "certified kernel made a narrow or unaligned read at {addr:#x}"
+        );
+        if !self.certified && (!wide || addr & 3 != 0) {
             self.poison();
             return;
         }
@@ -218,7 +235,11 @@ impl MemoRecorder {
         if self.poisoned {
             return;
         }
-        if !wide || addr & 3 != 0 {
+        debug_assert!(
+            !self.certified || (wide && addr & 3 == 0),
+            "certified kernel made a narrow or unaligned write at {addr:#x}"
+        );
+        if !self.certified && (!wide || addr & 3 != 0) {
             self.poison();
             return;
         }
@@ -325,6 +346,28 @@ pub(crate) fn record(rec: MemoRecorder, post_memsys: &MemorySystem, stats: &Kern
         .entry(rec.key)
         .or_default()
         .push(entry);
+}
+
+/// Per-static-key verification verdicts, so a kernel relaunched with the
+/// same static description is verified once per process, not once per
+/// launch.
+fn cert_table() -> &'static Mutex<HashMap<u64, bool>> {
+    static CERTS: OnceLock<Mutex<HashMap<u64, bool>>> = OnceLock::new();
+    CERTS.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// Returns the cached certification verdict for `key`, computing and
+/// caching it with `compute` on first sight.
+pub(crate) fn certification(key: u64, compute: impl FnOnce() -> bool) -> bool {
+    if let Some(&c) = cert_table().lock().unwrap_or_else(|e| e.into_inner()).get(&key) {
+        return c;
+    }
+    let c = compute();
+    cert_table()
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .insert(key, c);
+    c
 }
 
 /// Memo table occupancy: `(static keys, entries, approximate bytes)`.

@@ -327,7 +327,7 @@ mod tests {
             let o = occ(&[0, 1, 2, 3, 4]);
             let order = s.candidate_order(&o);
             match policy {
-                SchedulerPolicy::Tlv => assert_eq!(order.len(), 5.min(6)),
+                SchedulerPolicy::Tlv => assert_eq!(order.len(), 5),
                 _ => assert_eq!(order.len(), 5),
             }
             let mut sorted = order.clone();

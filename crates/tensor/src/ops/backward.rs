@@ -283,7 +283,7 @@ pub fn softmax_cross_entropy(scores: &Tensor, label: usize) -> Result<(f32, Tens
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::ops::{conv2d, fully_connected, max_pool2d, relu};
+    use crate::ops::{conv2d, fully_connected, max_pool2d};
     use crate::SplitMix64;
 
     /// Central-difference numerical gradient of a scalar loss.

@@ -224,7 +224,7 @@ mod tests {
 
     #[test]
     fn eltwise_add_adds() {
-        let a = Tensor::filled(Shape::vector(3).into(), 1.0);
+        let a = Tensor::filled(Shape::vector(3), 1.0);
         let b = Tensor::from_vec(Shape::vector(3), vec![1.0, 2.0, 3.0]);
         let out = eltwise_add(&a, &b).unwrap();
         assert_eq!(out.as_slice(), &[2.0, 3.0, 4.0]);
