@@ -59,7 +59,7 @@ for f in "$SCRATCH"/fig*.txt "$SCRATCH"/table*.txt; do
 done
 
 echo "== harness trace: tracing must not change a single output byte =="
-TRACE_BIN="cargo run --release -q -p tango-harness --bin harness --"
+TRACE_BIN="cargo run --release -q -p tango-cli --bin harness --"
 TANGO_PRESET=tiny $TRACE_BIN trace cifarnet > "$SCRATCH/untraced.out" 2>/dev/null
 TANGO_PRESET=tiny TANGO_TRACE="$SCRATCH/trace.json" \
     $TRACE_BIN trace cifarnet > "$SCRATCH/traced.out" 2>"$SCRATCH/traced.err"
@@ -95,7 +95,7 @@ if [ "$cap_status" -ne 2 ]; then
 fi
 
 echo "== harness lint: zero error-severity diagnostics, deterministic report =="
-LINT_BIN="cargo run --release -q -p tango-harness --bin harness --"
+LINT_BIN="cargo run --release -q -p tango-cli --bin harness --"
 # Exit code 1 here means an error-severity diagnostic in a suite kernel.
 TANGO_PRESET=tiny TANGO_RESULTS_DIR="$SCRATCH" \
     $LINT_BIN lint --all > "$SCRATCH/lint1.out" 2>/dev/null
@@ -115,8 +115,8 @@ fi
 echo "== harness store stats/gc (stale record must be dropped) =="
 # Inject a record written under schema version 1; gc must remove exactly it.
 printf 'TNGR\x01\x00\x00\x00stale' > "$SCRATCH/store/gru-00000000deadbeef.run"
-cargo run --release -q -p tango-harness --bin harness -- store stats --dir "$SCRATCH/store"
-gc_out=$(cargo run --release -q -p tango-harness --bin harness -- store gc --dir "$SCRATCH/store")
+cargo run --release -q -p tango-cli --bin harness -- store stats --dir "$SCRATCH/store"
+gc_out=$(cargo run --release -q -p tango-cli --bin harness -- store gc --dir "$SCRATCH/store")
 echo "$gc_out"
 case "$gc_out" in
     "removed 1 stale record"*) ;;
@@ -131,7 +131,7 @@ TANGO_RESULTS_DIR="$SCRATCH" \
     cargo run --release -q -p tango-bench --bin serve_bench -- --smoke
 
 echo "== harness backends: byte-identical across reruns and worker counts =="
-BACKENDS_BIN="cargo run --release -q -p tango-harness --bin harness --"
+BACKENDS_BIN="cargo run --release -q -p tango-cli --bin harness --"
 for net in cifarnet gru; do
     TANGO_PRESET=tiny TANGO_RESULTS_DIR="$SCRATCH" TANGO_JOBS=1 \
         $BACKENDS_BIN backends "$net" > "$SCRATCH/backends_${net}_j1.out" 2>/dev/null
@@ -171,10 +171,54 @@ grep -q 'TANGO_BACKENDS' "$SCRATCH/backends.err" || {
     exit 1
 }
 
+echo "== harness fleet --smoke: byte-identical across reruns and worker counts =="
+FLEET_BIN="cargo run --release -q -p tango-cli --bin harness --"
+TANGO_RESULTS_DIR="$SCRATCH" TANGO_JOBS=1 \
+    $FLEET_BIN fleet --smoke > "$SCRATCH/fleet_j1.out" 2>/dev/null
+cp "$SCRATCH/fleet_bench.txt" "$SCRATCH/fleet_bench_j1.txt"
+TANGO_RESULTS_DIR="$SCRATCH" TANGO_JOBS=4 \
+    $FLEET_BIN fleet --smoke > "$SCRATCH/fleet_j4.out" 2>"$SCRATCH/fleet_j4.err"
+if ! cmp -s "$SCRATCH/fleet_j1.out" "$SCRATCH/fleet_j4.out"; then
+    echo "FAIL: harness fleet differs across TANGO_JOBS settings" >&2
+    diff "$SCRATCH/fleet_j1.out" "$SCRATCH/fleet_j4.out" >&2 || true
+    exit 1
+fi
+if ! cmp -s "$SCRATCH/fleet_bench_j1.txt" "$SCRATCH/fleet_bench.txt"; then
+    echo "FAIL: fleet_bench.txt differs across TANGO_JOBS settings" >&2
+    exit 1
+fi
+# Stdout and the results artifact must agree byte for byte.
+if ! cmp -s "$SCRATCH/fleet_j1.out" "$SCRATCH/fleet_bench.txt"; then
+    echo "FAIL: fleet_bench.txt diverges from stdout" >&2
+    exit 1
+fi
+# The second pass ran over a warm store: zero re-simulations.
+grep -q 'store hits=[0-9]* misses=0' "$SCRATCH/fleet_j4.err" || {
+    echo "FAIL: warm harness fleet re-ran models" >&2
+    cat "$SCRATCH/fleet_j4.err" >&2
+    exit 1
+}
+
+echo "== harness fleet: garbage TANGO_FLEET_REQUESTS must exit 2 =="
+set +e
+TANGO_RESULTS_DIR="$SCRATCH" TANGO_FLEET_REQUESTS=garbage \
+    $FLEET_BIN fleet --smoke >/dev/null 2>"$SCRATCH/fleet.err"
+fleet_status=$?
+set -e
+if [ "$fleet_status" -ne 2 ]; then
+    echo "FAIL: TANGO_FLEET_REQUESTS=garbage exited $fleet_status, want 2" >&2
+    cat "$SCRATCH/fleet.err" >&2
+    exit 1
+fi
+grep -q 'TANGO_FLEET_REQUESTS' "$SCRATCH/fleet.err" || {
+    echo "FAIL: TANGO_FLEET_REQUESTS error does not name the variable" >&2
+    exit 1
+}
+
 echo "== bench_perf: perf baseline artifacts =="
 TANGO_PRESET=tiny TANGO_RESULTS_DIR="$SCRATCH" TANGO_JOBS=2 \
     cargo run --release -q -p tango-bench --bin bench_perf >/dev/null
-for f in BENCH_sim.json BENCH_serve.json; do
+for f in BENCH_sim.json BENCH_serve.json BENCH_fleet.json; do
     if [ ! -s "$SCRATCH/$f" ]; then
         echo "FAIL: bench_perf did not write $f" >&2
         exit 1
@@ -202,7 +246,7 @@ grep -q 'TANGO_BENCH_SAMPLES' "$SCRATCH/samples.err" || {
 }
 
 echo "== committed perf artifacts present =="
-for f in results/profile.txt results/BENCH_sim.json results/BENCH_serve.json results/bench_history.jsonl; do
+for f in results/profile.txt results/BENCH_sim.json results/BENCH_serve.json results/BENCH_fleet.json results/bench_history.jsonl results/fleet_bench.txt; do
     if [ ! -s "$f" ]; then
         echo "FAIL: $f missing or empty (regenerate with repro_all / bench_perf)" >&2
         exit 1
@@ -217,7 +261,7 @@ mkdir -p "$SCRATCH/perf"
 TANGO_RESULTS_DIR="$SCRATCH/perf" \
     cargo run --release -q -p tango-bench --bin bench_perf >/dev/null
 if command -v python3 >/dev/null 2>&1; then
-    for f in BENCH_sim.json BENCH_serve.json; do
+    for f in BENCH_sim.json BENCH_serve.json BENCH_fleet.json; do
         python3 - "$SCRATCH/perf/$f" "results/$f" <<'PY'
 import json, sys
 new, old = json.load(open(sys.argv[1])), json.load(open(sys.argv[2]))

@@ -12,6 +12,10 @@
 //!   wall-clock second and per simulated megacycle for an open-loop
 //!   trace at offered load 1.0, with batch costs precomputed through
 //!   the store so the timed region is the engine itself.
+//! * `results/BENCH_fleet.json` — fleet-engine throughput: requests per
+//!   wall-clock second for each routing policy over a diurnal trace
+//!   against three table-costed heterogeneous pools with autoscaling on,
+//!   so the timed region is pure engine (no store, no simulator).
 //! * `results/bench_history.jsonl` — one appended line per run with the
 //!   headline rates, so the perf trajectory of the codebase is
 //!   recorded over time instead of overwritten.
@@ -136,9 +140,73 @@ fn serve_leg(kinds: &[NetworkKind], workers: usize) -> tango_serve::Result<JsonO
     Ok(obj)
 }
 
+/// Fleet-engine throughput: the heterogeneous DES itself, timed over
+/// table cost models so no store or simulator wall time leaks into the
+/// measurement. Every policy replays the same diurnal trace; the
+/// simulated quantities (completed/shed counts) stay deterministic
+/// while the wall-clock rates measure the host.
+fn fleet_leg() -> tango_serve::Result<JsonObject> {
+    use tango_fleet::{
+        run_fleet, AutoscaleConfig, ClassSpec, FleetConfig, FleetCost, FleetTrace, PoolSpec, RoutePolicy,
+        TableFleetCost,
+    };
+    const FLEET_REQUESTS: usize = 2000;
+    let kinds = [NetworkKind::Gru, NetworkKind::CifarNet];
+    // Three synthetic device generations: a fast server part, a mid
+    // part that can scale to zero, and a slow always-on edge part.
+    let curve = |c: TableFleetCost| {
+        c.with_kind(NetworkKind::Gru, 8_000, 400)
+            .with_kind(NetworkKind::CifarNet, 20_000, 1_000)
+    };
+    let fast = curve(TableFleetCost::new(2.0));
+    let mid = curve(TableFleetCost::new(1.0));
+    let slow = curve(TableFleetCost::new(0.25));
+    let costs: Vec<&dyn FleetCost> = vec![&fast, &mid, &slow];
+    let classes = vec![ClassSpec::with_slo("interactive", 400_000), ClassSpec::best_effort("batch")];
+    let trace = FleetTrace::diurnal(&kinds, &classes, FLEET_REQUESTS, 700, 200_000, 0.2, SEED);
+
+    let mut obj = JsonObject::new()
+        .str("bench", "fleet")
+        .str("seed", &format!("{SEED:#x}"))
+        .int("requests", FLEET_REQUESTS as u64)
+        .int("pools", costs.len() as u64);
+    let (mut total_completed, mut total_wall_s) = (0u64, 0.0f64);
+    for policy in RoutePolicy::ALL {
+        let config = FleetConfig {
+            pools: vec![
+                PoolSpec::elastic("fast", 2, 1, 4),
+                PoolSpec::elastic("mid", 1, 0, 2),
+                PoolSpec::fixed("slow", 1),
+            ],
+            classes: classes.clone(),
+            queue_bound: 128,
+            max_batch: 8,
+            max_delay_ns: 2_000,
+            policy,
+            autoscale: Some(AutoscaleConfig {
+                interval_ns: 4_000,
+                high_queue_per_device: 3,
+                low_queue_per_device: 1,
+            }),
+        };
+        let start = Instant::now();
+        let report = run_fleet(&trace, &config, &costs)?;
+        let wall_s = start.elapsed().as_secs_f64();
+        total_completed += report.completed() as u64;
+        total_wall_s += wall_s;
+        let key = policy.name();
+        obj = obj
+            .int(&format!("{key}_completed"), report.completed() as u64)
+            .int(&format!("{key}_shed"), report.shed() as u64)
+            .num(&format!("{key}_wall_s"), wall_s)
+            .num(&format!("{key}_requests_per_sec"), report.completed() as f64 / wall_s);
+    }
+    Ok(obj.num("fleet_requests_per_sec", total_completed as f64 / total_wall_s))
+}
+
 /// One `bench_history.jsonl` record: headline rates copied from the
-/// two per-leg objects plus enough context to interpret them later.
-fn history_line(sim: &JsonObject, serve: &JsonObject, timed_runs: u32) -> String {
+/// per-leg objects plus enough context to interpret them later.
+fn history_line(sim: &JsonObject, serve: &JsonObject, fleet: &JsonObject, timed_runs: u32) -> String {
     let ts = SystemTime::now().duration_since(UNIX_EPOCH).map_or(0, |d| d.as_secs());
     let mut hist = JsonObject::new()
         .int("ts_unix", ts)
@@ -160,6 +228,9 @@ fn history_line(sim: &JsonObject, serve: &JsonObject, timed_runs: u32) -> String
         if let Some(v) = serve.get(key) {
             hist = hist.raw(key, v);
         }
+    }
+    if let Some(v) = fleet.get("fleet_requests_per_sec") {
+        hist = hist.raw("fleet_requests_per_sec", v);
     }
     hist.render()
 }
@@ -201,7 +272,17 @@ fn run() -> ExitCode {
     };
     emit_file("BENCH_serve.json", &serve.render());
 
-    append_line("bench_history.jsonl", &history_line(&sim, &serve, timed_runs));
+    eprintln!("[perf] fleet leg: 3 policies over one diurnal trace (table costs, engine only)");
+    let fleet = match fleet_leg() {
+        Ok(obj) => obj,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    emit_file("BENCH_fleet.json", &fleet.render());
+
+    append_line("bench_history.jsonl", &history_line(&sim, &serve, &fleet, timed_runs));
     ExitCode::SUCCESS
 }
 

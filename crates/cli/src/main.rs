@@ -1,4 +1,4 @@
-//! Harness CLI: store maintenance and single-run tracing.
+//! Harness CLI: store maintenance, single-run tracing, and fleet runs.
 //!
 //! ```text
 //! harness store stats [--dir PATH]   # classify and count records
@@ -6,7 +6,12 @@
 //! harness trace <net>                # simulate one network, optionally traced
 //! harness backends <net>             # per-layer GPU vs systolic vs FPGA table
 //! harness lint <net>|--all           # static kernel verification report
+//! harness fleet [--smoke]            # routing policies over heterogeneous pools
 //! ```
+//!
+//! (The binary is still called `harness`, but it lives in the
+//! `tango-cli` crate: `fleet` needs `tango-fleet`, whose dependency
+//! chain passes through `tango-harness` itself.)
 //!
 //! The store defaults to `results/store/` at the workspace root
 //! (`TANGO_RESULTS_DIR` respected); `--dir` points at any other store
@@ -27,11 +32,17 @@
 
 use std::fmt::Write as _;
 use std::process::ExitCode;
+use std::sync::Arc;
 use tango::{simulate_run, RunSpec};
 use tango_backend::{BackendJob, BackendKind, BackendRun, BackendRunSpec, BackendSpec, Precision, SystolicConfig};
+use tango_fleet::{
+    render_comparison, run_fleet, AutoscaleConfig, ClassSpec, FleetConfig, FleetCost, FleetReport, FleetTrace,
+    PoolSpec, RoutePolicy,
+};
 use tango_fpga::PynqConfig;
 use tango_harness::{workers_from_env, RunStore, StableHasher, Suite, STORE_SCHEMA_VERSION};
 use tango_nets::{NetworkKind, Preset};
+use tango_serve::SimCostModel;
 use tango_sim::{GpuConfig, SimOptions};
 
 /// The deterministic seed every reproduction binary uses
@@ -43,6 +54,7 @@ fn usage() -> ExitCode {
     eprintln!("       harness trace <net>");
     eprintln!("       harness backends <net>");
     eprintln!("       harness lint <net>|--all");
+    eprintln!("       harness fleet [--smoke]");
     eprintln!(
         "nets: {}",
         NetworkKind::EXTENDED
@@ -519,6 +531,230 @@ fn lint_cmd(net: &str) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// Strict environment lookup for fleet knobs: absent means `default`,
+/// present-but-garbage is a usage error naming the variable (exit 2),
+/// exactly like `TANGO_JOBS` / `TANGO_BACKENDS`.
+fn fleet_env_u64(name: &str, default: u64) -> Result<u64, String> {
+    match std::env::var(name) {
+        Err(std::env::VarError::NotPresent) => Ok(default),
+        Err(std::env::VarError::NotUnicode(_)) => Err(format!("{name} is set to a non-UTF-8 value")),
+        Ok(raw) => raw
+            .trim()
+            .parse::<u64>()
+            .map_err(|_| format!("{name} must be an unsigned integer, got {raw:?}")),
+    }
+}
+
+/// The fixed heterogeneous roster a fleet run schedules across: three
+/// GPU generations spanning the paper's device spectrum plus the
+/// PYNQ-Z1 FPGA, every one costed by the store-backed simulator.
+fn fleet_pools(store: &Arc<RunStore>, preset: Preset) -> Vec<(PoolSpec, SimCostModel)> {
+    let model = |spec: BackendSpec| {
+        SimCostModel::new(store.clone(), GpuConfig::gp102(), preset, SEED, SimOptions::new()).with_backend(spec)
+    };
+    vec![
+        // The server part: elastic, carries the peaks.
+        (
+            PoolSpec::elastic("gp102", 1, 1, 3),
+            model(BackendSpec::Gpu(GpuConfig::gp102())),
+        ),
+        // The old server part: spun up only when load demands it, and
+        // allowed to scale all the way to zero.
+        (
+            PoolSpec::elastic("gk210", 1, 0, 2),
+            model(BackendSpec::Gpu(GpuConfig::gk210())),
+        ),
+        // The mobile part: one of it, always on.
+        (PoolSpec::fixed("tx1", 1), model(BackendSpec::Gpu(GpuConfig::tx1()))),
+        // The FPGA: one of it, always on.
+        (
+            PoolSpec::fixed("pynq-z1", 1),
+            model(BackendSpec::Fpga(PynqConfig::pynq_z1())),
+        ),
+    ]
+}
+
+fn fleet_cmd(smoke: bool) -> ExitCode {
+    // Strict environment validation before any work.
+    let trace_path = match tango_obs::init_from_env() {
+        Ok(path) => path,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let workers = match workers_from_env("TANGO_JOBS") {
+        Ok(n) => n,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let requests = match fleet_env_u64("TANGO_FLEET_REQUESTS", if smoke { 120 } else { 400 }) {
+        Ok(0) => {
+            eprintln!("error: TANGO_FLEET_REQUESTS must be positive");
+            return ExitCode::from(2);
+        }
+        Ok(n) => n as usize,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let seed = match fleet_env_u64("TANGO_FLEET_SEED", SEED) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    // Smoke pins the tiny preset so CI stays bounded.
+    let preset = if smoke { Preset::Tiny } else { preset_from_env() };
+    let store = Arc::new(RunStore::open_default());
+    let pools = fleet_pools(&store, preset);
+    let kinds = [NetworkKind::Gru, NetworkKind::CifarNet];
+    let max_batch: u32 = if smoke { 2 } else { 4 };
+
+    eprintln!("[fleet] precomputing batch costs ({workers} workers)");
+    for (_, cost) in &pools {
+        if let Err(e) = cost.precompute(&kinds, max_batch, workers) {
+            eprintln!("error: cost precompute failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    // Anchor every timescale on measured service times: `svc_fast` (the
+    // fastest kind on its best pool) paces the load so the same ρ
+    // stresses the same operating points at every preset, and the
+    // interactive SLO budgets 8x the *slowest* kind's best-pool service
+    // time — every kind can meet it on an idle fast pool, so
+    // slo_infeasible sheds mean real backlog, not a structurally
+    // impossible deadline.
+    let mut best_ns_per_kind = vec![u64::MAX; kinds.len()];
+    for (_, cost) in &pools {
+        for (ki, &kind) in kinds.iter().enumerate() {
+            match cost.batch_cost(kind, 1) {
+                Ok(c) => best_ns_per_kind[ki] = best_ns_per_kind[ki].min(c.ns),
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    }
+    let svc_fast = best_ns_per_kind.iter().copied().min().unwrap_or(1).max(1);
+    let slo_anchor = best_ns_per_kind.iter().copied().max().unwrap_or(1).max(1);
+
+    let classes = vec![
+        ClassSpec::with_slo("interactive", slo_anchor.saturating_mul(8)),
+        ClassSpec::best_effort("batch"),
+    ];
+    let devices_at_start: u64 = pools.iter().map(|(p, _)| p.devices as u64).sum();
+    let config_for = |policy: RoutePolicy| FleetConfig {
+        pools: pools.iter().map(|(p, _)| p.clone()).collect(),
+        classes: classes.clone(),
+        queue_bound: if smoke { 16 } else { 64 },
+        max_batch,
+        max_delay_ns: svc_fast / 2,
+        policy,
+        autoscale: Some(AutoscaleConfig {
+            interval_ns: svc_fast.max(1),
+            high_queue_per_device: 3,
+            low_queue_per_device: 1,
+        }),
+    };
+    let costs: Vec<&dyn FleetCost> = pools.iter().map(|(_, c)| c as &dyn FleetCost).collect();
+
+    // One diurnal day and one bursty stretch, each replayed against
+    // every routing policy so the sections are directly comparable.
+    // Peak load runs hot relative to the starting fleet (ρ ≈ 1.5
+    // against the fastest device class) so routing and scaling choices
+    // actually show up as sheds and tail latency.
+    let peak_gap = (svc_fast / (devices_at_start * 3 / 2).max(1)).max(1);
+    let diurnal = FleetTrace::diurnal(&kinds, &classes, requests, peak_gap, svc_fast * 50, 0.2, seed);
+    let bursty = FleetTrace::bursty(&kinds, &classes, requests, peak_gap * 4, svc_fast * 40, svc_fast * 8, 6, seed ^ 1);
+
+    let mut out = String::new();
+    for (label, trace) in [("diurnal", &diurnal), ("bursty", &bursty)] {
+        let mut runs: Vec<(FleetConfig, FleetReport)> = Vec::new();
+        for policy in RoutePolicy::ALL {
+            let config = config_for(policy);
+            match run_fleet(trace, &config, &costs) {
+                Ok(report) => runs.push((config, report)),
+                Err(e) => {
+                    eprintln!("error: fleet run failed ({label}, {}): {e}", policy.name());
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        if smoke {
+            // Exact accounting: every request either completed or shed
+            // with an explicit reason, under every policy.
+            for (config, report) in &runs {
+                let by_reason: usize = tango_fleet::ShedReason::ALL.iter().map(|&r| report.shed_by(r)).sum();
+                if report.completed() + report.shed() != trace.len() || by_reason != report.shed() {
+                    eprintln!(
+                        "error: [smoke] {label}/{}: {} completed + {} shed != {} requests (reasons {})",
+                        config.policy.name(),
+                        report.completed(),
+                        report.shed(),
+                        trace.len(),
+                        by_reason
+                    );
+                    return ExitCode::FAILURE;
+                }
+            }
+            // Replays must be byte-identical.
+            let config = config_for(RoutePolicy::CostAware);
+            match run_fleet(trace, &config, &costs) {
+                Ok(again) if again == runs[2].1 => {}
+                Ok(_) => {
+                    eprintln!("error: [smoke] {label}: replay diverged");
+                    return ExitCode::FAILURE;
+                }
+                Err(e) => {
+                    eprintln!("error: [smoke] {label}: replay failed: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        let _ = writeln!(out, "=== trace: {label} ===");
+        let refs: Vec<(&FleetConfig, &FleetReport)> = runs.iter().map(|(c, r)| (c, r)).collect();
+        out.push_str(&render_comparison(trace, &refs));
+        let _ = writeln!(out);
+    }
+
+    print!("{out}");
+    let out_path = tango_harness::results_root().join("fleet_bench.txt");
+    if let Some(parent) = out_path.parent() {
+        let _ = std::fs::create_dir_all(parent);
+    }
+    if let Err(e) = std::fs::write(&out_path, &out) {
+        eprintln!("error: cannot write {}: {e}", out_path.display());
+        return ExitCode::FAILURE;
+    }
+    // Cache accounting goes to stderr so stdout stays byte-identical
+    // across cold and warm stores and across worker counts.
+    eprintln!("[fleet] store hits={} misses={}", store.hits(), store.misses());
+    eprintln!("[fleet] wrote {}", out_path.display());
+
+    if let Some(path) = trace_path {
+        let trace = tango_obs::drain();
+        if let Err(e) = tango_obs::write_chrome_file(&path, &trace) {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!(
+            "[fleet] trace: wrote {} events to {} ({} dropped)",
+            trace.len(),
+            path.display(),
+            trace.dropped
+        );
+    }
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let mut args = std::env::args();
     let _argv0 = args.next();
@@ -537,6 +773,11 @@ fn main() -> ExitCode {
         },
         Some("lint") => match (args.next(), args.next()) {
             (Some(net), None) => lint_cmd(&net),
+            _ => usage(),
+        },
+        Some("fleet") => match (args.next().as_deref(), args.next()) {
+            (None, _) => fleet_cmd(false),
+            (Some("--smoke"), None) => fleet_cmd(true),
             _ => usage(),
         },
         _ => usage(),

@@ -1,0 +1,93 @@
+//! Per-pool cost models.
+//!
+//! The fleet schedules across devices with *different clocks*, so
+//! everything it asks a pool is denominated in the wall-normalized
+//! [`BatchCost`] — cycles on the device clock, nanoseconds of wall
+//! time, joules. [`tango_serve::SimCostModel`] (store-backed, simulator-
+//! or backend-measured) implements the trait directly; [`TableFleetCost`]
+//! is the affine in-memory stand-in for unit tests and engine-only
+//! throughput benches.
+
+use tango_nets::NetworkKind;
+use tango_serve::{BatchCost, Result, SimCostModel};
+
+/// What a pool's devices cost to run one batch. Implementations must be
+/// deterministic: the same `(kind, batch)` always returns the same cost.
+pub trait FleetCost {
+    /// Full cost of dispatching `batch` coalesced requests of `kind` to
+    /// one device of this pool.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulation failures (table models never fail).
+    fn batch_cost(&self, kind: NetworkKind, batch: u32) -> Result<BatchCost>;
+}
+
+impl FleetCost for SimCostModel {
+    fn batch_cost(&self, kind: NetworkKind, batch: u32) -> Result<BatchCost> {
+        SimCostModel::batch_cost(self, kind, batch)
+    }
+}
+
+/// An affine table cost on a fixed device clock: `base + per_request *
+/// batch` cycles at `clock_ghz`, with `energy_per_cycle_j` joules per
+/// cycle. One entry per kind, with a default curve for unlisted kinds.
+#[derive(Debug, Clone)]
+pub struct TableFleetCost {
+    entries: std::collections::BTreeMap<&'static str, (u64, u64)>,
+    clock_ghz: f64,
+    energy_per_cycle_j: f64,
+}
+
+impl TableFleetCost {
+    /// An empty table on a `clock_ghz` device.
+    pub fn new(clock_ghz: f64) -> Self {
+        assert!(clock_ghz > 0.0, "device clock must be positive");
+        TableFleetCost {
+            entries: std::collections::BTreeMap::new(),
+            clock_ghz,
+            energy_per_cycle_j: 1e-9,
+        }
+    }
+
+    /// Sets `kind`'s cost to `base + per_request * batch` cycles.
+    pub fn with_kind(mut self, kind: NetworkKind, base: u64, per_request: u64) -> Self {
+        self.entries.insert(kind.name(), (base, per_request));
+        self
+    }
+
+    /// Sets the energy drawn per device cycle, in joules.
+    pub fn with_energy_per_cycle(mut self, joules: f64) -> Self {
+        self.energy_per_cycle_j = joules;
+        self
+    }
+}
+
+impl FleetCost for TableFleetCost {
+    fn batch_cost(&self, kind: NetworkKind, batch: u32) -> Result<BatchCost> {
+        let (base, per_request) = self.entries.get(kind.name()).copied().unwrap_or((1000, 100));
+        let cycles = base + per_request * u64::from(batch);
+        Ok(BatchCost::from_cycles(
+            cycles,
+            self.clock_ghz,
+            cycles as f64 * self.energy_per_cycle_j,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_cost_normalizes_by_clock() {
+        let fast = TableFleetCost::new(2.0).with_kind(NetworkKind::Gru, 1000, 0);
+        let slow = TableFleetCost::new(0.5).with_kind(NetworkKind::Gru, 1000, 0);
+        let f = fast.batch_cost(NetworkKind::Gru, 1).unwrap();
+        let s = slow.batch_cost(NetworkKind::Gru, 1).unwrap();
+        assert_eq!(f.cycles, s.cycles, "same cycle count");
+        assert_eq!(f.ns, 500);
+        assert_eq!(s.ns, 2000, "the slow clock stretches wall time 4x");
+        assert!(f.energy_j > 0.0);
+    }
+}

@@ -22,8 +22,10 @@ use tango_sim::{CacheGeometry, GpuConfig, PowerConstants, SchedulerPolicy, SimOp
 ///
 /// History: v1 = initial schema; v2 = `SimOptions::batch` joined the key
 /// derivation; v3 = backend records (`.acc`) and the backend
-/// discriminant joined the schema.
-pub const STORE_SCHEMA_VERSION: u32 = 3;
+/// discriminant joined the schema; v4 = single-block (ChannelLoop)
+/// kernels dropped their dead `%ctaid.x` read — keys do not hash kernel
+/// programs, so the emission change must retire old records here.
+pub const STORE_SCHEMA_VERSION: u32 = 4;
 
 /// Stable numeric code for a network kind (part of the on-disk schema —
 /// append-only).

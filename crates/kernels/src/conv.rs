@@ -1,4 +1,4 @@
-use crate::emit::{emit_counted_loop, emit_pixel_id, tile_geometry};
+use crate::emit::{emit_counted_loop, emit_pixel_id, emit_pixel_xy, tile_geometry};
 use crate::{DeviceTensor, KernelError, LayerKernel, Result};
 use tango_isa::{DType, Dim3, KernelBuilder, Operand, Reg};
 use tango_sim::{Gpu, KernelStats, SimOptions};
@@ -157,7 +157,18 @@ impl Conv2d {
         style: MapStyle,
     ) -> Result<tango_isa::KernelProgram> {
         let mut b = KernelBuilder::new(format!("conv{kh}x{kw}s{stride}_{c_in}to{c_out}"));
-        let px = emit_pixel_id(&mut b, h_out, w_out, block);
+        // Single-block kernels take the output channel from the in-kernel
+        // loop, not the grid, so they skip the `%ctaid.x` read entirely.
+        let (grid_co, oy, ox) = match style {
+            MapStyle::PerNeuron => {
+                let px = emit_pixel_id(&mut b, h_out, w_out, block);
+                (Some(px.co), px.oy, px.ox)
+            }
+            MapStyle::ChannelLoop => {
+                let (oy, ox) = emit_pixel_xy(&mut b, h_out, w_out, block);
+                (None, oy, ox)
+            }
+        };
 
         // Parameters: buffer addresses and run-time pitches.
         let in_base = b.load_param(0); // halo-origin address of the input
@@ -172,9 +183,9 @@ impl Conv2d {
         // Input window origin (relative to the halo origin, so never
         // negative): pixel_base = in_base + 4*(oy*stride*irow + ox*stride).
         let iy0 = b.reg();
-        b.mul(DType::U32, iy0, px.oy.into(), Operand::imm_u32(stride));
+        b.mul(DType::U32, iy0, oy.into(), Operand::imm_u32(stride));
         let ix0 = b.reg();
-        b.mul(DType::U32, ix0, px.ox.into(), Operand::imm_u32(stride));
+        b.mul(DType::U32, ix0, ox.into(), Operand::imm_u32(stride));
         let px_off = b.reg();
         b.mad_lo(DType::U32, px_off, iy0, irow.into(), ix0.into());
         let px_base = b.reg();
@@ -225,15 +236,15 @@ impl Conv2d {
             if relu {
                 b.max(DType::F32, acc, acc.into(), Operand::imm_f32(0.0));
             }
-            b.mad_lo(DType::U32, o_off, co, och.into(), px.ox.into());
-            b.mad_lo(DType::U32, o_off, px.oy, orow.into(), o_off.into());
+            b.mad_lo(DType::U32, o_off, co, och.into(), ox.into());
+            b.mad_lo(DType::U32, o_off, oy, orow.into(), o_off.into());
             b.shl(DType::U32, o_addr, o_off.into(), Operand::imm_u32(2));
             b.add(DType::U32, o_addr, o_addr.into(), out_base.into());
             b.st_global(DType::F32, o_addr, 0, acc);
         };
 
         match style {
-            MapStyle::PerNeuron => body(&mut b, px.co),
+            MapStyle::PerNeuron => body(&mut b, grid_co.expect("PerNeuron maps the channel from the grid")),
             MapStyle::ChannelLoop => {
                 emit_counted_loop(&mut b, c_out, DType::U32, &mut |b, co| body(b, co));
             }

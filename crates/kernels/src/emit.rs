@@ -28,11 +28,21 @@ pub(crate) struct PixelId {
 /// [`tile_geometry`]: computes `(channel, y, x)` and exits out-of-range
 /// threads of edge tiles.
 pub(crate) fn emit_pixel_id(b: &mut KernelBuilder, h: u32, w: u32, block: Dim3) -> PixelId {
-    use tango_isa::Special;
     let co = b.reg();
+    b.ctaid_x(co);
+    let (oy, ox) = emit_pixel_xy(b, h, w, block);
+    PixelId { co, oy, ox }
+}
+
+/// The spatial-only prologue for single-block kernels: the whole output
+/// plane is one block at grid `(1,1,1)` and channels are looped
+/// in-kernel, so `%ctaid.x` is identically zero — reading it into a
+/// register nothing consumes is exactly the dead store the verifier's
+/// lint pass flags. Returns `(oy, ox)`.
+pub(crate) fn emit_pixel_xy(b: &mut KernelBuilder, h: u32, w: u32, block: Dim3) -> (Reg, Reg) {
+    use tango_isa::Special;
     let oy = b.reg();
     let ox = b.reg();
-    b.ctaid_x(co);
     let ty = b.reg();
     b.ctaid_y(ty);
     b.mad_lo(DType::U32, oy, ty, Operand::imm_u32(block.y), Special::TidY.into());
@@ -52,7 +62,7 @@ pub(crate) fn emit_pixel_id(b: &mut KernelBuilder, h: u32, w: u32, block: Dim3) 
         b.exit();
         b.guard_last(p, true);
     }
-    PixelId { co, oy, ox }
+    (oy, ox)
 }
 
 /// Emits a counted loop `for i in 0..bound` with the counter typed `dtype`

@@ -1,4 +1,4 @@
-use crate::emit::{emit_counted_loop, emit_pixel_id, tile_geometry};
+use crate::emit::{emit_counted_loop, emit_pixel_id, emit_pixel_xy, tile_geometry};
 use crate::{DeviceTensor, KernelError, LayerKernel, Result};
 use tango_isa::{DType, Dim3, KernelBuilder, Operand};
 use tango_sim::{Gpu, KernelStats, SimOptions};
@@ -94,7 +94,18 @@ impl MaxPool2d {
         channel_loop: Option<u32>,
     ) -> Result<tango_isa::KernelProgram> {
         let mut b = KernelBuilder::new(format!("maxpool{window}s{stride}"));
-        let px = emit_pixel_id(&mut b, h_out, w_out, block);
+        // Single-block kernels take the channel from the in-kernel loop,
+        // not the grid, so they skip the `%ctaid.x` read entirely.
+        let (grid_co, oy, ox) = match channel_loop {
+            None => {
+                let px = emit_pixel_id(&mut b, h_out, w_out, block);
+                (Some(px.co), px.oy, px.ox)
+            }
+            Some(_) => {
+                let (oy, ox) = emit_pixel_xy(&mut b, h_out, w_out, block);
+                (None, oy, ox)
+            }
+        };
         let in_base = b.load_param(0); // interior origin of the input
         let out_base = b.load_param(1);
         let irow = b.load_param(2);
@@ -103,9 +114,9 @@ impl MaxPool2d {
         let och = b.load_param(5);
 
         let iy0 = b.reg();
-        b.mul(DType::U32, iy0, px.oy.into(), Operand::imm_u32(stride));
+        b.mul(DType::U32, iy0, oy.into(), Operand::imm_u32(stride));
         let ix0 = b.reg();
-        b.mul(DType::U32, ix0, px.ox.into(), Operand::imm_u32(stride));
+        b.mul(DType::U32, ix0, ox.into(), Operand::imm_u32(stride));
 
         let best = b.reg();
         let iy = b.reg();
@@ -135,15 +146,15 @@ impl MaxPool2d {
                     b.max(DType::F32, best, best.into(), v.into());
                 });
             });
-            b.mad_lo(DType::U32, o_off, co, och.into(), px.ox.into());
-            b.mad_lo(DType::U32, o_off, px.oy, orow.into(), o_off.into());
+            b.mad_lo(DType::U32, o_off, co, och.into(), ox.into());
+            b.mad_lo(DType::U32, o_off, oy, orow.into(), o_off.into());
             b.shl(DType::U32, o_addr, o_off.into(), Operand::imm_u32(2));
             b.add(DType::U32, o_addr, o_addr.into(), out_base.into());
             b.st_global(DType::F32, o_addr, 0, best);
         };
 
         match channel_loop {
-            None => body(&mut b, px.co),
+            None => body(&mut b, grid_co.expect("grid-mapped channel")),
             Some(c) => emit_counted_loop(&mut b, c, DType::U32, &mut |b, co| body(b, co)),
         }
         b.exit();

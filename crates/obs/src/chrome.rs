@@ -40,7 +40,7 @@ fn ts_into(out: &mut String, domain: Domain, ts: u64) {
         Domain::Virtual | Domain::Engine => {
             let _ = write!(out, "{ts}");
         }
-        Domain::Host => {
+        Domain::Fleet | Domain::Host => {
             let _ = write!(out, "{}.{:03}", ts / 1000, ts % 1000);
         }
     }

@@ -12,19 +12,24 @@ pub enum Domain {
     Virtual,
     /// Serving-engine virtual cycles (explicitly stamped).
     Engine,
+    /// Fleet-simulation virtual nanoseconds (explicitly stamped). The
+    /// fleet mixes devices with different clocks, so its timeline is
+    /// wall-normalized: per-pool device and queue tracks live here.
+    Fleet,
     /// Host monotonic nanoseconds since trace start.
     Host,
 }
 
 impl Domain {
     /// All domains, in export order.
-    pub const ALL: [Domain; 3] = [Domain::Virtual, Domain::Engine, Domain::Host];
+    pub const ALL: [Domain; 4] = [Domain::Virtual, Domain::Engine, Domain::Fleet, Domain::Host];
 
     /// The Chrome trace `pid` this domain exports under.
     pub fn pid(self) -> u32 {
         match self {
             Domain::Virtual => 0,
             Domain::Engine => 1,
+            Domain::Fleet => 3,
             Domain::Host => 2,
         }
     }
@@ -34,6 +39,7 @@ impl Domain {
         match self {
             Domain::Virtual => "virtual (cycles)",
             Domain::Engine => "engine (cycles)",
+            Domain::Fleet => "fleet (ns)",
             Domain::Host => "host (ns)",
         }
     }
@@ -109,8 +115,11 @@ mod tests {
 
     #[test]
     fn domains_have_distinct_pids() {
-        let pids: Vec<u32> = Domain::ALL.iter().map(|d| d.pid()).collect();
-        assert_eq!(pids, vec![0, 1, 2]);
+        let mut pids: Vec<u32> = Domain::ALL.iter().map(|d| d.pid()).collect();
+        assert_eq!(pids, vec![0, 1, 3, 2]);
+        pids.sort_unstable();
+        pids.dedup();
+        assert_eq!(pids.len(), Domain::ALL.len(), "pids must be distinct");
     }
 
     #[test]

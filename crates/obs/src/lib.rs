@@ -74,7 +74,8 @@ pub use env::{cap_from_env, init_from_env, parse_event_cap, trace_path_from_env,
 pub use event::{Domain, Event, Phase};
 pub use recorder::{
     advance_virtual, current_tid, disable, drain, emit, enable, engine_async_begin, engine_async_end,
-    engine_counter_at, engine_instant_at, engine_span_at, hcounter, hinstant, host_now_ns, hspan, is_enabled,
-    reset_current_thread, vcounter, vcounter_at, vinstant, virtual_now, vspan, vspan_begin, vspan_end_at, SpanGuard,
+    engine_counter_at, engine_instant_at, engine_span_at, fleet_counter_at, fleet_instant_at, fleet_span_at,
+    hcounter, hinstant, host_now_ns, hspan, is_enabled, reset_current_thread, vcounter, vcounter_at, vinstant,
+    virtual_now, vspan, vspan_begin, vspan_end_at, SpanGuard,
 };
 pub use trace::Trace;

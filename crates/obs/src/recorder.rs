@@ -199,7 +199,9 @@ impl Drop for SpanGuard {
             let ts = match domain {
                 Domain::Virtual => virtual_now(),
                 Domain::Host => host_now_ns(),
-                Domain::Engine => unreachable!("engine spans are stamped explicitly"),
+                Domain::Engine | Domain::Fleet => {
+                    unreachable!("engine/fleet spans are stamped explicitly")
+                }
             };
             thread_event(domain, ts, Phase::End, cat, &name, 0);
         }
@@ -360,6 +362,66 @@ pub fn engine_async_end(ts: u64, tid: u32, cat: &'static str, name: &str, id: u6
         cat,
         name: name.to_string(),
         value: id as i64,
+    });
+}
+
+/// A complete fleet-clock span `[begin_ts, end_ts]` (nanoseconds) on
+/// logical track `tid` (a per-pool device track, in practice).
+pub fn fleet_span_at(begin_ts: u64, end_ts: u64, tid: u32, cat: &'static str, name: &str) {
+    if !is_enabled() {
+        return;
+    }
+    emit(Event {
+        domain: Domain::Fleet,
+        tid,
+        ts: begin_ts,
+        phase: Phase::Begin,
+        cat,
+        name: name.to_string(),
+        value: 0,
+    });
+    emit(Event {
+        domain: Domain::Fleet,
+        tid,
+        ts: end_ts,
+        phase: Phase::End,
+        cat,
+        name: name.to_string(),
+        value: 0,
+    });
+}
+
+/// Fleet-clock counter sample on logical track `tid` (queue depths,
+/// pool sizes, shed totals).
+pub fn fleet_counter_at(ts: u64, tid: u32, cat: &'static str, name: &str, value: i64) {
+    if !is_enabled() {
+        return;
+    }
+    emit(Event {
+        domain: Domain::Fleet,
+        tid,
+        ts,
+        phase: Phase::Counter,
+        cat,
+        name: name.to_string(),
+        value,
+    });
+}
+
+/// Fleet-clock instant marker on logical track `tid` (sheds, scale
+/// events).
+pub fn fleet_instant_at(ts: u64, tid: u32, cat: &'static str, name: &str) {
+    if !is_enabled() {
+        return;
+    }
+    emit(Event {
+        domain: Domain::Fleet,
+        tid,
+        ts,
+        phase: Phase::Instant,
+        cat,
+        name: name.to_string(),
+        value: 0,
     });
 }
 

@@ -54,7 +54,7 @@ impl Tree {
 fn fmt_time(domain: Domain, t: u64) -> String {
     match domain {
         Domain::Virtual | Domain::Engine => format!("{t} cyc"),
-        Domain::Host => format!("{}.{:03} ms", t / 1_000_000, (t / 1_000) % 1_000),
+        Domain::Fleet | Domain::Host => format!("{}.{:03} ms", t / 1_000_000, (t / 1_000) % 1_000),
     }
 }
 

@@ -23,6 +23,40 @@ pub trait CostModel {
     fn batch_cycles(&self, kind: NetworkKind, batch: u32) -> Result<u64>;
 }
 
+/// The full cost of one batch on a modelled device.
+///
+/// The serve engine only needs [`cycles`](BatchCost::cycles) — one pool
+/// of identical devices shares one clock, so cycles order events
+/// completely. A *fleet* of heterogeneous pools does not: a gk210 cycle
+/// and a gp102 cycle are different lengths of wall time, so cross-pool
+/// scheduling happens in [`ns`](BatchCost::ns), cycles divided by the
+/// device clock in GHz (cycles per nanosecond). Energy rides along for
+/// joules-per-request accounting.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BatchCost {
+    /// Device cycles for the batch (device-local clock).
+    pub cycles: u64,
+    /// Wall-normalized duration: `ceil(cycles / clock_ghz)` nanoseconds.
+    pub ns: u64,
+    /// Energy the batch consumes, in joules.
+    pub energy_j: f64,
+}
+
+impl BatchCost {
+    /// Normalizes `cycles` on a `clock_ghz` device into a cost. GHz is
+    /// cycles-per-nanosecond, so `ns = ceil(cycles / clock_ghz)`,
+    /// floored at 1 so a dispatched batch always occupies the device.
+    pub fn from_cycles(cycles: u64, clock_ghz: f64, energy_j: f64) -> Self {
+        assert!(clock_ghz > 0.0, "device clock must be positive");
+        let ns = ((cycles as f64 / clock_ghz).ceil() as u64).max(1);
+        BatchCost {
+            cycles: cycles.max(1),
+            ns,
+            energy_j,
+        }
+    }
+}
+
 /// An affine cost table: `base + per_request * batch` cycles, settable
 /// per network. The `base` term is what makes batching pay — it is
 /// amortized over the whole batch.
@@ -158,6 +192,41 @@ impl SimCostModel {
     pub fn store(&self) -> &RunStore {
         &self.store
     }
+
+    /// The full `(cycles, ns, energy)` cost of one `batch`-request
+    /// dispatch to `kind` — what a heterogeneous fleet schedules on.
+    ///
+    /// A **cold miss** (the store holds no record for this `(kind,
+    /// batch)`) simulates inline, exactly as [`precompute`] would have:
+    /// the store keys on the run spec alone, so a cold query, a
+    /// 1-worker precompute, and an N-worker precompute all converge on
+    /// byte-identical records. Worker count changes wall time, never
+    /// results.
+    ///
+    /// [`precompute`]: SimCostModel::precompute
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulation failures.
+    pub fn batch_cost(&self, kind: NetworkKind, batch: u32) -> Result<BatchCost> {
+        match &self.backend {
+            None => {
+                let (run, _hit) = self.store.fetch_run(&self.spec(kind, batch))?;
+                Ok(BatchCost::from_cycles(
+                    run.report.total_cycles(),
+                    self.config.clock_ghz,
+                    run.report.total_energy_j(),
+                ))
+            }
+            Some(backend) => {
+                let (run, _hit) = self
+                    .store
+                    .fetch_backend(&self.backend_spec(backend, kind, batch))
+                    .map_err(TangoError::from)?;
+                Ok(BatchCost::from_cycles(run.total_cycles(), run.clock_ghz, run.total_energy_j()))
+            }
+        }
+    }
 }
 
 impl CostModel for SimCostModel {
@@ -209,6 +278,91 @@ mod tests {
         assert_eq!(c1, c2);
         assert_eq!(store.misses(), misses, "second query must be a store hit");
         let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn cold_miss_matches_precompute_at_any_worker_count() {
+        // Satellite: a cold store must never diverge from a warmed one.
+        // Three fresh stores — (a) queried cold with no precompute,
+        // (b) precomputed with 1 worker, (c) precomputed with 4 workers
+        // — must agree on every (kind, batch) cost, cycles and energy
+        // both. The store keys on the run spec alone, so the only thing
+        // worker count may change is wall time.
+        let kinds = [NetworkKind::Gru];
+        let model_at = |tag: &str| {
+            let root = std::env::temp_dir().join(format!("tango-serve-cold-{tag}-{}", std::process::id()));
+            let _ = std::fs::remove_dir_all(&root);
+            (
+                SimCostModel::new(
+                    Arc::new(RunStore::at(&root)),
+                    GpuConfig::gp102(),
+                    Preset::Tiny,
+                    7,
+                    SimOptions::new(),
+                ),
+                root,
+            )
+        };
+        let (cold, cold_root) = model_at("a");
+        let (one, one_root) = model_at("b");
+        let (four, four_root) = model_at("c");
+        assert_eq!(cold.store().misses(), 0, "store must start empty");
+        one.precompute(&kinds, 2, 1).unwrap();
+        four.precompute(&kinds, 2, 4).unwrap();
+        for batch in 1..=2u32 {
+            let a = cold.batch_cost(NetworkKind::Gru, batch).unwrap();
+            let b = one.batch_cost(NetworkKind::Gru, batch).unwrap();
+            let c = four.batch_cost(NetworkKind::Gru, batch).unwrap();
+            assert_eq!(a, b, "cold miss diverged from 1-worker precompute at batch {batch}");
+            assert_eq!(b, c, "worker count changed precomputed cost at batch {batch}");
+            assert_eq!(a.cycles, cold.batch_cycles(NetworkKind::Gru, batch).unwrap());
+            // gp102 clocks above 1 GHz, so wall time compresses below
+            // the cycle count.
+            assert!(a.ns <= a.cycles, "1.48 GHz device: ns {} must not exceed cycles {}", a.ns, a.cycles);
+        }
+        assert!(cold.store().misses() > 0, "cold queries must have simulated inline");
+        for root in [cold_root, one_root, four_root] {
+            let _ = std::fs::remove_dir_all(&root);
+        }
+    }
+
+    #[test]
+    fn cold_miss_is_repeatable() {
+        // The same cold query answered twice from two fresh stores is
+        // byte-identical — a cold path that "precomputes
+        // deterministically" rather than failing or drifting.
+        let query = |tag: &str| {
+            let root = std::env::temp_dir().join(format!("tango-serve-coldrep-{tag}-{}", std::process::id()));
+            let _ = std::fs::remove_dir_all(&root);
+            let m = SimCostModel::new(
+                Arc::new(RunStore::at(&root)),
+                GpuConfig::gk210(),
+                Preset::Tiny,
+                11,
+                SimOptions::new(),
+            );
+            let cost = m.batch_cost(NetworkKind::Gru, 3).unwrap();
+            let _ = std::fs::remove_dir_all(&root);
+            cost
+        };
+        let (a, b) = (query("x"), query("y"));
+        assert_eq!(a, b);
+        assert!(a.energy_j > 0.0, "a simulated batch consumes energy");
+        // gk210 clocks at 0.745 GHz: each cycle is > 1 ns, so the
+        // wall-normalized duration must exceed the cycle count.
+        assert!(a.ns > a.cycles, "sub-GHz device: ns {} must exceed cycles {}", a.ns, a.cycles);
+    }
+
+    #[test]
+    fn batch_cost_normalizes_by_clock() {
+        let c = BatchCost::from_cycles(1000, 2.0, 0.5);
+        assert_eq!(c.cycles, 1000);
+        assert_eq!(c.ns, 500);
+        let sub_ghz = BatchCost::from_cycles(1000, 0.5, 0.5);
+        assert_eq!(sub_ghz.ns, 2000);
+        // Ceil, never floor-to-zero.
+        assert_eq!(BatchCost::from_cycles(1, 2.0, 0.0).ns, 1);
+        assert_eq!(BatchCost::from_cycles(0, 1.0, 0.0).cycles, 1);
     }
 
     #[test]

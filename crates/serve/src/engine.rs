@@ -20,9 +20,9 @@ use crate::cost::CostModel;
 use crate::error::Result;
 use crate::metrics::LatencySummary;
 use crate::policy::ServeConfig;
+use crate::pool::DeviceSet;
 use crate::trace::ArrivalTrace;
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, VecDeque};
+use std::collections::VecDeque;
 use tango_nets::NetworkKind;
 
 /// What happened to one request.
@@ -158,9 +158,9 @@ pub fn run_trace(trace: &ArrivalTrace, config: &ServeConfig, cost: &dyn CostMode
         .collect();
 
     let mut queues: Vec<VecDeque<Queued>> = kinds.iter().map(|_| VecDeque::new()).collect();
-    // Busy devices by completion time; free devices lowest-index-first.
-    let mut busy: BinaryHeap<Reverse<(u64, usize)>> = BinaryHeap::new();
-    let mut free: BinaryHeap<Reverse<usize>> = (0..config.devices).map(Reverse).collect();
+    // Busy devices retire by completion time; free ones dispatch
+    // lowest-index-first — both orders live in the shared DeviceSet.
+    let mut devices = DeviceSet::new(config.devices);
     let mut next_arrival = 0usize;
     let mut now = 0u64;
     let mut batches = 0u64;
@@ -171,13 +171,7 @@ pub fn run_trace(trace: &ArrivalTrace, config: &ServeConfig, cost: &dyn CostMode
 
     loop {
         // 1. Retire every batch whose device finished by `now`.
-        while let Some(&Reverse((done_at, device))) = busy.peek() {
-            if done_at > now {
-                break;
-            }
-            busy.pop();
-            free.push(Reverse(device));
-        }
+        devices.complete_until(now);
 
         // 2. Admit (or shed) every arrival due by `now`, in trace order.
         while next_arrival < arrivals.len() && arrivals[next_arrival].at_cycle <= now {
@@ -217,7 +211,7 @@ pub fn run_trace(trace: &ArrivalTrace, config: &ServeConfig, cost: &dyn CostMode
         // 3. Dispatch ready queues onto free devices. A queue is ready
         //    when it holds a full batch or its head has aged past the
         //    delay bound; ties prefer the oldest head, then kind order.
-        while let Some(&Reverse(device)) = free.peek() {
+        while devices.peek_free().is_some() {
             let ready = queues
                 .iter()
                 .enumerate()
@@ -229,11 +223,11 @@ pub fn run_trace(trace: &ArrivalTrace, config: &ServeConfig, cost: &dyn CostMode
                 })
                 .min();
             let Some((_, k)) = ready else { break };
-            free.pop();
             let queue = &mut queues[k];
             let batch_len = queue.len().min(max_batch);
             let exec = cost.batch_cycles(kinds[k], batch_len as u32)?;
             let completed = now + exec.max(1);
+            let device = devices.dispatch(now, completed).expect("peeked free device");
             let qtrack = QUEUE_TRACK_BASE + k as u32;
             if tango_obs::is_enabled() {
                 let label = format!("{}x{batch_len}", kinds[k].name());
@@ -250,7 +244,6 @@ pub fn run_trace(trace: &ArrivalTrace, config: &ServeConfig, cost: &dyn CostMode
                 };
             }
             tango_obs::engine_counter_at(now, qtrack, "serve.queue", "depth", queue.len() as i64);
-            busy.push(Reverse((completed, device)));
             makespan = makespan.max(completed);
             batches += 1;
         }
@@ -262,10 +255,10 @@ pub fn run_trace(trace: &ArrivalTrace, config: &ServeConfig, cost: &dyn CostMode
         if next_arrival < arrivals.len() {
             next = next.min(arrivals[next_arrival].at_cycle);
         }
-        if let Some(&Reverse((done_at, _))) = busy.peek() {
+        if let Some(done_at) = devices.next_completion() {
             next = next.min(done_at);
         }
-        if !free.is_empty() {
+        if devices.idle() > 0 {
             for q in &queues {
                 if let Some(head) = q.front() {
                     next = next.min(head.arrival.saturating_add(max_delay));

@@ -40,13 +40,16 @@ pub mod engine;
 mod error;
 mod metrics;
 mod policy;
+/// Deterministic device pools with drain-aware grow/shrink.
+pub mod pool;
 mod service;
 mod trace;
 
-pub use cost::{CostModel, SimCostModel, TableCostModel};
+pub use cost::{BatchCost, CostModel, SimCostModel, TableCostModel};
 pub use engine::{run_trace, Outcome, RequestRecord, ServeReport};
 pub use error::{Result, ServeError};
 pub use metrics::{percentile, LatencySummary};
 pub use policy::{BatchPolicy, ServeConfig};
+pub use pool::DeviceSet;
 pub use service::{InferenceReply, Service, ServiceConfig, Ticket};
 pub use trace::{Arrival, ArrivalTrace};
