@@ -199,6 +199,79 @@ grep -q 'store hits=[0-9]* misses=0' "$SCRATCH/fleet_j4.err" || {
     exit 1
 }
 
+echo "== metrics: collection must not change fleet_bench.txt by a byte =="
+cp "$SCRATCH/fleet_bench.txt" "$SCRATCH/fleet_bench_nometrics.txt"
+TANGO_RESULTS_DIR="$SCRATCH" TANGO_METRICS=1 TANGO_JOBS=1 \
+    $FLEET_BIN fleet --smoke > "$SCRATCH/fleet_metrics.out" 2>/dev/null
+if ! cmp -s "$SCRATCH/fleet_j1.out" "$SCRATCH/fleet_metrics.out"; then
+    echo "FAIL: TANGO_METRICS=1 changed harness fleet stdout" >&2
+    diff "$SCRATCH/fleet_j1.out" "$SCRATCH/fleet_metrics.out" >&2 || true
+    exit 1
+fi
+if ! cmp -s "$SCRATCH/fleet_bench_nometrics.txt" "$SCRATCH/fleet_bench.txt"; then
+    echo "FAIL: TANGO_METRICS=1 changed fleet_bench.txt" >&2
+    exit 1
+fi
+for f in metrics_fleet.txt metrics_fleet.jsonl metrics_fleet.prom; do
+    if [ ! -s "$SCRATCH/$f" ]; then
+        echo "FAIL: TANGO_METRICS=1 did not write $f" >&2
+        exit 1
+    fi
+done
+
+echo "== metrics: artifacts byte-identical across TANGO_JOBS =="
+for f in metrics_fleet.txt metrics_fleet.jsonl metrics_fleet.prom; do
+    cp "$SCRATCH/$f" "$SCRATCH/${f}.j1"
+done
+TANGO_RESULTS_DIR="$SCRATCH" TANGO_METRICS=1 TANGO_JOBS=4 \
+    $FLEET_BIN fleet --smoke >/dev/null 2>&1
+for f in metrics_fleet.txt metrics_fleet.jsonl metrics_fleet.prom; do
+    if ! cmp -s "$SCRATCH/${f}.j1" "$SCRATCH/$f"; then
+        echo "FAIL: $f differs across TANGO_JOBS settings" >&2
+        diff "$SCRATCH/${f}.j1" "$SCRATCH/$f" >&2 || true
+        exit 1
+    fi
+done
+# The smoke fleet is overloaded by construction; its bursty section
+# must trip the SLO burn-rate monitor, and the exposition must parse
+# under Python as a sanity floor (the binary already ran the in-tree
+# grammar checker before writing).
+grep -q 'ALERT' "$SCRATCH/metrics_fleet.txt" || {
+    echo "FAIL: metrics_fleet.txt contains no burn-rate alert" >&2
+    exit 1
+}
+
+echo "== metrics: garbage TANGO_METRICS / TANGO_METRICS_WINDOW must exit 2 =="
+for env_pair in "TANGO_METRICS=garbage" "TANGO_METRICS=1 TANGO_METRICS_WINDOW=0"; do
+    set +e
+    env $env_pair TANGO_RESULTS_DIR="$SCRATCH" \
+        $FLEET_BIN fleet --smoke >/dev/null 2>"$SCRATCH/metrics.err"
+    metrics_status=$?
+    set -e
+    if [ "$metrics_status" -ne 2 ]; then
+        echo "FAIL: $env_pair exited $metrics_status, want 2" >&2
+        cat "$SCRATCH/metrics.err" >&2
+        exit 1
+    fi
+    grep -q 'TANGO_METRICS' "$SCRATCH/metrics.err" || {
+        echo "FAIL: $env_pair error does not name the variable" >&2
+        exit 1
+    }
+done
+
+echo "== harness metrics: deterministic windowed registry from one run =="
+TANGO_PRESET=tiny $FLEET_BIN metrics gru > "$SCRATCH/metrics1.out" 2>/dev/null
+TANGO_PRESET=tiny $FLEET_BIN metrics gru > "$SCRATCH/metrics2.out" 2>/dev/null
+if ! cmp -s "$SCRATCH/metrics1.out" "$SCRATCH/metrics2.out"; then
+    echo "FAIL: harness metrics differs across identical runs" >&2
+    diff "$SCRATCH/metrics1.out" "$SCRATCH/metrics2.out" >&2 || true
+    exit 1
+fi
+grep -q 'tango-metrics' "$SCRATCH/metrics1.out" || {
+    echo "FAIL: harness metrics printed no registry header" >&2
+    exit 1
+}
+
 echo "== harness fleet: garbage TANGO_FLEET_REQUESTS must exit 2 =="
 set +e
 TANGO_RESULTS_DIR="$SCRATCH" TANGO_FLEET_REQUESTS=garbage \
@@ -253,26 +326,23 @@ for f in results/profile.txt results/BENCH_sim.json results/BENCH_serve.json res
     fi
 done
 
-echo "== bench_perf: perf-regression check vs committed baselines (bench preset) =="
+echo "== bench_perf: perf-regression attribution vs committed baselines (bench preset) =="
 # Warm-throughput regressions >20% against the committed BENCH_*.json
 # warn but do not fail: wall-clock numbers depend on the host, and the
-# committed baselines were measured on one particular machine.
+# committed baselines were measured on one particular machine. The
+# attribution table pins any drop to its pipeline leg (sim cold/warm,
+# serve per network, fleet per policy).
 mkdir -p "$SCRATCH/perf"
 TANGO_RESULTS_DIR="$SCRATCH/perf" \
     cargo run --release -q -p tango-bench --bin bench_perf >/dev/null
-if command -v python3 >/dev/null 2>&1; then
-    for f in BENCH_sim.json BENCH_serve.json BENCH_fleet.json; do
-        python3 - "$SCRATCH/perf/$f" "results/$f" <<'PY'
-import json, sys
-new, old = json.load(open(sys.argv[1])), json.load(open(sys.argv[2]))
-for k, ov in old.items():
-    if "cold" in k or not (k.endswith("_sim_cycles_per_sec") or k.endswith("_requests_per_sec")):
-        continue
-    nv = new.get(k)
-    if isinstance(ov, (int, float)) and isinstance(nv, (int, float)) and ov > 0 and nv < 0.8 * ov:
-        print(f"WARN: perf regression {k}: {ov:.0f} -> {nv:.0f} ({nv / ov:.0%} of baseline)")
-PY
-    done
-fi
+for f in BENCH_sim.json BENCH_serve.json BENCH_fleet.json; do
+    $FLEET_BIN perfdiff "results/$f" "$SCRATCH/perf/$f" > "$SCRATCH/perf/${f}.diff"
+    if grep -q '^WARN:' "$SCRATCH/perf/${f}.diff"; then
+        echo "perf regression in $f — full attribution:"
+        cat "$SCRATCH/perf/${f}.diff"
+    else
+        grep -E '^(perfdiff|no gating rate)' "$SCRATCH/perf/${f}.diff"
+    fi
+done
 
 echo "== ci.sh: all gates passed =="

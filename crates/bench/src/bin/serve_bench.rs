@@ -16,7 +16,7 @@
 //! arrival rates.
 
 use std::process::ExitCode;
-use tango_bench::{emit, preset_from_env, store_handle, SEED};
+use tango_bench::{emit, preset_from_env, store_handle, write_result_file, SEED};
 use tango_harness::workers_from_env;
 use tango_nets::{NetworkKind, Preset};
 use tango_serve::{run_trace, ArrivalTrace, BatchPolicy, CostModel, ServeConfig, ServeReport, SimCostModel};
@@ -175,6 +175,15 @@ fn run() -> tango_serve::Result<ExitCode> {
             return Ok(ExitCode::from(2));
         }
     };
+    // Metrics export is opt-in via TANGO_METRICS; a malformed knob is a
+    // usage error, caught before any work.
+    let metrics = match tango_obs::metrics_from_env() {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return Ok(ExitCode::from(2));
+        }
+    };
     let smoke_mode = std::env::args().any(|a| a == "--smoke");
     let workers = match workers_from_env("TANGO_SERVE_WORKERS") {
         Ok(n) => n,
@@ -206,6 +215,11 @@ fn run() -> tango_serve::Result<ExitCode> {
     let queue_bound = 256;
     let rows = sweep(&cost, &kinds, &[0.25, 0.5, 1.0, 2.0, 4.0], &batches, 400, queue_bound)?;
     emit("serve_bench", &render(&rows, preset, queue_bound));
+    if let Some(window_override) = metrics {
+        if let Some(code) = export_metrics(&rows, preset, max_batch, window_override) {
+            return Ok(code);
+        }
+    }
     eprintln!(
         "[serve] store hits={} misses={}",
         cost.store().hits(),
@@ -213,6 +227,35 @@ fn run() -> tango_serve::Result<ExitCode> {
     );
     write_trace(trace_path.as_deref());
     Ok(ExitCode::SUCCESS)
+}
+
+/// Exports the highest-load operating point (ρ = 4, largest
+/// `max_batch`) of every swept network as windowed metrics artifacts:
+/// `results/metrics_serve.txt` (human table), `.jsonl` (snapshot
+/// series), and `.prom` (Prometheus exposition, self-checked against
+/// the in-tree grammar validator). Purely derived from the already
+/// computed reports, so enabling it cannot change `serve_bench.txt`
+/// or stdout. Returns `Some(exit_code)` only on a self-check failure.
+fn export_metrics(rows: &[Row], preset: Preset, max_batch: u32, window_override: Option<u64>) -> Option<ExitCode> {
+    let selected: Vec<&Row> = rows.iter().filter(|r| r.rho == 4.0 && r.max_batch == max_batch).collect();
+    let max_makespan = selected.iter().map(|r| r.report.makespan).max().unwrap_or(0);
+    let window = window_override.unwrap_or((max_makespan / 64).max(1));
+    let mut registry = tango_obs::metrics::MetricsRegistry::new("cycles", window);
+    for row in &selected {
+        let m = tango_serve::serve_metrics(&row.report, window);
+        registry.merge(&m).expect("per-kind registries share unit and window");
+    }
+    let title = format!("serve_bench preset {preset} rho 4.00 max_batch {max_batch}");
+    let prom = registry.prometheus_text();
+    if let Err(e) = tango_obs::metrics::validate_exposition(&prom) {
+        eprintln!("error: metrics_serve.prom failed exposition self-check: {e}");
+        return Some(ExitCode::FAILURE);
+    }
+    write_result_file("metrics_serve.txt", &registry.render_text(&title));
+    write_result_file("metrics_serve.jsonl", &registry.snapshot_jsonl("serve"));
+    write_result_file("metrics_serve.prom", &prom);
+    eprintln!("[serve] metrics: wrote results/metrics_serve.{{txt,jsonl,prom}} (window {window} cycles)");
+    None
 }
 
 /// Exports the flight recorder to `path` when tracing was requested.

@@ -93,6 +93,16 @@ pub fn emit_file(name: &str, content: &str) {
     }
 }
 
+/// Writes `content` verbatim to `results/<name>` *without* printing —
+/// for opt-in sidecar artifacts (the `TANGO_METRICS=1` exports) that
+/// must not alter a binary's stdout contract.
+pub fn write_result_file(name: &str, content: &str) {
+    let dir = results_root();
+    if fs::create_dir_all(&dir).is_ok() {
+        let _ = fs::write(dir.join(name), content);
+    }
+}
+
 /// Appends one line to `results/<name>`, creating the file if needed —
 /// for append-only trajectory logs (`bench_history.jsonl`) that
 /// accumulate one record per run instead of being overwritten.

@@ -7,6 +7,8 @@
 //! harness backends <net>             # per-layer GPU vs systolic vs FPGA table
 //! harness lint <net>|--all           # static kernel verification report
 //! harness fleet [--smoke]            # routing policies over heterogeneous pools
+//! harness metrics <net>              # windowed metrics from one simulated run
+//! harness perfdiff <old> <new>       # attribute deltas between two baselines
 //! ```
 //!
 //! (The binary is still called `harness`, but it lives in the
@@ -36,8 +38,8 @@ use std::sync::Arc;
 use tango::{simulate_run, RunSpec};
 use tango_backend::{BackendJob, BackendKind, BackendRun, BackendRunSpec, BackendSpec, Precision, SystolicConfig};
 use tango_fleet::{
-    render_comparison, run_fleet, AutoscaleConfig, ClassSpec, FleetConfig, FleetCost, FleetReport, FleetTrace,
-    PoolSpec, RoutePolicy,
+    render_comparison, run_fleet, run_fleet_metered, AutoscaleConfig, ClassSpec, FleetConfig, FleetCost,
+    FleetMetricsConfig, FleetReport, FleetTrace, PoolSpec, RoutePolicy,
 };
 use tango_fpga::PynqConfig;
 use tango_harness::{workers_from_env, RunStore, StableHasher, Suite, STORE_SCHEMA_VERSION};
@@ -55,6 +57,8 @@ fn usage() -> ExitCode {
     eprintln!("       harness backends <net>");
     eprintln!("       harness lint <net>|--all");
     eprintln!("       harness fleet [--smoke]");
+    eprintln!("       harness metrics <net>");
+    eprintln!("       harness perfdiff <old.json|old.jsonl[@N]> <new.json|new.jsonl[@N]>");
     eprintln!(
         "nets: {}",
         NetworkKind::EXTENDED
@@ -224,6 +228,91 @@ fn trace_cmd(net: &str) -> ExitCode {
         trace.dropped
     );
     eprint!("{}", trace.text_summary());
+    ExitCode::SUCCESS
+}
+
+/// Simulates one network with the flight recorder armed, then folds
+/// the trace into a windowed metrics registry over the virtual-cycle
+/// clock and prints it. The simulation itself is the same
+/// deterministic run as `harness trace`, so the registry is
+/// byte-identical across reruns, hosts, and worker counts. The window
+/// defaults to 1/32 of the run's total cycles; `TANGO_METRICS_WINDOW`
+/// overrides it.
+fn metrics_cmd(net: &str) -> ExitCode {
+    // Strict env validation before any work: both metrics knobs must
+    // parse even though this subcommand implies metrics collection.
+    if let Err(e) = tango_obs::metrics_enabled_from_env() {
+        eprintln!("error: {e}");
+        return ExitCode::from(2);
+    }
+    let window_override = match tango_obs::metrics_window_from_env() {
+        Ok(w) => w,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let Some(kind) = parse_kind(net) else {
+        eprintln!("error: unknown network {net:?}");
+        return usage();
+    };
+    let spec = RunSpec {
+        config: GpuConfig::gp102(),
+        preset: preset_from_env(),
+        seed: SEED,
+        kind,
+        options: SimOptions::new(),
+    };
+    tango_obs::enable(tango_obs::DEFAULT_EVENT_CAP);
+    let run = match simulate_run(&spec) {
+        Ok(run) => run,
+        Err(e) => {
+            eprintln!("error: simulation failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let trace = tango_obs::drain();
+    let total = run.report.total_cycles();
+    let window = window_override.unwrap_or((total / 32).max(1));
+    let registry = tango_obs::metrics::aggregate_trace(&trace, tango_obs::Domain::Virtual, window);
+    let prom = registry.prometheus_text();
+    if let Err(e) = tango_obs::metrics::validate_exposition(&prom) {
+        eprintln!("error: exposition self-check failed: {e}");
+        return ExitCode::FAILURE;
+    }
+    let title = format!(
+        "{}@{} seed {SEED:#x} total {total} cycles",
+        kind.name(),
+        spec.preset.name()
+    );
+    print!("{}", registry.render_text(&title));
+    eprintln!("[metrics] {} series over {} events; exposition valid", registry.len(), trace.len());
+    ExitCode::SUCCESS
+}
+
+/// Diffs two benchmark baselines (`BENCH_*.json` files or
+/// `bench_history.jsonl` lines selected with `@N`) and prints the
+/// per-leg attribution table. Exit 0 even when regressions are found —
+/// wall-clock rates are host-dependent, so the table is a diagnosis
+/// aid, not a gate; `ci.sh` decides what to do with the WARN lines.
+fn perfdiff_cmd(old_spec: &str, new_spec: &str) -> ExitCode {
+    use tango_harness::perfdiff;
+    let (old_label, old) = match perfdiff::load_source(old_spec) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let (new_label, new) = match perfdiff::load_source(new_spec) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let diff = perfdiff::diff(&old, &new);
+    print!("{}", diff.render(&old_label, &new_label));
     ExitCode::SUCCESS
 }
 
@@ -608,6 +697,16 @@ fn fleet_cmd(smoke: bool) -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    // Opt-in windowed metrics + SLO burn-rate monitoring. Collection is
+    // pure observation (the engine asserts the metered report equals
+    // the plain one), so fleet_bench.txt is byte-identical either way.
+    let metrics_window = match tango_obs::metrics_from_env() {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
 
     // Smoke pins the tiny preset so CI stays bounded.
     let preset = if smoke { Preset::Tiny } else { preset_from_env() };
@@ -675,12 +774,42 @@ fn fleet_cmd(smoke: bool) -> ExitCode {
     let diurnal = FleetTrace::diurnal(&kinds, &classes, requests, peak_gap, svc_fast * 50, 0.2, seed);
     let bursty = FleetTrace::bursty(&kinds, &classes, requests, peak_gap * 4, svc_fast * 40, svc_fast * 8, 6, seed ^ 1);
 
+    // Metric windows cover 4 fast service times; the default SLO policy
+    // (99% target, short 1 / long 8 windows) then spans ~1 burst gap,
+    // so the bursty trace's slo_infeasible shed storms must trip the
+    // multi-window burn-rate alert.
+    let mcfg = metrics_window.map(|w| FleetMetricsConfig::with_window(w.unwrap_or(svc_fast.saturating_mul(4))));
+    let mut metrics_txt = String::new();
+    let mut metrics_jsonl = String::new();
+    let mut metrics_prom = None;
+    let mut metrics_alerts = 0usize;
+
     let mut out = String::new();
     for (label, trace) in [("diurnal", &diurnal), ("bursty", &bursty)] {
         let mut runs: Vec<(FleetConfig, FleetReport)> = Vec::new();
         for policy in RoutePolicy::ALL {
             let config = config_for(policy);
-            match run_fleet(trace, &config, &costs) {
+            let report = if let Some(mcfg) = &mcfg {
+                match run_fleet_metered(trace, &config, &costs, mcfg) {
+                    Ok((report, metrics)) => {
+                        let tag = format!("fleet/{label}/{}", policy.name());
+                        metrics_txt.push_str(&metrics.render_text(&tag));
+                        metrics_txt.push('\n');
+                        metrics_jsonl.push_str(&metrics.snapshot_jsonl(&tag));
+                        metrics_alerts += metrics.alerts().len();
+                        // One representative exposition: the bursty
+                        // trace under the headline cost-aware policy.
+                        if (label, policy) == ("bursty", RoutePolicy::CostAware) {
+                            metrics_prom = Some(metrics.prometheus_text());
+                        }
+                        Ok(report)
+                    }
+                    Err(e) => Err(e),
+                }
+            } else {
+                run_fleet(trace, &config, &costs)
+            };
+            match report {
                 Ok(report) => runs.push((config, report)),
                 Err(e) => {
                     eprintln!("error: fleet run failed ({label}, {}): {e}", policy.name());
@@ -739,6 +868,26 @@ fn fleet_cmd(smoke: bool) -> ExitCode {
     eprintln!("[fleet] store hits={} misses={}", store.hits(), store.misses());
     eprintln!("[fleet] wrote {}", out_path.display());
 
+    if mcfg.is_some() {
+        let dir = tango_harness::results_root();
+        let prom = metrics_prom.unwrap_or_default();
+        if let Err(e) = tango_obs::metrics::validate_exposition(&prom) {
+            eprintln!("error: metrics_fleet.prom failed exposition self-check: {e}");
+            return ExitCode::FAILURE;
+        }
+        for (name, content) in [
+            ("metrics_fleet.txt", &metrics_txt),
+            ("metrics_fleet.jsonl", &metrics_jsonl),
+            ("metrics_fleet.prom", &prom),
+        ] {
+            if let Err(e) = std::fs::write(dir.join(name), content) {
+                eprintln!("error: cannot write results/{name}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        eprintln!("[fleet] metrics: wrote results/metrics_fleet.{{txt,jsonl,prom}} ({metrics_alerts} burn alert(s))");
+    }
+
     if let Some(path) = trace_path {
         let trace = tango_obs::drain();
         if let Err(e) = tango_obs::write_chrome_file(&path, &trace) {
@@ -778,6 +927,14 @@ fn main() -> ExitCode {
         Some("fleet") => match (args.next().as_deref(), args.next()) {
             (None, _) => fleet_cmd(false),
             (Some("--smoke"), None) => fleet_cmd(true),
+            _ => usage(),
+        },
+        Some("metrics") => match (args.next(), args.next()) {
+            (Some(net), None) => metrics_cmd(&net),
+            _ => usage(),
+        },
+        Some("perfdiff") => match (args.next(), args.next(), args.next()) {
+            (Some(old), Some(new), None) => perfdiff_cmd(&old, &new),
             _ => usage(),
         },
         _ => usage(),

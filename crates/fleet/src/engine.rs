@@ -15,6 +15,7 @@
 use crate::autoscale::{Autoscaler, ScaleAction, ScaleView};
 use crate::config::FleetConfig;
 use crate::cost::FleetCost;
+use crate::metrics::{emit_alert_instants, FleetMetrics, FleetMetricsConfig, FleetMetricsReport};
 use crate::router::{Placement, PoolView, Router, ShedReason};
 use crate::trace::FleetTrace;
 use std::collections::{BTreeMap, VecDeque};
@@ -204,6 +205,39 @@ const SHED_TRACK: u32 = 999;
 /// `costs`/pools length mismatch, and propagates cost-model
 /// (simulation) failures.
 pub fn run_fleet(trace: &FleetTrace, config: &FleetConfig, costs: &[&dyn FleetCost]) -> Result<FleetReport> {
+    run_fleet_inner(trace, config, costs, None)
+}
+
+/// [`run_fleet`] with metrics collection: the same replay (the
+/// returned [`FleetReport`] is byte-identical to the unmetered one),
+/// plus a windowed [`FleetMetricsReport`] with per-class SLO burn-rate
+/// evaluation shaped by `mcfg`. Burn alerts are also emitted as typed
+/// obs instants on [`crate::metrics::SLO_TRACK`] when the recorder is
+/// enabled.
+///
+/// # Errors
+///
+/// Exactly as [`run_fleet`].
+pub fn run_fleet_metered(
+    trace: &FleetTrace,
+    config: &FleetConfig,
+    costs: &[&dyn FleetCost],
+    mcfg: &FleetMetricsConfig,
+) -> Result<(FleetReport, FleetMetricsReport)> {
+    config.validate()?;
+    let mut metrics = FleetMetrics::new(config, mcfg);
+    let report = run_fleet_inner(trace, config, costs, Some(&mut metrics))?;
+    let metrics = metrics.finish();
+    emit_alert_instants(&metrics);
+    Ok((report, metrics))
+}
+
+fn run_fleet_inner(
+    trace: &FleetTrace,
+    config: &FleetConfig,
+    costs: &[&dyn FleetCost],
+    mut metrics: Option<&mut FleetMetrics>,
+) -> Result<FleetReport> {
     config.validate()?;
     if costs.len() != config.pools.len() {
         return Err(ServeError::Config(format!(
@@ -329,6 +363,9 @@ pub fn run_fleet(trace: &FleetTrace, config: &FleetConfig, costs: &[&dyn FleetCo
                         "devices",
                         target as i64,
                     );
+                    if let Some(m) = metrics.as_deref_mut() {
+                        m.on_scale(now, i, target);
+                    }
                 }
             }
         }
@@ -355,6 +392,9 @@ pub fn run_fleet(trace: &FleetTrace, config: &FleetConfig, costs: &[&dyn FleetCo
                 });
             }
             let slo = config.classes[req.class].slo_ns;
+            if let Some(m) = metrics.as_deref_mut() {
+                m.on_arrival(req.at_ns, req.class);
+            }
             records[next_arrival].outcome = match router.place(&views, config.queue_bound, slo) {
                 Placement::Pool(i) => {
                     let p = &mut pools[i];
@@ -370,6 +410,9 @@ pub fn run_fleet(trace: &FleetTrace, config: &FleetConfig, costs: &[&dyn FleetCo
                         "pending",
                         p.pending as i64,
                     );
+                    if let Some(m) = metrics.as_deref_mut() {
+                        m.on_pending(now, i, p.pending);
+                    }
                     // Overwritten when its batch retires; admitted
                     // requests always complete (the loop drains queues).
                     FleetOutcome::Shed {
@@ -379,6 +422,9 @@ pub fn run_fleet(trace: &FleetTrace, config: &FleetConfig, costs: &[&dyn FleetCo
                 Placement::Shed(reason) => {
                     sheds_since_eval += 1;
                     tango_obs::fleet_instant_at(now, SHED_TRACK, "fleet.shed", reason.name());
+                    if let Some(m) = metrics.as_deref_mut() {
+                        m.on_shed(now, req.class, reason);
+                    }
                     FleetOutcome::Shed { reason }
                 }
             };
@@ -427,6 +473,12 @@ pub fn run_fleet(trace: &FleetTrace, config: &FleetConfig, costs: &[&dyn FleetCo
                         completed_ns,
                         batch: batch_len as u32,
                     };
+                    if let Some(m) = metrics.as_deref_mut() {
+                        let rec = &records[item.record_idx];
+                        let latency = completed_ns - rec.arrival_ns;
+                        let slo_met = config.classes[rec.class].slo_ns.map(|slo| latency <= slo);
+                        m.on_complete(completed_ns, rec.class, latency, slo_met);
+                    }
                 }
                 p.pending -= batch_len;
                 tango_obs::fleet_counter_at(
@@ -436,6 +488,10 @@ pub fn run_fleet(trace: &FleetTrace, config: &FleetConfig, costs: &[&dyn FleetCo
                     "pending",
                     p.pending as i64,
                 );
+                if let Some(m) = metrics.as_deref_mut() {
+                    m.on_pending(now, i, p.pending);
+                    m.on_dispatch(now, i, completed_ns - now, cost.energy_j);
+                }
                 p.stats.batches += 1;
                 p.stats.completed += batch_len as u64;
                 p.stats.busy_ns += u128::from(completed_ns - now);
@@ -632,6 +688,58 @@ mod tests {
         assert!(p.peak_devices > 1, "peak {} must exceed the starting size", p.peak_devices);
         assert!(p.shrinks > 0, "the drained pool must shrink back");
         assert_eq!(p.final_devices, 1, "idle pool returns to its floor");
+    }
+
+    #[test]
+    fn metered_replay_is_byte_identical_to_unmetered() {
+        // Metrics collection must be pure observation: the report from
+        // run_fleet_metered equals run_fleet's exactly, on a config
+        // that exercises autoscaling, SLO shedding, and batching.
+        let cfg = FleetConfig {
+            pools: vec![PoolSpec::elastic("a", 2, 1, 4), PoolSpec::fixed("b", 1)],
+            classes: vec![ClassSpec::with_slo("int", 200_000), ClassSpec::best_effort("be")],
+            queue_bound: 16,
+            max_batch: 4,
+            max_delay_ns: 2000,
+            policy: RoutePolicy::CostAware,
+            autoscale: Some(AutoscaleConfig {
+                interval_ns: 50_000,
+                ..AutoscaleConfig::default()
+            }),
+        };
+        let classes = cfg.classes.clone();
+        let trace = FleetTrace::bursty(&[GRU, NetworkKind::CifarNet], &classes, 500, 1500, 300_000, 12_000, 6, 29);
+        let a_cost = TableFleetCost::new(1.0).with_kind(GRU, 20_000, 10);
+        let b_cost = TableFleetCost::new(0.5);
+        let costs: [&dyn FleetCost; 2] = [&a_cost, &b_cost];
+        let plain = run_fleet(&trace, &cfg, &costs).unwrap();
+        let mcfg = crate::metrics::FleetMetricsConfig::with_window(100_000);
+        let (metered, metrics) = run_fleet_metered(&trace, &cfg, &costs, &mcfg).unwrap();
+        assert_eq!(plain, metered);
+        // The registry saw every request and every shed.
+        let arrivals: u64 = cfg
+            .classes
+            .iter()
+            .filter_map(|c| {
+                metrics
+                    .registry
+                    .counter_total(&format!("tango_fleet_requests_total{{class=\"{}\"}}", c.name))
+            })
+            .sum();
+        assert_eq!(arrivals, plain.records.len() as u64);
+        // Every interactive request lands in the SLO ledger exactly
+        // once: sheds and SLO-missing completions as bad, the rest good.
+        let slo = &metrics.slos[0];
+        let interactive = plain.records.iter().filter(|r| r.class == 0).count();
+        assert_eq!((slo.good + slo.bad) as usize, interactive);
+        let missed = plain
+            .records
+            .iter()
+            .filter(|r| r.class == 0)
+            .filter(|r| !matches!(r.latency_ns(), Some(l) if l <= 200_000))
+            .count();
+        assert_eq!(slo.bad as usize, missed);
+        tango_obs::metrics::validate_exposition(&metrics.prometheus_text()).unwrap();
     }
 
     #[test]

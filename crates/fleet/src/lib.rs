@@ -42,6 +42,8 @@ pub mod config;
 pub mod cost;
 /// The fleet event loop.
 pub mod engine;
+/// Windowed metrics and SLO burn-rate monitoring.
+pub mod metrics;
 /// Byte-stable result rendering.
 pub mod report;
 /// Request placement.
@@ -52,7 +54,8 @@ pub mod trace;
 pub use autoscale::{Autoscaler, ScaleAction, ScaleView};
 pub use config::{AutoscaleConfig, ClassSpec, FleetConfig, PoolSpec, RoutePolicy};
 pub use cost::{FleetCost, TableFleetCost};
-pub use engine::{run_fleet, FleetOutcome, FleetRecord, FleetReport, PoolStats};
+pub use engine::{run_fleet, run_fleet_metered, FleetOutcome, FleetRecord, FleetReport, PoolStats};
+pub use metrics::{FleetMetrics, FleetMetricsConfig, FleetMetricsReport, SLO_TRACK};
 pub use report::{render_comparison, render_policy};
 pub use router::{Placement, PoolView, Router, ShedReason};
 pub use trace::{FleetRequest, FleetTrace};

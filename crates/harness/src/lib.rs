@@ -25,6 +25,8 @@
 mod codec;
 mod hash;
 mod key;
+/// Perf-diff attribution between benchmark baselines.
+pub mod perfdiff;
 mod store;
 mod suite;
 

@@ -136,6 +136,7 @@ mod tests {
                 },
             ],
             dropped: 1,
+            dropped_by_track: vec![(1, 1)],
         }
     }
 

@@ -1,4 +1,5 @@
-//! Environment gating: `TANGO_TRACE` and `TANGO_TRACE_CAP`.
+//! Environment gating: `TANGO_TRACE`, `TANGO_TRACE_CAP`, and the
+//! `TANGO_METRICS` / `TANGO_METRICS_WINDOW` knobs.
 //!
 //! Validation follows the same strict style as the harness's
 //! `TANGO_JOBS`: an *unset* variable falls back cleanly, but a variable
@@ -81,6 +82,65 @@ pub fn init_from_env() -> Result<Option<PathBuf>, String> {
         crate::recorder::enable(cap);
     }
     Ok(path)
+}
+
+/// Whether metrics collection is on, from `TANGO_METRICS`: unset or
+/// `0` means off, `1` means on.
+///
+/// # Errors
+///
+/// Returns a message naming the variable for any other value —
+/// `TANGO_METRICS=yes` silently doing nothing would be worse than
+/// failing; binaries should print the message to stderr and exit 2.
+pub fn metrics_enabled_from_env() -> Result<bool, String> {
+    let name = "TANGO_METRICS";
+    match std::env::var(name) {
+        Ok(v) if v.trim() == "1" => Ok(true),
+        Ok(v) if v.trim() == "0" => Ok(false),
+        Ok(v) => Err(format!("{name} must be 0 or 1, got {v:?}")),
+        Err(std::env::VarError::NotPresent) => Ok(false),
+        Err(std::env::VarError::NotUnicode(_)) => Err(format!("{name} is set to a non-UTF-8 value")),
+    }
+}
+
+/// Metrics window-width override from `TANGO_METRICS_WINDOW`, in the
+/// producer's clock units (cycles for `harness metrics`, nanoseconds
+/// for fleet/serve). Unset means the producer picks its own width.
+///
+/// # Errors
+///
+/// Returns a message naming the variable when set to `0` or garbage —
+/// a zero-width window would put every sample in window 0 and silently
+/// defeat the time series the user asked to resize.
+pub fn metrics_window_from_env() -> Result<Option<u64>, String> {
+    let name = "TANGO_METRICS_WINDOW";
+    match std::env::var(name) {
+        Ok(v) => match v.trim().parse::<u64>() {
+            Ok(0) => Err(format!(
+                "{name} must be a positive window width, got 0 (unset it for the default)"
+            )),
+            Ok(n) => Ok(Some(n)),
+            Err(_) => Err(format!("{name} must be a positive window width, got {v:?}")),
+        },
+        Err(std::env::VarError::NotPresent) => Ok(None),
+        Err(std::env::VarError::NotUnicode(_)) => Err(format!("{name} is set to a non-UTF-8 value")),
+    }
+}
+
+/// Reads both metrics knobs at once: `Ok(Some(window_override))` /
+/// `Ok(None)` when enabled, validating `TANGO_METRICS_WINDOW` even
+/// when collection is off (a garbage value is a user mistake worth
+/// failing on either way).
+///
+/// # Errors
+///
+/// Returns the [`metrics_enabled_from_env`] /
+/// [`metrics_window_from_env`] messages; binaries should print them to
+/// stderr and exit 2.
+pub fn metrics_from_env() -> Result<Option<Option<u64>>, String> {
+    let enabled = metrics_enabled_from_env()?;
+    let window = metrics_window_from_env()?;
+    Ok(if enabled { Some(window) } else { None })
 }
 
 /// Writes `trace` as Chrome trace-event JSON to `path`, creating parent

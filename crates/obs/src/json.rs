@@ -6,6 +6,151 @@
 //! RFC 8259 JSON — it validates structure without building a value
 //! tree, which is all the gate needs.
 
+/// A scalar value in a flat JSON object (see [`parse_flat`]).
+#[derive(Debug, Clone, PartialEq)]
+pub enum FlatValue {
+    /// A JSON number.
+    Number(f64),
+    /// A JSON string (escapes decoded).
+    String(String),
+    /// `true` or `false`.
+    Bool(bool),
+    /// `null`.
+    Null,
+}
+
+impl FlatValue {
+    /// The numeric value, if this is a number.
+    pub fn as_number(&self) -> Option<f64> {
+        match self {
+            FlatValue::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The string value, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            FlatValue::String(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// Parses one *flat* JSON object — scalar values only, the shape every
+/// `BENCH_*.json` / `bench_history.jsonl` record has — into its
+/// `(key, value)` pairs in document order. This is the read side of
+/// `tango-bench`'s `JsonObject` writer; nested objects or arrays are
+/// an error, not data.
+///
+/// # Errors
+///
+/// Returns a message with the byte offset of the first violation.
+pub fn parse_flat(input: &str) -> Result<Vec<(String, FlatValue)>, String> {
+    validate(input)?;
+    let bytes = input.as_bytes();
+    let mut pos = 0;
+    skip_ws(bytes, &mut pos);
+    if bytes.get(pos) != Some(&b'{') {
+        return Err(format!("expected a JSON object at byte {pos}"));
+    }
+    pos += 1;
+    let mut pairs = Vec::new();
+    skip_ws(bytes, &mut pos);
+    if bytes.get(pos) == Some(&b'}') {
+        return Ok(pairs);
+    }
+    loop {
+        skip_ws(bytes, &mut pos);
+        let key = decode_string(input, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        pos += 1; // ':' (validated above)
+        skip_ws(bytes, &mut pos);
+        let value = match bytes.get(pos) {
+            Some(b'"') => FlatValue::String(decode_string(input, &mut pos)?),
+            Some(b't') => {
+                pos += 4;
+                FlatValue::Bool(true)
+            }
+            Some(b'f') => {
+                pos += 5;
+                FlatValue::Bool(false)
+            }
+            Some(b'n') => {
+                pos += 4;
+                FlatValue::Null
+            }
+            Some(b'{') | Some(b'[') => {
+                return Err(format!(
+                    "nested value at byte {pos}: flat objects hold scalars only"
+                ))
+            }
+            _ => {
+                let start = pos;
+                number(bytes, &mut pos)?;
+                let text = &input[start..pos];
+                FlatValue::Number(
+                    text.parse::<f64>()
+                        .map_err(|_| format!("unparsable number {text:?} at byte {start}"))?,
+                )
+            }
+        };
+        pairs.push((key, value));
+        skip_ws(bytes, &mut pos);
+        match bytes.get(pos) {
+            Some(b',') => pos += 1,
+            _ => return Ok(pairs), // '}' — validated above
+        }
+    }
+}
+
+/// Decodes the JSON string starting at `pos` (at the opening quote),
+/// advancing past the closing quote.
+fn decode_string(input: &str, pos: &mut usize) -> Result<String, String> {
+    let bytes = input.as_bytes();
+    debug_assert_eq!(bytes.get(*pos), Some(&b'"'));
+    *pos += 1;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos) {
+            None => return Err(format!("unterminated string at byte {pos}")),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'u') => {
+                        let hex = input
+                            .get(*pos + 1..*pos + 5)
+                            .ok_or_else(|| format!("truncated \\u escape at byte {pos}"))?;
+                        let code = u32::from_str_radix(hex, 16)
+                            .map_err(|_| format!("invalid \\u escape at byte {pos}"))?;
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        *pos += 4;
+                    }
+                    _ => return Err(format!("invalid escape at byte {pos}")),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                let c = input[*pos..].chars().next().expect("in range");
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+}
+
 /// Checks that `input` is exactly one well-formed JSON value (plus
 /// surrounding whitespace).
 ///
@@ -192,6 +337,32 @@ mod tests {
         ] {
             validate(ok).unwrap_or_else(|e| panic!("{ok}: {e}"));
         }
+    }
+
+    #[test]
+    fn parse_flat_reads_bench_shaped_objects() {
+        let pairs = parse_flat(
+            r#"{"bench":"sim","seed":"0x7a","runs":2,"rate":2332727.122076,"ok":true,"note":null,"esc":"a\nb"}"#,
+        )
+        .unwrap();
+        assert_eq!(pairs.len(), 7);
+        assert_eq!(pairs[0], ("bench".to_string(), FlatValue::String("sim".to_string())));
+        assert_eq!(pairs[2].1.as_number(), Some(2.0));
+        assert_eq!(pairs[3].1.as_number(), Some(2332727.122076));
+        assert_eq!(pairs[4].1, FlatValue::Bool(true));
+        assert_eq!(pairs[5].1, FlatValue::Null);
+        assert_eq!(pairs[6].1.as_str(), Some("a\nb"));
+        assert_eq!(parse_flat("{}").unwrap(), vec![]);
+        assert_eq!(parse_flat("  {\"a\": -1.5e3}  ").unwrap()[0].1.as_number(), Some(-1500.0));
+    }
+
+    #[test]
+    fn parse_flat_rejects_non_flat_input() {
+        assert!(parse_flat("[1,2]").unwrap_err().contains("object"));
+        assert!(parse_flat("{\"a\":{}}").unwrap_err().contains("scalars only"));
+        assert!(parse_flat("{\"a\":[1]}").unwrap_err().contains("scalars only"));
+        assert!(parse_flat("{\"a\":1,}").is_err());
+        assert!(parse_flat("3").is_err());
     }
 
     #[test]

@@ -66,11 +66,15 @@ mod chrome;
 mod env;
 mod event;
 pub mod json;
+pub mod metrics;
 mod recorder;
 mod summary;
 mod trace;
 
-pub use env::{cap_from_env, init_from_env, parse_event_cap, trace_path_from_env, write_chrome_file, DEFAULT_EVENT_CAP};
+pub use env::{
+    cap_from_env, init_from_env, metrics_enabled_from_env, metrics_from_env, metrics_window_from_env,
+    parse_event_cap, trace_path_from_env, write_chrome_file, DEFAULT_EVENT_CAP,
+};
 pub use event::{Domain, Event, Phase};
 pub use recorder::{
     advance_virtual, current_tid, disable, drain, emit, enable, engine_async_begin, engine_async_end,

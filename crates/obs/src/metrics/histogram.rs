@@ -1,0 +1,241 @@
+//! Power-of-two log-bucketed histograms.
+//!
+//! The metrics layer needs a distribution sketch that is (a) fixed
+//! size, (b) mergeable in any order with a deterministic result, and
+//! (c) integer-only so rendering is byte-stable. A 65-bucket
+//! log2 histogram gives all three: bucket 0 holds exact zeros, bucket
+//! `i` (1..=64) holds values in `[2^(i-1), 2^i - 1]`, so any `u64`
+//! lands in exactly one bucket and merge is element-wise addition.
+//! Quantiles come back as the *upper bound* of the nearest-rank bucket
+//! — a deterministic over-estimate, never an interpolated float.
+
+/// Number of buckets: one for zero plus one per power of two.
+pub const BUCKETS: usize = 65;
+
+/// A fixed-size log2-bucketed histogram with saturating counters.
+///
+/// All arithmetic saturates rather than wraps: a histogram that has
+/// absorbed `u64::MAX` observations stays at the rail instead of
+/// silently restarting, so merges remain monotone.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LogHistogram {
+    buckets: [u64; BUCKETS],
+    count: u64,
+    sum: u64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LogHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        LogHistogram {
+            buckets: [0; BUCKETS],
+            count: 0,
+            sum: 0,
+        }
+    }
+
+    /// The bucket index `value` falls into: 0 for zero, else
+    /// `64 - leading_zeros(value)` (so 1 → 1, 2..=3 → 2, 4..=7 → 3, …).
+    pub fn bucket_index(value: u64) -> usize {
+        if value == 0 {
+            0
+        } else {
+            64 - value.leading_zeros() as usize
+        }
+    }
+
+    /// The largest value bucket `index` can hold: 0, 1, 3, 7, …,
+    /// `u64::MAX` for the last bucket.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `index >= BUCKETS`.
+    pub fn bucket_upper_bound(index: usize) -> u64 {
+        assert!(index < BUCKETS, "bucket index {index} out of range");
+        if index == 0 {
+            0
+        } else if index == BUCKETS - 1 {
+            u64::MAX
+        } else {
+            (1u64 << index) - 1
+        }
+    }
+
+    /// Records one observation of `value`.
+    pub fn observe(&mut self, value: u64) {
+        let idx = Self::bucket_index(value);
+        self.buckets[idx] = self.buckets[idx].saturating_add(1);
+        self.count = self.count.saturating_add(1);
+        self.sum = self.sum.saturating_add(value);
+    }
+
+    /// Folds `other` into `self` (element-wise saturating addition).
+    /// Merging is commutative and associative, so any grouping of
+    /// partial histograms yields identical bytes.
+    pub fn merge(&mut self, other: &LogHistogram) {
+        for (mine, theirs) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *mine = mine.saturating_add(*theirs);
+        }
+        self.count = self.count.saturating_add(other.count);
+        self.sum = self.sum.saturating_add(other.sum);
+    }
+
+    /// Total number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Saturating sum of all observed values.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// The raw bucket counts.
+    pub fn buckets(&self) -> &[u64; BUCKETS] {
+        &self.buckets
+    }
+
+    /// Index of the highest non-empty bucket, or `None` when empty.
+    pub fn max_bucket(&self) -> Option<usize> {
+        self.buckets.iter().rposition(|&c| c > 0)
+    }
+
+    /// Nearest-rank quantile as a bucket upper bound (`permille` of
+    /// 1000 = the maximum). Returns `None` when the histogram is empty.
+    ///
+    /// The nearest rank is `ceil(permille * count / 1000)`, clamped to
+    /// at least 1; the result is the upper bound of the bucket holding
+    /// that rank — a deterministic over-estimate of the true quantile
+    /// by at most 2×.
+    pub fn quantile(&self, permille: u64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let rank = ((self.count as u128 * permille as u128).div_ceil(1000) as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (idx, &c) in self.buckets.iter().enumerate() {
+            seen = seen.saturating_add(c);
+            if seen >= rank {
+                return Some(Self::bucket_upper_bound(idx));
+            }
+        }
+        Some(u64::MAX)
+    }
+
+    /// Mean observation (integer floor), or `None` when empty. With a
+    /// saturated `sum` this is a lower bound, consistent everywhere.
+    pub fn mean(&self) -> Option<u64> {
+        self.sum.checked_div(self.count)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries_are_powers_of_two() {
+        assert_eq!(LogHistogram::bucket_index(0), 0);
+        assert_eq!(LogHistogram::bucket_index(1), 1);
+        assert_eq!(LogHistogram::bucket_index(2), 2);
+        assert_eq!(LogHistogram::bucket_index(3), 2);
+        assert_eq!(LogHistogram::bucket_index(4), 3);
+        assert_eq!(LogHistogram::bucket_index(1023), 10);
+        assert_eq!(LogHistogram::bucket_index(1024), 11);
+        assert_eq!(LogHistogram::bucket_index(u64::MAX), 64);
+        assert_eq!(LogHistogram::bucket_upper_bound(0), 0);
+        assert_eq!(LogHistogram::bucket_upper_bound(1), 1);
+        assert_eq!(LogHistogram::bucket_upper_bound(10), 1023);
+        assert_eq!(LogHistogram::bucket_upper_bound(BUCKETS - 1), u64::MAX);
+        // Every value's bucket upper bound is >= the value.
+        for v in [0u64, 1, 2, 3, 5, 100, 1 << 33, u64::MAX] {
+            assert!(LogHistogram::bucket_upper_bound(LogHistogram::bucket_index(v)) >= v);
+        }
+    }
+
+    #[test]
+    fn single_sample_quantiles_hit_its_bucket() {
+        let mut h = LogHistogram::new();
+        h.observe(100); // bucket 7, upper bound 127
+        for p in [0, 1, 500, 990, 1000] {
+            assert_eq!(h.quantile(p), Some(127), "p{p}");
+        }
+        assert_eq!(h.mean(), Some(100));
+        assert_eq!(h.count(), 1);
+    }
+
+    #[test]
+    fn empty_histogram_has_no_quantiles() {
+        let h = LogHistogram::new();
+        assert_eq!(h.quantile(500), None);
+        assert_eq!(h.mean(), None);
+        assert_eq!(h.max_bucket(), None);
+        assert_eq!(h.count(), 0);
+    }
+
+    #[test]
+    fn quantiles_walk_cumulative_counts() {
+        let mut h = LogHistogram::new();
+        for _ in 0..90 {
+            h.observe(10); // bucket 4, ub 15
+        }
+        for _ in 0..10 {
+            h.observe(1000); // bucket 10, ub 1023
+        }
+        assert_eq!(h.quantile(500), Some(15));
+        assert_eq!(h.quantile(900), Some(15));
+        assert_eq!(h.quantile(901), Some(1023));
+        assert_eq!(h.quantile(1000), Some(1023));
+    }
+
+    #[test]
+    fn saturation_holds_at_the_rails() {
+        let mut h = LogHistogram::new();
+        h.observe(u64::MAX);
+        h.observe(u64::MAX);
+        assert_eq!(h.sum(), u64::MAX, "sum saturates instead of wrapping");
+        assert_eq!(h.count(), 2);
+        let mut a = h.clone();
+        a.merge(&h);
+        assert_eq!(a.sum(), u64::MAX);
+        assert_eq!(a.count(), 4);
+        assert_eq!(a.buckets()[64], 4);
+    }
+
+    #[test]
+    fn merge_is_order_independent() {
+        let samples: Vec<u64> = (0..1000u64).map(|i| i.wrapping_mul(2654435761) % 100_000).collect();
+        // One histogram fed serially...
+        let mut serial = LogHistogram::new();
+        for &s in &samples {
+            serial.observe(s);
+        }
+        // ...versus 4 shards merged in two different orders.
+        let shard = |k: usize| {
+            let mut h = LogHistogram::new();
+            for (i, &s) in samples.iter().enumerate() {
+                if i % 4 == k {
+                    h.observe(s);
+                }
+            }
+            h
+        };
+        let shards: Vec<LogHistogram> = (0..4).map(shard).collect();
+        let mut fwd = LogHistogram::new();
+        for s in &shards {
+            fwd.merge(s);
+        }
+        let mut rev = LogHistogram::new();
+        for s in shards.iter().rev() {
+            rev.merge(s);
+        }
+        assert_eq!(fwd, serial);
+        assert_eq!(rev, serial);
+    }
+}

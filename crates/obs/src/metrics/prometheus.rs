@@ -1,0 +1,394 @@
+//! In-tree Prometheus text-exposition grammar checker.
+//!
+//! The exposition emitted by [`super::MetricsRegistry::prometheus_text`]
+//! is built by hand (this crate is dependency free), so the CI gate
+//! "the exposition is well-formed" needs an independent check — the
+//! same pattern as [`crate::json`] for the Chrome trace. This is a
+//! line-oriented recognizer for the classic Prometheus text format:
+//!
+//! * `# TYPE name kind` and `# HELP name text` comments — at most one
+//!   of each per family, `TYPE` before any sample of that family;
+//! * samples `name{label="value",...} value [timestamp]` with strict
+//!   metric-/label-name grammar and `\\ \" \n` escapes in label values;
+//! * histogram families: `_bucket` samples carry an `le` label, bucket
+//!   counts are cumulative (non-decreasing in `le` order, per label
+//!   set), an `le="+Inf"` bucket exists and equals `_count`.
+
+use std::collections::BTreeMap;
+
+fn is_metric_name(s: &str) -> bool {
+    let mut chars = s.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+fn is_label_name(s: &str) -> bool {
+    let mut chars = s.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+fn parse_value(s: &str) -> Result<f64, String> {
+    match s {
+        "+Inf" => Ok(f64::INFINITY),
+        "-Inf" => Ok(f64::NEG_INFINITY),
+        "NaN" => Ok(f64::NAN),
+        _ => s
+            .parse::<f64>()
+            .map_err(|_| format!("invalid sample value {s:?}")),
+    }
+}
+
+/// One parsed sample line.
+#[derive(Debug)]
+struct Sample {
+    name: String,
+    /// Sorted (label, value) pairs.
+    labels: Vec<(String, String)>,
+    value: f64,
+    line: usize,
+}
+
+/// Parses `{a="b",c="d"}`; `input` starts at `{`. Returns the labels
+/// and the number of bytes consumed.
+fn parse_labels(input: &str) -> Result<(Vec<(String, String)>, usize), String> {
+    let bytes = input.as_bytes();
+    debug_assert_eq!(bytes[0], b'{');
+    let mut pos = 1;
+    let mut labels = Vec::new();
+    if bytes.get(pos) == Some(&b'}') {
+        return Ok((labels, 2));
+    }
+    loop {
+        let start = pos;
+        while pos < bytes.len() && bytes[pos] != b'=' {
+            pos += 1;
+        }
+        let name = &input[start..pos];
+        if !is_label_name(name) {
+            return Err(format!("invalid label name {name:?}"));
+        }
+        pos += 1; // '='
+        if bytes.get(pos) != Some(&b'"') {
+            return Err(format!("label {name:?}: expected opening quote"));
+        }
+        pos += 1;
+        let mut value = String::new();
+        loop {
+            match bytes.get(pos) {
+                None => return Err(format!("label {name:?}: unterminated value")),
+                Some(b'"') => {
+                    pos += 1;
+                    break;
+                }
+                Some(b'\\') => {
+                    pos += 1;
+                    match bytes.get(pos) {
+                        Some(b'\\') => value.push('\\'),
+                        Some(b'"') => value.push('"'),
+                        Some(b'n') => value.push('\n'),
+                        other => {
+                            return Err(format!(
+                                "label {name:?}: invalid escape {:?}",
+                                other.map(|&b| b as char)
+                            ))
+                        }
+                    }
+                    pos += 1;
+                }
+                Some(_) => {
+                    // Safe to index by char boundary: advance over one char.
+                    let c = input[pos..].chars().next().expect("in range");
+                    value.push(c);
+                    pos += c.len_utf8();
+                }
+            }
+        }
+        labels.push((name.to_string(), value));
+        match bytes.get(pos) {
+            Some(b',') => pos += 1,
+            Some(b'}') => {
+                pos += 1;
+                break;
+            }
+            _ => return Err("expected ',' or '}' in label set".to_string()),
+        }
+    }
+    Ok((labels, pos))
+}
+
+fn parse_sample(line: &str, lineno: usize) -> Result<Sample, String> {
+    let name_end = line
+        .find(|c: char| c == '{' || c.is_ascii_whitespace())
+        .unwrap_or(line.len());
+    let name = &line[..name_end];
+    if !is_metric_name(name) {
+        return Err(format!("line {lineno}: invalid metric name {name:?}"));
+    }
+    let mut rest = &line[name_end..];
+    let mut labels = Vec::new();
+    if rest.starts_with('{') {
+        let (parsed, used) =
+            parse_labels(rest).map_err(|e| format!("line {lineno}: {e}"))?;
+        labels = parsed;
+        rest = &rest[used..];
+    }
+    let mut sorted = labels.clone();
+    sorted.sort();
+    sorted.dedup_by(|a, b| a.0 == b.0);
+    if sorted.len() != labels.len() {
+        return Err(format!("line {lineno}: duplicate label name"));
+    }
+    let fields: Vec<&str> = rest.split_ascii_whitespace().collect();
+    let value = match fields.as_slice() {
+        [v] => parse_value(v).map_err(|e| format!("line {lineno}: {e}"))?,
+        [v, ts] => {
+            let value = parse_value(v).map_err(|e| format!("line {lineno}: {e}"))?;
+            ts.parse::<i64>()
+                .map_err(|_| format!("line {lineno}: invalid timestamp {ts:?}"))?;
+            value
+        }
+        _ => {
+            return Err(format!(
+                "line {lineno}: expected 'value [timestamp]' after metric, got {rest:?}"
+            ))
+        }
+    };
+    Ok(Sample {
+        name: name.to_string(),
+        labels: sorted,
+        value,
+        line: lineno,
+    })
+}
+
+/// The family a sample belongs to under a declared type: histograms own
+/// their `_bucket`/`_sum`/`_count` suffixes.
+fn family_of<'a>(name: &'a str, histogram_families: &BTreeMap<String, ()>) -> &'a str {
+    for suffix in ["_bucket", "_sum", "_count"] {
+        if let Some(stem) = name.strip_suffix(suffix) {
+            if histogram_families.contains_key(stem) {
+                return stem;
+            }
+        }
+    }
+    name
+}
+
+/// Checks that `input` is a well-formed Prometheus text-format
+/// exposition (see the module docs for what is enforced).
+///
+/// # Errors
+///
+/// Returns a message naming the offending line.
+pub fn validate_exposition(input: &str) -> Result<(), String> {
+    if !input.is_empty() && !input.ends_with('\n') {
+        return Err("exposition must end with a newline".to_string());
+    }
+    let mut types: BTreeMap<String, String> = BTreeMap::new();
+    let mut helps: BTreeMap<String, ()> = BTreeMap::new();
+    let mut histogram_families: BTreeMap<String, ()> = BTreeMap::new();
+    let mut samples: Vec<Sample> = Vec::new();
+    let mut seen_sample_families: BTreeMap<String, ()> = BTreeMap::new();
+    for (idx, line) in input.lines().enumerate() {
+        let lineno = idx + 1;
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(comment) = line.strip_prefix('#') {
+            let comment = comment.strip_prefix(' ').unwrap_or(comment);
+            if let Some(rest) = comment.strip_prefix("TYPE ") {
+                let mut it = rest.splitn(2, ' ');
+                let name = it.next().unwrap_or("");
+                let kind = it.next().unwrap_or("");
+                if !is_metric_name(name) {
+                    return Err(format!("line {lineno}: TYPE names invalid metric {name:?}"));
+                }
+                if !matches!(kind, "counter" | "gauge" | "histogram" | "summary" | "untyped") {
+                    return Err(format!("line {lineno}: unknown TYPE kind {kind:?}"));
+                }
+                if types.insert(name.to_string(), kind.to_string()).is_some() {
+                    return Err(format!("line {lineno}: duplicate TYPE for {name:?}"));
+                }
+                if seen_sample_families.contains_key(name) {
+                    return Err(format!(
+                        "line {lineno}: TYPE for {name:?} after its samples"
+                    ));
+                }
+                if kind == "histogram" {
+                    histogram_families.insert(name.to_string(), ());
+                }
+            } else if let Some(rest) = comment.strip_prefix("HELP ") {
+                let name = rest.split(' ').next().unwrap_or("");
+                if !is_metric_name(name) {
+                    return Err(format!("line {lineno}: HELP names invalid metric {name:?}"));
+                }
+                if helps.insert(name.to_string(), ()).is_some() {
+                    return Err(format!("line {lineno}: duplicate HELP for {name:?}"));
+                }
+            }
+            // Other comments are free-form.
+            continue;
+        }
+        let sample = parse_sample(line, lineno)?;
+        let family = family_of(&sample.name, &histogram_families).to_string();
+        seen_sample_families.insert(family, ());
+        samples.push(sample);
+    }
+    // Histogram shape checks, per family and label set (minus `le`).
+    for family in histogram_families.keys() {
+        let bucket_name = format!("{family}_bucket");
+        let count_name = format!("{family}_count");
+        // label-set-without-le -> [(le, cumulative count, line)]
+        type LabelSet = Vec<(String, String)>;
+        let mut buckets: BTreeMap<LabelSet, Vec<(f64, f64, usize)>> = BTreeMap::new();
+        let mut counts: BTreeMap<Vec<(String, String)>, f64> = BTreeMap::new();
+        for s in &samples {
+            if s.name == bucket_name {
+                let le = match s.labels.iter().find(|(k, _)| k == "le") {
+                    Some((_, v)) => parse_value(v)
+                        .map_err(|_| format!("line {}: unparsable le {v:?}", s.line))?,
+                    None => {
+                        return Err(format!(
+                            "line {}: {bucket_name} sample without an le label",
+                            s.line
+                        ))
+                    }
+                };
+                let key: Vec<(String, String)> = s
+                    .labels
+                    .iter()
+                    .filter(|(k, _)| k != "le")
+                    .cloned()
+                    .collect();
+                buckets.entry(key).or_default().push((le, s.value, s.line));
+            } else if s.name == count_name {
+                counts.insert(s.labels.clone(), s.value);
+            } else if s.name == *family {
+                return Err(format!(
+                    "line {}: histogram family {family:?} has a bare sample",
+                    s.line
+                ));
+            }
+        }
+        if buckets.is_empty() {
+            return Err(format!("histogram {family:?} declared but has no _bucket samples"));
+        }
+        for (key, mut series) in buckets {
+            series.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+            let mut prev = -1.0f64;
+            for &(_, v, line) in &series {
+                if v < prev {
+                    return Err(format!(
+                        "line {line}: {bucket_name} counts are not cumulative"
+                    ));
+                }
+                prev = v;
+            }
+            let (last_le, last_v, _) = *series.last().expect("non-empty");
+            if !last_le.is_infinite() {
+                return Err(format!(
+                    "histogram {family:?} label set {key:?} lacks an le=\"+Inf\" bucket"
+                ));
+            }
+            if let Some(&count) = counts.get(&key) {
+                if count != last_v {
+                    return Err(format!(
+                        "histogram {family:?}: _count {count} != +Inf bucket {last_v}"
+                    ));
+                }
+            } else {
+                return Err(format!(
+                    "histogram {family:?} label set {key:?} lacks a _count sample"
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_a_full_exposition() {
+        let text = "\
+# HELP reqs_total requests served\n\
+# TYPE reqs_total counter\n\
+reqs_total{class=\"fg\"} 10\n\
+reqs_total{class=\"bg\"} 3\n\
+# TYPE depth gauge\n\
+depth -2\n\
+# TYPE lat_ns histogram\n\
+lat_ns_bucket{le=\"1\"} 1\n\
+lat_ns_bucket{le=\"3\"} 4\n\
+lat_ns_bucket{le=\"+Inf\"} 5\n\
+lat_ns_sum 42\n\
+lat_ns_count 5\n";
+        validate_exposition(text).unwrap();
+    }
+
+    #[test]
+    fn accepts_escapes_and_timestamps() {
+        let text = "x{a=\"q\\\"uo\\\\te\\n\"} 1.5e3 1700000000\n";
+        validate_exposition(text).unwrap();
+    }
+
+    #[test]
+    fn rejects_grammar_violations() {
+        for (bad, why) in [
+            ("1metric 3\n", "name starts with a digit"),
+            ("m{2l=\"x\"} 3\n", "label starts with a digit"),
+            ("m{l=\"x\\q\"} 3\n", "bad escape"),
+            ("m{l=\"x\"} many\n", "non-numeric value"),
+            ("m{l=\"x\",l=\"y\"} 1\n", "duplicate label"),
+            ("m 1 2 3\n", "trailing fields"),
+            ("m 1", "missing final newline"),
+            ("# TYPE m sideways\nm 1\n", "unknown kind"),
+            ("# TYPE m counter\n# TYPE m counter\nm 1\n", "duplicate TYPE"),
+            ("m 1\n# TYPE m counter\n", "TYPE after samples"),
+        ] {
+            assert!(validate_exposition(bad).is_err(), "accepted: {why}");
+        }
+    }
+
+    #[test]
+    fn rejects_histogram_shape_violations() {
+        let missing_inf = "\
+# TYPE h histogram\n\
+h_bucket{le=\"1\"} 1\n\
+h_sum 1\n\
+h_count 1\n";
+        assert!(validate_exposition(missing_inf).unwrap_err().contains("+Inf"));
+        let non_cumulative = "\
+# TYPE h histogram\n\
+h_bucket{le=\"1\"} 5\n\
+h_bucket{le=\"3\"} 2\n\
+h_bucket{le=\"+Inf\"} 5\n\
+h_sum 1\n\
+h_count 5\n";
+        assert!(validate_exposition(non_cumulative)
+            .unwrap_err()
+            .contains("cumulative"));
+        let count_mismatch = "\
+# TYPE h histogram\n\
+h_bucket{le=\"+Inf\"} 5\n\
+h_sum 1\n\
+h_count 4\n";
+        assert!(validate_exposition(count_mismatch)
+            .unwrap_err()
+            .contains("_count"));
+        let no_le = "\
+# TYPE h histogram\n\
+h_bucket 5\n\
+h_count 5\n";
+        assert!(validate_exposition(no_le).unwrap_err().contains("le label"));
+    }
+}

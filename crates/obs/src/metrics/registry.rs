@@ -1,0 +1,615 @@
+//! The windowed metric registry and its exporters.
+//!
+//! A [`MetricsRegistry`] holds named series — counters, gauges, and
+//! [`LogHistogram`]s — bucketed into fixed-width windows of one clock
+//! domain (virtual cycles for the simulator, virtual nanoseconds for
+//! serve/fleet). Everything is integer state in `BTreeMap`s, so every
+//! exporter walks a total order and renders byte-identical output
+//! regardless of insertion order or worker count; [`MetricsRegistry::merge`]
+//! is commutative, which is what makes per-worker registries foldable
+//! into one deterministic whole.
+//!
+//! Series names are Prometheus sample names with optional inline
+//! labels, e.g. `tango_fleet_shed_total{reason="slo_infeasible"}`; the
+//! *family* is the name up to the first `{`. The Prometheus exporter
+//! groups by family and the in-tree checker
+//! ([`crate::metrics::validate_exposition`]) verifies the result.
+
+use super::histogram::LogHistogram;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// The three metric shapes the registry stores.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricKind {
+    /// Monotone saturating sum of deltas.
+    Counter,
+    /// Last-writer-wins sample; merge keeps the latest `(ts, value)`.
+    Gauge,
+    /// A [`LogHistogram`] of observations.
+    Histogram,
+}
+
+impl MetricKind {
+    /// Lower-case label used in text/JSONL/Prometheus output.
+    pub fn label(self) -> &'static str {
+        match self {
+            MetricKind::Counter => "counter",
+            MetricKind::Gauge => "gauge",
+            MetricKind::Histogram => "histogram",
+        }
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Cell {
+    Counter(u64),
+    Gauge { ts: u64, value: i64 },
+    Histogram(Box<LogHistogram>),
+}
+
+impl Cell {
+    fn merge(&mut self, other: &Cell) {
+        match (self, other) {
+            (Cell::Counter(a), Cell::Counter(b)) => *a = a.saturating_add(*b),
+            (Cell::Gauge { ts, value }, Cell::Gauge { ts: ots, value: ovalue }) => {
+                // Latest sample wins; ties break on the larger value so
+                // the outcome is independent of merge order.
+                if (*ots, *ovalue) > (*ts, *value) {
+                    *ts = *ots;
+                    *value = *ovalue;
+                }
+            }
+            (Cell::Histogram(a), Cell::Histogram(b)) => a.merge(b),
+            _ => unreachable!("kind mismatch is rejected before cell merge"),
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Series {
+    kind: MetricKind,
+    /// Window index -> per-window cell. Only touched windows exist.
+    cells: BTreeMap<u64, Cell>,
+    /// Whole-run aggregate across all windows.
+    total: Cell,
+}
+
+impl Series {
+    fn new(kind: MetricKind) -> Series {
+        let total = match kind {
+            MetricKind::Counter => Cell::Counter(0),
+            MetricKind::Gauge => Cell::Gauge { ts: 0, value: 0 },
+            MetricKind::Histogram => Cell::Histogram(Box::default()),
+        };
+        Series {
+            kind,
+            cells: BTreeMap::new(),
+            total,
+        }
+    }
+}
+
+/// A registry of windowed metric series over one clock domain.
+#[derive(Debug, Clone)]
+pub struct MetricsRegistry {
+    unit: String,
+    window: u64,
+    series: BTreeMap<String, Series>,
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry. `unit` labels the clock ("cycles" or
+    /// "ns"); `window` is the window width in that unit (clamped to at
+    /// least 1).
+    pub fn new(unit: &str, window: u64) -> MetricsRegistry {
+        MetricsRegistry {
+            unit: unit.to_string(),
+            window: window.max(1),
+            series: BTreeMap::new(),
+        }
+    }
+
+    /// The window width, in clock units.
+    pub fn window_width(&self) -> u64 {
+        self.window
+    }
+
+    /// The clock unit label.
+    pub fn unit(&self) -> &str {
+        &self.unit
+    }
+
+    /// Number of registered series.
+    pub fn len(&self) -> usize {
+        self.series.len()
+    }
+
+    /// Whether no series has been touched yet.
+    pub fn is_empty(&self) -> bool {
+        self.series.is_empty()
+    }
+
+    /// The window index `ts` falls into.
+    pub fn window_of(&self, ts: u64) -> u64 {
+        ts / self.window
+    }
+
+    fn cell(&mut self, name: &str, kind: MetricKind, ts: u64) -> &mut Cell {
+        let series = self
+            .series
+            .entry(name.to_string())
+            .or_insert_with(|| Series::new(kind));
+        assert!(
+            series.kind == kind,
+            "metric {name:?} is a {}, not a {}",
+            series.kind.label(),
+            kind.label()
+        );
+        let w = ts / self.window;
+        series.cells.entry(w).or_insert_with(|| match kind {
+            MetricKind::Counter => Cell::Counter(0),
+            MetricKind::Gauge => Cell::Gauge { ts, value: 0 },
+            MetricKind::Histogram => Cell::Histogram(Box::default()),
+        })
+    }
+
+    /// Adds `delta` to counter `name` in the window containing `ts`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `name` already exists with a different kind — a
+    /// metric-name collision is a programming error, not data.
+    pub fn counter_add(&mut self, name: &str, ts: u64, delta: u64) {
+        if let Cell::Counter(v) = self.cell(name, MetricKind::Counter, ts) {
+            *v = v.saturating_add(delta);
+        }
+        if let Cell::Counter(v) = &mut self.series.get_mut(name).expect("series exists").total {
+            *v = v.saturating_add(delta);
+        }
+    }
+
+    /// Sets gauge `name` to `value` at `ts`. Within a window (and for
+    /// the run total) the sample with the largest `(ts, value)` wins.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `name` already exists with a different kind.
+    pub fn gauge_set(&mut self, name: &str, ts: u64, value: i64) {
+        let sample = Cell::Gauge { ts, value };
+        self.cell(name, MetricKind::Gauge, ts).merge(&sample);
+        self.series.get_mut(name).expect("series exists").total.merge(&sample);
+    }
+
+    /// Records one observation of `value` into histogram `name` in the
+    /// window containing `ts`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `name` already exists with a different kind.
+    pub fn observe(&mut self, name: &str, ts: u64, value: u64) {
+        if let Cell::Histogram(h) = self.cell(name, MetricKind::Histogram, ts) {
+            h.observe(value);
+        }
+        if let Cell::Histogram(h) = &mut self.series.get_mut(name).expect("series exists").total {
+            h.observe(value);
+        }
+    }
+
+    /// Folds `other` into `self`. Counters add, histograms merge,
+    /// gauges keep the latest sample — all commutative, so merging
+    /// per-worker registries in any order yields identical bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when window widths, units, or a shared series'
+    /// kind disagree.
+    pub fn merge(&mut self, other: &MetricsRegistry) -> Result<(), String> {
+        if self.window != other.window {
+            return Err(format!(
+                "window mismatch: {} vs {}",
+                self.window, other.window
+            ));
+        }
+        if self.unit != other.unit {
+            return Err(format!("unit mismatch: {:?} vs {:?}", self.unit, other.unit));
+        }
+        for (name, theirs) in &other.series {
+            let mine = self
+                .series
+                .entry(name.clone())
+                .or_insert_with(|| Series::new(theirs.kind));
+            if mine.kind != theirs.kind {
+                return Err(format!(
+                    "metric {name:?} is a {} on one side and a {} on the other",
+                    mine.kind.label(),
+                    theirs.kind.label()
+                ));
+            }
+            for (w, cell) in &theirs.cells {
+                match mine.cells.get_mut(w) {
+                    Some(existing) => existing.merge(cell),
+                    None => {
+                        mine.cells.insert(*w, cell.clone());
+                    }
+                }
+            }
+            mine.total.merge(&theirs.total);
+        }
+        Ok(())
+    }
+
+    /// The kind of series `name`, if registered.
+    pub fn kind(&self, name: &str) -> Option<MetricKind> {
+        self.series.get(name).map(|s| s.kind)
+    }
+
+    /// Run-total of counter `name`, if registered as a counter.
+    pub fn counter_total(&self, name: &str) -> Option<u64> {
+        match self.series.get(name)?.total {
+            Cell::Counter(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Final value of gauge `name`, if registered as a gauge.
+    pub fn gauge_last(&self, name: &str) -> Option<i64> {
+        match self.series.get(name)?.total {
+            Cell::Gauge { value, .. } => Some(value),
+            _ => None,
+        }
+    }
+
+    /// Run-total histogram of `name`, if registered as a histogram.
+    pub fn histogram_total(&self, name: &str) -> Option<&LogHistogram> {
+        match &self.series.get(name)?.total {
+            Cell::Histogram(h) => Some(h),
+            _ => None,
+        }
+    }
+
+    /// Names of all registered series, in sorted order.
+    pub fn names(&self) -> Vec<&str> {
+        self.series.keys().map(String::as_str).collect()
+    }
+
+    /// Range `[first, last]` of touched window indices, or `None` when
+    /// the registry is empty.
+    pub fn window_range(&self) -> Option<(u64, u64)> {
+        let mut range: Option<(u64, u64)> = None;
+        for series in self.series.values() {
+            let (Some(first), Some(last)) = (
+                series.cells.keys().next().copied(),
+                series.cells.keys().next_back().copied(),
+            ) else {
+                continue;
+            };
+            range = Some(match range {
+                None => (first, last),
+                Some((lo, hi)) => (lo.min(first), hi.max(last)),
+            });
+        }
+        range
+    }
+
+    fn hist_line(h: &LogHistogram) -> String {
+        match h.count() {
+            0 => "count 0".to_string(),
+            _ => format!(
+                "count {}  sum {}  p50 {}  p95 {}  p99 {}  max {}",
+                h.count(),
+                h.sum(),
+                h.quantile(500).expect("non-empty"),
+                h.quantile(950).expect("non-empty"),
+                h.quantile(990).expect("non-empty"),
+                LogHistogram::bucket_upper_bound(h.max_bucket().expect("non-empty")),
+            ),
+        }
+    }
+
+    /// Renders the byte-stable plain-text report: one block per series
+    /// with its run total and every touched window.
+    pub fn render_text(&self, title: &str) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "# tango-metrics: {title}");
+        let windows = match self.window_range() {
+            Some((lo, hi)) => format!("windows {lo}..={hi}"),
+            None => "windows none".to_string(),
+        };
+        let _ = writeln!(
+            out,
+            "# unit {}  window_width {}  {}  series {}",
+            self.unit,
+            self.window,
+            windows,
+            self.series.len()
+        );
+        for (name, series) in &self.series {
+            let _ = writeln!(out);
+            match &series.total {
+                Cell::Counter(v) => {
+                    let _ = writeln!(out, "counter {name}  total {v}");
+                }
+                Cell::Gauge { value, .. } => {
+                    let _ = writeln!(out, "gauge {name}  last {value}");
+                }
+                Cell::Histogram(h) => {
+                    let _ = writeln!(out, "histogram {name}  {}", Self::hist_line(h));
+                }
+            }
+            for (w, cell) in &series.cells {
+                let start = w * self.window;
+                match cell {
+                    Cell::Counter(v) => {
+                        let _ = writeln!(out, "  w{w:<6} start {start:>14}  value {v}");
+                    }
+                    Cell::Gauge { value, .. } => {
+                        let _ = writeln!(out, "  w{w:<6} start {start:>14}  last {value}");
+                    }
+                    Cell::Histogram(h) => {
+                        let _ = writeln!(out, "  w{w:<6} start {start:>14}  {}", Self::hist_line(h));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Renders the JSONL snapshot series: one JSON object per line, one
+    /// line per (series, window) plus one `"window":"total"` line per
+    /// series. `tag` names the source run (e.g. `fleet/bursty`).
+    pub fn snapshot_jsonl(&self, tag: &str) -> String {
+        let mut out = String::new();
+        let esc = |s: &str| -> String {
+            let mut e = String::new();
+            for c in s.chars() {
+                match c {
+                    '"' => e.push_str("\\\""),
+                    '\\' => e.push_str("\\\\"),
+                    '\n' => e.push_str("\\n"),
+                    c if (c as u32) < 0x20 => {
+                        let _ = write!(e, "\\u{:04x}", c as u32);
+                    }
+                    c => e.push(c),
+                }
+            }
+            e
+        };
+        let tag = esc(tag);
+        for (name, series) in &self.series {
+            let name_esc = esc(name);
+            let head = |w: &str| {
+                format!(
+                    "{{\"series\":\"{tag}\",\"unit\":\"{}\",\"window_width\":{},\"name\":\"{name_esc}\",\"kind\":\"{}\",\"window\":{w}",
+                    self.unit,
+                    self.window,
+                    series.kind.label()
+                )
+            };
+            let body = |cell: &Cell| match cell {
+                Cell::Counter(v) => format!(",\"value\":{v}}}"),
+                Cell::Gauge { value, .. } => format!(",\"value\":{value}}}"),
+                Cell::Histogram(h) => {
+                    let (p50, p95, p99) = match h.count() {
+                        0 => (0, 0, 0),
+                        _ => (
+                            h.quantile(500).expect("non-empty"),
+                            h.quantile(950).expect("non-empty"),
+                            h.quantile(990).expect("non-empty"),
+                        ),
+                    };
+                    format!(
+                        ",\"count\":{},\"sum\":{},\"p50\":{p50},\"p95\":{p95},\"p99\":{p99}}}",
+                        h.count(),
+                        h.sum()
+                    )
+                }
+            };
+            for (w, cell) in &series.cells {
+                out.push_str(&head(&w.to_string()));
+                let start = w * self.window;
+                let _ = write!(out, ",\"start\":{start}");
+                out.push_str(&body(cell));
+                out.push('\n');
+            }
+            out.push_str(&head("\"total\""));
+            out.push_str(&body(&series.total));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders Prometheus text-format exposition of the run totals,
+    /// grouped by metric family (the name up to the first `{`).
+    /// Histograms expand to cumulative `_bucket{le=...}` samples ending
+    /// in `+Inf` plus `_sum`/`_count`. The output passes
+    /// [`crate::metrics::validate_exposition`].
+    pub fn prometheus_text(&self) -> String {
+        // family -> [(label part incl. braces, series)]
+        let mut families: BTreeMap<&str, Vec<(&str, &Series)>> = BTreeMap::new();
+        for (name, series) in &self.series {
+            let (family, labels) = match name.find('{') {
+                Some(i) => (&name[..i], &name[i..]),
+                None => (name.as_str(), ""),
+            };
+            families.entry(family).or_default().push((labels, series));
+        }
+        let mut out = String::new();
+        for (family, members) in &families {
+            let kind = members[0].1.kind;
+            debug_assert!(
+                members.iter().all(|(_, s)| s.kind == kind),
+                "family {family} mixes metric kinds"
+            );
+            let _ = writeln!(
+                out,
+                "# HELP {family} tango deterministic {} over {} windows",
+                kind.label(),
+                self.unit
+            );
+            let _ = writeln!(out, "# TYPE {family} {}", kind.label());
+            for (labels, series) in members {
+                match &series.total {
+                    Cell::Counter(v) => {
+                        let _ = writeln!(out, "{family}{labels} {v}");
+                    }
+                    Cell::Gauge { value, .. } => {
+                        let _ = writeln!(out, "{family}{labels} {value}");
+                    }
+                    Cell::Histogram(h) => {
+                        // label set with `le` appended.
+                        let with_le = |le: &str| match labels.is_empty() {
+                            true => format!("{{le=\"{le}\"}}"),
+                            false => format!("{},le=\"{le}\"}}", &labels[..labels.len() - 1]),
+                        };
+                        let mut cum = 0u64;
+                        let top = h.max_bucket().unwrap_or(0);
+                        for (idx, &c) in h.buckets().iter().enumerate().take(top.min(super::histogram::BUCKETS - 2) + 1) {
+                            cum = cum.saturating_add(c);
+                            let _ = writeln!(
+                                out,
+                                "{family}_bucket{} {cum}",
+                                with_le(&LogHistogram::bucket_upper_bound(idx).to_string())
+                            );
+                        }
+                        let _ = writeln!(out, "{family}_bucket{} {}", with_le("+Inf"), h.count());
+                        let _ = writeln!(out, "{family}_sum{labels} {}", h.sum());
+                        let _ = writeln!(out, "{family}_count{labels} {}", h.count());
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn windows_partition_the_timeline() {
+        let mut r = MetricsRegistry::new("ns", 100);
+        r.counter_add("reqs_total", 0, 1);
+        r.counter_add("reqs_total", 99, 1);
+        r.counter_add("reqs_total", 100, 1);
+        r.counter_add("reqs_total", 250, 1);
+        assert_eq!(r.counter_total("reqs_total"), Some(4));
+        assert_eq!(r.window_range(), Some((0, 2)));
+        let text = r.render_text("t");
+        assert!(text.contains("counter reqs_total  total 4"), "{text}");
+        assert!(text.contains("w0      start              0  value 2"), "{text}");
+        assert!(text.contains("w2      start            200  value 1"), "{text}");
+        // Window 1 (ts 100..200) got one hit; empty windows don't render.
+        assert!(text.contains("w1      start            100  value 1"), "{text}");
+    }
+
+    #[test]
+    fn empty_windows_render_nothing_but_headers() {
+        let r = MetricsRegistry::new("cycles", 64);
+        let text = r.render_text("empty");
+        assert!(text.contains("windows none"), "{text}");
+        assert!(text.contains("series 0"), "{text}");
+        assert_eq!(r.window_range(), None);
+        assert_eq!(r.snapshot_jsonl("x"), "");
+        assert_eq!(r.prometheus_text(), "");
+    }
+
+    #[test]
+    fn gauge_latest_sample_wins_regardless_of_merge_order() {
+        let mut a = MetricsRegistry::new("ns", 10);
+        let mut b = MetricsRegistry::new("ns", 10);
+        a.gauge_set("devices", 5, 3);
+        b.gauge_set("devices", 7, 1);
+        let mut ab = a.clone();
+        ab.merge(&b).unwrap();
+        let mut ba = b.clone();
+        ba.merge(&a).unwrap();
+        assert_eq!(ab.gauge_last("devices"), Some(1), "ts 7 is later");
+        assert_eq!(ba.gauge_last("devices"), Some(1));
+        assert_eq!(ab.render_text("g"), ba.render_text("g"));
+    }
+
+    #[test]
+    fn merge_rejects_mismatches() {
+        let mut a = MetricsRegistry::new("ns", 10);
+        let b = MetricsRegistry::new("ns", 20);
+        assert!(a.merge(&b).unwrap_err().contains("window mismatch"));
+        let c = MetricsRegistry::new("cycles", 10);
+        assert!(a.merge(&c).unwrap_err().contains("unit mismatch"));
+        a.counter_add("x", 0, 1);
+        let mut d = MetricsRegistry::new("ns", 10);
+        d.gauge_set("x", 0, 1);
+        assert!(a.merge(&d).unwrap_err().contains("\"x\""));
+    }
+
+    #[test]
+    #[should_panic(expected = "is a counter, not a gauge")]
+    fn kind_collision_panics() {
+        let mut r = MetricsRegistry::new("ns", 10);
+        r.counter_add("x", 0, 1);
+        r.gauge_set("x", 0, 1);
+    }
+
+    #[test]
+    fn sharded_merge_equals_serial_ingest() {
+        let feed = |r: &mut MetricsRegistry, lo: u64, hi: u64| {
+            for i in lo..hi {
+                r.counter_add("n_total", i * 7, 1);
+                r.observe("lat_ns", i * 7, i * 13 % 5000);
+                r.gauge_set("depth", i * 7, (i % 9) as i64);
+            }
+        };
+        let mut serial = MetricsRegistry::new("ns", 100);
+        feed(&mut serial, 0, 400);
+        // Shard by disjoint time ranges (what per-worker collection does).
+        let mut shards: Vec<MetricsRegistry> = Vec::new();
+        for k in 0..4 {
+            let mut r = MetricsRegistry::new("ns", 100);
+            feed(&mut r, k * 100, (k + 1) * 100);
+            shards.push(r);
+        }
+        let mut fwd = MetricsRegistry::new("ns", 100);
+        for s in &shards {
+            fwd.merge(s).unwrap();
+        }
+        let mut rev = MetricsRegistry::new("ns", 100);
+        for s in shards.iter().rev() {
+            rev.merge(s).unwrap();
+        }
+        assert_eq!(fwd.render_text("s"), serial.render_text("s"));
+        assert_eq!(rev.render_text("s"), serial.render_text("s"));
+        assert_eq!(fwd.snapshot_jsonl("s"), serial.snapshot_jsonl("s"));
+        assert_eq!(fwd.prometheus_text(), serial.prometheus_text());
+    }
+
+    #[test]
+    fn prometheus_histogram_is_cumulative_and_capped_with_inf() {
+        let mut r = MetricsRegistry::new("ns", 100);
+        r.observe("lat_ns{class=\"fg\"}", 5, 3);
+        r.observe("lat_ns{class=\"fg\"}", 5, 100);
+        let text = r.prometheus_text();
+        assert!(text.contains("# TYPE lat_ns histogram"), "{text}");
+        assert!(text.contains("lat_ns_bucket{class=\"fg\",le=\"3\"} 1"), "{text}");
+        assert!(text.contains("lat_ns_bucket{class=\"fg\",le=\"+Inf\"} 2"), "{text}");
+        assert!(text.contains("lat_ns_sum{class=\"fg\"} 103"), "{text}");
+        assert!(text.contains("lat_ns_count{class=\"fg\"} 2"), "{text}");
+        crate::metrics::validate_exposition(&text).unwrap();
+    }
+
+    #[test]
+    fn jsonl_lines_are_valid_json() {
+        let mut r = MetricsRegistry::new("ns", 50);
+        r.counter_add("a_total", 10, 2);
+        r.observe("h_ns", 10, 99);
+        r.gauge_set("g", 10, -4);
+        let jsonl = r.snapshot_jsonl("demo/run");
+        assert!(!jsonl.is_empty());
+        for line in jsonl.lines() {
+            crate::json::validate(line).unwrap_or_else(|e| panic!("{line}: {e}"));
+        }
+        // One windowed line + one total line per series.
+        assert_eq!(jsonl.lines().count(), 6);
+        assert!(jsonl.contains("\"window\":\"total\""), "{jsonl}");
+    }
+}

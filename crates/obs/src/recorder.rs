@@ -177,13 +177,21 @@ pub fn drain() -> Trace {
     rings.sort_by_key(|r| r.lock().expect("obs ring lock").tid);
     let mut events = Vec::new();
     let mut dropped = 0;
+    let mut dropped_by_track = Vec::new();
     for ring in rings {
         let mut ring = ring.lock().expect("obs ring lock");
+        if ring.dropped > 0 {
+            dropped_by_track.push((ring.tid, ring.dropped));
+        }
         dropped += ring.dropped;
         ring.dropped = 0;
         events.extend(ring.events.drain(..));
     }
-    Trace { events, dropped }
+    Trace {
+        events,
+        dropped,
+        dropped_by_track,
+    }
 }
 
 /// An RAII span: emits its `End` event (at the domain's current clock)
@@ -476,6 +484,22 @@ mod tests {
         assert_eq!(mine[0].value, 2);
         assert_eq!(mine[3].value, 5);
         assert!(trace.dropped >= 2);
+        // The drop is attributed to this thread's ring, by track id.
+        let tid = current_tid().expect("recorded");
+        assert!(
+            trace.dropped_by_track.iter().any(|&(t, d)| t == tid && d >= 2),
+            "{:?}",
+            trace.dropped_by_track
+        );
+        // Attribution totals match the aggregate count.
+        let sum: u64 = trace.dropped_by_track.iter().map(|&(_, d)| d).sum();
+        assert_eq!(sum, trace.dropped);
+        // And it shows up in the rendered summary.
+        let summary = trace.text_summary();
+        assert!(
+            summary.contains(&format!("track {tid}: ")) && summary.contains("events dropped"),
+            "{summary}"
+        );
         disable();
     }
 
@@ -515,7 +539,11 @@ mod tests {
             let trace = drain();
             let tid = current_tid().expect("recorded");
             let events: Vec<Event> = trace.events.into_iter().filter(|e| e.tid == tid).collect();
-            Trace { events, dropped: trace.dropped }
+            Trace {
+                events,
+                dropped: trace.dropped,
+                dropped_by_track: trace.dropped_by_track,
+            }
         };
         let first = run();
         let second = run();

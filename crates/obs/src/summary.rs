@@ -81,6 +81,9 @@ fn render_node(out: &mut String, tree: &Tree, idx: usize, depth: usize, domain: 
 pub fn render(trace: &Trace) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "trace summary: {} events, {} dropped", trace.events.len(), trace.dropped);
+    for &(tid, dropped) in &trace.dropped_by_track {
+        let _ = writeln!(out, "  track {tid}: {dropped} events dropped (ring was full; oldest lost)");
+    }
     // Events are already track-grouped; walk contiguous (domain, tid)
     // sections in stream order.
     let mut i = 0;
@@ -177,6 +180,7 @@ mod tests {
                 ev(1, 100, Phase::Counter, "sim.cache", "l1d_hits", 42, ),
             ],
             dropped: 0,
+            dropped_by_track: vec![],
         };
         let text = trace.text_summary();
         let root = text.lines().find(|l| l.contains("net.infer CifarNet")).expect("root line");
@@ -198,6 +202,7 @@ mod tests {
                 ev(1, 25, Phase::End, "job", "a", 0),
             ],
             dropped: 0,
+            dropped_by_track: vec![],
         };
         let text = trace.text_summary();
         let line = text.lines().find(|l| l.contains("job a")).expect("job line");

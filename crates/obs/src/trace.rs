@@ -17,6 +17,10 @@ pub struct Trace {
     /// the trace is a truncated flight-recorder window, not a complete
     /// record.
     pub dropped: u64,
+    /// Per-ring drop attribution: `(track id, dropped)` for every ring
+    /// that lost events, ascending by track id. Summaries render this
+    /// so a truncated track is named, not just counted.
+    pub dropped_by_track: Vec<(u32, u64)>,
 }
 
 impl Trace {
@@ -168,6 +172,7 @@ mod tests {
                 ev(1, 20, Phase::End, "outer", "a"),
             ],
             dropped: 0,
+            dropped_by_track: vec![],
         };
         trace.check_nesting().unwrap();
         assert_eq!(trace.span_cycles("outer"), 20);
@@ -185,6 +190,7 @@ mod tests {
                 ev(2, 7, Phase::End, "job", "y"),
             ],
             dropped: 0,
+            dropped_by_track: vec![],
         };
         trace.check_nesting().unwrap();
         assert_eq!(trace.span_cycles("job"), 10 + 4);
@@ -198,6 +204,7 @@ mod tests {
                 ev(1, 5, Phase::End, "outer", "b"),
             ],
             dropped: 0,
+            dropped_by_track: vec![],
         };
         let err = trace.check_nesting().unwrap_err();
         assert!(err.contains("closes open span"), "{err}");
@@ -208,11 +215,13 @@ mod tests {
         let open = Trace {
             events: vec![ev(1, 0, Phase::Begin, "outer", "a")],
             dropped: 0,
+            dropped_by_track: vec![],
         };
         assert!(open.check_nesting().unwrap_err().contains("never closed"));
         let stray = Trace {
             events: vec![ev(1, 4, Phase::End, "outer", "a")],
             dropped: 0,
+            dropped_by_track: vec![],
         };
         assert!(stray.check_nesting().unwrap_err().contains("no open span"));
     }
@@ -225,6 +234,7 @@ mod tests {
                 ev(1, 3, Phase::End, "outer", "a"),
             ],
             dropped: 0,
+            dropped_by_track: vec![],
         };
         assert!(trace.check_nesting().unwrap_err().contains("before its begin"));
     }
@@ -238,11 +248,13 @@ mod tests {
         let ok = Trace {
             events: vec![begin.clone(), end],
             dropped: 0,
+            dropped_by_track: vec![],
         };
         ok.check_nesting().unwrap();
         let unclosed = Trace {
             events: vec![begin],
             dropped: 0,
+            dropped_by_track: vec![],
         };
         assert!(unclosed.check_nesting().unwrap_err().contains("unclosed"));
     }

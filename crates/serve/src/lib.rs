@@ -48,7 +48,7 @@ mod trace;
 pub use cost::{BatchCost, CostModel, SimCostModel, TableCostModel};
 pub use engine::{run_trace, Outcome, RequestRecord, ServeReport};
 pub use error::{Result, ServeError};
-pub use metrics::{percentile, LatencySummary};
+pub use metrics::{percentile, serve_metrics, LatencySummary};
 pub use policy::{BatchPolicy, ServeConfig};
 pub use pool::DeviceSet;
 pub use service::{InferenceReply, Service, ServiceConfig, Ticket};

@@ -1,4 +1,9 @@
-//! Latency summarization over virtual-cycle samples.
+//! Latency summarization over virtual-cycle samples, plus the post-run
+//! windowed metrics derivation ([`serve_metrics`]).
+
+use crate::engine::{Outcome, ServeReport};
+use std::collections::BTreeMap;
+use tango_obs::metrics::{escape_label_value, MetricsRegistry};
 
 /// Nearest-rank percentile over an ascending-sorted slice: the smallest
 /// sample such that at least `q`% of the population is ≤ it. Exact and
@@ -54,9 +59,70 @@ impl LatencySummary {
     }
 }
 
+/// Derives a windowed [`MetricsRegistry`] (unit: virtual cycles) from a
+/// finished [`ServeReport`] — a pure function of the report, so metrics
+/// collection cannot perturb the engine and two identical reports yield
+/// byte-identical registries regardless of worker count.
+///
+/// Per network kind it emits:
+///
+/// * `tango_serve_requests_total{kind=..}` / `tango_serve_shed_total`
+///   — counters at the arrival cycle,
+/// * `tango_serve_latency_cycles{kind=..}` — end-to-end latency
+///   histogram observed at the completion cycle,
+/// * `tango_serve_queue_wait_cycles{kind=..}` — queue-wait histogram
+///   observed at the dispatch cycle,
+/// * `tango_serve_batch_size{kind=..}` — one observation per dispatched
+///   batch (batches reconstructed from `(device, dispatched,
+///   completed)` groups),
+/// * `tango_serve_queue_depth{kind=..}` — a gauge replay of queue
+///   occupancy (enqueues before dequeues at equal cycles, matching
+///   engine order; each window keeps its latest-then-largest sample).
+pub fn serve_metrics(report: &ServeReport, window: u64) -> MetricsRegistry {
+    let mut registry = MetricsRegistry::new("cycles", window);
+    let series = |stem: &str, kind: &str| format!("{stem}{{kind=\"{}\"}}", escape_label_value(kind));
+    // Queue replay events: (cycle, phase, kind, delta) where phase 0 =
+    // enqueue, 1 = dequeue — engine admits arrivals before dispatching
+    // at the same cycle. BTreeMap keys give the deterministic order.
+    let mut depth_events: BTreeMap<(u64, u8, &str), i64> = BTreeMap::new();
+    let mut batches: BTreeMap<(usize, u64, u64), (&str, u32)> = BTreeMap::new();
+    for r in &report.records {
+        let kind = r.kind.name();
+        registry.counter_add(&series("tango_serve_requests_total", kind), r.arrival, 1);
+        match r.outcome {
+            Outcome::Shed { .. } => {
+                registry.counter_add(&series("tango_serve_shed_total", kind), r.arrival, 1);
+            }
+            Outcome::Completed {
+                dispatched,
+                completed,
+                batch,
+                device,
+            } => {
+                registry.observe(&series("tango_serve_latency_cycles", kind), completed, completed - r.arrival);
+                registry.observe(&series("tango_serve_queue_wait_cycles", kind), dispatched, dispatched - r.arrival);
+                *depth_events.entry((r.arrival, 0, kind)).or_insert(0) += 1;
+                *depth_events.entry((dispatched, 1, kind)).or_insert(0) -= 1;
+                batches.insert((device, dispatched, completed), (kind, batch));
+            }
+        }
+    }
+    for ((_, dispatched, _), (kind, batch)) in &batches {
+        registry.observe(&series("tango_serve_batch_size", kind), *dispatched, u64::from(*batch));
+    }
+    let mut depth: BTreeMap<&str, i64> = BTreeMap::new();
+    for ((cycle, _, kind), delta) in &depth_events {
+        let d = depth.entry(kind).or_insert(0);
+        *d += delta;
+        registry.gauge_set(&series("tango_serve_queue_depth", kind), *cycle, *d);
+    }
+    registry
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use tango_nets::NetworkKind;
 
     #[test]
     fn nearest_rank_percentiles() {
@@ -130,6 +196,70 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn over_100_rank_panics() {
         percentile(&[1], 100.1);
+    }
+
+    #[test]
+    fn serve_metrics_accounts_every_request_once() {
+        use crate::cost::TableCostModel;
+        use crate::policy::{BatchPolicy, ServeConfig};
+        use crate::trace::ArrivalTrace;
+        let gru = NetworkKind::Gru;
+        let trace = ArrivalTrace::open_loop(&[gru, NetworkKind::CifarNet], 200, 600, 3, 19);
+        let cost = TableCostModel::new()
+            .with_kind(gru, 900, 100)
+            .with_kind(NetworkKind::CifarNet, 2500, 300);
+        let cfg = ServeConfig {
+            devices: 2,
+            queue_bound: 8,
+            policy: BatchPolicy {
+                max_batch: 4,
+                max_delay_cycles: 800,
+            },
+        };
+        let report = crate::engine::run_trace(&trace, &cfg, &cost).unwrap();
+        let m = serve_metrics(&report, 10_000);
+        let total = |stem: &str| -> u64 {
+            [gru, NetworkKind::CifarNet]
+                .iter()
+                .filter_map(|k| m.counter_total(&format!("{stem}{{kind=\"{}\"}}", k.name())))
+                .sum()
+        };
+        assert_eq!(total("tango_serve_requests_total"), 200);
+        assert_eq!(total("tango_serve_shed_total"), report.shed() as u64);
+        let latencies: u64 = [gru, NetworkKind::CifarNet]
+            .iter()
+            .filter_map(|k| m.histogram_total(&format!("tango_serve_latency_cycles{{kind=\"{}\"}}", k.name())))
+            .map(|h| h.count())
+            .sum();
+        assert_eq!(latencies, report.completed() as u64);
+        // Batch-size observations: one per dispatched batch.
+        let batch_obs: u64 = [gru, NetworkKind::CifarNet]
+            .iter()
+            .filter_map(|k| m.histogram_total(&format!("tango_serve_batch_size{{kind=\"{}\"}}", k.name())))
+            .map(|h| h.count())
+            .sum();
+        assert_eq!(batch_obs, report.batches);
+        // The queue replay drains: the final depth gauge is 0.
+        for k in [gru, NetworkKind::CifarNet] {
+            let name = format!("tango_serve_queue_depth{{kind=\"{}\"}}", k.name());
+            assert_eq!(m.gauge_last(&name), Some(0), "{name}");
+        }
+        // Same report, same bytes; and the exposition is valid.
+        let again = serve_metrics(&report, 10_000);
+        assert_eq!(m.render_text("t"), again.render_text("t"));
+        tango_obs::metrics::validate_exposition(&m.prometheus_text()).unwrap();
+    }
+
+    #[test]
+    fn serve_metrics_of_an_empty_report_is_empty() {
+        let report = ServeReport {
+            records: vec![],
+            makespan: 0,
+            batches: 0,
+        };
+        let m = serve_metrics(&report, 100);
+        assert!(m.is_empty());
+        tango_obs::metrics::validate_exposition(&m.prometheus_text()).unwrap();
     }
 
     #[test]

@@ -605,6 +605,8 @@ impl LaunchFrame<'_> {
             tango_obs::vcounter_at(end, "sim.cache", "l2_hits", stats.l2.hits as i64);
             tango_obs::vcounter_at(end, "sim.cache", "l2_misses", stats.l2.misses as i64);
             tango_obs::vcounter_at(end, "sim.cache", "dram_accesses", stats.dram_accesses as i64);
+            tango_obs::vcounter_at(end, "sim.inst", "warp_instructions", stats.warp_instructions as i64);
+            tango_obs::vcounter_at(end, "sim.inst", "thread_instructions", stats.thread_instructions as i64);
             for (reason, count) in stats.stalls.iter() {
                 if count > 0 {
                     tango_obs::vcounter_at(end, "sim.stall", reason.name(), count as i64);
